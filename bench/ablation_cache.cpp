@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Ablation: RAGCache's ideal-hit-rate assumption.
+ *
+ * The paper grants RAGCache a 100% KV-cache hit rate (§3). Here we (a)
+ * *measure* actual document reuse across retrieval strides on the real
+ * retrieval stack, and (b) sweep the cache hit rate in the pipeline model
+ * to show how the RAGCache speedup degrades with realistic reuse.
+ */
+
+#include "bench_common.hpp"
+
+#include "rag/analysis.hpp"
+#include "util/stats.hpp"
+#include "rag/rag_system.hpp"
+#include "rag/synth_text.hpp"
+#include "sim/pipeline.hpp"
+
+int
+main()
+{
+    using namespace hermes;
+    util::setQuiet(true);
+    bench::banner(
+        "Ablation", "RAGCache hit-rate sensitivity",
+        "the paper's RAGCache baseline assumes an ideal 100% KV hit rate; "
+        "measured stride-to-stride document reuse is high but not total, "
+        "and the speedup shrinks accordingly");
+
+    // (a) Measure real document reuse across strides.
+    rag::SynthTextConfig tc;
+    tc.num_docs = 500;
+    tc.num_topics = 10;
+    tc.words_per_doc = 200;
+    auto corpus = rag::generateSynthCorpus(tc);
+
+    rag::RagSystemConfig rc;
+    rc.embedding_dim = 128;
+    rc.chunking.tokens_per_chunk = 100;
+    rc.hermes.num_clusters = 10;
+    rc.hermes.clusters_to_search = 3;
+    rc.hermes.sample_nprobe = 2;
+    rc.hermes.deep_nprobe = 16;
+    rc.generation.output_tokens = 64;
+    rc.generation.stride = 16;
+    rag::RagSystem system(rc);
+    for (const auto &doc : corpus.documents)
+        system.addDocument(doc);
+    system.finalize();
+
+    util::RunningStats hit_rate, jaccard, stability;
+    for (std::uint32_t topic = 0; topic < tc.num_topics; ++topic) {
+        auto result = system.generate(corpus.questionAbout(topic));
+        auto overlap = rag::strideOverlap(result);
+        hit_rate.add(overlap.mean_hit_rate);
+        jaccard.add(overlap.mean_jaccard);
+        stability.add(rag::routingStability(result));
+    }
+    std::printf("Measured across %zu generations (stride 16):\n",
+                hit_rate.count());
+    std::printf("  stride-to-stride document hit rate: %.2f\n",
+                hit_rate.mean());
+    std::printf("  mean Jaccard of retrieved sets:     %.2f\n",
+                jaccard.mean());
+    std::printf("  cluster routing stability:          %.2f\n\n",
+                stability.mean());
+
+    // (b) Sweep the modeled hit rate.
+    util::TablePrinter table({12, 16, 18});
+    table.header({"hit rate", "E2E @10B (s)", "RAGCache speedup"});
+    sim::PipelineConfig base;
+    base.datastore.tokens = 10e9;
+    base.batch = 32;
+    double e2e_base = sim::RagPipelineSim(base).run().e2e;
+    for (double hit : {1.0, 0.9, 0.75, 0.5, 0.25, 0.0}) {
+        sim::PipelineConfig cached = base;
+        cached.prefix_caching = true;
+        cached.cache_hit_rate = hit;
+        double e2e = sim::RagPipelineSim(cached).run().e2e;
+        table.row({util::TablePrinter::num(hit, 2),
+                   util::TablePrinter::num(e2e, 1),
+                   util::TablePrinter::num(e2e_base / e2e, 2) + "x"});
+    }
+    std::printf("\nAt the measured hit rate the RAGCache benefit sits "
+                "between the ideal row and\nno-cache — the paper's "
+                "100%%-hit assumption is an upper bound on its "
+                "baseline.\n\n");
+    return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Ablation: coarse-quantizer scaling.
+ *
+ * The at-scale cost model caps nlist at 10k because the O(nlist) centroid
+ * scan becomes its own bottleneck (docs/MODEL.md). This study measures
+ * that effect directly and shows the escape hatch: routing the coarse
+ * step through an HNSW graph over the centroids (FAISS's IVF_HNSW
+ * recipe), which keeps coarse cost ~logarithmic in nlist.
+ */
+
+#include "bench_common.hpp"
+
+#include "index/ivf_index.hpp"
+#include "util/timer.hpp"
+
+int
+main()
+{
+    using namespace hermes;
+    util::setQuiet(true);
+    bench::banner(
+        "Ablation", "Coarse quantizer: linear scan vs centroid HNSW",
+        "supports the model's nlist cap (DESIGN.md): past ~10k lists the "
+        "centroid scan rivals the list scans; a centroid graph removes "
+        "that term, extending the efficient-nlist range");
+
+    auto tb = bench::buildTestbed(30000, 32, 96);
+
+    util::TablePrinter table({8, 10, 12, 18, 18, 12});
+    table.header({"nlist", "coarse", "recall@5", "coarse evals/q",
+                  "list scans/q", "batch (ms)"});
+
+    for (std::size_t nlist : {64u, 256u, 1024u, 4096u}) {
+        for (bool graph : {false, true}) {
+            index::IvfConfig config;
+            config.nlist = nlist;
+            config.codec = "SQ8";
+            config.hnsw_coarse = graph;
+            config.max_training_points = 12000; // keep k-means tractable
+            index::IvfIndex ivf(tb.corpus.embeddings.dim(),
+                                vecstore::Metric::L2, config);
+            ivf.train(tb.corpus.embeddings);
+            ivf.addSequential(tb.corpus.embeddings);
+
+            // Match the probed *fraction* across nlist values.
+            index::SearchParams params;
+            params.nprobe = std::max<std::size_t>(nlist / 16, 4);
+
+            index::SearchStats stats;
+            util::Timer timer;
+            auto results = ivf.searchBatch(tb.queries.embeddings, 5,
+                                           params, &stats);
+            double ms = timer.elapsedMillis();
+            double queries =
+                static_cast<double>(tb.queries.embeddings.rows());
+            double coarse_per_q =
+                static_cast<double>(stats.distance_computations -
+                                    stats.vectors_scanned) / queries;
+            table.row({std::to_string(nlist), graph ? "hnsw" : "linear",
+                       util::TablePrinter::num(
+                           eval::meanRecallAtK(results, tb.truth, 5), 3),
+                       util::TablePrinter::num(coarse_per_q, 0),
+                       util::TablePrinter::num(
+                           static_cast<double>(stats.vectors_scanned) /
+                               queries, 0),
+                       util::TablePrinter::num(ms, 1)});
+        }
+    }
+    std::printf("\nThe graph cuts coarse distance evaluations at large "
+                "nlist at equal recall; its\nwall-clock win appears once "
+                "nlist reaches the 10^4-10^5 of at-scale indices,\nwhere "
+                "the linear term the cost model charges (nlist * d * 4 "
+                "bytes/query)\ndominates. At testbed scale the graph's "
+                "constant factors mask part of it.\n\n");
+    return 0;
+}

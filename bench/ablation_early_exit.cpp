@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Ablation: SPANN-style query-time list pruning inside each IVF index
+ * (extension; paper §7 "IVF Optimizations"). Lists whose centroid is far
+ * from the query are skipped even when nProbe allows them, trading a
+ * controlled amount of recall for scan work.
+ */
+
+#include "bench_common.hpp"
+
+#include "index/ivf_index.hpp"
+
+int
+main()
+{
+    using namespace hermes;
+    util::setQuiet(true);
+    bench::banner(
+        "Ablation", "IVF query-time list pruning (prune_ratio)",
+        "extension: SPANN-style pruning composes with the distributed "
+        "design — the paper notes such IVF optimizations 'need to be "
+        "used in conjunction with our distributed system'");
+
+    auto tb = bench::buildTestbed(20000, 32, 128);
+
+    index::IvfConfig config;
+    config.nlist = 64;
+    config.codec = "SQ8";
+    index::IvfIndex ivf(tb.corpus.embeddings.dim(), vecstore::Metric::L2,
+                        config);
+    ivf.train(tb.corpus.embeddings);
+    ivf.addSequential(tb.corpus.embeddings);
+
+    util::TablePrinter table({14, 12, 16, 18, 14});
+    table.header({"prune ratio", "recall@5", "lists probed/q",
+                  "vectors scanned/q", "work saved"});
+
+    index::SearchParams plain;
+    plain.nprobe = 16;
+    index::SearchStats base_stats;
+    auto base_results = ivf.searchBatch(tb.queries.embeddings, 5, plain,
+                                        &base_stats);
+    double base_work = static_cast<double>(base_stats.vectors_scanned);
+
+    auto report = [&](double ratio) {
+        index::SearchParams params = plain;
+        params.prune_ratio = ratio;
+        index::SearchStats stats;
+        auto results = ivf.searchBatch(tb.queries.embeddings, 5, params,
+                                       &stats);
+        double queries = static_cast<double>(tb.queries.embeddings.rows());
+        double work = static_cast<double>(stats.vectors_scanned);
+        table.row({ratio == 0.0 ? "off" : util::TablePrinter::num(ratio, 1),
+                   util::TablePrinter::num(
+                       eval::meanRecallAtK(results, tb.truth, 5), 3),
+                   util::TablePrinter::num(
+                       static_cast<double>(stats.lists_probed) / queries,
+                       1),
+                   util::TablePrinter::num(work / queries, 0),
+                   util::TablePrinter::num(
+                       100.0 * (1.0 - work / base_work), 1) + "%"});
+    };
+
+    report(0.0);
+    for (double ratio : {6.0, 4.0, 3.0, 2.0, 1.5, 1.2})
+        report(ratio);
+
+    std::printf("\nModerate ratios skip the long tail of barely-relevant "
+                "lists for single-digit\nrecall cost; combined with "
+                "Hermes' cluster routing this compounds the per-node\n"
+                "work reduction.\n\n");
+    return 0;
+}

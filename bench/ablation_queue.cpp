@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Ablation: quality-of-service under load.
+ *
+ * The paper argues TTFT variance hurts production QoS (Takeaway 2). This
+ * study subjects the baseline and Hermes deployments to the same Poisson
+ * query stream and reports tail latency — Hermes' shorter service times
+ * keep the queue stable at arrival rates that drown the monolithic
+ * baseline.
+ */
+
+#include "bench_common.hpp"
+
+#include "sim/pipeline.hpp"
+#include "sim/queue_sim.hpp"
+
+namespace {
+
+using namespace hermes;
+
+/** TTFT-style service time model: encode + retrieve + prefill. */
+std::function<double(std::size_t)>
+serviceModel(sim::RetrievalMode mode, double tokens)
+{
+    return [mode, tokens](std::size_t batch) {
+        sim::PipelineConfig config;
+        config.datastore.tokens = tokens;
+        config.batch = std::max<std::size_t>(batch, 1);
+        config.retrieval = mode;
+        return sim::RagPipelineSim(config).run().ttft;
+    };
+}
+
+} // namespace
+
+int
+main()
+{
+    util::setQuiet(true);
+    bench::banner(
+        "Ablation", "Serving QoS: tail TTFT under Poisson load",
+        "production systems care about TTFT distribution, not means "
+        "(paper Takeaway 2); Hermes' lower retrieval latency keeps p99 "
+        "bounded at arrival rates that saturate the monolithic baseline");
+
+    const double tokens = 100e9;
+
+    util::TablePrinter table({14, 14, 12, 12, 12, 12});
+    table.header({"deployment", "arrival QPS", "p50 (s)", "p99 (s)",
+                  "mean batch", "util"});
+    for (double qps : {0.5, 2.0, 8.0}) {
+        for (auto mode : {sim::RetrievalMode::Monolithic,
+                          sim::RetrievalMode::Hermes}) {
+            sim::QueueConfig queue;
+            queue.arrival_qps = qps;
+            queue.max_batch = 128;
+            queue.max_wait = 0.25;
+            queue.num_queries = 3000;
+            auto result =
+                sim::simulateQueue(queue, serviceModel(mode, tokens));
+            table.row({mode == sim::RetrievalMode::Monolithic
+                           ? "monolithic" : "hermes",
+                       util::TablePrinter::num(qps, 1),
+                       util::TablePrinter::num(
+                           result.latency.percentile(50), 2),
+                       util::TablePrinter::num(
+                           result.latency.percentile(99), 2),
+                       util::TablePrinter::num(result.batch_sizes.mean(),
+                                               1),
+                       util::TablePrinter::num(result.utilization, 2)});
+        }
+    }
+    std::printf("\nThe monolithic deployment saturates (utilization -> 1, "
+                "p99 explodes) at a few\nQPS; Hermes serves the same "
+                "stream with a bounded tail — the QoS argument for\n"
+                "optimizing TTFT itself rather than only steady-state "
+                "throughput.\n\n");
+    return 0;
+}

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction benches.
+ *
+ * Every bench binary regenerates one table or figure from the paper and
+ * prints (a) a "# paper:" line quoting what the paper reports and (b) the
+ * measured/modeled rows in the same shape, so EXPERIMENTS.md can record
+ * paper-vs-reproduction deltas.
+ */
+
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/distributed_store.hpp"
+#include "core/search_strategy.hpp"
+#include "eval/ground_truth.hpp"
+#include "eval/metrics.hpp"
+#include "util/csv.hpp"
+#include "util/logging.hpp"
+#include "util/timer.hpp"
+#include "workload/corpus.hpp"
+
+namespace hermes {
+namespace bench {
+
+/** Print the bench banner: figure id, title, and the paper's claim. */
+inline void
+banner(const std::string &figure, const std::string &title,
+       const std::string &paper_claim)
+{
+    std::printf("==============================================================\n");
+    std::printf("%s — %s\n", figure.c_str(), title.c_str());
+    std::printf("# paper: %s\n", paper_claim.c_str());
+    std::printf("==============================================================\n");
+}
+
+/** A laptop-scale measured-retrieval testbed shared by accuracy benches. */
+struct MeasuredTestbed
+{
+    workload::Corpus corpus;
+    workload::QuerySet queries;
+    std::vector<vecstore::HitList> truth;
+    core::HermesConfig config;
+    std::unique_ptr<core::DistributedStore> store;
+
+    /** Mean NDCG@k of a strategy over the query set. */
+    double
+    ndcg(const core::SearchStrategy &strategy, std::size_t k) const
+    {
+        std::vector<vecstore::HitList> results;
+        results.reserve(queries.embeddings.rows());
+        for (std::size_t q = 0; q < queries.embeddings.rows(); ++q)
+            results.push_back(
+                strategy.search(queries.embeddings.row(q), k).hits);
+        return eval::meanNdcgAtK(results, truth, k);
+    }
+};
+
+/**
+ * Build the standard measured testbed: a topic corpus standing in for the
+ * paper's 100M-token Common Crawl subset (DESIGN.md §1), Zipf-popular
+ * queries standing in for TriviaQA/NQ, exact ground truth, and a
+ * similarity-partitioned distributed store.
+ */
+inline MeasuredTestbed
+buildTestbed(std::size_t num_docs = 20000, std::size_t dim = 32,
+             std::size_t num_queries = 128, std::size_t num_clusters = 10,
+             std::size_t clusters_to_search = 3, std::size_t deep_nprobe = 32,
+             std::size_t sample_nprobe = 4)
+{
+    MeasuredTestbed tb;
+    workload::CorpusConfig cc;
+    cc.num_docs = num_docs;
+    cc.dim = dim;
+    cc.num_topics = 3 * num_clusters;
+    cc.topic_zipf = 0.7;
+    cc.seed = 1234;
+    tb.corpus = workload::generateCorpus(cc);
+
+    workload::QueryConfig qc;
+    qc.num_queries = num_queries;
+    qc.topic_zipf = 0.9;
+    qc.seed = 4321;
+    tb.queries = workload::generateQueries(tb.corpus, qc);
+    tb.truth = eval::exactGroundTruth(tb.corpus.embeddings,
+                                      tb.queries.embeddings, 5,
+                                      vecstore::Metric::L2);
+
+    tb.config.num_clusters = num_clusters;
+    tb.config.clusters_to_search = clusters_to_search;
+    tb.config.sample_nprobe = sample_nprobe;
+    tb.config.deep_nprobe = deep_nprobe;
+    tb.config.docs_to_retrieve = 5;
+    tb.config.partition.seeds_to_try = 4;
+    tb.store = std::make_unique<core::DistributedStore>(
+        core::DistributedStore::build(tb.corpus.embeddings, tb.config));
+    return tb;
+}
+
+/** Format tokens as "100M", "10B", "1T". */
+inline std::string
+tokenLabel(double tokens)
+{
+    if (tokens >= 1e12)
+        return util::TablePrinter::num(tokens / 1e12, 0) + "T";
+    if (tokens >= 1e9)
+        return util::TablePrinter::num(tokens / 1e9, 0) + "B";
+    return util::TablePrinter::num(tokens / 1e6, 0) + "M";
+}
+
+} // namespace bench
+} // namespace hermes

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Fig 4 reproduction: HNSW vs IVF latency, throughput, and memory.
+ *
+ * Latency/QPS are measured on the laptop-scale testbed (real index scans,
+ * wall clock); the memory column is additionally projected to the paper's
+ * 10B-token scale via the index geometry (IVF: SQ8 codes + ids; HNSW:
+ * fp32 vectors + bidirectional links).
+ */
+
+#include "bench_common.hpp"
+
+#include "index/hnsw_index.hpp"
+#include "index/ivf_index.hpp"
+#include "sim/cost_model.hpp"
+
+namespace {
+
+using namespace hermes;
+
+double
+measureBatch(const index::AnnIndex &idx, const vecstore::Matrix &queries,
+             std::size_t batch, const index::SearchParams &params)
+{
+    // Repeat queries to fill the batch, take the best of 3 runs.
+    double best = 1e30;
+    for (int run = 0; run < 3; ++run) {
+        util::Timer timer;
+        for (std::size_t i = 0; i < batch; ++i)
+            idx.search(queries.row(i % queries.rows()), 5, params);
+        best = std::min(best, timer.elapsedSeconds());
+    }
+    return best;
+}
+
+} // namespace
+
+int
+main()
+{
+    util::setQuiet(true);
+    bench::banner(
+        "Fig 4", "HNSW vs IVF on a 10B-token-class index",
+        "HNSW: 0.40s / 321 QPS / 166GB vs IVF: 0.97s / 131 QPS / 71GB at "
+        "batch 128 — HNSW ~2.4x faster but ~2.3x more memory");
+
+    auto tb = bench::buildTestbed(30000, 32, 128);
+    const auto &base = tb.corpus.embeddings;
+
+    index::IvfConfig ivf_config;
+    ivf_config.nlist = index::IvfIndex::suggestedNlist(base.rows());
+    ivf_config.codec = "SQ8";
+    index::IvfIndex ivf(base.dim(), vecstore::Metric::L2, ivf_config);
+    ivf.train(base);
+    ivf.addSequential(base);
+
+    index::HnswConfig hnsw_config;
+    hnsw_config.m = 16;
+    hnsw_config.ef_construction = 80;
+    index::HnswIndex hnsw(base.dim(), vecstore::Metric::L2, hnsw_config);
+    hnsw.addSequential(base);
+
+    index::SearchParams ivf_params;
+    ivf_params.nprobe = 16;
+    index::SearchParams hnsw_params;
+    hnsw_params.ef_search = 48;
+
+    util::TablePrinter table({8, 7, 14, 12, 12});
+    table.header({"index", "batch", "latency (s)", "QPS", "recall@5"});
+    for (std::size_t batch : {32u, 128u}) {
+        double t_ivf = measureBatch(ivf, tb.queries.embeddings, batch,
+                                    ivf_params);
+        double t_hnsw = measureBatch(hnsw, tb.queries.embeddings, batch,
+                                     hnsw_params);
+        auto r_ivf = eval::meanRecallAtK(
+            ivf.searchBatch(tb.queries.embeddings, 5, ivf_params),
+            tb.truth, 5);
+        auto r_hnsw = eval::meanRecallAtK(
+            hnsw.searchBatch(tb.queries.embeddings, 5, hnsw_params),
+            tb.truth, 5);
+        table.row({"IVF", std::to_string(batch),
+                   util::TablePrinter::num(t_ivf, 4),
+                   util::TablePrinter::num(batch / t_ivf, 0),
+                   util::TablePrinter::num(r_ivf, 3)});
+        table.row({"HNSW", std::to_string(batch),
+                   util::TablePrinter::num(t_hnsw, 4),
+                   util::TablePrinter::num(batch / t_hnsw, 0),
+                   util::TablePrinter::num(r_hnsw, 3)});
+    }
+
+    std::printf("\nMemory (measured at testbed scale, projected to 10B "
+                "tokens at d=768):\n");
+    double ivf_bytes = static_cast<double>(ivf.memoryBytes());
+    double hnsw_bytes = static_cast<double>(hnsw.memoryBytes());
+    sim::DatastoreGeometry geo;
+    geo.tokens = 10e9;
+    double num_vectors = geo.numVectors();
+    double ivf_10b_gb = geo.indexBytes() / 1e9;
+
+    // HNSW link/graph overhead per vector is dimension-independent:
+    // measure it on the testbed graph and project alongside fp32 payloads
+    // (our HNSW, like FAISS HNSW,Flat) and SQ8 payloads (the paper's
+    // memory numbers imply compressed vector storage).
+    double link_bytes_per_vec =
+        hnsw_bytes / static_cast<double>(base.rows()) -
+        static_cast<double>(base.dim()) * sizeof(float);
+    double hnsw_fp32_gb =
+        num_vectors * (768.0 * 4 + link_bytes_per_vec) / 1e9;
+    double hnsw_sq8_gb =
+        num_vectors * (768.0 + link_bytes_per_vec) / 1e9;
+
+    util::TablePrinter mem({14, 16, 20, 14});
+    mem.header({"index", "testbed (MB)", "10B tokens (GB)", "paper (GB)"});
+    mem.row({"IVF,SQ8", util::TablePrinter::num(ivf_bytes / 1e6, 1),
+             util::TablePrinter::num(ivf_10b_gb, 0), "71"});
+    mem.row({"HNSW (fp32)", util::TablePrinter::num(hnsw_bytes / 1e6, 1),
+             util::TablePrinter::num(hnsw_fp32_gb, 0), "-"});
+    mem.row({"HNSW (SQ8)", "-",
+             util::TablePrinter::num(hnsw_sq8_gb, 0), "166"});
+    std::printf("\nHNSW/IVF memory ratio: fp32 payloads %.1fx, SQ8 "
+                "payloads %.1fx (paper: 2.3x —\nits HNSW footprint "
+                "implies compressed vector storage plus links).\n\n",
+                hnsw_fp32_gb / ivf_10b_gb, hnsw_sq8_gb / ivf_10b_gb);
+    return 0;
+}

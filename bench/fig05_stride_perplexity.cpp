@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Fig 5 reproduction: perplexity vs retrieval stride (GPT-2 762M/1.5B,
+ * RETRO-578M) and total retrieval latency vs stride (10B/100B tokens).
+ */
+
+#include "bench_common.hpp"
+
+#include "rag/perplexity.hpp"
+#include "sim/pipeline.hpp"
+
+int
+main()
+{
+    using namespace hermes;
+    util::setQuiet(true);
+    bench::banner(
+        "Fig 5", "Retrieval stride: output quality vs retrieval cost",
+        "frequent retrieval lets a model with half the parameters match "
+        "the bigger model's perplexity; retrieval time grows steeply as "
+        "stride shrinks (stride 4 vs 64 => 12.12x E2E at 100B)");
+
+    util::TablePrinter ppl({8, 14, 14, 14});
+    ppl.header({"stride", "GPT-2 762M", "GPT-2 1.5B", "RETRO 578M"});
+    for (std::size_t stride : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+        ppl.row({std::to_string(stride),
+                 util::TablePrinter::num(rag::modelPerplexity(
+                     sim::LlmModel::Gpt2_762M, stride), 1),
+                 util::TablePrinter::num(rag::modelPerplexity(
+                     sim::LlmModel::Gpt2_1_5B, stride), 1),
+                 util::TablePrinter::num(rag::modelPerplexity(
+                     sim::LlmModel::Retro578M, stride), 1)});
+    }
+    std::printf("RETRO-578M matches GPT-2 1.5B up to stride %zu "
+                "(the paper's circled optimum is stride 4)\n\n",
+                rag::crossoverStride(sim::LlmModel::Retro578M,
+                                     sim::LlmModel::Gpt2_1_5B));
+
+    util::TablePrinter lat({8, 20, 20, 14});
+    lat.header({"stride", "retrieval 10B (s)", "retrieval 100B (s)",
+                "E2E 100B (s)"});
+    double e2e_4 = 0.0, e2e_64 = 0.0;
+    for (std::size_t stride : {4u, 8u, 16u, 32u, 64u}) {
+        sim::PipelineConfig config;
+        config.batch = 32;
+        config.stride = stride;
+        config.datastore.tokens = 10e9;
+        auto r10 = sim::RagPipelineSim(config).run();
+        config.datastore.tokens = 100e9;
+        auto r100 = sim::RagPipelineSim(config).run();
+        if (stride == 4)
+            e2e_4 = r100.e2e;
+        if (stride == 64)
+            e2e_64 = r100.e2e;
+        lat.row({std::to_string(stride),
+                 util::TablePrinter::num(r10.stage.retrieval, 2),
+                 util::TablePrinter::num(r100.stage.retrieval, 2),
+                 util::TablePrinter::num(r100.e2e, 1)});
+    }
+    std::printf("\nE2E(stride 4) / E2E(stride 64) at 100B tokens: %.2fx "
+                "(paper: 12.12x)\n\n", e2e_4 / e2e_64);
+    return 0;
+}

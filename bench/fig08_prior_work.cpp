@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Fig 8 reproduction: how far PipeRAG-style pipelining and RAGCache-style
+ * prefill caching get as the datastore scales — and where they stop
+ * helping.
+ */
+
+#include "bench_common.hpp"
+
+#include "sim/pipeline.hpp"
+
+namespace {
+
+using namespace hermes;
+
+sim::PipelineResult
+runWith(double tokens, bool pipelining, bool caching)
+{
+    sim::PipelineConfig config;
+    config.batch = 32;
+    config.datastore.tokens = tokens;
+    config.pipelining = pipelining;
+    config.prefix_caching = caching;
+    return sim::RagPipelineSim(config).run();
+}
+
+} // namespace
+
+int
+main()
+{
+    util::setQuiet(true);
+    bench::banner(
+        "Fig 8", "Prior RAG optimizations vs datastore scale",
+        "pipelining saves up to 1.62x on small datastores; both "
+        "pipelining and caching benefits decay monotonically as retrieval "
+        "dominates at 100B+ tokens");
+
+    util::TablePrinter table({10, 14, 16, 16});
+    table.header({"tokens", "baseline (s)", "PipeRAG speedup",
+                  "RAGCache speedup"});
+    for (double tokens : {100e6, 1e9, 10e9, 100e9, 1e12}) {
+        auto base = runWith(tokens, false, false);
+        auto piped = runWith(tokens, true, false);
+        auto cached = runWith(tokens, false, true);
+        table.row({bench::tokenLabel(tokens),
+                   util::TablePrinter::num(base.e2e, 1),
+                   util::TablePrinter::num(base.e2e / piped.e2e, 2) + "x",
+                   util::TablePrinter::num(base.e2e / cached.e2e, 2) + "x"});
+    }
+
+    std::printf("\nPer-stride timeline (retrieval vs inference window):\n");
+    util::TablePrinter timeline({10, 16, 20, 24});
+    timeline.header({"tokens", "retrieval (s)", "inference (s)",
+                     "overlap-able fraction"});
+    for (double tokens : {1e9, 100e9}) {
+        auto base = runWith(tokens, false, false);
+        double overlap =
+            std::min(base.inference_per_stride, base.retrieval_per_stride) /
+            base.retrieval_per_stride;
+        timeline.row({bench::tokenLabel(tokens),
+                      util::TablePrinter::num(base.retrieval_per_stride, 2),
+                      util::TablePrinter::num(base.inference_per_stride, 2),
+                      util::TablePrinter::num(overlap * 100.0, 1) + "%"});
+    }
+    std::printf("\nAt small scale retrieval hides under inference almost "
+                "fully; at 100B+ the\noverlap-able fraction collapses — "
+                "prior work's headroom is gone (Takeaway 3).\n\n");
+    return 0;
+}

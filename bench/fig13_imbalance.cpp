@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Fig 13 reproduction (measured): cluster size imbalance from K-means
+ * partitioning and access-frequency imbalance from a Natural-Questions-
+ * like (Zipf-popular) query workload.
+ */
+
+#include "bench_common.hpp"
+
+int
+main()
+{
+    using namespace hermes;
+    util::setQuiet(true);
+    bench::banner(
+        "Fig 13", "Cluster size and access frequency imbalance",
+        "largest clusters ~2x the smallest; some clusters accessed >2x "
+        "as often as others (Natural Questions trace)");
+
+    auto tb = bench::buildTestbed(20000, 32, 512, 10);
+    core::HermesSearch hermes(*tb.store);
+    auto trace = hermes.traceBatch(tb.queries.embeddings, 5);
+    auto accesses = trace.accessCounts();
+    auto sizes = tb.store->partitioning().sizes();
+
+    util::TablePrinter table({10, 14, 12, 16});
+    table.header({"cluster", "size (docs)", "accesses", "access share"});
+    std::size_t total_accesses = 0;
+    for (auto a : accesses)
+        total_accesses += a;
+    for (std::size_t c = 0; c < sizes.size(); ++c) {
+        table.row({std::to_string(c), std::to_string(sizes[c]),
+                   std::to_string(accesses[c]),
+                   util::TablePrinter::num(
+                       100.0 * static_cast<double>(accesses[c]) /
+                       static_cast<double>(total_accesses), 1) + "%"});
+    }
+
+    auto size_stats = cluster::imbalance(sizes);
+    auto access_stats = cluster::imbalance(accesses);
+    std::printf("\nSize imbalance (max/min): %.2fx (paper: ~2x)\n",
+                size_stats.max_min_ratio);
+    std::printf("Access imbalance (max/min): %.2fx (paper: >2x)\n",
+                access_stats.max_min_ratio);
+    std::printf("Chosen partition seed: %llu\n\n",
+                static_cast<unsigned long long>(
+                    tb.store->partitioning().chosen_seed));
+    return 0;
+}

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Fig 14 reproduction: normalized end-to-end latency and energy for
+ * Baseline / RAGCache / PipeRAG / Hermes / Hermes+PipeRAG+RAGCache across
+ * batch sizes, datastore sizes, and stride lengths.
+ */
+
+#include "bench_common.hpp"
+
+#include "sim/pipeline.hpp"
+
+namespace {
+
+using namespace hermes;
+
+struct Variant
+{
+    const char *name;
+    sim::RetrievalMode retrieval;
+    bool pipelining;
+    bool caching;
+};
+
+const Variant kVariants[] = {
+    {"Baseline", sim::RetrievalMode::Monolithic, false, false},
+    {"RAGCache", sim::RetrievalMode::Monolithic, false, true},
+    {"PipeRAG", sim::RetrievalMode::Monolithic, true, false},
+    {"Hermes", sim::RetrievalMode::Hermes, false, false},
+    {"Hermes+P+C", sim::RetrievalMode::Hermes, true, true},
+};
+
+void
+sweepRow(util::TablePrinter &table, const std::string &label,
+         sim::PipelineConfig base)
+{
+    double base_e2e = 0.0, base_energy = 0.0;
+    std::vector<std::string> lat_row{label}, energy_row{label};
+    for (const auto &variant : kVariants) {
+        sim::PipelineConfig config = base;
+        config.retrieval = variant.retrieval;
+        config.pipelining = variant.pipelining;
+        config.prefix_caching = variant.caching;
+        config.dvfs = variant.retrieval == sim::RetrievalMode::Hermes
+            ? sim::DvfsPolicy::SlowestCluster : sim::DvfsPolicy::None;
+        auto result = sim::RagPipelineSim(config).run();
+        if (variant.retrieval == sim::RetrievalMode::Monolithic &&
+            !variant.pipelining && !variant.caching) {
+            base_e2e = result.e2e;
+            base_energy = result.totalEnergy();
+        }
+        lat_row.push_back(util::TablePrinter::num(
+            result.e2e / base_e2e, 3));
+        energy_row.push_back(util::TablePrinter::num(
+            result.totalEnergy() / base_energy, 3));
+    }
+    table.row(lat_row);
+    table.row(energy_row);
+}
+
+} // namespace
+
+int
+main()
+{
+    util::setQuiet(true);
+    bench::banner(
+        "Fig 14", "End-to-end latency & energy vs prior work",
+        "Hermes: 2.45-10.25x latency and 1.08-3.37x energy improvements "
+        "across serving configurations; 9.33x / 2.10x at 1T tokens");
+
+    std::printf("(each cell: value normalized to Baseline; first row of "
+                "a pair = E2E latency,\n second row = energy)\n\n");
+
+    util::TablePrinter table({16, 10, 10, 10, 10, 12});
+    table.header({"config", "Baseline", "RAGCache", "PipeRAG", "Hermes",
+                  "Hermes+P+C"});
+
+    std::printf("--- Batch size sweep (10B tokens, stride 16) ---\n");
+    for (std::size_t batch : {32u, 64u, 128u, 256u}) {
+        sim::PipelineConfig config;
+        config.datastore.tokens = 10e9;
+        config.batch = batch;
+        sweepRow(table, "bs=" + std::to_string(batch), config);
+    }
+
+    std::printf("\n--- Datastore size sweep (batch 128, stride 16) ---\n");
+    for (double tokens : {1e9, 10e9, 100e9, 1e12}) {
+        sim::PipelineConfig config;
+        config.datastore.tokens = tokens;
+        sweepRow(table, bench::tokenLabel(tokens), config);
+    }
+
+    std::printf("\n--- Stride length sweep (10B tokens, batch 128) ---\n");
+    for (std::size_t stride : {4u, 8u, 16u, 32u, 64u}) {
+        sim::PipelineConfig config;
+        config.datastore.tokens = 10e9;
+        config.stride = stride;
+        sweepRow(table, "stride=" + std::to_string(stride), config);
+    }
+
+    // Headline numbers at 1T.
+    sim::PipelineConfig big;
+    big.datastore.tokens = 1e12;
+    sim::PipelineConfig hermes_big = big;
+    hermes_big.retrieval = sim::RetrievalMode::Hermes;
+    hermes_big.pipelining = true;
+    hermes_big.prefix_caching = true;
+    hermes_big.dvfs = sim::DvfsPolicy::SlowestCluster;
+    auto base = sim::RagPipelineSim(big).run();
+    auto best = sim::RagPipelineSim(hermes_big).run();
+    std::printf("\n1T-token headline: %.2fx latency speedup, %.2fx energy "
+                "savings (paper: 9.33x / 2.10x)\n\n",
+                base.e2e / best.e2e,
+                base.totalEnergy() / best.totalEnergy());
+    return 0;
+}

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Fig 17 reproduction: Hermes gains across inference model architectures
+ * (Phi-1.5, Gemma2-9B, OPT-30B) and GPU platforms (A6000 Ada, L4).
+ */
+
+#include "bench_common.hpp"
+
+#include "sim/pipeline.hpp"
+
+namespace {
+
+using namespace hermes;
+
+void
+compareRow(util::TablePrinter &table, const std::string &label,
+           sim::LlmModel model, sim::GpuModel gpu)
+{
+    sim::PipelineConfig base;
+    base.datastore.tokens = 100e9;
+    base.model = model;
+    base.gpu = gpu;
+
+    sim::PipelineConfig hermes = base;
+    hermes.retrieval = sim::RetrievalMode::Hermes;
+    hermes.dvfs = sim::DvfsPolicy::MatchInference;
+
+    sim::PipelineConfig combined = hermes;
+    combined.pipelining = true;
+    combined.prefix_caching = true;
+
+    auto r_base = sim::RagPipelineSim(base).run();
+    auto r_hermes = sim::RagPipelineSim(hermes).run();
+    auto r_combined = sim::RagPipelineSim(combined).run();
+
+    std::size_t gpus = sim::LlmCostModel(model, gpu).numGpus();
+    table.row({label, std::to_string(gpus),
+               util::TablePrinter::num(r_hermes.e2e / r_base.e2e, 3),
+               util::TablePrinter::num(r_combined.e2e / r_base.e2e, 3),
+               util::TablePrinter::num(r_base.e2e / r_hermes.e2e, 2) + "x",
+               util::TablePrinter::num(r_base.totalEnergy() /
+                                       r_hermes.totalEnergy(), 2) + "x"});
+}
+
+} // namespace
+
+int
+main()
+{
+    util::setQuiet(true);
+    bench::banner(
+        "Fig 17", "Hermes across model architectures and GPUs",
+        "speedups shrink as inference grows: ~9.38x with Phi-1.5 down to "
+        "~3.92x with OPT-30B (energy 2.20x -> 1.87x); works on both "
+        "A6000 Ada and L4 (L4 energy savings smaller: 2.11x vs 3.84x)");
+
+    std::printf("Model architecture sweep (A6000 Ada, 100B tokens):\n");
+    util::TablePrinter models({16, 6, 12, 12, 10, 10});
+    models.header({"model", "GPUs", "Hermes", "Hermes+P+C", "speedup",
+                   "energy"});
+    compareRow(models, "Phi-1.5 (1.3B)", sim::LlmModel::Phi15,
+               sim::GpuModel::A6000Ada);
+    compareRow(models, "Gemma2 (9B)", sim::LlmModel::Gemma2_9B,
+               sim::GpuModel::A6000Ada);
+    compareRow(models, "OPT (30B)", sim::LlmModel::Opt30B,
+               sim::GpuModel::A6000Ada);
+
+    std::printf("\nHardware platform sweep (Gemma2-9B, 100B tokens):\n");
+    util::TablePrinter gpus({16, 6, 12, 12, 10, 10});
+    gpus.header({"GPU", "GPUs", "Hermes", "Hermes+P+C", "speedup",
+                 "energy"});
+    compareRow(gpus, "A6000 Ada", sim::LlmModel::Gemma2_9B,
+               sim::GpuModel::A6000Ada);
+    compareRow(gpus, "L4", sim::LlmModel::Gemma2_9B, sim::GpuModel::L4);
+
+    std::printf("\nNormalized columns are vs each row's own baseline. "
+                "Slower inference (bigger\nmodel / weaker GPU) absorbs "
+                "more of the retrieval win, shrinking the speedup —\nthe "
+                "paper's Takeaway 3.\n\n");
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Fig 18 reproduction: retrieval throughput and energy per batch as the
+ * number of deep-searched clusters grows, using a *measured* cluster
+ * access trace from the laptop testbed replayed through the multi-node
+ * simulator (the paper's methodology, Fig 15).
+ */
+
+#include "bench_common.hpp"
+
+#include "sim/node_sim.hpp"
+
+int
+main()
+{
+    using namespace hermes;
+    util::setQuiet(true);
+    bench::banner(
+        "Fig 18", "Throughput & energy vs clusters searched",
+        "searching 3 of 10 clusters: 1.81x throughput (290 -> ~525 QPS) "
+        "and 1.77x energy savings vs searching all 10");
+
+    auto tb = bench::buildTestbed(20000, 32, 512, 10);
+
+    util::TablePrinter table({10, 14, 16, 16});
+    table.header({"clusters", "QPS", "J/batch", "vs all-10"});
+    double qps_at_3 = 0.0, qps_at_10 = 0.0;
+    double energy_at_3 = 0.0, energy_at_10 = 0.0;
+    for (std::size_t deep = 1; deep <= 10; ++deep) {
+        core::HermesSearch hermes(*tb.store, deep);
+        auto trace = hermes.traceBatch(tb.queries.embeddings, 5);
+
+        sim::MultiNodeConfig mn;
+        mn.total.tokens = 10e9; // model the paper's 10B-token deployment
+        mn.num_clusters = 10;
+        mn.batch = 128;
+        for (auto size : tb.store->partitioning().sizes())
+            mn.cluster_shares.push_back(static_cast<double>(size));
+        auto result = sim::MultiNodeSimulator(mn).replayTrace(trace);
+
+        if (deep == 3) {
+            qps_at_3 = result.throughput_qps;
+            energy_at_3 = result.energy;
+        }
+        if (deep == 10) {
+            qps_at_10 = result.throughput_qps;
+            energy_at_10 = result.energy;
+        }
+        table.row({std::to_string(deep),
+                   util::TablePrinter::num(result.throughput_qps, 0),
+                   util::TablePrinter::num(result.energy, 0),
+                   deep == 10 ? "1.00x" : ""});
+    }
+    std::printf("\n3 vs 10 clusters: %.2fx throughput, %.2fx energy "
+                "savings (paper: 1.81x / 1.77x)\n\n",
+                qps_at_3 / qps_at_10, energy_at_10 / energy_at_3);
+    return 0;
+}

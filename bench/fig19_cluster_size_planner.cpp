@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Fig 19 reproduction: inference latency across (input, output) lengths
+ * and the optimal Hermes cluster size that still hides retrieval under
+ * inference for each serving scenario.
+ */
+
+#include "bench_common.hpp"
+
+#include "sim/pipeline.hpp"
+
+int
+main()
+{
+    using namespace hermes;
+    util::setQuiet(true);
+    bench::banner(
+        "Fig 19", "Cluster sizing across inference scenarios",
+        "with output fixed at 32 tokens, growing the input from 32 to "
+        "2048 tokens lets clusters grow ~34B -> ~114B tokens (fewer "
+        "retrieval nodes needed)");
+
+    std::printf("Inference latency per stride window (batch 128, "
+                "Gemma2-9B / A6000 Ada):\n");
+    util::TablePrinter inference({14, 14, 18});
+    inference.header({"input len", "output len", "inference (s)"});
+    for (auto [in_len, out_len] :
+         std::vector<std::pair<std::size_t, std::size_t>>{
+             {32, 4}, {256, 32}, {32, 256}, {512, 256}, {2048, 32}}) {
+        sim::LlmCostModel llm(sim::LlmModel::Gemma2_9B,
+                              sim::GpuModel::A6000Ada);
+        double window = llm.prefillLatency(128, in_len) +
+                        llm.decodeLatency(128, std::min<std::size_t>(
+                                                   out_len, 16));
+        inference.row({std::to_string(in_len), std::to_string(out_len),
+                       util::TablePrinter::num(window, 3)});
+    }
+
+    std::printf("\nOptimal cluster size (tokens) vs batch and input "
+                "length (output 32, stride 16):\n");
+    util::TablePrinter planner({10, 14, 14, 14});
+    planner.header({"batch", "in=32", "in=256", "in=2048"});
+    for (std::size_t batch : {8u, 16u, 32u, 64u, 128u, 256u}) {
+        std::vector<std::string> row{std::to_string(batch)};
+        for (std::size_t in_len : {32u, 256u, 2048u}) {
+            sim::PipelineConfig config;
+            config.batch = batch;
+            config.input_tokens = in_len;
+            config.output_tokens = 32;
+            double tokens = sim::RagPipelineSim::optimalClusterTokens(
+                config);
+            row.push_back(bench::tokenLabel(tokens));
+        }
+        planner.row(row);
+    }
+    std::printf("\nLonger inputs and bigger batches widen the inference "
+                "window, so each cluster\ncan hold more tokens and a "
+                "deployment needs fewer nodes — the Fig 19 rule.\n\n");
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Fig 20 reproduction: Hermes retrieval latency and throughput vs
+ * clusters searched across CPU generations (Neoverse-N1 at batch 32 and
+ * 128, Xeon Gold 6448Y, Platinum 8380, Silver 4316).
+ */
+
+#include "bench_common.hpp"
+
+#include "sim/node_sim.hpp"
+#include "sim/pipeline.hpp"
+
+namespace {
+
+using namespace hermes;
+
+void
+platformRows(util::TablePrinter &table, const std::string &label,
+             sim::CpuModel cpu, std::size_t batch)
+{
+    for (std::size_t deep : {1u, 3u, 5u, 8u, 10u}) {
+        sim::MultiNodeConfig config;
+        config.total.tokens = 10e9;
+        config.num_clusters = 10;
+        config.batch = batch;
+        config.cpu = cpu;
+        // FAISS splits a query's probed lists across idle cores when a
+        // node has fewer queries than cores — visible in Fig 20, where
+        // searching fewer clusters per query also means fewer queries
+        // per node and therefore faster batches.
+        config.intra_query_parallelism = true;
+        auto result =
+            sim::MultiNodeSimulator(config).simulateUniformBatch(deep);
+        table.row({label, std::to_string(batch), std::to_string(deep),
+                   util::TablePrinter::num(result.latency, 3),
+                   util::TablePrinter::num(result.throughput_qps, 0)});
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    util::setQuiet(true);
+    bench::banner(
+        "Fig 20", "Hermes retrieval across CPU platforms",
+        "Platinum 8380 achieves the best latency (0.084-0.13s) and "
+        "throughput (249-379 QPS); the ARM Neoverse-N1 has slower cores "
+        "but recovers throughput at batch 128 when few clusters are "
+        "searched");
+
+    util::TablePrinter table({18, 8, 10, 18, 10});
+    table.header({"platform", "batch", "clusters", "time/batch (s)",
+                  "QPS"});
+    platformRows(table, "Neoverse-N1", sim::CpuModel::NeoverseN1, 32);
+    platformRows(table, "Neoverse-N1", sim::CpuModel::NeoverseN1, 128);
+    platformRows(table, "Gold 6448Y", sim::CpuModel::XeonGold6448Y, 32);
+    platformRows(table, "Platinum 8380", sim::CpuModel::XeonPlatinum8380,
+                 32);
+    platformRows(table, "Silver 4316", sim::CpuModel::XeonSilver4316, 32);
+
+    sim::LlmCostModel llm(sim::LlmModel::Gemma2_9B,
+                          sim::GpuModel::A6000Ada);
+    double inference = llm.prefillLatency(32, 512) +
+                       llm.decodeLatency(32, 16);
+    std::printf("\nGemma2-9B inference window at batch 32: %.3fs — "
+                "platforms whose time/batch\nstays below it keep "
+                "retrieval fully hidden (the horizontal line in Fig "
+                "20).\n\n", inference);
+    return 0;
+}

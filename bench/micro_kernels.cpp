@@ -1,0 +1,130 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the hot kernels: distance
+ * computation, top-k selection, codec scans, and K-means assignment.
+ * These are the per-vector costs the at-scale cost model abstracts into
+ * scan_gbps_per_core.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cluster/kmeans.hpp"
+#include "quant/codec.hpp"
+#include "util/rng.hpp"
+#include "vecstore/distance.hpp"
+#include "vecstore/matrix.hpp"
+#include "vecstore/topk.hpp"
+
+namespace {
+
+using namespace hermes;
+
+vecstore::Matrix
+randomMatrix(std::size_t rows, std::size_t dim, std::uint64_t seed)
+{
+    util::Rng rng(seed);
+    vecstore::Matrix m(rows, dim);
+    for (std::size_t i = 0; i < rows; ++i) {
+        auto row = m.row(i);
+        for (std::size_t j = 0; j < dim; ++j)
+            row[j] = static_cast<float>(rng.gaussian());
+    }
+    return m;
+}
+
+void
+BM_L2Distance(benchmark::State &state)
+{
+    const auto dim = static_cast<std::size_t>(state.range(0));
+    auto data = randomMatrix(2, dim, 1);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(vecstore::l2Sq(data.row(0).data(),
+                                                data.row(1).data(), dim));
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            dim * sizeof(float) * 2);
+}
+BENCHMARK(BM_L2Distance)->Arg(96)->Arg(768);
+
+void
+BM_DotProduct(benchmark::State &state)
+{
+    const auto dim = static_cast<std::size_t>(state.range(0));
+    auto data = randomMatrix(2, dim, 2);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(vecstore::dot(data.row(0).data(),
+                                               data.row(1).data(), dim));
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            dim * sizeof(float) * 2);
+}
+BENCHMARK(BM_DotProduct)->Arg(96)->Arg(768);
+
+void
+BM_TopKSelection(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    util::Rng rng(3);
+    std::vector<float> scores(n);
+    for (auto &s : scores)
+        s = static_cast<float>(rng.uniform());
+    for (auto _ : state) {
+        vecstore::TopK selector(10);
+        for (std::size_t i = 0; i < n; ++i)
+            selector.push(static_cast<vecstore::VecId>(i), scores[i]);
+        benchmark::DoNotOptimize(selector.take());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            n);
+}
+BENCHMARK(BM_TopKSelection)->Arg(1024)->Arg(65536);
+
+void
+BM_CodecScan(benchmark::State &state, const std::string &spec)
+{
+    const std::size_t dim = 96;
+    const std::size_t n = 4096;
+    auto data = randomMatrix(n, dim, 4);
+    auto codec = quant::makeCodec(spec, dim);
+    codec->train(data);
+
+    std::vector<std::uint8_t> codes(n * codec->codeSize());
+    for (std::size_t i = 0; i < n; ++i)
+        codec->encode(data.row(i), codes.data() + i * codec->codeSize());
+
+    auto query = randomMatrix(1, dim, 5);
+    for (auto _ : state) {
+        auto computer = codec->distanceComputer(vecstore::Metric::L2,
+                                                query.row(0));
+        float acc = 0.f;
+        for (std::size_t i = 0; i < n; ++i)
+            acc += (*computer)(codes.data() + i * codec->codeSize());
+        benchmark::DoNotOptimize(acc);
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            n * codec->codeSize());
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            n);
+}
+BENCHMARK_CAPTURE(BM_CodecScan, Flat, "Flat");
+BENCHMARK_CAPTURE(BM_CodecScan, SQ8, "SQ8");
+BENCHMARK_CAPTURE(BM_CodecScan, SQ4, "SQ4");
+BENCHMARK_CAPTURE(BM_CodecScan, PQ16, "PQ16");
+
+void
+BM_KMeansAssign(benchmark::State &state)
+{
+    auto data = randomMatrix(4096, 32, 6);
+    auto centroids = randomMatrix(64, 32, 7);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            cluster::assignToCentroids(data, centroids));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            4096);
+}
+BENCHMARK(BM_KMeansAssign);
+
+} // namespace
+
+BENCHMARK_MAIN();

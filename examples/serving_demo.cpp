@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Online serving demo: stands up the threaded Hermes broker (one worker
+ * per cluster node), drives it with concurrent client threads, and prints
+ * per-node load — the deployment shape of Fig 9 in miniature.
+ *
+ * Usage: serving_demo [num_docs] [clients] [queries_per_client]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+#include "hermes/hermes.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace hermes;
+    util::setQuiet(true);
+
+    std::size_t num_docs =
+        argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 20000;
+    std::size_t clients = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 4;
+    std::size_t per_client =
+        argc > 3 ? std::strtoul(argv[3], nullptr, 10) : 64;
+
+    // Build the distributed store.
+    workload::CorpusConfig cc;
+    cc.num_docs = num_docs;
+    cc.dim = 32;
+    cc.num_topics = 30;
+    auto corpus = workload::generateCorpus(cc);
+
+    core::HermesConfig config;
+    config.num_clusters = 10;
+    config.clusters_to_search = 3;
+    config.sample_nprobe = 4;
+    config.deep_nprobe = 32;
+    config.partition.seeds_to_try = 3;
+    auto store = core::DistributedStore::build(corpus.embeddings, config);
+
+    workload::QueryConfig qc;
+    qc.num_queries = clients * per_client;
+    qc.topic_zipf = 1.0;
+    auto queries = workload::generateQueries(corpus, qc);
+
+    // Stand up the broker and hammer it from concurrent clients.
+    serve::HermesBroker broker(store);
+    std::printf("serving %zu vectors over %zu node workers; %zu clients x "
+                "%zu queries\n", store.totalVectors(), broker.numNodes(),
+                clients, per_client);
+
+    util::Timer wall;
+    std::vector<std::thread> threads;
+    std::vector<double> client_seconds(clients, 0.0);
+    for (std::size_t t = 0; t < clients; ++t) {
+        threads.emplace_back([&, t] {
+            util::Timer timer;
+            for (std::size_t i = 0; i < per_client; ++i) {
+                std::size_t q = t * per_client + i;
+                broker.search(queries.embeddings.row(q), 5);
+            }
+            client_seconds[t] = timer.elapsedSeconds();
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+    double elapsed = wall.elapsedSeconds();
+
+    auto stats = broker.stats();
+    std::printf("\nserved %llu queries in %.3f s => %.0f QPS aggregate\n",
+                static_cast<unsigned long long>(stats.queries), elapsed,
+                static_cast<double>(stats.queries) / elapsed);
+    std::printf("deep requests: %llu (%.2f clusters/query)\n\n",
+                static_cast<unsigned long long>(stats.deep_requests),
+                static_cast<double>(stats.deep_requests) /
+                    static_cast<double>(stats.queries));
+
+    std::printf("%-6s %-10s %-10s %-10s %-12s\n", "node", "shard", "reqs",
+                "batches", "busy (ms)");
+    for (std::size_t c = 0; c < stats.nodes.size(); ++c) {
+        const auto &node = stats.nodes[c];
+        std::printf("%-6zu %-10zu %-10llu %-10llu %-12.1f\n", c,
+                    store.clusterSize(c),
+                    static_cast<unsigned long long>(node.requests),
+                    static_cast<unsigned long long>(node.batches),
+                    node.busy_seconds * 1e3);
+    }
+    std::printf("\nZipf-popular topics load their home nodes harder — the "
+                "access imbalance of\nFig 13, live. Compare 'reqs' across "
+                "nodes: sampling adds a uniform floor of one\nrequest per "
+                "query per node; the surplus is deep-search skew.\n");
+    return 0;
+}

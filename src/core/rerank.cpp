@@ -1,0 +1,36 @@
+#include "core/rerank.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+#include "vecstore/distance.hpp"
+
+namespace hermes {
+namespace core {
+
+vecstore::HitList
+rerankByInnerProduct(const vecstore::Matrix &data, vecstore::VecView query,
+                     const vecstore::HitList &hits)
+{
+    vecstore::HitList out;
+    out.reserve(hits.size());
+    for (const auto &hit : hits) {
+        HERMES_ASSERT(hit.id >= 0 &&
+                      static_cast<std::size_t>(hit.id) < data.rows(),
+                      "rerank: hit id ", hit.id, " outside datastore");
+        float ip = vecstore::dot(query.data(),
+                                 data.row(static_cast<std::size_t>(
+                                     hit.id)).data(),
+                                 data.dim());
+        out.push_back({hit.id, -ip});
+    }
+    std::sort(out.begin(), out.end(), [](const auto &a, const auto &b) {
+        if (a.score != b.score)
+            return a.score < b.score;
+        return a.id < b.id;
+    });
+    return out;
+}
+
+} // namespace core
+} // namespace hermes

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Final document reranking (paper §5): after retrieval, the nearest chunk
+ * of the k retrieved is selected by inner-product distance with the query
+ * vector and prepended to the prompt.
+ */
+
+#pragma once
+
+#include "vecstore/matrix.hpp"
+#include "vecstore/types.hpp"
+
+namespace hermes {
+namespace core {
+
+/**
+ * Rerank @p hits by exact inner product between @p query and the original
+ * full-precision embeddings in @p data (hit ids are row indices).
+ * Returns a new list, highest inner product first.
+ */
+vecstore::HitList rerankByInnerProduct(const vecstore::Matrix &data,
+                                       vecstore::VecView query,
+                                       const vecstore::HitList &hits);
+
+} // namespace core
+} // namespace hermes

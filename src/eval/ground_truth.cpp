@@ -1,0 +1,22 @@
+#include "eval/ground_truth.hpp"
+
+#include "index/flat_index.hpp"
+#include "util/logging.hpp"
+
+namespace hermes {
+namespace eval {
+
+std::vector<vecstore::HitList>
+exactGroundTruth(const vecstore::Matrix &base,
+                 const vecstore::Matrix &queries, std::size_t k,
+                 vecstore::Metric metric)
+{
+    HERMES_ASSERT(base.dim() == queries.dim(),
+                  "ground truth: dim mismatch");
+    index::FlatIndex flat(base.dim(), metric);
+    flat.addSequential(base);
+    return flat.searchBatch(queries, k);
+}
+
+} // namespace eval
+} // namespace hermes

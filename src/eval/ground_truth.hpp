@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Exhaustive-search ground truth (the paper's NDCG reference).
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "vecstore/matrix.hpp"
+#include "vecstore/types.hpp"
+
+namespace hermes {
+namespace eval {
+
+/**
+ * Exact top-k neighbors for every query by brute-force search.
+ *
+ * @param base    Datastore embeddings (external id = row index).
+ * @param queries Query embeddings.
+ * @param k       Neighbors per query.
+ * @param metric  Distance metric.
+ * @return One best-first hit list per query.
+ */
+std::vector<vecstore::HitList>
+exactGroundTruth(const vecstore::Matrix &base,
+                 const vecstore::Matrix &queries, std::size_t k,
+                 vecstore::Metric metric);
+
+} // namespace eval
+} // namespace hermes

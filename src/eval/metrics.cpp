@@ -1,0 +1,91 @@
+#include "eval/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/logging.hpp"
+
+namespace hermes {
+namespace eval {
+
+double
+recallAtK(const vecstore::HitList &retrieved,
+          const vecstore::HitList &ground_truth, std::size_t k)
+{
+    HERMES_ASSERT(k > 0, "recall@k needs k > 0");
+    std::unordered_set<vecstore::VecId> truth;
+    for (std::size_t i = 0; i < std::min(k, ground_truth.size()); ++i)
+        truth.insert(ground_truth[i].id);
+    if (truth.empty())
+        return 0.0;
+
+    std::size_t found = 0;
+    for (std::size_t i = 0; i < std::min(k, retrieved.size()); ++i) {
+        if (truth.count(retrieved[i].id))
+            ++found;
+    }
+    return static_cast<double>(found) / static_cast<double>(truth.size());
+}
+
+double
+ndcgAtK(const vecstore::HitList &retrieved,
+        const vecstore::HitList &ground_truth, std::size_t k)
+{
+    HERMES_ASSERT(k > 0, "NDCG@k needs k > 0");
+    const std::size_t gt = std::min(k, ground_truth.size());
+    if (gt == 0)
+        return 0.0;
+
+    // Graded relevance: best ground-truth hit carries relevance gt, the
+    // next gt-1, etc.
+    std::unordered_map<vecstore::VecId, double> relevance;
+    double ideal = 0.0;
+    for (std::size_t r = 0; r < gt; ++r) {
+        double rel = static_cast<double>(gt - r);
+        relevance[ground_truth[r].id] = rel;
+        ideal += rel / std::log2(static_cast<double>(r) + 2.0);
+    }
+
+    double dcg = 0.0;
+    for (std::size_t i = 0; i < std::min(k, retrieved.size()); ++i) {
+        auto it = relevance.find(retrieved[i].id);
+        if (it != relevance.end())
+            dcg += it->second / std::log2(static_cast<double>(i) + 2.0);
+    }
+    return dcg / ideal;
+}
+
+double
+meanRecallAtK(const std::vector<vecstore::HitList> &retrieved,
+              const std::vector<vecstore::HitList> &ground_truth,
+              std::size_t k)
+{
+    HERMES_ASSERT(retrieved.size() == ground_truth.size(),
+                  "metric: query count mismatch");
+    if (retrieved.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (std::size_t q = 0; q < retrieved.size(); ++q)
+        acc += recallAtK(retrieved[q], ground_truth[q], k);
+    return acc / static_cast<double>(retrieved.size());
+}
+
+double
+meanNdcgAtK(const std::vector<vecstore::HitList> &retrieved,
+            const std::vector<vecstore::HitList> &ground_truth,
+            std::size_t k)
+{
+    HERMES_ASSERT(retrieved.size() == ground_truth.size(),
+                  "metric: query count mismatch");
+    if (retrieved.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (std::size_t q = 0; q < retrieved.size(); ++q)
+        acc += ndcgAtK(retrieved[q], ground_truth[q], k);
+    return acc / static_cast<double>(retrieved.size());
+}
+
+} // namespace eval
+} // namespace hermes

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Retrieval quality metrics (paper §5).
+ *
+ * The paper scores retrieval with Normalized Discounted Cumulative Gain
+ * against an exhaustive brute-force ground truth, plus recall for the
+ * quantization study (Table 1).
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "vecstore/types.hpp"
+
+namespace hermes {
+namespace eval {
+
+/**
+ * recall@k: fraction of ground-truth top-k ids present in the retrieved
+ * list (order-insensitive).
+ */
+double recallAtK(const vecstore::HitList &retrieved,
+                 const vecstore::HitList &ground_truth, std::size_t k);
+
+/**
+ * NDCG@k with graded relevance derived from the ground-truth ranking:
+ * the r-th ground-truth result carries relevance (k - r), so both the
+ * presence and the ordering of retrieved documents are rewarded.
+ */
+double ndcgAtK(const vecstore::HitList &retrieved,
+               const vecstore::HitList &ground_truth, std::size_t k);
+
+/** Mean recall@k over a query set. */
+double meanRecallAtK(const std::vector<vecstore::HitList> &retrieved,
+                     const std::vector<vecstore::HitList> &ground_truth,
+                     std::size_t k);
+
+/** Mean NDCG@k over a query set. */
+double meanNdcgAtK(const std::vector<vecstore::HitList> &retrieved,
+                   const std::vector<vecstore::HitList> &ground_truth,
+                   std::size_t k);
+
+} // namespace eval
+} // namespace hermes

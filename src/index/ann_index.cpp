@@ -1,0 +1,52 @@
+#include "index/ann_index.hpp"
+
+#include "util/logging.hpp"
+
+namespace hermes {
+namespace index {
+
+void
+AnnIndex::addSequential(const vecstore::Matrix &data)
+{
+    std::vector<vecstore::VecId> ids(data.rows());
+    vecstore::VecId base = static_cast<vecstore::VecId>(size());
+    for (std::size_t i = 0; i < ids.size(); ++i)
+        ids[i] = base + static_cast<vecstore::VecId>(i);
+    add(data, ids);
+}
+
+std::vector<vecstore::HitList>
+AnnIndex::searchBatch(const vecstore::Matrix &queries, std::size_t k,
+                      const SearchParams &params, SearchStats *stats) const
+{
+    HERMES_ASSERT(queries.dim() == dim(), "query dim ", queries.dim(),
+                  " does not match index dim ", dim());
+    std::vector<vecstore::HitList> results(queries.rows());
+    for (std::size_t i = 0; i < queries.rows(); ++i)
+        results[i] = search(queries.row(i), k, params, stats);
+    return results;
+}
+
+std::vector<vecstore::HitList>
+AnnIndex::searchBatchParallel(const vecstore::Matrix &queries, std::size_t k,
+                              util::ThreadPool &pool,
+                              const SearchParams &params,
+                              SearchStats *stats) const
+{
+    HERMES_ASSERT(queries.dim() == dim(), "query dim ", queries.dim(),
+                  " does not match index dim ", dim());
+    std::vector<vecstore::HitList> results(queries.rows());
+    std::vector<SearchStats> per_query(stats ? queries.rows() : 0);
+    pool.parallelFor(queries.rows(), [&](std::size_t i) {
+        results[i] = search(queries.row(i), k, params,
+                            stats ? &per_query[i] : nullptr);
+    });
+    if (stats) {
+        for (const auto &s : per_query)
+            stats->merge(s);
+    }
+    return results;
+}
+
+} // namespace index
+} // namespace hermes

@@ -1,0 +1,73 @@
+#include "index/flat_index.hpp"
+
+#include "util/logging.hpp"
+#include "vecstore/distance.hpp"
+#include "vecstore/topk.hpp"
+
+namespace hermes {
+namespace index {
+
+FlatIndex::FlatIndex(std::size_t dim, vecstore::Metric metric)
+    : data_(dim), metric_(metric)
+{
+    HERMES_ASSERT(dim > 0, "FlatIndex needs dim > 0");
+}
+
+void
+FlatIndex::train(const vecstore::Matrix &)
+{
+}
+
+void
+FlatIndex::add(const vecstore::Matrix &data,
+               const std::vector<vecstore::VecId> &ids)
+{
+    HERMES_ASSERT(data.rows() == ids.size(),
+                  "add: row/id count mismatch");
+    HERMES_ASSERT(data.dim() == data_.dim(), "add: dim mismatch");
+    data_.appendRows(data.data(), data.rows());
+    ids_.insert(ids_.end(), ids.begin(), ids.end());
+}
+
+vecstore::HitList
+FlatIndex::search(vecstore::VecView query, std::size_t k,
+                  const SearchParams &, SearchStats *stats) const
+{
+    HERMES_ASSERT(query.size() == data_.dim(), "search: dim mismatch");
+    const std::size_t n = data_.rows();
+    vecstore::TopK selector(std::max<std::size_t>(k, 1));
+    for (std::size_t i = 0; i < n; ++i) {
+        float score = vecstore::distance(metric_, query.data(),
+                                         data_.row(i).data(), data_.dim());
+        selector.push(ids_[i], score);
+    }
+    if (stats) {
+        stats->vectors_scanned += n;
+        stats->distance_computations += n;
+        stats->bytes_scanned += n * data_.dim() * sizeof(float);
+        stats->lists_probed += 1;
+    }
+    auto hits = selector.take();
+    if (hits.size() > k)
+        hits.resize(k);
+    return hits;
+}
+
+std::size_t
+FlatIndex::memoryBytes() const
+{
+    return data_.memoryBytes() + ids_.size() * sizeof(vecstore::VecId);
+}
+
+vecstore::VecView
+FlatIndex::vectorById(vecstore::VecId id) const
+{
+    for (std::size_t i = 0; i < ids_.size(); ++i) {
+        if (ids_[i] == id)
+            return data_.row(i);
+    }
+    HERMES_PANIC("vectorById: unknown id ", id);
+}
+
+} // namespace index
+} // namespace hermes

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Exact brute-force index — the ground-truth oracle for every accuracy
+ * experiment (the paper evaluates NDCG against exhaustive search).
+ */
+
+#pragma once
+
+#include "index/ann_index.hpp"
+
+namespace hermes {
+namespace index {
+
+/** Brute-force exact index over raw float32. */
+class FlatIndex : public AnnIndex
+{
+  public:
+    FlatIndex(std::size_t dim, vecstore::Metric metric);
+
+    std::size_t dim() const override { return data_.dim(); }
+    std::size_t size() const override { return data_.rows(); }
+    vecstore::Metric metric() const override { return metric_; }
+    bool isTrained() const override { return true; }
+    void train(const vecstore::Matrix &data) override;
+    void add(const vecstore::Matrix &data,
+             const std::vector<vecstore::VecId> &ids) override;
+    vecstore::HitList search(vecstore::VecView query, std::size_t k,
+                             const SearchParams &params = {},
+                             SearchStats *stats = nullptr) const override;
+    std::size_t memoryBytes() const override;
+    std::string name() const override { return "Flat"; }
+
+    /** Stored vector for external id lookup (linear scan of ids). */
+    vecstore::VecView vectorById(vecstore::VecId id) const;
+
+  private:
+    vecstore::Matrix data_;
+    std::vector<vecstore::VecId> ids_;
+    vecstore::Metric metric_;
+};
+
+} // namespace index
+} // namespace hermes

@@ -1,0 +1,303 @@
+#include "index/hnsw_index.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "util/logging.hpp"
+#include "vecstore/distance.hpp"
+
+namespace hermes {
+namespace index {
+
+namespace {
+
+/** splitmix64 step for level assignment. */
+std::uint64_t
+nextRand(std::uint64_t &state)
+{
+    state += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+HnswIndex::HnswIndex(std::size_t dim, vecstore::Metric metric,
+                     const HnswConfig &config)
+    : data_(dim), metric_(metric), config_(config), rng_state_(config.seed)
+{
+    HERMES_ASSERT(dim > 0, "HnswIndex needs dim > 0");
+    HERMES_ASSERT(config_.m >= 2, "HNSW needs M >= 2");
+}
+
+void
+HnswIndex::train(const vecstore::Matrix &)
+{
+}
+
+int
+HnswIndex::randomLevel()
+{
+    double mult = 1.0 / std::log(static_cast<double>(config_.m));
+    double u = static_cast<double>(nextRand(rng_state_) >> 11) * 0x1.0p-53;
+    u = std::max(u, 1e-12);
+    return static_cast<int>(-std::log(u) * mult);
+}
+
+float
+HnswIndex::nodeDistance(vecstore::VecView query, std::uint32_t node) const
+{
+    return vecstore::distance(metric_, query.data(), data_.row(node).data(),
+                              data_.dim());
+}
+
+std::uint32_t
+HnswIndex::greedyDescend(vecstore::VecView query, int from_level,
+                         int target_level, SearchStats *stats) const
+{
+    std::uint32_t current = entry_point_;
+    float current_dist = nodeDistance(query, current);
+    std::uint64_t evals = 1;
+    for (int level = from_level; level > target_level; --level) {
+        bool improved = true;
+        while (improved) {
+            improved = false;
+            for (std::uint32_t neighbor : nodes_[current].links[level]) {
+                float dd = nodeDistance(query, neighbor);
+                ++evals;
+                if (dd < current_dist) {
+                    current_dist = dd;
+                    current = neighbor;
+                    improved = true;
+                }
+            }
+        }
+    }
+    if (stats) {
+        stats->distance_computations += evals;
+        stats->vectors_scanned += evals;
+        stats->bytes_scanned += evals * data_.dim() * sizeof(float);
+    }
+    return current;
+}
+
+std::vector<HnswIndex::Candidate>
+HnswIndex::searchLayer(vecstore::VecView query, std::uint32_t entry,
+                       std::size_t ef, int layer, SearchStats *stats) const
+{
+    auto cmp_nearest = [](const Candidate &a, const Candidate &b) {
+        return a.dist > b.dist; // min-heap by distance
+    };
+    auto cmp_furthest = [](const Candidate &a, const Candidate &b) {
+        return a.dist < b.dist; // max-heap by distance
+    };
+
+    if (visit_stamp_.size() < nodes_.size())
+        visit_stamp_.resize(nodes_.size(), 0);
+    ++current_stamp_;
+
+    std::priority_queue<Candidate, std::vector<Candidate>,
+                        decltype(cmp_nearest)> candidates(cmp_nearest);
+    std::priority_queue<Candidate, std::vector<Candidate>,
+                        decltype(cmp_furthest)> best(cmp_furthest);
+
+    float entry_dist = nodeDistance(query, entry);
+    std::uint64_t evals = 1;
+    candidates.push({entry_dist, entry});
+    best.push({entry_dist, entry});
+    visit_stamp_[entry] = current_stamp_;
+
+    while (!candidates.empty()) {
+        Candidate c = candidates.top();
+        if (best.size() >= ef && c.dist > best.top().dist)
+            break;
+        candidates.pop();
+
+        for (std::uint32_t neighbor : nodes_[c.node].links[layer]) {
+            if (visit_stamp_[neighbor] == current_stamp_)
+                continue;
+            visit_stamp_[neighbor] = current_stamp_;
+            float dd = nodeDistance(query, neighbor);
+            ++evals;
+            if (best.size() < ef || dd < best.top().dist) {
+                candidates.push({dd, neighbor});
+                best.push({dd, neighbor});
+                if (best.size() > ef)
+                    best.pop();
+            }
+        }
+    }
+
+    if (stats) {
+        stats->distance_computations += evals;
+        stats->vectors_scanned += evals;
+        stats->bytes_scanned += evals * data_.dim() * sizeof(float);
+        stats->lists_probed += 1;
+    }
+
+    std::vector<Candidate> out;
+    out.resize(best.size());
+    for (std::size_t i = out.size(); i-- > 0;) {
+        out[i] = best.top();
+        best.pop();
+    }
+    return out;
+}
+
+std::vector<std::uint32_t>
+HnswIndex::selectNeighbors(vecstore::VecView query,
+                           const std::vector<Candidate> &candidates,
+                           std::size_t m) const
+{
+    // Heuristic neighbor selection (Malkov Alg. 4): prefer candidates that
+    // are closer to the query than to any already-selected neighbor, which
+    // keeps the graph navigable instead of forming tight cliques.
+    std::vector<std::uint32_t> selected;
+    selected.reserve(m);
+    for (const auto &c : candidates) {
+        if (selected.size() >= m)
+            break;
+        bool good = true;
+        for (std::uint32_t s : selected) {
+            float to_selected =
+                vecstore::distance(metric_, data_.row(c.node).data(),
+                                   data_.row(s).data(), data_.dim());
+            if (to_selected < c.dist) {
+                good = false;
+                break;
+            }
+        }
+        if (good)
+            selected.push_back(c.node);
+    }
+    // Backfill with nearest remaining candidates if the heuristic was too
+    // strict to reach m links.
+    for (const auto &c : candidates) {
+        if (selected.size() >= m)
+            break;
+        if (std::find(selected.begin(), selected.end(), c.node) ==
+            selected.end()) {
+            selected.push_back(c.node);
+        }
+    }
+    (void)query;
+    return selected;
+}
+
+void
+HnswIndex::add(const vecstore::Matrix &data,
+               const std::vector<vecstore::VecId> &ids)
+{
+    HERMES_ASSERT(data.rows() == ids.size(), "add: row/id count mismatch");
+    HERMES_ASSERT(data.dim() == data_.dim(), "add: dim mismatch");
+
+    for (std::size_t row = 0; row < data.rows(); ++row) {
+        auto v = data.row(row);
+        std::uint32_t node_idx = static_cast<std::uint32_t>(nodes_.size());
+        data_.append(v);
+
+        Node node;
+        node.id = ids[row];
+        node.level = randomLevel();
+        node.links.resize(node.level + 1);
+        nodes_.push_back(std::move(node));
+
+        if (node_idx == 0) {
+            max_level_ = nodes_[0].level;
+            entry_point_ = 0;
+            continue;
+        }
+
+        int level = nodes_[node_idx].level;
+        std::uint32_t entry = entry_point_;
+        if (max_level_ > level)
+            entry = greedyDescend(v, max_level_, level, nullptr);
+
+        for (int l = std::min(level, max_level_); l >= 0; --l) {
+            auto candidates = searchLayer(v, entry, config_.ef_construction,
+                                          l, nullptr);
+            std::size_t max_links = l == 0 ? config_.m * 2 : config_.m;
+            auto neighbors = selectNeighbors(v, candidates, config_.m);
+            nodes_[node_idx].links[l] = neighbors;
+
+            for (std::uint32_t neighbor : neighbors) {
+                auto &back = nodes_[neighbor].links[l];
+                back.push_back(node_idx);
+                if (back.size() > max_links) {
+                    // Re-prune the overfull neighbor's links.
+                    std::vector<Candidate> cands;
+                    cands.reserve(back.size());
+                    auto nv = data_.row(neighbor);
+                    for (std::uint32_t b : back) {
+                        cands.push_back(
+                            {vecstore::distance(metric_, nv.data(),
+                                                data_.row(b).data(),
+                                                data_.dim()),
+                             b});
+                    }
+                    std::sort(cands.begin(), cands.end(),
+                              [](const Candidate &a, const Candidate &b) {
+                                  return a.dist < b.dist;
+                              });
+                    back = selectNeighbors(nv, cands, max_links);
+                }
+            }
+            if (!candidates.empty())
+                entry = candidates.front().node;
+        }
+
+        if (level > max_level_) {
+            max_level_ = level;
+            entry_point_ = node_idx;
+        }
+    }
+}
+
+vecstore::HitList
+HnswIndex::search(vecstore::VecView query, std::size_t k,
+                  const SearchParams &params, SearchStats *stats) const
+{
+    HERMES_ASSERT(query.size() == data_.dim(), "search: dim mismatch");
+    if (nodes_.empty())
+        return {};
+
+    std::uint32_t entry = greedyDescend(query, max_level_, 0, stats);
+    std::size_t ef = std::max(params.ef_search, k);
+    auto candidates = searchLayer(query, entry, ef, 0, stats);
+
+    vecstore::HitList hits;
+    hits.reserve(std::min(k, candidates.size()));
+    for (const auto &c : candidates) {
+        if (hits.size() >= k)
+            break;
+        hits.push_back({nodes_[c.node].id, c.dist});
+    }
+    return hits;
+}
+
+std::size_t
+HnswIndex::memoryBytes() const
+{
+    // Full-precision vectors plus bidirectional link storage — the cost
+    // that makes HNSW impractical at trillion-token scale (paper §2.1).
+    std::size_t bytes = data_.memoryBytes();
+    for (const auto &node : nodes_) {
+        bytes += sizeof(Node);
+        for (const auto &links : node.links)
+            bytes += links.size() * sizeof(std::uint32_t) +
+                     sizeof(std::vector<std::uint32_t>);
+    }
+    return bytes;
+}
+
+std::string
+HnswIndex::name() const
+{
+    return "HNSW" + std::to_string(config_.m);
+}
+
+} // namespace index
+} // namespace hermes

@@ -1,0 +1,58 @@
+#include "index/ann_index.hpp"
+
+#include <cstdlib>
+
+#include "index/flat_index.hpp"
+#include "index/hnsw_index.hpp"
+#include "index/ivf_index.hpp"
+#include "util/logging.hpp"
+
+namespace hermes {
+namespace index {
+
+namespace {
+
+std::size_t
+parseNumber(const std::string &text, const std::string &spec)
+{
+    char *end = nullptr;
+    long value = std::strtol(text.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || value <= 0) {
+        HERMES_FATAL("bad number '", text, "' in index spec '", spec, "'");
+    }
+    return static_cast<std::size_t>(value);
+}
+
+} // namespace
+
+std::unique_ptr<AnnIndex>
+makeIndex(const std::string &spec, std::size_t dim, vecstore::Metric metric)
+{
+    if (spec == "Flat")
+        return std::make_unique<FlatIndex>(dim, metric);
+
+    if (spec.rfind("HNSW", 0) == 0) {
+        HnswConfig config;
+        config.m = parseNumber(spec.substr(4), spec);
+        return std::make_unique<HnswIndex>(dim, metric, config);
+    }
+
+    if (spec.rfind("IVF", 0) == 0) {
+        auto comma = spec.find(',');
+        IvfConfig config;
+        if (comma == std::string::npos) {
+            config.nlist = parseNumber(spec.substr(3), spec);
+            config.codec = "Flat";
+        } else {
+            config.nlist = parseNumber(spec.substr(3, comma - 3), spec);
+            config.codec = spec.substr(comma + 1);
+        }
+        return std::make_unique<IvfIndex>(dim, metric, config);
+    }
+
+    HERMES_FATAL("unknown index spec: '", spec,
+                 "' (expected Flat, IVF<nlist>[,codec] or HNSW<M>)");
+}
+
+} // namespace index
+} // namespace hermes

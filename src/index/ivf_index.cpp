@@ -1,0 +1,288 @@
+#include "index/ivf_index.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_set>
+
+#include "cluster/kmeans.hpp"
+#include "util/logging.hpp"
+#include "util/serialize.hpp"
+#include "vecstore/distance.hpp"
+#include "vecstore/topk.hpp"
+
+namespace hermes {
+namespace index {
+
+namespace {
+constexpr std::uint32_t kIvfVersion = 2;
+} // namespace
+
+IvfIndex::IvfIndex(std::size_t dim, vecstore::Metric metric,
+                   const IvfConfig &config)
+    : dim_(dim), metric_(metric), config_(config),
+      centroids_(dim), codec_(quant::makeCodec(config.codec, dim))
+{
+    HERMES_ASSERT(dim_ > 0, "IvfIndex needs dim > 0");
+    HERMES_ASSERT(config_.nlist > 0, "IvfIndex needs nlist > 0");
+    lists_.resize(config_.nlist);
+}
+
+std::size_t
+IvfIndex::suggestedNlist(std::size_t n)
+{
+    auto nlist = static_cast<std::size_t>(
+        std::sqrt(static_cast<double>(n)));
+    return std::max<std::size_t>(nlist, 1);
+}
+
+void
+IvfIndex::train(const vecstore::Matrix &data)
+{
+    HERMES_ASSERT(data.dim() == dim_, "train dim mismatch");
+    HERMES_ASSERT(data.rows() >= config_.nlist,
+                  "IVF training needs >= nlist points (", config_.nlist,
+                  "), got ", data.rows());
+
+    cluster::KMeansConfig km;
+    km.k = config_.nlist;
+    km.max_iterations = config_.train_iterations;
+    km.seed = config_.seed;
+    km.max_training_points = config_.max_training_points;
+    auto run = cluster::kmeans(data, km);
+    centroids_ = std::move(run.centroids);
+
+    if (config_.hnsw_coarse) {
+        HnswConfig hc;
+        hc.m = 16;
+        hc.ef_construction = 80;
+        coarse_graph_ = std::make_unique<HnswIndex>(dim_,
+                                                    vecstore::Metric::L2,
+                                                    hc);
+        coarse_graph_->addSequential(centroids_);
+    }
+
+    codec_->train(data);
+    trained_ = true;
+}
+
+void
+IvfIndex::add(const vecstore::Matrix &data,
+              const std::vector<vecstore::VecId> &ids)
+{
+    HERMES_ASSERT(trained_, "IvfIndex::add before train");
+    HERMES_ASSERT(data.rows() == ids.size(), "add: row/id count mismatch");
+    HERMES_ASSERT(data.dim() == dim_, "add: dim mismatch");
+
+    const std::size_t code_size = codec_->codeSize();
+    std::vector<std::uint8_t> code(code_size);
+    for (std::size_t i = 0; i < data.rows(); ++i) {
+        auto v = data.row(i);
+        std::uint32_t list = cluster::nearestCentroid(v, centroids_);
+        codec_->encode(v, code.data());
+        auto &il = lists_[list];
+        il.ids.push_back(ids[i]);
+        il.codes.insert(il.codes.end(), code.begin(), code.end());
+    }
+    ntotal_ += data.rows();
+}
+
+vecstore::HitList
+IvfIndex::search(vecstore::VecView query, std::size_t k,
+                 const SearchParams &params, SearchStats *stats) const
+{
+    HERMES_ASSERT(trained_, "IvfIndex::search before train");
+    HERMES_ASSERT(query.size() == dim_, "search: dim mismatch");
+
+    std::size_t nprobe = std::max<std::size_t>(params.nprobe, 1);
+    nprobe = std::min(nprobe, config_.nlist);
+
+    // Coarse step: rank centroids by L2 regardless of metric — K-means
+    // cells are Voronoi cells under L2 (FAISS does the same for IP via
+    // normalized data; we keep L2 cell selection which is exact for the
+    // normalized embeddings RAG encoders produce). With hnsw_coarse the
+    // linear scan is replaced by a graph walk over the centroids.
+    vecstore::HitList probe;
+    std::uint64_t coarse_evals = config_.nlist;
+    if (coarse_graph_) {
+        SearchParams coarse_params;
+        coarse_params.ef_search = nprobe + 16;
+        SearchStats coarse_stats;
+        probe = coarse_graph_->search(query, nprobe, coarse_params,
+                                      &coarse_stats);
+        coarse_evals = coarse_stats.distance_computations;
+    } else {
+        vecstore::TopK coarse(nprobe);
+        for (std::size_t c = 0; c < config_.nlist; ++c) {
+            coarse.push(static_cast<vecstore::VecId>(c),
+                        vecstore::l2Sq(query.data(),
+                                       centroids_.row(c).data(), dim_));
+        }
+        probe = coarse.take();
+    }
+
+    auto computer = codec_->distanceComputer(metric_, query);
+    const std::size_t code_size = codec_->codeSize();
+
+    vecstore::TopK selector(std::max<std::size_t>(k, 1));
+    std::uint64_t scanned = 0;
+    std::uint64_t probed = 0;
+    // SPANN-style pruning: skip candidate lists whose centroid distance
+    // exceeds prune_ratio x the best centroid distance (probe list comes
+    // out of the coarse selector best-first, so we can stop early).
+    const float prune_bound =
+        params.prune_ratio > 0.0 && !probe.empty()
+            ? static_cast<float>(params.prune_ratio) * probe.front().score
+            : std::numeric_limits<float>::max();
+    for (const auto &candidate : probe) {
+        if (candidate.score > prune_bound)
+            break;
+        const auto &il = lists_[static_cast<std::size_t>(candidate.id)];
+        const std::uint8_t *codes = il.codes.data();
+        for (std::size_t i = 0; i < il.ids.size(); ++i) {
+            float score = (*computer)(codes + i * code_size);
+            selector.push(il.ids[i], score);
+        }
+        scanned += il.ids.size();
+        ++probed;
+    }
+
+    if (stats) {
+        stats->lists_probed += probed;
+        stats->vectors_scanned += scanned;
+        stats->distance_computations += scanned + coarse_evals;
+        stats->bytes_scanned += scanned * code_size;
+    }
+
+    auto hits = selector.take();
+    if (hits.size() > k)
+        hits.resize(k);
+    return hits;
+}
+
+std::size_t
+IvfIndex::memoryBytes() const
+{
+    std::size_t bytes = centroids_.memoryBytes();
+    for (const auto &il : lists_) {
+        bytes += il.ids.size() * sizeof(vecstore::VecId);
+        bytes += il.codes.size();
+    }
+    return bytes;
+}
+
+std::string
+IvfIndex::name() const
+{
+    return "IVF" + std::to_string(config_.nlist) + "," + codec_->name();
+}
+
+std::size_t
+IvfIndex::removeIds(const std::vector<vecstore::VecId> &ids)
+{
+    std::unordered_set<vecstore::VecId> doomed(ids.begin(), ids.end());
+    const std::size_t code_size = codec_->codeSize();
+    std::size_t removed = 0;
+    for (auto &il : lists_) {
+        std::size_t write = 0;
+        for (std::size_t read = 0; read < il.ids.size(); ++read) {
+            if (doomed.count(il.ids[read])) {
+                ++removed;
+                continue;
+            }
+            if (write != read) {
+                il.ids[write] = il.ids[read];
+                std::copy(il.codes.begin() +
+                              static_cast<std::ptrdiff_t>(read * code_size),
+                          il.codes.begin() +
+                              static_cast<std::ptrdiff_t>((read + 1) *
+                                                          code_size),
+                          il.codes.begin() +
+                              static_cast<std::ptrdiff_t>(write *
+                                                          code_size));
+            }
+            ++write;
+        }
+        il.ids.resize(write);
+        il.codes.resize(write * code_size);
+    }
+    ntotal_ -= removed;
+    return removed;
+}
+
+std::size_t
+IvfIndex::listSize(std::size_t list) const
+{
+    HERMES_ASSERT(list < lists_.size(), "listSize: bad list ", list);
+    return lists_[list].ids.size();
+}
+
+void
+IvfIndex::save(const std::string &path) const
+{
+    util::BinaryWriter w(path, "HIVF", kIvfVersion);
+    w.write<std::uint64_t>(dim_);
+    w.write<std::uint8_t>(metric_ == vecstore::Metric::L2 ? 0 : 1);
+    w.write<std::uint64_t>(config_.nlist);
+    w.writeString(config_.codec);
+    w.write<std::uint8_t>(config_.hnsw_coarse ? 1 : 0);
+    w.write<std::uint8_t>(trained_ ? 1 : 0);
+    w.write<std::uint64_t>(ntotal_);
+    w.write<std::uint64_t>(centroids_.rows());
+    for (std::size_t i = 0; i < centroids_.rows(); ++i) {
+        auto row = centroids_.row(i);
+        std::vector<float> tmp(row.begin(), row.end());
+        w.writeVector(tmp);
+    }
+    codec_->save(w);
+    for (const auto &il : lists_) {
+        w.writeVector(il.ids);
+        w.writeVector(il.codes);
+    }
+    HERMES_ASSERT(w.good(), "IVF save failed: ", path);
+}
+
+std::unique_ptr<IvfIndex>
+IvfIndex::load(const std::string &path)
+{
+    util::BinaryReader r(path, "HIVF", kIvfVersion);
+    auto dim = r.read<std::uint64_t>();
+    auto metric = r.read<std::uint8_t>() == 0 ? vecstore::Metric::L2
+                                              : vecstore::Metric::InnerProduct;
+    IvfConfig config;
+    config.nlist = r.read<std::uint64_t>();
+    config.codec = r.readString();
+    config.hnsw_coarse = r.read<std::uint8_t>() != 0;
+
+    auto idx = std::make_unique<IvfIndex>(static_cast<std::size_t>(dim),
+                                          metric, config);
+    idx->trained_ = r.read<std::uint8_t>() != 0;
+    idx->ntotal_ = r.read<std::uint64_t>();
+    auto n_centroids = r.read<std::uint64_t>();
+    idx->centroids_ = vecstore::Matrix(idx->dim_);
+    idx->centroids_.reserveRows(n_centroids);
+    for (std::uint64_t i = 0; i < n_centroids; ++i) {
+        auto row = r.readVector<float>();
+        idx->centroids_.append(
+            vecstore::VecView(row.data(), row.size()));
+    }
+    idx->codec_->load(r);
+    for (auto &il : idx->lists_) {
+        il.ids = r.readVector<vecstore::VecId>();
+        il.codes = r.readVector<std::uint8_t>();
+    }
+    if (config.hnsw_coarse && idx->trained_) {
+        // The centroid graph is cheap to rebuild relative to its
+        // serialized size; reconstruct it deterministically on load.
+        HnswConfig hc;
+        hc.m = 16;
+        hc.ef_construction = 80;
+        idx->coarse_graph_ = std::make_unique<HnswIndex>(
+            idx->dim_, vecstore::Metric::L2, hc);
+        idx->coarse_graph_->addSequential(idx->centroids_);
+    }
+    return idx;
+}
+
+} // namespace index
+} // namespace hermes

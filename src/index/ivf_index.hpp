@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Inverted File (IVF) index — the retrieval workhorse of the paper.
+ *
+ * Training clusters the datastore into nlist cells with K-means; each cell
+ * holds the codec-compressed vectors assigned to it. A search probes the
+ * nProbe cells whose centroids are nearest to the query and scans only
+ * their codes, trading accuracy for latency via nProbe (paper §2.1).
+ */
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "index/ann_index.hpp"
+#include "index/hnsw_index.hpp"
+#include "quant/codec.hpp"
+
+namespace hermes {
+namespace index {
+
+/** IVF construction parameters. */
+struct IvfConfig
+{
+    /** Number of inverted lists (paper default: sqrt(N)). */
+    std::size_t nlist = 64;
+
+    /** Codec spec for stored vectors ("Flat", "SQ8", "SQ4", "PQ<M>"...). */
+    std::string codec = "SQ8";
+
+    /** K-means iterations for the coarse quantizer. */
+    std::size_t train_iterations = 15;
+
+    /** K-means seed. */
+    std::uint64_t seed = 7;
+
+    /** Cap coarse-quantizer training points (0 = all). */
+    std::size_t max_training_points = 0;
+
+    /**
+     * Route the coarse step through an HNSW graph over the centroids
+     * instead of a linear scan — the standard FAISS "IVF_HNSW" recipe
+     * for large nlist, where the O(nlist) centroid scan starts to rival
+     * the list scans themselves.
+     */
+    bool hnsw_coarse = false;
+};
+
+/** IVF index with pluggable vector codec. */
+class IvfIndex : public AnnIndex
+{
+  public:
+    /**
+     * @param dim    Embedding dimensionality.
+     * @param metric Distance metric.
+     * @param config Construction parameters.
+     */
+    IvfIndex(std::size_t dim, vecstore::Metric metric,
+             const IvfConfig &config);
+
+    std::size_t dim() const override { return dim_; }
+    std::size_t size() const override { return ntotal_; }
+    vecstore::Metric metric() const override { return metric_; }
+    bool isTrained() const override { return trained_; }
+    void train(const vecstore::Matrix &data) override;
+    void add(const vecstore::Matrix &data,
+             const std::vector<vecstore::VecId> &ids) override;
+    vecstore::HitList search(vecstore::VecView query, std::size_t k,
+                             const SearchParams &params = {},
+                             SearchStats *stats = nullptr) const override;
+    std::size_t memoryBytes() const override;
+    std::string name() const override;
+
+    std::size_t nlist() const { return config_.nlist; }
+
+    /** Centroids of the coarse quantizer (nlist x dim). */
+    const vecstore::Matrix &centroids() const { return centroids_; }
+
+    /** Entries in inverted list @p list. */
+    std::size_t listSize(std::size_t list) const;
+
+    /**
+     * Remove vectors by external id (RAG datastores are mutable — stale
+     * documents get evicted as the corpus evolves, §1).
+     * @return Number of vectors actually removed.
+     */
+    std::size_t removeIds(const std::vector<vecstore::VecId> &ids);
+
+    /** Persist the full index (codec parameters + lists) to @p path. */
+    void save(const std::string &path) const;
+
+    /** Load an index previously written by save(). */
+    static std::unique_ptr<IvfIndex> load(const std::string &path);
+
+    /**
+     * Suggested nlist for a datastore of @p n vectors: the paper uses
+     * nlist ~ sqrt(N).
+     */
+    static std::size_t suggestedNlist(std::size_t n);
+
+  private:
+    struct InvertedList
+    {
+        std::vector<vecstore::VecId> ids;
+        std::vector<std::uint8_t> codes; // ids.size() * codeSize bytes
+    };
+
+    std::size_t dim_;
+    vecstore::Metric metric_;
+    IvfConfig config_;
+    bool trained_ = false;
+    std::size_t ntotal_ = 0;
+    vecstore::Matrix centroids_;
+    std::unique_ptr<quant::Codec> codec_;
+    std::unique_ptr<HnswIndex> coarse_graph_; ///< set when hnsw_coarse
+    std::vector<InvertedList> lists_;
+};
+
+} // namespace index
+} // namespace hermes

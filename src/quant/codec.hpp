@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Vector codec interface (Table 1 of the paper).
+ *
+ * A codec compresses float32 embeddings into fixed-size codes and answers
+ * asymmetric distance queries (float query vs compressed database vector).
+ * IVF lists store codes, so the codec choice sets both the index's memory
+ * footprint and its scan cost.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "util/serialize.hpp"
+#include "vecstore/matrix.hpp"
+#include "vecstore/types.hpp"
+
+namespace hermes {
+namespace quant {
+
+/**
+ * Per-query distance evaluator over codes.
+ *
+ * Codecs return a specialized computer (e.g. PQ lookup tables) so the hot
+ * scan loop does no virtual dispatch per dimension.
+ */
+class DistanceComputer
+{
+  public:
+    virtual ~DistanceComputer() = default;
+
+    /** Distance ("smaller = closer") from the bound query to @p code. */
+    virtual float operator()(const std::uint8_t *code) const = 0;
+};
+
+/** Abstract vector codec. */
+class Codec
+{
+  public:
+    virtual ~Codec() = default;
+
+    /** Embedding dimensionality. */
+    virtual std::size_t dim() const = 0;
+
+    /** Bytes per encoded vector. */
+    virtual std::size_t codeSize() const = 0;
+
+    /** True once train() has run (or training is unnecessary). */
+    virtual bool isTrained() const = 0;
+
+    /** Fit codec parameters on a representative sample. */
+    virtual void train(const vecstore::Matrix &data) = 0;
+
+    /** Encode one vector into codeSize() bytes at @p code. */
+    virtual void encode(vecstore::VecView v, std::uint8_t *code) const = 0;
+
+    /** Decode codeSize() bytes into a float vector. */
+    virtual void decode(const std::uint8_t *code,
+                        vecstore::MutVecView out) const = 0;
+
+    /**
+     * Build a distance computer for @p query under @p metric.
+     * The view must outlive the computer.
+     */
+    virtual std::unique_ptr<DistanceComputer>
+    distanceComputer(vecstore::Metric metric,
+                     vecstore::VecView query) const = 0;
+
+    /** Codec spec name, e.g. "SQ8", "PQ32". */
+    virtual std::string name() const = 0;
+
+    /** Serialize codec parameters. */
+    virtual void save(util::BinaryWriter &w) const = 0;
+
+    /** Deserialize codec parameters (must match constructed shape). */
+    virtual void load(util::BinaryReader &r) = 0;
+};
+
+/**
+ * Construct a codec from a spec string: "Flat", "SQ8", "SQ4", "PQ<M>" or
+ * "OPQ<M>" where M divides the dimensionality.
+ *
+ * @param spec Codec spec.
+ * @param dim  Embedding dimensionality.
+ */
+std::unique_ptr<Codec> makeCodec(const std::string &spec, std::size_t dim);
+
+} // namespace quant
+} // namespace hermes

@@ -1,0 +1,51 @@
+#include "quant/codec.hpp"
+
+#include <cstdlib>
+
+#include "quant/flat_codec.hpp"
+#include "quant/opq_codec.hpp"
+#include "quant/pq_codec.hpp"
+#include "quant/scalar_codec.hpp"
+#include "util/logging.hpp"
+
+namespace hermes {
+namespace quant {
+
+namespace {
+
+/** Parse the integer suffix of "PQ32" / "OPQ16"-style specs. */
+std::size_t
+parseSuffix(const std::string &spec, std::size_t prefix_len)
+{
+    if (spec.size() <= prefix_len) {
+        HERMES_FATAL("codec spec '", spec, "' is missing a numeric suffix");
+    }
+    char *end = nullptr;
+    long value = std::strtol(spec.c_str() + prefix_len, &end, 10);
+    if (end == nullptr || *end != '\0' || value <= 0) {
+        HERMES_FATAL("bad codec spec: '", spec, "'");
+    }
+    return static_cast<std::size_t>(value);
+}
+
+} // namespace
+
+std::unique_ptr<Codec>
+makeCodec(const std::string &spec, std::size_t dim)
+{
+    if (spec == "Flat")
+        return std::make_unique<FlatCodec>(dim);
+    if (spec == "SQ8")
+        return std::make_unique<ScalarCodec>(dim, 8);
+    if (spec == "SQ4")
+        return std::make_unique<ScalarCodec>(dim, 4);
+    if (spec.rfind("OPQ", 0) == 0)
+        return std::make_unique<OpqCodec>(dim, parseSuffix(spec, 3));
+    if (spec.rfind("PQ", 0) == 0)
+        return std::make_unique<PqCodec>(dim, parseSuffix(spec, 2));
+    HERMES_FATAL("unknown codec spec: '", spec,
+                 "' (expected Flat, SQ8, SQ4, PQ<M> or OPQ<M>)");
+}
+
+} // namespace quant
+} // namespace hermes

@@ -1,0 +1,80 @@
+#include "quant/flat_codec.hpp"
+
+#include <cstring>
+
+#include "util/logging.hpp"
+#include "vecstore/distance.hpp"
+
+namespace hermes {
+namespace quant {
+
+namespace {
+
+class FlatDistance : public DistanceComputer
+{
+  public:
+    FlatDistance(vecstore::Metric metric, vecstore::VecView query)
+        : metric_(metric), query_(query)
+    {
+    }
+
+    float
+    operator()(const std::uint8_t *code) const override
+    {
+        const float *v = reinterpret_cast<const float *>(code);
+        return vecstore::distance(metric_, query_.data(), v, query_.size());
+    }
+
+  private:
+    vecstore::Metric metric_;
+    vecstore::VecView query_;
+};
+
+} // namespace
+
+FlatCodec::FlatCodec(std::size_t dim) : dim_(dim)
+{
+    HERMES_ASSERT(dim_ > 0, "FlatCodec needs dim > 0");
+}
+
+void
+FlatCodec::train(const vecstore::Matrix &)
+{
+}
+
+void
+FlatCodec::encode(vecstore::VecView v, std::uint8_t *code) const
+{
+    HERMES_ASSERT(v.size() == dim_, "encode dim mismatch");
+    std::memcpy(code, v.data(), codeSize());
+}
+
+void
+FlatCodec::decode(const std::uint8_t *code, vecstore::MutVecView out) const
+{
+    HERMES_ASSERT(out.size() == dim_, "decode dim mismatch");
+    std::memcpy(out.data(), code, codeSize());
+}
+
+std::unique_ptr<DistanceComputer>
+FlatCodec::distanceComputer(vecstore::Metric metric,
+                            vecstore::VecView query) const
+{
+    return std::make_unique<FlatDistance>(metric, query);
+}
+
+void
+FlatCodec::save(util::BinaryWriter &w) const
+{
+    w.write<std::uint64_t>(dim_);
+}
+
+void
+FlatCodec::load(util::BinaryReader &r)
+{
+    auto dim = r.read<std::uint64_t>();
+    HERMES_ASSERT(dim == dim_, "FlatCodec dim mismatch on load");
+}
+
+} // namespace quant
+} // namespace hermes

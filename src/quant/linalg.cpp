@@ -1,0 +1,226 @@
+#include "quant/linalg.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+
+namespace hermes {
+namespace quant {
+namespace linalg {
+
+void
+matmul(const float *a, const float *b, float *c, std::size_t d)
+{
+    for (std::size_t i = 0; i < d; ++i) {
+        float *crow = c + i * d;
+        std::fill(crow, crow + d, 0.f);
+        for (std::size_t k = 0; k < d; ++k) {
+            float aik = a[i * d + k];
+            const float *brow = b + k * d;
+            for (std::size_t j = 0; j < d; ++j)
+                crow[j] += aik * brow[j];
+        }
+    }
+}
+
+void
+matmulTn(const float *a, const float *b, float *c, std::size_t d)
+{
+    std::fill(c, c + d * d, 0.f);
+    for (std::size_t k = 0; k < d; ++k) {
+        const float *arow = a + k * d;
+        const float *brow = b + k * d;
+        for (std::size_t i = 0; i < d; ++i) {
+            float aki = arow[i];
+            float *crow = c + i * d;
+            for (std::size_t j = 0; j < d; ++j)
+                crow[j] += aki * brow[j];
+        }
+    }
+}
+
+std::vector<float>
+transpose(const float *a, std::size_t d)
+{
+    std::vector<float> t(d * d);
+    for (std::size_t i = 0; i < d; ++i)
+        for (std::size_t j = 0; j < d; ++j)
+            t[j * d + i] = a[i * d + j];
+    return t;
+}
+
+void
+vecmat(const float *x, const float *a, float *y, std::size_t d)
+{
+    std::fill(y, y + d, 0.f);
+    for (std::size_t i = 0; i < d; ++i) {
+        float xi = x[i];
+        const float *arow = a + i * d;
+        for (std::size_t j = 0; j < d; ++j)
+            y[j] += xi * arow[j];
+    }
+}
+
+namespace {
+
+/** Orthonormalize the rows of @p m in place via modified Gram–Schmidt. */
+void
+gramSchmidtRows(std::vector<float> &m, std::size_t d, util::Rng &rng)
+{
+    for (std::size_t i = 0; i < d; ++i) {
+        float *row = m.data() + i * d;
+        for (std::size_t pass = 0; pass < 2; ++pass) {
+            for (std::size_t j = 0; j < i; ++j) {
+                const float *prev = m.data() + j * d;
+                float proj = 0.f;
+                for (std::size_t k = 0; k < d; ++k)
+                    proj += row[k] * prev[k];
+                for (std::size_t k = 0; k < d; ++k)
+                    row[k] -= proj * prev[k];
+            }
+        }
+        float norm = 0.f;
+        for (std::size_t k = 0; k < d; ++k)
+            norm += row[k] * row[k];
+        if (norm < 1e-12f) {
+            // Degenerate direction: replace with a fresh random vector and
+            // redo this row.
+            for (std::size_t k = 0; k < d; ++k)
+                row[k] = static_cast<float>(rng.gaussian());
+            --i;
+            continue;
+        }
+        float inv = 1.f / std::sqrt(norm);
+        for (std::size_t k = 0; k < d; ++k)
+            row[k] *= inv;
+    }
+}
+
+} // namespace
+
+std::vector<float>
+randomRotation(std::size_t d, std::uint64_t seed)
+{
+    util::Rng rng(seed);
+    std::vector<float> m(d * d);
+    for (auto &v : m)
+        v = static_cast<float>(rng.gaussian());
+    gramSchmidtRows(m, d, rng);
+    return m;
+}
+
+void
+jacobiEigenSymmetric(std::vector<float> &a, std::vector<float> &eigenvalues,
+                     std::vector<float> &eigenvectors, std::size_t d)
+{
+    HERMES_ASSERT(a.size() == d * d, "jacobi: bad matrix size");
+
+    eigenvectors.assign(d * d, 0.f);
+    for (std::size_t i = 0; i < d; ++i)
+        eigenvectors[i * d + i] = 1.f;
+
+    const std::size_t max_sweeps = 30;
+    for (std::size_t sweep = 0; sweep < max_sweeps; ++sweep) {
+        float off = 0.f;
+        for (std::size_t p = 0; p < d; ++p)
+            for (std::size_t q = p + 1; q < d; ++q)
+                off += a[p * d + q] * a[p * d + q];
+        if (off < 1e-18f)
+            break;
+
+        for (std::size_t p = 0; p < d; ++p) {
+            for (std::size_t q = p + 1; q < d; ++q) {
+                float apq = a[p * d + q];
+                if (std::fabs(apq) < 1e-20f)
+                    continue;
+                float app = a[p * d + p];
+                float aqq = a[q * d + q];
+                float theta = (aqq - app) / (2.f * apq);
+                float t = (theta >= 0.f ? 1.f : -1.f) /
+                          (std::fabs(theta) +
+                           std::sqrt(theta * theta + 1.f));
+                float c = 1.f / std::sqrt(t * t + 1.f);
+                float s = t * c;
+
+                // Rotate rows/cols p and q of A.
+                for (std::size_t k = 0; k < d; ++k) {
+                    float akp = a[k * d + p];
+                    float akq = a[k * d + q];
+                    a[k * d + p] = c * akp - s * akq;
+                    a[k * d + q] = s * akp + c * akq;
+                }
+                for (std::size_t k = 0; k < d; ++k) {
+                    float apk = a[p * d + k];
+                    float aqk = a[q * d + k];
+                    a[p * d + k] = c * apk - s * aqk;
+                    a[q * d + k] = s * apk + c * aqk;
+                }
+                // Accumulate the rotation into the eigenvector matrix.
+                for (std::size_t k = 0; k < d; ++k) {
+                    float vkp = eigenvectors[k * d + p];
+                    float vkq = eigenvectors[k * d + q];
+                    eigenvectors[k * d + p] = c * vkp - s * vkq;
+                    eigenvectors[k * d + q] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    eigenvalues.resize(d);
+    for (std::size_t i = 0; i < d; ++i)
+        eigenvalues[i] = a[i * d + i];
+}
+
+std::vector<float>
+procrustes(const std::vector<float> &m, std::size_t d)
+{
+    HERMES_ASSERT(m.size() == d * d, "procrustes: bad matrix size");
+
+    // Polar decomposition: R = M (M^T M)^{-1/2}.
+    std::vector<float> mtm(d * d);
+    matmulTn(m.data(), m.data(), mtm.data(), d);
+
+    std::vector<float> eigenvalues, v;
+    jacobiEigenSymmetric(mtm, eigenvalues, v, d);
+
+    // Build (M^T M)^{-1/2} = V diag(1/sqrt(lambda)) V^T.
+    std::vector<float> scaled(d * d);
+    for (std::size_t i = 0; i < d; ++i) {
+        for (std::size_t j = 0; j < d; ++j) {
+            float lambda = std::max(eigenvalues[j], 1e-12f);
+            scaled[i * d + j] = v[i * d + j] / std::sqrt(lambda);
+        }
+    }
+    std::vector<float> inv_sqrt(d * d);
+    auto vt = transpose(v.data(), d);
+    matmul(scaled.data(), vt.data(), inv_sqrt.data(), d);
+
+    std::vector<float> r(d * d);
+    matmul(m.data(), inv_sqrt.data(), r.data(), d);
+
+    // Clean up numerical drift so R stays strictly orthogonal.
+    util::Rng rng(0x0504c1ea4u);
+    gramSchmidtRows(r, d, rng);
+    return r;
+}
+
+float
+orthogonalityError(const float *a, std::size_t d)
+{
+    std::vector<float> ata(d * d);
+    matmulTn(a, a, ata.data(), d);
+    float worst = 0.f;
+    for (std::size_t i = 0; i < d; ++i) {
+        for (std::size_t j = 0; j < d; ++j) {
+            float target = i == j ? 1.f : 0.f;
+            worst = std::max(worst, std::fabs(ata[i * d + j] - target));
+        }
+    }
+    return worst;
+}
+
+} // namespace linalg
+} // namespace quant
+} // namespace hermes

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Small dense linear algebra for OPQ rotation training.
+ *
+ * Everything here operates on square d x d row-major matrices stored in
+ * std::vector<float>; sizes stay small (d <= a few hundred), so simple
+ * O(d^3) algorithms are appropriate.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hermes {
+namespace quant {
+namespace linalg {
+
+/** C = A * B, all d x d row-major. */
+void matmul(const float *a, const float *b, float *c, std::size_t d);
+
+/** C = A^T * B, all d x d row-major. */
+void matmulTn(const float *a, const float *b, float *c, std::size_t d);
+
+/** Out-of-place transpose of a d x d matrix. */
+std::vector<float> transpose(const float *a, std::size_t d);
+
+/** y = x * A for a row vector x (1 x d) and d x d matrix A. */
+void vecmat(const float *x, const float *a, float *y, std::size_t d);
+
+/** Random orthonormal d x d matrix (Gram–Schmidt of Gaussian columns). */
+std::vector<float> randomRotation(std::size_t d, std::uint64_t seed);
+
+/**
+ * Cyclic Jacobi eigendecomposition of a symmetric d x d matrix.
+ *
+ * @param a           Symmetric input (row-major), destroyed.
+ * @param eigenvalues Output eigenvalues (unsorted).
+ * @param eigenvectors Output column eigenvectors as a d x d matrix
+ *                     (column j is the eigenvector of eigenvalues[j]).
+ * @param d           Dimension.
+ */
+void jacobiEigenSymmetric(std::vector<float> &a,
+                          std::vector<float> &eigenvalues,
+                          std::vector<float> &eigenvectors,
+                          std::size_t d);
+
+/**
+ * Orthogonal Procrustes: the orthogonal matrix R minimizing ||M - R||_F,
+ * i.e. R = U V^T where M = U S V^T.
+ *
+ * Computed via eigendecompositions of M^T M and M M^T, which is adequate
+ * for the well-conditioned cross-covariance matrices OPQ produces.
+ */
+std::vector<float> procrustes(const std::vector<float> &m, std::size_t d);
+
+/** Max |A^T A - I| entry — orthogonality defect used by tests. */
+float orthogonalityError(const float *a, std::size_t d);
+
+} // namespace linalg
+} // namespace quant
+} // namespace hermes

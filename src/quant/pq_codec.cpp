@@ -1,0 +1,169 @@
+#include "quant/pq_codec.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "cluster/kmeans.hpp"
+#include "util/logging.hpp"
+#include "vecstore/distance.hpp"
+
+namespace hermes {
+namespace quant {
+
+namespace {
+
+/** ADC computer: M table lookups + adds per code. */
+class AdcDistance : public DistanceComputer
+{
+  public:
+    AdcDistance(std::vector<float> table, std::size_t m)
+        : table_(std::move(table)), m_(m)
+    {
+    }
+
+    float
+    operator()(const std::uint8_t *code) const override
+    {
+        float acc = 0.f;
+        const float *table = table_.data();
+        for (std::size_t sub = 0; sub < m_; ++sub)
+            acc += table[sub * PqCodec::kSubCodebookSize + code[sub]];
+        return acc;
+    }
+
+  private:
+    std::vector<float> table_;
+    std::size_t m_;
+};
+
+} // namespace
+
+PqCodec::PqCodec(std::size_t dim, std::size_t m)
+    : dim_(dim), m_(m), dsub_(m ? dim / m : 0)
+{
+    HERMES_ASSERT(m_ > 0, "PQ needs at least one subquantizer");
+    HERMES_ASSERT(dim_ % m_ == 0, "PQ subquantizers (", m_,
+                  ") must divide dim (", dim_, ")");
+}
+
+void
+PqCodec::train(const vecstore::Matrix &data)
+{
+    HERMES_ASSERT(data.dim() == dim_, "train dim mismatch");
+    HERMES_ASSERT(data.rows() >= kSubCodebookSize,
+                  "PQ training needs >= 256 points, got ", data.rows());
+
+    codebooks_.assign(m_ * kSubCodebookSize * dsub_, 0.f);
+
+    // Train one K-means per subspace on the projected training data.
+    for (std::size_t sub = 0; sub < m_; ++sub) {
+        vecstore::Matrix slice(data.rows(), dsub_);
+        for (std::size_t i = 0; i < data.rows(); ++i) {
+            auto src = data.row(i);
+            auto dst = slice.row(i);
+            for (std::size_t j = 0; j < dsub_; ++j)
+                dst[j] = src[sub * dsub_ + j];
+        }
+        cluster::KMeansConfig config;
+        config.k = kSubCodebookSize;
+        config.max_iterations = 12;
+        config.seed = 0xC0DEB00Cull + sub;
+        auto run = cluster::kmeans(slice, config);
+        float *dst = codebooks_.data() + sub * kSubCodebookSize * dsub_;
+        std::copy(run.centroids.data(),
+                  run.centroids.data() + kSubCodebookSize * dsub_, dst);
+    }
+    trained_ = true;
+}
+
+const float *
+PqCodec::subCentroid(std::size_t m, std::size_t c) const
+{
+    return codebooks_.data() + (m * kSubCodebookSize + c) * dsub_;
+}
+
+void
+PqCodec::encode(vecstore::VecView v, std::uint8_t *code) const
+{
+    HERMES_ASSERT(trained_, "PqCodec used before training");
+    HERMES_ASSERT(v.size() == dim_, "encode dim mismatch");
+    for (std::size_t sub = 0; sub < m_; ++sub) {
+        const float *x = v.data() + sub * dsub_;
+        float best = std::numeric_limits<float>::max();
+        std::size_t best_c = 0;
+        for (std::size_t c = 0; c < kSubCodebookSize; ++c) {
+            float dd = vecstore::l2Sq(x, subCentroid(sub, c), dsub_);
+            if (dd < best) {
+                best = dd;
+                best_c = c;
+            }
+        }
+        code[sub] = static_cast<std::uint8_t>(best_c);
+    }
+}
+
+void
+PqCodec::decode(const std::uint8_t *code, vecstore::MutVecView out) const
+{
+    HERMES_ASSERT(trained_, "PqCodec used before training");
+    HERMES_ASSERT(out.size() == dim_, "decode dim mismatch");
+    for (std::size_t sub = 0; sub < m_; ++sub) {
+        const float *c = subCentroid(sub, code[sub]);
+        std::copy(c, c + dsub_, out.data() + sub * dsub_);
+    }
+}
+
+void
+PqCodec::computeAdcTable(vecstore::Metric metric, vecstore::VecView query,
+                         float *table) const
+{
+    HERMES_ASSERT(trained_, "PqCodec used before training");
+    for (std::size_t sub = 0; sub < m_; ++sub) {
+        const float *q = query.data() + sub * dsub_;
+        float *row = table + sub * kSubCodebookSize;
+        for (std::size_t c = 0; c < kSubCodebookSize; ++c) {
+            const float *centroid = subCentroid(sub, c);
+            if (metric == vecstore::Metric::L2)
+                row[c] = vecstore::l2Sq(q, centroid, dsub_);
+            else
+                row[c] = -vecstore::dot(q, centroid, dsub_);
+        }
+    }
+}
+
+std::unique_ptr<DistanceComputer>
+PqCodec::distanceComputer(vecstore::Metric metric,
+                          vecstore::VecView query) const
+{
+    std::vector<float> table(m_ * kSubCodebookSize);
+    computeAdcTable(metric, query, table.data());
+    return std::make_unique<AdcDistance>(std::move(table), m_);
+}
+
+std::string
+PqCodec::name() const
+{
+    return "PQ" + std::to_string(m_);
+}
+
+void
+PqCodec::save(util::BinaryWriter &w) const
+{
+    w.write<std::uint64_t>(dim_);
+    w.write<std::uint64_t>(m_);
+    w.write<std::uint8_t>(trained_ ? 1 : 0);
+    w.writeVector(codebooks_);
+}
+
+void
+PqCodec::load(util::BinaryReader &r)
+{
+    auto dim = r.read<std::uint64_t>();
+    auto m = r.read<std::uint64_t>();
+    HERMES_ASSERT(dim == dim_ && m == m_, "PqCodec shape mismatch on load");
+    trained_ = r.read<std::uint8_t>() != 0;
+    codebooks_ = r.readVector<float>();
+}
+
+} // namespace quant
+} // namespace hermes

@@ -1,0 +1,182 @@
+#include "quant/scalar_codec.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace hermes {
+namespace quant {
+
+namespace {
+
+/**
+ * Decode-on-the-fly distance computer. For SQ8, reconstruction per element
+ * is one multiply-add, so asymmetric distances stay cheap without tables.
+ */
+class ScalarDistance : public DistanceComputer
+{
+  public:
+    ScalarDistance(const ScalarCodec &codec, vecstore::Metric metric,
+                   vecstore::VecView query)
+        : codec_(codec), metric_(metric), query_(query),
+          buffer_(codec.dim())
+    {
+    }
+
+    float
+    operator()(const std::uint8_t *code) const override
+    {
+        codec_.decode(code, vecstore::MutVecView(buffer_.data(),
+                                                 buffer_.size()));
+        float acc = 0.f;
+        const std::size_t d = query_.size();
+        if (metric_ == vecstore::Metric::L2) {
+            for (std::size_t j = 0; j < d; ++j) {
+                float diff = query_[j] - buffer_[j];
+                acc += diff * diff;
+            }
+            return acc;
+        }
+        for (std::size_t j = 0; j < d; ++j)
+            acc += query_[j] * buffer_[j];
+        return -acc;
+    }
+
+  private:
+    const ScalarCodec &codec_;
+    vecstore::Metric metric_;
+    vecstore::VecView query_;
+    mutable std::vector<float> buffer_;
+};
+
+} // namespace
+
+ScalarCodec::ScalarCodec(std::size_t dim, int bits) : dim_(dim), bits_(bits)
+{
+    HERMES_ASSERT(bits_ == 4 || bits_ == 8,
+                  "ScalarCodec supports 4 or 8 bits, got ", bits_);
+    HERMES_ASSERT(dim_ > 0, "ScalarCodec needs dim > 0");
+    if (bits_ == 4) {
+        HERMES_ASSERT(dim_ % 2 == 0, "SQ4 requires even dim, got ", dim_);
+    }
+}
+
+std::size_t
+ScalarCodec::codeSize() const
+{
+    return bits_ == 8 ? dim_ : dim_ / 2;
+}
+
+void
+ScalarCodec::train(const vecstore::Matrix &data)
+{
+    HERMES_ASSERT(data.dim() == dim_, "train dim mismatch");
+    HERMES_ASSERT(data.rows() > 0, "ScalarCodec: empty training set");
+
+    vmin_.assign(dim_, std::numeric_limits<float>::max());
+    std::vector<float> vmax(dim_, std::numeric_limits<float>::lowest());
+    for (std::size_t i = 0; i < data.rows(); ++i) {
+        auto row = data.row(i);
+        for (std::size_t j = 0; j < dim_; ++j) {
+            vmin_[j] = std::min(vmin_[j], row[j]);
+            vmax[j] = std::max(vmax[j], row[j]);
+        }
+    }
+    vdiff_.resize(dim_);
+    for (std::size_t j = 0; j < dim_; ++j) {
+        vdiff_[j] = vmax[j] - vmin_[j];
+        if (vdiff_[j] <= 0.f)
+            vdiff_[j] = 1e-20f; // constant dimension; decode to vmin
+    }
+    trained_ = true;
+}
+
+std::uint32_t
+ScalarCodec::quantizeDim(std::size_t j, float x) const
+{
+    const float max_level = static_cast<float>(levels() - 1);
+    float t = (x - vmin_[j]) / vdiff_[j] * max_level;
+    t = std::clamp(t, 0.f, max_level);
+    return static_cast<std::uint32_t>(t + 0.5f);
+}
+
+float
+ScalarCodec::reconstruct(std::size_t j, std::uint32_t q) const
+{
+    const float max_level = static_cast<float>(levels() - 1);
+    return vmin_[j] + vdiff_[j] * (static_cast<float>(q) / max_level);
+}
+
+void
+ScalarCodec::encode(vecstore::VecView v, std::uint8_t *code) const
+{
+    HERMES_ASSERT(trained_, "ScalarCodec used before training");
+    HERMES_ASSERT(v.size() == dim_, "encode dim mismatch");
+    if (bits_ == 8) {
+        for (std::size_t j = 0; j < dim_; ++j)
+            code[j] = static_cast<std::uint8_t>(quantizeDim(j, v[j]));
+        return;
+    }
+    for (std::size_t j = 0; j < dim_; j += 2) {
+        std::uint32_t lo = quantizeDim(j, v[j]);
+        std::uint32_t hi = quantizeDim(j + 1, v[j + 1]);
+        code[j / 2] = static_cast<std::uint8_t>(lo | (hi << 4));
+    }
+}
+
+void
+ScalarCodec::decode(const std::uint8_t *code, vecstore::MutVecView out) const
+{
+    HERMES_ASSERT(trained_, "ScalarCodec used before training");
+    HERMES_ASSERT(out.size() == dim_, "decode dim mismatch");
+    if (bits_ == 8) {
+        for (std::size_t j = 0; j < dim_; ++j)
+            out[j] = reconstruct(j, code[j]);
+        return;
+    }
+    for (std::size_t j = 0; j < dim_; j += 2) {
+        std::uint8_t byte = code[j / 2];
+        out[j] = reconstruct(j, byte & 0x0f);
+        out[j + 1] = reconstruct(j + 1, byte >> 4);
+    }
+}
+
+std::unique_ptr<DistanceComputer>
+ScalarCodec::distanceComputer(vecstore::Metric metric,
+                              vecstore::VecView query) const
+{
+    HERMES_ASSERT(trained_, "ScalarCodec used before training");
+    return std::make_unique<ScalarDistance>(*this, metric, query);
+}
+
+std::string
+ScalarCodec::name() const
+{
+    return bits_ == 8 ? "SQ8" : "SQ4";
+}
+
+void
+ScalarCodec::save(util::BinaryWriter &w) const
+{
+    w.write<std::uint64_t>(dim_);
+    w.write<std::int32_t>(bits_);
+    w.write<std::uint8_t>(trained_ ? 1 : 0);
+    w.writeVector(vmin_);
+    w.writeVector(vdiff_);
+}
+
+void
+ScalarCodec::load(util::BinaryReader &r)
+{
+    auto dim = r.read<std::uint64_t>();
+    auto bits = r.read<std::int32_t>();
+    HERMES_ASSERT(dim == dim_ && bits == bits_,
+                  "ScalarCodec shape mismatch on load");
+    trained_ = r.read<std::uint8_t>() != 0;
+    vmin_ = r.readVector<float>();
+    vdiff_ = r.readVector<float>();
+}
+
+} // namespace quant
+} // namespace hermes

@@ -1,0 +1,81 @@
+#include "rag/analysis.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/logging.hpp"
+
+namespace hermes {
+namespace rag {
+
+namespace {
+
+std::set<vecstore::VecId>
+retrievedSet(const StrideEvent &event)
+{
+    std::set<vecstore::VecId> out;
+    for (const auto &hit : event.retrieved)
+        out.insert(hit.id);
+    return out;
+}
+
+} // namespace
+
+OverlapStats
+strideOverlap(const GenerationResult &result)
+{
+    OverlapStats stats;
+    if (result.strides.size() < 2)
+        return stats;
+
+    double jaccard_sum = 0.0;
+    double hit_sum = 0.0;
+    std::size_t best_repeats = 0;
+    for (std::size_t s = 1; s < result.strides.size(); ++s) {
+        auto prev = retrievedSet(result.strides[s - 1]);
+        auto cur = retrievedSet(result.strides[s]);
+        if (cur.empty())
+            continue;
+
+        std::size_t shared = 0;
+        for (auto id : cur)
+            shared += prev.count(id);
+        std::size_t unioned = prev.size() + cur.size() - shared;
+        jaccard_sum += unioned
+            ? static_cast<double>(shared) / static_cast<double>(unioned)
+            : 0.0;
+        hit_sum += static_cast<double>(shared) /
+                   static_cast<double>(cur.size());
+        best_repeats += result.strides[s].best_chunk ==
+                        result.strides[s - 1].best_chunk;
+        ++stats.transitions;
+    }
+    if (stats.transitions) {
+        auto n = static_cast<double>(stats.transitions);
+        stats.mean_jaccard = jaccard_sum / n;
+        stats.mean_hit_rate = hit_sum / n;
+        stats.best_chunk_repeat_rate =
+            static_cast<double>(best_repeats) / n;
+    }
+    return stats;
+}
+
+double
+routingStability(const GenerationResult &result)
+{
+    if (result.strides.size() < 2)
+        return 1.0;
+    std::size_t stable = 0;
+    for (std::size_t s = 1; s < result.strides.size(); ++s) {
+        auto prev = result.strides[s - 1].deep_clusters;
+        auto cur = result.strides[s].deep_clusters;
+        std::sort(prev.begin(), prev.end());
+        std::sort(cur.begin(), cur.end());
+        stable += prev == cur;
+    }
+    return static_cast<double>(stable) /
+           static_cast<double>(result.strides.size() - 1);
+}
+
+} // namespace rag
+} // namespace hermes

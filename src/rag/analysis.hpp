@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Diagnostics over generation traces.
+ *
+ * RAGCache's benefit depends on how much consecutive retrieval strides
+ * re-retrieve the same documents (the paper assumes an ideal 100% KV hit
+ * rate, §3). strideOverlap() measures the real overlap of a generation so
+ * the cache-hit-rate knob of sim::PipelineConfig can be grounded in data.
+ */
+
+#pragma once
+
+#include "rag/rag_system.hpp"
+
+namespace hermes {
+namespace rag {
+
+/** Document-reuse statistics across a generation's strides. */
+struct OverlapStats
+{
+    /** Mean Jaccard similarity of consecutive strides' retrieved sets. */
+    double mean_jaccard = 0.0;
+
+    /**
+     * Mean fraction of a stride's documents already retrieved by the
+     * previous stride — the best-case KV-cache hit rate.
+     */
+    double mean_hit_rate = 0.0;
+
+    /** Fraction of strides whose *best* chunk repeated the previous one. */
+    double best_chunk_repeat_rate = 0.0;
+
+    /** Stride transitions measured. */
+    std::size_t transitions = 0;
+};
+
+/** Measure document reuse across the strides of one generation. */
+OverlapStats strideOverlap(const GenerationResult &result);
+
+/**
+ * Cluster routing stability: fraction of consecutive strides that deep-
+ * searched an identical cluster set. High stability means the router can
+ * cache node assignments across strides.
+ */
+double routingStability(const GenerationResult &result);
+
+} // namespace rag
+} // namespace hermes

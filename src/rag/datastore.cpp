@@ -1,0 +1,86 @@
+#include "rag/datastore.hpp"
+
+#include <sstream>
+
+#include "util/logging.hpp"
+
+namespace hermes {
+namespace rag {
+
+std::vector<vecstore::VecId>
+ChunkDatastore::addDocument(const std::string &text,
+                            const ChunkConfig &config)
+{
+    HERMES_ASSERT(config.tokens_per_chunk > 0,
+                  "tokens_per_chunk must be positive");
+    HERMES_ASSERT(config.overlap < config.tokens_per_chunk,
+                  "overlap must be smaller than the chunk size");
+
+    std::vector<std::string> words;
+    {
+        std::istringstream iss(text);
+        std::string word;
+        while (iss >> word)
+            words.push_back(std::move(word));
+    }
+
+    std::vector<vecstore::VecId> new_ids;
+    if (words.empty()) {
+        ++num_docs_;
+        return new_ids;
+    }
+
+    std::size_t step = config.tokens_per_chunk - config.overlap;
+    for (std::size_t begin = 0; begin < words.size(); begin += step) {
+        std::size_t end =
+            std::min(begin + config.tokens_per_chunk, words.size());
+        std::string chunk_text;
+        for (std::size_t i = begin; i < end; ++i) {
+            if (i > begin)
+                chunk_text += ' ';
+            chunk_text += words[i];
+        }
+        Chunk chunk;
+        chunk.id = static_cast<vecstore::VecId>(chunks_.size());
+        chunk.doc = num_docs_;
+        chunk.tokens = end - begin;
+        chunk.text = std::move(chunk_text);
+        total_tokens_ += chunk.tokens;
+        new_ids.push_back(chunk.id);
+        chunks_.push_back(std::move(chunk));
+        if (end == words.size())
+            break;
+    }
+    ++num_docs_;
+    return new_ids;
+}
+
+const Chunk &
+ChunkDatastore::chunk(vecstore::VecId id) const
+{
+    HERMES_ASSERT(id >= 0 && static_cast<std::size_t>(id) < chunks_.size(),
+                  "unknown chunk id ", id);
+    return chunks_[static_cast<std::size_t>(id)];
+}
+
+std::vector<std::string>
+ChunkDatastore::texts() const
+{
+    std::vector<std::string> out;
+    out.reserve(chunks_.size());
+    for (const auto &chunk : chunks_)
+        out.push_back(chunk.text);
+    return out;
+}
+
+std::size_t
+ChunkDatastore::memoryBytes() const
+{
+    std::size_t bytes = chunks_.size() * sizeof(Chunk);
+    for (const auto &chunk : chunks_)
+        bytes += chunk.text.capacity();
+    return bytes;
+}
+
+} // namespace rag
+} // namespace hermes

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Chunked document datastore (Fig 2/3): maps retrieved vector ids back to
+ * the document text chunks that get prepended to the prompt.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "vecstore/types.hpp"
+
+namespace hermes {
+namespace rag {
+
+/** One retrievable text chunk. */
+struct Chunk
+{
+    /** Chunk id — equals its embedding's row index / external id. */
+    vecstore::VecId id = vecstore::kInvalidId;
+
+    /** Source document index. */
+    std::size_t doc = 0;
+
+    /** Chunk text. */
+    std::string text;
+
+    /** Token count (whitespace tokens; paper chunks are ~100 tokens). */
+    std::size_t tokens = 0;
+};
+
+/** Chunking configuration. */
+struct ChunkConfig
+{
+    /** Target tokens per chunk (paper: ~100). */
+    std::size_t tokens_per_chunk = 100;
+
+    /** Overlapping tokens between consecutive chunks. */
+    std::size_t overlap = 0;
+};
+
+/** Append-only chunk store. */
+class ChunkDatastore
+{
+  public:
+    /**
+     * Split @p text into chunks and append them.
+     * @return Ids of the new chunks.
+     */
+    std::vector<vecstore::VecId> addDocument(const std::string &text,
+                                             const ChunkConfig &config = {});
+
+    /** Number of stored chunks. */
+    std::size_t size() const { return chunks_.size(); }
+
+    /** Number of source documents added. */
+    std::size_t numDocuments() const { return num_docs_; }
+
+    /** Chunk by id (ids are dense, 0-based). */
+    const Chunk &chunk(vecstore::VecId id) const;
+
+    /** All chunk texts, id order (for batch encoding). */
+    std::vector<std::string> texts() const;
+
+    /** Total tokens across all chunks. */
+    std::size_t totalTokens() const { return total_tokens_; }
+
+    /** Approximate memory footprint of the stored text. */
+    std::size_t memoryBytes() const;
+
+  private:
+    std::vector<Chunk> chunks_;
+    std::size_t num_docs_ = 0;
+    std::size_t total_tokens_ = 0;
+};
+
+} // namespace rag
+} // namespace hermes

@@ -1,0 +1,91 @@
+#include "rag/encoder.hpp"
+
+#include <cctype>
+
+#include "util/logging.hpp"
+#include "vecstore/distance.hpp"
+
+namespace hermes {
+namespace rag {
+
+namespace {
+
+/** FNV-1a 64-bit hash. */
+std::uint64_t
+fnv1a(const std::string &s, std::uint64_t seed)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull ^ seed;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+} // namespace
+
+HashingEncoder::HashingEncoder(std::size_t dim, std::uint64_t seed)
+    : dim_(dim), seed_(seed)
+{
+    HERMES_ASSERT(dim_ > 0, "encoder needs dim > 0");
+}
+
+std::vector<std::string>
+HashingEncoder::tokenize(const std::string &text)
+{
+    std::vector<std::string> tokens;
+    std::string current;
+    for (char raw : text) {
+        auto c = static_cast<unsigned char>(raw);
+        if (std::isalnum(c)) {
+            current += static_cast<char>(std::tolower(c));
+        } else if (!current.empty()) {
+            tokens.push_back(std::move(current));
+            current.clear();
+        }
+    }
+    if (!current.empty())
+        tokens.push_back(std::move(current));
+    return tokens;
+}
+
+void
+HashingEncoder::addFeature(const std::string &feature, float weight,
+                           std::vector<float> &out) const
+{
+    std::uint64_t h = fnv1a(feature, seed_);
+    std::size_t bucket = h % dim_;
+    // Second hash bit decides the sign, which keeps the expected inner
+    // product of unrelated texts near zero (signed feature hashing).
+    float sign = (h >> 63) ? 1.f : -1.f;
+    out[bucket] += sign * weight;
+}
+
+std::vector<float>
+HashingEncoder::encode(const std::string &text) const
+{
+    std::vector<float> out(dim_, 0.f);
+    auto tokens = tokenize(text);
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+        addFeature(tokens[i], 1.0f, out);
+        if (i + 1 < tokens.size())
+            addFeature(tokens[i] + "_" + tokens[i + 1], 0.5f, out);
+    }
+    vecstore::normalize(out.data(), dim_);
+    return out;
+}
+
+vecstore::Matrix
+HashingEncoder::encodeBatch(const std::vector<std::string> &texts) const
+{
+    vecstore::Matrix out(dim_);
+    out.reserveRows(texts.size());
+    for (const auto &text : texts) {
+        auto v = encode(text);
+        out.append(vecstore::VecView(v.data(), v.size()));
+    }
+    return out;
+}
+
+} // namespace rag
+} // namespace hermes

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Deterministic text encoder standing in for BGE-large (paper §5).
+ *
+ * Feature-hashes unigrams and bigrams into a dense d-dimensional vector
+ * and L2-normalizes, so lexically/topically similar texts land close in
+ * embedding space. Deterministic, dependency-free, and fast — the systems
+ * experiments only need the encoder's cost and a semantically plausible
+ * geometry, both of which this provides.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "vecstore/matrix.hpp"
+#include "vecstore/types.hpp"
+
+namespace hermes {
+namespace rag {
+
+/** Feature-hashing sentence encoder. */
+class HashingEncoder
+{
+  public:
+    /**
+     * @param dim  Embedding dimensionality.
+     * @param seed Hash seed (same seed => identical embeddings).
+     */
+    explicit HashingEncoder(std::size_t dim, std::uint64_t seed = 0xb9e);
+
+    std::size_t dim() const { return dim_; }
+
+    /** Encode one text into a unit-norm embedding. */
+    std::vector<float> encode(const std::string &text) const;
+
+    /** Encode a batch of texts into a matrix. */
+    vecstore::Matrix encodeBatch(const std::vector<std::string> &texts) const;
+
+    /** Lowercased whitespace/punctuation tokenization. */
+    static std::vector<std::string> tokenize(const std::string &text);
+
+  private:
+    /** Accumulate one hashed feature into the output vector. */
+    void addFeature(const std::string &feature, float weight,
+                    std::vector<float> &out) const;
+
+    std::size_t dim_;
+    std::uint64_t seed_;
+};
+
+} // namespace rag
+} // namespace hermes

@@ -1,0 +1,68 @@
+#include "rag/perplexity.hpp"
+
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace hermes {
+namespace rag {
+
+namespace {
+
+/** Flat baseline perplexities for non-retrieval models (WikiText-style). */
+double
+baselinePerplexity(sim::LlmModel model)
+{
+    switch (model) {
+      case sim::LlmModel::Gpt2_762M: return 29.4;
+      case sim::LlmModel::Gpt2_1_5B: return 24.3;
+      case sim::LlmModel::Phi15:     return 21.0;
+      case sim::LlmModel::Gemma2_9B: return 12.5;
+      case sim::LlmModel::Opt30B:    return 14.0;
+      case sim::LlmModel::BgeLarge:  return 0.0; // encoder: undefined
+      case sim::LlmModel::Retro578M: return 31.5; // without retrieval
+    }
+    HERMES_PANIC("unknown model");
+}
+
+} // namespace
+
+double
+modelPerplexity(sim::LlmModel model, std::size_t stride_tokens)
+{
+    HERMES_ASSERT(stride_tokens >= 1, "stride must be >= 1");
+    const auto &profile = sim::llmProfile(model);
+    if (!profile.retrieval_augmented)
+        return baselinePerplexity(model);
+
+    // Retrieval-augmented curve: at stride 4 the 578M model matches the
+    // 1.5B dense model (the paper's "half the parameters" observation);
+    // quality decays logarithmically as the context goes stale between
+    // retrievals, approaching the no-retrieval baseline at huge strides.
+    double at_stride4 = 22.0;
+    double slope = 2.2; // perplexity per doubling of stride
+    double ppl = at_stride4 +
+                 slope * std::log2(static_cast<double>(stride_tokens) / 4.0);
+    double floor = 20.5;              // best case, stride 1
+    double ceiling = baselinePerplexity(model);
+    if (ppl < floor)
+        ppl = floor;
+    if (ppl > ceiling)
+        ppl = ceiling;
+    return ppl;
+}
+
+std::size_t
+crossoverStride(sim::LlmModel retrieval_model, sim::LlmModel reference_model)
+{
+    double target = modelPerplexity(reference_model, 1);
+    std::size_t best = 0;
+    for (std::size_t stride = 1; stride <= 1024; stride *= 2) {
+        if (modelPerplexity(retrieval_model, stride) <= target)
+            best = stride;
+    }
+    return best;
+}
+
+} // namespace rag
+} // namespace hermes

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Perplexity-vs-stride model (paper Fig 5).
+ *
+ * The paper cites RETRO and in-context RALM results showing that frequent
+ * retrieval lets a model match the perplexity of a ~2x larger
+ * non-retrieval model, with quality degrading as the stride grows. These
+ * closed-form curves are fitted to that qualitative behaviour (the exact
+ * constants come from the published RETRO/RALM trend lines) and are used
+ * to reproduce Fig 5 and to reason about stride/quality trade-offs.
+ */
+
+#pragma once
+
+#include "sim/hardware.hpp"
+
+namespace hermes {
+namespace rag {
+
+/**
+ * Modeled validation perplexity of @p model at retrieval stride
+ * @p stride_tokens. Non-retrieval models return a stride-independent
+ * baseline perplexity.
+ */
+double modelPerplexity(sim::LlmModel model, std::size_t stride_tokens);
+
+/**
+ * Smallest stride at which @p retrieval_model still beats (or ties) the
+ * perplexity of @p reference_model; returns 0 if even stride 1 loses.
+ */
+std::size_t crossoverStride(sim::LlmModel retrieval_model,
+                            sim::LlmModel reference_model);
+
+} // namespace rag
+} // namespace hermes

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Public facade: a complete Hermes-served RAG system (Fig 9).
+ *
+ * Ties together the chunk datastore, hashing encoder, similarity-
+ * partitioned distributed store, hierarchical search, reranking, and a
+ * strided generation loop. This is the entry point downstream users adopt;
+ * the examples/ directory exercises it end-to-end.
+ */
+
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/distributed_store.hpp"
+#include "core/search_strategy.hpp"
+#include "rag/datastore.hpp"
+#include "rag/encoder.hpp"
+#include "rag/reranker.hpp"
+
+namespace hermes {
+namespace rag {
+
+/** Strided-generation parameters. */
+struct GenerationConfig
+{
+    /** Output tokens to generate. */
+    std::size_t output_tokens = 64;
+
+    /** Retrieval stride in tokens (paper default: 16). */
+    std::size_t stride = 16;
+
+    /** PRNG seed for the toy decoder. */
+    std::uint64_t seed = 7;
+};
+
+/** One retrieval stride's record. */
+struct StrideEvent
+{
+    /** Stride index (0 = the TTFT retrieval). */
+    std::size_t index = 0;
+
+    /** Retrieved chunk ids with scores, best first (after reranking). */
+    vecstore::HitList retrieved;
+
+    /** Chunk prepended to the prompt for this stride. */
+    vecstore::VecId best_chunk = vecstore::kInvalidId;
+
+    /** Clusters the deep search visited. */
+    std::vector<std::uint32_t> deep_clusters;
+
+    /** Wall-clock seconds spent in retrieval for this stride. */
+    double retrieval_seconds = 0.0;
+};
+
+/** Output of one generation call. */
+struct GenerationResult
+{
+    /** Generated text (toy surrogate decoder — see RagSystem docs). */
+    std::string output_text;
+
+    /** Per-stride retrieval records. */
+    std::vector<StrideEvent> strides;
+
+    /** Total wall-clock retrieval seconds. */
+    double retrieval_wall_seconds = 0.0;
+};
+
+/** Top-level system configuration. */
+struct RagSystemConfig
+{
+    /** Embedding dimensionality of the hashing encoder. */
+    std::size_t embedding_dim = 96;
+
+    /** Document chunking. */
+    ChunkConfig chunking;
+
+    /** Hermes retrieval configuration (Table 2). */
+    core::HermesConfig hermes;
+
+    /** Reranker spec: "inner-product" (paper default), "term-overlap",
+     *  or "hybrid[:alpha]". */
+    std::string reranker = "inner-product";
+
+    /** Generation defaults. */
+    GenerationConfig generation;
+};
+
+/**
+ * A complete RAG serving system.
+ *
+ * Usage: construct, addDocument() repeatedly, finalize() once, then
+ * retrieve()/generate(). The decoder is a deterministic surrogate that
+ * extracts answer text from the retrieved chunks — real deployments slot
+ * an actual LLM behind the same interface, and the systems analysis runs
+ * through sim::RagPipelineSim either way.
+ */
+class RagSystem
+{
+  public:
+    explicit RagSystem(const RagSystemConfig &config = {});
+    ~RagSystem();
+
+    RagSystem(const RagSystem &) = delete;
+    RagSystem &operator=(const RagSystem &) = delete;
+
+    /** Ingest one document (must precede finalize()). */
+    void addDocument(const std::string &text);
+
+    /**
+     * Encode all chunks, choose a balanced partitioning seed, build the
+     * per-cluster IVF indices, and arm the hierarchical search.
+     */
+    void finalize();
+
+    /** True once finalize() has run. */
+    bool ready() const { return search_ != nullptr; }
+
+    /** Retrieve the top-k chunks for a question (reranked). */
+    vecstore::HitList retrieve(const std::string &question,
+                               std::size_t k) const;
+
+    /** Full strided generation (retrieval every config stride tokens). */
+    GenerationResult generate(const std::string &question,
+                              std::optional<GenerationConfig> config =
+                                  std::nullopt) const;
+
+    /** Chunk datastore access (e.g. to print retrieved contexts). */
+    const ChunkDatastore &datastore() const { return datastore_; }
+
+    /** Distributed store diagnostics (sizes, imbalance). */
+    const core::DistributedStore &store() const;
+
+    /** The active search strategy. */
+    const core::SearchStrategy &searchStrategy() const;
+
+    /** Encoder access. */
+    const HashingEncoder &encoder() const { return encoder_; }
+
+    /** The configured reranker. */
+    const Reranker &reranker() const { return *reranker_; }
+
+  private:
+    RagSystemConfig config_;
+    HashingEncoder encoder_;
+    std::unique_ptr<Reranker> reranker_;
+    ChunkDatastore datastore_;
+    vecstore::Matrix embeddings_;
+    std::unique_ptr<core::DistributedStore> store_;
+    std::unique_ptr<core::HermesSearch> search_;
+};
+
+} // namespace rag
+} // namespace hermes

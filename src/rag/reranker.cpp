@@ -1,0 +1,137 @@
+#include "rag/reranker.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <unordered_set>
+
+#include "rag/encoder.hpp"
+#include "util/logging.hpp"
+#include "vecstore/distance.hpp"
+
+namespace hermes {
+namespace rag {
+
+namespace {
+
+/** Sort hits ascending by score, ties by id (deterministic). */
+void
+sortHits(vecstore::HitList &hits)
+{
+    std::sort(hits.begin(), hits.end(), [](const auto &a, const auto &b) {
+        if (a.score != b.score)
+            return a.score < b.score;
+        return a.id < b.id;
+    });
+}
+
+float
+exactInnerProduct(vecstore::VecView query, const vecstore::Matrix &embeddings,
+                  vecstore::VecId id)
+{
+    HERMES_ASSERT(id >= 0 &&
+                  static_cast<std::size_t>(id) < embeddings.rows(),
+                  "rerank: id ", id, " outside datastore");
+    return vecstore::dot(query.data(),
+                         embeddings.row(static_cast<std::size_t>(id)).data(),
+                         embeddings.dim());
+}
+
+} // namespace
+
+vecstore::HitList
+InnerProductReranker::rerank(const RerankRequest &request,
+                             const vecstore::Matrix &embeddings,
+                             const ChunkDatastore &) const
+{
+    vecstore::HitList out;
+    out.reserve(request.candidates.size());
+    for (const auto &hit : request.candidates) {
+        out.push_back({hit.id,
+                       -exactInnerProduct(request.query, embeddings,
+                                          hit.id)});
+    }
+    sortHits(out);
+    return out;
+}
+
+double
+TermOverlapReranker::overlapScore(const std::string &question,
+                                  const std::string &text)
+{
+    auto question_terms = HashingEncoder::tokenize(question);
+    if (question_terms.empty())
+        return 0.0;
+    std::unordered_set<std::string> wanted(question_terms.begin(),
+                                           question_terms.end());
+    std::unordered_set<std::string> found;
+    for (const auto &term : HashingEncoder::tokenize(text)) {
+        if (wanted.count(term))
+            found.insert(term);
+    }
+    return static_cast<double>(found.size()) /
+           static_cast<double>(wanted.size());
+}
+
+vecstore::HitList
+TermOverlapReranker::rerank(const RerankRequest &request,
+                            const vecstore::Matrix &,
+                            const ChunkDatastore &datastore) const
+{
+    vecstore::HitList out;
+    out.reserve(request.candidates.size());
+    for (const auto &hit : request.candidates) {
+        double overlap = overlapScore(request.question,
+                                      datastore.chunk(hit.id).text);
+        out.push_back({hit.id, static_cast<float>(-overlap)});
+    }
+    sortHits(out);
+    return out;
+}
+
+HybridReranker::HybridReranker(double alpha) : alpha_(alpha)
+{
+    HERMES_ASSERT(alpha_ >= 0.0 && alpha_ <= 1.0,
+                  "hybrid alpha must be in [0, 1], got ", alpha_);
+}
+
+vecstore::HitList
+HybridReranker::rerank(const RerankRequest &request,
+                       const vecstore::Matrix &embeddings,
+                       const ChunkDatastore &datastore) const
+{
+    vecstore::HitList out;
+    out.reserve(request.candidates.size());
+    for (const auto &hit : request.candidates) {
+        double dense = exactInnerProduct(request.query, embeddings, hit.id);
+        double sparse = TermOverlapReranker::overlapScore(
+            request.question, datastore.chunk(hit.id).text);
+        double blended = alpha_ * dense + (1.0 - alpha_) * sparse;
+        out.push_back({hit.id, static_cast<float>(-blended)});
+    }
+    sortHits(out);
+    return out;
+}
+
+std::unique_ptr<Reranker>
+makeReranker(const std::string &spec)
+{
+    if (spec == "inner-product")
+        return std::make_unique<InnerProductReranker>();
+    if (spec == "term-overlap")
+        return std::make_unique<TermOverlapReranker>();
+    if (spec == "hybrid")
+        return std::make_unique<HybridReranker>();
+    if (spec.rfind("hybrid:", 0) == 0) {
+        char *end = nullptr;
+        double alpha = std::strtod(spec.c_str() + 7, &end);
+        if (end == nullptr || *end != '\0') {
+            HERMES_FATAL("bad hybrid reranker spec: '", spec, "'");
+        }
+        return std::make_unique<HybridReranker>(alpha);
+    }
+    HERMES_FATAL("unknown reranker spec: '", spec,
+                 "' (inner-product | term-overlap | hybrid[:alpha])");
+}
+
+} // namespace rag
+} // namespace hermes

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Pluggable document rerankers (paper §2.2: retrieved chunks "can be
+ * re-ranked for relevance, using either similarity scores or advanced
+ * neural methods").
+ *
+ * Three implementations:
+ *  - InnerProductReranker: exact full-precision inner product (the
+ *    paper's method, §5) — corrects quantization error in the IVF scores.
+ *  - TermOverlapReranker: lexical IDF-free term overlap between the
+ *    question and the chunk text (sparse signal, §2.1's rare-term case).
+ *  - HybridReranker: convex combination of the two, the "blended"
+ *    retrieval the paper cites as related work.
+ */
+
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "rag/datastore.hpp"
+#include "vecstore/matrix.hpp"
+#include "vecstore/types.hpp"
+
+namespace hermes {
+namespace rag {
+
+/** Context handed to a reranker for one query. */
+struct RerankRequest
+{
+    /** Original question text (may be empty for embedding-only flows). */
+    std::string question;
+
+    /** Encoded question. */
+    vecstore::VecView query;
+
+    /** Candidate hits from retrieval (ids = chunk/embedding rows). */
+    vecstore::HitList candidates;
+};
+
+/** Abstract reranker. */
+class Reranker
+{
+  public:
+    virtual ~Reranker() = default;
+
+    /**
+     * Re-order candidates best-first.
+     * @param request    Query context.
+     * @param embeddings Full-precision chunk embeddings (row = chunk id).
+     * @param datastore  Chunk texts (for lexical rerankers).
+     */
+    virtual vecstore::HitList
+    rerank(const RerankRequest &request,
+           const vecstore::Matrix &embeddings,
+           const ChunkDatastore &datastore) const = 0;
+
+    /** Reranker name for configuration/reporting. */
+    virtual std::string name() const = 0;
+};
+
+/** Exact inner-product reranking (the paper's default). */
+class InnerProductReranker : public Reranker
+{
+  public:
+    vecstore::HitList rerank(const RerankRequest &request,
+                             const vecstore::Matrix &embeddings,
+                             const ChunkDatastore &datastore) const override;
+    std::string name() const override { return "inner-product"; }
+};
+
+/** Lexical term-overlap reranking. */
+class TermOverlapReranker : public Reranker
+{
+  public:
+    vecstore::HitList rerank(const RerankRequest &request,
+                             const vecstore::Matrix &embeddings,
+                             const ChunkDatastore &datastore) const override;
+    std::string name() const override { return "term-overlap"; }
+
+    /** Fraction of the question's unique terms present in @p text. */
+    static double overlapScore(const std::string &question,
+                               const std::string &text);
+};
+
+/** alpha x inner-product + (1 - alpha) x term overlap. */
+class HybridReranker : public Reranker
+{
+  public:
+    /** @param alpha Dense-score weight in [0, 1]. */
+    explicit HybridReranker(double alpha = 0.7);
+
+    vecstore::HitList rerank(const RerankRequest &request,
+                             const vecstore::Matrix &embeddings,
+                             const ChunkDatastore &datastore) const override;
+    std::string name() const override { return "hybrid"; }
+
+  private:
+    double alpha_;
+};
+
+/** Construct a reranker by name: "inner-product", "term-overlap",
+ *  "hybrid" or "hybrid:<alpha>". */
+std::unique_ptr<Reranker> makeReranker(const std::string &spec);
+
+} // namespace rag
+} // namespace hermes

@@ -1,0 +1,87 @@
+#include "rag/synth_text.hpp"
+
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+
+namespace hermes {
+namespace rag {
+
+namespace {
+
+/** Deterministic pronounceable pseudo-word from indices. */
+std::string
+makeWord(util::Rng &rng)
+{
+    static const char consonants[] = "bcdfghklmnprstvz";
+    static const char vowels[] = "aeiou";
+    std::size_t syllables = 2 + rng.uniformInt(2);
+    std::string word;
+    for (std::size_t s = 0; s < syllables; ++s) {
+        word += consonants[rng.uniformInt(sizeof(consonants) - 1)];
+        word += vowels[rng.uniformInt(sizeof(vowels) - 1)];
+    }
+    return word;
+}
+
+} // namespace
+
+std::string
+SynthCorpus::questionAbout(std::uint32_t topic, std::uint64_t salt) const
+{
+    HERMES_ASSERT(topic < topic_words.size(), "bad topic ", topic);
+    const auto &vocab = topic_words[topic];
+    HERMES_ASSERT(!vocab.empty(), "empty topic vocabulary");
+    util::Rng rng(0x9e57 + topic * 131 + salt);
+    std::string q = "what is the relation between";
+    for (int i = 0; i < 8; ++i) {
+        q += ' ';
+        q += vocab[rng.uniformInt(vocab.size())];
+    }
+    return q;
+}
+
+SynthCorpus
+generateSynthCorpus(const SynthTextConfig &config)
+{
+    HERMES_ASSERT(config.num_topics > 0, "need at least one topic");
+    HERMES_ASSERT(config.topic_vocab > 0, "need a topic vocabulary");
+
+    util::Rng rng(config.seed);
+    SynthCorpus corpus;
+
+    // Shared vocabulary (function-word stand-ins).
+    std::vector<std::string> shared;
+    for (std::size_t i = 0; i < 40; ++i)
+        shared.push_back(makeWord(rng));
+
+    corpus.topic_words.resize(config.num_topics);
+    for (auto &vocab : corpus.topic_words) {
+        vocab.reserve(config.topic_vocab);
+        for (std::size_t i = 0; i < config.topic_vocab; ++i)
+            vocab.push_back(makeWord(rng));
+    }
+
+    corpus.documents.reserve(config.num_docs);
+    corpus.topic_of_doc.reserve(config.num_docs);
+    for (std::size_t d = 0; d < config.num_docs; ++d) {
+        auto topic = static_cast<std::uint32_t>(
+            rng.uniformInt(config.num_topics));
+        corpus.topic_of_doc.push_back(topic);
+        const auto &vocab = corpus.topic_words[topic];
+
+        std::string doc;
+        for (std::size_t w = 0; w < config.words_per_doc; ++w) {
+            if (w)
+                doc += ' ';
+            if (rng.uniform() < config.shared_word_prob)
+                doc += shared[rng.uniformInt(shared.size())];
+            else
+                doc += vocab[rng.uniformInt(vocab.size())];
+        }
+        corpus.documents.push_back(std::move(doc));
+    }
+    return corpus;
+}
+
+} // namespace rag
+} // namespace hermes

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Synthetic topic-coherent text generation.
+ *
+ * Examples and integration tests need document *text* (not just
+ * embeddings) so the full encode→partition→retrieve→generate path runs.
+ * Each topic gets its own vocabulary; documents mix mostly their topic's
+ * words with a little shared vocabulary, so the hashing encoder maps them
+ * into clusterable embeddings — the textual analogue of the
+ * workload::CorpusGenerator's Gaussian topic mixture.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hermes {
+namespace rag {
+
+/** Synthetic corpus parameters. */
+struct SynthTextConfig
+{
+    /** Number of documents. */
+    std::size_t num_docs = 200;
+
+    /** Number of topics. */
+    std::size_t num_topics = 8;
+
+    /** Words per document. */
+    std::size_t words_per_doc = 120;
+
+    /** Distinct words in each topic's vocabulary. */
+    std::size_t topic_vocab = 60;
+
+    /** Probability of drawing from the shared vocabulary instead. */
+    double shared_word_prob = 0.15;
+
+    /** PRNG seed. */
+    std::uint64_t seed = 2024;
+};
+
+/** A generated corpus of topic-tagged documents. */
+struct SynthCorpus
+{
+    /** Document texts. */
+    std::vector<std::string> documents;
+
+    /** Topic of each document. */
+    std::vector<std::uint32_t> topic_of_doc;
+
+    /** A natural-language-ish question about the given topic. */
+    std::string questionAbout(std::uint32_t topic,
+                              std::uint64_t salt = 0) const;
+
+    /** Topic vocabularies (for building questions). */
+    std::vector<std::vector<std::string>> topic_words;
+};
+
+/** Generate a synthetic text corpus. */
+SynthCorpus generateSynthCorpus(const SynthTextConfig &config);
+
+} // namespace rag
+} // namespace hermes

@@ -1,0 +1,112 @@
+#include "serve/broker.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/logging.hpp"
+#include "vecstore/topk.hpp"
+
+namespace hermes {
+namespace serve {
+
+HermesBroker::HermesBroker(const core::DistributedStore &store,
+                           const BrokerConfig &config)
+    : store_(store), config_(config)
+{
+    nodes_.reserve(store_.numClusters());
+    for (std::size_t c = 0; c < store_.numClusters(); ++c) {
+        nodes_.push_back(std::make_unique<RetrievalNode>(
+            store_.clusterIndex(c), config_.node));
+    }
+}
+
+HermesBroker::~HermesBroker() = default;
+
+vecstore::HitList
+HermesBroker::search(vecstore::VecView query, std::size_t k) const
+{
+    std::vector<std::uint32_t> unused;
+    return search(query, k, unused);
+}
+
+vecstore::HitList
+HermesBroker::search(vecstore::VecView query, std::size_t k,
+                     std::vector<std::uint32_t> &deep_clusters) const
+{
+    const auto &config = store_.config();
+    const std::size_t n = nodes_.size();
+
+    // Phase 1: broadcast the sampling request (paper §4.2 step 2).
+    index::SearchParams sample_params;
+    sample_params.nprobe = config.sample_nprobe;
+    std::vector<std::future<NodeResponse>> sample_futures;
+    sample_futures.reserve(n);
+    for (auto &node : nodes_) {
+        sample_futures.push_back(
+            node->submit(query, config.sample_k, sample_params));
+    }
+
+    // Rank clusters by best sampled document distance.
+    std::vector<std::pair<float, std::uint32_t>> ranked;
+    ranked.reserve(n);
+    for (std::size_t c = 0; c < n; ++c) {
+        auto response = sample_futures[c].get();
+        float best = response.hits.empty()
+            ? std::numeric_limits<float>::max()
+            : response.hits.front().score;
+        ranked.emplace_back(best, static_cast<std::uint32_t>(c));
+    }
+    std::sort(ranked.begin(), ranked.end());
+
+    // Phase 2: deep-search the top clusters (with optional adaptive
+    // pruning, matching core::HermesSearch semantics).
+    std::size_t deep = std::min(config.clusters_to_search, ranked.size());
+    if (config.adaptive_epsilon > 0.0 && !ranked.empty()) {
+        float bound = ranked.front().first *
+                      static_cast<float>(1.0 + config.adaptive_epsilon);
+        std::size_t keep = 0;
+        while (keep < deep && ranked[keep].first <= bound)
+            ++keep;
+        deep = std::max<std::size_t>(keep, 1);
+    }
+
+    index::SearchParams deep_params;
+    deep_params.nprobe = config.deep_nprobe;
+    std::vector<std::future<NodeResponse>> deep_futures;
+    deep_clusters.clear();
+    for (std::size_t i = 0; i < deep; ++i) {
+        std::uint32_t c = ranked[i].second;
+        deep_clusters.push_back(c);
+        deep_futures.push_back(nodes_[c]->submit(query, k, deep_params));
+    }
+
+    std::vector<vecstore::HitList> partials;
+    partials.reserve(deep_futures.size());
+    for (auto &future : deep_futures)
+        partials.push_back(future.get().hits);
+
+    {
+        std::unique_lock<std::mutex> lock(stats_mutex_);
+        ++queries_;
+        deep_requests_ += deep;
+    }
+    return vecstore::mergeHitLists(partials, k);
+}
+
+BrokerStats
+HermesBroker::stats() const
+{
+    BrokerStats stats;
+    {
+        std::unique_lock<std::mutex> lock(stats_mutex_);
+        stats.queries = queries_;
+        stats.deep_requests = deep_requests_;
+    }
+    stats.nodes.reserve(nodes_.size());
+    for (const auto &node : nodes_)
+        stats.nodes.push_back(node->stats());
+    return stats;
+}
+
+} // namespace serve
+} // namespace hermes

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The Hermes scheduler/broker (paper Fig 9: "Hermes Scheduler").
+ *
+ * Owns one RetrievalNode per cluster and executes the hierarchical search
+ * protocol across them:
+ *   1. broadcast a cheap sampling request to every node (in parallel),
+ *   2. rank clusters by their best sampled document,
+ *   3. send deep-search requests to the top clusters (in parallel),
+ *   4. merge, dedupe and truncate to the final top-k.
+ *
+ * Results are bit-identical to core::HermesSearch on the same store; the
+ * broker adds the concurrency and queueing of a real deployment.
+ */
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/distributed_store.hpp"
+#include "serve/node.hpp"
+
+namespace hermes {
+namespace serve {
+
+/** Broker configuration. */
+struct BrokerConfig
+{
+    /** Per-node queue/batching parameters. */
+    NodeConfig node;
+};
+
+/** Aggregate serving statistics. */
+struct BrokerStats
+{
+    /** Queries served end-to-end. */
+    std::uint64_t queries = 0;
+
+    /** Deep-search requests issued (queries x clusters searched). */
+    std::uint64_t deep_requests = 0;
+
+    /** Per-node runtime statistics. */
+    std::vector<NodeStats> nodes;
+};
+
+/** Distributed hierarchical-search front end. */
+class HermesBroker
+{
+  public:
+    /**
+     * @param store  Distributed store whose cluster indices the nodes
+     *               serve (must outlive the broker).
+     * @param config Broker parameters.
+     */
+    explicit HermesBroker(const core::DistributedStore &store,
+                          const BrokerConfig &config = {});
+
+    ~HermesBroker();
+
+    HermesBroker(const HermesBroker &) = delete;
+    HermesBroker &operator=(const HermesBroker &) = delete;
+
+    /**
+     * Execute one hierarchical search. Sampling and deep-search requests
+     * run concurrently across node workers; the calling thread blocks
+     * only on aggregation. Safe to call from many threads at once.
+     */
+    vecstore::HitList search(vecstore::VecView query, std::size_t k) const;
+
+    /** Like search(), but also reports which clusters were deep-searched. */
+    vecstore::HitList search(vecstore::VecView query, std::size_t k,
+                             std::vector<std::uint32_t>
+                                 &deep_clusters) const;
+
+    /** Snapshot of serving statistics. */
+    BrokerStats stats() const;
+
+    /** Number of serving nodes. */
+    std::size_t numNodes() const { return nodes_.size(); }
+
+  private:
+    const core::DistributedStore &store_;
+    BrokerConfig config_;
+    std::vector<std::unique_ptr<RetrievalNode>> nodes_;
+
+    mutable std::mutex stats_mutex_;
+    mutable std::uint64_t queries_ = 0;
+    mutable std::uint64_t deep_requests_ = 0;
+};
+
+} // namespace serve
+} // namespace hermes

@@ -1,0 +1,99 @@
+#include "serve/node.hpp"
+
+#include "util/logging.hpp"
+#include "util/timer.hpp"
+
+namespace hermes {
+namespace serve {
+
+RetrievalNode::RetrievalNode(const index::AnnIndex &shard,
+                             const NodeConfig &config)
+    : shard_(shard), config_(config)
+{
+    HERMES_ASSERT(config_.max_batch >= 1, "node needs max_batch >= 1");
+    HERMES_ASSERT(shard_.isTrained(), "node shard must be trained");
+    worker_ = std::thread([this] { workerLoop(); });
+}
+
+RetrievalNode::~RetrievalNode()
+{
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    worker_.join();
+}
+
+std::future<NodeResponse>
+RetrievalNode::submit(vecstore::VecView query, std::size_t k,
+                      const index::SearchParams &params)
+{
+    HERMES_ASSERT(query.size() == shard_.dim(),
+                  "node: query dim mismatch");
+    Request request;
+    request.query.assign(query.begin(), query.end());
+    request.k = k;
+    request.params = params;
+    auto future = request.promise.get_future();
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        HERMES_ASSERT(!stopping_, "submit to a stopping node");
+        queue_.push_back(std::move(request));
+    }
+    cv_.notify_one();
+    return future;
+}
+
+void
+RetrievalNode::workerLoop()
+{
+    for (;;) {
+        std::vector<Request> batch;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty() && stopping_)
+                return;
+            while (!queue_.empty() && batch.size() < config_.max_batch) {
+                batch.push_back(std::move(queue_.front()));
+                queue_.pop_front();
+            }
+        }
+
+        util::Timer timer;
+        std::uint64_t scanned = 0;
+        std::vector<NodeResponse> responses(batch.size());
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+            auto &request = batch[i];
+            responses[i].hits = shard_.search(
+                vecstore::VecView(request.query.data(),
+                                  request.query.size()),
+                request.k, request.params, &responses[i].stats);
+            scanned += responses[i].stats.vectors_scanned;
+        }
+        double elapsed = timer.elapsedSeconds();
+
+        // Record statistics before fulfilling promises so a caller that
+        // observes its response also observes the stats that produced it.
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            stats_.requests += batch.size();
+            stats_.batches += 1;
+            stats_.busy_seconds += elapsed;
+            stats_.vectors_scanned += scanned;
+        }
+        for (std::size_t i = 0; i < batch.size(); ++i)
+            batch[i].promise.set_value(std::move(responses[i]));
+    }
+}
+
+NodeStats
+RetrievalNode::stats() const
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+} // namespace serve
+} // namespace hermes

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * A retrieval node: one cluster index behind an asynchronous request
+ * queue with its own worker thread.
+ *
+ * This is the online-serving half of the paper's system (Fig 9 right):
+ * each similarity cluster's IVF index lives on its own node; the broker
+ * (serve/broker.hpp) fans sampling and deep-search requests out to nodes
+ * and aggregates. Within a node, queued requests are drained in batches,
+ * mirroring FAISS's batch scheduling.
+ */
+
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
+
+#include "index/ann_index.hpp"
+
+namespace hermes {
+namespace serve {
+
+/** One node-level search response. */
+struct NodeResponse
+{
+    /** Hits from this node's shard, best first. */
+    vecstore::HitList hits;
+
+    /** Work counters for this request. */
+    index::SearchStats stats;
+};
+
+/** Node configuration. */
+struct NodeConfig
+{
+    /** Max requests drained per processing round. */
+    std::size_t max_batch = 64;
+};
+
+/** Runtime statistics of a node. */
+struct NodeStats
+{
+    /** Requests completed. */
+    std::uint64_t requests = 0;
+
+    /** Processing rounds executed. */
+    std::uint64_t batches = 0;
+
+    /** Total seconds spent searching. */
+    double busy_seconds = 0.0;
+
+    /** Vectors scanned across all requests. */
+    std::uint64_t vectors_scanned = 0;
+};
+
+/**
+ * Asynchronous wrapper around one shard index.
+ *
+ * Thread-safe: any number of producers may submit() concurrently; a
+ * single worker thread owns the underlying (immutable) index during
+ * serving. The referenced index must outlive the node.
+ */
+class RetrievalNode
+{
+  public:
+    /**
+     * @param shard  The cluster's index (not owned; must be trained).
+     * @param config Queue/batching parameters.
+     */
+    RetrievalNode(const index::AnnIndex &shard, const NodeConfig &config);
+
+    RetrievalNode(const RetrievalNode &) = delete;
+    RetrievalNode &operator=(const RetrievalNode &) = delete;
+
+    /** Drains the queue and joins the worker. */
+    ~RetrievalNode();
+
+    /**
+     * Enqueue a search. The query is copied, so the caller's buffer may
+     * be reused immediately.
+     */
+    std::future<NodeResponse> submit(vecstore::VecView query, std::size_t k,
+                                     const index::SearchParams &params);
+
+    /** Snapshot of runtime statistics. */
+    NodeStats stats() const;
+
+    /** Vectors stored on this node. */
+    std::size_t shardSize() const { return shard_.size(); }
+
+  private:
+    struct Request
+    {
+        std::vector<float> query;
+        std::size_t k;
+        index::SearchParams params;
+        std::promise<NodeResponse> promise;
+    };
+
+    void workerLoop();
+
+    const index::AnnIndex &shard_;
+    NodeConfig config_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    std::deque<Request> queue_;
+    bool stopping_ = false;
+    NodeStats stats_;
+
+    std::thread worker_;
+};
+
+} // namespace serve
+} // namespace hermes

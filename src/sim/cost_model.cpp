@@ -1,0 +1,156 @@
+#include "sim/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace hermes {
+namespace sim {
+
+std::size_t
+DatastoreGeometry::nlist() const
+{
+    auto sqrt_n = static_cast<std::size_t>(std::sqrt(numVectors()));
+    return std::clamp<std::size_t>(sqrt_n, 1, kMaxNlist);
+}
+
+double
+DatastoreGeometry::indexBytes() const
+{
+    // Codes + 8-byte ids per vector, plus the fp32 centroid table.
+    return numVectors() * (static_cast<double>(code_bytes) + 8.0) +
+           static_cast<double>(nlist()) * dim * 4.0;
+}
+
+DatastoreGeometry
+DatastoreGeometry::split(std::size_t n) const
+{
+    HERMES_ASSERT(n >= 1, "split into at least one cluster");
+    DatastoreGeometry out = *this;
+    out.tokens = tokens / static_cast<double>(n);
+    return out;
+}
+
+double
+RetrievalCostModel::queryScanBytes(const DatastoreGeometry &geo,
+                                   std::size_t nprobe) const
+{
+    std::size_t nlist = geo.nlist();
+    double probe_frac =
+        std::min(1.0, static_cast<double>(nprobe) /
+                          static_cast<double>(nlist));
+    double centroid_bytes =
+        static_cast<double>(nlist) * geo.dim * sizeof(float);
+    double list_bytes = probe_frac * geo.numVectors() * geo.code_bytes;
+    return centroid_bytes + list_bytes;
+}
+
+double
+RetrievalCostModel::queryLatency(double scan_bytes, double freq_frac) const
+{
+    HERMES_ASSERT(freq_frac > 0.0 && freq_frac <= 1.0,
+                  "freq_frac out of range: ", freq_frac);
+    double rate = cpu_.scan_gbps_per_core * 1e9 * freq_frac;
+    return scan_bytes / rate;
+}
+
+double
+RetrievalCostModel::batchLatency(const DatastoreGeometry &geo,
+                                 std::size_t nprobe, std::size_t batch,
+                                 double freq_frac,
+                                 bool intra_query_parallel) const
+{
+    HERMES_ASSERT(batch > 0, "batch must be positive");
+    double per_query = queryLatency(queryScanBytes(geo, nprobe), freq_frac);
+    double waves = std::ceil(static_cast<double>(batch) /
+                             static_cast<double>(cpu_.cores));
+    if (intra_query_parallel && batch < cpu_.cores) {
+        double threads_per_query =
+            std::min(static_cast<double>(cpu_.cores) /
+                         static_cast<double>(batch),
+                     kIntraQueryMaxSpeedup);
+        double speedup = 1.0 + (threads_per_query - 1.0) * kIntraQueryEff;
+        per_query /= speedup;
+    }
+    return waves * per_query;
+}
+
+double
+RetrievalCostModel::power(double utilization, double freq_frac) const
+{
+    utilization = std::clamp(utilization, 0.0, 1.0);
+    double f3 = freq_frac * freq_frac * freq_frac;
+    return cpu_.idle_watts +
+           (cpu_.tdp_watts - cpu_.idle_watts) * utilization * f3;
+}
+
+double
+RetrievalCostModel::throughputQps(const DatastoreGeometry &geo,
+                                  std::size_t nprobe,
+                                  std::size_t batch) const
+{
+    double latency = batchLatency(geo, nprobe, batch);
+    return static_cast<double>(batch) / latency;
+}
+
+LlmCostModel::LlmCostModel(LlmModel model, GpuModel gpu,
+                           std::size_t num_gpus)
+    : model_(llmProfile(model)), gpu_(gpuProfile(gpu)), num_gpus_(num_gpus)
+{
+    std::size_t min_gpus = model_.minGpus(gpu_);
+    if (num_gpus_ == 0) {
+        num_gpus_ = min_gpus;
+    } else if (num_gpus_ < min_gpus) {
+        HERMES_FATAL(model_.name, " needs at least ", min_gpus, "x ",
+                     gpu_.name, " (", num_gpus_, " requested)");
+    }
+}
+
+double
+LlmCostModel::tpFactor() const
+{
+    // First GPU contributes 1.0, each extra one kTpEff (all-reduce
+    // overhead eats the rest) — why Fig 17 shows diminishing returns for
+    // small models spread over multiple GPUs.
+    return 1.0 + kTpEff * static_cast<double>(num_gpus_ - 1);
+}
+
+double
+LlmCostModel::prefillLatency(std::size_t batch, std::size_t tokens) const
+{
+    double flops = static_cast<double>(batch) * tokens * 2.0 *
+                   model_.params_b * 1e9;
+    double effective = gpu_.peak_tflops * 1e12 * kTensorCoreFactor *
+                       tpFactor();
+    return flops / effective;
+}
+
+double
+LlmCostModel::decodeLatency(std::size_t batch, std::size_t tokens) const
+{
+    // Per step, every TP rank streams its parameter shard; the step is
+    // bandwidth-bound until batches grow large enough to hit compute.
+    double bw_step = model_.paramBytes() /
+                     (gpu_.mem_bw_gbps * 1e9 * kDecodeBwEff * tpFactor());
+    double compute_step = static_cast<double>(batch) * 2.0 *
+                          model_.params_b * 1e9 /
+                          (gpu_.peak_tflops * 1e12 * kTensorCoreFactor *
+                           tpFactor());
+    return static_cast<double>(tokens) * std::max(bw_step, compute_step);
+}
+
+double
+LlmCostModel::busyEnergy(double seconds) const
+{
+    return seconds * gpu_.tdp_watts * static_cast<double>(num_gpus_);
+}
+
+double
+LlmCostModel::idleEnergy(double seconds) const
+{
+    return seconds * gpu_.idle_watts * static_cast<double>(num_gpus_);
+}
+
+} // namespace sim
+} // namespace hermes

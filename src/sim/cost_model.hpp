@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Analytic latency/energy cost models for retrieval nodes and inference
+ * GPUs, calibrated to the paper's reported single-node measurements
+ * (DESIGN.md §4). These replace the measured lookup tables of the paper's
+ * multi-node analysis tool (Fig 15) with closed-form equivalents.
+ */
+
+#pragma once
+
+#include <cstddef>
+
+#include "sim/hardware.hpp"
+
+namespace hermes {
+namespace sim {
+
+/**
+ * Shape of an at-scale IVF datastore, in the paper's units.
+ *
+ * The coarse quantizer is capped at kMaxNlist centroids: training K-means
+ * beyond ~10^4 centroids on billions of vectors is impractical, and the
+ * cap reproduces the linear latency-vs-size scaling the paper measures
+ * (Fig 6/7).
+ */
+struct DatastoreGeometry
+{
+    /** Datastore size in tokens (paper sweeps 100M..1T). */
+    double tokens = 10e9;
+
+    /** Tokens represented by one chunk/vector (paper: ~100). */
+    double tokens_per_chunk = 100.0;
+
+    /** Embedding dimensionality (BGE-large: 768 after projection). */
+    std::size_t dim = 768;
+
+    /** Bytes per stored code (SQ8: dim bytes). */
+    std::size_t code_bytes = 768;
+
+    /** Coarse-quantizer size cap. */
+    static constexpr std::size_t kMaxNlist = 10000;
+
+    /** Number of stored vectors. */
+    double numVectors() const { return tokens / tokens_per_chunk; }
+
+    /** Effective nlist: min(sqrt(N), kMaxNlist). */
+    std::size_t nlist() const;
+
+    /** Index memory footprint in bytes (codes + ids + centroids). */
+    double indexBytes() const;
+
+    /** Geometry of one of @p n equal similarity clusters. */
+    DatastoreGeometry split(std::size_t n) const;
+};
+
+/** Latency/energy model for IVF retrieval on a CPU node. */
+class RetrievalCostModel
+{
+  public:
+    explicit RetrievalCostModel(const CpuProfile &cpu) : cpu_(cpu) {}
+
+    const CpuProfile &cpu() const { return cpu_; }
+
+    /** Bytes one query scans: centroid table + probed list codes. */
+    double queryScanBytes(const DatastoreGeometry &geo,
+                          std::size_t nprobe) const;
+
+    /**
+     * Single-query latency on one core.
+     * @param scan_bytes Bytes scanned.
+     * @param freq_frac  DVFS operating point as a fraction of max freq.
+     */
+    double queryLatency(double scan_bytes, double freq_frac = 1.0) const;
+
+    /**
+     * Batch latency with FAISS-style one-thread-per-query work stealing:
+     * ceil(batch / cores) waves of per-query latency.
+     *
+     * @param intra_query_parallel When the node has more cores than
+     *        queries, split each query's probed lists across the idle
+     *        cores (FAISS does this on underloaded nodes). Speedup is
+     *        capped at kIntraQueryMaxSpeedup with kIntraQueryEff
+     *        marginal efficiency.
+     */
+    double batchLatency(const DatastoreGeometry &geo, std::size_t nprobe,
+                        std::size_t batch, double freq_frac = 1.0,
+                        bool intra_query_parallel = false) const;
+
+    /** Max useful threads per single query (list-level granularity). */
+    static constexpr double kIntraQueryMaxSpeedup = 4.0;
+
+    /** Marginal efficiency of each extra intra-query thread. */
+    static constexpr double kIntraQueryEff = 0.8;
+
+    /**
+     * Package power at the given utilization and DVFS point.
+     * P = idle + (tdp - idle) * util * freq_frac^3 (CMOS dynamic power).
+     */
+    double power(double utilization, double freq_frac = 1.0) const;
+
+    /** Energy of a busy interval. */
+    double
+    energy(double seconds, double utilization, double freq_frac = 1.0) const
+    {
+        return seconds * power(utilization, freq_frac);
+    }
+
+    /** Steady-state throughput in queries/second for a batch size. */
+    double throughputQps(const DatastoreGeometry &geo, std::size_t nprobe,
+                         std::size_t batch) const;
+
+  private:
+    CpuProfile cpu_;
+};
+
+/** Latency/energy model for LLM serving on one or more GPUs. */
+class LlmCostModel
+{
+  public:
+    /**
+     * @param model    The LLM (or encoder) being served.
+     * @param gpu      GPU type.
+     * @param num_gpus Tensor-parallel degree; 0 = minimum that fits.
+     */
+    LlmCostModel(LlmModel model, GpuModel gpu, std::size_t num_gpus = 0);
+
+    const LlmProfile &model() const { return model_; }
+    const GpuProfile &gpu() const { return gpu_; }
+    std::size_t numGpus() const { return num_gpus_; }
+
+    /**
+     * Prefill latency: compute-bound on tensor cores.
+     * @param batch  Queries in the batch.
+     * @param tokens Tokens prefilled per query.
+     */
+    double prefillLatency(std::size_t batch, std::size_t tokens) const;
+
+    /**
+     * Decode latency: bandwidth-bound parameter streaming per step.
+     * @param batch  Queries decoded together.
+     * @param tokens Tokens generated per query.
+     */
+    double decodeLatency(std::size_t batch, std::size_t tokens) const;
+
+    /** Encoder forward pass = prefill of the query tokens. */
+    double
+    encodeLatency(std::size_t batch, std::size_t tokens) const
+    {
+        return prefillLatency(batch, tokens);
+    }
+
+    /** Energy for @p seconds of busy GPU time (all TP ranks). */
+    double busyEnergy(double seconds) const;
+
+    /** Energy for @p seconds of idle GPU time (all TP ranks). */
+    double idleEnergy(double seconds) const;
+
+    /**
+     * Effective tensor throughput multiplier over the quoted TFLOPS
+     * figure (FP16 tensor cores vs the headline spec), calibrated so
+     * Gemma2-9B/A6000 matches the paper's prefill latency.
+     */
+    static constexpr double kTensorCoreFactor = 9.5;
+
+    /** Achievable fraction of peak memory bandwidth during decode. */
+    static constexpr double kDecodeBwEff = 0.62;
+
+    /** Marginal efficiency of each extra tensor-parallel GPU. */
+    static constexpr double kTpEff = 0.70;
+
+  private:
+    /** Aggregate scaling factor from tensor parallelism. */
+    double tpFactor() const;
+
+    LlmProfile model_;
+    GpuProfile gpu_;
+    std::size_t num_gpus_;
+};
+
+} // namespace sim
+} // namespace hermes

@@ -1,0 +1,184 @@
+#include "sim/hardware.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/logging.hpp"
+
+namespace hermes {
+namespace sim {
+
+namespace {
+
+const CpuProfile kXeonGold6448Y = {
+    .name = "Xeon Gold 6448Y",
+    .cores = 32,
+    .max_freq_ghz = 2.3,
+    .min_freq_ghz = 0.8,
+    .tdp_watts = 300.0,
+    .idle_watts = 75.0,
+    .scan_gbps_per_core = 1.75,
+    .mem_gb = 512.0,
+};
+
+const CpuProfile kXeonPlatinum8380 = {
+    .name = "Xeon Platinum 8380",
+    .cores = 40,
+    .max_freq_ghz = 2.3,
+    .min_freq_ghz = 0.8,
+    .tdp_watts = 270.0,
+    .idle_watts = 70.0,
+    .scan_gbps_per_core = 2.10,
+    .mem_gb = 512.0,
+};
+
+const CpuProfile kXeonSilver4316 = {
+    .name = "Xeon Silver 4316",
+    .cores = 20,
+    .max_freq_ghz = 2.3,
+    .min_freq_ghz = 0.8,
+    .tdp_watts = 150.0,
+    .idle_watts = 45.0,
+    .scan_gbps_per_core = 1.40,
+    .mem_gb = 256.0,
+};
+
+const CpuProfile kNeoverseN1 = {
+    .name = "Neoverse-N1",
+    .cores = 80,
+    .max_freq_ghz = 3.0,
+    .min_freq_ghz = 1.0,
+    .tdp_watts = 250.0,
+    .idle_watts = 60.0,
+    .scan_gbps_per_core = 0.70,
+    .mem_gb = 512.0,
+};
+
+const GpuProfile kA6000Ada = {
+    .name = "A6000 Ada",
+    .peak_tflops = 91.0,
+    .mem_bw_gbps = 960.0,
+    .tdp_watts = 300.0,
+    .idle_watts = 22.0,
+    .mem_gb = 48.0,
+};
+
+const GpuProfile kL4 = {
+    .name = "L4",
+    .peak_tflops = 31.0,
+    .mem_bw_gbps = 300.0,
+    .tdp_watts = 140.0,
+    .idle_watts = 12.0,
+    .mem_gb = 24.0,
+};
+
+const LlmProfile kBgeLarge = {
+    .name = "BGE-Large", .params_b = 0.335, .bytes_per_param = 2.0,
+    .retrieval_augmented = false, .kv_bytes_per_token = 0.0,
+};
+const LlmProfile kPhi15 = {
+    .name = "Phi-1.5 (1.3B)", .params_b = 1.3, .bytes_per_param = 2.0,
+    .retrieval_augmented = false, .kv_bytes_per_token = 196e3,
+};
+const LlmProfile kGemma2_9B = {
+    .name = "Gemma2 (9B)", .params_b = 9.0, .bytes_per_param = 2.0,
+    .retrieval_augmented = false, .kv_bytes_per_token = 256e3,
+};
+const LlmProfile kOpt30B = {
+    .name = "OPT (30B)", .params_b = 30.0, .bytes_per_param = 2.0,
+    .retrieval_augmented = false, .kv_bytes_per_token = 1.38e6,
+};
+const LlmProfile kGpt2_762M = {
+    .name = "GPT-2 762M", .params_b = 0.762, .bytes_per_param = 2.0,
+    .retrieval_augmented = false, .kv_bytes_per_token = 148e3,
+};
+const LlmProfile kGpt2_1_5B = {
+    .name = "GPT-2 1.5B", .params_b = 1.5, .bytes_per_param = 2.0,
+    .retrieval_augmented = false, .kv_bytes_per_token = 230e3,
+};
+const LlmProfile kRetro578M = {
+    .name = "RETRO 578M", .params_b = 0.578, .bytes_per_param = 2.0,
+    .retrieval_augmented = true, .kv_bytes_per_token = 128e3,
+};
+
+} // namespace
+
+const CpuProfile &
+cpuProfile(CpuModel model)
+{
+    switch (model) {
+      case CpuModel::XeonGold6448Y:    return kXeonGold6448Y;
+      case CpuModel::XeonPlatinum8380: return kXeonPlatinum8380;
+      case CpuModel::XeonSilver4316:   return kXeonSilver4316;
+      case CpuModel::NeoverseN1:       return kNeoverseN1;
+    }
+    HERMES_PANIC("unknown CPU model");
+}
+
+const GpuProfile &
+gpuProfile(GpuModel model)
+{
+    switch (model) {
+      case GpuModel::A6000Ada: return kA6000Ada;
+      case GpuModel::L4:       return kL4;
+    }
+    HERMES_PANIC("unknown GPU model");
+}
+
+std::vector<CpuModel>
+allCpuModels()
+{
+    return {CpuModel::NeoverseN1, CpuModel::XeonGold6448Y,
+            CpuModel::XeonPlatinum8380, CpuModel::XeonSilver4316};
+}
+
+std::vector<GpuModel>
+allGpuModels()
+{
+    return {GpuModel::A6000Ada, GpuModel::L4};
+}
+
+std::size_t
+LlmProfile::minGpus(const GpuProfile &gpu) const
+{
+    // Parameters plus ~35% headroom for KV cache and activations.
+    double needed_gb = paramBytes() * 1.35 / 1e9;
+    auto gpus = static_cast<std::size_t>(
+        std::ceil(needed_gb / gpu.mem_gb));
+    return gpus == 0 ? 1 : gpus;
+}
+
+std::size_t
+LlmProfile::maxBatch(const GpuProfile &gpu, std::size_t num_gpus,
+                     std::size_t context_tokens) const
+{
+    HERMES_ASSERT(num_gpus >= 1, "need at least one GPU");
+    double total_gb = gpu.mem_gb * static_cast<double>(num_gpus);
+    // Weights plus ~15% activation/workspace headroom.
+    double free_bytes = total_gb * 1e9 - paramBytes() * 1.15;
+    if (free_bytes <= 0.0)
+        return 0;
+    if (kv_bytes_per_token <= 0.0 || context_tokens == 0)
+        return std::numeric_limits<std::size_t>::max();
+    double per_seq = kv_bytes_per_token *
+                     static_cast<double>(context_tokens);
+    return static_cast<std::size_t>(free_bytes / per_seq);
+}
+
+const LlmProfile &
+llmProfile(LlmModel model)
+{
+    switch (model) {
+      case LlmModel::BgeLarge:  return kBgeLarge;
+      case LlmModel::Phi15:     return kPhi15;
+      case LlmModel::Gemma2_9B: return kGemma2_9B;
+      case LlmModel::Opt30B:    return kOpt30B;
+      case LlmModel::Gpt2_762M: return kGpt2_762M;
+      case LlmModel::Gpt2_1_5B: return kGpt2_1_5B;
+      case LlmModel::Retro578M: return kRetro578M;
+    }
+    HERMES_PANIC("unknown LLM model");
+}
+
+} // namespace sim
+} // namespace hermes

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Hardware profiles for the multi-node analysis tool (paper §5, Fig 15).
+ *
+ * The paper measures per-node latency/power on real Intel/ARM CPUs and
+ * NVIDIA GPUs and aggregates lookup tables into at-scale estimates. We
+ * replace the measured tables with analytic profiles calibrated to the
+ * paper's reported single-node numbers (see DESIGN.md §4); the aggregation
+ * logic is the same.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hermes {
+namespace sim {
+
+/** CPU platforms evaluated in the paper (Fig 20). */
+enum class CpuModel {
+    XeonGold6448Y,   ///< 32 cores; the paper's default retrieval node.
+    XeonPlatinum8380,///< 40 cores; best latency/throughput in Fig 20.
+    XeonSilver4316,  ///< 20 cores; budget option.
+    NeoverseN1,      ///< 80-core ARM; slower cores, wins via batch size.
+};
+
+/** GPU platforms evaluated in the paper (Fig 17). */
+enum class GpuModel {
+    A6000Ada, ///< 91 TFLOPS @ 300 W (paper's numbers).
+    L4,       ///< 31 TFLOPS @ 140 W.
+};
+
+/** A retrieval node's CPU characteristics. */
+struct CpuProfile
+{
+    std::string name;
+
+    /** Physical cores available to FAISS-style one-thread-per-query. */
+    std::size_t cores = 32;
+
+    /** Nominal (max) core frequency in GHz. */
+    double max_freq_ghz = 2.3;
+
+    /** Lowest DVFS operating point in GHz. */
+    double min_freq_ghz = 0.8;
+
+    /** Package power at max frequency, all cores busy (W). */
+    double tdp_watts = 300.0;
+
+    /** Package power when idle (W). */
+    double idle_watts = 75.0;
+
+    /**
+     * Effective IVF code-scan throughput per core at max frequency
+     * (GB/s): covers SQ8 decode + distance arithmetic. Calibrated so a
+     * 32-core Xeon Gold matches the paper's 10B/100B retrieval latency.
+     */
+    double scan_gbps_per_core = 1.75;
+
+    /** DRAM capacity (GB) — bounds the index a single node can host. */
+    double mem_gb = 512.0;
+};
+
+/** An inference accelerator's characteristics. */
+struct GpuProfile
+{
+    std::string name;
+
+    /** Headline compute (TFLOPS) as quoted by the paper. */
+    double peak_tflops = 91.0;
+
+    /** HBM/GDDR bandwidth (GB/s) — decode is bandwidth-bound. */
+    double mem_bw_gbps = 960.0;
+
+    /** Board power when busy (W). */
+    double tdp_watts = 300.0;
+
+    /** Board power when idle (W). */
+    double idle_watts = 20.0;
+
+    /** Memory capacity (GB) — determines tensor-parallel degree. */
+    double mem_gb = 48.0;
+};
+
+/** Profile registry lookup. */
+const CpuProfile &cpuProfile(CpuModel model);
+const GpuProfile &gpuProfile(GpuModel model);
+
+/** All CPU models, in Fig 20 order. */
+std::vector<CpuModel> allCpuModels();
+
+/** All GPU models, in Fig 17 order. */
+std::vector<GpuModel> allGpuModels();
+
+/**
+ * LLM / encoder architectures evaluated in the paper (§5 and Fig 5):
+ * inference models plus the BGE encoder and the Fig 5 perplexity models.
+ */
+enum class LlmModel {
+    BgeLarge,   ///< 0.335B encoder (bge-large-en).
+    Phi15,      ///< 1.3B.
+    Gemma2_9B,  ///< 9B; the paper's default.
+    Opt30B,     ///< 30B; needs tensor parallelism.
+    Gpt2_762M,  ///< Fig 5 perplexity reference.
+    Gpt2_1_5B,  ///< Fig 5 perplexity reference.
+    Retro578M,  ///< Fig 5 retrieval-augmented reference.
+};
+
+/** An LLM's cost-model-relevant attributes. */
+struct LlmProfile
+{
+    std::string name;
+
+    /** Parameter count (billions). */
+    double params_b = 9.0;
+
+    /** Bytes per parameter under FP16 serving. */
+    double bytes_per_param = 2.0;
+
+    /** True for retrieval-augmented architectures (RETRO-style). */
+    bool retrieval_augmented = false;
+
+    /**
+     * KV-cache bytes per context token per sequence (FP16, accounting
+     * for grouped-query attention where the architecture uses it).
+     */
+    double kv_bytes_per_token = 0.0;
+
+    /** Parameter bytes resident on GPU. */
+    double
+    paramBytes() const
+    {
+        return params_b * 1e9 * bytes_per_param;
+    }
+
+    /** Minimum GPUs of @p gpu needed to hold the parameters. */
+    std::size_t minGpus(const GpuProfile &gpu) const;
+
+    /**
+     * Largest batch whose KV cache fits next to the weights on
+     * @p num_gpus of @p gpu at the given per-sequence context length.
+     */
+    std::size_t maxBatch(const GpuProfile &gpu, std::size_t num_gpus,
+                         std::size_t context_tokens) const;
+};
+
+const LlmProfile &llmProfile(LlmModel model);
+
+} // namespace sim
+} // namespace hermes

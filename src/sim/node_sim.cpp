@@ -1,0 +1,228 @@
+#include "sim/node_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace hermes {
+namespace sim {
+
+const char *
+dvfsPolicyName(DvfsPolicy policy)
+{
+    switch (policy) {
+      case DvfsPolicy::None:           return "none";
+      case DvfsPolicy::SlowestCluster: return "baseline-dvfs";
+      case DvfsPolicy::MatchInference: return "enhanced-dvfs";
+    }
+    return "?";
+}
+
+MultiNodeSimulator::MultiNodeSimulator(const MultiNodeConfig &config)
+    : config_(config), cost_(cpuProfile(config.cpu))
+{
+    HERMES_ASSERT(config_.num_clusters >= 1, "need at least one cluster");
+    HERMES_ASSERT(config_.batch >= 1, "need at least one query per batch");
+    if (!config_.cluster_shares.empty()) {
+        HERMES_ASSERT(config_.cluster_shares.size() == config_.num_clusters,
+                      "cluster_shares size mismatch");
+    }
+}
+
+DatastoreGeometry
+MultiNodeSimulator::clusterGeometry(std::size_t c) const
+{
+    HERMES_ASSERT(c < config_.num_clusters, "bad cluster ", c);
+    if (config_.cluster_shares.empty())
+        return config_.total.split(config_.num_clusters);
+
+    double total_share = 0.0;
+    for (double s : config_.cluster_shares)
+        total_share += s;
+    DatastoreGeometry geo = config_.total;
+    geo.tokens = config_.total.tokens * config_.cluster_shares[c] /
+                 total_share;
+    return geo;
+}
+
+double
+MultiNodeSimulator::nodeDeepTime(std::size_t c, std::size_t queries) const
+{
+    if (queries == 0)
+        return 0.0;
+    return cost_.batchLatency(clusterGeometry(c), config_.deep_nprobe,
+                              queries, 1.0,
+                              config_.intra_query_parallelism);
+}
+
+BatchResult
+MultiNodeSimulator::simulateBatch(
+    const std::vector<std::vector<std::uint32_t>> &accesses) const
+{
+    const std::size_t n = config_.num_clusters;
+    const auto &cpu = cost_.cpu();
+    const double min_frac = cpu.min_freq_ghz / cpu.max_freq_ghz;
+
+    BatchResult result;
+    result.node_queries.assign(n, 0);
+    for (const auto &query : accesses) {
+        for (auto c : query) {
+            HERMES_ASSERT(c < n, "access to cluster ", c, " of ", n);
+            result.node_queries[c]++;
+        }
+    }
+
+    // --- Sampling phase: every node serves the full batch at a low
+    // nProbe (skipped when sample_nprobe == 0).
+    double sample_energy = 0.0;
+    if (config_.sample_nprobe > 0) {
+        std::size_t sample_batch =
+            accesses.size() ? accesses.size() : config_.batch;
+        std::vector<double> sample_times(n);
+        for (std::size_t c = 0; c < n; ++c) {
+            sample_times[c] = cost_.batchLatency(
+                clusterGeometry(c), config_.sample_nprobe, sample_batch,
+                1.0, config_.intra_query_parallelism);
+            result.sample_latency =
+                std::max(result.sample_latency, sample_times[c]);
+        }
+        // Nodes busy for their own time, idle until the slowest finishes.
+        for (std::size_t c = 0; c < n; ++c) {
+            sample_energy += cost_.energy(sample_times[c], 1.0, 1.0);
+            sample_energy += cost_.energy(
+                result.sample_latency - sample_times[c], 0.0);
+        }
+    }
+
+    // --- Deep phase at max frequency first, to find the critical path.
+    std::vector<double> busy_full(n, 0.0);
+    double deep_latency_full = 0.0;
+    for (std::size_t c = 0; c < n; ++c) {
+        busy_full[c] = nodeDeepTime(c, result.node_queries[c]);
+        deep_latency_full = std::max(deep_latency_full, busy_full[c]);
+    }
+
+    // --- Apply the DVFS policy: pick a per-node frequency so the node
+    // finishes no later than the policy's deadline.
+    double deadline = deep_latency_full;
+    if (config_.dvfs == DvfsPolicy::MatchInference) {
+        deadline = std::max(deep_latency_full, config_.inference_latency);
+    }
+
+    result.node_busy.assign(n, 0.0);
+    result.node_freq.assign(n, 1.0);
+    double deep_energy = 0.0;
+    result.deep_latency = 0.0;
+    for (std::size_t c = 0; c < n; ++c) {
+        double freq = 1.0;
+        if (config_.dvfs != DvfsPolicy::None && busy_full[c] > 0.0 &&
+            deadline > 0.0) {
+            freq = std::clamp(busy_full[c] / deadline, min_frac, 1.0);
+        }
+        double busy = busy_full[c] > 0.0 ? busy_full[c] / freq : 0.0;
+        result.node_freq[c] = freq;
+        result.node_busy[c] = busy;
+        result.deep_latency = std::max(result.deep_latency, busy);
+    }
+    // Energy accounting window: when retrieval is pipelined with
+    // inference, every node sits in the deployment for the inference
+    // window regardless of DVFS policy, so idle time is charged up to
+    // max(deep window, inference window) for a fair policy comparison.
+    double window = std::max(result.deep_latency,
+                             config_.inference_latency);
+    for (std::size_t c = 0; c < n; ++c) {
+        // Utilization while busy: queries spread over cores in waves.
+        double util = 0.0;
+        if (result.node_queries[c] > 0) {
+            double waves = std::ceil(
+                static_cast<double>(result.node_queries[c]) /
+                static_cast<double>(cpu.cores));
+            util = static_cast<double>(result.node_queries[c]) /
+                   (waves * static_cast<double>(cpu.cores));
+        }
+        deep_energy += cost_.energy(result.node_busy[c], util,
+                                    result.node_freq[c]);
+        deep_energy += cost_.energy(window - result.node_busy[c], 0.0);
+    }
+
+    result.latency = result.sample_latency + result.deep_latency;
+    result.energy = sample_energy + deep_energy;
+    std::size_t queries = accesses.size() ? accesses.size() : config_.batch;
+    result.throughput_qps =
+        result.latency > 0.0 ? static_cast<double>(queries) / result.latency
+                             : 0.0;
+    return result;
+}
+
+BatchResult
+MultiNodeSimulator::simulateUniformBatch(
+    std::size_t clusters_per_query) const
+{
+    HERMES_ASSERT(clusters_per_query >= 1 &&
+                  clusters_per_query <= config_.num_clusters,
+                  "clusters_per_query out of range");
+    std::vector<std::vector<std::uint32_t>> accesses(config_.batch);
+    std::size_t next = 0;
+    for (auto &query : accesses) {
+        query.reserve(clusters_per_query);
+        for (std::size_t i = 0; i < clusters_per_query; ++i) {
+            query.push_back(static_cast<std::uint32_t>(
+                next % config_.num_clusters));
+            ++next;
+        }
+    }
+    return simulateBatch(accesses);
+}
+
+BatchResult
+MultiNodeSimulator::replayTrace(const workload::ClusterTrace &trace) const
+{
+    HERMES_ASSERT(trace.num_clusters == config_.num_clusters,
+                  "trace cluster count (", trace.num_clusters,
+                  ") != deployment (", config_.num_clusters, ")");
+    auto batches = trace.batches(config_.batch);
+    HERMES_ASSERT(!batches.empty(), "empty trace");
+
+    BatchResult mean;
+    mean.node_busy.assign(config_.num_clusters, 0.0);
+    mean.node_freq.assign(config_.num_clusters, 0.0);
+    mean.node_queries.assign(config_.num_clusters, 0);
+    double total_queries = 0.0;
+    double total_time = 0.0;
+
+    for (const auto &batch : batches) {
+        std::vector<std::vector<std::uint32_t>> accesses;
+        accesses.reserve(batch.size());
+        for (const auto *record : batch)
+            accesses.push_back(record->clusters);
+        auto r = simulateBatch(accesses);
+
+        mean.sample_latency += r.sample_latency;
+        mean.deep_latency += r.deep_latency;
+        mean.latency += r.latency;
+        mean.energy += r.energy;
+        for (std::size_t c = 0; c < config_.num_clusters; ++c) {
+            mean.node_busy[c] += r.node_busy[c];
+            mean.node_freq[c] += r.node_freq[c];
+            mean.node_queries[c] += r.node_queries[c];
+        }
+        total_queries += static_cast<double>(batch.size());
+        total_time += r.latency;
+    }
+
+    double inv = 1.0 / static_cast<double>(batches.size());
+    mean.sample_latency *= inv;
+    mean.deep_latency *= inv;
+    mean.latency *= inv;
+    mean.energy *= inv;
+    for (std::size_t c = 0; c < config_.num_clusters; ++c) {
+        mean.node_busy[c] *= inv;
+        mean.node_freq[c] *= inv;
+    }
+    mean.throughput_qps = total_time > 0.0 ? total_queries / total_time : 0.0;
+    return mean;
+}
+
+} // namespace sim
+} // namespace hermes

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Multi-node aggregation tool (paper §5 "Multi-Node Analysis", Fig 15).
+ *
+ * Replays a cluster-access trace (which clusters each query deep-searches)
+ * against per-node cost models to estimate batch latency, throughput and
+ * energy of a distributed Hermes deployment, including the DVFS policies
+ * of Fig 21.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "sim/cost_model.hpp"
+#include "workload/trace.hpp"
+
+namespace hermes {
+namespace sim {
+
+/** Per-batch DVFS policy (paper §4.2 / Fig 21). */
+enum class DvfsPolicy {
+    /** All nodes at max frequency. */
+    None,
+    /**
+     * Baseline DVFS: lightly-loaded nodes slow down so they finish with
+     * the slowest cluster of the batch (no latency cost).
+     */
+    SlowestCluster,
+    /**
+     * Enhanced DVFS: retrieval is pipelined with inference, so nodes may
+     * slow all the way down to the inference-stage latency.
+     */
+    MatchInference,
+};
+
+/** Human-readable policy name. */
+const char *dvfsPolicyName(DvfsPolicy policy);
+
+/** Deployment description for the simulator. */
+struct MultiNodeConfig
+{
+    /** Geometry of the *whole* datastore. */
+    DatastoreGeometry total;
+
+    /** Number of cluster nodes. */
+    std::size_t num_clusters = 10;
+
+    /**
+     * Relative token share of each cluster (empty = even split). Feed the
+     * measured partition sizes here to model K-means imbalance.
+     */
+    std::vector<double> cluster_shares;
+
+    /** Sampling-pass nProbe (0 disables the sampling phase — naive split
+     *  and monolithic deployments have none). */
+    std::size_t sample_nprobe = 8;
+
+    /** Deep-search nProbe. */
+    std::size_t deep_nprobe = 128;
+
+    /** Queries per batch. */
+    std::size_t batch = 128;
+
+    /** Retrieval node CPU. */
+    CpuModel cpu = CpuModel::XeonGold6448Y;
+
+    /** DVFS policy. */
+    DvfsPolicy dvfs = DvfsPolicy::None;
+
+    /**
+     * Let underloaded nodes split a query's probed lists across idle
+     * cores (FAISS behaviour; used by the Fig 20 platform study).
+     */
+    bool intra_query_parallelism = false;
+
+    /**
+     * Inference-stage latency target for DvfsPolicy::MatchInference
+     * (seconds per batch).
+     */
+    double inference_latency = 0.0;
+};
+
+/** Result of simulating one query batch. */
+struct BatchResult
+{
+    /** Sampling-phase latency (max over nodes). */
+    double sample_latency = 0.0;
+
+    /** Deep-phase latency (max over nodes). */
+    double deep_latency = 0.0;
+
+    /** Total retrieval latency for the batch. */
+    double latency = 0.0;
+
+    /** CPU energy over the batch window across all nodes (J). */
+    double energy = 0.0;
+
+    /** Steady-state throughput (queries/s). */
+    double throughput_qps = 0.0;
+
+    /** Deep-phase busy seconds per node (at the chosen frequency). */
+    std::vector<double> node_busy;
+
+    /** Deep-phase frequency fraction per node. */
+    std::vector<double> node_freq;
+
+    /** Deep accesses per node. */
+    std::vector<std::size_t> node_queries;
+};
+
+/** Multi-node deployment simulator. */
+class MultiNodeSimulator
+{
+  public:
+    explicit MultiNodeSimulator(const MultiNodeConfig &config);
+
+    const MultiNodeConfig &config() const { return config_; }
+
+    /** Geometry of cluster @p c after applying cluster_shares. */
+    DatastoreGeometry clusterGeometry(std::size_t c) const;
+
+    /**
+     * Simulate one batch given each query's deep-searched clusters.
+     * @param accesses accesses[q] = clusters deep-searched by query q.
+     */
+    BatchResult simulateBatch(
+        const std::vector<std::vector<std::uint32_t>> &accesses) const;
+
+    /**
+     * Simulate a batch where every query deep-searches
+     * @p clusters_per_query nodes, spread round-robin (the even-load
+     * idealization used for naive-split comparisons).
+     */
+    BatchResult simulateUniformBatch(std::size_t clusters_per_query) const;
+
+    /**
+     * Replay a measured trace batch-by-batch; returns the mean result
+     * (latencies/energies averaged, throughput recomputed).
+     */
+    BatchResult replayTrace(const workload::ClusterTrace &trace) const;
+
+  private:
+    /** Deep-phase busy time of node @p c with @p queries at max freq. */
+    double nodeDeepTime(std::size_t c, std::size_t queries) const;
+
+    MultiNodeConfig config_;
+    RetrievalCostModel cost_;
+};
+
+} // namespace sim
+} // namespace hermes

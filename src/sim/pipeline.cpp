@@ -1,0 +1,248 @@
+#include "sim/pipeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace hermes {
+namespace sim {
+
+const char *
+retrievalModeName(RetrievalMode mode)
+{
+    switch (mode) {
+      case RetrievalMode::Monolithic: return "monolithic";
+      case RetrievalMode::NaiveSplit: return "naive-split";
+      case RetrievalMode::Hermes:     return "hermes";
+    }
+    return "?";
+}
+
+RagPipelineSim::RagPipelineSim(const PipelineConfig &config)
+    : config_(config),
+      llm_(config.model, config.gpu, config.num_gpus),
+      encoder_(LlmModel::BgeLarge, config.gpu, 1),
+      cpu_cost_(cpuProfile(config.cpu))
+{
+    HERMES_ASSERT(config_.stride >= 1, "stride must be >= 1");
+    HERMES_ASSERT(config_.output_tokens >= config_.stride,
+                  "output shorter than one stride");
+}
+
+std::size_t
+RagPipelineSim::numRetrievalNodes() const
+{
+    return config_.retrieval == RetrievalMode::Monolithic
+        ? 1 : config_.num_clusters;
+}
+
+double
+RagPipelineSim::retrievalLatency() const
+{
+    switch (config_.retrieval) {
+      case RetrievalMode::Monolithic:
+        return cpu_cost_.batchLatency(config_.datastore,
+                                      config_.deep_nprobe, config_.batch);
+      case RetrievalMode::NaiveSplit: {
+        MultiNodeConfig mn;
+        mn.total = config_.datastore;
+        mn.num_clusters = config_.num_clusters;
+        mn.sample_nprobe = 0;
+        mn.deep_nprobe = config_.deep_nprobe;
+        mn.batch = config_.batch;
+        mn.cpu = config_.cpu;
+        MultiNodeSimulator sim(mn);
+        return sim.simulateUniformBatch(config_.num_clusters).latency;
+      }
+      case RetrievalMode::Hermes: {
+        MultiNodeConfig mn;
+        mn.total = config_.datastore;
+        mn.num_clusters = config_.num_clusters;
+        mn.sample_nprobe = config_.sample_nprobe;
+        mn.deep_nprobe = config_.deep_nprobe;
+        mn.batch = config_.batch;
+        mn.cpu = config_.cpu;
+        MultiNodeSimulator sim(mn);
+        return sim.simulateUniformBatch(config_.clusters_to_search).latency;
+      }
+    }
+    HERMES_PANIC("unknown retrieval mode");
+}
+
+double
+RagPipelineSim::strideInferenceWindow() const
+{
+    // Steady per-stride inference time without caching: re-prefill of the
+    // context-enhanced query plus decoding one stride. This is both the
+    // enhanced-DVFS slowdown target (Fig 21) and the window retrieval can
+    // hide under when pipelined (Fig 10/19).
+    return llm_.prefillLatency(config_.batch, config_.input_tokens) +
+           llm_.decodeLatency(config_.batch, config_.stride);
+}
+
+double
+RagPipelineSim::retrievalEnergy() const
+{
+    // The pipelined-inference window is charged to the retrieval nodes
+    // only under enhanced DVFS, where stretching into that window is the
+    // mechanism being modeled (Fig 21); otherwise energy covers the
+    // retrieval window alone, matching the paper's per-stage RAPL
+    // measurements.
+    const double inference_window =
+        config_.dvfs == DvfsPolicy::MatchInference
+            ? strideInferenceWindow() : 0.0;
+    switch (config_.retrieval) {
+      case RetrievalMode::Monolithic: {
+        double t = retrievalLatency();
+        double window = std::max(t, inference_window);
+        return cpu_cost_.energy(t, 1.0, 1.0) +
+               cpu_cost_.energy(window - t, 0.0);
+      }
+      case RetrievalMode::NaiveSplit: {
+        MultiNodeConfig mn;
+        mn.total = config_.datastore;
+        mn.num_clusters = config_.num_clusters;
+        mn.sample_nprobe = 0;
+        mn.deep_nprobe = config_.deep_nprobe;
+        mn.batch = config_.batch;
+        mn.cpu = config_.cpu;
+        mn.dvfs = config_.dvfs;
+        mn.inference_latency = inference_window;
+        MultiNodeSimulator sim(mn);
+        return sim.simulateUniformBatch(config_.num_clusters).energy;
+      }
+      case RetrievalMode::Hermes: {
+        MultiNodeConfig mn;
+        mn.total = config_.datastore;
+        mn.num_clusters = config_.num_clusters;
+        mn.sample_nprobe = config_.sample_nprobe;
+        mn.deep_nprobe = config_.deep_nprobe;
+        mn.batch = config_.batch;
+        mn.cpu = config_.cpu;
+        mn.dvfs = config_.dvfs;
+        mn.inference_latency = inference_window;
+        MultiNodeSimulator sim(mn);
+        return sim.simulateUniformBatch(config_.clusters_to_search).energy;
+      }
+    }
+    HERMES_PANIC("unknown retrieval mode");
+}
+
+PipelineResult
+RagPipelineSim::run() const
+{
+    PipelineResult result;
+    result.num_strides = config_.output_tokens / config_.stride;
+    HERMES_ASSERT(result.num_strides >= 1, "no strides to run");
+
+    const double t_enc =
+        encoder_.encodeLatency(config_.batch, config_.input_tokens);
+    const double t_retr = retrievalLatency();
+    const double e_retr = retrievalEnergy();
+
+    // Full prefill of the context-enhanced query.
+    const double t_prefill_full =
+        llm_.prefillLatency(config_.batch, config_.input_tokens);
+    // With RAGCache document KV caching, later strides prefill only the
+    // tokens generated since the previous retrieval on a cache hit, and
+    // pay the full prefill on a miss (the paper assumes hit rate 1.0).
+    HERMES_ASSERT(config_.cache_hit_rate >= 0.0 &&
+                  config_.cache_hit_rate <= 1.0,
+                  "cache_hit_rate must be in [0, 1]");
+    const double t_prefill_cached =
+        llm_.prefillLatency(config_.batch, config_.stride);
+    const double t_prefill_stride = config_.prefix_caching
+        ? config_.cache_hit_rate * t_prefill_cached +
+              (1.0 - config_.cache_hit_rate) * t_prefill_full
+        : t_prefill_full;
+    const double t_decode_stride =
+        llm_.decodeLatency(config_.batch, config_.stride);
+
+    result.retrieval_per_stride = t_retr;
+    result.inference_per_stride = t_prefill_stride + t_decode_stride;
+
+    // Unoverlapped stage totals (Fig 6-style breakdown bars).
+    const auto strides = static_cast<double>(result.num_strides);
+    result.stage.encode = t_enc * strides;
+    result.stage.retrieval = t_retr * strides;
+    result.stage.prefill =
+        t_prefill_full + t_prefill_stride * (strides - 1.0);
+    result.stage.decode = t_decode_stride * strides;
+
+    // TTFT: encode + first retrieval + full prefill; no optimization can
+    // overlap the *first* retrieval (paper Takeaway 2, Fig 16).
+    result.ttft = t_enc + t_retr + t_prefill_full;
+
+    const double steady_work =
+        t_enc + t_retr + t_prefill_stride + t_decode_stride;
+    if (config_.pipelining) {
+        // PipeRAG: the (i+1)-th retrieval (with a slightly stale query)
+        // overlaps the i-th stride's inference; each steady stride costs
+        // the slower of the two pipelines.
+        double steady = std::max(t_enc + t_retr,
+                                 t_prefill_stride + t_decode_stride);
+        result.e2e = result.ttft + t_decode_stride +
+                     (strides - 1.0) * steady;
+    } else {
+        result.e2e = result.ttft + t_decode_stride +
+                     (strides - 1.0) * steady_work;
+    }
+
+    // Energy. GPU: busy for encode + prefill + decode work, idle rest.
+    double gpu_busy = result.stage.encode + result.stage.prefill +
+                      result.stage.decode;
+    gpu_busy = std::min(gpu_busy, result.e2e);
+    result.gpu_energy = llm_.busyEnergy(gpu_busy) +
+                        llm_.idleEnergy(result.e2e - gpu_busy) +
+                        encoder_.idleEnergy(0.0);
+
+    // CPU: per-stride retrieval energy. The node simulator already
+    // charges within-window idling (nodes waiting for the slowest
+    // cluster, or for the pipelined inference stage); matching the
+    // paper's RAPL methodology, energy outside the serving windows is
+    // not attributed to the pipeline.
+    result.cpu_energy = e_retr * strides;
+
+    result.throughput_qps =
+        static_cast<double>(config_.batch) / result.e2e;
+    return result;
+}
+
+double
+RagPipelineSim::optimalClusterTokens(const PipelineConfig &config)
+{
+    // Largest cluster whose deep-search batch latency fits inside the
+    // per-stride inference window (re-prefill of the enhanced query plus
+    // decoding one stride) so a pipelined deployment fully hides retrieval
+    // (Fig 10 right, Fig 19). Longer input contexts widen the window and
+    // therefore permit larger clusters / fewer retrieval nodes.
+    LlmCostModel llm(config.model, config.gpu, config.num_gpus);
+    std::size_t stride = std::min(config.stride, config.output_tokens);
+    double window =
+        llm.prefillLatency(config.batch, config.input_tokens) +
+        llm.decodeLatency(config.batch, stride);
+
+    RetrievalCostModel cpu(cpuProfile(config.cpu));
+    double waves = std::ceil(static_cast<double>(config.batch) /
+                             static_cast<double>(cpuProfile(
+                                 config.cpu).cores));
+    double per_query_budget = window / waves;
+    double budget_bytes =
+        per_query_budget * cpu.cpu().scan_gbps_per_core * 1e9;
+
+    // Invert queryScanBytes under the capped-nlist regime (nlist = 10k):
+    // bytes = nlist*dim*4 + nprobe/nlist * N * code.
+    DatastoreGeometry geo = config.datastore;
+    double nlist = static_cast<double>(DatastoreGeometry::kMaxNlist);
+    double centroid_bytes = nlist * geo.dim * 4.0;
+    double probe_frac =
+        static_cast<double>(config.deep_nprobe) / nlist;
+    double vectors =
+        std::max(0.0, (budget_bytes - centroid_bytes) /
+                          (probe_frac * geo.code_bytes));
+    return vectors * geo.tokens_per_chunk;
+}
+
+} // namespace sim
+} // namespace hermes

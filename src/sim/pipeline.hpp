@@ -1,0 +1,168 @@
+/**
+ * @file
+ * End-to-end RAG pipeline simulator.
+ *
+ * Models the four-stage strided-generation loop of Fig 3 — encode,
+ * retrieve, prefill, decode — under every serving policy the paper
+ * compares: the unoptimized baseline, PipeRAG-style retrieval/inference
+ * pipelining, RAGCache-style prefill caching (ideal 100% KV hit, §3), the
+ * Hermes distributed retriever, and their combinations (Fig 14).
+ */
+
+#pragma once
+
+#include "sim/node_sim.hpp"
+
+namespace hermes {
+namespace sim {
+
+/** Retrieval serving arrangement. */
+enum class RetrievalMode {
+    Monolithic, ///< One big index on one node (baseline).
+    NaiveSplit, ///< N nodes, all searched per query.
+    Hermes,     ///< N nodes, hierarchical sample + deep search.
+};
+
+/** Human-readable mode name. */
+const char *retrievalModeName(RetrievalMode mode);
+
+/** Full pipeline configuration. */
+struct PipelineConfig
+{
+    /** Whole-datastore geometry. */
+    DatastoreGeometry datastore;
+
+    /** Queries per batch (paper default: 128; Fig 6 uses 32). */
+    std::size_t batch = 128;
+
+    /** Input prompt length in tokens (paper: 512). */
+    std::size_t input_tokens = 512;
+
+    /** Generated output length in tokens (paper: 256). */
+    std::size_t output_tokens = 256;
+
+    /** Retrieval stride in tokens (paper: 16). */
+    std::size_t stride = 16;
+
+    /** Inference model and GPU. */
+    LlmModel model = LlmModel::Gemma2_9B;
+    GpuModel gpu = GpuModel::A6000Ada;
+
+    /** Tensor-parallel degree (0 = minimum that fits). */
+    std::size_t num_gpus = 0;
+
+    /** Retrieval node CPU. */
+    CpuModel cpu = CpuModel::XeonGold6448Y;
+
+    /** Retrieval serving arrangement. */
+    RetrievalMode retrieval = RetrievalMode::Monolithic;
+
+    /** Hermes / split parameters (ignored for Monolithic). */
+    std::size_t num_clusters = 10;
+    std::size_t sample_nprobe = 8;
+    std::size_t deep_nprobe = 128;
+    std::size_t clusters_to_search = 3;
+    DvfsPolicy dvfs = DvfsPolicy::None;
+
+    /** PipeRAG-style overlap of retrieval with the previous stride. */
+    bool pipelining = false;
+
+    /** RAGCache-style document-KV caching. */
+    bool prefix_caching = false;
+
+    /**
+     * KV-cache hit rate under prefix_caching. The paper assumes the
+     * ideal 100% (see its §3 RAGCache description); real document-reuse
+     * rates across strides are lower — measure them with
+     * rag::strideOverlap and sweep this knob (ablation bench).
+     */
+    double cache_hit_rate = 1.0;
+};
+
+/** Per-stage latency totals across the whole generation. */
+struct StageBreakdown
+{
+    double encode = 0.0;
+    double retrieval = 0.0;
+    double prefill = 0.0;
+    double decode = 0.0;
+
+    double
+    total() const
+    {
+        return encode + retrieval + prefill + decode;
+    }
+};
+
+/** Result of one pipeline simulation. */
+struct PipelineResult
+{
+    /** Time to first token for the batch (s). */
+    double ttft = 0.0;
+
+    /** End-to-end latency for the batch (s). */
+    double e2e = 0.0;
+
+    /** Stage latency totals (unoverlapped sums, for breakdown plots). */
+    StageBreakdown stage;
+
+    /** Retrieval latency per stride (s). */
+    double retrieval_per_stride = 0.0;
+
+    /** Per-stride inference window (prefill-after-cache + decode). */
+    double inference_per_stride = 0.0;
+
+    /** Number of retrieval strides executed. */
+    std::size_t num_strides = 0;
+
+    /** CPU retrieval energy incl. idle nodes (J). */
+    double cpu_energy = 0.0;
+
+    /** GPU inference energy incl. idle time (J). */
+    double gpu_energy = 0.0;
+
+    double totalEnergy() const { return cpu_energy + gpu_energy; }
+
+    /** Batch throughput = batch / e2e (queries/s). */
+    double throughput_qps = 0.0;
+};
+
+/** End-to-end RAG pipeline simulator. */
+class RagPipelineSim
+{
+  public:
+    explicit RagPipelineSim(const PipelineConfig &config);
+
+    const PipelineConfig &config() const { return config_; }
+
+    /** Run the simulation. */
+    PipelineResult run() const;
+
+    /** Retrieval latency for one batch-stride (s). */
+    double retrievalLatency() const;
+
+    /** Retrieval CPU energy for one batch-stride (J). */
+    double retrievalEnergy() const;
+
+    /** Number of retrieval nodes in this deployment. */
+    std::size_t numRetrievalNodes() const;
+
+    /**
+     * Largest per-cluster datastore (tokens) whose deep-search latency
+     * still hides under the per-stride inference window — the Fig 19
+     * cluster-sizing rule.
+     */
+    static double optimalClusterTokens(const PipelineConfig &config);
+
+  private:
+    /** Steady per-stride inference time (uncached prefill + decode). */
+    double strideInferenceWindow() const;
+
+    PipelineConfig config_;
+    LlmCostModel llm_;
+    LlmCostModel encoder_;
+    RetrievalCostModel cpu_cost_;
+};
+
+} // namespace sim
+} // namespace hermes

@@ -1,0 +1,81 @@
+#include "sim/queue_sim.hpp"
+
+#include <cmath>
+#include <deque>
+
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+
+namespace hermes {
+namespace sim {
+
+QueueResult
+simulateQueue(const QueueConfig &config,
+              const std::function<double(std::size_t)> &service_time)
+{
+    HERMES_ASSERT(config.arrival_qps > 0.0, "arrival rate must be > 0");
+    HERMES_ASSERT(config.max_batch >= 1, "max_batch must be >= 1");
+    HERMES_ASSERT(config.num_queries >= 1, "nothing to simulate");
+
+    util::Rng rng(config.seed);
+    QueueResult result;
+
+    // Pre-draw Poisson arrival times.
+    std::vector<double> arrivals(config.num_queries);
+    double t = 0.0;
+    for (auto &arrival : arrivals) {
+        // Exponential inter-arrival gap.
+        double u = std::max(rng.uniform(), 1e-12);
+        t += -std::log(u) / config.arrival_qps;
+        arrival = t;
+    }
+
+    double server_free_at = 0.0;
+    double busy_time = 0.0;
+    std::size_t next = 0;
+    double last_completion = 0.0;
+
+    while (next < arrivals.size()) {
+        // The server picks up work when it is free and a query is queued.
+        double pickup = std::max(server_free_at, arrivals[next]);
+
+        // Batch formation: wait up to max_wait after pickup for more
+        // arrivals, capped at max_batch.
+        double deadline = pickup + config.max_wait;
+        std::size_t first = next;
+        std::size_t count = 0;
+        while (next < arrivals.size() && count < config.max_batch &&
+               arrivals[next] <= deadline) {
+            ++next;
+            ++count;
+        }
+        // Serving starts once the batch closes: either the deadline hit
+        // (queue drained) or the batch filled.
+        double start = count == config.max_batch
+            ? std::max(pickup, arrivals[next - 1])
+            : (next < arrivals.size() ? deadline
+                                      : std::max(pickup,
+                                                 arrivals[next - 1]));
+        double service = service_time(count);
+        HERMES_ASSERT(service > 0.0, "service time must be positive");
+        double completion = start + service;
+
+        for (std::size_t q = first; q < first + count; ++q) {
+            result.latency.add(completion - arrivals[q]);
+            result.wait.add(start - arrivals[q]);
+        }
+        result.batch_sizes.add(static_cast<double>(count));
+        busy_time += service;
+        server_free_at = completion;
+        last_completion = completion;
+    }
+
+    result.utilization = last_completion > 0.0
+        ? busy_time / last_completion : 0.0;
+    result.throughput_qps = last_completion > 0.0
+        ? static_cast<double>(config.num_queries) / last_completion : 0.0;
+    return result;
+}
+
+} // namespace sim
+} // namespace hermes

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Online-serving queue simulator.
+ *
+ * The paper motivates Hermes partly through production quality-of-service
+ * (Takeaway 2: "variations and imbalances in the TTFT can adversely affect
+ * the quality of service"). This discrete-event simulator subjects a
+ * serving deployment to a Poisson query stream with batch formation and
+ * reports the latency *distribution* (p50/p95/p99), not just the mean —
+ * the lens production operators actually use.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "util/stats.hpp"
+
+namespace hermes {
+namespace sim {
+
+/** Queue simulation parameters. */
+struct QueueConfig
+{
+    /** Mean query arrival rate (queries/second, Poisson process). */
+    double arrival_qps = 50.0;
+
+    /** Maximum batch size the server forms. */
+    std::size_t max_batch = 128;
+
+    /**
+     * Maximum time the server waits to fill a batch once at least one
+     * query is queued (seconds). 0 = serve immediately with whatever is
+     * queued.
+     */
+    double max_wait = 0.05;
+
+    /** Number of queries to simulate. */
+    std::size_t num_queries = 20000;
+
+    /** Arrival-process seed. */
+    std::uint64_t seed = 99;
+};
+
+/** Queue simulation output. */
+struct QueueResult
+{
+    /** End-to-end latency distribution (wait + service), seconds. */
+    util::Distribution latency;
+
+    /** Queueing delay distribution, seconds. */
+    util::Distribution wait;
+
+    /** Batch sizes actually served. */
+    util::Distribution batch_sizes;
+
+    /** Fraction of time the server was busy. */
+    double utilization = 0.0;
+
+    /** Served throughput (queries/second over the simulated horizon). */
+    double throughput_qps = 0.0;
+};
+
+/**
+ * Simulate a single-server batching loop.
+ *
+ * @param config       Arrival and batching parameters.
+ * @param service_time Latency to serve a batch of the given size
+ *                     (seconds); typically RagPipelineSim-derived.
+ */
+QueueResult simulateQueue(const QueueConfig &config,
+                          const std::function<double(std::size_t)>
+                              &service_time);
+
+} // namespace sim
+} // namespace hermes

@@ -1,0 +1,92 @@
+#include "util/csv.hpp"
+
+#include <cstdio>
+#include <iomanip>
+#include <iostream>
+
+#include "util/logging.hpp"
+
+namespace hermes {
+namespace util {
+
+CsvWriter::CsvWriter(const std::string &path) : out_(path)
+{
+    if (!out_) {
+        HERMES_FATAL("cannot open CSV output file: ", path);
+    }
+}
+
+void
+CsvWriter::header(const std::vector<std::string> &columns)
+{
+    for (std::size_t i = 0; i < columns.size(); ++i) {
+        if (i)
+            out_ << ',';
+        out_ << escape(columns[i]);
+    }
+    out_ << '\n';
+}
+
+void
+CsvWriter::endRow()
+{
+    for (std::size_t i = 0; i < row_.size(); ++i) {
+        if (i)
+            out_ << ',';
+        out_ << row_[i];
+    }
+    out_ << '\n';
+    row_.clear();
+    ++rows_;
+}
+
+std::string
+CsvWriter::escape(const std::string &s)
+{
+    if (s.find_first_of(",\"\n") == std::string::npos)
+        return s;
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+TablePrinter::TablePrinter(std::vector<int> widths) : widths_(std::move(widths))
+{
+    HERMES_ASSERT(!widths_.empty(), "table needs at least one column");
+}
+
+void
+TablePrinter::header(const std::vector<std::string> &columns)
+{
+    row(columns);
+    int total = 0;
+    for (int w : widths_)
+        total += w + 2;
+    std::cout << std::string(static_cast<std::size_t>(total), '-') << '\n';
+}
+
+void
+TablePrinter::row(const std::vector<std::string> &cells)
+{
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        int w = i < widths_.size() ? widths_[i] : 12;
+        std::cout << std::left << std::setw(w) << cells[i] << "  ";
+    }
+    std::cout << '\n';
+}
+
+std::string
+TablePrinter::num(double v, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << v;
+    return oss.str();
+}
+
+} // namespace util
+} // namespace hermes

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Minimal CSV emission used by the bench harness to dump figure data, plus
+ * a fixed-width table printer that mirrors the rows the paper reports.
+ */
+
+#pragma once
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace hermes {
+namespace util {
+
+/**
+ * Row-oriented CSV writer.
+ *
+ * Values are formatted via operator<<; commas/quotes in string cells are
+ * escaped per RFC 4180.
+ */
+class CsvWriter
+{
+  public:
+    /** Open @p path for writing; fatal on failure. */
+    explicit CsvWriter(const std::string &path);
+
+    /** Write the header row. */
+    void header(const std::vector<std::string> &columns);
+
+    /** Begin accumulating a row of cells. */
+    template <typename T>
+    CsvWriter &
+    cell(const T &value)
+    {
+        std::ostringstream oss;
+        oss << value;
+        row_.push_back(escape(oss.str()));
+        return *this;
+    }
+
+    /** Flush the accumulated row. */
+    void endRow();
+
+    /** Number of data rows written so far. */
+    std::size_t rowsWritten() const { return rows_; }
+
+  private:
+    static std::string escape(const std::string &s);
+
+    std::ofstream out_;
+    std::vector<std::string> row_;
+    std::size_t rows_ = 0;
+};
+
+/**
+ * Console table printer with fixed-width columns — the benches use this to
+ * print paper-style result tables.
+ */
+class TablePrinter
+{
+  public:
+    /** @param widths Column widths in characters. */
+    explicit TablePrinter(std::vector<int> widths);
+
+    /** Print a header row followed by a rule. */
+    void header(const std::vector<std::string> &columns);
+
+    /** Print one data row (cells already formatted). */
+    void row(const std::vector<std::string> &cells);
+
+    /** Format a double with @p precision decimal places. */
+    static std::string num(double v, int precision = 3);
+
+  private:
+    std::vector<int> widths_;
+};
+
+} // namespace util
+} // namespace hermes

@@ -1,0 +1,58 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace hermes {
+namespace util {
+
+namespace {
+
+std::atomic<bool> quiet_flag{false};
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Inform: return "info";
+      case LogLevel::Warn:   return "warn";
+      case LogLevel::Fatal:  return "fatal";
+      case LogLevel::Panic:  return "panic";
+    }
+    return "?";
+}
+
+} // namespace
+
+bool
+quietMode()
+{
+    return quiet_flag.load(std::memory_order_relaxed);
+}
+
+void
+setQuiet(bool quiet)
+{
+    quiet_flag.store(quiet, std::memory_order_relaxed);
+}
+
+void
+logMessage(LogLevel level, const char *file, int line, const std::string &msg)
+{
+    if (quietMode() &&
+        (level == LogLevel::Inform || level == LogLevel::Warn)) {
+        return;
+    }
+
+    if (level == LogLevel::Inform) {
+        std::fprintf(stdout, "[%s] %s\n", levelName(level), msg.c_str());
+        std::fflush(stdout);
+    } else {
+        std::fprintf(stderr, "[%s] %s (%s:%d)\n", levelName(level),
+                     msg.c_str(), file, line);
+        std::fflush(stderr);
+    }
+}
+
+} // namespace util
+} // namespace hermes

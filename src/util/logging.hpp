@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Error / status reporting helpers in the gem5 tradition.
+ *
+ * panic()  — an internal invariant was violated; this is a bug in Hermes.
+ * fatal()  — the user asked for something impossible (bad configuration);
+ *            terminate with a clean error.
+ * warn()   — something works but is suspicious or approximated.
+ * inform() — plain status output.
+ */
+
+#pragma once
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace hermes {
+namespace util {
+
+/** Severity classes understood by logMessage(). */
+enum class LogLevel {
+    Inform,
+    Warn,
+    Fatal,
+    Panic,
+};
+
+/**
+ * Emit a formatted log line to stderr (or stdout for Inform).
+ *
+ * @param level Severity of the message.
+ * @param file  Source file of the call site.
+ * @param line  Source line of the call site.
+ * @param msg   Fully formatted message text.
+ */
+void logMessage(LogLevel level, const char *file, int line,
+                const std::string &msg);
+
+/** True once warnings have been silenced via setQuiet(). */
+bool quietMode();
+
+/** Suppress Inform/Warn output (used by tests and benches). */
+void setQuiet(bool quiet);
+
+namespace detail {
+
+/** Fold a list of streamable arguments into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+} // namespace detail
+
+} // namespace util
+} // namespace hermes
+
+/** Internal invariant violated: print and abort (core-dump friendly). */
+#define HERMES_PANIC(...)                                                     \
+    do {                                                                      \
+        ::hermes::util::logMessage(::hermes::util::LogLevel::Panic,           \
+            __FILE__, __LINE__, ::hermes::util::detail::concat(__VA_ARGS__)); \
+        std::abort();                                                         \
+    } while (0)
+
+/** Unrecoverable user error: print and exit(1). */
+#define HERMES_FATAL(...)                                                     \
+    do {                                                                      \
+        ::hermes::util::logMessage(::hermes::util::LogLevel::Fatal,           \
+            __FILE__, __LINE__, ::hermes::util::detail::concat(__VA_ARGS__)); \
+        std::exit(1);                                                         \
+    } while (0)
+
+/** Suspicious but survivable condition. */
+#define HERMES_WARN(...)                                                      \
+    ::hermes::util::logMessage(::hermes::util::LogLevel::Warn,                \
+        __FILE__, __LINE__, ::hermes::util::detail::concat(__VA_ARGS__))
+
+/** Plain status message. */
+#define HERMES_INFORM(...)                                                    \
+    ::hermes::util::logMessage(::hermes::util::LogLevel::Inform,              \
+        __FILE__, __LINE__, ::hermes::util::detail::concat(__VA_ARGS__))
+
+/** Cheap always-on assertion that panics with context on failure. */
+#define HERMES_ASSERT(cond, ...)                                              \
+    do {                                                                      \
+        if (!(cond)) {                                                        \
+            HERMES_PANIC("assertion failed: " #cond " ", __VA_ARGS__);        \
+        }                                                                     \
+    } while (0)

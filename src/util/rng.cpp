@@ -1,0 +1,176 @@
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/logging.hpp"
+
+namespace hermes {
+namespace util {
+
+namespace {
+
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t x = seed;
+    for (auto &word : s_)
+        word = splitmix64(x);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+    const std::uint64_t t = s_[1] << 17;
+
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t
+Rng::uniformInt(std::uint64_t bound)
+{
+    HERMES_ASSERT(bound > 0, "uniformInt bound must be positive");
+    // Lemire-style rejection via threshold on the low 64 bits.
+    std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+        std::uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+double
+Rng::gaussian()
+{
+    if (has_cached_gaussian_) {
+        has_cached_gaussian_ = false;
+        return cached_gaussian_;
+    }
+    double u1, u2;
+    do {
+        u1 = uniform();
+    } while (u1 <= 1e-300);
+    u2 = uniform();
+    double r = std::sqrt(-2.0 * std::log(u1));
+    double theta = 2.0 * M_PI * u2;
+    cached_gaussian_ = r * std::sin(theta);
+    has_cached_gaussian_ = true;
+    return r * std::cos(theta);
+}
+
+double
+Rng::gaussian(double mean, double stddev)
+{
+    return mean + stddev * gaussian();
+}
+
+std::size_t
+Rng::zipf(std::size_t n, double s)
+{
+    ZipfSampler sampler(n, s);
+    return sampler(*this);
+}
+
+std::vector<std::size_t>
+Rng::sampleWithoutReplacement(std::size_t n, std::size_t k)
+{
+    HERMES_ASSERT(k <= n, "cannot sample ", k, " of ", n);
+    if (k * 3 >= n) {
+        // Dense case: shuffle a full index vector and truncate.
+        std::vector<std::size_t> idx(n);
+        for (std::size_t i = 0; i < n; ++i)
+            idx[i] = i;
+        shuffle(idx);
+        idx.resize(k);
+        return idx;
+    }
+    // Sparse case: rejection into a hash set.
+    std::unordered_set<std::size_t> seen;
+    std::vector<std::size_t> out;
+    out.reserve(k);
+    while (out.size() < k) {
+        std::size_t v = uniformInt(n);
+        if (seen.insert(v).second)
+            out.push_back(v);
+    }
+    return out;
+}
+
+Rng
+Rng::split()
+{
+    return Rng(next() ^ 0xa5a5a5a5deadbeefull);
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double s)
+{
+    HERMES_ASSERT(n > 0, "Zipf support must be non-empty");
+    cdf_.resize(n);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        acc += 1.0 / std::pow(static_cast<double>(i + 1), s);
+        cdf_[i] = acc;
+    }
+    for (auto &v : cdf_)
+        v /= acc;
+}
+
+std::size_t
+ZipfSampler::operator()(Rng &rng) const
+{
+    double u = rng.uniform();
+    auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    if (it == cdf_.end())
+        return cdf_.size() - 1;
+    return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double
+ZipfSampler::pmf(std::size_t i) const
+{
+    HERMES_ASSERT(i < cdf_.size(), "Zipf pmf index out of range");
+    if (i == 0)
+        return cdf_[0];
+    return cdf_[i] - cdf_[i - 1];
+}
+
+} // namespace util
+} // namespace hermes

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for reproducible experiments.
+ *
+ * All stochastic components of Hermes (corpus synthesis, K-means seeding,
+ * query sampling) draw from Rng so that every bench and test is exactly
+ * reproducible from a 64-bit seed.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace hermes {
+namespace util {
+
+/**
+ * xoshiro256++ generator with splitmix64 seeding.
+ *
+ * Small, fast, and high quality; deliberately not std::mt19937 so results
+ * are bit-identical across standard library implementations.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded via splitmix64). */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [0, bound) with rejection to avoid modulo bias. */
+    std::uint64_t uniformInt(std::uint64_t bound);
+
+    /** Standard normal via Box–Muller (cached second value). */
+    double gaussian();
+
+    /** Normal with mean/stddev. */
+    double gaussian(double mean, double stddev);
+
+    /**
+     * Sample an integer in [0, n) from a Zipf distribution with exponent s.
+     * Uses a precomputable harmonic normalizer; see ZipfSampler for the
+     * cached variant used in hot loops.
+     */
+    std::size_t zipf(std::size_t n, double s);
+
+    /** Fisher–Yates shuffle of a vector. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &v)
+    {
+        for (std::size_t i = v.size(); i > 1; --i) {
+            std::size_t j = uniformInt(i);
+            std::swap(v[i - 1], v[j]);
+        }
+    }
+
+    /** Sample k distinct indices from [0, n) (k <= n), order unspecified. */
+    std::vector<std::size_t> sampleWithoutReplacement(std::size_t n,
+                                                      std::size_t k);
+
+    /** Fork an independent stream (seeded from this stream). */
+    Rng split();
+
+  private:
+    std::uint64_t s_[4];
+    double cached_gaussian_ = 0.0;
+    bool has_cached_gaussian_ = false;
+};
+
+/**
+ * Zipf sampler with a precomputed CDF for repeated draws over a fixed
+ * support size; O(log n) per draw.
+ */
+class ZipfSampler
+{
+  public:
+    /**
+     * @param n Support size (samples fall in [0, n)).
+     * @param s Zipf exponent; s = 0 degenerates to uniform.
+     */
+    ZipfSampler(std::size_t n, double s);
+
+    /** Draw one sample using the supplied generator. */
+    std::size_t operator()(Rng &rng) const;
+
+    /** Probability mass of rank i. */
+    double pmf(std::size_t i) const;
+
+  private:
+    std::vector<double> cdf_;
+};
+
+} // namespace util
+} // namespace hermes

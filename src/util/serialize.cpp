@@ -1,0 +1,57 @@
+#include "util/serialize.hpp"
+
+namespace hermes {
+namespace util {
+
+BinaryWriter::BinaryWriter(const std::string &path, const std::string &magic,
+                           std::uint32_t version)
+    : out_(path, std::ios::binary)
+{
+    if (!out_) {
+        HERMES_FATAL("cannot open archive for writing: ", path);
+    }
+    HERMES_ASSERT(magic.size() == 4, "archive magic must be 4 chars");
+    out_.write(magic.data(), 4);
+    write(version);
+}
+
+void
+BinaryWriter::writeString(const std::string &s)
+{
+    write<std::uint64_t>(s.size());
+    out_.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+BinaryReader::BinaryReader(const std::string &path, const std::string &magic,
+                           std::uint32_t expected_version)
+    : in_(path, std::ios::binary)
+{
+    if (!in_) {
+        HERMES_FATAL("cannot open archive for reading: ", path);
+    }
+    char tag[4];
+    in_.read(tag, 4);
+    if (!in_.good() || std::string(tag, 4) != magic) {
+        HERMES_FATAL("bad archive magic in ", path, " (expected ", magic, ")");
+    }
+    auto version = read<std::uint32_t>();
+    if (version != expected_version) {
+        HERMES_FATAL("archive version mismatch in ", path, ": got ", version,
+                     ", expected ", expected_version);
+    }
+}
+
+std::string
+BinaryReader::readString()
+{
+    auto n = read<std::uint64_t>();
+    std::string s(n, '\0');
+    if (n) {
+        in_.read(s.data(), static_cast<std::streamsize>(n));
+        HERMES_ASSERT(in_.good(), "truncated archive string");
+    }
+    return s;
+}
+
+} // namespace util
+} // namespace hermes

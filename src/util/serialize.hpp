@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Binary serialization for index save/load.
+ *
+ * Format: little-endian, length-prefixed, with a per-archive magic + version
+ * header so stale files fail loudly instead of deserializing garbage.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "util/logging.hpp"
+
+namespace hermes {
+namespace util {
+
+/** Streaming binary writer. */
+class BinaryWriter
+{
+  public:
+    /**
+     * Open @p path and emit the archive header.
+     * @param magic   Four-character archive tag (e.g. "HIVF").
+     * @param version Format version number.
+     */
+    BinaryWriter(const std::string &path, const std::string &magic,
+                 std::uint32_t version);
+
+    /** Write one trivially-copyable value. */
+    template <typename T>
+    void
+    write(const T &value)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        out_.write(reinterpret_cast<const char *>(&value), sizeof(T));
+    }
+
+    /** Write a length-prefixed vector of trivially-copyable elements. */
+    template <typename T>
+    void
+    writeVector(const std::vector<T> &v)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        write<std::uint64_t>(v.size());
+        if (!v.empty()) {
+            out_.write(reinterpret_cast<const char *>(v.data()),
+                       static_cast<std::streamsize>(v.size() * sizeof(T)));
+        }
+    }
+
+    /** Write a length-prefixed string. */
+    void writeString(const std::string &s);
+
+    /** True if all writes so far succeeded. */
+    bool good() const { return out_.good(); }
+
+  private:
+    std::ofstream out_;
+};
+
+/** Streaming binary reader that validates the archive header. */
+class BinaryReader
+{
+  public:
+    /**
+     * Open @p path and validate magic/version; fatal on mismatch.
+     */
+    BinaryReader(const std::string &path, const std::string &magic,
+                 std::uint32_t expected_version);
+
+    /** Read one trivially-copyable value. */
+    template <typename T>
+    T
+    read()
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        T value{};
+        in_.read(reinterpret_cast<char *>(&value), sizeof(T));
+        HERMES_ASSERT(in_.good(), "truncated archive");
+        return value;
+    }
+
+    /** Read a length-prefixed vector. */
+    template <typename T>
+    std::vector<T>
+    readVector()
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        auto n = read<std::uint64_t>();
+        std::vector<T> v(n);
+        if (n) {
+            in_.read(reinterpret_cast<char *>(v.data()),
+                     static_cast<std::streamsize>(n * sizeof(T)));
+            HERMES_ASSERT(in_.good(), "truncated archive vector");
+        }
+        return v;
+    }
+
+    /** Read a length-prefixed string. */
+    std::string readString();
+
+  private:
+    std::ifstream in_;
+};
+
+} // namespace util
+} // namespace hermes

@@ -1,0 +1,164 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace hermes {
+namespace util {
+
+void
+RunningStats::add(double x)
+{
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+void
+RunningStats::merge(const RunningStats &other)
+{
+    if (other.n_ == 0)
+        return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    double delta = other.mean_ - mean_;
+    std::size_t total = n_ + other.n_;
+    double na = static_cast<double>(n_);
+    double nb = static_cast<double>(other.n_);
+    mean_ += delta * nb / (na + nb);
+    m2_ += other.m2_ + delta * delta * na * nb / (na + nb);
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    n_ = total;
+}
+
+double
+RunningStats::min() const
+{
+    HERMES_ASSERT(n_ > 0, "min of empty RunningStats");
+    return min_;
+}
+
+double
+RunningStats::max() const
+{
+    HERMES_ASSERT(n_ > 0, "max of empty RunningStats");
+    return max_;
+}
+
+double
+RunningStats::variance() const
+{
+    return n_ ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+Distribution::add(double x)
+{
+    samples_.push_back(x);
+    dirty_ = true;
+}
+
+void
+Distribution::add(const std::vector<double> &xs)
+{
+    samples_.insert(samples_.end(), xs.begin(), xs.end());
+    dirty_ = true;
+}
+
+double
+Distribution::mean() const
+{
+    return util::mean(samples_);
+}
+
+double
+Distribution::sum() const
+{
+    double acc = 0.0;
+    for (double x : samples_)
+        acc += x;
+    return acc;
+}
+
+double
+Distribution::min() const
+{
+    HERMES_ASSERT(!samples_.empty(), "min of empty Distribution");
+    return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double
+Distribution::max() const
+{
+    HERMES_ASSERT(!samples_.empty(), "max of empty Distribution");
+    return *std::max_element(samples_.begin(), samples_.end());
+}
+
+void
+Distribution::ensureSorted() const
+{
+    if (dirty_) {
+        sorted_ = samples_;
+        std::sort(sorted_.begin(), sorted_.end());
+        dirty_ = false;
+    }
+}
+
+double
+Distribution::percentile(double p) const
+{
+    HERMES_ASSERT(!samples_.empty(), "percentile of empty Distribution");
+    HERMES_ASSERT(p >= 0.0 && p <= 100.0, "percentile out of range: ", p);
+    ensureSorted();
+    if (sorted_.size() == 1)
+        return sorted_[0];
+    double rank = p / 100.0 * static_cast<double>(sorted_.size() - 1);
+    std::size_t lo = static_cast<std::size_t>(rank);
+    std::size_t hi = std::min(lo + 1, sorted_.size() - 1);
+    double frac = rank - static_cast<double>(lo);
+    return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double x : xs)
+        acc += x;
+    return acc / static_cast<double>(xs.size());
+}
+
+double
+geometricMean(const std::vector<double> &xs)
+{
+    HERMES_ASSERT(!xs.empty(), "geometric mean of empty vector");
+    double acc = 0.0;
+    for (double x : xs) {
+        HERMES_ASSERT(x > 0.0, "geometric mean requires positive values");
+        acc += std::log(x);
+    }
+    return std::exp(acc / static_cast<double>(xs.size()));
+}
+
+} // namespace util
+} // namespace hermes

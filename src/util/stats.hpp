@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Summary statistics helpers used by the evaluation and simulation layers.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace hermes {
+namespace util {
+
+/**
+ * Streaming accumulator for scalar samples.
+ *
+ * Tracks count, mean, variance (Welford), min and max without storing
+ * samples. For percentiles, use Distribution instead.
+ */
+class RunningStats
+{
+  public:
+    /** Add one sample. */
+    void add(double x);
+
+    /** Merge another accumulator into this one. */
+    void merge(const RunningStats &other);
+
+    std::size_t count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    double min() const;
+    double max() const;
+
+    /** Population variance. */
+    double variance() const;
+
+    /** Population standard deviation. */
+    double stddev() const;
+
+    double sum() const { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+
+  private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Sample-retaining distribution supporting exact percentiles.
+ */
+class Distribution
+{
+  public:
+    /** Add one sample (invalidates cached sort). */
+    void add(double x);
+
+    /** Bulk add. */
+    void add(const std::vector<double> &xs);
+
+    std::size_t count() const { return samples_.size(); }
+    double mean() const;
+    double sum() const;
+    double min() const;
+    double max() const;
+
+    /**
+     * Exact percentile with linear interpolation.
+     * @param p Percentile in [0, 100].
+     */
+    double percentile(double p) const;
+
+    /** Shorthand for percentile(50). */
+    double median() const { return percentile(50.0); }
+
+  private:
+    void ensureSorted() const;
+
+    std::vector<double> samples_;
+    mutable std::vector<double> sorted_;
+    mutable bool dirty_ = true;
+};
+
+/** Arithmetic mean of a vector (0 for empty input). */
+double mean(const std::vector<double> &xs);
+
+/** Geometric mean; all inputs must be positive. */
+double geometricMean(const std::vector<double> &xs);
+
+} // namespace util
+} // namespace hermes

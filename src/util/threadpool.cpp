@@ -1,0 +1,102 @@
+#include "util/threadpool.hpp"
+
+#include <atomic>
+
+namespace hermes {
+namespace util {
+
+ThreadPool::ThreadPool(std::size_t num_threads)
+{
+    if (num_threads == 0) {
+        num_threads = std::max<std::size_t>(1,
+            std::thread::hardware_concurrency());
+    }
+    workers_.reserve(num_threads);
+    for (std::size_t i = 0; i < num_threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    cv_task_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        tasks_.push(std::move(task));
+        ++in_flight_;
+    }
+    cv_task_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_task_.wait(lock,
+                [this] { return stopping_ || !tasks_.empty(); });
+            if (tasks_.empty()) {
+                if (stopping_)
+                    return;
+                continue;
+            }
+            task = std::move(tasks_.front());
+            tasks_.pop();
+        }
+        task();
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            --in_flight_;
+            if (in_flight_ == 0)
+                cv_done_.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::parallelFor(std::size_t n,
+                        const std::function<void(std::size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    if (size() == 1 || n == 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+    auto counter = std::make_shared<std::atomic<std::size_t>>(0);
+    std::size_t workers = std::min(size(), n);
+    for (std::size_t w = 0; w < workers; ++w) {
+        submit([counter, n, &fn] {
+            for (;;) {
+                std::size_t i = counter->fetch_add(1);
+                if (i >= n)
+                    return;
+                fn(i);
+            }
+        });
+    }
+    wait();
+}
+
+} // namespace util
+} // namespace hermes

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Fixed-size worker pool with a parallel-for helper.
+ *
+ * FAISS-style batch query processing schedules one task per query and lets
+ * workers steal greedily from a shared counter; parallelFor() mirrors that
+ * behaviour (Section 6, Takeaway 1 of the paper).
+ */
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace hermes {
+namespace util {
+
+/** Simple fixed-size thread pool. */
+class ThreadPool
+{
+  public:
+    /**
+     * @param num_threads Worker count; 0 selects hardware_concurrency().
+     */
+    explicit ThreadPool(std::size_t num_threads = 0);
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Drains the queue and joins all workers. */
+    ~ThreadPool();
+
+    /** Enqueue a task for asynchronous execution. */
+    void submit(std::function<void()> task);
+
+    /** Block until every submitted task has completed. */
+    void wait();
+
+    /** Number of worker threads. */
+    std::size_t size() const { return workers_.size(); }
+
+    /**
+     * Run fn(i) for i in [0, n) across the pool, work-stealing from a
+     * shared atomic counter, and block until done. Runs inline when the
+     * pool has a single worker (cheap on 1-core hosts).
+     */
+    void parallelFor(std::size_t n,
+                     const std::function<void(std::size_t)> &fn);
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::queue<std::function<void()>> tasks_;
+    std::mutex mutex_;
+    std::condition_variable cv_task_;
+    std::condition_variable cv_done_;
+    std::size_t in_flight_ = 0;
+    bool stopping_ = false;
+};
+
+} // namespace util
+} // namespace hermes

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Lightweight wall-clock timing utilities.
+ */
+
+#pragma once
+
+#include <chrono>
+
+namespace hermes {
+namespace util {
+
+/** Monotonic wall-clock stopwatch. */
+class Timer
+{
+  public:
+    Timer() { reset(); }
+
+    /** Restart the stopwatch. */
+    void reset() { start_ = Clock::now(); }
+
+    /** Seconds since construction or last reset(). */
+    double
+    elapsedSeconds() const
+    {
+        return std::chrono::duration<double>(Clock::now() - start_).count();
+    }
+
+    /** Milliseconds since construction or last reset(). */
+    double elapsedMillis() const { return elapsedSeconds() * 1e3; }
+
+    /** Microseconds since construction or last reset(). */
+    double elapsedMicros() const { return elapsedSeconds() * 1e6; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+/** Accumulates elapsed time into a double on scope exit. */
+class ScopedTimer
+{
+  public:
+    /** @param sink Accumulator (seconds) updated at destruction. */
+    explicit ScopedTimer(double &sink) : sink_(sink) {}
+
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+    ~ScopedTimer() { sink_ += timer_.elapsedSeconds(); }
+
+  private:
+    double &sink_;
+    Timer timer_;
+};
+
+} // namespace util
+} // namespace hermes

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Dense distance kernels.
+ *
+ * All kernels return "smaller is closer" scores: L2 returns the squared
+ * Euclidean distance and InnerProduct returns the negated dot product.
+ * This lets the top-k machinery treat every metric as a min-selection.
+ */
+
+#pragma once
+
+#include <cstddef>
+
+#include "vecstore/types.hpp"
+
+namespace hermes {
+namespace vecstore {
+
+/** Squared Euclidean distance between two d-dim vectors. */
+float l2Sq(const float *a, const float *b, std::size_t d);
+
+/** Dot product of two d-dim vectors. */
+float dot(const float *a, const float *b, std::size_t d);
+
+/** Squared L2 norm of a vector. */
+float normSq(const float *a, std::size_t d);
+
+/** Cosine similarity (0 for zero-norm inputs). */
+float cosine(const float *a, const float *b, std::size_t d);
+
+/** Metric-dispatching scalar distance (smaller = closer). */
+float distance(Metric metric, const float *a, const float *b, std::size_t d);
+
+/**
+ * Batched query-to-corpus distances.
+ *
+ * @param metric Distance metric.
+ * @param query  Query vector (d floats).
+ * @param base   Row-major corpus (n x d floats).
+ * @param n      Number of corpus rows.
+ * @param d      Dimensionality.
+ * @param out    Output array of n scores (smaller = closer).
+ */
+void distanceBatch(Metric metric, const float *query, const float *base,
+                   std::size_t n, std::size_t d, float *out);
+
+/** Normalize a vector to unit L2 norm in place (no-op on zero vectors). */
+void normalize(float *a, std::size_t d);
+
+} // namespace vecstore
+} // namespace hermes

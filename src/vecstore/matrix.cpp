@@ -1,0 +1,92 @@
+#include "vecstore/matrix.hpp"
+
+#include "util/logging.hpp"
+#include "util/serialize.hpp"
+
+namespace hermes {
+namespace vecstore {
+
+namespace {
+constexpr std::uint32_t kMatrixVersion = 1;
+} // namespace
+
+Matrix::Matrix(std::size_t dim) : dim_(dim) {}
+
+Matrix::Matrix(std::size_t rows, std::size_t dim)
+    : dim_(dim), data_(rows * dim, 0.f)
+{
+}
+
+VecView
+Matrix::row(std::size_t i) const
+{
+    HERMES_ASSERT(i < rows(), "matrix row ", i, " out of range ", rows());
+    return VecView(data_.data() + i * dim_, dim_);
+}
+
+MutVecView
+Matrix::row(std::size_t i)
+{
+    HERMES_ASSERT(i < rows(), "matrix row ", i, " out of range ", rows());
+    return MutVecView(data_.data() + i * dim_, dim_);
+}
+
+void
+Matrix::append(VecView v)
+{
+    HERMES_ASSERT(v.size() == dim_, "row dim ", v.size(),
+                  " does not match matrix dim ", dim_);
+    data_.insert(data_.end(), v.begin(), v.end());
+}
+
+void
+Matrix::appendRows(const float *src, std::size_t n)
+{
+    data_.insert(data_.end(), src, src + n * dim_);
+}
+
+void
+Matrix::resizeRows(std::size_t rows)
+{
+    data_.resize(rows * dim_, 0.f);
+}
+
+void
+Matrix::reserveRows(std::size_t rows)
+{
+    data_.reserve(rows * dim_);
+}
+
+Matrix
+Matrix::gather(const std::vector<std::size_t> &indices) const
+{
+    Matrix out(dim_);
+    out.reserveRows(indices.size());
+    for (std::size_t idx : indices)
+        out.append(row(idx));
+    return out;
+}
+
+void
+Matrix::save(const std::string &path) const
+{
+    util::BinaryWriter w(path, "HMAT", kMatrixVersion);
+    w.write<std::uint64_t>(dim_);
+    w.writeVector(data_);
+    HERMES_ASSERT(w.good(), "matrix save failed: ", path);
+}
+
+Matrix
+Matrix::load(const std::string &path)
+{
+    util::BinaryReader r(path, "HMAT", kMatrixVersion);
+    auto dim = r.read<std::uint64_t>();
+    Matrix m(static_cast<std::size_t>(dim));
+    m.data_ = r.readVector<float>();
+    HERMES_ASSERT(dim == 0 || m.data_.size() % dim == 0,
+                  "corrupt matrix payload in ", path);
+    return m;
+}
+
+} // namespace vecstore
+} // namespace hermes

@@ -1,0 +1,84 @@
+#include "vecstore/topk.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+#include "util/logging.hpp"
+
+namespace hermes {
+namespace vecstore {
+
+namespace {
+
+bool
+heapLess(const Hit &a, const Hit &b)
+{
+    // Max-heap on score; ties broken on id for determinism.
+    if (a.score != b.score)
+        return a.score < b.score;
+    return a.id < b.id;
+}
+
+} // namespace
+
+TopK::TopK(std::size_t k) : k_(k)
+{
+    HERMES_ASSERT(k_ >= 1, "top-k requires k >= 1");
+    heap_.reserve(k_);
+}
+
+void
+TopK::push(VecId id, float score)
+{
+    if (heap_.size() < k_) {
+        heap_.push_back({id, score});
+        std::push_heap(heap_.begin(), heap_.end(), heapLess);
+        return;
+    }
+    if (score >= heap_.front().score)
+        return;
+    std::pop_heap(heap_.begin(), heap_.end(), heapLess);
+    heap_.back() = {id, score};
+    std::push_heap(heap_.begin(), heap_.end(), heapLess);
+}
+
+float
+TopK::worst() const
+{
+    if (heap_.size() < k_)
+        return std::numeric_limits<float>::max();
+    return heap_.front().score;
+}
+
+HitList
+TopK::take()
+{
+    std::sort_heap(heap_.begin(), heap_.end(), heapLess);
+    HitList out = std::move(heap_);
+    heap_.clear();
+    return out;
+}
+
+HitList
+mergeHitLists(const std::vector<HitList> &lists, std::size_t k)
+{
+    std::unordered_map<VecId, float> best;
+    for (const auto &list : lists) {
+        for (const auto &hit : list) {
+            auto [it, inserted] = best.emplace(hit.id, hit.score);
+            if (!inserted && hit.score < it->second)
+                it->second = hit.score;
+        }
+    }
+    TopK selector(std::max<std::size_t>(k, 1));
+    for (const auto &[id, score] : best)
+        selector.push(id, score);
+    HitList merged = selector.take();
+    if (merged.size() > k)
+        merged.resize(k);
+    return merged;
+}
+
+} // namespace vecstore
+} // namespace hermes

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Top-k selection over "smaller is closer" scores.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "vecstore/types.hpp"
+
+namespace hermes {
+namespace vecstore {
+
+/**
+ * Bounded max-heap that keeps the k smallest-scored hits seen so far.
+ *
+ * push() is O(log k); results come out best-first via take().
+ */
+class TopK
+{
+  public:
+    /** @param k Number of results to retain (k >= 1). */
+    explicit TopK(std::size_t k);
+
+    /** Offer one candidate. */
+    void push(VecId id, float score);
+
+    /** Current worst retained score (+inf until k hits are held). */
+    float worst() const;
+
+    /** Number of hits currently held (<= k). */
+    std::size_t size() const { return heap_.size(); }
+
+    std::size_t capacity() const { return k_; }
+
+    /** Extract results sorted best-first; the selector is left empty. */
+    HitList take();
+
+  private:
+    std::size_t k_;
+    std::vector<Hit> heap_; // max-heap on score
+};
+
+/**
+ * Merge several best-first hit lists into a single best-first top-k list.
+ * Duplicate ids (same chunk found via two routes) keep their best score.
+ */
+HitList mergeHitLists(const std::vector<HitList> &lists, std::size_t k);
+
+} // namespace vecstore
+} // namespace hermes

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Fundamental identifier and span types shared across the vector stack.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace hermes {
+namespace vecstore {
+
+/** Identifier of a stored vector / document chunk. */
+using VecId = std::int64_t;
+
+/** Sentinel for "no result". */
+inline constexpr VecId kInvalidId = -1;
+
+/** Read-only view of one embedding. */
+using VecView = std::span<const float>;
+
+/** Mutable view of one embedding. */
+using MutVecView = std::span<float>;
+
+/** One (id, score) search hit. Lower distance = better for L2 metrics. */
+struct Hit
+{
+    VecId id = kInvalidId;
+    float score = std::numeric_limits<float>::max();
+
+    bool operator==(const Hit &) const = default;
+};
+
+/** Per-query result list, best hit first. */
+using HitList = std::vector<Hit>;
+
+/** Distance metric selector. */
+enum class Metric {
+    L2,          ///< Squared Euclidean distance (smaller = closer).
+    InnerProduct ///< Negated dot product so smaller = closer uniformly.
+};
+
+/** Human-readable metric name. */
+const char *metricName(Metric m);
+
+} // namespace vecstore
+} // namespace hermes

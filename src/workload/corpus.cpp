@@ -1,0 +1,93 @@
+#include "workload/corpus.hpp"
+
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+#include "vecstore/distance.hpp"
+
+namespace hermes {
+namespace workload {
+
+Corpus
+generateCorpus(const CorpusConfig &config)
+{
+    HERMES_ASSERT(config.num_docs > 0, "corpus needs documents");
+    HERMES_ASSERT(config.num_topics > 0, "corpus needs topics");
+    HERMES_ASSERT(config.dim > 0, "corpus needs dim > 0");
+
+    util::Rng rng(config.seed);
+    Corpus corpus;
+    corpus.config = config;
+
+    // Topic centers: random unit vectors. In high dimension these are
+    // nearly orthogonal, giving well-separated topics like real semantic
+    // embedding spaces.
+    corpus.topic_centers = vecstore::Matrix(config.num_topics, config.dim);
+    for (std::size_t t = 0; t < config.num_topics; ++t) {
+        auto row = corpus.topic_centers.row(t);
+        for (std::size_t j = 0; j < config.dim; ++j)
+            row[j] = static_cast<float>(rng.gaussian());
+        vecstore::normalize(row.data(), config.dim);
+    }
+
+    util::ZipfSampler topic_sampler(config.num_topics, config.topic_zipf);
+
+    corpus.embeddings = vecstore::Matrix(config.num_docs, config.dim);
+    corpus.topic_of_doc.resize(config.num_docs);
+    for (std::size_t i = 0; i < config.num_docs; ++i) {
+        std::size_t topic = topic_sampler(rng);
+        corpus.topic_of_doc[i] = static_cast<std::uint32_t>(topic);
+        auto center = corpus.topic_centers.row(topic);
+        auto row = corpus.embeddings.row(i);
+        for (std::size_t j = 0; j < config.dim; ++j) {
+            row[j] = center[j] + static_cast<float>(
+                rng.gaussian(0.0, config.topic_spread));
+        }
+        if (config.normalize)
+            vecstore::normalize(row.data(), config.dim);
+    }
+    return corpus;
+}
+
+QuerySet
+generateQueries(const Corpus &corpus, const QueryConfig &config)
+{
+    HERMES_ASSERT(config.num_queries > 0, "need at least one query");
+    const auto &cc = corpus.config;
+
+    util::Rng rng(config.seed ^ 0x5eedU);
+    util::ZipfSampler topic_sampler(cc.num_topics, config.topic_zipf);
+
+    // Bucket documents by topic so queries can perturb a real document
+    // rather than the abstract topic center.
+    std::vector<std::vector<std::size_t>> docs_of_topic(cc.num_topics);
+    for (std::size_t i = 0; i < corpus.topic_of_doc.size(); ++i)
+        docs_of_topic[corpus.topic_of_doc[i]].push_back(i);
+
+    QuerySet queries;
+    queries.embeddings = vecstore::Matrix(config.num_queries, cc.dim);
+    queries.topic_of_query.resize(config.num_queries);
+
+    for (std::size_t q = 0; q < config.num_queries; ++q) {
+        std::size_t topic = topic_sampler(rng);
+        // Zipf can pick a topic that received no documents; fall back to
+        // the most popular topic which always has some.
+        while (docs_of_topic[topic].empty())
+            topic = (topic + 1) % cc.num_topics;
+        queries.topic_of_query[q] = static_cast<std::uint32_t>(topic);
+
+        const auto &bucket = docs_of_topic[topic];
+        std::size_t doc = bucket[rng.uniformInt(bucket.size())];
+        auto seed_doc = corpus.embeddings.row(doc);
+        auto row = queries.embeddings.row(q);
+        for (std::size_t j = 0; j < cc.dim; ++j) {
+            row[j] = seed_doc[j] + static_cast<float>(
+                rng.gaussian(0.0, config.noise));
+        }
+        if (config.normalize)
+            vecstore::normalize(row.data(), cc.dim);
+    }
+    return queries;
+}
+
+} // namespace workload
+} // namespace hermes

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Synthetic datastore generation.
+ *
+ * Stands in for the paper's SPHERE (encoded Common Crawl) corpus: documents
+ * are drawn from a topic-mixture model — Gaussian topic centers with
+ * per-topic spread — which gives the datastore the clusterable semantic
+ * structure Hermes' similarity partitioning exploits. Topic popularity can
+ * be skewed (Zipf) to reproduce the cluster-size imbalance of Fig 13.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "vecstore/matrix.hpp"
+
+namespace hermes {
+namespace workload {
+
+/** Corpus synthesis parameters. */
+struct CorpusConfig
+{
+    /** Number of document chunks (= vectors). */
+    std::size_t num_docs = 20000;
+
+    /** Embedding dimensionality. */
+    std::size_t dim = 64;
+
+    /** Number of latent topics. */
+    std::size_t num_topics = 32;
+
+    /** Within-topic standard deviation (topic centers have unit scale). */
+    double topic_spread = 0.22;
+
+    /** Zipf exponent for topic popularity (0 = uniform doc counts). */
+    double topic_zipf = 0.6;
+
+    /** Tokens represented by one chunk (paper: ~100 tokens/chunk). */
+    std::size_t tokens_per_chunk = 100;
+
+    /** Normalize embeddings to the unit sphere (RAG encoders do). */
+    bool normalize = true;
+
+    /** PRNG seed. */
+    std::uint64_t seed = 42;
+};
+
+/** A synthesized datastore. */
+struct Corpus
+{
+    /** Chunk embeddings, one row per document chunk. */
+    vecstore::Matrix embeddings;
+
+    /** Latent topic of each chunk. */
+    std::vector<std::uint32_t> topic_of_doc;
+
+    /** Topic centers (num_topics x dim), unit-normalized. */
+    vecstore::Matrix topic_centers;
+
+    /** Configuration used to generate this corpus. */
+    CorpusConfig config;
+
+    /** Total tokens represented (num_docs * tokens_per_chunk). */
+    std::size_t
+    totalTokens() const
+    {
+        return embeddings.rows() * config.tokens_per_chunk;
+    }
+};
+
+/** Generate a corpus per @p config. */
+Corpus generateCorpus(const CorpusConfig &config);
+
+/** Query synthesis parameters. */
+struct QueryConfig
+{
+    /** Number of queries. */
+    std::size_t num_queries = 512;
+
+    /** Noise added around the seed document (relative scale). */
+    double noise = 0.30;
+
+    /**
+     * Zipf exponent of topic popularity across queries — question
+     * workloads like Natural Questions concentrate on popular topics,
+     * which produces the access-frequency imbalance of Fig 13.
+     */
+    double topic_zipf = 0.9;
+
+    /** Normalize queries to the unit sphere. */
+    bool normalize = true;
+
+    /** PRNG seed (decorrelated from the corpus seed). */
+    std::uint64_t seed = 1234;
+};
+
+/** A synthesized query workload. */
+struct QuerySet
+{
+    /** Query embeddings, one row per query. */
+    vecstore::Matrix embeddings;
+
+    /** Topic each query was seeded from. */
+    std::vector<std::uint32_t> topic_of_query;
+};
+
+/**
+ * Generate queries correlated with @p corpus topics: each query perturbs a
+ * random document of a Zipf-popular topic.
+ */
+QuerySet generateQueries(const Corpus &corpus, const QueryConfig &config);
+
+} // namespace workload
+} // namespace hermes

@@ -1,0 +1,94 @@
+#include "workload/trace.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/logging.hpp"
+
+namespace hermes {
+namespace workload {
+
+std::vector<std::size_t>
+ClusterTrace::accessCounts() const
+{
+    std::vector<std::size_t> counts(num_clusters, 0);
+    for (const auto &record : records) {
+        for (auto c : record.clusters) {
+            HERMES_ASSERT(c < num_clusters, "trace references cluster ", c,
+                          " outside deployment of ", num_clusters);
+            counts[c]++;
+        }
+    }
+    return counts;
+}
+
+std::vector<std::vector<const TraceRecord *>>
+ClusterTrace::batches(std::size_t batch_size) const
+{
+    HERMES_ASSERT(batch_size > 0, "batch size must be positive");
+    std::vector<std::vector<const TraceRecord *>> out;
+    for (std::size_t i = 0; i < records.size(); i += batch_size) {
+        std::vector<const TraceRecord *> batch;
+        for (std::size_t j = i;
+             j < std::min(i + batch_size, records.size()); ++j) {
+            batch.push_back(&records[j]);
+        }
+        out.push_back(std::move(batch));
+    }
+    return out;
+}
+
+ClusterTrace
+ClusterTrace::loadCsv(const std::string &path, std::size_t num_clusters)
+{
+    std::ifstream in(path);
+    if (!in)
+        HERMES_FATAL("cannot open trace CSV: ", path);
+
+    ClusterTrace trace;
+    trace.num_clusters = num_clusters;
+    std::string line;
+    std::getline(in, line); // header
+    HERMES_ASSERT(line == "query,clusters",
+                  "not a trace CSV (bad header): ", path);
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        auto comma = line.find(',');
+        HERMES_ASSERT(comma != std::string::npos,
+                      "malformed trace row: ", line);
+        TraceRecord record;
+        record.query = static_cast<std::uint32_t>(
+            std::stoul(line.substr(0, comma)));
+        std::istringstream clusters(line.substr(comma + 1));
+        std::uint32_t c;
+        while (clusters >> c) {
+            HERMES_ASSERT(c < num_clusters, "trace row references cluster ",
+                          c, " outside deployment of ", num_clusters);
+            record.clusters.push_back(c);
+        }
+        trace.records.push_back(std::move(record));
+    }
+    return trace;
+}
+
+void
+ClusterTrace::saveCsv(const std::string &path) const
+{
+    util::CsvWriter csv(path);
+    csv.header({"query", "clusters"});
+    for (const auto &record : records) {
+        std::ostringstream oss;
+        for (std::size_t i = 0; i < record.clusters.size(); ++i) {
+            if (i)
+                oss << ' ';
+            oss << record.clusters[i];
+        }
+        csv.cell(record.query).cell(oss.str());
+        csv.endRow();
+    }
+}
+
+} // namespace workload
+} // namespace hermes

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Query traces for the multi-node analysis tool (paper Fig 15).
+ *
+ * A trace records, for every query of a workload, which clusters the deep
+ * search visited. The simulator replays traces to derive per-node load,
+ * latency, throughput and energy — exactly how the paper pairs on-device
+ * measurements with a TriviaQA-derived cluster access trace.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hermes {
+namespace workload {
+
+/** One query's cluster accesses. */
+struct TraceRecord
+{
+    /** Query index within the workload. */
+    std::uint32_t query = 0;
+
+    /** Clusters searched in depth, best-ranked first. */
+    std::vector<std::uint32_t> clusters;
+};
+
+/** A replayable cluster-access trace. */
+struct ClusterTrace
+{
+    /** Number of clusters in the deployment. */
+    std::size_t num_clusters = 0;
+
+    /** Per-query access records. */
+    std::vector<TraceRecord> records;
+
+    /** Total accesses per cluster. */
+    std::vector<std::size_t> accessCounts() const;
+
+    /**
+     * Group records into batches of @p batch_size (final batch may be
+     * short), preserving order.
+     */
+    std::vector<std::vector<const TraceRecord *>>
+    batches(std::size_t batch_size) const;
+
+    /** Persist as CSV (query, cluster list). */
+    void saveCsv(const std::string &path) const;
+
+    /**
+     * Load a trace written by saveCsv().
+     * @param path         CSV file.
+     * @param num_clusters Deployment size (validates cluster ids).
+     */
+    static ClusterTrace loadCsv(const std::string &path,
+                                std::size_t num_clusters);
+};
+
+} // namespace workload
+} // namespace hermes

@@ -1,0 +1,473 @@
+/**
+ * @file
+ * Tests for the ANN indices: Flat (exact oracle), IVF, HNSW, factory.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <set>
+
+#include "eval/ground_truth.hpp"
+#include "eval/metrics.hpp"
+#include "index/flat_index.hpp"
+#include "index/hnsw_index.hpp"
+#include "index/ivf_index.hpp"
+#include "util/rng.hpp"
+#include "workload/corpus.hpp"
+
+namespace {
+
+using namespace hermes;
+using namespace hermes::index;
+using hermes::vecstore::Matrix;
+using hermes::vecstore::Metric;
+
+struct TestData
+{
+    Matrix base{0};
+    Matrix queries{0};
+    std::vector<vecstore::HitList> truth;
+};
+
+const TestData &
+sharedData()
+{
+    static TestData data = [] {
+        workload::CorpusConfig cc;
+        cc.num_docs = 4000;
+        cc.dim = 24;
+        cc.num_topics = 16;
+        cc.seed = 5;
+        auto corpus = workload::generateCorpus(cc);
+
+        workload::QueryConfig qc;
+        qc.num_queries = 40;
+        qc.seed = 6;
+        auto queries = workload::generateQueries(corpus, qc);
+
+        TestData out;
+        out.base = std::move(corpus.embeddings);
+        out.queries = std::move(queries.embeddings);
+        out.truth = eval::exactGroundTruth(out.base, out.queries, 10,
+                                           Metric::L2);
+        return out;
+    }();
+    return data;
+}
+
+TEST(FlatIndex, MatchesGroundTruthExactly)
+{
+    const auto &data = sharedData();
+    FlatIndex flat(data.base.dim(), Metric::L2);
+    flat.addSequential(data.base);
+    auto results = flat.searchBatch(data.queries, 10);
+    EXPECT_NEAR(eval::meanRecallAtK(results, data.truth, 10), 1.0, 1e-12);
+}
+
+TEST(FlatIndex, StatsCountEveryVector)
+{
+    const auto &data = sharedData();
+    FlatIndex flat(data.base.dim(), Metric::L2);
+    flat.addSequential(data.base);
+    SearchStats stats;
+    flat.search(data.queries.row(0), 5, {}, &stats);
+    EXPECT_EQ(stats.vectors_scanned, data.base.rows());
+    EXPECT_EQ(stats.bytes_scanned,
+              data.base.rows() * data.base.dim() * sizeof(float));
+}
+
+TEST(FlatIndex, ExternalIdsReturned)
+{
+    Matrix m(2, 4);
+    m.row(0)[0] = 1.f;
+    m.row(1)[0] = -1.f;
+    FlatIndex flat(4, Metric::L2);
+    flat.add(m, {100, 200});
+    std::vector<float> q{1.f, 0.f, 0.f, 0.f};
+    auto hits = flat.search(vecstore::VecView(q.data(), 4), 1);
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_EQ(hits[0].id, 100);
+}
+
+TEST(FlatIndex, KLargerThanIndexReturnsAll)
+{
+    Matrix m(3, 4);
+    FlatIndex flat(4, Metric::L2);
+    flat.addSequential(m);
+    std::vector<float> q(4, 0.f);
+    auto hits = flat.search(vecstore::VecView(q.data(), 4), 10);
+    EXPECT_EQ(hits.size(), 3u);
+}
+
+/** IVF recall grows monotonically (within noise) with nProbe. */
+class IvfNprobeSweep : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(IvfNprobeSweep, RecallAtLeastBaseline)
+{
+    const auto &data = sharedData();
+    IvfConfig config;
+    config.nlist = 32;
+    config.codec = "SQ8";
+    IvfIndex ivf(data.base.dim(), Metric::L2, config);
+    ivf.train(data.base);
+    ivf.addSequential(data.base);
+
+    SearchParams lo, hi;
+    lo.nprobe = 1;
+    hi.nprobe = GetParam();
+    auto lo_results = ivf.searchBatch(data.queries, 10, lo);
+    auto hi_results = ivf.searchBatch(data.queries, 10, hi);
+    double lo_recall = eval::meanRecallAtK(lo_results, data.truth, 10);
+    double hi_recall = eval::meanRecallAtK(hi_results, data.truth, 10);
+    EXPECT_GE(hi_recall + 1e-9, lo_recall);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, IvfNprobeSweep,
+                         ::testing::Values(2, 4, 8, 16, 32));
+
+TEST(IvfIndex, FullProbeWithFlatCodecIsExact)
+{
+    const auto &data = sharedData();
+    IvfConfig config;
+    config.nlist = 16;
+    config.codec = "Flat";
+    IvfIndex ivf(data.base.dim(), Metric::L2, config);
+    ivf.train(data.base);
+    ivf.addSequential(data.base);
+
+    SearchParams params;
+    params.nprobe = 16;
+    auto results = ivf.searchBatch(data.queries, 10, params);
+    EXPECT_NEAR(eval::meanRecallAtK(results, data.truth, 10), 1.0, 1e-12);
+}
+
+TEST(IvfIndex, Sq8HighNprobeRecallNearFlat)
+{
+    // Table 1: SQ8 recall ~0.94 of exact at matched search effort.
+    const auto &data = sharedData();
+    IvfConfig config;
+    config.nlist = 32;
+    config.codec = "SQ8";
+    IvfIndex ivf(data.base.dim(), Metric::L2, config);
+    ivf.train(data.base);
+    ivf.addSequential(data.base);
+
+    SearchParams params;
+    params.nprobe = 32;
+    auto results = ivf.searchBatch(data.queries, 10, params);
+    EXPECT_GT(eval::meanRecallAtK(results, data.truth, 10), 0.9);
+}
+
+TEST(IvfIndex, StatsScaleWithNprobe)
+{
+    const auto &data = sharedData();
+    IvfConfig config;
+    config.nlist = 32;
+    IvfIndex ivf(data.base.dim(), Metric::L2, config);
+    ivf.train(data.base);
+    ivf.addSequential(data.base);
+
+    SearchStats lo_stats, hi_stats;
+    SearchParams lo, hi;
+    lo.nprobe = 2;
+    hi.nprobe = 16;
+    ivf.search(data.queries.row(0), 5, lo, &lo_stats);
+    ivf.search(data.queries.row(0), 5, hi, &hi_stats);
+    EXPECT_EQ(lo_stats.lists_probed, 2u);
+    EXPECT_EQ(hi_stats.lists_probed, 16u);
+    EXPECT_GT(hi_stats.vectors_scanned, lo_stats.vectors_scanned);
+    EXPECT_GT(hi_stats.bytes_scanned, lo_stats.bytes_scanned);
+}
+
+TEST(IvfIndex, ListSizesSumToTotal)
+{
+    const auto &data = sharedData();
+    IvfConfig config;
+    config.nlist = 16;
+    IvfIndex ivf(data.base.dim(), Metric::L2, config);
+    ivf.train(data.base);
+    ivf.addSequential(data.base);
+    std::size_t total = 0;
+    for (std::size_t l = 0; l < ivf.nlist(); ++l)
+        total += ivf.listSize(l);
+    EXPECT_EQ(total, data.base.rows());
+    EXPECT_EQ(ivf.size(), data.base.rows());
+}
+
+TEST(IvfIndex, SaveLoadSearchesIdentically)
+{
+    const auto &data = sharedData();
+    IvfConfig config;
+    config.nlist = 16;
+    config.codec = "SQ8";
+    IvfIndex ivf(data.base.dim(), Metric::L2, config);
+    ivf.train(data.base);
+    ivf.addSequential(data.base);
+
+    auto path = std::filesystem::temp_directory_path() / "hermes_ivf.bin";
+    ivf.save(path.string());
+    auto loaded = IvfIndex::load(path.string());
+
+    SearchParams params;
+    params.nprobe = 8;
+    for (std::size_t q = 0; q < 10; ++q) {
+        auto a = ivf.search(data.queries.row(q), 5, params);
+        auto b = loaded->search(data.queries.row(q), 5, params);
+        ASSERT_EQ(a.size(), b.size());
+        for (std::size_t i = 0; i < a.size(); ++i) {
+            EXPECT_EQ(a[i].id, b[i].id);
+            EXPECT_FLOAT_EQ(a[i].score, b[i].score);
+        }
+    }
+    std::filesystem::remove(path);
+}
+
+TEST(IvfIndex, MemorySmallerThanFlatWithSq8)
+{
+    const auto &data = sharedData();
+    IvfConfig config;
+    config.nlist = 16;
+    config.codec = "SQ8";
+    IvfIndex ivf(data.base.dim(), Metric::L2, config);
+    ivf.train(data.base);
+    ivf.addSequential(data.base);
+
+    FlatIndex flat(data.base.dim(), Metric::L2);
+    flat.addSequential(data.base);
+    // SQ8 codes are 4x smaller than fp32; ids/centroids add overhead but
+    // the total must still be well under the flat index.
+    EXPECT_LT(ivf.memoryBytes(), flat.memoryBytes());
+}
+
+TEST(IvfIndex, SuggestedNlistIsSqrt)
+{
+    EXPECT_EQ(IvfIndex::suggestedNlist(10000), 100u);
+    EXPECT_EQ(IvfIndex::suggestedNlist(1), 1u);
+    EXPECT_EQ(IvfIndex::suggestedNlist(0), 1u);
+}
+
+TEST(IvfIndex, HnswCoarseMatchesLinearCoarseQuality)
+{
+    // The graph coarse step targets the large-nlist regime where the
+    // O(nlist) centroid scan starts to dominate (FAISS's IVF_HNSW use
+    // case); use a deliberately oversized nlist.
+    const auto &data = sharedData();
+    IvfConfig linear_config;
+    linear_config.nlist = 512;
+    linear_config.codec = "SQ8";
+    IvfConfig graph_config = linear_config;
+    graph_config.hnsw_coarse = true;
+
+    IvfIndex linear(data.base.dim(), Metric::L2, linear_config);
+    linear.train(data.base);
+    linear.addSequential(data.base);
+    IvfIndex graph(data.base.dim(), Metric::L2, graph_config);
+    graph.train(data.base);
+    graph.addSequential(data.base);
+
+    SearchParams params;
+    params.nprobe = 16;
+    double linear_recall = eval::meanRecallAtK(
+        linear.searchBatch(data.queries, 10, params), data.truth, 10);
+    double graph_recall = eval::meanRecallAtK(
+        graph.searchBatch(data.queries, 10, params), data.truth, 10);
+    // The graph coarse step is approximate; allow a small gap.
+    EXPECT_GT(graph_recall, linear_recall - 0.05);
+
+    // And it must do *fewer* coarse distance evaluations than a full
+    // centroid scan once the list scans are subtracted out.
+    SearchStats linear_stats, graph_stats;
+    linear.search(data.queries.row(0), 5, params, &linear_stats);
+    graph.search(data.queries.row(0), 5, params, &graph_stats);
+    std::uint64_t linear_coarse = linear_stats.distance_computations -
+                                  linear_stats.vectors_scanned;
+    std::uint64_t graph_coarse = graph_stats.distance_computations -
+                                 graph_stats.vectors_scanned;
+    EXPECT_LT(graph_coarse, linear_coarse);
+}
+
+TEST(IvfIndex, HnswCoarseSurvivesSaveLoad)
+{
+    const auto &data = sharedData();
+    IvfConfig config;
+    config.nlist = 32;
+    config.hnsw_coarse = true;
+    IvfIndex ivf(data.base.dim(), Metric::L2, config);
+    ivf.train(data.base);
+    ivf.addSequential(data.base);
+
+    auto path = std::filesystem::temp_directory_path() / "ivf_hnsw.bin";
+    ivf.save(path.string());
+    auto loaded = IvfIndex::load(path.string());
+    SearchParams params;
+    params.nprobe = 8;
+    auto a = ivf.search(data.queries.row(0), 5, params);
+    auto b = loaded->search(data.queries.row(0), 5, params);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i].id, b[i].id);
+    std::filesystem::remove(path);
+}
+
+TEST(HnswIndex, HighRecallAtModestEf)
+{
+    const auto &data = sharedData();
+    HnswConfig config;
+    config.m = 16;
+    config.ef_construction = 80;
+    HnswIndex hnsw(data.base.dim(), Metric::L2, config);
+    hnsw.addSequential(data.base);
+
+    SearchParams params;
+    params.ef_search = 64;
+    auto results = hnsw.searchBatch(data.queries, 10, params);
+    EXPECT_GT(eval::meanRecallAtK(results, data.truth, 10), 0.9);
+}
+
+TEST(HnswIndex, RecallImprovesWithEf)
+{
+    const auto &data = sharedData();
+    HnswConfig config;
+    config.m = 8;
+    config.ef_construction = 40;
+    HnswIndex hnsw(data.base.dim(), Metric::L2, config);
+    hnsw.addSequential(data.base);
+
+    SearchParams lo, hi;
+    lo.ef_search = 10;
+    hi.ef_search = 128;
+    double lo_recall = eval::meanRecallAtK(
+        hnsw.searchBatch(data.queries, 10, lo), data.truth, 10);
+    double hi_recall = eval::meanRecallAtK(
+        hnsw.searchBatch(data.queries, 10, hi), data.truth, 10);
+    EXPECT_GE(hi_recall + 1e-9, lo_recall);
+}
+
+TEST(HnswIndex, MemoryExceedsIvfSq8)
+{
+    // Fig 4: HNSW costs ~2.3x the memory of IVF-SQ8 — links plus fp32.
+    const auto &data = sharedData();
+    HnswConfig hc;
+    hc.m = 16;
+    HnswIndex hnsw(data.base.dim(), Metric::L2, hc);
+    hnsw.addSequential(data.base);
+
+    IvfConfig ic;
+    ic.nlist = 16;
+    ic.codec = "SQ8";
+    IvfIndex ivf(data.base.dim(), Metric::L2, ic);
+    ivf.train(data.base);
+    ivf.addSequential(data.base);
+
+    EXPECT_GT(hnsw.memoryBytes(), 2 * ivf.memoryBytes());
+}
+
+TEST(HnswIndex, StatsPopulated)
+{
+    const auto &data = sharedData();
+    HnswConfig config;
+    HnswIndex hnsw(data.base.dim(), Metric::L2, config);
+    hnsw.addSequential(data.base);
+    SearchStats stats;
+    hnsw.search(data.queries.row(0), 5, {}, &stats);
+    EXPECT_GT(stats.distance_computations, 0u);
+    // Far fewer evaluations than brute force — that is the point.
+    EXPECT_LT(stats.distance_computations, data.base.rows() / 2);
+}
+
+TEST(HnswIndex, Level0GraphIsFullyReachable)
+{
+    // Every stored vector must be reachable from any other via level-0
+    // links, or recall silently collapses for unlucky entry points. Walk
+    // the graph through search results: repeatedly query each stored
+    // vector and confirm it finds itself (distance ~0) — a self-miss
+    // would indicate a disconnected component.
+    const auto &data = sharedData();
+    HnswConfig config;
+    config.m = 8;
+    config.ef_construction = 60;
+    HnswIndex hnsw(data.base.dim(), Metric::L2, config);
+
+    // Use a subset to keep the self-query sweep fast.
+    Matrix subset = data.base.gather([] {
+        std::vector<std::size_t> idx(800);
+        for (std::size_t i = 0; i < idx.size(); ++i)
+            idx[i] = i * 5;
+        return idx;
+    }());
+    hnsw.addSequential(subset);
+
+    SearchParams params;
+    params.ef_search = 32;
+    std::size_t self_found = 0;
+    for (std::size_t i = 0; i < subset.rows(); ++i) {
+        auto hits = hnsw.search(subset.row(i), 1, params);
+        ASSERT_FALSE(hits.empty());
+        self_found += hits[0].score < 1e-6f;
+    }
+    // A well-connected graph self-resolves essentially always.
+    EXPECT_GT(static_cast<double>(self_found) /
+              static_cast<double>(subset.rows()), 0.98);
+}
+
+TEST(HnswIndex, LevelDistributionDecaysGeometrically)
+{
+    const auto &data = sharedData();
+    HnswConfig config;
+    config.m = 16;
+    HnswIndex hnsw(data.base.dim(), Metric::L2, config);
+    hnsw.addSequential(data.base);
+    // With mL = 1/ln(M), the fraction of nodes above level 0 is ~1/M.
+    EXPECT_GE(hnsw.maxLevel(), 1);
+    EXPECT_LE(hnsw.maxLevel(), 8);
+}
+
+TEST(HnswIndex, EmptyIndexReturnsNothing)
+{
+    HnswIndex hnsw(8, Metric::L2, {});
+    std::vector<float> q(8, 0.f);
+    EXPECT_TRUE(hnsw.search(vecstore::VecView(q.data(), 8), 5).empty());
+}
+
+TEST(IndexFactory, ParsesSpecs)
+{
+    EXPECT_EQ(makeIndex("Flat", 16, Metric::L2)->name(), "Flat");
+    EXPECT_EQ(makeIndex("IVF64,SQ8", 16, Metric::L2)->name(), "IVF64,SQ8");
+    EXPECT_EQ(makeIndex("IVF32", 16, Metric::L2)->name(), "IVF32,Flat");
+    EXPECT_EQ(makeIndex("HNSW8", 16, Metric::L2)->name(), "HNSW8");
+}
+
+TEST(IndexFactory, FactoryIndicesSearchable)
+{
+    const auto &data = sharedData();
+    for (const char *spec : {"Flat", "IVF16,SQ8", "HNSW8"}) {
+        auto idx = makeIndex(spec, data.base.dim(), Metric::L2);
+        idx->train(data.base);
+        idx->addSequential(data.base);
+        SearchParams params;
+        params.nprobe = 8;
+        auto hits = idx->search(data.queries.row(0), 5, params);
+        EXPECT_EQ(hits.size(), 5u) << spec;
+    }
+}
+
+TEST(AnnIndex, InnerProductMetricRanksByDotProduct)
+{
+    Matrix m(3, 4);
+    m.row(0)[0] = 0.1f;
+    m.row(1)[0] = 0.9f;
+    m.row(2)[0] = 0.5f;
+    FlatIndex flat(4, Metric::InnerProduct);
+    flat.addSequential(m);
+    std::vector<float> q{1.f, 0.f, 0.f, 0.f};
+    auto hits = flat.search(vecstore::VecView(q.data(), 4), 3);
+    ASSERT_EQ(hits.size(), 3u);
+    EXPECT_EQ(hits[0].id, 1);
+    EXPECT_EQ(hits[1].id, 2);
+    EXPECT_EQ(hits[2].id, 0);
+}
+
+} // namespace

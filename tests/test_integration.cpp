@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Cross-module integration tests: the full measured retrieval path
+ * (corpus → partition → distributed IVF → hierarchical search → metrics)
+ * feeding the multi-node simulator, mirroring the paper's methodology of
+ * pairing real cluster-access traces with modeled hardware.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/distributed_store.hpp"
+#include "core/search_strategy.hpp"
+#include "eval/ground_truth.hpp"
+#include "eval/metrics.hpp"
+#include "sim/node_sim.hpp"
+#include "sim/pipeline.hpp"
+#include "workload/corpus.hpp"
+
+namespace {
+
+using namespace hermes;
+
+struct Deployment
+{
+    workload::Corpus corpus;
+    workload::QuerySet queries;
+    std::vector<vecstore::HitList> truth;
+    core::HermesConfig config;
+    std::unique_ptr<core::DistributedStore> store;
+};
+
+const Deployment &
+deployment()
+{
+    static Deployment dep = [] {
+        Deployment out;
+        workload::CorpusConfig cc;
+        cc.num_docs = 8000;
+        cc.dim = 24;
+        cc.num_topics = 24;
+        cc.topic_zipf = 0.8;
+        cc.seed = 71;
+        out.corpus = workload::generateCorpus(cc);
+
+        workload::QueryConfig qc;
+        qc.num_queries = 96;
+        qc.topic_zipf = 1.0;
+        qc.seed = 72;
+        out.queries = workload::generateQueries(out.corpus, qc);
+        out.truth = eval::exactGroundTruth(out.corpus.embeddings,
+                                           out.queries.embeddings, 5,
+                                           vecstore::Metric::L2);
+
+        out.config.num_clusters = 10;
+        out.config.clusters_to_search = 3;
+        out.config.sample_nprobe = 4;
+        out.config.deep_nprobe = 32;
+        out.config.partition.seeds_to_try = 3;
+        out.store = std::make_unique<core::DistributedStore>(
+            core::DistributedStore::build(out.corpus.embeddings,
+                                          out.config));
+        return out;
+    }();
+    return dep;
+}
+
+TEST(Integration, MeasuredTraceDrivesSimulator)
+{
+    const auto &dep = deployment();
+    core::HermesSearch hermes(*dep.store);
+    auto trace = hermes.traceBatch(dep.queries.embeddings, 5);
+
+    sim::MultiNodeConfig mn;
+    mn.total.tokens = static_cast<double>(dep.corpus.totalTokens());
+    mn.num_clusters = dep.config.num_clusters;
+    mn.sample_nprobe = dep.config.sample_nprobe;
+    mn.deep_nprobe = dep.config.deep_nprobe;
+    mn.batch = 32;
+    // Feed the *measured* partition sizes into the model.
+    for (auto size : dep.store->partitioning().sizes())
+        mn.cluster_shares.push_back(static_cast<double>(size));
+
+    auto result = sim::MultiNodeSimulator(mn).replayTrace(trace);
+    EXPECT_GT(result.latency, 0.0);
+    EXPECT_GT(result.energy, 0.0);
+    // The skewed trace must load nodes unevenly.
+    auto mx = *std::max_element(result.node_queries.begin(),
+                                result.node_queries.end());
+    auto mn_q = *std::min_element(result.node_queries.begin(),
+                                  result.node_queries.end());
+    EXPECT_GT(mx, mn_q);
+}
+
+TEST(Integration, QualityOrderingAcrossStrategies)
+{
+    // Fig 11 ordering at few clusters searched: Hermes >= centroid
+    // routing, and naive split (all clusters) is the distributed ceiling.
+    const auto &dep = deployment();
+    core::HermesSearch hermes(*dep.store);
+    core::CentroidRouting centroid(*dep.store);
+    core::NaiveSplitSearch split(*dep.store);
+
+    auto ndcg_of = [&](const core::SearchStrategy &strategy) {
+        std::vector<vecstore::HitList> results;
+        for (std::size_t q = 0; q < dep.queries.embeddings.rows(); ++q)
+            results.push_back(
+                strategy.search(dep.queries.embeddings.row(q), 5).hits);
+        return eval::meanNdcgAtK(results, dep.truth, 5);
+    };
+
+    double hermes_ndcg = ndcg_of(hermes);
+    double centroid_ndcg = ndcg_of(centroid);
+    double split_ndcg = ndcg_of(split);
+
+    EXPECT_GE(hermes_ndcg, centroid_ndcg - 0.02);
+    EXPECT_GE(split_ndcg, hermes_ndcg - 0.02);
+    EXPECT_GT(hermes_ndcg, 0.75);
+}
+
+TEST(Integration, MoreDeepClustersMonotonicallyImproveNdcg)
+{
+    const auto &dep = deployment();
+    double prev = 0.0;
+    for (std::size_t deep : {1u, 3u, 6u, 10u}) {
+        core::HermesConfig config = dep.config;
+        config.clusters_to_search = deep;
+        // Rebuilding the store is expensive; reuse via a fresh strategy
+        // bound to a store built with the same partitioning.
+        core::DistributedStore store = core::DistributedStore::build(
+            dep.corpus.embeddings, config);
+        core::HermesSearch hermes(store);
+        std::vector<vecstore::HitList> results;
+        for (std::size_t q = 0; q < dep.queries.embeddings.rows(); ++q)
+            results.push_back(
+                hermes.search(dep.queries.embeddings.row(q), 5).hits);
+        double ndcg = eval::meanNdcgAtK(results, dep.truth, 5);
+        EXPECT_GE(ndcg, prev - 0.02) << "deep=" << deep;
+        prev = std::max(prev, ndcg);
+    }
+    EXPECT_GT(prev, 0.85);
+}
+
+TEST(Integration, EndToEndPipelineRanksConfigurations)
+{
+    // At-scale sanity: for a 100B datastore the full stack must rank
+    // Hermes+pipelining+caching < Hermes < baseline on E2E latency.
+    sim::PipelineConfig base;
+    base.datastore.tokens = 100e9;
+    base.batch = 32;
+
+    sim::PipelineConfig hermes = base;
+    hermes.retrieval = sim::RetrievalMode::Hermes;
+
+    sim::PipelineConfig combined = hermes;
+    combined.pipelining = true;
+    combined.prefix_caching = true;
+
+    double e2e_base = sim::RagPipelineSim(base).run().e2e;
+    double e2e_hermes = sim::RagPipelineSim(hermes).run().e2e;
+    double e2e_combined = sim::RagPipelineSim(combined).run().e2e;
+    EXPECT_LT(e2e_combined, e2e_hermes);
+    EXPECT_LT(e2e_hermes, e2e_base);
+}
+
+} // namespace

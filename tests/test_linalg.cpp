@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Tests for the small dense linear algebra used by OPQ training.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "quant/linalg.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace hermes::quant::linalg;
+using hermes::util::Rng;
+
+std::vector<float>
+randomMatrix(std::size_t d, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<float> m(d * d);
+    for (auto &x : m)
+        x = static_cast<float>(rng.gaussian());
+    return m;
+}
+
+TEST(Linalg, MatmulIdentity)
+{
+    const std::size_t d = 8;
+    auto a = randomMatrix(d, 1);
+    std::vector<float> eye(d * d, 0.f);
+    for (std::size_t i = 0; i < d; ++i)
+        eye[i * d + i] = 1.f;
+    std::vector<float> c(d * d);
+    matmul(a.data(), eye.data(), c.data(), d);
+    for (std::size_t i = 0; i < d * d; ++i)
+        EXPECT_FLOAT_EQ(c[i], a[i]);
+}
+
+TEST(Linalg, MatmulMatchesNaive)
+{
+    const std::size_t d = 6;
+    auto a = randomMatrix(d, 2);
+    auto b = randomMatrix(d, 3);
+    std::vector<float> c(d * d);
+    matmul(a.data(), b.data(), c.data(), d);
+    for (std::size_t i = 0; i < d; ++i) {
+        for (std::size_t j = 0; j < d; ++j) {
+            float expected = 0.f;
+            for (std::size_t k = 0; k < d; ++k)
+                expected += a[i * d + k] * b[k * d + j];
+            EXPECT_NEAR(c[i * d + j], expected, 1e-4f);
+        }
+    }
+}
+
+TEST(Linalg, MatmulTnIsTransposeTimesB)
+{
+    const std::size_t d = 5;
+    auto a = randomMatrix(d, 4);
+    auto b = randomMatrix(d, 5);
+    std::vector<float> expected(d * d), got(d * d);
+    auto at = transpose(a.data(), d);
+    matmul(at.data(), b.data(), expected.data(), d);
+    matmulTn(a.data(), b.data(), got.data(), d);
+    for (std::size_t i = 0; i < d * d; ++i)
+        EXPECT_NEAR(got[i], expected[i], 1e-4f);
+}
+
+TEST(Linalg, TransposeIsInvolution)
+{
+    const std::size_t d = 7;
+    auto a = randomMatrix(d, 6);
+    auto att = transpose(transpose(a.data(), d).data(), d);
+    EXPECT_EQ(att, a);
+}
+
+TEST(Linalg, VecmatMatchesNaive)
+{
+    const std::size_t d = 9;
+    auto a = randomMatrix(d, 7);
+    Rng rng(8);
+    std::vector<float> x(d), y(d);
+    for (auto &v : x)
+        v = static_cast<float>(rng.gaussian());
+    vecmat(x.data(), a.data(), y.data(), d);
+    for (std::size_t j = 0; j < d; ++j) {
+        float expected = 0.f;
+        for (std::size_t i = 0; i < d; ++i)
+            expected += x[i] * a[i * d + j];
+        EXPECT_NEAR(y[j], expected, 1e-4f);
+    }
+}
+
+TEST(Linalg, RandomRotationIsOrthogonal)
+{
+    for (std::size_t d : {2u, 4u, 16u, 48u}) {
+        auto r = randomRotation(d, 123 + d);
+        EXPECT_LT(orthogonalityError(r.data(), d), 1e-4f) << "d=" << d;
+    }
+}
+
+TEST(Linalg, RandomRotationPreservesNorm)
+{
+    const std::size_t d = 24;
+    auto r = randomRotation(d, 9);
+    Rng rng(10);
+    std::vector<float> x(d), y(d);
+    for (auto &v : x)
+        v = static_cast<float>(rng.gaussian());
+    vecmat(x.data(), r.data(), y.data(), d);
+    float nx = 0.f, ny = 0.f;
+    for (std::size_t i = 0; i < d; ++i) {
+        nx += x[i] * x[i];
+        ny += y[i] * y[i];
+    }
+    EXPECT_NEAR(nx, ny, 1e-3f * nx);
+}
+
+TEST(Linalg, JacobiRecoversDiagonalEigenvalues)
+{
+    const std::size_t d = 5;
+    std::vector<float> a(d * d, 0.f);
+    std::vector<float> diag{5.f, 4.f, 3.f, 2.f, 1.f};
+    for (std::size_t i = 0; i < d; ++i)
+        a[i * d + i] = diag[i];
+    std::vector<float> eigenvalues, v;
+    jacobiEigenSymmetric(a, eigenvalues, v, d);
+    std::sort(eigenvalues.begin(), eigenvalues.end(),
+              std::greater<float>());
+    for (std::size_t i = 0; i < d; ++i)
+        EXPECT_NEAR(eigenvalues[i], diag[i], 1e-4f);
+}
+
+TEST(Linalg, JacobiReconstructsMatrix)
+{
+    const std::size_t d = 8;
+    // Symmetric A = B + B^T.
+    auto b = randomMatrix(d, 11);
+    std::vector<float> a(d * d);
+    for (std::size_t i = 0; i < d; ++i)
+        for (std::size_t j = 0; j < d; ++j)
+            a[i * d + j] = b[i * d + j] + b[j * d + i];
+    auto original = a;
+
+    std::vector<float> eigenvalues, v;
+    jacobiEigenSymmetric(a, eigenvalues, v, d);
+
+    // Reconstruct V diag(lambda) V^T.
+    std::vector<float> scaled(d * d);
+    for (std::size_t i = 0; i < d; ++i)
+        for (std::size_t j = 0; j < d; ++j)
+            scaled[i * d + j] = v[i * d + j] * eigenvalues[j];
+    auto vt = transpose(v.data(), d);
+    std::vector<float> recon(d * d);
+    matmul(scaled.data(), vt.data(), recon.data(), d);
+    for (std::size_t i = 0; i < d * d; ++i)
+        EXPECT_NEAR(recon[i], original[i], 1e-3f);
+}
+
+TEST(Linalg, ProcrustesRecoversRotation)
+{
+    // If M itself is orthogonal, the closest orthogonal matrix is M.
+    const std::size_t d = 12;
+    auto r = randomRotation(d, 13);
+    auto solved = procrustes(r, d);
+    for (std::size_t i = 0; i < d * d; ++i)
+        EXPECT_NEAR(solved[i], r[i], 5e-3f);
+}
+
+TEST(Linalg, ProcrustesOutputIsOrthogonal)
+{
+    const std::size_t d = 10;
+    auto m = randomMatrix(d, 14); // arbitrary, well-conditioned w.h.p.
+    auto r = procrustes(m, d);
+    EXPECT_LT(orthogonalityError(r.data(), d), 1e-3f);
+}
+
+TEST(Linalg, ProcrustesOfScaledRotationRecoversRotation)
+{
+    const std::size_t d = 8;
+    auto r = randomRotation(d, 15);
+    auto scaled = r;
+    for (auto &x : scaled)
+        x *= 3.7f; // positive scale does not change the polar factor
+    auto solved = procrustes(scaled, d);
+    for (std::size_t i = 0; i < d * d; ++i)
+        EXPECT_NEAR(solved[i], r[i], 5e-3f);
+}
+
+} // namespace

@@ -1,0 +1,342 @@
+/**
+ * @file
+ * Cross-stack property tests: parameterized invariant sweeps that tie the
+ * layers together — metric axioms, codec/recall orderings, cost-model
+ * monotonicities, pipeline monotonicities, and serialization round trips
+ * at the workload level.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+
+#include "cluster/kmeans.hpp"
+#include "core/distributed_store.hpp"
+#include "core/search_strategy.hpp"
+#include "eval/ground_truth.hpp"
+#include "eval/metrics.hpp"
+#include "index/ivf_index.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/pipeline.hpp"
+#include "util/rng.hpp"
+#include "vecstore/distance.hpp"
+#include "workload/corpus.hpp"
+#include "workload/trace.hpp"
+
+namespace {
+
+using namespace hermes;
+using hermes::util::Rng;
+
+// ---------------------------------------------------------------------------
+// Metric axioms
+// ---------------------------------------------------------------------------
+
+class MetricAxioms : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(MetricAxioms, L2TriangleInequality)
+{
+    Rng rng(GetParam());
+    const std::size_t d = 20;
+    std::vector<float> a(d), b(d), c(d);
+    for (std::size_t i = 0; i < d; ++i) {
+        a[i] = static_cast<float>(rng.gaussian());
+        b[i] = static_cast<float>(rng.gaussian());
+        c[i] = static_cast<float>(rng.gaussian());
+    }
+    double ab = std::sqrt(vecstore::l2Sq(a.data(), b.data(), d));
+    double bc = std::sqrt(vecstore::l2Sq(b.data(), c.data(), d));
+    double ac = std::sqrt(vecstore::l2Sq(a.data(), c.data(), d));
+    EXPECT_LE(ac, ab + bc + 1e-4);
+}
+
+TEST_P(MetricAxioms, CauchySchwarz)
+{
+    Rng rng(GetParam() + 1000);
+    const std::size_t d = 20;
+    std::vector<float> a(d), b(d);
+    for (std::size_t i = 0; i < d; ++i) {
+        a[i] = static_cast<float>(rng.gaussian());
+        b[i] = static_cast<float>(rng.gaussian());
+    }
+    double dot = vecstore::dot(a.data(), b.data(), d);
+    double na = vecstore::normSq(a.data(), d);
+    double nb = vecstore::normSq(b.data(), d);
+    EXPECT_LE(dot * dot, na * nb * (1.0 + 1e-5));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetricAxioms,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+// ---------------------------------------------------------------------------
+// Codec / recall ordering on a shared workload
+// ---------------------------------------------------------------------------
+
+struct PropertyData
+{
+    vecstore::Matrix base{0};
+    vecstore::Matrix queries{0};
+    std::vector<vecstore::HitList> truth;
+};
+
+const PropertyData &
+propertyData()
+{
+    static PropertyData data = [] {
+        workload::CorpusConfig cc;
+        cc.num_docs = 4000;
+        cc.dim = 24;
+        cc.num_topics = 16;
+        cc.seed = 31;
+        auto corpus = workload::generateCorpus(cc);
+        workload::QueryConfig qc;
+        qc.num_queries = 32;
+        qc.seed = 32;
+        auto queries = workload::generateQueries(corpus, qc);
+        PropertyData out;
+        out.base = std::move(corpus.embeddings);
+        out.queries = std::move(queries.embeddings);
+        out.truth = eval::exactGroundTruth(out.base, out.queries, 10,
+                                           vecstore::Metric::L2);
+        return out;
+    }();
+    return data;
+}
+
+double
+recallWithCodec(const std::string &codec)
+{
+    const auto &data = propertyData();
+    index::IvfConfig config;
+    config.nlist = 32;
+    config.codec = codec;
+    index::IvfIndex ivf(data.base.dim(), vecstore::Metric::L2, config);
+    ivf.train(data.base);
+    ivf.addSequential(data.base);
+    index::SearchParams params;
+    params.nprobe = 16;
+    return eval::meanRecallAtK(
+        ivf.searchBatch(data.queries, 10, params), data.truth, 10);
+}
+
+TEST(CodecOrdering, HigherPrecisionNeverMuchWorse)
+{
+    double flat = recallWithCodec("Flat");
+    double sq8 = recallWithCodec("SQ8");
+    double sq4 = recallWithCodec("SQ4");
+    // Table 1 ordering: Flat >= SQ8 >= SQ4 (small tolerance for ties).
+    EXPECT_GE(flat + 0.01, sq8);
+    EXPECT_GE(sq8 + 0.01, sq4);
+    EXPECT_GT(flat, 0.9);
+}
+
+// ---------------------------------------------------------------------------
+// Cost-model monotonicities
+// ---------------------------------------------------------------------------
+
+TEST(CostMonotonicity, LatencyMonotoneInEverything)
+{
+    sim::RetrievalCostModel model(
+        sim::cpuProfile(sim::CpuModel::XeonGold6448Y));
+    sim::DatastoreGeometry geo;
+    geo.tokens = 10e9;
+
+    double prev = 0.0;
+    for (std::size_t nprobe : {1u, 4u, 16u, 64u, 256u}) {
+        double latency = model.batchLatency(geo, nprobe, 32);
+        EXPECT_GT(latency, prev);
+        prev = latency;
+    }
+    prev = 0.0;
+    for (double tokens : {1e8, 1e9, 1e10, 1e11}) {
+        sim::DatastoreGeometry g;
+        g.tokens = tokens;
+        double latency = model.batchLatency(g, 128, 32);
+        EXPECT_GT(latency, prev);
+        prev = latency;
+    }
+    prev = 0.0;
+    for (std::size_t batch : {1u, 32u, 33u, 64u, 65u, 128u}) {
+        double latency = model.batchLatency(geo, 128, batch);
+        EXPECT_GE(latency, prev);
+        prev = latency;
+    }
+}
+
+TEST(CostMonotonicity, IntraQueryParallelismOnlyHelpsUnderload)
+{
+    sim::RetrievalCostModel model(
+        sim::cpuProfile(sim::CpuModel::XeonGold6448Y));
+    sim::DatastoreGeometry geo;
+    geo.tokens = 1e9;
+    // Underloaded: speedup.
+    EXPECT_LT(model.batchLatency(geo, 128, 4, 1.0, true),
+              model.batchLatency(geo, 128, 4, 1.0, false));
+    // Saturated: identical.
+    EXPECT_DOUBLE_EQ(model.batchLatency(geo, 128, 64, 1.0, true),
+                     model.batchLatency(geo, 128, 64, 1.0, false));
+}
+
+TEST(CostMonotonicity, IndexBytesMonotoneInTokensAndCodeSize)
+{
+    sim::DatastoreGeometry small, big, fat;
+    small.tokens = 1e9;
+    big.tokens = 1e10;
+    fat.tokens = 1e9;
+    fat.code_bytes = 3072;
+    EXPECT_LT(small.indexBytes(), big.indexBytes());
+    EXPECT_LT(small.indexBytes(), fat.indexBytes());
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline monotonicities
+// ---------------------------------------------------------------------------
+
+class PipelineMonotone : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(PipelineMonotone, E2EGrowsWithDatastore)
+{
+    sim::PipelineConfig a, b;
+    a.datastore.tokens = GetParam();
+    b.datastore.tokens = GetParam() * 10.0;
+    a.batch = b.batch = 32;
+    EXPECT_LT(sim::RagPipelineSim(a).run().e2e,
+              sim::RagPipelineSim(b).run().e2e);
+}
+
+TEST_P(PipelineMonotone, ShorterStrideCostsMore)
+{
+    sim::PipelineConfig coarse, fine;
+    coarse.datastore.tokens = fine.datastore.tokens = GetParam();
+    coarse.stride = 64;
+    fine.stride = 8;
+    EXPECT_GT(sim::RagPipelineSim(fine).run().e2e,
+              sim::RagPipelineSim(coarse).run().e2e);
+}
+
+TEST_P(PipelineMonotone, OptimizationsNeverHurt)
+{
+    sim::PipelineConfig base;
+    base.datastore.tokens = GetParam();
+    double e2e_base = sim::RagPipelineSim(base).run().e2e;
+    for (bool pipelining : {false, true}) {
+        for (bool caching : {false, true}) {
+            sim::PipelineConfig config = base;
+            config.pipelining = pipelining;
+            config.prefix_caching = caching;
+            EXPECT_LE(sim::RagPipelineSim(config).run().e2e,
+                      e2e_base + 1e-9);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, PipelineMonotone,
+                         ::testing::Values(1e8, 1e9, 1e10, 1e11, 1e12));
+
+// ---------------------------------------------------------------------------
+// Hermes quality monotone in search effort (measured)
+// ---------------------------------------------------------------------------
+
+TEST(HermesEffort, NdcgMonotoneInDeepNprobe)
+{
+    const auto &data = propertyData();
+    core::HermesConfig config;
+    config.num_clusters = 6;
+    config.clusters_to_search = 3;
+    config.sample_nprobe = 2;
+    config.deep_nprobe = 32;
+    config.partition.seeds_to_try = 2;
+    auto store = core::DistributedStore::build(data.base, config);
+
+    double prev = 0.0;
+    for (std::size_t deep_nprobe : {1u, 4u, 16u, 32u}) {
+        core::HermesSearch hermes(store, 0, 0, deep_nprobe);
+        std::vector<vecstore::HitList> results;
+        for (std::size_t q = 0; q < data.queries.rows(); ++q)
+            results.push_back(
+                hermes.search(data.queries.row(q), 5).hits);
+        double ndcg = eval::meanNdcgAtK(results, data.truth, 5);
+        EXPECT_GE(ndcg + 0.02, prev) << "deep_nprobe " << deep_nprobe;
+        prev = std::max(prev, ndcg);
+    }
+    EXPECT_GT(prev, 0.8);
+}
+
+// ---------------------------------------------------------------------------
+// Trace CSV round trip
+// ---------------------------------------------------------------------------
+
+TEST(TraceCsv, RoundTripPreservesRecords)
+{
+    workload::ClusterTrace trace;
+    trace.num_clusters = 5;
+    Rng rng(77);
+    for (std::uint32_t q = 0; q < 50; ++q) {
+        workload::TraceRecord record;
+        record.query = q;
+        std::size_t n = 1 + rng.uniformInt(4);
+        for (std::size_t i = 0; i < n; ++i)
+            record.clusters.push_back(
+                static_cast<std::uint32_t>(rng.uniformInt(5)));
+        trace.records.push_back(std::move(record));
+    }
+
+    auto path = std::filesystem::temp_directory_path() / "trace_rt.csv";
+    trace.saveCsv(path.string());
+    auto loaded = workload::ClusterTrace::loadCsv(path.string(), 5);
+
+    ASSERT_EQ(loaded.records.size(), trace.records.size());
+    for (std::size_t i = 0; i < trace.records.size(); ++i) {
+        EXPECT_EQ(loaded.records[i].query, trace.records[i].query);
+        EXPECT_EQ(loaded.records[i].clusters, trace.records[i].clusters);
+    }
+    EXPECT_EQ(loaded.accessCounts(), trace.accessCounts());
+    std::filesystem::remove(path);
+}
+
+TEST(TraceCsv, RejectsForeignFiles)
+{
+    auto path = std::filesystem::temp_directory_path() / "not_trace.csv";
+    {
+        std::ofstream out(path);
+        out << "wrong,header\n1,2\n";
+    }
+    EXPECT_DEATH(workload::ClusterTrace::loadCsv(path.string(), 4),
+                 "bad header");
+    std::filesystem::remove(path);
+}
+
+// ---------------------------------------------------------------------------
+// Workload statistical properties
+// ---------------------------------------------------------------------------
+
+TEST(WorkloadProperties, SpreadControlsTopicPurity)
+{
+    auto purity = [](double spread) {
+        workload::CorpusConfig cc;
+        cc.num_docs = 1000;
+        cc.dim = 24;
+        cc.num_topics = 8;
+        cc.topic_spread = spread;
+        cc.seed = 51;
+        auto corpus = workload::generateCorpus(cc);
+        std::size_t correct = 0;
+        for (std::size_t i = 0; i < corpus.embeddings.rows(); ++i) {
+            correct += cluster::nearestCentroid(corpus.embeddings.row(i),
+                                                corpus.topic_centers) ==
+                       corpus.topic_of_doc[i];
+        }
+        return static_cast<double>(correct) /
+               static_cast<double>(cc.num_docs);
+    };
+    EXPECT_GT(purity(0.1), purity(0.6));
+    EXPECT_GT(purity(0.1), 0.95);
+}
+
+} // namespace

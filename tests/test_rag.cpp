@@ -1,0 +1,296 @@
+/**
+ * @file
+ * Tests for the RAG serving layer: encoder, chunk datastore, perplexity
+ * model, synthetic text corpus, and the RagSystem facade.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "rag/datastore.hpp"
+#include "rag/encoder.hpp"
+#include "rag/perplexity.hpp"
+#include "rag/rag_system.hpp"
+#include "rag/synth_text.hpp"
+#include "vecstore/distance.hpp"
+
+namespace {
+
+using namespace hermes;
+using namespace hermes::rag;
+
+TEST(Encoder, DeterministicAndUnitNorm)
+{
+    HashingEncoder encoder(64);
+    auto a = encoder.encode("the quick brown fox");
+    auto b = encoder.encode("the quick brown fox");
+    EXPECT_EQ(a, b);
+    EXPECT_NEAR(vecstore::normSq(a.data(), a.size()), 1.f, 1e-4);
+}
+
+TEST(Encoder, TokenizeLowercasesAndSplits)
+{
+    auto tokens = HashingEncoder::tokenize("Hello, World! 42-cats");
+    ASSERT_EQ(tokens.size(), 4u);
+    EXPECT_EQ(tokens[0], "hello");
+    EXPECT_EQ(tokens[1], "world");
+    EXPECT_EQ(tokens[2], "42");
+    EXPECT_EQ(tokens[3], "cats");
+}
+
+TEST(Encoder, SimilarTextsCloserThanDissimilar)
+{
+    HashingEncoder encoder(128);
+    auto a = encoder.encode("solar panels convert sunlight into power");
+    auto b = encoder.encode("solar panels turn sunlight into electricity");
+    auto c = encoder.encode("the referee blew the whistle at halftime");
+    float sim_ab = vecstore::dot(a.data(), b.data(), a.size());
+    float sim_ac = vecstore::dot(a.data(), c.data(), a.size());
+    EXPECT_GT(sim_ab, sim_ac);
+}
+
+TEST(Encoder, EmptyTextIsZeroVector)
+{
+    HashingEncoder encoder(32);
+    auto v = encoder.encode("");
+    for (float x : v)
+        EXPECT_EQ(x, 0.f);
+}
+
+TEST(Encoder, BatchMatchesSingle)
+{
+    HashingEncoder encoder(32);
+    auto batch = encoder.encodeBatch({"alpha beta", "gamma delta"});
+    auto single = encoder.encode("gamma delta");
+    ASSERT_EQ(batch.rows(), 2u);
+    for (std::size_t j = 0; j < 32; ++j)
+        EXPECT_FLOAT_EQ(batch.row(1)[j], single[j]);
+}
+
+TEST(Datastore, ChunksRespectTokenBudget)
+{
+    ChunkDatastore store;
+    std::string doc;
+    for (int i = 0; i < 250; ++i)
+        doc += "w" + std::to_string(i) + " ";
+    ChunkConfig config;
+    config.tokens_per_chunk = 100;
+    auto ids = store.addDocument(doc, config);
+    ASSERT_EQ(ids.size(), 3u);
+    EXPECT_EQ(store.chunk(ids[0]).tokens, 100u);
+    EXPECT_EQ(store.chunk(ids[1]).tokens, 100u);
+    EXPECT_EQ(store.chunk(ids[2]).tokens, 50u);
+    EXPECT_EQ(store.totalTokens(), 250u);
+    EXPECT_EQ(store.numDocuments(), 1u);
+}
+
+TEST(Datastore, OverlapRepeatsTokens)
+{
+    ChunkDatastore store;
+    ChunkConfig config;
+    config.tokens_per_chunk = 4;
+    config.overlap = 2;
+    auto ids = store.addDocument("a b c d e f", config);
+    ASSERT_GE(ids.size(), 2u);
+    EXPECT_EQ(store.chunk(ids[0]).text, "a b c d");
+    EXPECT_EQ(store.chunk(ids[1]).text, "c d e f");
+}
+
+TEST(Datastore, IdsAreDenseAndStable)
+{
+    ChunkDatastore store;
+    store.addDocument("one two three");
+    store.addDocument("four five six");
+    EXPECT_EQ(store.size(), 2u);
+    EXPECT_EQ(store.chunk(0).doc, 0u);
+    EXPECT_EQ(store.chunk(1).doc, 1u);
+    EXPECT_EQ(store.texts().size(), 2u);
+}
+
+TEST(Datastore, EmptyDocumentAddsNothing)
+{
+    ChunkDatastore store;
+    auto ids = store.addDocument("   ");
+    EXPECT_TRUE(ids.empty());
+    EXPECT_EQ(store.size(), 0u);
+    EXPECT_EQ(store.numDocuments(), 1u);
+}
+
+TEST(Perplexity, DenseModelsAreStrideIndependent)
+{
+    for (auto model : {sim::LlmModel::Gpt2_762M, sim::LlmModel::Gpt2_1_5B}) {
+        double p4 = modelPerplexity(model, 4);
+        double p64 = modelPerplexity(model, 64);
+        EXPECT_DOUBLE_EQ(p4, p64);
+    }
+}
+
+TEST(Perplexity, RetroDegradesMonotonicallyWithStride)
+{
+    double prev = 0.0;
+    for (std::size_t stride : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
+        double p = modelPerplexity(sim::LlmModel::Retro578M, stride);
+        EXPECT_GE(p, prev);
+        prev = p;
+    }
+}
+
+TEST(Perplexity, SmallRetroMatchesLargerDenseModelAtShortStride)
+{
+    // Fig 5: RETRO-578M at stride 4 ~ GPT-2 1.5B; at stride 64 it loses
+    // even to GPT-2 762M.
+    double retro_4 = modelPerplexity(sim::LlmModel::Retro578M, 4);
+    double gpt_15 = modelPerplexity(sim::LlmModel::Gpt2_1_5B, 4);
+    EXPECT_LT(retro_4, gpt_15 + 0.5);
+
+    double retro_64 = modelPerplexity(sim::LlmModel::Retro578M, 64);
+    double gpt_762 = modelPerplexity(sim::LlmModel::Gpt2_762M, 64);
+    EXPECT_GT(retro_64, gpt_762);
+}
+
+TEST(Perplexity, CrossoverStrideIsReasonable)
+{
+    auto stride = crossoverStride(sim::LlmModel::Retro578M,
+                                  sim::LlmModel::Gpt2_1_5B);
+    EXPECT_GE(stride, 2u);
+    EXPECT_LE(stride, 16u);
+}
+
+TEST(SynthText, TopicsGetDistinctVocabularies)
+{
+    SynthTextConfig config;
+    config.num_docs = 50;
+    config.num_topics = 4;
+    auto corpus = generateSynthCorpus(config);
+    ASSERT_EQ(corpus.documents.size(), 50u);
+    ASSERT_EQ(corpus.topic_words.size(), 4u);
+    std::set<std::string> a(corpus.topic_words[0].begin(),
+                            corpus.topic_words[0].end());
+    std::size_t overlap = 0;
+    for (const auto &w : corpus.topic_words[1])
+        overlap += a.count(w);
+    EXPECT_LT(overlap, corpus.topic_words[1].size() / 4);
+}
+
+TEST(SynthText, QuestionUsesTopicVocabulary)
+{
+    SynthTextConfig config;
+    config.num_topics = 3;
+    auto corpus = generateSynthCorpus(config);
+    auto q = corpus.questionAbout(1);
+    EXPECT_NE(q.find("what is the relation between"), std::string::npos);
+}
+
+class RagSystemTest : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        SynthTextConfig tc;
+        tc.num_docs = 300;
+        tc.num_topics = 6;
+        tc.words_per_doc = 150;
+        corpus_ = new SynthCorpus(generateSynthCorpus(tc));
+
+        RagSystemConfig rc;
+        rc.embedding_dim = 96;
+        rc.chunking.tokens_per_chunk = 50;
+        rc.hermes.num_clusters = 6;
+        rc.hermes.clusters_to_search = 2;
+        rc.hermes.sample_nprobe = 2;
+        rc.hermes.deep_nprobe = 16;
+        rc.hermes.docs_to_retrieve = 5;
+        rc.hermes.partition.seeds_to_try = 2;
+        system_ = new RagSystem(rc);
+        for (const auto &doc : corpus_->documents)
+            system_->addDocument(doc);
+        system_->finalize();
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete system_;
+        delete corpus_;
+        system_ = nullptr;
+        corpus_ = nullptr;
+    }
+
+    static SynthCorpus *corpus_;
+    static RagSystem *system_;
+};
+
+SynthCorpus *RagSystemTest::corpus_ = nullptr;
+RagSystem *RagSystemTest::system_ = nullptr;
+
+TEST_F(RagSystemTest, ReadyAfterFinalize)
+{
+    EXPECT_TRUE(system_->ready());
+    EXPECT_EQ(system_->store().numClusters(), 6u);
+    EXPECT_EQ(system_->datastore().size(), system_->store().totalVectors());
+}
+
+TEST_F(RagSystemTest, RetrievesChunksOfTheQuestionTopic)
+{
+    std::size_t on_topic = 0, total = 0;
+    for (std::uint32_t topic = 0; topic < 6; ++topic) {
+        auto hits = system_->retrieve(corpus_->questionAbout(topic), 5);
+        for (const auto &hit : hits) {
+            const auto &chunk = system_->datastore().chunk(hit.id);
+            on_topic += corpus_->topic_of_doc[chunk.doc] == topic;
+            ++total;
+        }
+    }
+    ASSERT_GT(total, 0u);
+    EXPECT_GT(static_cast<double>(on_topic) / static_cast<double>(total),
+              0.7);
+}
+
+TEST_F(RagSystemTest, GenerateProducesStridedOutput)
+{
+    GenerationConfig gen;
+    gen.output_tokens = 32;
+    gen.stride = 8;
+    auto result = system_->generate(corpus_->questionAbout(2), gen);
+    EXPECT_EQ(result.strides.size(), 4u);
+    EXPECT_FALSE(result.output_text.empty());
+    for (const auto &event : result.strides) {
+        EXPECT_EQ(event.deep_clusters.size(), 2u);
+        EXPECT_NE(event.best_chunk, vecstore::kInvalidId);
+    }
+    EXPECT_GT(result.retrieval_wall_seconds, 0.0);
+}
+
+TEST_F(RagSystemTest, GenerationIsDeterministic)
+{
+    GenerationConfig gen;
+    gen.output_tokens = 16;
+    gen.stride = 8;
+    gen.seed = 42;
+    auto a = system_->generate(corpus_->questionAbout(0), gen);
+    auto b = system_->generate(corpus_->questionAbout(0), gen);
+    EXPECT_EQ(a.output_text, b.output_text);
+}
+
+TEST(RagSystem, AddAfterFinalizeDies)
+{
+    SynthTextConfig tc;
+    tc.num_docs = 40;
+    tc.num_topics = 2;
+    auto corpus = generateSynthCorpus(tc);
+    RagSystemConfig rc;
+    rc.hermes.num_clusters = 2;
+    rc.hermes.clusters_to_search = 1;
+    rc.hermes.partition.seeds_to_try = 1;
+    rc.chunking.tokens_per_chunk = 40;
+    RagSystem system(rc);
+    for (const auto &doc : corpus.documents)
+        system.addDocument(doc);
+    system.finalize();
+    EXPECT_DEATH(system.addDocument("more text"), "finalize");
+}
+
+} // namespace

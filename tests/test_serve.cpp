@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Tests for the online serving layer: retrieval nodes and the Hermes
+ * broker — correctness against the in-process search strategy, queue
+ * behaviour, concurrency, and statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "core/distributed_store.hpp"
+#include "core/search_strategy.hpp"
+#include "index/flat_index.hpp"
+#include "serve/broker.hpp"
+#include "serve/node.hpp"
+#include "workload/corpus.hpp"
+
+namespace {
+
+using namespace hermes;
+
+struct ServeData
+{
+    workload::Corpus corpus;
+    workload::QuerySet queries;
+    core::HermesConfig config;
+    std::unique_ptr<core::DistributedStore> store;
+};
+
+const ServeData &
+serveData()
+{
+    static ServeData data = [] {
+        ServeData out;
+        workload::CorpusConfig cc;
+        cc.num_docs = 4000;
+        cc.dim = 16;
+        cc.num_topics = 12;
+        cc.seed = 55;
+        out.corpus = workload::generateCorpus(cc);
+
+        workload::QueryConfig qc;
+        qc.num_queries = 32;
+        qc.seed = 56;
+        out.queries = workload::generateQueries(out.corpus, qc);
+
+        out.config.num_clusters = 6;
+        out.config.clusters_to_search = 2;
+        out.config.sample_nprobe = 2;
+        out.config.deep_nprobe = 16;
+        out.config.partition.seeds_to_try = 2;
+        out.store = std::make_unique<core::DistributedStore>(
+            core::DistributedStore::build(out.corpus.embeddings,
+                                          out.config));
+        return out;
+    }();
+    return data;
+}
+
+TEST(RetrievalNode, ServesSubmittedRequests)
+{
+    const auto &data = serveData();
+    serve::RetrievalNode node(data.store->clusterIndex(0), {});
+
+    index::SearchParams params;
+    params.nprobe = 4;
+    auto future = node.submit(data.queries.embeddings.row(0), 3, params);
+    auto response = future.get();
+    EXPECT_LE(response.hits.size(), 3u);
+    EXPECT_GT(response.stats.vectors_scanned, 0u);
+
+    auto stats = node.stats();
+    EXPECT_EQ(stats.requests, 1u);
+    EXPECT_GE(stats.batches, 1u);
+    EXPECT_EQ(stats.vectors_scanned, response.stats.vectors_scanned);
+}
+
+TEST(RetrievalNode, MatchesDirectIndexSearch)
+{
+    const auto &data = serveData();
+    const auto &shard = data.store->clusterIndex(1);
+    serve::RetrievalNode node(shard, {});
+
+    index::SearchParams params;
+    params.nprobe = 8;
+    for (std::size_t q = 0; q < 8; ++q) {
+        auto via_node =
+            node.submit(data.queries.embeddings.row(q), 5, params).get();
+        auto direct = shard.search(data.queries.embeddings.row(q), 5,
+                                   params);
+        ASSERT_EQ(via_node.hits.size(), direct.size());
+        for (std::size_t i = 0; i < direct.size(); ++i) {
+            EXPECT_EQ(via_node.hits[i].id, direct[i].id);
+            EXPECT_FLOAT_EQ(via_node.hits[i].score, direct[i].score);
+        }
+    }
+}
+
+TEST(RetrievalNode, BatchesQueuedRequests)
+{
+    const auto &data = serveData();
+    serve::NodeConfig config;
+    config.max_batch = 16;
+    serve::RetrievalNode node(data.store->clusterIndex(0), config);
+
+    index::SearchParams params;
+    params.nprobe = 2;
+    std::vector<std::future<serve::NodeResponse>> futures;
+    for (int i = 0; i < 64; ++i)
+        futures.push_back(
+            node.submit(data.queries.embeddings.row(i % 32), 2, params));
+    for (auto &future : futures)
+        future.get();
+
+    auto stats = node.stats();
+    EXPECT_EQ(stats.requests, 64u);
+    // Worker drains multiple requests per round once the queue backs up.
+    EXPECT_LE(stats.batches, 64u);
+}
+
+TEST(HermesBroker, MatchesInProcessHermesSearch)
+{
+    const auto &data = serveData();
+    serve::HermesBroker broker(*data.store);
+    core::HermesSearch reference(*data.store);
+
+    for (std::size_t q = 0; q < data.queries.embeddings.rows(); ++q) {
+        std::vector<std::uint32_t> deep;
+        auto via_broker =
+            broker.search(data.queries.embeddings.row(q), 5, deep);
+        auto expected =
+            reference.search(data.queries.embeddings.row(q), 5);
+
+        ASSERT_EQ(via_broker.size(), expected.hits.size()) << "query " << q;
+        for (std::size_t i = 0; i < expected.hits.size(); ++i) {
+            EXPECT_EQ(via_broker[i].id, expected.hits[i].id);
+            EXPECT_FLOAT_EQ(via_broker[i].score, expected.hits[i].score);
+        }
+        // Same clusters chosen (order may match as both sort by score).
+        EXPECT_EQ(deep, expected.deep_clusters);
+    }
+}
+
+TEST(HermesBroker, StatsAccumulate)
+{
+    const auto &data = serveData();
+    serve::HermesBroker broker(*data.store);
+    for (std::size_t q = 0; q < 10; ++q)
+        broker.search(data.queries.embeddings.row(q), 5);
+
+    auto stats = broker.stats();
+    EXPECT_EQ(stats.queries, 10u);
+    EXPECT_EQ(stats.deep_requests,
+              10u * data.config.clusters_to_search);
+    ASSERT_EQ(stats.nodes.size(), data.store->numClusters());
+    // Every node sampled every query (plus its share of deep requests).
+    for (const auto &node : stats.nodes)
+        EXPECT_GE(node.requests, 10u);
+}
+
+TEST(HermesBroker, ConcurrentClientsGetConsistentResults)
+{
+    const auto &data = serveData();
+    serve::HermesBroker broker(*data.store);
+    core::HermesSearch reference(*data.store);
+
+    // Precompute expected results.
+    std::vector<vecstore::HitList> expected;
+    for (std::size_t q = 0; q < 16; ++q)
+        expected.push_back(
+            reference.search(data.queries.embeddings.row(q), 5).hits);
+
+    std::atomic<int> mismatches{0};
+    std::vector<std::thread> clients;
+    for (int t = 0; t < 4; ++t) {
+        clients.emplace_back([&, t] {
+            for (std::size_t q = t; q < 16; q += 4) {
+                auto hits =
+                    broker.search(data.queries.embeddings.row(q), 5);
+                if (hits.size() != expected[q].size()) {
+                    ++mismatches;
+                    continue;
+                }
+                for (std::size_t i = 0; i < hits.size(); ++i) {
+                    if (hits[i].id != expected[q][i].id)
+                        ++mismatches;
+                }
+            }
+        });
+    }
+    for (auto &client : clients)
+        client.join();
+    EXPECT_EQ(mismatches.load(), 0);
+    EXPECT_EQ(broker.stats().queries, 16u);
+}
+
+TEST(HermesBroker, AdaptiveConfigPrunesDeepRequests)
+{
+    const auto &data = serveData();
+    core::HermesConfig config = data.config;
+    config.adaptive_epsilon = 0.05;
+    auto store = core::DistributedStore::build(data.corpus.embeddings,
+                                               config);
+    serve::HermesBroker broker(store);
+
+    for (std::size_t q = 0; q < 16; ++q)
+        broker.search(data.queries.embeddings.row(q), 5);
+    auto stats = broker.stats();
+    EXPECT_LE(stats.deep_requests, 16u * config.clusters_to_search);
+    EXPECT_GE(stats.deep_requests, 16u);
+}
+
+} // namespace

@@ -1,0 +1,520 @@
+/**
+ * @file
+ * Tests for the systems models: hardware profiles, retrieval/LLM cost
+ * models (calibration checks against the paper's reported numbers),
+ * multi-node aggregation, DVFS policies, and the pipeline simulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "sim/cost_model.hpp"
+#include "sim/hardware.hpp"
+#include "sim/node_sim.hpp"
+#include "sim/pipeline.hpp"
+
+namespace {
+
+using namespace hermes::sim;
+
+DatastoreGeometry
+geometryTokens(double tokens)
+{
+    DatastoreGeometry geo;
+    geo.tokens = tokens;
+    return geo;
+}
+
+TEST(Hardware, ProfilesHaveSaneValues)
+{
+    for (auto model : allCpuModels()) {
+        const auto &cpu = cpuProfile(model);
+        EXPECT_GT(cpu.cores, 0u);
+        EXPECT_GT(cpu.scan_gbps_per_core, 0.0);
+        EXPECT_GT(cpu.tdp_watts, cpu.idle_watts);
+        EXPECT_GT(cpu.max_freq_ghz, cpu.min_freq_ghz);
+    }
+    for (auto model : allGpuModels()) {
+        const auto &gpu = gpuProfile(model);
+        EXPECT_GT(gpu.peak_tflops, 0.0);
+        EXPECT_GT(gpu.tdp_watts, gpu.idle_watts);
+    }
+}
+
+TEST(Hardware, TensorParallelRequirements)
+{
+    // Fig 17: OPT-30B needs two A6000 Adas; Gemma2-9B needs two L4s.
+    EXPECT_EQ(llmProfile(LlmModel::Opt30B).minGpus(
+                  gpuProfile(GpuModel::A6000Ada)), 2u);
+    EXPECT_EQ(llmProfile(LlmModel::Gemma2_9B).minGpus(
+                  gpuProfile(GpuModel::A6000Ada)), 1u);
+    EXPECT_EQ(llmProfile(LlmModel::Gemma2_9B).minGpus(
+                  gpuProfile(GpuModel::L4)), 2u);
+    EXPECT_EQ(llmProfile(LlmModel::Phi15).minGpus(
+                  gpuProfile(GpuModel::L4)), 1u);
+}
+
+TEST(Hardware, KvCacheBoundsServingBatch)
+{
+    const auto &gemma = llmProfile(LlmModel::Gemma2_9B);
+    const auto &opt = llmProfile(LlmModel::Opt30B);
+    const auto &a6000 = gpuProfile(GpuModel::A6000Ada);
+
+    // Longer contexts shrink the feasible batch.
+    std::size_t short_ctx = gemma.maxBatch(a6000, 1, 512);
+    std::size_t long_ctx = gemma.maxBatch(a6000, 1, 4096);
+    EXPECT_GT(short_ctx, long_ctx);
+    EXPECT_GT(long_ctx, 0u);
+
+    // The paper's batch-128 / 768-token serving point fits on one A6000.
+    EXPECT_GE(gemma.maxBatch(a6000, 1, 768), 128u);
+
+    // OPT-30B does not even hold its weights on one A6000.
+    EXPECT_EQ(opt.maxBatch(a6000, 1, 512), 0u);
+    EXPECT_GT(opt.maxBatch(a6000, 2, 512), 0u);
+
+    // More GPUs always help.
+    EXPECT_GE(gemma.maxBatch(a6000, 2, 4096), long_ctx);
+}
+
+TEST(Hardware, EncoderHasUnboundedKvBatch)
+{
+    const auto &bge = llmProfile(LlmModel::BgeLarge);
+    EXPECT_EQ(bge.maxBatch(gpuProfile(GpuModel::L4), 1, 512),
+              std::numeric_limits<std::size_t>::max());
+}
+
+TEST(Geometry, MemoryFootprintMatchesPaperScale)
+{
+    // Paper: 10B-token IVF-SQ8 index = 71 GB; 1T tokens ~ 10 TB.
+    double gb_10b = geometryTokens(10e9).indexBytes() / 1e9;
+    EXPECT_GT(gb_10b, 60.0);
+    EXPECT_LT(gb_10b, 90.0);
+    double tb_1t = geometryTokens(1e12).indexBytes() / 1e12;
+    EXPECT_GT(tb_1t, 6.0);
+    EXPECT_LT(tb_1t, 11.0);
+}
+
+TEST(Geometry, SplitPreservesTotalTokens)
+{
+    auto geo = geometryTokens(100e9);
+    auto part = geo.split(10);
+    EXPECT_DOUBLE_EQ(part.tokens * 10, geo.tokens);
+}
+
+TEST(RetrievalModel, CalibratedTo10BTokenLatency)
+{
+    // Calibration anchor: batch-32 retrieval on the 32-core Xeon Gold at
+    // nProbe=128 takes ~0.56 s at 10B tokens (DESIGN.md §4).
+    RetrievalCostModel model(cpuProfile(CpuModel::XeonGold6448Y));
+    double latency = model.batchLatency(geometryTokens(10e9), 128, 32);
+    EXPECT_GT(latency, 0.4);
+    EXPECT_LT(latency, 0.8);
+}
+
+TEST(RetrievalModel, LatencyScalesLinearlyWithTokens)
+{
+    // Fig 6/7: 10x tokens => ~10x latency (within the centroid-scan
+    // offset) in the capped-nlist regime.
+    RetrievalCostModel model(cpuProfile(CpuModel::XeonGold6448Y));
+    double t_100b = model.batchLatency(geometryTokens(100e9), 128, 32);
+    double t_1t = model.batchLatency(geometryTokens(1e12), 128, 32);
+    EXPECT_NEAR(t_1t / t_100b, 10.0, 0.5);
+}
+
+TEST(RetrievalModel, ThroughputMatchesPaper100B)
+{
+    // Fig 7: ~5.7 QPS at 100B tokens (batch 128, 32 cores).
+    RetrievalCostModel model(cpuProfile(CpuModel::XeonGold6448Y));
+    double qps = model.throughputQps(geometryTokens(100e9), 128, 128);
+    EXPECT_GT(qps, 4.0);
+    EXPECT_LT(qps, 8.0);
+}
+
+TEST(RetrievalModel, FrequencyScalingSlowsLinearly)
+{
+    RetrievalCostModel model(cpuProfile(CpuModel::XeonGold6448Y));
+    double full = model.queryLatency(1e9, 1.0);
+    double half = model.queryLatency(1e9, 0.5);
+    EXPECT_NEAR(half, 2.0 * full, 1e-9);
+}
+
+TEST(RetrievalModel, PowerModelMonotonic)
+{
+    RetrievalCostModel model(cpuProfile(CpuModel::XeonGold6448Y));
+    EXPECT_DOUBLE_EQ(model.power(0.0, 1.0),
+                     cpuProfile(CpuModel::XeonGold6448Y).idle_watts);
+    EXPECT_DOUBLE_EQ(model.power(1.0, 1.0),
+                     cpuProfile(CpuModel::XeonGold6448Y).tdp_watts);
+    // Cubic frequency scaling: half frequency costs 1/8 the dynamic power.
+    double p_half = model.power(1.0, 0.5);
+    double dynamic_full = model.power(1.0, 1.0) - model.power(0.0, 1.0);
+    EXPECT_NEAR(p_half - model.power(0.0, 1.0), dynamic_full / 8.0, 1e-9);
+}
+
+TEST(LlmModel, DecodeCalibratedToGemmaA6000)
+{
+    // Paper: Gemma2-9B decode at batch 32 delivers ~67 QPS per 16-token
+    // stride, i.e. ~0.48 s per stride.
+    LlmCostModel llm(LlmModel::Gemma2_9B, GpuModel::A6000Ada);
+    double stride = llm.decodeLatency(32, 16);
+    EXPECT_GT(stride, 0.35);
+    EXPECT_LT(stride, 0.65);
+}
+
+TEST(LlmModel, PrefillLinearInTokensAndBatch)
+{
+    LlmCostModel llm(LlmModel::Gemma2_9B, GpuModel::A6000Ada);
+    double base = llm.prefillLatency(32, 512);
+    EXPECT_NEAR(llm.prefillLatency(64, 512), 2.0 * base, 1e-9);
+    EXPECT_NEAR(llm.prefillLatency(32, 1024), 2.0 * base, 1e-9);
+}
+
+TEST(LlmModel, BiggerModelsAreSlower)
+{
+    LlmCostModel phi(LlmModel::Phi15, GpuModel::A6000Ada);
+    LlmCostModel gemma(LlmModel::Gemma2_9B, GpuModel::A6000Ada);
+    LlmCostModel opt(LlmModel::Opt30B, GpuModel::A6000Ada);
+    EXPECT_LT(phi.prefillLatency(32, 512), gemma.prefillLatency(32, 512));
+    EXPECT_LT(gemma.prefillLatency(32, 512), opt.prefillLatency(32, 512));
+    EXPECT_LT(phi.decodeLatency(32, 16), gemma.decodeLatency(32, 16));
+}
+
+TEST(LlmModel, L4SlowerThanA6000)
+{
+    LlmCostModel a6000(LlmModel::Phi15, GpuModel::A6000Ada);
+    LlmCostModel l4(LlmModel::Phi15, GpuModel::L4);
+    EXPECT_GT(l4.prefillLatency(32, 512), a6000.prefillLatency(32, 512));
+    EXPECT_GT(l4.decodeLatency(32, 16), a6000.decodeLatency(32, 16));
+}
+
+TEST(LlmModel, TensorParallelismHelpsButSublinearly)
+{
+    LlmCostModel one(LlmModel::Gemma2_9B, GpuModel::A6000Ada, 1);
+    LlmCostModel two(LlmModel::Gemma2_9B, GpuModel::A6000Ada, 2);
+    double speedup = one.prefillLatency(32, 512) /
+                     two.prefillLatency(32, 512);
+    EXPECT_GT(speedup, 1.2);
+    EXPECT_LT(speedup, 2.0); // communication overhead (Fig 17 discussion)
+    // But energy grows with GPU count.
+    EXPECT_GT(two.busyEnergy(1.0), one.busyEnergy(1.0));
+}
+
+TEST(MultiNode, HermesBeatsNaiveSplitThroughput)
+{
+    // Fig 18 behaviour: 3-of-10 deep search vs searching all 10.
+    MultiNodeConfig config;
+    config.total = geometryTokens(10e9);
+    config.num_clusters = 10;
+    config.batch = 128;
+
+    MultiNodeConfig naive = config;
+    naive.sample_nprobe = 0;
+    auto naive_result =
+        MultiNodeSimulator(naive).simulateUniformBatch(10);
+    auto hermes_result =
+        MultiNodeSimulator(config).simulateUniformBatch(3);
+
+    double speedup = hermes_result.throughput_qps /
+                     naive_result.throughput_qps;
+    EXPECT_GT(speedup, 1.3);
+    EXPECT_LT(speedup, 3.0);
+    EXPECT_LT(hermes_result.energy, naive_result.energy);
+}
+
+TEST(MultiNode, EnergyGrowsWithClustersSearched)
+{
+    MultiNodeConfig config;
+    config.total = geometryTokens(10e9);
+    config.num_clusters = 10;
+    config.batch = 128;
+    MultiNodeSimulator sim(config);
+    double prev = 0.0;
+    for (std::size_t k = 1; k <= 10; ++k) {
+        auto result = sim.simulateUniformBatch(k);
+        EXPECT_GT(result.energy, prev);
+        prev = result.energy;
+    }
+}
+
+TEST(MultiNode, ClusterSharesSkewLoad)
+{
+    MultiNodeConfig config;
+    config.total = geometryTokens(10e9);
+    config.num_clusters = 4;
+    config.cluster_shares = {2.0, 1.0, 1.0, 1.0};
+    config.batch = 64;
+    MultiNodeSimulator sim(config);
+    EXPECT_NEAR(sim.clusterGeometry(0).tokens, 4e9, 1e6);
+    EXPECT_NEAR(sim.clusterGeometry(1).tokens, 2e9, 1e6);
+}
+
+TEST(MultiNode, BaselineDvfsSavesEnergyWithoutLatencyCost)
+{
+    // Fig 21: slowing under-loaded nodes to the slowest cluster's pace
+    // saves ~10-15% energy at zero latency cost.
+    MultiNodeConfig config;
+    config.total = geometryTokens(10e9);
+    config.num_clusters = 10;
+    // Uneven shares create the idle slack DVFS exploits.
+    config.cluster_shares = {2.0, 1.8, 1.5, 1.2, 1.0,
+                             1.0, 0.9, 0.8, 0.7, 0.6};
+    config.batch = 128;
+
+    auto none = MultiNodeSimulator(config).simulateUniformBatch(3);
+    config.dvfs = DvfsPolicy::SlowestCluster;
+    auto dvfs = MultiNodeSimulator(config).simulateUniformBatch(3);
+
+    EXPECT_LT(dvfs.energy, none.energy);
+    EXPECT_NEAR(dvfs.latency, none.latency, none.latency * 0.01);
+}
+
+TEST(MultiNode, EnhancedDvfsSavesMoreThanBaseline)
+{
+    // Same deployment (same pipelined inference window) under the two
+    // policies of Fig 21: matching the inference latency allows a deeper
+    // slowdown than matching only the slowest cluster.
+    MultiNodeConfig config;
+    config.total = geometryTokens(10e9);
+    config.num_clusters = 10;
+    config.cluster_shares = {2.0, 1.8, 1.5, 1.2, 1.0,
+                             1.0, 0.9, 0.8, 0.7, 0.6};
+    config.batch = 128;
+    config.dvfs = DvfsPolicy::SlowestCluster;
+    auto probe = MultiNodeSimulator(config).simulateUniformBatch(3);
+    config.inference_latency = probe.deep_latency * 2.0;
+    auto baseline = MultiNodeSimulator(config).simulateUniformBatch(3);
+
+    config.dvfs = DvfsPolicy::MatchInference;
+    auto enhanced = MultiNodeSimulator(config).simulateUniformBatch(3);
+
+    EXPECT_LT(enhanced.energy, baseline.energy);
+
+    // And no-DVFS costs the most of the three.
+    config.dvfs = DvfsPolicy::None;
+    auto none = MultiNodeSimulator(config).simulateUniformBatch(3);
+    EXPECT_LT(baseline.energy, none.energy);
+}
+
+TEST(MultiNode, ReplayTraceAggregates)
+{
+    hermes::workload::ClusterTrace trace;
+    trace.num_clusters = 4;
+    for (std::uint32_t q = 0; q < 64; ++q)
+        trace.records.push_back({q, {q % 4, (q + 1) % 4}});
+
+    MultiNodeConfig config;
+    config.total = geometryTokens(1e9);
+    config.num_clusters = 4;
+    config.batch = 32;
+    auto result = MultiNodeSimulator(config).replayTrace(trace);
+    EXPECT_GT(result.latency, 0.0);
+    EXPECT_GT(result.energy, 0.0);
+    EXPECT_GT(result.throughput_qps, 0.0);
+}
+
+TEST(Pipeline, E2ECalibratedAtSmallDatastore)
+{
+    // Fig 6: ~12 s end-to-end at 100M tokens (batch 32, stride 16,
+    // 512 in / 256 out, Gemma2-9B on A6000 Ada).
+    PipelineConfig config;
+    config.datastore = geometryTokens(100e6);
+    config.batch = 32;
+    auto result = RagPipelineSim(config).run();
+    EXPECT_GT(result.e2e, 8.0);
+    EXPECT_LT(result.e2e, 18.0);
+    EXPECT_EQ(result.num_strides, 16u);
+}
+
+TEST(Pipeline, E2EMatchesPaperAtScale)
+{
+    // Fig 6: ~101.8 s at 100B and ~909 s at 1T.
+    PipelineConfig config;
+    config.batch = 32;
+    config.datastore = geometryTokens(100e9);
+    double e2e_100b = RagPipelineSim(config).run().e2e;
+    EXPECT_GT(e2e_100b, 70.0);
+    EXPECT_LT(e2e_100b, 140.0);
+
+    config.datastore = geometryTokens(1e12);
+    double e2e_1t = RagPipelineSim(config).run().e2e;
+    EXPECT_GT(e2e_1t, 650.0);
+    EXPECT_LT(e2e_1t, 1200.0);
+}
+
+TEST(Pipeline, RetrievalDominatesTtftAtScale)
+{
+    // Fig 6: retrieval ~61% of TTFT at 10B, ~94% at 100B.
+    PipelineConfig config;
+    config.batch = 32;
+    config.datastore = geometryTokens(10e9);
+    auto sim_10b = RagPipelineSim(config);
+    double frac_10b = sim_10b.retrievalLatency() / sim_10b.run().ttft;
+    EXPECT_GT(frac_10b, 0.4);
+    EXPECT_LT(frac_10b, 0.8);
+
+    config.datastore = geometryTokens(100e9);
+    auto sim_100b = RagPipelineSim(config);
+    double frac_100b = sim_100b.retrievalLatency() / sim_100b.run().ttft;
+    EXPECT_GT(frac_100b, 0.88);
+}
+
+TEST(Pipeline, HermesSpeedupGrowsWithDatastore)
+{
+    // Fig 14 center: the Hermes win is modest at 1B and ~9x at 1T.
+    auto speedup_at = [](double tokens) {
+        PipelineConfig base;
+        base.datastore = geometryTokens(tokens);
+        PipelineConfig hermes = base;
+        hermes.retrieval = RetrievalMode::Hermes;
+        return RagPipelineSim(base).run().e2e /
+               RagPipelineSim(hermes).run().e2e;
+    };
+    double s_1b = speedup_at(1e9);
+    double s_100b = speedup_at(100e9);
+    double s_1t = speedup_at(1e12);
+    EXPECT_LT(s_1b, s_100b);
+    EXPECT_LE(s_100b, s_1t * 1.05);
+    // Paper reports 9.33x at 1T (batch 128); our calibrated model lands
+    // in the same regime, slightly higher due to idealized wave
+    // scheduling (see EXPERIMENTS.md).
+    EXPECT_GT(s_1t, 5.0);
+    EXPECT_LT(s_1t, 18.0);
+}
+
+TEST(Pipeline, HermesTtftSpeedupAtTrillionScale)
+{
+    // Fig 16: ~9.1x TTFT improvement at 1T tokens.
+    PipelineConfig base;
+    base.datastore = geometryTokens(1e12);
+    PipelineConfig hermes = base;
+    hermes.retrieval = RetrievalMode::Hermes;
+    double speedup = RagPipelineSim(base).run().ttft /
+                     RagPipelineSim(hermes).run().ttft;
+    EXPECT_GT(speedup, 6.0);
+    EXPECT_LT(speedup, 18.0);
+}
+
+TEST(Pipeline, HermesSavesEnergyAtScale)
+{
+    // Headline: ~2.1x energy at 1T.
+    PipelineConfig base;
+    base.datastore = geometryTokens(1e12);
+    PipelineConfig hermes = base;
+    hermes.retrieval = RetrievalMode::Hermes;
+    double ratio = RagPipelineSim(base).run().totalEnergy() /
+                   RagPipelineSim(hermes).run().totalEnergy();
+    EXPECT_GT(ratio, 1.4);
+    EXPECT_LT(ratio, 3.5);
+}
+
+TEST(Pipeline, PrefixCachingHelpsMostAtSmallScale)
+{
+    // Fig 8 right: RAGCache's benefit decays as retrieval dominates.
+    auto speedup_at = [](double tokens) {
+        PipelineConfig base;
+        base.datastore = geometryTokens(tokens);
+        PipelineConfig cached = base;
+        cached.prefix_caching = true;
+        return RagPipelineSim(base).run().e2e /
+               RagPipelineSim(cached).run().e2e;
+    };
+    double s_small = speedup_at(100e6);
+    double s_large = speedup_at(100e9);
+    EXPECT_GT(s_small, 1.1);
+    EXPECT_GT(s_small, s_large);
+    EXPECT_LT(s_large, 1.1);
+}
+
+TEST(Pipeline, PipeliningBoundedByRetrieval)
+{
+    // Fig 8: pipelining overlaps well when retrieval ~ inference, poorly
+    // when retrieval dwarfs inference.
+    auto speedup_at = [](double tokens) {
+        PipelineConfig base;
+        base.datastore = geometryTokens(tokens);
+        PipelineConfig piped = base;
+        piped.pipelining = true;
+        return RagPipelineSim(base).run().e2e /
+               RagPipelineSim(piped).run().e2e;
+    };
+    EXPECT_GT(speedup_at(1e9), 1.1);
+    // At 1T retrieval is ~56 s vs ~1 s of inference: pipelining cannot
+    // save more than the inference share.
+    EXPECT_LT(speedup_at(1e12), 1.2);
+}
+
+TEST(Pipeline, CombinedOptimizationsStack)
+{
+    PipelineConfig base;
+    base.datastore = geometryTokens(1e12);
+
+    PipelineConfig hermes = base;
+    hermes.retrieval = RetrievalMode::Hermes;
+
+    PipelineConfig combined = hermes;
+    combined.pipelining = true;
+    combined.prefix_caching = true;
+
+    double e2e_base = RagPipelineSim(base).run().e2e;
+    double e2e_hermes = RagPipelineSim(hermes).run().e2e;
+    double e2e_combined = RagPipelineSim(combined).run().e2e;
+    EXPECT_LT(e2e_hermes, e2e_base);
+    EXPECT_LT(e2e_combined, e2e_hermes);
+}
+
+TEST(Pipeline, TtftUnaffectedByPipeliningAndCaching)
+{
+    // Fig 16: prior optimizations cannot reduce TTFT; only Hermes can.
+    PipelineConfig base;
+    base.datastore = geometryTokens(100e9);
+    PipelineConfig optimized = base;
+    optimized.pipelining = true;
+    optimized.prefix_caching = true;
+    EXPECT_NEAR(RagPipelineSim(base).run().ttft,
+                RagPipelineSim(optimized).run().ttft, 1e-9);
+}
+
+TEST(Pipeline, StrideSweepAmplifiesHermesWin)
+{
+    // Fig 14 right: shorter strides => more retrievals => bigger win.
+    auto speedup_at_stride = [](std::size_t stride) {
+        PipelineConfig base;
+        base.datastore = geometryTokens(100e9);
+        base.stride = stride;
+        PipelineConfig hermes = base;
+        hermes.retrieval = RetrievalMode::Hermes;
+        return RagPipelineSim(base).run().e2e /
+               RagPipelineSim(hermes).run().e2e;
+    };
+    EXPECT_GT(speedup_at_stride(4), speedup_at_stride(64));
+}
+
+TEST(Pipeline, OptimalClusterTokensGrowsWithContext)
+{
+    // Fig 19: longer input contexts allow bigger clusters.
+    PipelineConfig config;
+    config.batch = 128;
+    config.input_tokens = 32;
+    config.output_tokens = 32;
+    double small = RagPipelineSim::optimalClusterTokens(config);
+    config.input_tokens = 2048;
+    double large = RagPipelineSim::optimalClusterTokens(config);
+    EXPECT_GT(small, 0.0);
+    // The prefill contribution grows with nothing here (stride window),
+    // but decode window is identical — cluster size must not shrink.
+    EXPECT_GE(large, small);
+}
+
+TEST(Pipeline, ThroughputInverseOfLatency)
+{
+    PipelineConfig config;
+    config.datastore = geometryTokens(10e9);
+    auto result = RagPipelineSim(config).run();
+    EXPECT_NEAR(result.throughput_qps,
+                static_cast<double>(config.batch) / result.e2e, 1e-9);
+}
+
+} // namespace

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Tests for the tooling layer: argument parsing, deployment manifests,
+ * and store assembly from serialized indices (the save -> reload ->
+ * search round trip the tools/ binaries rely on).
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "../tools/tool_common.hpp"
+
+#include "core/search_strategy.hpp"
+#include "util/argparse.hpp"
+#include "workload/corpus.hpp"
+
+namespace {
+
+using namespace hermes;
+
+TEST(ArgParser, DefaultsAndOverrides)
+{
+    util::ArgParser args("test", "test tool");
+    args.addFlag("alpha", "7", "an int");
+    args.addFlag("beta", "hello", "a string");
+    args.addFlag("gamma", "0.5", "a double");
+    args.addFlag("delta", "false", "a bool");
+
+    const char *argv[] = {"test", "--alpha", "42", "--delta=true"};
+    args.parse(4, const_cast<char **>(argv));
+
+    EXPECT_EQ(args.getInt("alpha"), 42);
+    EXPECT_TRUE(args.given("alpha"));
+    EXPECT_EQ(args.get("beta"), "hello");
+    EXPECT_FALSE(args.given("beta"));
+    EXPECT_DOUBLE_EQ(args.getDouble("gamma"), 0.5);
+    EXPECT_TRUE(args.getBool("delta"));
+}
+
+TEST(ArgParser, EqualsFormParsed)
+{
+    util::ArgParser args("test", "test tool");
+    args.addFlag("name", "", "value");
+    const char *argv[] = {"test", "--name=with=equals"};
+    args.parse(2, const_cast<char **>(argv));
+    EXPECT_EQ(args.get("name"), "with=equals");
+}
+
+TEST(ArgParser, UnknownFlagDies)
+{
+    util::ArgParser args("test", "test tool");
+    args.addFlag("known", "1", "known flag");
+    const char *argv[] = {"test", "--bogus", "1"};
+    EXPECT_EXIT(args.parse(3, const_cast<char **>(argv)),
+                ::testing::ExitedWithCode(1), "unknown flag");
+}
+
+TEST(ArgParser, BadIntegerDies)
+{
+    util::ArgParser args("test", "test tool");
+    args.addFlag("n", "1", "an int");
+    const char *argv[] = {"test", "--n", "nope"};
+    args.parse(3, const_cast<char **>(argv));
+    EXPECT_EXIT((void)args.getInt("n"), ::testing::ExitedWithCode(1),
+                "expects an integer");
+}
+
+TEST(Manifest, SaveLoadRoundTrip)
+{
+    auto dir = std::filesystem::temp_directory_path() / "hermes_manifest";
+    std::filesystem::create_directories(dir);
+
+    tools::Manifest manifest;
+    manifest.type = "clustered";
+    manifest.num_clusters = 3;
+    manifest.dim = 16;
+    manifest.codec = "SQ4";
+    manifest.cluster_files = {"a.hivf", "b.hivf", "c.hivf"};
+    manifest.save(dir);
+
+    auto loaded = tools::Manifest::load(dir);
+    EXPECT_EQ(loaded.type, "clustered");
+    EXPECT_EQ(loaded.num_clusters, 3u);
+    EXPECT_EQ(loaded.dim, 16u);
+    EXPECT_EQ(loaded.codec, "SQ4");
+    EXPECT_EQ(loaded.cluster_files, manifest.cluster_files);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(StoreAssembly, ReloadedStoreSearchesIdentically)
+{
+    workload::CorpusConfig cc;
+    cc.num_docs = 3000;
+    cc.dim = 16;
+    cc.num_topics = 9;
+    cc.seed = 61;
+    auto corpus = workload::generateCorpus(cc);
+
+    core::HermesConfig config;
+    config.num_clusters = 4;
+    config.clusters_to_search = 2;
+    config.sample_nprobe = 2;
+    config.deep_nprobe = 16;
+    config.partition.seeds_to_try = 2;
+    auto store = core::DistributedStore::build(corpus.embeddings, config);
+
+    // Serialize everything like hermes_build_index does.
+    auto dir =
+        std::filesystem::temp_directory_path() / "hermes_assembly";
+    std::filesystem::create_directories(dir);
+    tools::Manifest manifest;
+    manifest.num_clusters = store.numClusters();
+    manifest.dim = corpus.embeddings.dim();
+    corpus.embeddings.save((dir / manifest.corpus_file).string());
+    store.centroids().save((dir / manifest.centroids_file).string());
+    for (std::size_t c = 0; c < store.numClusters(); ++c) {
+        std::string file = "cluster_" + std::to_string(c) + ".hivf";
+        store.clusterIndex(c).save((dir / file).string());
+        manifest.cluster_files.push_back(file);
+    }
+    manifest.save(dir);
+
+    auto reloaded = tools::loadStore(dir, tools::Manifest::load(dir),
+                                     config);
+    EXPECT_EQ(reloaded.numClusters(), store.numClusters());
+    EXPECT_EQ(reloaded.totalVectors(), store.totalVectors());
+
+    core::HermesSearch original(store);
+    core::HermesSearch restored(reloaded);
+    workload::QueryConfig qc;
+    qc.num_queries = 16;
+    auto queries = workload::generateQueries(corpus, qc);
+    for (std::size_t q = 0; q < queries.embeddings.rows(); ++q) {
+        auto a = original.search(queries.embeddings.row(q), 5);
+        auto b = restored.search(queries.embeddings.row(q), 5);
+        ASSERT_EQ(a.hits.size(), b.hits.size());
+        for (std::size_t i = 0; i < a.hits.size(); ++i) {
+            EXPECT_EQ(a.hits[i].id, b.hits[i].id);
+            EXPECT_FLOAT_EQ(a.hits[i].score, b.hits[i].score);
+        }
+        EXPECT_EQ(a.deep_clusters, b.deep_clusters);
+    }
+    std::filesystem::remove_all(dir);
+}
+
+TEST(StoreAssembly, MismatchedCountsDie)
+{
+    core::HermesConfig config;
+    config.num_clusters = 2;
+    config.clusters_to_search = 1;
+    std::vector<std::unique_ptr<index::IvfIndex>> none;
+    vecstore::Matrix centroids(2, 4);
+    EXPECT_DEATH(core::DistributedStore::assemble(config, std::move(none),
+                                                  std::move(centroids)),
+                 "expected");
+}
+
+} // namespace

@@ -1,0 +1,293 @@
+/**
+ * @file
+ * Unit tests for the util substrate: RNG, statistics, CSV, serialization,
+ * thread pool.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <numeric>
+
+#include "util/csv.hpp"
+#include "util/rng.hpp"
+#include "util/serialize.hpp"
+#include "util/stats.hpp"
+#include "util/threadpool.hpp"
+
+namespace {
+
+using namespace hermes::util;
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformIntRespectsBound)
+{
+    Rng rng(9);
+    for (std::uint64_t bound : {1ull, 2ull, 7ull, 1000ull}) {
+        for (int i = 0; i < 1000; ++i)
+            EXPECT_LT(rng.uniformInt(bound), bound);
+    }
+}
+
+TEST(Rng, UniformIntCoversSupport)
+{
+    Rng rng(11);
+    std::vector<int> counts(8, 0);
+    for (int i = 0; i < 8000; ++i)
+        counts[rng.uniformInt(8)]++;
+    for (int c : counts)
+        EXPECT_GT(c, 800); // expected 1000, generous bound
+}
+
+TEST(Rng, GaussianMomentsApproximatelyStandard)
+{
+    Rng rng(13);
+    RunningStats stats;
+    for (int i = 0; i < 50000; ++i)
+        stats.add(rng.gaussian());
+    EXPECT_NEAR(stats.mean(), 0.0, 0.03);
+    EXPECT_NEAR(stats.stddev(), 1.0, 0.03);
+}
+
+TEST(Rng, SampleWithoutReplacementIsDistinct)
+{
+    Rng rng(17);
+    for (std::size_t k : {1u, 5u, 50u, 99u}) {
+        auto sample = rng.sampleWithoutReplacement(100, k);
+        ASSERT_EQ(sample.size(), k);
+        std::sort(sample.begin(), sample.end());
+        EXPECT_EQ(std::unique(sample.begin(), sample.end()), sample.end());
+        for (auto v : sample)
+            EXPECT_LT(v, 100u);
+    }
+}
+
+TEST(Rng, SplitProducesIndependentStream)
+{
+    Rng a(21);
+    Rng b = a.split();
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Zipf, ExponentZeroIsUniform)
+{
+    ZipfSampler sampler(10, 0.0);
+    for (std::size_t i = 0; i < 10; ++i)
+        EXPECT_NEAR(sampler.pmf(i), 0.1, 1e-12);
+}
+
+TEST(Zipf, PmfDecreasesWithRank)
+{
+    ZipfSampler sampler(50, 1.0);
+    for (std::size_t i = 1; i < 50; ++i)
+        EXPECT_GT(sampler.pmf(i - 1), sampler.pmf(i));
+}
+
+TEST(Zipf, PmfSumsToOne)
+{
+    ZipfSampler sampler(100, 0.8);
+    double total = 0.0;
+    for (std::size_t i = 0; i < 100; ++i)
+        total += sampler.pmf(i);
+    EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Zipf, SamplesFollowPmf)
+{
+    ZipfSampler sampler(10, 1.2);
+    Rng rng(31);
+    std::vector<int> counts(10, 0);
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        counts[sampler(rng)]++;
+    for (std::size_t i = 0; i < 10; ++i) {
+        double expected = sampler.pmf(i) * n;
+        EXPECT_NEAR(counts[i], expected, 5.0 * std::sqrt(expected) + 10.0);
+    }
+}
+
+TEST(RunningStats, BasicMoments)
+{
+    RunningStats stats;
+    for (double x : {1.0, 2.0, 3.0, 4.0})
+        stats.add(x);
+    EXPECT_EQ(stats.count(), 4u);
+    EXPECT_DOUBLE_EQ(stats.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(stats.min(), 1.0);
+    EXPECT_DOUBLE_EQ(stats.max(), 4.0);
+    EXPECT_DOUBLE_EQ(stats.variance(), 1.25);
+    EXPECT_DOUBLE_EQ(stats.sum(), 10.0);
+}
+
+TEST(RunningStats, MergeMatchesCombinedStream)
+{
+    Rng rng(37);
+    RunningStats all, left, right;
+    for (int i = 0; i < 1000; ++i) {
+        double x = rng.gaussian(3.0, 2.0);
+        all.add(x);
+        (i % 2 ? left : right).add(x);
+    }
+    left.merge(right);
+    EXPECT_EQ(left.count(), all.count());
+    EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(left.min(), all.min());
+    EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(Distribution, ExactPercentiles)
+{
+    Distribution dist;
+    for (int i = 1; i <= 100; ++i)
+        dist.add(static_cast<double>(i));
+    EXPECT_DOUBLE_EQ(dist.percentile(0), 1.0);
+    EXPECT_DOUBLE_EQ(dist.percentile(100), 100.0);
+    EXPECT_NEAR(dist.median(), 50.5, 1e-9);
+    EXPECT_NEAR(dist.percentile(25), 25.75, 1e-9);
+}
+
+TEST(Distribution, SingleSample)
+{
+    Distribution dist;
+    dist.add(42.0);
+    EXPECT_DOUBLE_EQ(dist.percentile(0), 42.0);
+    EXPECT_DOUBLE_EQ(dist.percentile(50), 42.0);
+    EXPECT_DOUBLE_EQ(dist.percentile(100), 42.0);
+}
+
+TEST(Stats, GeometricMean)
+{
+    EXPECT_NEAR(geometricMean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geometricMean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+}
+
+TEST(Stats, MeanOfEmptyIsZero)
+{
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+TEST(Csv, WritesEscapedRows)
+{
+    auto path = std::filesystem::temp_directory_path() / "hermes_csv_test.csv";
+    {
+        CsvWriter csv(path.string());
+        csv.header({"a", "b"});
+        csv.cell(1).cell("plain").endRow();
+        csv.cell(2.5).cell("has,comma").endRow();
+        EXPECT_EQ(csv.rowsWritten(), 2u);
+    }
+    std::ifstream in(path);
+    std::string line;
+    std::getline(in, line);
+    EXPECT_EQ(line, "a,b");
+    std::getline(in, line);
+    EXPECT_EQ(line, "1,plain");
+    std::getline(in, line);
+    EXPECT_EQ(line, "2.5,\"has,comma\"");
+    std::filesystem::remove(path);
+}
+
+TEST(Serialize, RoundTripsValuesVectorsStrings)
+{
+    auto path =
+        std::filesystem::temp_directory_path() / "hermes_ser_test.bin";
+    std::vector<float> payload{1.5f, -2.0f, 3.25f};
+    {
+        BinaryWriter w(path.string(), "HTST", 3);
+        w.write<std::uint32_t>(0xdeadbeef);
+        w.writeVector(payload);
+        w.writeString("hello world");
+        ASSERT_TRUE(w.good());
+    }
+    {
+        BinaryReader r(path.string(), "HTST", 3);
+        EXPECT_EQ(r.read<std::uint32_t>(), 0xdeadbeefu);
+        EXPECT_EQ(r.readVector<float>(), payload);
+        EXPECT_EQ(r.readString(), "hello world");
+    }
+    std::filesystem::remove(path);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices)
+{
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> touched(257);
+    pool.parallelFor(257, [&](std::size_t i) { touched[i]++; });
+    for (const auto &t : touched)
+        EXPECT_EQ(t.load(), 1);
+}
+
+TEST(ThreadPool, SubmitAndWait)
+{
+    ThreadPool pool(2);
+    std::atomic<int> counter{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&] { counter++; });
+    pool.wait();
+    EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, SingleWorkerRunsInline)
+{
+    ThreadPool pool(1);
+    std::vector<int> order;
+    pool.parallelFor(5, [&](std::size_t i) {
+        order.push_back(static_cast<int>(i));
+    });
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+/** Percentile interpolation stays within sample range for any p. */
+class PercentileSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(PercentileSweep, WithinRange)
+{
+    Distribution dist;
+    Rng rng(41);
+    for (int i = 0; i < 500; ++i)
+        dist.add(rng.uniform(-5.0, 5.0));
+    double p = GetParam();
+    double v = dist.percentile(p);
+    EXPECT_GE(v, dist.min());
+    EXPECT_LE(v, dist.max());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PercentileSweep,
+                         ::testing::Values(0.0, 1.0, 10.0, 25.0, 50.0, 75.0,
+                                           90.0, 99.0, 100.0));
+
+} // namespace

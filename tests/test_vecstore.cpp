@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Unit tests for vecstore: distance kernels, matrix storage, top-k.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+
+#include "util/rng.hpp"
+#include "vecstore/distance.hpp"
+#include "vecstore/matrix.hpp"
+#include "vecstore/topk.hpp"
+
+namespace {
+
+using namespace hermes::vecstore;
+using hermes::util::Rng;
+
+float
+naiveL2Sq(const std::vector<float> &a, const std::vector<float> &b)
+{
+    float acc = 0.f;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        acc += (a[i] - b[i]) * (a[i] - b[i]);
+    return acc;
+}
+
+float
+naiveDot(const std::vector<float> &a, const std::vector<float> &b)
+{
+    float acc = 0.f;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        acc += a[i] * b[i];
+    return acc;
+}
+
+std::vector<float>
+randomVec(Rng &rng, std::size_t d)
+{
+    std::vector<float> v(d);
+    for (auto &x : v)
+        x = static_cast<float>(rng.gaussian());
+    return v;
+}
+
+/** Kernels agree with naive implementations across dimensions. */
+class DistanceKernels : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(DistanceKernels, L2MatchesNaive)
+{
+    Rng rng(1);
+    std::size_t d = GetParam();
+    auto a = randomVec(rng, d);
+    auto b = randomVec(rng, d);
+    EXPECT_NEAR(l2Sq(a.data(), b.data(), d), naiveL2Sq(a, b),
+                1e-4 * (1.0 + naiveL2Sq(a, b)));
+}
+
+TEST_P(DistanceKernels, DotMatchesNaive)
+{
+    Rng rng(2);
+    std::size_t d = GetParam();
+    auto a = randomVec(rng, d);
+    auto b = randomVec(rng, d);
+    EXPECT_NEAR(dot(a.data(), b.data(), d), naiveDot(a, b),
+                1e-3 * (1.0 + std::fabs(naiveDot(a, b))));
+}
+
+TEST_P(DistanceKernels, L2IsSymmetricAndZeroOnSelf)
+{
+    Rng rng(3);
+    std::size_t d = GetParam();
+    auto a = randomVec(rng, d);
+    auto b = randomVec(rng, d);
+    EXPECT_FLOAT_EQ(l2Sq(a.data(), b.data(), d), l2Sq(b.data(), a.data(), d));
+    EXPECT_FLOAT_EQ(l2Sq(a.data(), a.data(), d), 0.f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, DistanceKernels,
+                         ::testing::Values(1, 2, 3, 4, 7, 8, 16, 33, 64,
+                                           127, 128));
+
+TEST(Distance, MetricDispatchSmallerIsCloser)
+{
+    // b is closer to q than c under both metrics.
+    std::vector<float> q{1.f, 0.f};
+    std::vector<float> b{0.9f, 0.1f};
+    std::vector<float> c{-1.f, 0.f};
+    for (Metric m : {Metric::L2, Metric::InnerProduct}) {
+        EXPECT_LT(distance(m, q.data(), b.data(), 2),
+                  distance(m, q.data(), c.data(), 2));
+    }
+}
+
+TEST(Distance, NormalizeProducesUnitNorm)
+{
+    Rng rng(4);
+    auto v = randomVec(rng, 33);
+    normalize(v.data(), v.size());
+    EXPECT_NEAR(normSq(v.data(), v.size()), 1.f, 1e-5);
+}
+
+TEST(Distance, NormalizeZeroVectorIsNoop)
+{
+    std::vector<float> v(8, 0.f);
+    normalize(v.data(), v.size());
+    for (float x : v)
+        EXPECT_EQ(x, 0.f);
+}
+
+TEST(Distance, CosineBounds)
+{
+    Rng rng(5);
+    for (int i = 0; i < 100; ++i) {
+        auto a = randomVec(rng, 16);
+        auto b = randomVec(rng, 16);
+        float c = cosine(a.data(), b.data(), 16);
+        EXPECT_GE(c, -1.0001f);
+        EXPECT_LE(c, 1.0001f);
+    }
+}
+
+TEST(Distance, BatchMatchesScalar)
+{
+    Rng rng(6);
+    const std::size_t n = 50, d = 24;
+    auto q = randomVec(rng, d);
+    std::vector<float> base(n * d);
+    for (auto &x : base)
+        x = static_cast<float>(rng.gaussian());
+    std::vector<float> out(n);
+    distanceBatch(Metric::L2, q.data(), base.data(), n, d, out.data());
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_FLOAT_EQ(out[i], l2Sq(q.data(), base.data() + i * d, d));
+}
+
+TEST(Matrix, AppendAndRowAccess)
+{
+    Matrix m(3);
+    m.append(std::vector<float>{1.f, 2.f, 3.f});
+    m.append(std::vector<float>{4.f, 5.f, 6.f});
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.dim(), 3u);
+    EXPECT_FLOAT_EQ(m.row(1)[2], 6.f);
+    EXPECT_EQ(m.memoryBytes(), 6 * sizeof(float));
+}
+
+TEST(Matrix, GatherSelectsRows)
+{
+    Matrix m(2);
+    for (int i = 0; i < 5; ++i)
+        m.append(std::vector<float>{float(i), float(10 * i)});
+    auto g = m.gather({4, 0, 2});
+    ASSERT_EQ(g.rows(), 3u);
+    EXPECT_FLOAT_EQ(g.row(0)[0], 4.f);
+    EXPECT_FLOAT_EQ(g.row(1)[0], 0.f);
+    EXPECT_FLOAT_EQ(g.row(2)[1], 20.f);
+}
+
+TEST(Matrix, SaveLoadRoundTrip)
+{
+    Rng rng(7);
+    Matrix m(5);
+    for (int i = 0; i < 20; ++i) {
+        auto v = randomVec(rng, 5);
+        m.append(VecView(v.data(), v.size()));
+    }
+    auto path = std::filesystem::temp_directory_path() / "hermes_mat.bin";
+    m.save(path.string());
+    auto loaded = Matrix::load(path.string());
+    ASSERT_EQ(loaded.rows(), m.rows());
+    ASSERT_EQ(loaded.dim(), m.dim());
+    for (std::size_t i = 0; i < m.rows(); ++i)
+        for (std::size_t j = 0; j < m.dim(); ++j)
+            EXPECT_FLOAT_EQ(loaded.row(i)[j], m.row(i)[j]);
+    std::filesystem::remove(path);
+}
+
+TEST(Matrix, ResizeZeroFills)
+{
+    Matrix m(2);
+    m.resizeRows(3);
+    EXPECT_EQ(m.rows(), 3u);
+    EXPECT_FLOAT_EQ(m.row(2)[1], 0.f);
+}
+
+/** TopK returns exactly the k best, sorted, across k and n combinations. */
+class TopKSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>>
+{
+};
+
+TEST_P(TopKSweep, MatchesFullSort)
+{
+    auto [k, n] = GetParam();
+    Rng rng(8 + k * 131 + n);
+    std::vector<float> scores(n);
+    for (auto &s : scores)
+        s = static_cast<float>(rng.uniform(-100.0, 100.0));
+
+    TopK selector(k);
+    for (std::size_t i = 0; i < n; ++i)
+        selector.push(static_cast<VecId>(i), scores[i]);
+    auto hits = selector.take();
+
+    std::vector<float> sorted = scores;
+    std::sort(sorted.begin(), sorted.end());
+    ASSERT_EQ(hits.size(), std::min(k, n));
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+        EXPECT_FLOAT_EQ(hits[i].score, sorted[i]);
+        if (i) {
+            EXPECT_LE(hits[i - 1].score, hits[i].score);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TopKSweep,
+    ::testing::Combine(::testing::Values<std::size_t>(1, 3, 10, 64),
+                       ::testing::Values<std::size_t>(1, 5, 64, 1000)));
+
+TEST(TopK, WorstIsInfUntilFull)
+{
+    TopK selector(3);
+    selector.push(0, 1.f);
+    EXPECT_EQ(selector.worst(), std::numeric_limits<float>::max());
+    selector.push(1, 2.f);
+    selector.push(2, 3.f);
+    EXPECT_FLOAT_EQ(selector.worst(), 3.f);
+    selector.push(3, 0.5f);
+    EXPECT_FLOAT_EQ(selector.worst(), 2.f);
+}
+
+TEST(MergeHitLists, DeduplicatesKeepingBestScore)
+{
+    HitList a{{1, 0.5f}, {2, 1.0f}};
+    HitList b{{2, 0.3f}, {3, 0.9f}};
+    auto merged = mergeHitLists({a, b}, 10);
+    ASSERT_EQ(merged.size(), 3u);
+    EXPECT_EQ(merged[0].id, 2);
+    EXPECT_FLOAT_EQ(merged[0].score, 0.3f);
+    EXPECT_EQ(merged[1].id, 1);
+    EXPECT_EQ(merged[2].id, 3);
+}
+
+TEST(MergeHitLists, TruncatesToK)
+{
+    HitList a{{1, 1.f}, {2, 2.f}, {3, 3.f}};
+    auto merged = mergeHitLists({a}, 2);
+    ASSERT_EQ(merged.size(), 2u);
+    EXPECT_EQ(merged[0].id, 1);
+    EXPECT_EQ(merged[1].id, 2);
+}
+
+TEST(MergeHitLists, EmptyInput)
+{
+    auto merged = mergeHitLists({}, 5);
+    EXPECT_TRUE(merged.empty());
+}
+
+} // namespace

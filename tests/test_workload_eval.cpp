@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Tests for workload synthesis (corpus, queries, traces) and retrieval
+ * quality metrics (recall, NDCG).
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "cluster/kmeans.hpp"
+#include "eval/ground_truth.hpp"
+#include "eval/metrics.hpp"
+#include "util/rng.hpp"
+#include "vecstore/distance.hpp"
+#include "workload/corpus.hpp"
+#include "workload/trace.hpp"
+
+namespace {
+
+using namespace hermes;
+using namespace hermes::workload;
+using hermes::vecstore::Hit;
+using hermes::vecstore::HitList;
+
+TEST(Corpus, ShapesMatchConfig)
+{
+    CorpusConfig cc;
+    cc.num_docs = 500;
+    cc.dim = 12;
+    cc.num_topics = 7;
+    auto corpus = generateCorpus(cc);
+    EXPECT_EQ(corpus.embeddings.rows(), 500u);
+    EXPECT_EQ(corpus.embeddings.dim(), 12u);
+    EXPECT_EQ(corpus.topic_of_doc.size(), 500u);
+    EXPECT_EQ(corpus.topic_centers.rows(), 7u);
+    EXPECT_EQ(corpus.totalTokens(), 500u * cc.tokens_per_chunk);
+}
+
+TEST(Corpus, EmbeddingsAreUnitNorm)
+{
+    CorpusConfig cc;
+    cc.num_docs = 200;
+    cc.dim = 16;
+    auto corpus = generateCorpus(cc);
+    for (std::size_t i = 0; i < 20; ++i) {
+        float n = vecstore::normSq(corpus.embeddings.row(i).data(), cc.dim);
+        EXPECT_NEAR(n, 1.f, 1e-4);
+    }
+}
+
+TEST(Corpus, DocsClusterAroundTheirTopicCenter)
+{
+    CorpusConfig cc;
+    cc.num_docs = 600;
+    cc.dim = 24;
+    cc.num_topics = 6;
+    cc.topic_spread = 0.15;
+    auto corpus = generateCorpus(cc);
+
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < corpus.embeddings.rows(); ++i) {
+        auto nearest = cluster::nearestCentroid(corpus.embeddings.row(i),
+                                                corpus.topic_centers);
+        correct += nearest == corpus.topic_of_doc[i];
+    }
+    EXPECT_GT(static_cast<double>(correct) / cc.num_docs, 0.95);
+}
+
+TEST(Corpus, ZipfSkewsTopicSizes)
+{
+    CorpusConfig uniform, skewed;
+    uniform.num_docs = skewed.num_docs = 2000;
+    uniform.dim = skewed.dim = 8;
+    uniform.num_topics = skewed.num_topics = 10;
+    uniform.topic_zipf = 0.0;
+    skewed.topic_zipf = 1.2;
+
+    auto count_max = [](const Corpus &corpus) {
+        std::vector<std::size_t> counts(corpus.config.num_topics, 0);
+        for (auto t : corpus.topic_of_doc)
+            counts[t]++;
+        return *std::max_element(counts.begin(), counts.end());
+    };
+    EXPECT_GT(count_max(generateCorpus(skewed)),
+              count_max(generateCorpus(uniform)) * 2);
+}
+
+TEST(Corpus, DeterministicForSeed)
+{
+    CorpusConfig cc;
+    cc.num_docs = 100;
+    cc.dim = 8;
+    auto a = generateCorpus(cc);
+    auto b = generateCorpus(cc);
+    for (std::size_t j = 0; j < cc.dim; ++j)
+        EXPECT_FLOAT_EQ(a.embeddings.row(0)[j], b.embeddings.row(0)[j]);
+}
+
+TEST(Queries, CorrelateWithSeedTopic)
+{
+    CorpusConfig cc;
+    cc.num_docs = 800;
+    cc.dim = 24;
+    cc.num_topics = 8;
+    cc.topic_spread = 0.15;
+    auto corpus = generateCorpus(cc);
+
+    QueryConfig qc;
+    qc.num_queries = 200;
+    qc.noise = 0.15;
+    auto queries = generateQueries(corpus, qc);
+
+    std::size_t correct = 0;
+    for (std::size_t q = 0; q < queries.embeddings.rows(); ++q) {
+        auto nearest = cluster::nearestCentroid(queries.embeddings.row(q),
+                                                corpus.topic_centers);
+        correct += nearest == queries.topic_of_query[q];
+    }
+    EXPECT_GT(static_cast<double>(correct) / qc.num_queries, 0.85);
+}
+
+TEST(Queries, ZipfConcentratesTopicPopularity)
+{
+    CorpusConfig cc;
+    cc.num_docs = 500;
+    cc.dim = 8;
+    cc.num_topics = 10;
+    cc.topic_zipf = 0.0;
+    auto corpus = generateCorpus(cc);
+
+    QueryConfig qc;
+    qc.num_queries = 1000;
+    qc.topic_zipf = 1.2;
+    auto queries = generateQueries(corpus, qc);
+
+    std::vector<std::size_t> counts(10, 0);
+    for (auto t : queries.topic_of_query)
+        counts[t]++;
+    // Most popular topic should dominate the least popular by > 2x
+    // (the Fig 13 access-frequency imbalance).
+    auto mx = *std::max_element(counts.begin(), counts.end());
+    auto mn = *std::min_element(counts.begin(), counts.end());
+    EXPECT_GT(mx, 2 * std::max<std::size_t>(mn, 1));
+}
+
+TEST(Trace, AccessCountsAndBatches)
+{
+    ClusterTrace trace;
+    trace.num_clusters = 4;
+    trace.records = {{0, {0, 1}}, {1, {1, 2}}, {2, {1}}, {3, {3, 0, 1}}};
+
+    auto counts = trace.accessCounts();
+    EXPECT_EQ(counts, (std::vector<std::size_t>{2, 4, 1, 1}));
+
+    auto batches = trace.batches(3);
+    ASSERT_EQ(batches.size(), 2u);
+    EXPECT_EQ(batches[0].size(), 3u);
+    EXPECT_EQ(batches[1].size(), 1u);
+    EXPECT_EQ(batches[1][0]->query, 3u);
+}
+
+TEST(Trace, SaveCsvWritesAllRecords)
+{
+    ClusterTrace trace;
+    trace.num_clusters = 2;
+    trace.records = {{0, {0}}, {1, {1, 0}}};
+    auto path = std::filesystem::temp_directory_path() / "hermes_trace.csv";
+    trace.saveCsv(path.string());
+    std::ifstream in(path);
+    std::string line;
+    std::getline(in, line);
+    EXPECT_EQ(line, "query,clusters");
+    std::getline(in, line);
+    EXPECT_EQ(line, "0,0");
+    std::getline(in, line);
+    EXPECT_EQ(line, "1,1 0");
+    std::filesystem::remove(path);
+}
+
+TEST(Metrics, PerfectRetrievalScoresOne)
+{
+    HitList truth{{1, 0.1f}, {2, 0.2f}, {3, 0.3f}};
+    EXPECT_DOUBLE_EQ(eval::recallAtK(truth, truth, 3), 1.0);
+    EXPECT_DOUBLE_EQ(eval::ndcgAtK(truth, truth, 3), 1.0);
+}
+
+TEST(Metrics, DisjointRetrievalScoresZero)
+{
+    HitList truth{{1, 0.1f}, {2, 0.2f}};
+    HitList got{{7, 0.1f}, {8, 0.2f}};
+    EXPECT_DOUBLE_EQ(eval::recallAtK(got, truth, 2), 0.0);
+    EXPECT_DOUBLE_EQ(eval::ndcgAtK(got, truth, 2), 0.0);
+}
+
+TEST(Metrics, RecallIsOrderInsensitive)
+{
+    HitList truth{{1, 0.1f}, {2, 0.2f}, {3, 0.3f}};
+    HitList reversed{{3, 0.3f}, {2, 0.2f}, {1, 0.1f}};
+    EXPECT_DOUBLE_EQ(eval::recallAtK(reversed, truth, 3), 1.0);
+}
+
+TEST(Metrics, NdcgRewardsCorrectOrder)
+{
+    HitList truth{{1, 0.1f}, {2, 0.2f}, {3, 0.3f}};
+    HitList reversed{{3, 0.3f}, {2, 0.2f}, {1, 0.1f}};
+    double perfect = eval::ndcgAtK(truth, truth, 3);
+    double swapped = eval::ndcgAtK(reversed, truth, 3);
+    EXPECT_LT(swapped, perfect);
+    EXPECT_GT(swapped, 0.0);
+}
+
+TEST(Metrics, PartialOverlapBetweenZeroAndOne)
+{
+    HitList truth{{1, 0.1f}, {2, 0.2f}, {3, 0.3f}, {4, 0.4f}};
+    HitList got{{1, 0.1f}, {9, 0.2f}, {3, 0.3f}, {8, 0.4f}};
+    double recall = eval::recallAtK(got, truth, 4);
+    EXPECT_DOUBLE_EQ(recall, 0.5);
+    double ndcg = eval::ndcgAtK(got, truth, 4);
+    EXPECT_GT(ndcg, 0.0);
+    EXPECT_LT(ndcg, 1.0);
+}
+
+TEST(Metrics, MeanAggregatesPerQuery)
+{
+    HitList truth{{1, 0.f}};
+    HitList hit{{1, 0.f}};
+    HitList miss{{2, 0.f}};
+    double mean_recall =
+        eval::meanRecallAtK({hit, miss}, {truth, truth}, 1);
+    EXPECT_DOUBLE_EQ(mean_recall, 0.5);
+}
+
+TEST(GroundTruth, SelfQueryFindsItself)
+{
+    CorpusConfig cc;
+    cc.num_docs = 300;
+    cc.dim = 16;
+    auto corpus = generateCorpus(cc);
+    auto truth = eval::exactGroundTruth(corpus.embeddings,
+                                        corpus.embeddings, 1,
+                                        vecstore::Metric::L2);
+    // Each vector's nearest neighbor is itself (distance 0).
+    std::size_t self_hits = 0;
+    for (std::size_t i = 0; i < truth.size(); ++i) {
+        ASSERT_FALSE(truth[i].empty());
+        EXPECT_NEAR(truth[i][0].score, 0.f, 1e-6);
+        self_hits += truth[i][0].id == static_cast<vecstore::VecId>(i);
+    }
+    // Duplicates may tie; the overwhelming majority should self-match.
+    EXPECT_GT(self_hits, truth.size() * 9 / 10);
+}
+
+} // namespace

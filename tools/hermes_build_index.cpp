@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Index construction tool (artifact appendix A.5 step 7, Table 3).
+ *
+ * Synthesizes a datastore (or loads a saved embedding matrix), partitions
+ * it with the requested scheme, builds the per-cluster IVF indices, and
+ * writes everything plus a manifest to the output directory so the
+ * profiling and accuracy tools can reload the deployment.
+ */
+
+#include <filesystem>
+
+#include "tool_common.hpp"
+
+#include "util/argparse.hpp"
+#include "util/timer.hpp"
+#include "workload/corpus.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace hermes;
+
+    util::ArgParser args("hermes_build_index",
+                         "build Hermes retrieval indices");
+    args.addFlag("output", "hermes_index", "output directory");
+    args.addFlag("type", "clustered",
+                 "monolithic | split (round-robin) | clustered (Hermes)");
+    args.addFlag("num-docs", "20000", "synthetic corpus size (chunks)");
+    args.addFlag("dim", "64", "embedding dimensionality");
+    args.addFlag("num-topics", "30", "latent topics in the corpus");
+    args.addFlag("num-indices", "10", "cluster indices to build");
+    args.addFlag("codec", "SQ8", "vector codec (Flat/SQ8/SQ4/PQ<M>)");
+    args.addFlag("nlist", "0", "inverted lists per index (0 = sqrt(n))");
+    args.addFlag("seeds-to-try", "4",
+                 "K-means seeds for the balanced-seed search");
+    args.addFlag("seed", "42", "corpus generation seed");
+    args.addFlag("corpus", "",
+                 "load this .hmat embedding matrix instead of synthesizing");
+    args.parse(argc, argv);
+
+    std::filesystem::path dir(args.get("output"));
+    std::filesystem::create_directories(dir);
+
+    // Datastore embeddings: synthetic topic corpus or a user matrix.
+    vecstore::Matrix data(0);
+    if (args.given("corpus")) {
+        data = vecstore::Matrix::load(args.get("corpus"));
+        HERMES_INFORM("loaded ", data.rows(), " x ", data.dim(),
+                      " embeddings from ", args.get("corpus"));
+    } else {
+        workload::CorpusConfig cc;
+        cc.num_docs = static_cast<std::size_t>(args.getInt("num-docs"));
+        cc.dim = static_cast<std::size_t>(args.getInt("dim"));
+        cc.num_topics = static_cast<std::size_t>(args.getInt("num-topics"));
+        cc.seed = static_cast<std::uint64_t>(args.getInt("seed"));
+        data = workload::generateCorpus(cc).embeddings;
+        HERMES_INFORM("synthesized ", data.rows(), " x ", data.dim(),
+                      " embeddings (", cc.num_topics, " topics)");
+    }
+
+    tools::Manifest manifest;
+    manifest.type = args.get("type");
+    manifest.dim = data.dim();
+    manifest.codec = args.get("codec");
+
+    core::HermesConfig config;
+    config.codec = manifest.codec;
+    config.nlist_per_cluster =
+        static_cast<std::size_t>(args.getInt("nlist"));
+    config.partition.seeds_to_try =
+        static_cast<std::size_t>(args.getInt("seeds-to-try"));
+
+    util::Timer timer;
+    if (manifest.type == "monolithic") {
+        config.num_clusters = 1;
+        config.clusters_to_search = 1;
+        config.partition.scheme = cluster::PartitionScheme::Contiguous;
+    } else {
+        config.num_clusters =
+            static_cast<std::size_t>(args.getInt("num-indices"));
+        config.clusters_to_search =
+            std::min<std::size_t>(3, config.num_clusters);
+        config.partition.scheme = manifest.type == "split"
+            ? cluster::PartitionScheme::RoundRobin
+            : cluster::PartitionScheme::Similarity;
+        if (manifest.type != "split" && manifest.type != "clustered") {
+            HERMES_FATAL("unknown --type '", manifest.type, "'");
+        }
+    }
+    manifest.num_clusters = config.num_clusters;
+
+    auto store = core::DistributedStore::build(data, config);
+    HERMES_INFORM("built ", store.numClusters(), " ", manifest.codec,
+                  " indices in ", timer.elapsedSeconds(), " s (imbalance ",
+                  store.partitioning().imbalance.max_min_ratio, ")");
+
+    data.save((dir / manifest.corpus_file).string());
+    store.centroids().save((dir / manifest.centroids_file).string());
+    for (std::size_t c = 0; c < store.numClusters(); ++c) {
+        std::string file = "cluster_" + std::to_string(c) + ".hivf";
+        store.clusterIndex(c).save((dir / file).string());
+        manifest.cluster_files.push_back(file);
+    }
+    manifest.save(dir);
+
+    HERMES_INFORM("wrote deployment to ", dir.string(), " (",
+                  store.memoryBytes() / 1024 / 1024, " MiB of indices)");
+    return 0;
+}

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Search profiling tool (artifact appendix A.5 step 8, Table 4).
+ *
+ * Reloads a deployment built by hermes_build_index and measures wall-clock
+ * latency, throughput and scan work for the requested search strategy and
+ * parameters (sample/deep nProbe, batch size, retrieved docs, threads).
+ */
+
+#include <filesystem>
+
+#include "tool_common.hpp"
+
+#include "core/search_strategy.hpp"
+#include "serve/broker.hpp"
+#include "util/argparse.hpp"
+#include "util/rng.hpp"
+#include "vecstore/distance.hpp"
+#include "util/stats.hpp"
+#include "util/timer.hpp"
+#include "workload/corpus.hpp"
+
+namespace {
+
+using namespace hermes;
+
+/** Query workload: perturb random datastore rows. */
+vecstore::Matrix
+makeQueries(const vecstore::Matrix &data, std::size_t count, double noise,
+            std::uint64_t seed)
+{
+    util::Rng rng(seed);
+    vecstore::Matrix queries(count, data.dim());
+    for (std::size_t q = 0; q < count; ++q) {
+        auto src = data.row(rng.uniformInt(data.rows()));
+        auto dst = queries.row(q);
+        for (std::size_t j = 0; j < data.dim(); ++j)
+            dst[j] = src[j] + static_cast<float>(rng.gaussian(0.0, noise));
+        vecstore::normalize(dst.data(), data.dim());
+    }
+    return queries;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    util::ArgParser args("hermes_profile_search",
+                         "profile retrieval latency and throughput");
+    args.addFlag("index", "hermes_index", "deployment directory");
+    args.addFlag("mode", "hermes",
+                 "hermes | centroid | split-all | serve (threaded broker)");
+    args.addFlag("sample-nprobe", "8", "sampling nProbe");
+    args.addFlag("deep-nprobe", "64", "deep-search nProbe");
+    args.addFlag("clusters-to-search", "3", "deep-searched clusters");
+    args.addFlag("batch", "64", "queries per batch");
+    args.addFlag("num-queries", "512", "total queries");
+    args.addFlag("k", "5", "documents retrieved per query");
+    args.addFlag("noise", "0.3", "query perturbation noise");
+    args.addFlag("seed", "7", "query seed");
+    args.parse(argc, argv);
+
+    std::filesystem::path dir(args.get("index"));
+    auto manifest = tools::Manifest::load(dir);
+
+    core::HermesConfig config;
+    config.sample_nprobe =
+        static_cast<std::size_t>(args.getInt("sample-nprobe"));
+    config.deep_nprobe =
+        static_cast<std::size_t>(args.getInt("deep-nprobe"));
+    config.clusters_to_search = std::min<std::size_t>(
+        static_cast<std::size_t>(args.getInt("clusters-to-search")),
+        manifest.num_clusters);
+    auto store = tools::loadStore(dir, manifest, config);
+
+    auto data =
+        vecstore::Matrix::load((dir / manifest.corpus_file).string());
+    auto queries = makeQueries(
+        data, static_cast<std::size_t>(args.getInt("num-queries")),
+        args.getDouble("noise"),
+        static_cast<std::uint64_t>(args.getInt("seed")));
+
+    const auto batch = static_cast<std::size_t>(args.getInt("batch"));
+    const auto k = static_cast<std::size_t>(args.getInt("k"));
+    const std::string mode = args.get("mode");
+
+    std::unique_ptr<core::SearchStrategy> strategy;
+    std::unique_ptr<serve::HermesBroker> broker;
+    if (mode == "hermes") {
+        strategy = std::make_unique<core::HermesSearch>(store);
+    } else if (mode == "centroid") {
+        strategy = std::make_unique<core::CentroidRouting>(store);
+    } else if (mode == "split-all") {
+        strategy = std::make_unique<core::NaiveSplitSearch>(store);
+    } else if (mode == "serve") {
+        broker = std::make_unique<serve::HermesBroker>(store);
+    } else {
+        HERMES_FATAL("unknown --mode '", mode, "'");
+    }
+
+    util::Distribution batch_latency;
+    index::SearchStats work;
+    util::Timer total;
+    for (std::size_t begin = 0; begin < queries.rows(); begin += batch) {
+        std::size_t end = std::min(begin + batch, queries.rows());
+        util::Timer timer;
+        for (std::size_t q = begin; q < end; ++q) {
+            if (broker) {
+                broker->search(queries.row(q), k);
+            } else {
+                auto result = strategy->search(queries.row(q), k);
+                work.merge(result.total);
+            }
+        }
+        batch_latency.add(timer.elapsedSeconds());
+    }
+    double elapsed = total.elapsedSeconds();
+
+    std::printf("\nmode=%s  indices=%zu  batch=%zu  k=%zu  "
+                "sample/deep nProbe=%zu/%zu  clusters=%zu\n",
+                mode.c_str(), manifest.num_clusters, batch, k,
+                config.sample_nprobe, config.deep_nprobe,
+                config.clusters_to_search);
+    std::printf("queries: %zu in %.3f s  =>  %.0f QPS\n", queries.rows(),
+                elapsed, static_cast<double>(queries.rows()) / elapsed);
+    std::printf("batch latency: p50 %.4f s, p99 %.4f s\n",
+                batch_latency.percentile(50), batch_latency.percentile(99));
+    if (!broker) {
+        std::printf("scan work: %.0f vectors/query, %.1f KiB/query\n",
+                    static_cast<double>(work.vectors_scanned) /
+                        static_cast<double>(queries.rows()),
+                    static_cast<double>(work.bytes_scanned) / 1024.0 /
+                        static_cast<double>(queries.rows()));
+    } else {
+        auto stats = broker->stats();
+        std::printf("broker: %llu queries, %llu deep requests, "
+                    "%zu node workers\n",
+                    static_cast<unsigned long long>(stats.queries),
+                    static_cast<unsigned long long>(stats.deep_requests),
+                    stats.nodes.size());
+    }
+    return 0;
+}
