@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_coarse.dir/ablation_coarse.cpp.o"
+  "CMakeFiles/ablation_coarse.dir/ablation_coarse.cpp.o.d"
+  "ablation_coarse"
+  "ablation_coarse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_coarse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

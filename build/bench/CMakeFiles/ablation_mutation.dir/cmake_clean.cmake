@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mutation.dir/ablation_mutation.cpp.o"
+  "CMakeFiles/ablation_mutation.dir/ablation_mutation.cpp.o.d"
+  "ablation_mutation"
+  "ablation_mutation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mutation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

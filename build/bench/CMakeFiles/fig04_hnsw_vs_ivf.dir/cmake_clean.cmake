@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_hnsw_vs_ivf.dir/fig04_hnsw_vs_ivf.cpp.o"
+  "CMakeFiles/fig04_hnsw_vs_ivf.dir/fig04_hnsw_vs_ivf.cpp.o.d"
+  "fig04_hnsw_vs_ivf"
+  "fig04_hnsw_vs_ivf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_hnsw_vs_ivf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

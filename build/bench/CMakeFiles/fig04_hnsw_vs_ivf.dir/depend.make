@@ -1,0 +1,2 @@
+# Empty dependencies file for fig04_hnsw_vs_ivf.
+# This may be replaced when dependencies are built.

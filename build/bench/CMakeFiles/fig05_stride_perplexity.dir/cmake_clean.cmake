@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_stride_perplexity.dir/fig05_stride_perplexity.cpp.o"
+  "CMakeFiles/fig05_stride_perplexity.dir/fig05_stride_perplexity.cpp.o.d"
+  "fig05_stride_perplexity"
+  "fig05_stride_perplexity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_stride_perplexity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

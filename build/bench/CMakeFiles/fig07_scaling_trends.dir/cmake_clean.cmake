@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_scaling_trends.dir/fig07_scaling_trends.cpp.o"
+  "CMakeFiles/fig07_scaling_trends.dir/fig07_scaling_trends.cpp.o.d"
+  "fig07_scaling_trends"
+  "fig07_scaling_trends.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_scaling_trends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

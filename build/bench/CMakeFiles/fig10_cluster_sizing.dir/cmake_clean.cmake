@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_cluster_sizing.dir/fig10_cluster_sizing.cpp.o"
+  "CMakeFiles/fig10_cluster_sizing.dir/fig10_cluster_sizing.cpp.o.d"
+  "fig10_cluster_sizing"
+  "fig10_cluster_sizing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_cluster_sizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_nprobe_dse.dir/fig12_nprobe_dse.cpp.o"
+  "CMakeFiles/fig12_nprobe_dse.dir/fig12_nprobe_dse.cpp.o.d"
+  "fig12_nprobe_dse"
+  "fig12_nprobe_dse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_nprobe_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_imbalance.dir/fig13_imbalance.cpp.o"
+  "CMakeFiles/fig13_imbalance.dir/fig13_imbalance.cpp.o.d"
+  "fig13_imbalance"
+  "fig13_imbalance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_imbalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

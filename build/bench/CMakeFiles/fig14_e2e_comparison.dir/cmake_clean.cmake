@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_e2e_comparison.dir/fig14_e2e_comparison.cpp.o"
+  "CMakeFiles/fig14_e2e_comparison.dir/fig14_e2e_comparison.cpp.o.d"
+  "fig14_e2e_comparison"
+  "fig14_e2e_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_e2e_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_ttft.dir/fig16_ttft.cpp.o"
+  "CMakeFiles/fig16_ttft.dir/fig16_ttft.cpp.o.d"
+  "fig16_ttft"
+  "fig16_ttft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_ttft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

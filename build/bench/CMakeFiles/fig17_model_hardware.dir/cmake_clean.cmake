@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_model_hardware.dir/fig17_model_hardware.cpp.o"
+  "CMakeFiles/fig17_model_hardware.dir/fig17_model_hardware.cpp.o.d"
+  "fig17_model_hardware"
+  "fig17_model_hardware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_model_hardware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

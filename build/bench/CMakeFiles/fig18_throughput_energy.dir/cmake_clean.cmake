@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_throughput_energy.dir/fig18_throughput_energy.cpp.o"
+  "CMakeFiles/fig18_throughput_energy.dir/fig18_throughput_energy.cpp.o.d"
+  "fig18_throughput_energy"
+  "fig18_throughput_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_throughput_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_cluster_size_planner.dir/fig19_cluster_size_planner.cpp.o"
+  "CMakeFiles/fig19_cluster_size_planner.dir/fig19_cluster_size_planner.cpp.o.d"
+  "fig19_cluster_size_planner"
+  "fig19_cluster_size_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_cluster_size_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_hardware_platforms.dir/fig20_hardware_platforms.cpp.o"
+  "CMakeFiles/fig20_hardware_platforms.dir/fig20_hardware_platforms.cpp.o.d"
+  "fig20_hardware_platforms"
+  "fig20_hardware_platforms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_hardware_platforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

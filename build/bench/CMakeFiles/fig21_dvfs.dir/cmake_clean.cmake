@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig21_dvfs.dir/fig21_dvfs.cpp.o"
+  "CMakeFiles/fig21_dvfs.dir/fig21_dvfs.cpp.o.d"
+  "fig21_dvfs"
+  "fig21_dvfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig21_dvfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_quantization.dir/table1_quantization.cpp.o"
+  "CMakeFiles/table1_quantization.dir/table1_quantization.cpp.o.d"
+  "table1_quantization"
+  "table1_quantization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_quantization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

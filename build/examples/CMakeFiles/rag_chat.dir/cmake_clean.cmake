@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rag_chat.dir/rag_chat.cpp.o"
+  "CMakeFiles/rag_chat.dir/rag_chat.cpp.o.d"
+  "rag_chat"
+  "rag_chat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rag_chat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

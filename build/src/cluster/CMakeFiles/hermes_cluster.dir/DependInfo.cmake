@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/imbalance.cpp" "src/cluster/CMakeFiles/hermes_cluster.dir/imbalance.cpp.o" "gcc" "src/cluster/CMakeFiles/hermes_cluster.dir/imbalance.cpp.o.d"
+  "/root/repo/src/cluster/kmeans.cpp" "src/cluster/CMakeFiles/hermes_cluster.dir/kmeans.cpp.o" "gcc" "src/cluster/CMakeFiles/hermes_cluster.dir/kmeans.cpp.o.d"
+  "/root/repo/src/cluster/partitioner.cpp" "src/cluster/CMakeFiles/hermes_cluster.dir/partitioner.cpp.o" "gcc" "src/cluster/CMakeFiles/hermes_cluster.dir/partitioner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vecstore/CMakeFiles/hermes_vecstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hermes_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

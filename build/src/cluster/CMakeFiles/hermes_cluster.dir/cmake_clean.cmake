@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hermes_cluster.dir/imbalance.cpp.o"
+  "CMakeFiles/hermes_cluster.dir/imbalance.cpp.o.d"
+  "CMakeFiles/hermes_cluster.dir/kmeans.cpp.o"
+  "CMakeFiles/hermes_cluster.dir/kmeans.cpp.o.d"
+  "CMakeFiles/hermes_cluster.dir/partitioner.cpp.o"
+  "CMakeFiles/hermes_cluster.dir/partitioner.cpp.o.d"
+  "libhermes_cluster.a"
+  "libhermes_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hermes_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hermes_core.dir/distributed_store.cpp.o"
+  "CMakeFiles/hermes_core.dir/distributed_store.cpp.o.d"
+  "CMakeFiles/hermes_core.dir/rerank.cpp.o"
+  "CMakeFiles/hermes_core.dir/rerank.cpp.o.d"
+  "CMakeFiles/hermes_core.dir/search_strategy.cpp.o"
+  "CMakeFiles/hermes_core.dir/search_strategy.cpp.o.d"
+  "libhermes_core.a"
+  "libhermes_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hermes_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/ground_truth.cpp" "src/eval/CMakeFiles/hermes_eval.dir/ground_truth.cpp.o" "gcc" "src/eval/CMakeFiles/hermes_eval.dir/ground_truth.cpp.o.d"
+  "/root/repo/src/eval/metrics.cpp" "src/eval/CMakeFiles/hermes_eval.dir/metrics.cpp.o" "gcc" "src/eval/CMakeFiles/hermes_eval.dir/metrics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/index/CMakeFiles/hermes_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/vecstore/CMakeFiles/hermes_vecstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hermes_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/hermes_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/hermes_cluster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hermes_eval.dir/ground_truth.cpp.o"
+  "CMakeFiles/hermes_eval.dir/ground_truth.cpp.o.d"
+  "CMakeFiles/hermes_eval.dir/metrics.cpp.o"
+  "CMakeFiles/hermes_eval.dir/metrics.cpp.o.d"
+  "libhermes_eval.a"
+  "libhermes_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hermes_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

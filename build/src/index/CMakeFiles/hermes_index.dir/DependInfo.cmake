@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/ann_index.cpp" "src/index/CMakeFiles/hermes_index.dir/ann_index.cpp.o" "gcc" "src/index/CMakeFiles/hermes_index.dir/ann_index.cpp.o.d"
+  "/root/repo/src/index/flat_index.cpp" "src/index/CMakeFiles/hermes_index.dir/flat_index.cpp.o" "gcc" "src/index/CMakeFiles/hermes_index.dir/flat_index.cpp.o.d"
+  "/root/repo/src/index/hnsw_index.cpp" "src/index/CMakeFiles/hermes_index.dir/hnsw_index.cpp.o" "gcc" "src/index/CMakeFiles/hermes_index.dir/hnsw_index.cpp.o.d"
+  "/root/repo/src/index/index_factory.cpp" "src/index/CMakeFiles/hermes_index.dir/index_factory.cpp.o" "gcc" "src/index/CMakeFiles/hermes_index.dir/index_factory.cpp.o.d"
+  "/root/repo/src/index/ivf_index.cpp" "src/index/CMakeFiles/hermes_index.dir/ivf_index.cpp.o" "gcc" "src/index/CMakeFiles/hermes_index.dir/ivf_index.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/quant/CMakeFiles/hermes_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/hermes_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/vecstore/CMakeFiles/hermes_vecstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hermes_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hermes_index.dir/ann_index.cpp.o"
+  "CMakeFiles/hermes_index.dir/ann_index.cpp.o.d"
+  "CMakeFiles/hermes_index.dir/flat_index.cpp.o"
+  "CMakeFiles/hermes_index.dir/flat_index.cpp.o.d"
+  "CMakeFiles/hermes_index.dir/hnsw_index.cpp.o"
+  "CMakeFiles/hermes_index.dir/hnsw_index.cpp.o.d"
+  "CMakeFiles/hermes_index.dir/index_factory.cpp.o"
+  "CMakeFiles/hermes_index.dir/index_factory.cpp.o.d"
+  "CMakeFiles/hermes_index.dir/ivf_index.cpp.o"
+  "CMakeFiles/hermes_index.dir/ivf_index.cpp.o.d"
+  "libhermes_index.a"
+  "libhermes_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hermes_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/quant/codec_factory.cpp" "src/quant/CMakeFiles/hermes_quant.dir/codec_factory.cpp.o" "gcc" "src/quant/CMakeFiles/hermes_quant.dir/codec_factory.cpp.o.d"
+  "/root/repo/src/quant/flat_codec.cpp" "src/quant/CMakeFiles/hermes_quant.dir/flat_codec.cpp.o" "gcc" "src/quant/CMakeFiles/hermes_quant.dir/flat_codec.cpp.o.d"
+  "/root/repo/src/quant/linalg.cpp" "src/quant/CMakeFiles/hermes_quant.dir/linalg.cpp.o" "gcc" "src/quant/CMakeFiles/hermes_quant.dir/linalg.cpp.o.d"
+  "/root/repo/src/quant/opq_codec.cpp" "src/quant/CMakeFiles/hermes_quant.dir/opq_codec.cpp.o" "gcc" "src/quant/CMakeFiles/hermes_quant.dir/opq_codec.cpp.o.d"
+  "/root/repo/src/quant/pq_codec.cpp" "src/quant/CMakeFiles/hermes_quant.dir/pq_codec.cpp.o" "gcc" "src/quant/CMakeFiles/hermes_quant.dir/pq_codec.cpp.o.d"
+  "/root/repo/src/quant/scalar_codec.cpp" "src/quant/CMakeFiles/hermes_quant.dir/scalar_codec.cpp.o" "gcc" "src/quant/CMakeFiles/hermes_quant.dir/scalar_codec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/hermes_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/vecstore/CMakeFiles/hermes_vecstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hermes_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hermes_quant.dir/codec_factory.cpp.o"
+  "CMakeFiles/hermes_quant.dir/codec_factory.cpp.o.d"
+  "CMakeFiles/hermes_quant.dir/flat_codec.cpp.o"
+  "CMakeFiles/hermes_quant.dir/flat_codec.cpp.o.d"
+  "CMakeFiles/hermes_quant.dir/linalg.cpp.o"
+  "CMakeFiles/hermes_quant.dir/linalg.cpp.o.d"
+  "CMakeFiles/hermes_quant.dir/opq_codec.cpp.o"
+  "CMakeFiles/hermes_quant.dir/opq_codec.cpp.o.d"
+  "CMakeFiles/hermes_quant.dir/pq_codec.cpp.o"
+  "CMakeFiles/hermes_quant.dir/pq_codec.cpp.o.d"
+  "CMakeFiles/hermes_quant.dir/scalar_codec.cpp.o"
+  "CMakeFiles/hermes_quant.dir/scalar_codec.cpp.o.d"
+  "libhermes_quant.a"
+  "libhermes_quant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hermes_quant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rag/analysis.cpp" "src/rag/CMakeFiles/hermes_rag.dir/analysis.cpp.o" "gcc" "src/rag/CMakeFiles/hermes_rag.dir/analysis.cpp.o.d"
+  "/root/repo/src/rag/datastore.cpp" "src/rag/CMakeFiles/hermes_rag.dir/datastore.cpp.o" "gcc" "src/rag/CMakeFiles/hermes_rag.dir/datastore.cpp.o.d"
+  "/root/repo/src/rag/encoder.cpp" "src/rag/CMakeFiles/hermes_rag.dir/encoder.cpp.o" "gcc" "src/rag/CMakeFiles/hermes_rag.dir/encoder.cpp.o.d"
+  "/root/repo/src/rag/perplexity.cpp" "src/rag/CMakeFiles/hermes_rag.dir/perplexity.cpp.o" "gcc" "src/rag/CMakeFiles/hermes_rag.dir/perplexity.cpp.o.d"
+  "/root/repo/src/rag/rag_system.cpp" "src/rag/CMakeFiles/hermes_rag.dir/rag_system.cpp.o" "gcc" "src/rag/CMakeFiles/hermes_rag.dir/rag_system.cpp.o.d"
+  "/root/repo/src/rag/reranker.cpp" "src/rag/CMakeFiles/hermes_rag.dir/reranker.cpp.o" "gcc" "src/rag/CMakeFiles/hermes_rag.dir/reranker.cpp.o.d"
+  "/root/repo/src/rag/synth_text.cpp" "src/rag/CMakeFiles/hermes_rag.dir/synth_text.cpp.o" "gcc" "src/rag/CMakeFiles/hermes_rag.dir/synth_text.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hermes_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hermes_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/vecstore/CMakeFiles/hermes_vecstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hermes_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/hermes_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/hermes_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/hermes_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/hermes_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hermes_rag.dir/analysis.cpp.o"
+  "CMakeFiles/hermes_rag.dir/analysis.cpp.o.d"
+  "CMakeFiles/hermes_rag.dir/datastore.cpp.o"
+  "CMakeFiles/hermes_rag.dir/datastore.cpp.o.d"
+  "CMakeFiles/hermes_rag.dir/encoder.cpp.o"
+  "CMakeFiles/hermes_rag.dir/encoder.cpp.o.d"
+  "CMakeFiles/hermes_rag.dir/perplexity.cpp.o"
+  "CMakeFiles/hermes_rag.dir/perplexity.cpp.o.d"
+  "CMakeFiles/hermes_rag.dir/rag_system.cpp.o"
+  "CMakeFiles/hermes_rag.dir/rag_system.cpp.o.d"
+  "CMakeFiles/hermes_rag.dir/reranker.cpp.o"
+  "CMakeFiles/hermes_rag.dir/reranker.cpp.o.d"
+  "CMakeFiles/hermes_rag.dir/synth_text.cpp.o"
+  "CMakeFiles/hermes_rag.dir/synth_text.cpp.o.d"
+  "libhermes_rag.a"
+  "libhermes_rag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hermes_rag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

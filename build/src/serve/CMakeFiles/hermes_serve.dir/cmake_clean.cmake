@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hermes_serve.dir/broker.cpp.o"
+  "CMakeFiles/hermes_serve.dir/broker.cpp.o.d"
+  "CMakeFiles/hermes_serve.dir/node.cpp.o"
+  "CMakeFiles/hermes_serve.dir/node.cpp.o.d"
+  "libhermes_serve.a"
+  "libhermes_serve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hermes_serve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cost_model.cpp" "src/sim/CMakeFiles/hermes_sim.dir/cost_model.cpp.o" "gcc" "src/sim/CMakeFiles/hermes_sim.dir/cost_model.cpp.o.d"
+  "/root/repo/src/sim/hardware.cpp" "src/sim/CMakeFiles/hermes_sim.dir/hardware.cpp.o" "gcc" "src/sim/CMakeFiles/hermes_sim.dir/hardware.cpp.o.d"
+  "/root/repo/src/sim/node_sim.cpp" "src/sim/CMakeFiles/hermes_sim.dir/node_sim.cpp.o" "gcc" "src/sim/CMakeFiles/hermes_sim.dir/node_sim.cpp.o.d"
+  "/root/repo/src/sim/pipeline.cpp" "src/sim/CMakeFiles/hermes_sim.dir/pipeline.cpp.o" "gcc" "src/sim/CMakeFiles/hermes_sim.dir/pipeline.cpp.o.d"
+  "/root/repo/src/sim/queue_sim.cpp" "src/sim/CMakeFiles/hermes_sim.dir/queue_sim.cpp.o" "gcc" "src/sim/CMakeFiles/hermes_sim.dir/queue_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/hermes_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hermes_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/vecstore/CMakeFiles/hermes_vecstore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

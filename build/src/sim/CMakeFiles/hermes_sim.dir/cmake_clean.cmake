@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hermes_sim.dir/cost_model.cpp.o"
+  "CMakeFiles/hermes_sim.dir/cost_model.cpp.o.d"
+  "CMakeFiles/hermes_sim.dir/hardware.cpp.o"
+  "CMakeFiles/hermes_sim.dir/hardware.cpp.o.d"
+  "CMakeFiles/hermes_sim.dir/node_sim.cpp.o"
+  "CMakeFiles/hermes_sim.dir/node_sim.cpp.o.d"
+  "CMakeFiles/hermes_sim.dir/pipeline.cpp.o"
+  "CMakeFiles/hermes_sim.dir/pipeline.cpp.o.d"
+  "CMakeFiles/hermes_sim.dir/queue_sim.cpp.o"
+  "CMakeFiles/hermes_sim.dir/queue_sim.cpp.o.d"
+  "libhermes_sim.a"
+  "libhermes_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hermes_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hermes_util.dir/argparse.cpp.o"
+  "CMakeFiles/hermes_util.dir/argparse.cpp.o.d"
+  "CMakeFiles/hermes_util.dir/csv.cpp.o"
+  "CMakeFiles/hermes_util.dir/csv.cpp.o.d"
+  "CMakeFiles/hermes_util.dir/logging.cpp.o"
+  "CMakeFiles/hermes_util.dir/logging.cpp.o.d"
+  "CMakeFiles/hermes_util.dir/rng.cpp.o"
+  "CMakeFiles/hermes_util.dir/rng.cpp.o.d"
+  "CMakeFiles/hermes_util.dir/serialize.cpp.o"
+  "CMakeFiles/hermes_util.dir/serialize.cpp.o.d"
+  "CMakeFiles/hermes_util.dir/stats.cpp.o"
+  "CMakeFiles/hermes_util.dir/stats.cpp.o.d"
+  "CMakeFiles/hermes_util.dir/threadpool.cpp.o"
+  "CMakeFiles/hermes_util.dir/threadpool.cpp.o.d"
+  "libhermes_util.a"
+  "libhermes_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hermes_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

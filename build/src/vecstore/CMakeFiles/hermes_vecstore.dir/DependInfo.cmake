@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vecstore/distance.cpp" "src/vecstore/CMakeFiles/hermes_vecstore.dir/distance.cpp.o" "gcc" "src/vecstore/CMakeFiles/hermes_vecstore.dir/distance.cpp.o.d"
+  "/root/repo/src/vecstore/matrix.cpp" "src/vecstore/CMakeFiles/hermes_vecstore.dir/matrix.cpp.o" "gcc" "src/vecstore/CMakeFiles/hermes_vecstore.dir/matrix.cpp.o.d"
+  "/root/repo/src/vecstore/topk.cpp" "src/vecstore/CMakeFiles/hermes_vecstore.dir/topk.cpp.o" "gcc" "src/vecstore/CMakeFiles/hermes_vecstore.dir/topk.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hermes_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hermes_vecstore.dir/distance.cpp.o"
+  "CMakeFiles/hermes_vecstore.dir/distance.cpp.o.d"
+  "CMakeFiles/hermes_vecstore.dir/matrix.cpp.o"
+  "CMakeFiles/hermes_vecstore.dir/matrix.cpp.o.d"
+  "CMakeFiles/hermes_vecstore.dir/topk.cpp.o"
+  "CMakeFiles/hermes_vecstore.dir/topk.cpp.o.d"
+  "libhermes_vecstore.a"
+  "libhermes_vecstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hermes_vecstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

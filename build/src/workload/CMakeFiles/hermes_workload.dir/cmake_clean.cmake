@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hermes_workload.dir/corpus.cpp.o"
+  "CMakeFiles/hermes_workload.dir/corpus.cpp.o.d"
+  "CMakeFiles/hermes_workload.dir/trace.cpp.o"
+  "CMakeFiles/hermes_workload.dir/trace.cpp.o.d"
+  "libhermes_workload.a"
+  "libhermes_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hermes_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_reranker.cpp" "tests/CMakeFiles/test_reranker.dir/test_reranker.cpp.o" "gcc" "tests/CMakeFiles/test_reranker.dir/test_reranker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rag/CMakeFiles/hermes_rag.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hermes_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/serve/CMakeFiles/hermes_serve.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hermes_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/hermes_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/hermes_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/hermes_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/hermes_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/hermes_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/vecstore/CMakeFiles/hermes_vecstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hermes_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

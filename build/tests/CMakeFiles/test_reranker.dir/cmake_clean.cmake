@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reranker.dir/test_reranker.cpp.o"
+  "CMakeFiles/test_reranker.dir/test_reranker.cpp.o.d"
+  "test_reranker"
+  "test_reranker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reranker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

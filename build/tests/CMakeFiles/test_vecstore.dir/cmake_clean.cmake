@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vecstore.dir/test_vecstore.cpp.o"
+  "CMakeFiles/test_vecstore.dir/test_vecstore.cpp.o.d"
+  "test_vecstore"
+  "test_vecstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vecstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workload_eval.dir/test_workload_eval.cpp.o"
+  "CMakeFiles/test_workload_eval.dir/test_workload_eval.cpp.o.d"
+  "test_workload_eval"
+  "test_workload_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workload_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

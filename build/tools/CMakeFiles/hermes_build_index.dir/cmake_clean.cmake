@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hermes_build_index.dir/hermes_build_index.cpp.o"
+  "CMakeFiles/hermes_build_index.dir/hermes_build_index.cpp.o.d"
+  "hermes_build_index"
+  "hermes_build_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hermes_build_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hermes_eval_accuracy.dir/hermes_eval_accuracy.cpp.o"
+  "CMakeFiles/hermes_eval_accuracy.dir/hermes_eval_accuracy.cpp.o.d"
+  "hermes_eval_accuracy"
+  "hermes_eval_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hermes_eval_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hermes_profile_search.dir/hermes_profile_search.cpp.o"
+  "CMakeFiles/hermes_profile_search.dir/hermes_profile_search.cpp.o.d"
+  "hermes_profile_search"
+  "hermes_profile_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hermes_profile_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
