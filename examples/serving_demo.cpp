@@ -5,6 +5,13 @@
  * per-node load — the deployment shape of Fig 9 in miniature.
  *
  * Usage: serving_demo [num_docs] [clients] [queries_per_client]
+ *                     [fail_prob] [drop_prob] [delay_ms]
+ *
+ * The optional fault arguments inject per-request failures, drops (dead
+ * node: the broker's deadline fires) and delays into every node, showing
+ * the broker's graceful degradation: queries still return top-k from the
+ * surviving nodes, and the timeout/failure/degraded counters account for
+ * what was lost.
  */
 
 #include <cstdio>
@@ -24,6 +31,9 @@ main(int argc, char **argv)
     std::size_t clients = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 4;
     std::size_t per_client =
         argc > 3 ? std::strtoul(argv[3], nullptr, 10) : 64;
+    double fail_prob = argc > 4 ? std::strtod(argv[4], nullptr) : 0.0;
+    double drop_prob = argc > 5 ? std::strtod(argv[5], nullptr) : 0.0;
+    double delay_ms = argc > 6 ? std::strtod(argv[6], nullptr) : 0.0;
 
     // Build the distributed store.
     workload::CorpusConfig cc;
@@ -46,7 +56,14 @@ main(int argc, char **argv)
     auto queries = workload::generateQueries(corpus, qc);
 
     // Stand up the broker and hammer it from concurrent clients.
-    serve::HermesBroker broker(store);
+    serve::BrokerConfig broker_config;
+    broker_config.node.faults.fail_probability = fail_prob;
+    broker_config.node.faults.drop_probability = drop_prob;
+    broker_config.node.faults.delay_probability = delay_ms > 0.0 ? 0.2 : 0.0;
+    broker_config.node.faults.delay_ms = delay_ms;
+    if (drop_prob > 0.0)
+        broker_config.node_deadline_ms = 250.0; // make dead nodes cheap
+    serve::HermesBroker broker(store, broker_config);
     std::printf("serving %zu vectors over %zu node workers; %zu clients x "
                 "%zu queries\n", store.totalVectors(), broker.numNodes(),
                 clients, per_client);
@@ -72,10 +89,15 @@ main(int argc, char **argv)
     std::printf("\nserved %llu queries in %.3f s => %.0f QPS aggregate\n",
                 static_cast<unsigned long long>(stats.queries), elapsed,
                 static_cast<double>(stats.queries) / elapsed);
-    std::printf("deep requests: %llu (%.2f clusters/query)\n\n",
+    std::printf("deep requests: %llu (%.2f clusters/query)\n",
                 static_cast<unsigned long long>(stats.deep_requests),
                 static_cast<double>(stats.deep_requests) /
                     static_cast<double>(stats.queries));
+    std::printf("faults: %llu timeouts, %llu failures, %llu degraded "
+                "queries\n\n",
+                static_cast<unsigned long long>(stats.timeouts),
+                static_cast<unsigned long long>(stats.failures),
+                static_cast<unsigned long long>(stats.degraded_queries));
 
     std::printf("%-6s %-10s %-10s %-10s %-12s\n", "node", "shard", "reqs",
                 "batches", "busy (ms)");

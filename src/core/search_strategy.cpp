@@ -212,8 +212,7 @@ HermesSearch::search(vecstore::VecView query, std::size_t k) const
     std::size_t deep = std::min(clusters_to_search_, ranked.size());
     double epsilon = store_.config().adaptive_epsilon;
     if (epsilon > 0.0 && !ranked.empty()) {
-        float bound = ranked.front().first *
-                      static_cast<float>(1.0 + epsilon);
+        float bound = adaptivePruneBound(ranked.front().first, epsilon);
         std::size_t keep = 0;
         while (keep < deep && ranked[keep].first <= bound)
             ++keep;

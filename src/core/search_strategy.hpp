@@ -11,6 +11,7 @@
 
 #pragma once
 
+#include <cmath>
 #include <memory>
 #include <string>
 #include <vector>
@@ -41,6 +42,21 @@ struct QueryResult
     /** Aggregate work across all phases and nodes. */
     index::SearchStats total;
 };
+
+/**
+ * Adaptive-pruning score bound: clusters whose sampled best score exceeds
+ * this are skipped. The margin is additive on the score scale,
+ * best + epsilon * |best|, which is correct for both metrics: L2 scores
+ * are non-negative (where it equals the classic best * (1 + epsilon)),
+ * while InnerProduct scores are negated dot products and may be negative —
+ * there a multiplicative bound would shrink *below* best and prune
+ * everything but the top cluster regardless of epsilon.
+ */
+inline float
+adaptivePruneBound(float best, double epsilon)
+{
+    return best + static_cast<float>(epsilon) * std::fabs(best);
+}
 
 /** Abstract retrieval strategy. */
 class SearchStrategy

@@ -130,8 +130,15 @@ IvfIndex::search(vecstore::VecView query, std::size_t k,
     // SPANN-style pruning: skip candidate lists whose centroid distance
     // exceeds prune_ratio x the best centroid distance (probe list comes
     // out of the coarse selector best-first, so we can stop early).
+    // Invariant: the multiplicative bound is only meaningful for the
+    // always non-negative L2 coarse scores produced above (both the
+    // linear scan and the coarse HNSW graph rank centroids by L2, even
+    // for IP payload metrics). Guard against a negative best score so a
+    // future coarse scorer on the IP score scale degrades to "no
+    // pruning" instead of silently pruning every list but the first.
     const float prune_bound =
-        params.prune_ratio > 0.0 && !probe.empty()
+        params.prune_ratio > 0.0 && !probe.empty() &&
+                probe.front().score >= 0.0f
             ? static_cast<float>(params.prune_ratio) * probe.front().score
             : std::numeric_limits<float>::max();
     for (const auto &candidate : probe) {

@@ -1,8 +1,10 @@
 #include "serve/broker.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
 
+#include "core/search_strategy.hpp"
 #include "util/logging.hpp"
 #include "vecstore/topk.hpp"
 
@@ -15,8 +17,11 @@ HermesBroker::HermesBroker(const core::DistributedStore &store,
 {
     nodes_.reserve(store_.numClusters());
     for (std::size_t c = 0; c < store_.numClusters(); ++c) {
+        NodeConfig node_config = config_.node;
+        if (c < config_.node_faults.size())
+            node_config.faults = config_.node_faults[c];
         nodes_.push_back(std::make_unique<RetrievalNode>(
-            store_.clusterIndex(c), config_.node));
+            store_.clusterIndex(c), node_config));
     }
 }
 
@@ -29,12 +34,58 @@ HermesBroker::search(vecstore::VecView query, std::size_t k) const
     return search(query, k, unused);
 }
 
+HermesBroker::NodeOutcome
+HermesBroker::collect(std::future<NodeResponse> future, RetrievalNode &node,
+                      vecstore::VecView query, std::size_t k,
+                      const index::SearchParams &params,
+                      std::uint64_t &timeouts,
+                      std::uint64_t &failures) const
+{
+    NodeOutcome out;
+    for (std::size_t attempt = 0;; ++attempt) {
+        if (config_.node_deadline_ms > 0.0) {
+            auto status = future.wait_for(
+                std::chrono::duration<double, std::milli>(
+                    config_.node_deadline_ms));
+            if (status != std::future_status::ready) {
+                ++timeouts;
+                HERMES_WARN("node request missed its ",
+                            config_.node_deadline_ms, " ms deadline "
+                            "(attempt ", attempt + 1, ")");
+                if (attempt < config_.max_retries) {
+                    future = node.submit(query, k, params);
+                    continue;
+                }
+                return out;
+            }
+        }
+        try {
+            out.response = future.get();
+            out.ok = true;
+            return out;
+        } catch (const std::exception &e) {
+            ++failures;
+            HERMES_WARN("node request failed: ", e.what(), " (attempt ",
+                        attempt + 1, ")");
+        } catch (...) {
+            ++failures;
+            HERMES_WARN("node request failed with a non-standard "
+                        "exception (attempt ", attempt + 1, ")");
+        }
+        if (attempt >= config_.max_retries)
+            return out;
+        future = node.submit(query, k, params);
+    }
+}
+
 vecstore::HitList
 HermesBroker::search(vecstore::VecView query, std::size_t k,
                      std::vector<std::uint32_t> &deep_clusters) const
 {
     const auto &config = store_.config();
     const std::size_t n = nodes_.size();
+    std::uint64_t timeouts = 0;
+    std::uint64_t failures = 0;
 
     // Phase 1: broadcast the sampling request (paper §4.2 step 2).
     index::SearchParams sample_params;
@@ -46,24 +97,44 @@ HermesBroker::search(vecstore::VecView query, std::size_t k,
             node->submit(query, config.sample_k, sample_params));
     }
 
-    // Rank clusters by best sampled document distance.
+    // Rank clusters by best sampled document distance. A cluster whose
+    // sampling request was lost (timeout/failure after retry) is simply
+    // not a deep-search candidate this query.
     std::vector<std::pair<float, std::uint32_t>> ranked;
+    std::vector<vecstore::HitList> sample_hits;
     ranked.reserve(n);
+    sample_hits.reserve(n);
     for (std::size_t c = 0; c < n; ++c) {
-        auto response = sample_futures[c].get();
-        float best = response.hits.empty()
+        auto outcome =
+            collect(std::move(sample_futures[c]), *nodes_[c], query,
+                    config.sample_k, sample_params, timeouts, failures);
+        if (!outcome.ok)
+            continue;
+        float best = outcome.response.hits.empty()
             ? std::numeric_limits<float>::max()
-            : response.hits.front().score;
+            : outcome.response.hits.front().score;
         ranked.emplace_back(best, static_cast<std::uint32_t>(c));
+        sample_hits.push_back(std::move(outcome.response.hits));
     }
     std::sort(ranked.begin(), ranked.end());
+
+    if (ranked.empty()) {
+        // Every node lost its sampling request. Best effort: deep-search
+        // the configured number of clusters in id order anyway — some may
+        // answer deep requests even after a lost sample.
+        for (std::size_t c = 0;
+             c < std::min(config.clusters_to_search, n); ++c) {
+            ranked.emplace_back(std::numeric_limits<float>::max(),
+                                static_cast<std::uint32_t>(c));
+        }
+    }
 
     // Phase 2: deep-search the top clusters (with optional adaptive
     // pruning, matching core::HermesSearch semantics).
     std::size_t deep = std::min(config.clusters_to_search, ranked.size());
     if (config.adaptive_epsilon > 0.0 && !ranked.empty()) {
-        float bound = ranked.front().first *
-                      static_cast<float>(1.0 + config.adaptive_epsilon);
+        float bound = core::adaptivePruneBound(ranked.front().first,
+                                               config.adaptive_epsilon);
         std::size_t keep = 0;
         while (keep < deep && ranked[keep].first <= bound)
             ++keep;
@@ -82,13 +153,37 @@ HermesBroker::search(vecstore::VecView query, std::size_t k,
 
     std::vector<vecstore::HitList> partials;
     partials.reserve(deep_futures.size());
-    for (auto &future : deep_futures)
-        partials.push_back(future.get().hits);
+    std::size_t deep_ok = 0;
+    for (std::size_t i = 0; i < deep_futures.size(); ++i) {
+        auto outcome = collect(std::move(deep_futures[i]),
+                               *nodes_[deep_clusters[i]], query, k,
+                               deep_params, timeouts, failures);
+        if (outcome.ok) {
+            partials.push_back(std::move(outcome.response.hits));
+            ++deep_ok;
+        }
+    }
+
+    // Graceful degradation: when a deep node was lost, backfill with the
+    // sampling hits already in hand so the merged answer keeps as many of
+    // the top-k as possible. Fewer than k hits can only happen when every
+    // deep node failed and sampling yielded too little. Fault-free
+    // queries never take this path, preserving bit-parity with
+    // core::HermesSearch.
+    if (deep_ok < deep) {
+        for (auto &hits : sample_hits)
+            partials.push_back(std::move(hits));
+    }
+    bool degraded = timeouts > 0 || failures > 0;
 
     {
         std::unique_lock<std::mutex> lock(stats_mutex_);
         ++queries_;
         deep_requests_ += deep;
+        timeouts_ += timeouts;
+        failures_ += failures;
+        if (degraded)
+            ++degraded_queries_;
     }
     return vecstore::mergeHitLists(partials, k);
 }
@@ -101,6 +196,9 @@ HermesBroker::stats() const
         std::unique_lock<std::mutex> lock(stats_mutex_);
         stats.queries = queries_;
         stats.deep_requests = deep_requests_;
+        stats.timeouts = timeouts_;
+        stats.failures = failures_;
+        stats.degraded_queries = degraded_queries_;
     }
     stats.nodes.reserve(nodes_.size());
     for (const auto &node : nodes_)

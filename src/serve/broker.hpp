@@ -9,8 +9,17 @@
  *   3. send deep-search requests to the top clusters (in parallel),
  *   4. merge, dedupe and truncate to the final top-k.
  *
- * Results are bit-identical to core::HermesSearch on the same store; the
- * broker adds the concurrency and queueing of a real deployment.
+ * On a fault-free run, results are bit-identical to core::HermesSearch on
+ * the same store; the broker adds the concurrency and queueing of a real
+ * deployment.
+ *
+ * Fault model: every node request carries a deadline and one bounded
+ * retry. A node that times out or throws is logged and counted
+ * (BrokerStats::timeouts / failures); the query degrades gracefully by
+ * merging whatever partial results arrived — padded with the sampling
+ * hits when a deep node was lost — and only returns fewer than k hits
+ * when every deep node failed (BrokerStats::degraded_queries observes
+ * all such queries).
  */
 
 #pragma once
@@ -29,6 +38,25 @@ struct BrokerConfig
 {
     /** Per-node queue/batching parameters. */
     NodeConfig node;
+
+    /**
+     * Per-node fault-injection overrides (tests/benches): when
+     * non-empty, node c uses node_faults[c] instead of node.faults,
+     * letting a single cluster of many be failed. Shorter-than-numNodes
+     * vectors leave the remaining nodes on node.faults.
+     */
+    std::vector<FaultInjector> node_faults;
+
+    /**
+     * Deadline in milliseconds for each node request (sampling and deep
+     * search alike). A request that is not ready by then counts as a
+     * timeout and is retried/abandoned. 0 waits forever (pre-fault-
+     * tolerance behaviour; a dead node then hangs the query).
+     */
+    double node_deadline_ms = 2000.0;
+
+    /** Bounded resubmits after a timeout or failure (per request). */
+    std::size_t max_retries = 1;
 };
 
 /** Aggregate serving statistics. */
@@ -39,6 +67,17 @@ struct BrokerStats
 
     /** Deep-search requests issued (queries x clusters searched). */
     std::uint64_t deep_requests = 0;
+
+    /** Node waits that missed their deadline (a retry that times out
+     *  again counts twice). */
+    std::uint64_t timeouts = 0;
+
+    /** Node requests that completed with an exception. */
+    std::uint64_t failures = 0;
+
+    /** Queries that lost at least one node (timeout or failure) and
+     *  were answered from partial results. */
+    std::uint64_t degraded_queries = 0;
 
     /** Per-node runtime statistics. */
     std::vector<NodeStats> nodes;
@@ -65,6 +104,7 @@ class HermesBroker
      * Execute one hierarchical search. Sampling and deep-search requests
      * run concurrently across node workers; the calling thread blocks
      * only on aggregation. Safe to call from many threads at once.
+     * Never throws on node faults; see the file-level fault model.
      */
     vecstore::HitList search(vecstore::VecView query, std::size_t k) const;
 
@@ -80,6 +120,25 @@ class HermesBroker
     std::size_t numNodes() const { return nodes_.size(); }
 
   private:
+    /** Outcome of one node request after deadline/retry handling. */
+    struct NodeOutcome
+    {
+        bool ok = false;
+        NodeResponse response;
+    };
+
+    /**
+     * Wait for @p future under the configured deadline, retrying via a
+     * fresh submit() to @p node up to max_retries times on timeout or
+     * exception. Folds timeout/failure counts into @p timeouts /
+     * @p failures.
+     */
+    NodeOutcome collect(std::future<NodeResponse> future,
+                        RetrievalNode &node, vecstore::VecView query,
+                        std::size_t k, const index::SearchParams &params,
+                        std::uint64_t &timeouts,
+                        std::uint64_t &failures) const;
+
     const core::DistributedStore &store_;
     BrokerConfig config_;
     std::vector<std::unique_ptr<RetrievalNode>> nodes_;
@@ -87,6 +146,9 @@ class HermesBroker
     mutable std::mutex stats_mutex_;
     mutable std::uint64_t queries_ = 0;
     mutable std::uint64_t deep_requests_ = 0;
+    mutable std::uint64_t timeouts_ = 0;
+    mutable std::uint64_t failures_ = 0;
+    mutable std::uint64_t degraded_queries_ = 0;
 };
 
 } // namespace serve

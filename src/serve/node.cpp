@@ -1,5 +1,8 @@
 #include "serve/node.hpp"
 
+#include <chrono>
+#include <stdexcept>
+
 #include "util/logging.hpp"
 #include "util/timer.hpp"
 
@@ -8,7 +11,7 @@ namespace serve {
 
 RetrievalNode::RetrievalNode(const index::AnnIndex &shard,
                              const NodeConfig &config)
-    : shard_(shard), config_(config)
+    : shard_(shard), config_(config), fault_rng_(config.faults.seed)
 {
     HERMES_ASSERT(config_.max_batch >= 1, "node needs max_batch >= 1");
     HERMES_ASSERT(shard_.isTrained(), "node shard must be trained");
@@ -23,6 +26,8 @@ RetrievalNode::~RetrievalNode()
     }
     cv_.notify_all();
     worker_.join();
+    // Parked promises of dropped requests die here; any caller still
+    // holding such a future sees a broken_promise error, not a hang.
 }
 
 std::future<NodeResponse>
@@ -48,6 +53,7 @@ RetrievalNode::submit(vecstore::VecView query, std::size_t k,
 void
 RetrievalNode::workerLoop()
 {
+    const FaultInjector &faults = config_.faults;
     for (;;) {
         std::vector<Request> batch;
         {
@@ -61,16 +67,54 @@ RetrievalNode::workerLoop()
             }
         }
 
+        // Per-request outcome, computed before any promise is fulfilled.
+        enum class Outcome { Ok, Failed, Dropped };
         util::Timer timer;
         std::uint64_t scanned = 0;
+        std::uint64_t failures = 0;
+        std::uint64_t dropped = 0;
         std::vector<NodeResponse> responses(batch.size());
+        std::vector<std::exception_ptr> errors(batch.size());
+        std::vector<Outcome> outcomes(batch.size(), Outcome::Ok);
         for (std::size_t i = 0; i < batch.size(); ++i) {
             auto &request = batch[i];
-            responses[i].hits = shard_.search(
-                vecstore::VecView(request.query.data(),
-                                  request.query.size()),
-                request.k, request.params, &responses[i].stats);
-            scanned += responses[i].stats.vectors_scanned;
+            if (faults.enabled()) {
+                double roll = fault_rng_.uniform();
+                if (roll < faults.fail_probability) {
+                    outcomes[i] = Outcome::Failed;
+                    errors[i] = std::make_exception_ptr(std::runtime_error(
+                        "injected node fault"));
+                    ++failures;
+                    continue;
+                }
+                if (roll < faults.fail_probability +
+                               faults.drop_probability) {
+                    outcomes[i] = Outcome::Dropped;
+                    ++dropped;
+                    continue;
+                }
+                if (roll < faults.fail_probability +
+                               faults.drop_probability +
+                               faults.delay_probability &&
+                    faults.delay_ms > 0.0) {
+                    std::this_thread::sleep_for(
+                        std::chrono::duration<double, std::milli>(
+                            faults.delay_ms));
+                }
+            }
+            try {
+                responses[i].hits = shard_.search(
+                    vecstore::VecView(request.query.data(),
+                                      request.query.size()),
+                    request.k, request.params, &responses[i].stats);
+                scanned += responses[i].stats.vectors_scanned;
+            } catch (...) {
+                // A failing shard must never leave a broken future or
+                // kill the worker: hand the exception to the caller.
+                outcomes[i] = Outcome::Failed;
+                errors[i] = std::current_exception();
+                ++failures;
+            }
         }
         double elapsed = timer.elapsedSeconds();
 
@@ -82,9 +126,22 @@ RetrievalNode::workerLoop()
             stats_.batches += 1;
             stats_.busy_seconds += elapsed;
             stats_.vectors_scanned += scanned;
+            stats_.failures += failures;
+            stats_.dropped += dropped;
         }
-        for (std::size_t i = 0; i < batch.size(); ++i)
-            batch[i].promise.set_value(std::move(responses[i]));
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+            switch (outcomes[i]) {
+              case Outcome::Ok:
+                batch[i].promise.set_value(std::move(responses[i]));
+                break;
+              case Outcome::Failed:
+                batch[i].promise.set_exception(errors[i]);
+                break;
+              case Outcome::Dropped:
+                dropped_.push_back(std::move(batch[i].promise));
+                break;
+            }
+        }
     }
 }
 

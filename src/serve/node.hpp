@@ -8,6 +8,11 @@
  * (serve/broker.hpp) fans sampling and deep-search requests out to nodes
  * and aggregates. Within a node, queued requests are drained in batches,
  * mirroring FAISS's batch scheduling.
+ *
+ * Fault model: a shard search that throws fulfils the request's promise
+ * via set_exception, so the caller sees the error instead of a broken
+ * future (and the worker thread survives). NodeConfig::faults injects
+ * probabilistic failures/delays/drops for tests and benches.
  */
 
 #pragma once
@@ -19,6 +24,7 @@
 #include <thread>
 
 #include "index/ann_index.hpp"
+#include "util/rng.hpp"
 
 namespace hermes {
 namespace serve {
@@ -33,11 +39,49 @@ struct NodeResponse
     index::SearchStats stats;
 };
 
+/**
+ * Deterministic fault injection knobs (all off by default). Decisions
+ * are drawn per request from a util::Rng seeded with @p seed, so a run
+ * is exactly reproducible.
+ */
+struct FaultInjector
+{
+    /** Probability a request fails with an injected exception. */
+    double fail_probability = 0.0;
+
+    /**
+     * Probability a request is dropped: the promise is parked unfulfilled
+     * until node shutdown, so the caller's future never becomes ready —
+     * a dead node, observable only through a deadline.
+     */
+    double drop_probability = 0.0;
+
+    /** Probability a request is served after an added delay. */
+    double delay_probability = 0.0;
+
+    /** Added delay in milliseconds for delayed requests. */
+    double delay_ms = 0.0;
+
+    /** Seed for the per-node fault stream. */
+    std::uint64_t seed = 0x5eedfa11ull;
+
+    /** True when any fault class is enabled. */
+    bool
+    enabled() const
+    {
+        return fail_probability > 0.0 || drop_probability > 0.0 ||
+               delay_probability > 0.0;
+    }
+};
+
 /** Node configuration. */
 struct NodeConfig
 {
     /** Max requests drained per processing round. */
     std::size_t max_batch = 64;
+
+    /** Fault injection (tests/benches only; defaults to disabled). */
+    FaultInjector faults;
 };
 
 /** Runtime statistics of a node. */
@@ -54,6 +98,12 @@ struct NodeStats
 
     /** Vectors scanned across all requests. */
     std::uint64_t vectors_scanned = 0;
+
+    /** Requests that completed with an exception (real or injected). */
+    std::uint64_t failures = 0;
+
+    /** Requests dropped by fault injection (never fulfilled). */
+    std::uint64_t dropped = 0;
 };
 
 /**
@@ -80,7 +130,9 @@ class RetrievalNode
 
     /**
      * Enqueue a search. The query is copied, so the caller's buffer may
-     * be reused immediately.
+     * be reused immediately. The returned future either yields a
+     * response or rethrows the shard's exception; with drop-injection
+     * it may only become ready (broken promise) at node shutdown.
      */
     std::future<NodeResponse> submit(vecstore::VecView query, std::size_t k,
                                      const index::SearchParams &params);
@@ -110,6 +162,13 @@ class RetrievalNode
     std::deque<Request> queue_;
     bool stopping_ = false;
     NodeStats stats_;
+
+    /** Fault stream; touched only by the worker thread. */
+    util::Rng fault_rng_;
+
+    /** Promises of dropped requests, parked until shutdown so their
+     *  futures stay pending (simulating a dead node). */
+    std::vector<std::promise<NodeResponse>> dropped_;
 
     std::thread worker_;
 };

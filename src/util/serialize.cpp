@@ -24,11 +24,14 @@ BinaryWriter::writeString(const std::string &s)
 
 BinaryReader::BinaryReader(const std::string &path, const std::string &magic,
                            std::uint32_t expected_version)
-    : in_(path, std::ios::binary)
+    : in_(path, std::ios::binary), path_(path)
 {
     if (!in_) {
         HERMES_FATAL("cannot open archive for reading: ", path);
     }
+    in_.seekg(0, std::ios::end);
+    file_size_ = static_cast<std::uint64_t>(in_.tellg());
+    in_.seekg(0, std::ios::beg);
     char tag[4];
     in_.read(tag, 4);
     if (!in_.good() || std::string(tag, 4) != magic) {
@@ -41,14 +44,29 @@ BinaryReader::BinaryReader(const std::string &path, const std::string &magic,
     }
 }
 
+std::uint64_t
+BinaryReader::remainingBytes()
+{
+    auto pos = in_.tellg();
+    if (pos < 0)
+        return 0;
+    auto offset = static_cast<std::uint64_t>(pos);
+    return offset >= file_size_ ? 0 : file_size_ - offset;
+}
+
 std::string
 BinaryReader::readString()
 {
     auto n = read<std::uint64_t>();
+    if (n > remainingBytes()) {
+        HERMES_FATAL("corrupt archive ", path_, ": string length ", n,
+                     " exceeds the ", remainingBytes(),
+                     " bytes left in the file");
+    }
     std::string s(n, '\0');
     if (n) {
         in_.read(s.data(), static_cast<std::streamsize>(n));
-        HERMES_ASSERT(in_.good(), "truncated archive string");
+        HERMES_ASSERT(in_.good(), "truncated archive string in ", path_);
     }
     return s;
 }

@@ -85,27 +85,45 @@ class BinaryReader
         return value;
     }
 
-    /** Read a length-prefixed vector. */
+    /**
+     * Read a length-prefixed vector. The length prefix is validated
+     * against the bytes actually left in the file before allocating, so
+     * a truncated or corrupt archive fails with a clean error naming the
+     * path instead of a multi-GB allocation or bad_alloc.
+     */
     template <typename T>
     std::vector<T>
     readVector()
     {
         static_assert(std::is_trivially_copyable_v<T>);
         auto n = read<std::uint64_t>();
+        // Divide rather than multiply so a hostile prefix cannot
+        // overflow the byte count.
+        if (n > remainingBytes() / sizeof(T)) {
+            HERMES_FATAL("corrupt archive ", path_, ": vector length ", n,
+                         " (", sizeof(T), "-byte elements) exceeds the ",
+                         remainingBytes(), " bytes left in the file");
+        }
         std::vector<T> v(n);
         if (n) {
             in_.read(reinterpret_cast<char *>(v.data()),
                      static_cast<std::streamsize>(n * sizeof(T)));
-            HERMES_ASSERT(in_.good(), "truncated archive vector");
+            HERMES_ASSERT(in_.good(), "truncated archive vector in ",
+                          path_);
         }
         return v;
     }
 
-    /** Read a length-prefixed string. */
+    /** Read a length-prefixed string (length validated like readVector). */
     std::string readString();
+
+    /** Bytes between the current read position and end of file. */
+    std::uint64_t remainingBytes();
 
   private:
     std::ifstream in_;
+    std::string path_;
+    std::uint64_t file_size_ = 0;
 };
 
 } // namespace util

@@ -5,7 +5,16 @@
 namespace hermes {
 namespace util {
 
+namespace {
+
+/** Set to the owning pool while a worker executes tasks, so a nested
+ *  parallelFor() can detect it would deadlock waiting on itself. */
+thread_local const ThreadPool *t_worker_pool = nullptr;
+
+} // namespace
+
 ThreadPool::ThreadPool(std::size_t num_threads)
+    : default_group_(std::make_shared<GroupState>())
 {
     if (num_threads == 0) {
         num_threads = std::max<std::size_t>(1,
@@ -27,27 +36,84 @@ ThreadPool::~ThreadPool()
         w.join();
 }
 
+bool
+ThreadPool::insideWorker() const
+{
+    return t_worker_pool == this;
+}
+
 void
-ThreadPool::submit(std::function<void()> task)
+ThreadPool::enqueue(const std::shared_ptr<GroupState> &group,
+                    std::function<void()> task)
 {
     {
+        std::unique_lock<std::mutex> lock(group->mutex);
+        ++group->pending;
+    }
+    // The wrapper owns a shared_ptr to the group, so a TaskGroup may be
+    // destroyed while its tasks are still queued without dangling.
+    auto wrapped = [group, task = std::move(task)] {
+        try {
+            task();
+        } catch (...) {
+            std::unique_lock<std::mutex> lock(group->mutex);
+            if (!group->error)
+                group->error = std::current_exception();
+        }
+        {
+            std::unique_lock<std::mutex> lock(group->mutex);
+            if (--group->pending == 0)
+                group->cv_done.notify_all();
+        }
+    };
+    {
         std::unique_lock<std::mutex> lock(mutex_);
-        tasks_.push(std::move(task));
-        ++in_flight_;
+        tasks_.push(std::move(wrapped));
     }
     cv_task_.notify_one();
 }
 
 void
+ThreadPool::waitGroup(GroupState &group)
+{
+    std::exception_ptr error;
+    {
+        std::unique_lock<std::mutex> lock(group.mutex);
+        group.cv_done.wait(lock, [&group] { return group.pending == 0; });
+        error = group.error;
+        group.error = nullptr;
+    }
+    if (error)
+        std::rethrow_exception(error);
+}
+
+void
+ThreadPool::TaskGroup::waitNoThrow()
+{
+    try {
+        wait();
+    } catch (...) {
+        // Destructor path: the caller never called wait(), so there is
+        // nowhere to deliver the exception. Drop it rather than terminate.
+    }
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    enqueue(default_group_, std::move(task));
+}
+
+void
 ThreadPool::wait()
 {
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_done_.wait(lock, [this] { return in_flight_ == 0; });
+    waitGroup(*default_group_);
 }
 
 void
 ThreadPool::workerLoop()
 {
+    t_worker_pool = this;
     for (;;) {
         std::function<void()> task;
         {
@@ -63,12 +129,6 @@ ThreadPool::workerLoop()
             tasks_.pop();
         }
         task();
-        {
-            std::unique_lock<std::mutex> lock(mutex_);
-            --in_flight_;
-            if (in_flight_ == 0)
-                cv_done_.notify_all();
-        }
     }
 }
 
@@ -78,24 +138,50 @@ ThreadPool::parallelFor(std::size_t n,
 {
     if (n == 0)
         return;
-    if (size() == 1 || n == 1) {
+    // Inline when concurrency cannot help (single worker, single item) or
+    // would deadlock (nested call from one of this pool's own tasks, which
+    // would block a worker waiting for tasks only that worker could run).
+    if (size() == 1 || n == 1 || insideWorker()) {
         for (std::size_t i = 0; i < n; ++i)
             fn(i);
         return;
     }
+
     auto counter = std::make_shared<std::atomic<std::size_t>>(0);
-    std::size_t workers = std::min(size(), n);
+    auto failed = std::make_shared<std::atomic<bool>>(false);
+    auto drive = [counter, failed, n, &fn] {
+        while (!failed->load(std::memory_order_relaxed)) {
+            std::size_t i = counter->fetch_add(1);
+            if (i >= n)
+                return;
+            fn(i);
+        }
+    };
+
+    TaskGroup group(*this);
+    std::size_t workers = std::min(size(), n - 1);
     for (std::size_t w = 0; w < workers; ++w) {
-        submit([counter, n, &fn] {
-            for (;;) {
-                std::size_t i = counter->fetch_add(1);
-                if (i >= n)
-                    return;
-                fn(i);
+        group.run([drive, failed] {
+            // A throwing iteration stops everyone from claiming further
+            // indices; the exception itself is captured by the group.
+            try {
+                drive();
+            } catch (...) {
+                failed->store(true, std::memory_order_relaxed);
+                throw;
             }
         });
     }
-    wait();
+
+    // The caller participates too; its exception takes priority (the
+    // group's captured one is then dropped by waitNoThrow in ~TaskGroup).
+    try {
+        drive();
+    } catch (...) {
+        failed->store(true, std::memory_order_relaxed);
+        throw;
+    }
+    group.wait();
 }
 
 } // namespace util
