@@ -18,6 +18,7 @@
 #include "core/search_strategy.hpp"
 #include "eval/ground_truth.hpp"
 #include "eval/metrics.hpp"
+#include "obs/obs.hpp"
 #include "util/csv.hpp"
 #include "util/logging.hpp"
 #include "util/timer.hpp"
@@ -26,11 +27,18 @@
 namespace hermes {
 namespace bench {
 
-/** Print the bench banner: figure id, title, and the paper's claim. */
+/**
+ * Print the bench banner: figure id, title, and the paper's claim.
+ *
+ * Also arms the exit-time observability dump: bench mains take no argv, so
+ * metrics/trace capture is opt-in via HERMES_METRICS_JSON, HERMES_TRACE_OUT
+ * and HERMES_TRACE_SAMPLE environment variables.
+ */
 inline void
 banner(const std::string &figure, const std::string &title,
        const std::string &paper_claim)
 {
+    obs::autoDumpFromEnv();
     std::printf("==============================================================\n");
     std::printf("%s — %s\n", figure.c_str(), title.c_str());
     std::printf("# paper: %s\n", paper_claim.c_str());

@@ -6,6 +6,8 @@
  *
  * Usage: serving_demo [num_docs] [clients] [queries_per_client]
  *                     [fail_prob] [drop_prob] [delay_ms]
+ *                     [--metrics-json=PATH] [--trace-out=PATH]
+ *                     [--trace-sample=N]
  *
  * The optional fault arguments inject per-request failures, drops (dead
  * node: the broker's deadline fires) and delays into every node, showing
@@ -16,15 +18,55 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "hermes/hermes.hpp"
+
+namespace {
+
+/**
+ * Split `--metrics-json=` / `--trace-out=` / `--trace-sample=` options out
+ * of argv, leaving the positional fault-injection arguments in place.
+ */
+const char *
+matchOption(const char *arg, const char *name)
+{
+    std::size_t len = std::strlen(name);
+    if (std::strncmp(arg, name, len) == 0 && arg[len] == '=')
+        return arg + len + 1;
+    return nullptr;
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
 {
     using namespace hermes;
     util::setQuiet(true);
+
+    std::string metrics_json;
+    std::string trace_out;
+    std::size_t trace_sample = 1;
+    std::vector<char *> positional;
+    for (int i = 0; i < argc; ++i) {
+        if (const char *v = matchOption(argv[i], "--metrics-json"))
+            metrics_json = v;
+        else if (const char *v = matchOption(argv[i], "--trace-out"))
+            trace_out = v;
+        else if (const char *v = matchOption(argv[i], "--trace-sample"))
+            trace_sample = std::strtoul(v, nullptr, 10);
+        else
+            positional.push_back(argv[i]);
+    }
+    argc = static_cast<int>(positional.size());
+    argv = positional.data();
+
+    if (!trace_out.empty())
+        obs::TraceRecorder::instance().start(trace_sample);
 
     std::size_t num_docs =
         argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 20000;
@@ -99,6 +141,26 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(stats.failures),
                 static_cast<unsigned long long>(stats.degraded_queries));
 
+    const struct {
+        const char *label;
+        const obs::LatencySummary &summary;
+    } phases[] = {
+        {"query latency", stats.query_latency},
+        {"sample phase", stats.sample_phase},
+        {"deep phase", stats.deep_phase},
+        {"merge phase", stats.merge_phase},
+    };
+    std::printf("%-14s %10s %10s %10s %10s\n", "phase", "p50 (us)",
+                "p95 (us)", "p99 (us)", "max (us)");
+    for (const auto &phase : phases) {
+        if (phase.summary.count == 0)
+            continue;
+        std::printf("%-14s %10.1f %10.1f %10.1f %10.1f\n", phase.label,
+                    phase.summary.p50_us, phase.summary.p95_us,
+                    phase.summary.p99_us, phase.summary.max_us);
+    }
+    std::printf("\n");
+
     std::printf("%-6s %-10s %-10s %-10s %-12s\n", "node", "shard", "reqs",
                 "batches", "busy (ms)");
     for (std::size_t c = 0; c < stats.nodes.size(); ++c) {
@@ -113,5 +175,17 @@ main(int argc, char **argv)
                 "access imbalance of\nFig 13, live. Compare 'reqs' across "
                 "nodes: sampling adds a uniform floor of one\nrequest per "
                 "query per node; the surplus is deep-search skew.\n");
+
+    if (!metrics_json.empty()) {
+        obs::Registry::instance().writeJson(metrics_json);
+        std::printf("\nmetrics written to %s\n", metrics_json.c_str());
+    }
+    if (!trace_out.empty()) {
+        auto &recorder = obs::TraceRecorder::instance();
+        recorder.stop();
+        recorder.writeChromeTrace(trace_out);
+        std::printf("trace (%zu spans) written to %s\n",
+                    recorder.spanCount(), trace_out.c_str());
+    }
     return 0;
 }

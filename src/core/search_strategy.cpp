@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/obs.hpp"
 #include "util/logging.hpp"
+#include "util/timer.hpp"
 #include "vecstore/topk.hpp"
 
 namespace hermes {
@@ -195,17 +197,37 @@ HermesSearch::rankClustersBySampling(
 QueryResult
 HermesSearch::search(vecstore::VecView query, std::size_t k) const
 {
+    static obs::Histogram &h_query = obs::Registry::instance().histogram(
+        "core.query_latency_us");
+    static obs::Histogram &h_sample = obs::Registry::instance().histogram(
+        "core.sample_phase_us");
+    static obs::Histogram &h_deep = obs::Registry::instance().histogram(
+        "core.deep_phase_us");
+
     QueryResult result;
     result.deep_stats.resize(store_.numClusters());
 
+    obs::TraceContext trace_context(
+        obs::TraceRecorder::instance().sampleQuery());
+    obs::ScopedSpan query_span("core.search");
+    query_span.arg("k", static_cast<std::uint64_t>(k));
+    util::Timer query_timer;
+    util::Timer phase_timer;
+
     // Phase 1: sample + rank.
-    auto ranked = rankClustersBySampling(query, result.sample_stats);
+    std::vector<std::pair<float, std::uint32_t>> ranked;
+    {
+        obs::ScopedSpan span("core.sample");
+        ranked = rankClustersBySampling(query, result.sample_stats);
+    }
     for (const auto &stats : result.sample_stats)
         result.total.merge(stats);
+    h_sample.observe(phase_timer.elapsedMicros());
 
     // Phase 2: deep search of the top clusters. With adaptive pruning
     // enabled, clusters far from the best sampled distance are skipped
     // (extension; see HermesConfig::adaptive_epsilon).
+    phase_timer.reset();
     index::SearchParams params;
     params.nprobe = deep_nprobe_;
     std::vector<vecstore::HitList> partials;
@@ -218,16 +240,22 @@ HermesSearch::search(vecstore::VecView query, std::size_t k) const
             ++keep;
         deep = std::max<std::size_t>(keep, 1);
     }
-    for (std::size_t i = 0; i < deep; ++i) {
-        std::uint32_t c = ranked[i].second;
-        partials.push_back(store_.clusterIndex(c).search(
-            query, k, params, &result.deep_stats[c]));
-        result.deep_clusters.push_back(c);
-        result.total.merge(result.deep_stats[c]);
+    {
+        obs::ScopedSpan span("core.deep");
+        span.arg("clusters", static_cast<std::uint64_t>(deep));
+        for (std::size_t i = 0; i < deep; ++i) {
+            std::uint32_t c = ranked[i].second;
+            partials.push_back(store_.clusterIndex(c).search(
+                query, k, params, &result.deep_stats[c]));
+            result.deep_clusters.push_back(c);
+            result.total.merge(result.deep_stats[c]);
+        }
     }
+    h_deep.observe(phase_timer.elapsedMicros());
 
     // Phase 3: rerank merged candidates into the final top-k.
     result.hits = vecstore::mergeHitLists(partials, k);
+    h_query.observe(query_timer.elapsedMicros());
     return result;
 }
 

@@ -8,6 +8,7 @@
  *  - the Hermes engine:  core (distributed store + search strategies)
  *  - systems analysis:   sim (cost models, multi-node tool, pipeline sim)
  *  - RAG serving:        rag (encoder, datastore, RagSystem facade)
+ *  - observability:      obs (metrics registry, per-query tracing)
  */
 
 #pragma once
@@ -22,6 +23,7 @@
 #include "eval/ground_truth.hpp"
 #include "eval/metrics.hpp"
 #include "index/ann_index.hpp"
+#include "obs/obs.hpp"
 #include "index/flat_index.hpp"
 #include "index/hnsw_index.hpp"
 #include "index/ivf_index.hpp"

@@ -6,8 +6,10 @@
 #include <unordered_set>
 
 #include "cluster/kmeans.hpp"
+#include "obs/obs.hpp"
 #include "util/logging.hpp"
 #include "util/serialize.hpp"
+#include "util/timer.hpp"
 #include "vecstore/distance.hpp"
 #include "vecstore/topk.hpp"
 
@@ -94,6 +96,13 @@ IvfIndex::search(vecstore::VecView query, std::size_t k,
     HERMES_ASSERT(trained_, "IvfIndex::search before train");
     HERMES_ASSERT(query.size() == dim_, "search: dim mismatch");
 
+    static obs::Histogram &h_coarse =
+        obs::Registry::instance().histogram("ivf.coarse_us");
+    static obs::Histogram &h_scan =
+        obs::Registry::instance().histogram("ivf.scan_us");
+    obs::ScopedSpan span("ivf.search");
+    util::Timer timer;
+
     std::size_t nprobe = std::max<std::size_t>(params.nprobe, 1);
     nprobe = std::min(nprobe, config_.nlist);
 
@@ -120,6 +129,8 @@ IvfIndex::search(vecstore::VecView query, std::size_t k,
         }
         probe = coarse.take();
     }
+    h_coarse.observe(timer.elapsedMicros());
+    timer.reset();
 
     auto computer = codec_->distanceComputer(metric_, query);
     const std::size_t code_size = codec_->codeSize();
@@ -153,6 +164,10 @@ IvfIndex::search(vecstore::VecView query, std::size_t k,
         scanned += il.ids.size();
         ++probed;
     }
+
+    h_scan.observe(timer.elapsedMicros());
+    span.arg("lists_probed", probed);
+    span.arg("vectors_scanned", scanned);
 
     if (stats) {
         stats->lists_probed += probed;

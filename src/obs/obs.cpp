@@ -1,0 +1,64 @@
+#include "obs/obs.hpp"
+
+#include <cstdlib>
+#include <mutex>
+#include <string>
+
+namespace hermes {
+namespace obs {
+
+namespace {
+
+std::mutex dump_mutex;
+std::string dump_metrics_path;
+std::string dump_trace_path;
+bool dump_registered = false;
+
+void
+dumpAtExit()
+{
+    std::unique_lock<std::mutex> lock(dump_mutex);
+    if (!dump_metrics_path.empty())
+        Registry::instance().writeJson(dump_metrics_path);
+    if (!dump_trace_path.empty())
+        TraceRecorder::instance().writeChromeTrace(dump_trace_path);
+}
+
+} // namespace
+
+void
+scheduleDump(const std::string &metrics_path, const std::string &trace_path,
+             std::size_t trace_sample)
+{
+    if (metrics_path.empty() && trace_path.empty())
+        return;
+    if (!trace_path.empty() && !TraceRecorder::instance().enabled())
+        TraceRecorder::instance().start(trace_sample);
+    std::unique_lock<std::mutex> lock(dump_mutex);
+    if (!metrics_path.empty())
+        dump_metrics_path = metrics_path;
+    if (!trace_path.empty())
+        dump_trace_path = trace_path;
+    if (!dump_registered) {
+        std::atexit(dumpAtExit);
+        dump_registered = true;
+    }
+}
+
+void
+autoDumpFromEnv()
+{
+    const char *metrics = std::getenv("HERMES_METRICS_JSON");
+    const char *trace = std::getenv("HERMES_TRACE_OUT");
+    const char *sample = std::getenv("HERMES_TRACE_SAMPLE");
+    std::size_t trace_sample = 1;
+    if (sample) {
+        long n = std::strtol(sample, nullptr, 10);
+        if (n > 0)
+            trace_sample = static_cast<std::size_t>(n);
+    }
+    scheduleDump(metrics ? metrics : "", trace ? trace : "", trace_sample);
+}
+
+} // namespace obs
+} // namespace hermes

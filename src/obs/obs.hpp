@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Umbrella header for the observability subsystem plus process-level
+ * helpers to wire metric/trace dumps into any binary.
+ *
+ * Two hookup styles:
+ *  - autoDumpFromEnv(): honours HERMES_METRICS_JSON, HERMES_TRACE_OUT
+ *    and HERMES_TRACE_SAMPLE environment variables and dumps at exit.
+ *    bench::banner() calls this, so every bench binary supports
+ *    machine-readable breakdowns with zero per-bench code.
+ *  - scheduleDump(): explicit paths (tools parse --metrics-json /
+ *    --trace-out flags and call this).
+ */
+
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace hermes {
+namespace obs {
+
+/**
+ * Register an at-exit dump of the metrics registry (JSON) and/or the
+ * trace recorder (Chrome trace JSON). Empty paths skip that dump.
+ * When @p trace_path is non-empty and the recorder is not already
+ * enabled, tracing is started with @p trace_sample. Idempotent per
+ * path pair; safe to call more than once.
+ */
+void scheduleDump(const std::string &metrics_path,
+                  const std::string &trace_path,
+                  std::size_t trace_sample = 1);
+
+/**
+ * scheduleDump() driven by HERMES_METRICS_JSON / HERMES_TRACE_OUT /
+ * HERMES_TRACE_SAMPLE environment variables. No-op when neither
+ * variable is set. Idempotent.
+ */
+void autoDumpFromEnv();
+
+} // namespace obs
+} // namespace hermes

@@ -1,0 +1,256 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+
+#include "obs/metrics.hpp"
+
+namespace hermes {
+namespace obs {
+
+namespace {
+
+thread_local bool t_trace_active = false;
+
+std::atomic<std::uint32_t> next_thread_id{1};
+
+} // namespace
+
+bool
+traceActive()
+{
+    return t_trace_active && TraceRecorder::instance().enabled();
+}
+
+TraceContext::TraceContext(bool active) : prev_(t_trace_active)
+{
+    t_trace_active = prev_ || active;
+}
+
+TraceContext::~TraceContext()
+{
+    t_trace_active = prev_;
+}
+
+// ---------------------------------------------------------------------------
+// TraceRecorder
+// ---------------------------------------------------------------------------
+
+TraceRecorder::TraceRecorder() : epoch_(Clock::now()) {}
+
+TraceRecorder &
+TraceRecorder::instance()
+{
+    // Immortal for the same reason as Registry::instance(): the
+    // atexit-registered trace dump must outlive ordinary statics.
+    static TraceRecorder *recorder = new TraceRecorder();
+    return *recorder;
+}
+
+void
+TraceRecorder::start(std::size_t sample_every)
+{
+    clear();
+    sample_every_.store(sample_every ? sample_every : 1,
+                        std::memory_order_relaxed);
+    sample_counter_.store(0, std::memory_order_relaxed);
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        epoch_ = Clock::now();
+    }
+    enabled_.store(true, std::memory_order_release);
+}
+
+void
+TraceRecorder::stop()
+{
+    enabled_.store(false, std::memory_order_release);
+}
+
+bool
+TraceRecorder::sampleQuery()
+{
+    if (!enabled())
+        return false;
+    if (t_trace_active)
+        return true;
+    std::uint64_t n = sample_counter_.fetch_add(1,
+                                                std::memory_order_relaxed);
+    return n % sample_every_.load(std::memory_order_relaxed) == 0;
+}
+
+std::uint32_t
+TraceRecorder::currentThreadId()
+{
+    thread_local std::uint32_t id =
+        next_thread_id.fetch_add(1, std::memory_order_relaxed);
+    return id;
+}
+
+double
+TraceRecorder::toMicros(Clock::time_point tp) const
+{
+    return std::chrono::duration<double, std::micro>(tp - epoch_).count();
+}
+
+void
+TraceRecorder::record(TraceSpan span)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (spans_.size() >= kMaxSpans) {
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    spans_.push_back(std::move(span));
+}
+
+void
+TraceRecorder::addSpan(std::string name, Clock::time_point start,
+                       Clock::time_point end, std::vector<TraceArg> args)
+{
+    TraceSpan span;
+    span.name = std::move(name);
+    span.tid = currentThreadId();
+    span.ts_us = toMicros(start);
+    span.dur_us =
+        std::chrono::duration<double, std::micro>(end - start).count();
+    span.args = std::move(args);
+    record(std::move(span));
+}
+
+std::vector<TraceSpan>
+TraceRecorder::snapshot() const
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    return spans_;
+}
+
+std::size_t
+TraceRecorder::spanCount() const
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    return spans_.size();
+}
+
+void
+TraceRecorder::clear()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    spans_.clear();
+    dropped_.store(0, std::memory_order_relaxed);
+}
+
+std::string
+TraceRecorder::toJson() const
+{
+    auto spans = snapshot();
+    std::string out = "{\"traceEvents\": [";
+    char buf[64];
+    for (std::size_t i = 0; i < spans.size(); ++i) {
+        const auto &s = spans[i];
+        out += i ? ",\n  " : "\n  ";
+        out += "{\"name\": \"" + detail::jsonEscape(s.name) +
+            "\", \"cat\": \"hermes\", \"ph\": \"";
+        out += s.instant ? "i" : "X";
+        out += "\", \"pid\": 1, \"tid\": " + std::to_string(s.tid);
+        std::snprintf(buf, sizeof(buf), "%.3f", s.ts_us);
+        out += std::string(", \"ts\": ") + buf;
+        if (s.instant) {
+            out += ", \"s\": \"t\"";
+        } else {
+            std::snprintf(buf, sizeof(buf), "%.3f", s.dur_us);
+            out += std::string(", \"dur\": ") + buf;
+        }
+        if (!s.args.empty()) {
+            out += ", \"args\": {";
+            for (std::size_t a = 0; a < s.args.size(); ++a) {
+                const auto &arg = s.args[a];
+                if (a)
+                    out += ", ";
+                out += "\"" + detail::jsonEscape(arg.key) + "\": ";
+                if (arg.numeric)
+                    out += arg.value;
+                else
+                    out += "\"" + detail::jsonEscape(arg.value) + "\"";
+            }
+            out += "}";
+        }
+        out += "}";
+    }
+    out += "\n], \"displayTimeUnit\": \"ms\"}\n";
+    return out;
+}
+
+bool
+TraceRecorder::writeChromeTrace(const std::string &path) const
+{
+    std::string text = toJson();
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "[warn] obs: cannot open %s for writing\n",
+                     path.c_str());
+        return false;
+    }
+    bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+    ok = std::fclose(f) == 0 && ok;
+    if (!ok)
+        std::fprintf(stderr, "[warn] obs: short write to %s\n", path.c_str());
+    return ok;
+}
+
+// ---------------------------------------------------------------------------
+// ScopedSpan / instantEvent
+// ---------------------------------------------------------------------------
+
+ScopedSpan::ScopedSpan(const char *name)
+    : active_(traceActive()), name_(name)
+{
+    if (active_)
+        start_ = TraceRecorder::Clock::now();
+}
+
+ScopedSpan::~ScopedSpan()
+{
+    if (!active_)
+        return;
+    TraceRecorder::instance().addSpan(
+        name_, start_, TraceRecorder::Clock::now(), std::move(args_));
+}
+
+void
+ScopedSpan::arg(const char *key, const std::string &value)
+{
+    if (active_)
+        args_.push_back({key, value, false});
+}
+
+void
+ScopedSpan::arg(const char *key, double value)
+{
+    if (active_)
+        args_.push_back({key, detail::jsonNumber(value), true});
+}
+
+void
+ScopedSpan::arg(const char *key, std::uint64_t value)
+{
+    if (active_)
+        args_.push_back({key, std::to_string(value), true});
+}
+
+void
+instantEvent(const char *name, std::vector<TraceArg> args)
+{
+    if (!traceActive())
+        return;
+    auto &recorder = TraceRecorder::instance();
+    TraceSpan span;
+    span.name = name;
+    span.tid = TraceRecorder::currentThreadId();
+    span.ts_us = recorder.toMicros(TraceRecorder::Clock::now());
+    span.instant = true;
+    span.args = std::move(args);
+    recorder.record(std::move(span));
+}
+
+} // namespace obs
+} // namespace hermes

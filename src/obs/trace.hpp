@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Per-query tracing: spans recorded into a process-wide TraceRecorder
+ * and exported as Chrome trace-event JSON, loadable in chrome://tracing
+ * or https://ui.perfetto.dev.
+ *
+ * Tracing is opt-in (default off) and sampled: TraceRecorder::start(N)
+ * traces one in N queries. A query entry point (broker search, core
+ * search, RAG generate) calls sampleQuery() and opens a TraceContext;
+ * spans created while the thread's context is active are recorded,
+ * everything else is a cheap no-op (one relaxed atomic load + one
+ * thread-local read). The traced flag is propagated explicitly across
+ * threads (e.g. in a node request) so a query's spans nest across the
+ * broker thread and the node workers it fans out to.
+ *
+ * Span naming follows the metric convention: `<layer>.<operation>`,
+ * e.g. `broker.search` > `node.search` > `ivf.search`.
+ */
+
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace hermes {
+namespace obs {
+
+/** One span attribute; numeric values are exported unquoted. */
+struct TraceArg
+{
+    std::string key;
+    std::string value;
+    bool numeric = false;
+};
+
+/** One recorded event (complete span or instant marker). */
+struct TraceSpan
+{
+    std::string name;
+    std::uint32_t tid = 0;   ///< small per-thread id (not the OS tid)
+    double ts_us = 0.0;      ///< start, microseconds since recorder epoch
+    double dur_us = 0.0;     ///< 0 for instants
+    bool instant = false;
+    std::vector<TraceArg> args;
+
+    double end_us() const { return ts_us + dur_us; }
+};
+
+/** Process-wide span sink. All methods are thread-safe. */
+class TraceRecorder
+{
+  public:
+    using Clock = std::chrono::steady_clock;
+
+    static TraceRecorder &instance();
+
+    /**
+     * Enable tracing, clearing previously recorded spans.
+     * @param sample_every Trace one in this many sampled queries (>= 1).
+     */
+    void start(std::size_t sample_every = 1);
+
+    /** Disable tracing (recorded spans are kept until the next start). */
+    void stop();
+
+    bool enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Query-entry sampling decision: false when disabled; true when the
+     * calling thread is already inside an active TraceContext (nested
+     * entry points don't consume the sampling counter); otherwise true
+     * for one in sample_every calls.
+     */
+    bool sampleQuery();
+
+    /** Append a span (regardless of the thread's context). */
+    void record(TraceSpan span);
+
+    /** Record a retroactive complete span from explicit timestamps. */
+    void addSpan(std::string name, Clock::time_point start,
+                 Clock::time_point end, std::vector<TraceArg> args = {});
+
+    /** Microseconds since the recorder epoch (start() resets it). */
+    double toMicros(Clock::time_point tp) const;
+
+    /** Small dense id for the calling thread (stable per thread). */
+    static std::uint32_t currentThreadId();
+
+    /** Copy of everything recorded so far. */
+    std::vector<TraceSpan> snapshot() const;
+
+    std::size_t spanCount() const;
+
+    /** Spans discarded because the buffer cap was hit. */
+    std::uint64_t droppedSpans() const
+    {
+        return dropped_.load(std::memory_order_relaxed);
+    }
+
+    void clear();
+
+    /** Chrome trace-event JSON ({"traceEvents": [...]}). */
+    std::string toJson() const;
+
+    /** Write toJson() to @p path; false (and a warning) on error. */
+    bool writeChromeTrace(const std::string &path) const;
+
+  private:
+    TraceRecorder();
+
+    /** Buffer cap: tracing is for short sessions, not unbounded logs. */
+    static constexpr std::size_t kMaxSpans = 1 << 20;
+
+    std::atomic<bool> enabled_{false};
+    std::atomic<std::size_t> sample_every_{1};
+    std::atomic<std::uint64_t> sample_counter_{0};
+    std::atomic<std::uint64_t> dropped_{0};
+    Clock::time_point epoch_;
+
+    mutable std::mutex mutex_;
+    std::vector<TraceSpan> spans_;
+};
+
+/**
+ * True when spans on this thread should be recorded: the recorder is
+ * enabled and the thread is inside an active TraceContext.
+ */
+bool traceActive();
+
+/**
+ * RAII marker that the current thread is (or is not) tracing the query
+ * in flight. Nesting is additive: a nested TraceContext(false) inside
+ * an active one leaves the thread active.
+ */
+class TraceContext
+{
+  public:
+    explicit TraceContext(bool active);
+    ~TraceContext();
+
+    TraceContext(const TraceContext &) = delete;
+    TraceContext &operator=(const TraceContext &) = delete;
+
+  private:
+    bool prev_;
+};
+
+/**
+ * RAII complete-span: captures the start time at construction and
+ * records [start, destruction) when the thread's trace context was
+ * active at construction. Inactive instances cost two branches.
+ */
+class ScopedSpan
+{
+  public:
+    explicit ScopedSpan(const char *name);
+    ~ScopedSpan();
+
+    ScopedSpan(const ScopedSpan &) = delete;
+    ScopedSpan &operator=(const ScopedSpan &) = delete;
+
+    /** Attach an attribute (no-op when inactive). */
+    void arg(const char *key, const std::string &value);
+    void arg(const char *key, double value);
+    void arg(const char *key, std::uint64_t value);
+
+    bool active() const { return active_; }
+
+  private:
+    bool active_;
+    const char *name_;
+    TraceRecorder::Clock::time_point start_;
+    std::vector<TraceArg> args_;
+};
+
+/** Record an instant marker (no-op when the thread is not tracing). */
+void instantEvent(const char *name, std::vector<TraceArg> args = {});
+
+} // namespace obs
+} // namespace hermes

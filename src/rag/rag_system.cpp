@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/rerank.hpp"
+#include "obs/obs.hpp"
 #include "util/logging.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
@@ -55,6 +56,10 @@ vecstore::HitList
 RagSystem::retrieve(const std::string &question, std::size_t k) const
 {
     HERMES_ASSERT(ready(), "retrieve before finalize");
+    obs::TraceContext trace_context(
+        obs::TraceRecorder::instance().sampleQuery());
+    obs::ScopedSpan span("rag.retrieve");
+    span.arg("k", static_cast<std::uint64_t>(k));
     auto query = encoder_.encode(question);
     auto result = search_->search(
         vecstore::VecView(query.data(), query.size()), k);
@@ -77,6 +82,19 @@ RagSystem::generate(const std::string &question,
         std::max<std::size_t>(gen.output_tokens / gen.stride, 1);
     std::size_t k = config_.hermes.docs_to_retrieve;
 
+    static obs::Histogram &h_stride = obs::Registry::instance().histogram(
+        "rag.stride_total_us");
+    static obs::Histogram &h_retrieval =
+        obs::Registry::instance().histogram("rag.stride_retrieval_us");
+    static obs::Counter &c_strides =
+        obs::Registry::instance().counter("rag.strides");
+
+    obs::TraceContext trace_context(
+        obs::TraceRecorder::instance().sampleQuery());
+    obs::ScopedSpan generate_span("rag.generate");
+    generate_span.arg("strides",
+                      static_cast<std::uint64_t>(num_strides));
+
     GenerationResult result;
     util::Rng rng(gen.seed);
 
@@ -91,18 +109,30 @@ RagSystem::generate(const std::string &question,
         StrideEvent event;
         event.index = s;
 
+        obs::ScopedSpan stride_span("rag.stride");
+        stride_span.arg("index", static_cast<std::uint64_t>(s));
+        util::Timer stride_timer;
+
         util::Timer timer;
-        auto query = encoder_.encode(context);
+        std::vector<float> query;
+        {
+            obs::ScopedSpan span("rag.encode");
+            query = encoder_.encode(context);
+        }
         auto search_result = search_->search(
             vecstore::VecView(query.data(), query.size()), k);
         event.retrieval_seconds = timer.elapsedSeconds();
+        h_retrieval.observe(event.retrieval_seconds * 1e6);
         event.deep_clusters = search_result.deep_clusters;
         RerankRequest request;
         request.question = context;
         request.query = vecstore::VecView(query.data(), query.size());
         request.candidates = std::move(search_result.hits);
-        event.retrieved = reranker_->rerank(request, embeddings_,
-                                            datastore_);
+        {
+            obs::ScopedSpan span("rag.rerank");
+            event.retrieved = reranker_->rerank(request, embeddings_,
+                                                datastore_);
+        }
 
         if (!event.retrieved.empty()) {
             event.best_chunk = event.retrieved.front().id;
@@ -121,6 +151,8 @@ RagSystem::generate(const std::string &question,
 
         result.retrieval_wall_seconds += event.retrieval_seconds;
         result.strides.push_back(std::move(event));
+        h_stride.observe(stride_timer.elapsedMicros());
+        c_strides.add(1);
     }
 
     for (std::size_t i = 0; i < output_words.size(); ++i) {

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <chrono>
 #include <limits>
+#include <optional>
 
 #include "core/search_strategy.hpp"
 #include "util/logging.hpp"
+#include "util/timer.hpp"
 #include "vecstore/topk.hpp"
 
 namespace hermes {
@@ -13,13 +15,22 @@ namespace serve {
 
 HermesBroker::HermesBroker(const core::DistributedStore &store,
                            const BrokerConfig &config)
-    : store_(store), config_(config)
+    : store_(store), config_(config),
+      h_query_latency_(obs::Registry::instance().histogram(
+          "broker.query_latency_us")),
+      h_sample_phase_(obs::Registry::instance().histogram(
+          "broker.sample_phase_us")),
+      h_deep_phase_(obs::Registry::instance().histogram(
+          "broker.deep_phase_us")),
+      h_merge_phase_(obs::Registry::instance().histogram(
+          "broker.merge_phase_us"))
 {
     nodes_.reserve(store_.numClusters());
     for (std::size_t c = 0; c < store_.numClusters(); ++c) {
         NodeConfig node_config = config_.node;
         if (c < config_.node_faults.size())
             node_config.faults = config_.node_faults[c];
+        node_config.node_id = c;
         nodes_.push_back(std::make_unique<RetrievalNode>(
             store_.clusterIndex(c), node_config));
     }
@@ -49,10 +60,14 @@ HermesBroker::collect(std::future<NodeResponse> future, RetrievalNode &node,
                     config_.node_deadline_ms));
             if (status != std::future_status::ready) {
                 ++timeouts;
+                obs::instantEvent(
+                    "broker.timeout",
+                    {{"attempt", std::to_string(attempt + 1), true}});
                 HERMES_WARN("node request missed its ",
                             config_.node_deadline_ms, " ms deadline "
                             "(attempt ", attempt + 1, ")");
                 if (attempt < config_.max_retries) {
+                    obs::instantEvent("broker.retry");
                     future = node.submit(query, k, params);
                     continue;
                 }
@@ -65,15 +80,22 @@ HermesBroker::collect(std::future<NodeResponse> future, RetrievalNode &node,
             return out;
         } catch (const std::exception &e) {
             ++failures;
+            obs::instantEvent(
+                "broker.failure",
+                {{"attempt", std::to_string(attempt + 1), true}});
             HERMES_WARN("node request failed: ", e.what(), " (attempt ",
                         attempt + 1, ")");
         } catch (...) {
             ++failures;
+            obs::instantEvent(
+                "broker.failure",
+                {{"attempt", std::to_string(attempt + 1), true}});
             HERMES_WARN("node request failed with a non-standard "
                         "exception (attempt ", attempt + 1, ")");
         }
         if (attempt >= config_.max_retries)
             return out;
+        obs::instantEvent("broker.retry");
         future = node.submit(query, k, params);
     }
 }
@@ -87,7 +109,19 @@ HermesBroker::search(vecstore::VecView query, std::size_t k,
     std::uint64_t timeouts = 0;
     std::uint64_t failures = 0;
 
+    // Per-query tracing: sample 1-in-N queries; the context marks this
+    // thread (and, via the request's traced flag, the node workers) as
+    // recording for the duration of this query.
+    obs::TraceContext trace_context(
+        obs::TraceRecorder::instance().sampleQuery());
+    obs::ScopedSpan query_span("broker.search");
+    query_span.arg("k", static_cast<std::uint64_t>(k));
+    util::Timer query_timer;
+
     // Phase 1: broadcast the sampling request (paper §4.2 step 2).
+    util::Timer phase_timer;
+    std::optional<obs::ScopedSpan> sample_span;
+    sample_span.emplace("broker.sample");
     index::SearchParams sample_params;
     sample_params.nprobe = config.sample_nprobe;
     std::vector<std::future<NodeResponse>> sample_futures;
@@ -117,6 +151,10 @@ HermesBroker::search(vecstore::VecView query, std::size_t k,
         sample_hits.push_back(std::move(outcome.response.hits));
     }
     std::sort(ranked.begin(), ranked.end());
+    sample_span->arg("clusters_sampled",
+                     static_cast<std::uint64_t>(ranked.size()));
+    sample_span.reset();
+    h_sample_phase_.observe(phase_timer.elapsedMicros());
 
     if (ranked.empty()) {
         // Every node lost its sampling request. Best effort: deep-search
@@ -141,6 +179,10 @@ HermesBroker::search(vecstore::VecView query, std::size_t k,
         deep = std::max<std::size_t>(keep, 1);
     }
 
+    phase_timer.reset();
+    std::optional<obs::ScopedSpan> deep_span;
+    deep_span.emplace("broker.deep");
+    deep_span->arg("clusters", static_cast<std::uint64_t>(deep));
     index::SearchParams deep_params;
     deep_params.nprobe = config.deep_nprobe;
     std::vector<std::future<NodeResponse>> deep_futures;
@@ -163,6 +205,8 @@ HermesBroker::search(vecstore::VecView query, std::size_t k,
             ++deep_ok;
         }
     }
+    deep_span.reset();
+    h_deep_phase_.observe(phase_timer.elapsedMicros());
 
     // Graceful degradation: when a deep node was lost, backfill with the
     // sampling hits already in hand so the merged answer keeps as many of
@@ -175,6 +219,11 @@ HermesBroker::search(vecstore::VecView query, std::size_t k,
             partials.push_back(std::move(hits));
     }
     bool degraded = timeouts > 0 || failures > 0;
+    if (degraded) {
+        HERMES_DEBUG("degraded query: ", timeouts, " timeouts, ",
+                     failures, " failures across ", deep,
+                     " deep clusters");
+    }
 
     {
         std::unique_lock<std::mutex> lock(stats_mutex_);
@@ -185,7 +234,43 @@ HermesBroker::search(vecstore::VecView query, std::size_t k,
         if (degraded)
             ++degraded_queries_;
     }
-    return vecstore::mergeHitLists(partials, k);
+
+    // Mirror the lifetime counters into the exportable registry.
+    {
+        static obs::Counter &c_queries =
+            obs::Registry::instance().counter("broker.queries");
+        static obs::Counter &c_deep =
+            obs::Registry::instance().counter("broker.deep_requests");
+        static obs::Counter &c_timeouts =
+            obs::Registry::instance().counter("broker.timeouts");
+        static obs::Counter &c_failures =
+            obs::Registry::instance().counter("broker.failures");
+        static obs::Counter &c_degraded =
+            obs::Registry::instance().counter("broker.degraded_queries");
+        c_queries.add(1);
+        c_deep.add(deep);
+        if (timeouts)
+            c_timeouts.add(timeouts);
+        if (failures)
+            c_failures.add(failures);
+        if (degraded)
+            c_degraded.add(1);
+    }
+
+    phase_timer.reset();
+    vecstore::HitList merged;
+    {
+        obs::ScopedSpan merge_span("broker.merge");
+        merge_span.arg("partials",
+                       static_cast<std::uint64_t>(partials.size()));
+        merged = vecstore::mergeHitLists(partials, k);
+    }
+    h_merge_phase_.observe(phase_timer.elapsedMicros());
+    query_span.arg("deep_clusters",
+                   static_cast<std::uint64_t>(deep_clusters.size()));
+    query_span.arg("degraded", static_cast<std::uint64_t>(degraded));
+    h_query_latency_.observe(query_timer.elapsedMicros());
+    return merged;
 }
 
 BrokerStats
@@ -200,6 +285,14 @@ HermesBroker::stats() const
         stats.failures = failures_;
         stats.degraded_queries = degraded_queries_;
     }
+    stats.query_latency =
+        obs::LatencySummary::from(h_query_latency_.snapshot());
+    stats.sample_phase =
+        obs::LatencySummary::from(h_sample_phase_.snapshot());
+    stats.deep_phase =
+        obs::LatencySummary::from(h_deep_phase_.snapshot());
+    stats.merge_phase =
+        obs::LatencySummary::from(h_merge_phase_.snapshot());
     stats.nodes.reserve(nodes_.size());
     for (const auto &node : nodes_)
         stats.nodes.push_back(node->stats());

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "core/distributed_store.hpp"
+#include "obs/obs.hpp"
 #include "serve/node.hpp"
 
 namespace hermes {
@@ -78,6 +79,17 @@ struct BrokerStats
     /** Queries that lost at least one node (timeout or failure) and
      *  were answered from partial results. */
     std::uint64_t degraded_queries = 0;
+
+    /**
+     * Latency digests sourced from the process-wide obs histograms
+     * (`broker.query_latency_us` and friends). Note these aggregate
+     * over every broker in the process — with a single broker, which
+     * is the deployment shape, they are exactly this broker's.
+     */
+    obs::LatencySummary query_latency;   ///< end-to-end search()
+    obs::LatencySummary sample_phase;    ///< sampling broadcast + collect
+    obs::LatencySummary deep_phase;      ///< deep fan-out + collect
+    obs::LatencySummary merge_phase;     ///< final merge/dedupe/truncate
 
     /** Per-node runtime statistics. */
     std::vector<NodeStats> nodes;
@@ -142,6 +154,12 @@ class HermesBroker
     const core::DistributedStore &store_;
     BrokerConfig config_;
     std::vector<std::unique_ptr<RetrievalNode>> nodes_;
+
+    /** Cached refs into the process-wide metrics registry (stable). */
+    obs::Histogram &h_query_latency_;
+    obs::Histogram &h_sample_phase_;
+    obs::Histogram &h_deep_phase_;
+    obs::Histogram &h_merge_phase_;
 
     mutable std::mutex stats_mutex_;
     mutable std::uint64_t queries_ = 0;

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
 #include "util/logging.hpp"
 #include "util/timer.hpp"
 
@@ -40,6 +41,8 @@ RetrievalNode::submit(vecstore::VecView query, std::size_t k,
     request.query.assign(query.begin(), query.end());
     request.k = k;
     request.params = params;
+    request.enqueued = std::chrono::steady_clock::now();
+    request.traced = obs::traceActive();
     auto future = request.promise.get_future();
     {
         std::unique_lock<std::mutex> lock(mutex_);
@@ -54,6 +57,11 @@ void
 RetrievalNode::workerLoop()
 {
     const FaultInjector &faults = config_.faults;
+    auto &registry = obs::Registry::instance();
+    obs::Histogram &queue_wait =
+        registry.histogram("node.queue_wait_us");
+    obs::Histogram &batch_exec =
+        registry.histogram("node.batch_exec_us");
     for (;;) {
         std::vector<Request> batch;
         {
@@ -64,6 +72,22 @@ RetrievalNode::workerLoop()
             while (!queue_.empty() && batch.size() < config_.max_batch) {
                 batch.push_back(std::move(queue_.front()));
                 queue_.pop_front();
+            }
+        }
+        HERMES_DEBUG("node ", config_.node_id, ": drained batch of ",
+                     batch.size());
+
+        // Queue wait per request: submit() to drain, the "time in line"
+        // half of node latency (batch execution below is the other half).
+        auto drained = std::chrono::steady_clock::now();
+        for (const auto &request : batch) {
+            queue_wait.observe(
+                std::chrono::duration<double, std::micro>(
+                    drained - request.enqueued).count());
+            if (request.traced) {
+                obs::TraceRecorder::instance().addSpan(
+                    "node.queue_wait", request.enqueued, drained,
+                    {{"cluster", std::to_string(config_.node_id), true}});
             }
         }
 
@@ -78,6 +102,11 @@ RetrievalNode::workerLoop()
         std::vector<Outcome> outcomes(batch.size(), Outcome::Ok);
         for (std::size_t i = 0; i < batch.size(); ++i) {
             auto &request = batch[i];
+            obs::TraceContext trace_context(request.traced);
+            obs::ScopedSpan span("node.search");
+            span.arg("cluster",
+                     static_cast<std::uint64_t>(config_.node_id));
+            span.arg("k", static_cast<std::uint64_t>(request.k));
             if (faults.enabled()) {
                 double roll = fault_rng_.uniform();
                 if (roll < faults.fail_probability) {
@@ -108,6 +137,8 @@ RetrievalNode::workerLoop()
                                       request.query.size()),
                     request.k, request.params, &responses[i].stats);
                 scanned += responses[i].stats.vectors_scanned;
+                span.arg("vectors_scanned",
+                         responses[i].stats.vectors_scanned);
             } catch (...) {
                 // A failing shard must never leave a broken future or
                 // kill the worker: hand the exception to the caller.
@@ -117,6 +148,7 @@ RetrievalNode::workerLoop()
             }
         }
         double elapsed = timer.elapsedSeconds();
+        batch_exec.observe(elapsed * 1e6);
 
         // Record statistics before fulfilling promises so a caller that
         // observes its response also observes the stats that produced it.

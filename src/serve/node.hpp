@@ -17,6 +17,7 @@
 
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <future>
@@ -82,6 +83,12 @@ struct NodeConfig
 
     /** Fault injection (tests/benches only; defaults to disabled). */
     FaultInjector faults;
+
+    /**
+     * Cluster id of the shard this node serves, attached to trace spans
+     * and debug logs (the broker sets it; standalone nodes default to 0).
+     */
+    std::size_t node_id = 0;
 };
 
 /** Runtime statistics of a node. */
@@ -150,6 +157,13 @@ class RetrievalNode
         std::size_t k;
         index::SearchParams params;
         std::promise<NodeResponse> promise;
+
+        /** Enqueue time, for the queue-wait histogram and trace span. */
+        std::chrono::steady_clock::time_point enqueued;
+
+        /** Whether the submitting query is being traced (propagates the
+         *  broker thread's trace context onto the worker thread). */
+        bool traced = false;
     };
 
     void workerLoop();

@@ -2,6 +2,8 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstring>
+#include <mutex>
 
 namespace hermes {
 namespace util {
@@ -10,10 +12,45 @@ namespace {
 
 std::atomic<bool> quiet_flag{false};
 
+/** Serializes whole-line writes so concurrent threads never interleave
+ *  partial lines. */
+std::mutex &
+logMutex()
+{
+    static std::mutex mutex;
+    return mutex;
+}
+
+LogLevel
+levelFromEnv()
+{
+    const char *env = std::getenv("HERMES_LOG_LEVEL");
+    if (!env)
+        return LogLevel::Inform;
+    if (std::strcmp(env, "debug") == 0)
+        return LogLevel::Debug;
+    if (std::strcmp(env, "info") == 0 || std::strcmp(env, "inform") == 0)
+        return LogLevel::Inform;
+    if (std::strcmp(env, "warn") == 0 || std::strcmp(env, "warning") == 0)
+        return LogLevel::Warn;
+    std::fprintf(stderr,
+                 "[warn] unknown HERMES_LOG_LEVEL '%s' "
+                 "(want debug|info|warn); using info\n", env);
+    return LogLevel::Inform;
+}
+
+std::atomic<LogLevel> &
+levelFlag()
+{
+    static std::atomic<LogLevel> level{levelFromEnv()};
+    return level;
+}
+
 const char *
 levelName(LogLevel level)
 {
     switch (level) {
+      case LogLevel::Debug:  return "debug";
       case LogLevel::Inform: return "info";
       case LogLevel::Warn:   return "warn";
       case LogLevel::Fatal:  return "fatal";
@@ -36,21 +73,54 @@ setQuiet(bool quiet)
     quiet_flag.store(quiet, std::memory_order_relaxed);
 }
 
+LogLevel
+logLevel()
+{
+    return levelFlag().load(std::memory_order_relaxed);
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    levelFlag().store(level, std::memory_order_relaxed);
+}
+
 void
 logMessage(LogLevel level, const char *file, int line, const std::string &msg)
 {
-    if (quietMode() &&
-        (level == LogLevel::Inform || level == LogLevel::Warn)) {
+    if (level < LogLevel::Fatal && level < logLevel())
+        return;
+    if (quietMode() && (level == LogLevel::Debug ||
+                        level == LogLevel::Inform ||
+                        level == LogLevel::Warn)) {
         return;
     }
 
-    if (level == LogLevel::Inform) {
-        std::fprintf(stdout, "[%s] %s\n", levelName(level), msg.c_str());
-        std::fflush(stdout);
-    } else {
-        std::fprintf(stderr, "[%s] %s (%s:%d)\n", levelName(level),
-                     msg.c_str(), file, line);
-        std::fflush(stderr);
+    // Compose the full line first, then emit it with a single buffered
+    // write under the mutex: concurrent node workers never interleave
+    // fragments of two messages.
+    std::string text;
+    text.reserve(msg.size() + 64);
+    text += '[';
+    text += levelName(level);
+    text += "] ";
+    text += msg;
+    bool to_stdout =
+        level == LogLevel::Inform || level == LogLevel::Debug;
+    if (!to_stdout) {
+        text += " (";
+        text += file;
+        text += ':';
+        text += std::to_string(line);
+        text += ')';
+    }
+    text += '\n';
+
+    std::FILE *stream = to_stdout ? stdout : stderr;
+    {
+        std::unique_lock<std::mutex> lock(logMutex());
+        std::fwrite(text.data(), 1, text.size(), stream);
+        std::fflush(stream);
     }
 }
 

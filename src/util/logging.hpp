@@ -7,6 +7,12 @@
  *            terminate with a clean error.
  * warn()   — something works but is suspicious or approximated.
  * inform() — plain status output.
+ * debug()  — chatty diagnostics; compiled out of Release builds unless
+ *            HERMES_ENABLE_DEBUG_LOG is defined, and hidden at runtime
+ *            unless the log level is Debug (HERMES_LOG_LEVEL=debug).
+ *
+ * Each message is emitted as a single write under a mutex, so lines
+ * from concurrent threads (node workers, clients) never interleave.
  */
 
 #pragma once
@@ -19,8 +25,9 @@
 namespace hermes {
 namespace util {
 
-/** Severity classes understood by logMessage(). */
+/** Severity classes understood by logMessage(), least severe first. */
 enum class LogLevel {
+    Debug,
     Inform,
     Warn,
     Fatal,
@@ -28,7 +35,9 @@ enum class LogLevel {
 };
 
 /**
- * Emit a formatted log line to stderr (or stdout for Inform).
+ * Emit a formatted log line to stderr (or stdout for Debug/Inform).
+ * Messages below the runtime log level are dropped; Fatal and Panic
+ * are always emitted.
  *
  * @param level Severity of the message.
  * @param file  Source file of the call site.
@@ -43,6 +52,16 @@ bool quietMode();
 
 /** Suppress Inform/Warn output (used by tests and benches). */
 void setQuiet(bool quiet);
+
+/**
+ * Runtime log threshold: messages with a lower severity are dropped.
+ * Initialized from the HERMES_LOG_LEVEL environment variable
+ * ("debug" | "info" | "warn"), defaulting to Inform.
+ */
+LogLevel logLevel();
+
+/** Override the runtime log threshold. */
+void setLogLevel(LogLevel level);
 
 namespace detail {
 
@@ -86,6 +105,28 @@ concat(Args &&...args)
 #define HERMES_INFORM(...)                                                    \
     ::hermes::util::logMessage(::hermes::util::LogLevel::Inform,              \
         __FILE__, __LINE__, ::hermes::util::detail::concat(__VA_ARGS__))
+
+/**
+ * Chatty diagnostic, off the hot path by construction: present in debug
+ * builds (and Release builds compiled with -DHERMES_ENABLE_DEBUG_LOG),
+ * compiled to nothing otherwise. When compiled in, it is still dropped
+ * at runtime unless logLevel() == Debug.
+ */
+#if !defined(NDEBUG) || defined(HERMES_ENABLE_DEBUG_LOG)
+#define HERMES_DEBUG(...)                                                     \
+    do {                                                                      \
+        if (::hermes::util::logLevel() <=                                     \
+            ::hermes::util::LogLevel::Debug) {                                \
+            ::hermes::util::logMessage(::hermes::util::LogLevel::Debug,       \
+                __FILE__, __LINE__,                                           \
+                ::hermes::util::detail::concat(__VA_ARGS__));                 \
+        }                                                                     \
+    } while (0)
+#else
+#define HERMES_DEBUG(...)                                                     \
+    do {                                                                      \
+    } while (0)
+#endif
 
 /** Cheap always-on assertion that panics with context on failure. */
 #define HERMES_ASSERT(cond, ...)                                              \

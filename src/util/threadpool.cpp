@@ -1,6 +1,9 @@
 #include "util/threadpool.hpp"
 
 #include <atomic>
+#include <chrono>
+
+#include "obs/obs.hpp"
 
 namespace hermes {
 namespace util {
@@ -138,10 +141,29 @@ ThreadPool::parallelFor(std::size_t n,
 {
     if (n == 0)
         return;
+    static obs::Histogram &latency =
+        obs::Registry::instance().histogram("pool.parallel_for_us");
+    static obs::Counter &items =
+        obs::Registry::instance().counter("pool.parallel_for_items");
+    struct Observe
+    {
+        std::chrono::steady_clock::time_point start =
+            std::chrono::steady_clock::now();
+        ~Observe()
+        {
+            latency.observe(std::chrono::duration<double, std::micro>(
+                std::chrono::steady_clock::now() - start).count());
+        }
+    } observe;
+    items.add(n);
+    obs::ScopedSpan span("pool.parallel_for");
+    span.arg("n", static_cast<std::uint64_t>(n));
+
     // Inline when concurrency cannot help (single worker, single item) or
     // would deadlock (nested call from one of this pool's own tasks, which
     // would block a worker waiting for tasks only that worker could run).
     if (size() == 1 || n == 1 || insideWorker()) {
+        span.arg("inline", 1.0);
         for (std::size_t i = 0; i < n; ++i)
             fn(i);
         return;

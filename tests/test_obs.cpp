@@ -1,0 +1,498 @@
+/**
+ * @file
+ * Tests for the observability subsystem: metrics registry (counters,
+ * gauges, log-spaced histograms, JSON/Prometheus export), per-query
+ * trace spans (structural nesting across broker/node/index layers), and
+ * the bit-parity guarantee that instrumentation never changes results.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "core/distributed_store.hpp"
+#include "core/search_strategy.hpp"
+#include "obs/obs.hpp"
+#include "serve/broker.hpp"
+#include "workload/corpus.hpp"
+
+namespace {
+
+using namespace hermes;
+
+// ---------------------------------------------------------------------------
+// Histogram buckets and percentiles
+// ---------------------------------------------------------------------------
+
+TEST(ObsHistogram, BucketBoundsAreMonotonic)
+{
+    double prev = 0.0;
+    for (std::size_t i = 0; i < obs::Histogram::kNumBounds; ++i) {
+        double bound = obs::Histogram::bucketUpperBound(i);
+        EXPECT_GT(bound, prev) << "bucket " << i;
+        prev = bound;
+    }
+    EXPECT_GT(obs::Histogram::bucketUpperBound(
+                  obs::Histogram::kNumBounds),
+              1e300); // overflow bucket is unbounded
+}
+
+TEST(ObsHistogram, BucketIndexMatchesBounds)
+{
+    for (std::size_t i = 0; i < obs::Histogram::kNumBounds; ++i) {
+        double bound = obs::Histogram::bucketUpperBound(i);
+        // Buckets are upper-exclusive: a value just below the bound lands
+        // in bucket i, just above lands strictly later. (A bucket spans
+        // a 10^0.25 ~ 1.78x range, so 1% offsets stay within one bucket
+        // of the bound despite log/pow rounding.)
+        EXPECT_LE(obs::Histogram::bucketIndex(bound * 0.99), i);
+        EXPECT_GT(obs::Histogram::bucketIndex(bound * 1.01), i);
+    }
+    // Tiny and negative values clamp into the first bucket.
+    EXPECT_EQ(obs::Histogram::bucketIndex(0.0), 0u);
+    EXPECT_EQ(obs::Histogram::bucketIndex(-5.0), 0u);
+    // Huge values land in the overflow bucket.
+    EXPECT_EQ(obs::Histogram::bucketIndex(1e12),
+              obs::Histogram::kNumBuckets - 1);
+}
+
+TEST(ObsHistogram, EmptySnapshotIsZero)
+{
+    obs::Histogram h;
+    auto snap = h.snapshot();
+    EXPECT_EQ(snap.count, 0u);
+    EXPECT_EQ(snap.percentile(50), 0.0);
+    EXPECT_EQ(snap.mean(), 0.0);
+}
+
+TEST(ObsHistogram, SingleSamplePercentilesAreExact)
+{
+    obs::Histogram h;
+    h.observe(123.0);
+    auto snap = h.snapshot();
+    EXPECT_EQ(snap.count, 1u);
+    EXPECT_DOUBLE_EQ(snap.min, 123.0);
+    EXPECT_DOUBLE_EQ(snap.max, 123.0);
+    EXPECT_DOUBLE_EQ(snap.percentile(0), 123.0);
+    EXPECT_DOUBLE_EQ(snap.percentile(50), 123.0);
+    EXPECT_DOUBLE_EQ(snap.percentile(100), 123.0);
+}
+
+TEST(ObsHistogram, PercentilesBoundedAndOrdered)
+{
+    obs::Histogram h;
+    for (int i = 1; i <= 1000; ++i)
+        h.observe(static_cast<double>(i)); // 1..1000 us
+    auto snap = h.snapshot();
+    EXPECT_EQ(snap.count, 1000u);
+    EXPECT_DOUBLE_EQ(snap.min, 1.0);
+    EXPECT_DOUBLE_EQ(snap.max, 1000.0);
+    EXPECT_DOUBLE_EQ(snap.percentile(0), 1.0);
+    EXPECT_DOUBLE_EQ(snap.percentile(100), 1000.0);
+
+    double p50 = snap.percentile(50);
+    double p95 = snap.percentile(95);
+    double p99 = snap.percentile(99);
+    EXPECT_LE(p50, p95);
+    EXPECT_LE(p95, p99);
+    EXPECT_GE(p50, snap.min);
+    EXPECT_LE(p99, snap.max);
+    // Log-bucket interpolation error is bounded by one bucket width
+    // (~78% relative at 4 buckets/decade); sanity-check the ballpark.
+    EXPECT_GT(p50, 250.0);
+    EXPECT_LT(p50, 1000.0);
+}
+
+TEST(ObsHistogram, ResetZeroesInPlace)
+{
+    obs::Histogram h;
+    h.observe(5.0);
+    h.observe(50.0);
+    h.reset();
+    auto snap = h.snapshot();
+    EXPECT_EQ(snap.count, 0u);
+    EXPECT_EQ(snap.sum, 0.0);
+    for (auto b : snap.buckets)
+        EXPECT_EQ(b, 0u);
+}
+
+TEST(ObsLatencySummary, FromSnapshot)
+{
+    obs::Histogram h;
+    for (int i = 0; i < 100; ++i)
+        h.observe(10.0);
+    auto summary = obs::LatencySummary::from(h.snapshot());
+    EXPECT_EQ(summary.count, 100u);
+    EXPECT_DOUBLE_EQ(summary.mean_us, 10.0);
+    EXPECT_DOUBLE_EQ(summary.max_us, 10.0);
+    EXPECT_DOUBLE_EQ(summary.p50_us, 10.0);
+    EXPECT_DOUBLE_EQ(summary.p99_us, 10.0);
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+TEST(ObsRegistry, ReferencesAreStableAcrossLookupsAndReset)
+{
+    auto &reg = obs::Registry::instance();
+    auto &c1 = reg.counter("test.stable_counter");
+    auto &c2 = reg.counter("test.stable_counter");
+    EXPECT_EQ(&c1, &c2);
+
+    c1.add(7);
+    EXPECT_EQ(c2.value(), 7u);
+    reg.reset();
+    EXPECT_EQ(c1.value(), 0u);
+    EXPECT_EQ(&reg.counter("test.stable_counter"), &c1);
+}
+
+TEST(ObsRegistry, HasHistogram)
+{
+    auto &reg = obs::Registry::instance();
+    EXPECT_FALSE(reg.hasHistogram("test.never_created"));
+    reg.histogram("test.created_us");
+    EXPECT_TRUE(reg.hasHistogram("test.created_us"));
+}
+
+TEST(ObsRegistry, ConcurrentUpdatesAreExact)
+{
+    auto &reg = obs::Registry::instance();
+    auto &counter = reg.counter("test.concurrent_counter");
+    auto &hist = reg.histogram("test.concurrent_us");
+    counter.reset();
+    hist.reset();
+
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 10000;
+    std::atomic<bool> go{false};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            while (!go.load(std::memory_order_acquire)) {
+            }
+            for (int i = 0; i < kPerThread; ++i) {
+                counter.add(1);
+                hist.observe(static_cast<double>(t * kPerThread + i % 997) +
+                             1.0);
+            }
+        });
+    }
+    go.store(true, std::memory_order_release);
+
+    // Take snapshots while writers are running: must never crash, and
+    // every snapshot must be internally plausible.
+    for (int i = 0; i < 50; ++i) {
+        auto snap = hist.snapshot();
+        EXPECT_LE(snap.count,
+                  static_cast<std::uint64_t>(kThreads * kPerThread));
+        if (snap.count > 0) {
+            EXPECT_GE(snap.max, snap.min);
+            double p50 = snap.percentile(50);
+            EXPECT_GE(p50, snap.min);
+            EXPECT_LE(p50, snap.max);
+        }
+    }
+    for (auto &thread : threads)
+        thread.join();
+
+    EXPECT_EQ(counter.value(),
+              static_cast<std::uint64_t>(kThreads * kPerThread));
+    auto snap = hist.snapshot();
+    EXPECT_EQ(snap.count, static_cast<std::uint64_t>(kThreads * kPerThread));
+    std::uint64_t bucket_total = 0;
+    for (auto b : snap.buckets)
+        bucket_total += b;
+    EXPECT_EQ(bucket_total, snap.count);
+}
+
+TEST(ObsRegistry, JsonAndPrometheusExport)
+{
+    auto &reg = obs::Registry::instance();
+    reg.counter("test.export_counter").add(3);
+    reg.gauge("test.export_gauge").set(1.5);
+    auto &h = reg.histogram("test.export_us");
+    h.reset();
+    h.observe(42.0);
+
+    auto json = reg.toJson();
+    EXPECT_NE(json.find("\"counters\""), std::string::npos);
+    EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+    EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+    EXPECT_NE(json.find("test.export_counter"), std::string::npos);
+    EXPECT_NE(json.find("test.export_us"), std::string::npos);
+    EXPECT_NE(json.find("\"p99\""), std::string::npos);
+
+    auto prom = reg.toPrometheus();
+    EXPECT_NE(prom.find("hermes_test_export_counter"), std::string::npos);
+    EXPECT_NE(prom.find("hermes_test_export_us_bucket"), std::string::npos);
+    EXPECT_NE(prom.find("le=\"+Inf\""), std::string::npos);
+    EXPECT_NE(prom.find("hermes_test_export_us_count 1"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Trace recorder
+// ---------------------------------------------------------------------------
+
+TEST(ObsTrace, DisabledRecorderRecordsNothing)
+{
+    auto &rec = obs::TraceRecorder::instance();
+    rec.stop();
+    rec.clear();
+    EXPECT_FALSE(rec.sampleQuery());
+    {
+        obs::TraceContext ctx(rec.sampleQuery());
+        obs::ScopedSpan span("test.noop");
+        EXPECT_FALSE(span.active());
+    }
+    EXPECT_EQ(rec.spanCount(), 0u);
+}
+
+TEST(ObsTrace, SamplingTracesOneInN)
+{
+    auto &rec = obs::TraceRecorder::instance();
+    rec.start(4);
+    int sampled = 0;
+    for (int i = 0; i < 16; ++i) {
+        if (rec.sampleQuery())
+            ++sampled;
+    }
+    EXPECT_EQ(sampled, 4);
+    rec.stop();
+}
+
+TEST(ObsTrace, NestedSamplingDoesNotConsumeCounter)
+{
+    auto &rec = obs::TraceRecorder::instance();
+    rec.start(2); // trace every other query
+    ASSERT_TRUE(rec.sampleQuery());
+    {
+        obs::TraceContext outer(true);
+        // Nested entry points on a traced thread stay traced without
+        // advancing the 1-in-N counter.
+        EXPECT_TRUE(rec.sampleQuery());
+        EXPECT_TRUE(rec.sampleQuery());
+    }
+    EXPECT_FALSE(rec.sampleQuery()); // next query: counter moved once
+    rec.stop();
+}
+
+TEST(ObsTrace, ScopedSpanRecordsNameArgsAndDuration)
+{
+    auto &rec = obs::TraceRecorder::instance();
+    rec.start(1);
+    {
+        obs::TraceContext ctx(rec.sampleQuery());
+        obs::ScopedSpan span("test.span");
+        span.arg("k", std::uint64_t{5});
+        span.arg("mode", std::string("unit"));
+        obs::instantEvent("test.instant");
+    }
+    rec.stop();
+
+    auto spans = rec.snapshot();
+    ASSERT_EQ(spans.size(), 2u);
+    // Instant is recorded first (inside the span's lifetime).
+    EXPECT_EQ(spans[0].name, "test.instant");
+    EXPECT_TRUE(spans[0].instant);
+    EXPECT_EQ(spans[1].name, "test.span");
+    EXPECT_FALSE(spans[1].instant);
+    EXPECT_GE(spans[1].dur_us, 0.0);
+    ASSERT_EQ(spans[1].args.size(), 2u);
+    EXPECT_EQ(spans[1].args[0].key, "k");
+    EXPECT_EQ(spans[1].args[0].value, "5");
+    EXPECT_TRUE(spans[1].args[0].numeric);
+    EXPECT_EQ(spans[1].args[1].key, "mode");
+    EXPECT_FALSE(spans[1].args[1].numeric);
+}
+
+TEST(ObsTrace, ChromeTraceJsonShape)
+{
+    auto &rec = obs::TraceRecorder::instance();
+    rec.start(1);
+    {
+        obs::TraceContext ctx(rec.sampleQuery());
+        obs::ScopedSpan span("test.json_span");
+    }
+    rec.stop();
+
+    auto json = rec.toJson();
+    EXPECT_EQ(json.rfind("{\"traceEvents\":", 0), 0u);
+    EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+    EXPECT_NE(json.find("test.json_span"), std::string::npos);
+    EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+
+    auto path = std::filesystem::temp_directory_path() /
+                "hermes_test_trace.json";
+    ASSERT_TRUE(rec.writeChromeTrace(path.string()));
+    std::ifstream in(path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    EXPECT_EQ(buffer.str(), json);
+    std::filesystem::remove(path);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: traced broker query
+// ---------------------------------------------------------------------------
+
+struct ObsServeData
+{
+    workload::Corpus corpus;
+    workload::QuerySet queries;
+    core::HermesConfig config;
+    std::unique_ptr<core::DistributedStore> store;
+};
+
+const ObsServeData &
+obsServeData()
+{
+    static ObsServeData data = [] {
+        ObsServeData out;
+        workload::CorpusConfig cc;
+        cc.num_docs = 3000;
+        cc.dim = 16;
+        cc.num_topics = 10;
+        cc.seed = 77;
+        out.corpus = workload::generateCorpus(cc);
+
+        workload::QueryConfig qc;
+        qc.num_queries = 16;
+        qc.seed = 78;
+        out.queries = workload::generateQueries(out.corpus, qc);
+
+        out.config.num_clusters = 4;
+        out.config.clusters_to_search = 2;
+        out.config.sample_nprobe = 2;
+        out.config.deep_nprobe = 8;
+        out.config.partition.seeds_to_try = 2;
+        out.store = std::make_unique<core::DistributedStore>(
+            core::DistributedStore::build(out.corpus.embeddings,
+                                          out.config));
+        return out;
+    }();
+    return data;
+}
+
+std::vector<obs::TraceSpan>
+spansNamed(const std::vector<obs::TraceSpan> &spans, const std::string &name)
+{
+    std::vector<obs::TraceSpan> out;
+    for (const auto &span : spans)
+        if (span.name == name)
+            out.push_back(span);
+    return out;
+}
+
+TEST(ObsEndToEnd, TracedBrokerQueryProducesNestedSpans)
+{
+    const auto &data = obsServeData();
+    serve::HermesBroker broker(*data.store);
+
+    auto &rec = obs::TraceRecorder::instance();
+    rec.start(1); // trace every query
+    broker.search(data.queries.embeddings.row(0), 5);
+    rec.stop();
+
+    auto spans = rec.snapshot();
+    auto roots = spansNamed(spans, "broker.search");
+    ASSERT_EQ(roots.size(), 1u);
+    const auto &root = roots.front();
+
+    auto samples = spansNamed(spans, "broker.sample");
+    auto deeps = spansNamed(spans, "broker.deep");
+    auto merges = spansNamed(spans, "broker.merge");
+    ASSERT_EQ(samples.size(), 1u);
+    ASSERT_EQ(deeps.size(), 1u);
+    ASSERT_EQ(merges.size(), 1u);
+
+    // Sampling broadcasts to every node; deep search hits
+    // clusters_to_search of them.
+    auto node_searches = spansNamed(spans, "node.search");
+    EXPECT_EQ(node_searches.size(),
+              data.store->numClusters() + data.config.clusters_to_search);
+    auto ivf_searches = spansNamed(spans, "ivf.search");
+    EXPECT_EQ(ivf_searches.size(), node_searches.size());
+    EXPECT_FALSE(spansNamed(spans, "node.queue_wait").empty());
+
+    // Phase spans nest inside the root query span on the same thread...
+    const double slack_us = 1.0; // clock-read ordering slack
+    for (const auto *phase : {&samples.front(), &deeps.front(),
+                              &merges.front()}) {
+        EXPECT_EQ(phase->tid, root.tid);
+        EXPECT_GE(phase->ts_us, root.ts_us - slack_us);
+        EXPECT_LE(phase->end_us(), root.end_us() + slack_us);
+    }
+    // ...and node/index work on the worker threads falls within the
+    // query's time range.
+    for (const auto &span : node_searches) {
+        EXPECT_GE(span.ts_us, root.ts_us - slack_us);
+        EXPECT_LE(span.end_us(), root.end_us() + slack_us);
+    }
+    for (const auto &span : ivf_searches) {
+        EXPECT_GE(span.ts_us, root.ts_us - slack_us);
+        EXPECT_LE(span.end_us(), root.end_us() + slack_us);
+    }
+}
+
+TEST(ObsEndToEnd, QueryLatencyHistogramHasNonZeroPercentiles)
+{
+    const auto &data = obsServeData();
+    serve::HermesBroker broker(*data.store);
+    for (std::size_t q = 0; q < 16; ++q)
+        broker.search(data.queries.embeddings.row(q), 5);
+
+    auto &reg = obs::Registry::instance();
+    ASSERT_TRUE(reg.hasHistogram("broker.query_latency_us"));
+    auto snap = reg.histogram("broker.query_latency_us").snapshot();
+    EXPECT_GE(snap.count, 16u);
+    EXPECT_GT(snap.percentile(50), 0.0);
+    EXPECT_GT(snap.percentile(95), 0.0);
+    EXPECT_GT(snap.percentile(99), 0.0);
+
+    auto stats = broker.stats();
+    EXPECT_EQ(stats.query_latency.count, snap.count);
+    EXPECT_GT(stats.query_latency.p50_us, 0.0);
+    EXPECT_GT(stats.sample_phase.p50_us, 0.0);
+    EXPECT_GT(stats.deep_phase.p50_us, 0.0);
+
+    // The registry JSON carries the same digests.
+    auto json = reg.toJson();
+    EXPECT_NE(json.find("broker.query_latency_us"), std::string::npos);
+}
+
+TEST(ObsEndToEnd, BrokerMatchesHermesSearchWithAndWithoutTracing)
+{
+    const auto &data = obsServeData();
+    serve::HermesBroker broker(*data.store);
+    core::HermesSearch reference(*data.store);
+
+    auto &rec = obs::TraceRecorder::instance();
+    for (bool traced : {false, true}) {
+        if (traced)
+            rec.start(1);
+        else
+            rec.stop();
+        for (std::size_t q = 0; q < 8; ++q) {
+            auto via_broker =
+                broker.search(data.queries.embeddings.row(q), 5);
+            auto direct =
+                reference.search(data.queries.embeddings.row(q), 5).hits;
+            ASSERT_EQ(via_broker.size(), direct.size())
+                << "traced=" << traced << " q=" << q;
+            for (std::size_t i = 0; i < direct.size(); ++i) {
+                EXPECT_EQ(via_broker[i].id, direct[i].id);
+                EXPECT_FLOAT_EQ(via_broker[i].score, direct[i].score);
+            }
+        }
+    }
+    rec.stop();
+}
+
+} // namespace

@@ -13,6 +13,7 @@
 #include <numeric>
 
 #include "util/csv.hpp"
+#include "util/logging.hpp"
 #include "util/rng.hpp"
 #include "util/serialize.hpp"
 #include "util/stats.hpp"
@@ -167,6 +168,60 @@ TEST(RunningStats, MergeMatchesCombinedStream)
     EXPECT_DOUBLE_EQ(left.max(), all.max());
 }
 
+TEST(RunningStats, MergeWithEmptySidePreservesEverything)
+{
+    RunningStats filled;
+    filled.add(2.0);
+    filled.add(8.0);
+    RunningStats empty;
+
+    // empty <- filled: adopts the filled accumulator wholesale.
+    RunningStats into_empty = empty;
+    into_empty.merge(filled);
+    EXPECT_EQ(into_empty.count(), 2u);
+    EXPECT_DOUBLE_EQ(into_empty.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(into_empty.min(), 2.0);
+    EXPECT_DOUBLE_EQ(into_empty.max(), 8.0);
+
+    // filled <- empty: a no-op that must not disturb min/max/moments.
+    RunningStats into_filled = filled;
+    into_filled.merge(empty);
+    EXPECT_EQ(into_filled.count(), 2u);
+    EXPECT_DOUBLE_EQ(into_filled.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(into_filled.variance(), filled.variance());
+    EXPECT_DOUBLE_EQ(into_filled.min(), 2.0);
+    EXPECT_DOUBLE_EQ(into_filled.max(), 8.0);
+
+    // empty <- empty stays empty.
+    RunningStats both;
+    both.merge(empty);
+    EXPECT_EQ(both.count(), 0u);
+    EXPECT_DOUBLE_EQ(both.mean(), 0.0);
+}
+
+TEST(RunningStats, MergeSingleSampleAccumulators)
+{
+    RunningStats a, b;
+    a.add(-3.0);
+    b.add(7.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+    EXPECT_DOUBLE_EQ(a.min(), -3.0);
+    EXPECT_DOUBLE_EQ(a.max(), 7.0);
+    EXPECT_DOUBLE_EQ(a.variance(), 25.0);
+}
+
+TEST(RunningStats, EmptyAccumulatorIsZero)
+{
+    RunningStats stats;
+    EXPECT_EQ(stats.count(), 0u);
+    EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(stats.sum(), 0.0);
+    EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(stats.stddev(), 0.0);
+}
+
 TEST(Distribution, ExactPercentiles)
 {
     Distribution dist;
@@ -196,6 +251,21 @@ TEST(Stats, GeometricMean)
 TEST(Stats, MeanOfEmptyIsZero)
 {
     EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+TEST(Logging, RuntimeLevelRoundTrip)
+{
+    auto prev = logLevel();
+    setLogLevel(LogLevel::Warn);
+    EXPECT_EQ(logLevel(), LogLevel::Warn);
+    setLogLevel(LogLevel::Debug);
+    EXPECT_EQ(logLevel(), LogLevel::Debug);
+    // In a debug-enabled build this prints to stdout; in Release (with
+    // HERMES_ENABLE_DEBUG_LOG unset) it compiles away entirely. Either
+    // way it must not crash or change the level.
+    HERMES_DEBUG("debug smoke message");
+    EXPECT_EQ(logLevel(), LogLevel::Debug);
+    setLogLevel(prev);
 }
 
 TEST(Csv, WritesEscapedRows)

@@ -12,6 +12,7 @@
 #include "tool_common.hpp"
 
 #include "core/search_strategy.hpp"
+#include "obs/obs.hpp"
 #include "serve/broker.hpp"
 #include "util/argparse.hpp"
 #include "util/rng.hpp"
@@ -59,7 +60,21 @@ main(int argc, char **argv)
     args.addFlag("k", "5", "documents retrieved per query");
     args.addFlag("noise", "0.3", "query perturbation noise");
     args.addFlag("seed", "7", "query seed");
+    args.addFlag("metrics-json", "",
+                 "write the metrics registry as JSON to this path");
+    args.addFlag("metrics-prom", "",
+                 "write Prometheus-style metrics text to this path");
+    args.addFlag("trace-out", "",
+                 "write a Chrome trace-event JSON to this path "
+                 "(open in chrome://tracing or ui.perfetto.dev)");
+    args.addFlag("trace-sample", "1",
+                 "with --trace-out, trace one in N queries");
     args.parse(argc, argv);
+
+    if (args.given("trace-out")) {
+        obs::TraceRecorder::instance().start(
+            static_cast<std::size_t>(args.getInt("trace-sample")));
+    }
 
     std::filesystem::path dir(args.get("index"));
     auto manifest = tools::Manifest::load(dir);
@@ -139,6 +154,46 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(stats.queries),
                     static_cast<unsigned long long>(stats.deep_requests),
                     stats.nodes.size());
+    }
+
+    // Per-phase latency breakdown from the metrics registry. Serve mode
+    // records under broker.*, the in-process strategies under core.*.
+    auto &registry = obs::Registry::instance();
+    const char *prefix = broker ? "broker" : "core";
+    const char *phases[] = {"query_latency_us", "sample_phase_us",
+                            "deep_phase_us", "merge_phase_us"};
+    std::printf("\nphase breakdown (%s.*):\n", prefix);
+    for (const char *phase : phases) {
+        std::string name = std::string(prefix) + "." + phase;
+        if (!registry.hasHistogram(name))
+            continue;
+        auto summary =
+            obs::LatencySummary::from(registry.histogram(name).snapshot());
+        if (summary.count == 0)
+            continue;
+        std::printf("  %-28s p50 %9.1f us  p95 %9.1f us  "
+                    "p99 %9.1f us  max %9.1f us  (n=%llu)\n",
+                    name.c_str(), summary.p50_us, summary.p95_us,
+                    summary.p99_us, summary.max_us,
+                    static_cast<unsigned long long>(summary.count));
+    }
+
+    if (args.given("metrics-json")) {
+        registry.writeJson(args.get("metrics-json"));
+        std::printf("metrics written to %s\n",
+                    args.get("metrics-json").c_str());
+    }
+    if (args.given("metrics-prom")) {
+        registry.writePrometheus(args.get("metrics-prom"));
+        std::printf("prometheus metrics written to %s\n",
+                    args.get("metrics-prom").c_str());
+    }
+    if (args.given("trace-out")) {
+        auto &recorder = obs::TraceRecorder::instance();
+        recorder.stop();
+        recorder.writeChromeTrace(args.get("trace-out"));
+        std::printf("trace (%zu spans) written to %s\n",
+                    recorder.spanCount(), args.get("trace-out").c_str());
     }
     return 0;
 }
