@@ -22,6 +22,7 @@
 #include "util/csv.hpp"
 #include "util/logging.hpp"
 #include "util/timer.hpp"
+#include "vecstore/simd_dispatch.hpp"
 #include "workload/corpus.hpp"
 
 namespace hermes {
@@ -42,6 +43,8 @@ banner(const std::string &figure, const std::string &title,
     std::printf("==============================================================\n");
     std::printf("%s — %s\n", figure.c_str(), title.c_str());
     std::printf("# paper: %s\n", paper_claim.c_str());
+    std::printf("# simd: %s kernels (override with HERMES_SIMD=scalar|avx2)\n",
+                vecstore::simd::activeIsa());
     std::printf("==============================================================\n");
 }
 

@@ -8,11 +8,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <limits>
+
 #include "cluster/kmeans.hpp"
 #include "quant/codec.hpp"
 #include "util/rng.hpp"
 #include "vecstore/distance.hpp"
 #include "vecstore/matrix.hpp"
+#include "vecstore/simd_dispatch.hpp"
 #include "vecstore/topk.hpp"
 
 namespace {
@@ -59,6 +63,56 @@ BM_DotProduct(benchmark::State &state)
                             dim * sizeof(float) * 2);
 }
 BENCHMARK(BM_DotProduct)->Arg(96)->Arg(768);
+
+/**
+ * Blocked query-vs-rows kernel: one call scores a whole contiguous list.
+ * bytes/sec here is what the cost model's scan_gbps_per_core abstracts.
+ */
+void
+BM_L2DistanceBatch(benchmark::State &state)
+{
+    const auto dim = static_cast<std::size_t>(state.range(0));
+    const auto n = static_cast<std::size_t>(state.range(1));
+    auto base = randomMatrix(n, dim, 11);
+    auto query = randomMatrix(1, dim, 12);
+    std::vector<float> out(n);
+    for (auto _ : state) {
+        vecstore::l2SqBatch(query.row(0).data(), base.data(), n, dim,
+                            out.data());
+        benchmark::DoNotOptimize(out.data());
+        benchmark::ClobberMemory();
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            n * dim * sizeof(float));
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            n);
+}
+BENCHMARK(BM_L2DistanceBatch)
+    ->Args({96, 1024})->Args({96, 32768})
+    ->Args({768, 1024})->Args({768, 32768});
+
+void
+BM_DotProductBatch(benchmark::State &state)
+{
+    const auto dim = static_cast<std::size_t>(state.range(0));
+    const auto n = static_cast<std::size_t>(state.range(1));
+    auto base = randomMatrix(n, dim, 13);
+    auto query = randomMatrix(1, dim, 14);
+    std::vector<float> out(n);
+    for (auto _ : state) {
+        vecstore::dotBatch(query.row(0).data(), base.data(), n, dim,
+                           out.data());
+        benchmark::DoNotOptimize(out.data());
+        benchmark::ClobberMemory();
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            n * dim * sizeof(float));
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            n);
+}
+BENCHMARK(BM_DotProductBatch)
+    ->Args({96, 1024})->Args({96, 32768})
+    ->Args({768, 1024})->Args({768, 32768});
 
 void
 BM_TopKSelection(benchmark::State &state)
@@ -111,6 +165,61 @@ BENCHMARK_CAPTURE(BM_CodecScan, SQ8, "SQ8");
 BENCHMARK_CAPTURE(BM_CodecScan, SQ4, "SQ4");
 BENCHMARK_CAPTURE(BM_CodecScan, PQ16, "PQ16");
 
+/**
+ * Batched DistanceComputer::scan() — the IVF inner loop's shape: one
+ * virtual call per probed list instead of one per code. Args are
+ * {dim, list size}; an infinite threshold requests exact scores so the
+ * scalar and SIMD arms do identical work.
+ */
+void
+BM_CodecScanBatch(benchmark::State &state, const std::string &spec)
+{
+    const auto dim = static_cast<std::size_t>(state.range(0));
+    const auto n = static_cast<std::size_t>(state.range(1));
+    // Train on a subset: codebook quality is irrelevant to scan cost and
+    // full-list PQ training at d=768 would dominate setup time.
+    const std::size_t train_rows = std::min<std::size_t>(n, 4096);
+    auto data = randomMatrix(n, dim, 15);
+    auto codec = quant::makeCodec(spec, dim);
+    {
+        vecstore::Matrix train(train_rows, dim);
+        for (std::size_t i = 0; i < train_rows; ++i) {
+            auto src = data.row(i);
+            auto dst = train.row(i);
+            std::copy(src.data(), src.data() + dim, dst.data());
+        }
+        codec->train(train);
+    }
+
+    std::vector<std::uint8_t> codes(n * codec->codeSize());
+    for (std::size_t i = 0; i < n; ++i)
+        codec->encode(data.row(i), codes.data() + i * codec->codeSize());
+
+    auto query = randomMatrix(1, dim, 16);
+    auto computer = codec->distanceComputer(vecstore::Metric::L2,
+                                            query.row(0));
+    std::vector<float> out(n);
+    for (auto _ : state) {
+        computer->scan(codes.data(), n,
+                       std::numeric_limits<float>::max(), out.data());
+        benchmark::DoNotOptimize(out.data());
+        benchmark::ClobberMemory();
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            n * codec->codeSize());
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            n);
+}
+BENCHMARK_CAPTURE(BM_CodecScanBatch, Flat, "Flat")
+    ->Args({96, 1024})->Args({96, 32768})
+    ->Args({768, 1024})->Args({768, 32768});
+BENCHMARK_CAPTURE(BM_CodecScanBatch, SQ8, "SQ8")
+    ->Args({96, 1024})->Args({96, 32768})
+    ->Args({768, 1024})->Args({768, 32768});
+BENCHMARK_CAPTURE(BM_CodecScanBatch, PQ16, "PQ16")
+    ->Args({96, 1024})->Args({96, 32768})
+    ->Args({768, 1024})->Args({768, 32768});
+
 void
 BM_KMeansAssign(benchmark::State &state)
 {
@@ -127,4 +236,17 @@ BENCHMARK(BM_KMeansAssign);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    // Record which dispatch arm ran so JSON captures are self-describing
+    // (HERMES_SIMD=scalar forces the fallback arm).
+    benchmark::AddCustomContext("hermes_simd",
+                                hermes::vecstore::simd::activeIsa());
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -6,6 +6,7 @@
 
 #include "util/logging.hpp"
 #include "util/rng.hpp"
+#include "util/threadpool.hpp"
 #include "vecstore/distance.hpp"
 #include "vecstore/topk.hpp"
 
@@ -15,6 +16,38 @@ namespace cluster {
 using vecstore::Matrix;
 
 namespace {
+
+/** Rows scored per blocked-kernel call (bounds scratch memory). */
+constexpr std::size_t kScanBlockRows = 4096;
+
+/**
+ * Index of the centroid nearest to @p x under L2, via the blocked kernel
+ * into a thread-local scratch buffer. Ties keep the lowest index, like
+ * the strict-less scalar loop this replaces.
+ */
+std::uint32_t
+argminCentroid(const float *x, const Matrix &centroids)
+{
+    const std::size_t k = centroids.rows();
+    const std::size_t d = centroids.dim();
+    static thread_local std::vector<float> scores;
+    if (scores.size() < std::min(k, kScanBlockRows))
+        scores.resize(std::min(k, kScanBlockRows));
+    float best = std::numeric_limits<float>::max();
+    std::uint32_t best_c = 0;
+    for (std::size_t base = 0; base < k; base += kScanBlockRows) {
+        const std::size_t len = std::min(kScanBlockRows, k - base);
+        vecstore::l2SqBatch(x, centroids.row(base).data(), len, d,
+                            scores.data());
+        for (std::size_t c = 0; c < len; ++c) {
+            if (scores[c] < best) {
+                best = scores[c];
+                best_c = static_cast<std::uint32_t>(base + c);
+            }
+        }
+    }
+    return best_c;
+}
 
 /**
  * k-means++ seeding: pick centroids proportionally to squared distance from
@@ -32,13 +65,18 @@ seedKMeansPp(const Matrix &data, std::size_t k, util::Rng &rng)
     centroids.append(data.row(first));
 
     std::vector<float> dist_sq(n, std::numeric_limits<float>::max());
+    std::vector<float> block(std::min(n, kScanBlockRows));
     for (std::size_t c = 1; c < k; ++c) {
         const float *last = centroids.row(c - 1).data();
         double total = 0.0;
-        for (std::size_t i = 0; i < n; ++i) {
-            float dd = vecstore::l2Sq(data.row(i).data(), last, d);
-            dist_sq[i] = std::min(dist_sq[i], dd);
-            total += dist_sq[i];
+        for (std::size_t base = 0; base < n; base += kScanBlockRows) {
+            const std::size_t len = std::min(kScanBlockRows, n - base);
+            vecstore::l2SqBatch(last, data.row(base).data(), len, d,
+                                block.data());
+            for (std::size_t i = 0; i < len; ++i) {
+                dist_sq[base + i] = std::min(dist_sq[base + i], block[i]);
+                total += dist_sq[base + i];
+            }
         }
         if (total <= 0.0) {
             // All remaining points coincide with chosen centroids; fall
@@ -111,19 +149,20 @@ kmeans(const Matrix &data, const KMeansConfig &config)
     for (std::size_t iter = 0; iter < config.max_iterations; ++iter) {
         result.iterations = iter + 1;
 
-        // Assignment step.
+        // Assignment step: one blocked scan of the centroid matrix per
+        // point instead of a per-centroid kernel call.
         double objective = 0.0;
         std::fill(result.sizes.begin(), result.sizes.end(), 0);
         std::fill(sums.begin(), sums.end(), 0.0);
+        std::vector<float> cd(k);
         for (std::size_t i = 0; i < n; ++i) {
             const float *x = train->row(i).data();
+            vecstore::l2SqBatch(x, result.centroids.data(), k, d, cd.data());
             float best = std::numeric_limits<float>::max();
             std::uint32_t best_c = 0;
             for (std::size_t c = 0; c < k; ++c) {
-                float dd = vecstore::l2Sq(x, result.centroids.row(c).data(),
-                                          d);
-                if (dd < best) {
-                    best = dd;
+                if (cd[c] < best) {
+                    best = cd[c];
                     best_c = static_cast<std::uint32_t>(c);
                 }
             }
@@ -186,45 +225,51 @@ kmeans(const Matrix &data, const KMeansConfig &config)
 }
 
 std::vector<std::uint32_t>
-assignToCentroids(const Matrix &data, const Matrix &centroids)
+assignToCentroids(const Matrix &data, const Matrix &centroids,
+                  util::ThreadPool *pool)
 {
     HERMES_ASSERT(data.dim() == centroids.dim(),
                   "assign: dim mismatch ", data.dim(), " vs ",
                   centroids.dim());
     std::vector<std::uint32_t> out(data.rows());
-    for (std::size_t i = 0; i < data.rows(); ++i)
-        out[i] = nearestCentroid(data.row(i), centroids);
+    auto assignOne = [&](std::size_t i) {
+        out[i] = argminCentroid(data.row(i).data(), centroids);
+    };
+    if (pool != nullptr) {
+        pool->parallelFor(data.rows(), assignOne);
+    } else {
+        for (std::size_t i = 0; i < data.rows(); ++i)
+            assignOne(i);
+    }
     return out;
 }
 
 std::uint32_t
 nearestCentroid(vecstore::VecView v, const Matrix &centroids)
 {
-    const std::size_t k = centroids.rows();
-    const std::size_t d = centroids.dim();
-    HERMES_ASSERT(k > 0, "nearestCentroid: empty centroid set");
-    float best = std::numeric_limits<float>::max();
-    std::uint32_t best_c = 0;
-    for (std::size_t c = 0; c < k; ++c) {
-        float dd = vecstore::l2Sq(v.data(), centroids.row(c).data(), d);
-        if (dd < best) {
-            best = dd;
-            best_c = static_cast<std::uint32_t>(c);
-        }
-    }
-    return best_c;
+    HERMES_ASSERT(centroids.rows() > 0,
+                  "nearestCentroid: empty centroid set");
+    return argminCentroid(v.data(), centroids);
 }
 
 std::vector<std::uint32_t>
 nearestCentroids(vecstore::VecView v, const Matrix &centroids, std::size_t n)
 {
     const std::size_t k = centroids.rows();
+    const std::size_t d = centroids.dim();
     n = std::min(n, k);
     vecstore::TopK selector(n);
-    for (std::size_t c = 0; c < k; ++c) {
-        float dd = vecstore::l2Sq(v.data(), centroids.row(c).data(),
-                                  centroids.dim());
-        selector.push(static_cast<vecstore::VecId>(c), dd);
+    static thread_local std::vector<float> scores;
+    if (scores.size() < std::min(k, kScanBlockRows))
+        scores.resize(std::min(k, kScanBlockRows));
+    for (std::size_t base = 0; base < k; base += kScanBlockRows) {
+        const std::size_t len = std::min(kScanBlockRows, k - base);
+        vecstore::l2SqBatch(v.data(), centroids.row(base).data(), len, d,
+                            scores.data());
+        for (std::size_t c = 0; c < len; ++c) {
+            selector.push(static_cast<vecstore::VecId>(base + c),
+                          scores[c]);
+        }
     }
     auto hits = selector.take();
     std::vector<std::uint32_t> out;

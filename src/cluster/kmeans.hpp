@@ -15,6 +15,11 @@
 #include "vecstore/types.hpp"
 
 namespace hermes {
+
+namespace util {
+class ThreadPool;
+} // namespace util
+
 namespace cluster {
 
 /** K-means configuration. */
@@ -71,10 +76,13 @@ struct KMeansResult
 KMeansResult kmeans(const vecstore::Matrix &data, const KMeansConfig &config);
 
 /**
- * Assign each row of @p data to the nearest centroid (L2).
+ * Assign each row of @p data to the nearest centroid (L2). When @p pool
+ * is non-null the rows are fanned out over it (assignments are
+ * independent, so the result is identical either way).
  */
 std::vector<std::uint32_t> assignToCentroids(const vecstore::Matrix &data,
-                                             const vecstore::Matrix &centroids);
+                                             const vecstore::Matrix &centroids,
+                                             util::ThreadPool *pool = nullptr);
 
 /** Nearest centroid of a single vector. */
 std::uint32_t nearestCentroid(vecstore::VecView v,

@@ -4,6 +4,7 @@
 
 #include "util/logging.hpp"
 #include "vecstore/distance.hpp"
+#include "vecstore/simd_dispatch.hpp"
 
 namespace hermes {
 namespace core {
@@ -14,14 +15,17 @@ rerankByInnerProduct(const vecstore::Matrix &data, vecstore::VecView query,
 {
     vecstore::HitList out;
     out.reserve(hits.size());
+    // Hit rows are scattered, so this stays one kernel call per hit —
+    // but the dispatch-table load is hoisted out of the loop.
+    const auto &kt = vecstore::simd::active();
     for (const auto &hit : hits) {
         HERMES_ASSERT(hit.id >= 0 &&
                       static_cast<std::size_t>(hit.id) < data.rows(),
                       "rerank: hit id ", hit.id, " outside datastore");
-        float ip = vecstore::dot(query.data(),
-                                 data.row(static_cast<std::size_t>(
-                                     hit.id)).data(),
-                                 data.dim());
+        float ip = kt.dot(query.data(),
+                          data.row(static_cast<std::size_t>(
+                              hit.id)).data(),
+                          data.dim());
         out.push_back({hit.id, -ip});
     }
     std::sort(out.begin(), out.end(), [](const auto &a, const auto &b) {

@@ -1,5 +1,8 @@
 #include "index/flat_index.hpp"
 
+#include <algorithm>
+#include <vector>
+
 #include "util/logging.hpp"
 #include "vecstore/distance.hpp"
 #include "vecstore/topk.hpp"
@@ -35,11 +38,21 @@ FlatIndex::search(vecstore::VecView query, std::size_t k,
 {
     HERMES_ASSERT(query.size() == data_.dim(), "search: dim mismatch");
     const std::size_t n = data_.rows();
+    const std::size_t d = data_.dim();
     vecstore::TopK selector(std::max<std::size_t>(k, 1));
-    for (std::size_t i = 0; i < n; ++i) {
-        float score = vecstore::distance(metric_, query.data(),
-                                         data_.row(i).data(), data_.dim());
-        selector.push(ids_[i], score);
+
+    // Block-oriented scan: the metric dispatch happens once per block
+    // (not per row) and the scores land in a buffer reused across calls.
+    constexpr std::size_t kBlockRows = 4096;
+    static thread_local std::vector<float> scores;
+    if (scores.size() < std::min(n, kBlockRows))
+        scores.resize(std::min(n, kBlockRows));
+    for (std::size_t base = 0; base < n; base += kBlockRows) {
+        const std::size_t len = std::min(kBlockRows, n - base);
+        vecstore::distanceBatch(metric_, query.data(),
+                                data_.data() + base * d, len, d,
+                                scores.data());
+        selector.pushBatch(ids_.data() + base, scores.data(), len);
     }
     if (stats) {
         stats->vectors_scanned += n;

@@ -72,21 +72,54 @@ void
 IvfIndex::add(const vecstore::Matrix &data,
               const std::vector<vecstore::VecId> &ids)
 {
+    addImpl(data, ids, nullptr);
+}
+
+void
+IvfIndex::addParallel(const vecstore::Matrix &data,
+                      const std::vector<vecstore::VecId> &ids,
+                      util::ThreadPool &pool)
+{
+    addImpl(data, ids, &pool);
+}
+
+void
+IvfIndex::addImpl(const vecstore::Matrix &data,
+                  const std::vector<vecstore::VecId> &ids,
+                  util::ThreadPool *pool)
+{
     HERMES_ASSERT(trained_, "IvfIndex::add before train");
     HERMES_ASSERT(data.rows() == ids.size(), "add: row/id count mismatch");
     HERMES_ASSERT(data.dim() == dim_, "add: dim mismatch");
 
+    const std::size_t n = data.rows();
     const std::size_t code_size = codec_->codeSize();
-    std::vector<std::uint8_t> code(code_size);
-    for (std::size_t i = 0; i < data.rows(); ++i) {
+
+    // Phase 1: batch-assign and encode every row (independent per row,
+    // so it fans out over the pool when one is supplied).
+    std::vector<std::uint32_t> assign(n);
+    std::vector<std::uint8_t> codes(n * code_size);
+    auto assignAndEncode = [&](std::size_t i) {
         auto v = data.row(i);
-        std::uint32_t list = cluster::nearestCentroid(v, centroids_);
-        codec_->encode(v, code.data());
-        auto &il = lists_[list];
-        il.ids.push_back(ids[i]);
-        il.codes.insert(il.codes.end(), code.begin(), code.end());
+        assign[i] = cluster::nearestCentroid(v, centroids_);
+        codec_->encode(v, codes.data() + i * code_size);
+    };
+    if (pool != nullptr) {
+        pool->parallelFor(n, assignAndEncode);
+    } else {
+        for (std::size_t i = 0; i < n; ++i)
+            assignAndEncode(i);
     }
-    ntotal_ += data.rows();
+
+    // Phase 2: sequential scatter preserves insertion order within each
+    // list, so the result is identical to a row-by-row add().
+    for (std::size_t i = 0; i < n; ++i) {
+        auto &il = lists_[assign[i]];
+        il.ids.push_back(ids[i]);
+        il.codes.insert(il.codes.end(), codes.begin() + i * code_size,
+                        codes.begin() + (i + 1) * code_size);
+    }
+    ntotal_ += n;
 }
 
 vecstore::HitList
@@ -122,11 +155,13 @@ IvfIndex::search(vecstore::VecView query, std::size_t k,
         coarse_evals = coarse_stats.distance_computations;
     } else {
         vecstore::TopK coarse(nprobe);
-        for (std::size_t c = 0; c < config_.nlist; ++c) {
-            coarse.push(static_cast<vecstore::VecId>(c),
-                        vecstore::l2Sq(query.data(),
-                                       centroids_.row(c).data(), dim_));
-        }
+        static thread_local std::vector<float> coarse_scores;
+        if (coarse_scores.size() < config_.nlist)
+            coarse_scores.resize(config_.nlist);
+        vecstore::l2SqBatch(query.data(), centroids_.data(), config_.nlist,
+                            dim_, coarse_scores.data());
+        for (std::size_t c = 0; c < config_.nlist; ++c)
+            coarse.push(static_cast<vecstore::VecId>(c), coarse_scores[c]);
         probe = coarse.take();
     }
     h_coarse.observe(timer.elapsedMicros());
@@ -152,16 +187,24 @@ IvfIndex::search(vecstore::VecView query, std::size_t k,
                 probe.front().score >= 0.0f
             ? static_cast<float>(params.prune_ratio) * probe.front().score
             : std::numeric_limits<float>::max();
+    // Block-oriented list scan: one scan() call per probed list (no
+    // virtual dispatch per vector) into a buffer reused across lists and
+    // queries, then a batched heap offer filtered against the current
+    // worst retained score.
+    static thread_local std::vector<float> scan_scores;
     for (const auto &candidate : probe) {
         if (candidate.score > prune_bound)
             break;
         const auto &il = lists_[static_cast<std::size_t>(candidate.id)];
-        const std::uint8_t *codes = il.codes.data();
-        for (std::size_t i = 0; i < il.ids.size(); ++i) {
-            float score = (*computer)(codes + i * code_size);
-            selector.push(il.ids[i], score);
+        const std::size_t len = il.ids.size();
+        if (len > 0) {
+            if (scan_scores.size() < len)
+                scan_scores.resize(len);
+            computer->scan(il.codes.data(), len, selector.worst(),
+                           scan_scores.data());
+            selector.pushBatch(il.ids.data(), scan_scores.data(), len);
         }
-        scanned += il.ids.size();
+        scanned += len;
         ++probed;
     }
 

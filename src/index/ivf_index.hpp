@@ -66,6 +66,16 @@ class IvfIndex : public AnnIndex
     void train(const vecstore::Matrix &data) override;
     void add(const vecstore::Matrix &data,
              const std::vector<vecstore::VecId> &ids) override;
+
+    /**
+     * add() with the assign+encode phase fanned out over @p pool (the
+     * per-row work — nearest-centroid assignment and codec encoding — is
+     * embarrassingly parallel; the list append stays sequential). The
+     * resulting index is identical to a sequential add().
+     */
+    void addParallel(const vecstore::Matrix &data,
+                     const std::vector<vecstore::VecId> &ids,
+                     util::ThreadPool &pool);
     vecstore::HitList search(vecstore::VecView query, std::size_t k,
                              const SearchParams &params = {},
                              SearchStats *stats = nullptr) const override;
@@ -100,6 +110,10 @@ class IvfIndex : public AnnIndex
     static std::size_t suggestedNlist(std::size_t n);
 
   private:
+    void addImpl(const vecstore::Matrix &data,
+                 const std::vector<vecstore::VecId> &ids,
+                 util::ThreadPool *pool);
+
     struct InvertedList
     {
         std::vector<vecstore::VecId> ids;

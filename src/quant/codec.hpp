@@ -25,15 +25,43 @@ namespace quant {
  * Per-query distance evaluator over codes.
  *
  * Codecs return a specialized computer (e.g. PQ lookup tables) so the hot
- * scan loop does no virtual dispatch per dimension.
+ * scan loop does no virtual dispatch per dimension — and, via scan(), no
+ * virtual dispatch per vector either.
  */
 class DistanceComputer
 {
   public:
+    /** @param code_size Bytes per encoded vector (the scan stride). */
+    explicit DistanceComputer(std::size_t code_size)
+        : code_size_(code_size)
+    {
+    }
+
     virtual ~DistanceComputer() = default;
 
     /** Distance ("smaller = closer") from the bound query to @p code. */
     virtual float operator()(const std::uint8_t *code) const = 0;
+
+    /**
+     * Batched scan over @p n contiguous codes (stride = codeSize bytes):
+     * writes out[i] = distance to code i.
+     *
+     * Contract: @p threshold is a pruning hint. An implementation may
+     * write any value strictly greater than @p threshold for a row whose
+     * exact distance provably exceeds it, so callers must treat
+     * out[i] > threshold as "not a candidate" rather than as an exact
+     * distance. Pass +inf (TopK::worst() before the heap fills) to
+     * request exact scores for every row. The default implementation
+     * loops over operator(); codecs override it with blocked kernels.
+     */
+    virtual void scan(const std::uint8_t *codes, std::size_t n,
+                      float threshold, float *out) const;
+
+    /** Bytes per encoded vector. */
+    std::size_t codeSize() const { return code_size_; }
+
+  protected:
+    std::size_t code_size_;
 };
 
 /** Abstract vector codec. */

@@ -30,6 +30,17 @@ parseSuffix(const std::string &spec, std::size_t prefix_len)
 
 } // namespace
 
+void
+DistanceComputer::scan(const std::uint8_t *codes, std::size_t n,
+                       float /*threshold*/, float *out) const
+{
+    // Generic fallback: one virtual call per code. Codecs override this
+    // with blocked kernels; the threshold hint is unused here because
+    // per-code evaluation is already exact.
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = (*this)(codes + i * code_size_);
+}
+
 std::unique_ptr<Codec>
 makeCodec(const std::string &spec, std::size_t dim)
 {

@@ -14,7 +14,8 @@ class FlatDistance : public DistanceComputer
 {
   public:
     FlatDistance(vecstore::Metric metric, vecstore::VecView query)
-        : metric_(metric), query_(query)
+        : DistanceComputer(query.size() * sizeof(float)), metric_(metric),
+          query_(query)
     {
     }
 
@@ -23,6 +24,19 @@ class FlatDistance : public DistanceComputer
     {
         const float *v = reinterpret_cast<const float *>(code);
         return vecstore::distance(metric_, query_.data(), v, query_.size());
+    }
+
+    void
+    scan(const std::uint8_t *codes, std::size_t n, float /*threshold*/,
+         float *out) const override
+    {
+        // Flat codes are raw float rows, so the scan is exactly the
+        // blocked dense kernel. Code offsets are multiples of 4*dim
+        // bytes inside an allocator-aligned buffer, so the float
+        // reinterpretation is aligned.
+        vecstore::distanceBatch(metric_, query_.data(),
+                                reinterpret_cast<const float *>(codes), n,
+                                query_.size(), out);
     }
 
   private:

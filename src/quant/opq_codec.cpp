@@ -16,7 +16,8 @@ class RotatedDistance : public DistanceComputer
   public:
     RotatedDistance(std::vector<float> rotated_query,
                     std::unique_ptr<DistanceComputer> inner)
-        : rotated_query_(std::move(rotated_query)), inner_(std::move(inner))
+        : DistanceComputer(inner->codeSize()),
+          rotated_query_(std::move(rotated_query)), inner_(std::move(inner))
     {
     }
 
@@ -24,6 +25,13 @@ class RotatedDistance : public DistanceComputer
     operator()(const std::uint8_t *code) const override
     {
         return (*inner_)(code);
+    }
+
+    void
+    scan(const std::uint8_t *codes, std::size_t n, float threshold,
+         float *out) const override
+    {
+        inner_->scan(codes, n, threshold, out);
     }
 
   private:

@@ -17,7 +17,7 @@ class AdcDistance : public DistanceComputer
 {
   public:
     AdcDistance(std::vector<float> table, std::size_t m)
-        : table_(std::move(table)), m_(m)
+        : DistanceComputer(m), table_(std::move(table)), m_(m)
     {
     }
 
@@ -29,6 +29,42 @@ class AdcDistance : public DistanceComputer
         for (std::size_t sub = 0; sub < m_; ++sub)
             acc += table[sub * PqCodec::kSubCodebookSize + code[sub]];
         return acc;
+    }
+
+    void
+    scan(const std::uint8_t *codes, std::size_t n, float /*threshold*/,
+         float *out) const override
+    {
+        // Four codes in flight: the table loads for the four rows are
+        // independent, so out-of-order execution overlaps the gather
+        // latency that serializes the one-code-at-a-time loop. The
+        // prefetch pulls the next code block while this one is summed.
+        const float *table = table_.data();
+        const std::size_t m = m_;
+        std::size_t i = 0;
+        for (; i + 4 <= n; i += 4) {
+            const std::uint8_t *c0 = codes + i * m;
+            const std::uint8_t *c1 = c0 + m;
+            const std::uint8_t *c2 = c1 + m;
+            const std::uint8_t *c3 = c2 + m;
+            __builtin_prefetch(c0 + 4 * m, 0, 3);
+            __builtin_prefetch(c0 + 4 * m + 64, 0, 3);
+            float a0 = 0.f, a1 = 0.f, a2 = 0.f, a3 = 0.f;
+            for (std::size_t sub = 0; sub < m; ++sub) {
+                const float *row =
+                    table + sub * PqCodec::kSubCodebookSize;
+                a0 += row[c0[sub]];
+                a1 += row[c1[sub]];
+                a2 += row[c2[sub]];
+                a3 += row[c3[sub]];
+            }
+            out[i] = a0;
+            out[i + 1] = a1;
+            out[i + 2] = a2;
+            out[i + 3] = a3;
+        }
+        for (; i < n; ++i)
+            out[i] = (*this)(codes + i * m);
     }
 
   private:
@@ -118,16 +154,13 @@ PqCodec::computeAdcTable(vecstore::Metric metric, vecstore::VecView query,
                          float *table) const
 {
     HERMES_ASSERT(trained_, "PqCodec used before training");
+    // Each subquantizer's 256 centroids are contiguous, so table rows are
+    // one blocked-kernel call against the codebook slab.
     for (std::size_t sub = 0; sub < m_; ++sub) {
         const float *q = query.data() + sub * dsub_;
         float *row = table + sub * kSubCodebookSize;
-        for (std::size_t c = 0; c < kSubCodebookSize; ++c) {
-            const float *centroid = subCentroid(sub, c);
-            if (metric == vecstore::Metric::L2)
-                row[c] = vecstore::l2Sq(q, centroid, dsub_);
-            else
-                row[c] = -vecstore::dot(q, centroid, dsub_);
-        }
+        vecstore::distanceBatch(metric, q, subCentroid(sub, 0),
+                                kSubCodebookSize, dsub_, row);
     }
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/logging.hpp"
+#include "vecstore/simd_dispatch.hpp"
 
 namespace hermes {
 namespace quant {
@@ -13,15 +14,47 @@ namespace {
 /**
  * Decode-on-the-fly distance computer. For SQ8, reconstruction per element
  * is one multiply-add, so asymmetric distances stay cheap without tables.
+ *
+ * The batched SQ8 scan folds the reconstruction into the distance:
+ * with scale[j] = vdiff[j]/255 the decoded value is
+ * vmin[j] + scale[j]*code[j], so
+ *
+ *   L2: (q[j] - decoded)^2 = ((q[j] - vmin[j]) - scale[j]*code[j])^2
+ *   IP: q[j]*decoded       = q[j]*vmin[j] + (q[j]*scale[j])*code[j]
+ *
+ * and the per-query operands (q - vmin, q*scale, dot(q, vmin)) are
+ * precomputed once here. Both dispatch arms use this restructured form,
+ * so scalar-vs-AVX2 results differ only by reduction-order ulps.
  */
 class ScalarDistance : public DistanceComputer
 {
   public:
     ScalarDistance(const ScalarCodec &codec, vecstore::Metric metric,
                    vecstore::VecView query)
-        : codec_(codec), metric_(metric), query_(query),
-          buffer_(codec.dim())
+        : DistanceComputer(codec.codeSize()), codec_(codec),
+          metric_(metric), query_(query), buffer_(codec.dim())
     {
+        if (codec_.bits() != 8)
+            return;
+        const std::size_t d = codec_.dim();
+        const float inv_levels =
+            1.f / static_cast<float>(codec_.levels() - 1);
+        const auto &vmin = codec_.mins();
+        const auto &vdiff = codec_.widths();
+        a_.resize(d);
+        if (metric_ == vecstore::Metric::L2) {
+            b_.resize(d);
+            for (std::size_t j = 0; j < d; ++j) {
+                a_[j] = query_[j] - vmin[j];
+                b_[j] = vdiff[j] * inv_levels;
+            }
+        } else {
+            bias_ = 0.f;
+            for (std::size_t j = 0; j < d; ++j) {
+                a_[j] = query_[j] * vdiff[j] * inv_levels;
+                bias_ += query_[j] * vmin[j];
+            }
+        }
     }
 
     float
@@ -43,11 +76,32 @@ class ScalarDistance : public DistanceComputer
         return -acc;
     }
 
+    void
+    scan(const std::uint8_t *codes, std::size_t n, float threshold,
+         float *out) const override
+    {
+        if (codec_.bits() != 8) {
+            // SQ4 keeps the decode-per-code path (half-byte unpack does
+            // not batch profitably without a dedicated kernel).
+            DistanceComputer::scan(codes, n, threshold, out);
+            return;
+        }
+        const std::size_t d = codec_.dim();
+        const auto &kt = vecstore::simd::active();
+        if (metric_ == vecstore::Metric::L2)
+            kt.sq8_scan_l2(a_.data(), b_.data(), codes, n, d, out);
+        else
+            kt.sq8_scan_ip(a_.data(), bias_, codes, n, d, out);
+    }
+
   private:
     const ScalarCodec &codec_;
     vecstore::Metric metric_;
     vecstore::VecView query_;
     mutable std::vector<float> buffer_;
+    std::vector<float> a_; ///< SQ8: q - vmin (L2) or q*scale (IP)
+    std::vector<float> b_; ///< SQ8 L2: per-dimension scale
+    float bias_ = 0.f;     ///< SQ8 IP: dot(q, vmin)
 };
 
 } // namespace

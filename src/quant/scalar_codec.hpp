@@ -42,6 +42,12 @@ class ScalarCodec : public Codec
 
     int bits() const { return bits_; }
 
+    /** Per-dimension range minima (valid after train). */
+    const std::vector<float> &mins() const { return vmin_; }
+
+    /** Per-dimension range widths (valid after train). */
+    const std::vector<float> &widths() const { return vdiff_; }
+
     /** Quantization levels per dimension (2^bits). */
     std::size_t levels() const { return std::size_t(1) << bits_; }
 

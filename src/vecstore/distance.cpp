@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "util/logging.hpp"
+#include "vecstore/simd_dispatch.hpp"
 
 namespace hermes {
 namespace vecstore {
@@ -20,57 +21,30 @@ metricName(Metric m)
 float
 l2Sq(const float *a, const float *b, std::size_t d)
 {
-    // Four accumulators keep the loop free of a serial dependency chain so
-    // the compiler can vectorize it.
-    float acc0 = 0.f, acc1 = 0.f, acc2 = 0.f, acc3 = 0.f;
-    std::size_t i = 0;
-    for (; i + 4 <= d; i += 4) {
-        float d0 = a[i] - b[i];
-        float d1 = a[i + 1] - b[i + 1];
-        float d2 = a[i + 2] - b[i + 2];
-        float d3 = a[i + 3] - b[i + 3];
-        acc0 += d0 * d0;
-        acc1 += d1 * d1;
-        acc2 += d2 * d2;
-        acc3 += d3 * d3;
-    }
-    for (; i < d; ++i) {
-        float diff = a[i] - b[i];
-        acc0 += diff * diff;
-    }
-    return acc0 + acc1 + acc2 + acc3;
+    return simd::active().l2_sq(a, b, d);
 }
 
 float
 dot(const float *a, const float *b, std::size_t d)
 {
-    float acc0 = 0.f, acc1 = 0.f, acc2 = 0.f, acc3 = 0.f;
-    std::size_t i = 0;
-    for (; i + 4 <= d; i += 4) {
-        acc0 += a[i] * b[i];
-        acc1 += a[i + 1] * b[i + 1];
-        acc2 += a[i + 2] * b[i + 2];
-        acc3 += a[i + 3] * b[i + 3];
-    }
-    for (; i < d; ++i)
-        acc0 += a[i] * b[i];
-    return acc0 + acc1 + acc2 + acc3;
+    return simd::active().dot(a, b, d);
 }
 
 float
 normSq(const float *a, std::size_t d)
 {
-    return dot(a, a, d);
+    return simd::active().dot(a, a, d);
 }
 
 float
 cosine(const float *a, const float *b, std::size_t d)
 {
-    float na = normSq(a, d);
-    float nb = normSq(b, d);
+    const auto &kt = simd::active();
+    float na = kt.dot(a, a, d);
+    float nb = kt.dot(b, b, d);
     if (na <= 0.f || nb <= 0.f)
         return 0.f;
-    return dot(a, b, d) / std::sqrt(na * nb);
+    return kt.dot(a, b, d) / std::sqrt(na * nb);
 }
 
 float
@@ -78,24 +52,39 @@ distance(Metric metric, const float *a, const float *b, std::size_t d)
 {
     switch (metric) {
       case Metric::L2:
-        return l2Sq(a, b, d);
+        return simd::active().l2_sq(a, b, d);
       case Metric::InnerProduct:
-        return -dot(a, b, d);
+        return -simd::active().dot(a, b, d);
     }
     HERMES_PANIC("unknown metric");
+}
+
+void
+l2SqBatch(const float *query, const float *base, std::size_t n,
+          std::size_t d, float *out)
+{
+    simd::active().l2_sq_batch(query, base, n, d, out);
+}
+
+void
+dotBatch(const float *query, const float *base, std::size_t n, std::size_t d,
+         float *out)
+{
+    simd::active().dot_batch(query, base, n, d, out);
 }
 
 void
 distanceBatch(Metric metric, const float *query, const float *base,
               std::size_t n, std::size_t d, float *out)
 {
+    const auto &kt = simd::active();
     if (metric == Metric::L2) {
-        for (std::size_t i = 0; i < n; ++i)
-            out[i] = l2Sq(query, base + i * d, d);
-    } else {
-        for (std::size_t i = 0; i < n; ++i)
-            out[i] = -dot(query, base + i * d, d);
+        kt.l2_sq_batch(query, base, n, d, out);
+        return;
     }
+    kt.dot_batch(query, base, n, d, out);
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = -out[i];
 }
 
 void

@@ -32,7 +32,23 @@ float cosine(const float *a, const float *b, std::size_t d);
 float distance(Metric metric, const float *a, const float *b, std::size_t d);
 
 /**
- * Batched query-to-corpus distances.
+ * Blocked kernel: out[i] = l2Sq(query, base + i*d) for i in [0, n).
+ * Rows must be contiguous; runs the SIMD arm selected at startup.
+ */
+void l2SqBatch(const float *query, const float *base, std::size_t n,
+               std::size_t d, float *out);
+
+/**
+ * Blocked kernel: out[i] = dot(query, base + i*d) for i in [0, n).
+ * Raw dot products — callers wanting IP *scores* negate themselves (or
+ * use distanceBatch).
+ */
+void dotBatch(const float *query, const float *base, std::size_t n,
+              std::size_t d, float *out);
+
+/**
+ * Batched query-to-corpus distances. Dispatches the metric once per call
+ * (not per row) into the blocked kernels above.
  *
  * @param metric Distance metric.
  * @param query  Query vector (d floats).

@@ -1,0 +1,331 @@
+/**
+ * @file
+ * AVX2/FMA kernel arm.
+ *
+ * This is the only translation unit in the repo compiled with
+ * -mavx2 -mfma (see src/vecstore/CMakeLists.txt); keeping the arch flags
+ * confined here means the rest of the binary stays runnable on any
+ * x86-64, with simd_dispatch.cpp deciding at startup whether this arm may
+ * be used. Nothing here is referenced unless HERMES_HAVE_AVX2_TU is
+ * defined for the vecstore target.
+ *
+ * Layout conventions match the scalar arm: batched kernels score one
+ * query against n contiguous row-major rows, four rows in flight with a
+ * software prefetch of the next row group. All loads are unaligned
+ * (codes and matrix rows carry no alignment guarantee beyond their
+ * element type).
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <immintrin.h>
+
+#include "vecstore/simd_dispatch.hpp"
+
+namespace hermes {
+namespace vecstore {
+namespace simd {
+
+namespace {
+
+/** Horizontal sum of the 8 lanes of @p v. */
+inline float
+hsum256(__m256 v)
+{
+    __m128 lo = _mm256_castps256_ps128(v);
+    __m128 hi = _mm256_extractf128_ps(v, 1);
+    lo = _mm_add_ps(lo, hi);
+    lo = _mm_add_ps(lo, _mm_movehl_ps(lo, lo));
+    lo = _mm_add_ss(lo, _mm_shuffle_ps(lo, lo, 1));
+    return _mm_cvtss_f32(lo);
+}
+
+/*
+ * Single-vector kernels run four independent FMA chains (32 floats per
+ * iteration): with two chains the d=768 case is latency-bound on the
+ * accumulator dependency, not load throughput.
+ */
+float
+avx2L2Sq(const float *a, const float *b, std::size_t d)
+{
+    __m256 acc0 = _mm256_setzero_ps();
+    __m256 acc1 = _mm256_setzero_ps();
+    __m256 acc2 = _mm256_setzero_ps();
+    __m256 acc3 = _mm256_setzero_ps();
+    std::size_t i = 0;
+    for (; i + 32 <= d; i += 32) {
+        __m256 d0 = _mm256_sub_ps(_mm256_loadu_ps(a + i),
+                                  _mm256_loadu_ps(b + i));
+        __m256 d1 = _mm256_sub_ps(_mm256_loadu_ps(a + i + 8),
+                                  _mm256_loadu_ps(b + i + 8));
+        __m256 d2 = _mm256_sub_ps(_mm256_loadu_ps(a + i + 16),
+                                  _mm256_loadu_ps(b + i + 16));
+        __m256 d3 = _mm256_sub_ps(_mm256_loadu_ps(a + i + 24),
+                                  _mm256_loadu_ps(b + i + 24));
+        acc0 = _mm256_fmadd_ps(d0, d0, acc0);
+        acc1 = _mm256_fmadd_ps(d1, d1, acc1);
+        acc2 = _mm256_fmadd_ps(d2, d2, acc2);
+        acc3 = _mm256_fmadd_ps(d3, d3, acc3);
+    }
+    for (; i + 8 <= d; i += 8) {
+        __m256 d0 = _mm256_sub_ps(_mm256_loadu_ps(a + i),
+                                  _mm256_loadu_ps(b + i));
+        acc0 = _mm256_fmadd_ps(d0, d0, acc0);
+    }
+    float acc = hsum256(_mm256_add_ps(_mm256_add_ps(acc0, acc1),
+                                      _mm256_add_ps(acc2, acc3)));
+    for (; i < d; ++i) {
+        float diff = a[i] - b[i];
+        acc += diff * diff;
+    }
+    return acc;
+}
+
+float
+avx2Dot(const float *a, const float *b, std::size_t d)
+{
+    __m256 acc0 = _mm256_setzero_ps();
+    __m256 acc1 = _mm256_setzero_ps();
+    __m256 acc2 = _mm256_setzero_ps();
+    __m256 acc3 = _mm256_setzero_ps();
+    std::size_t i = 0;
+    for (; i + 32 <= d; i += 32) {
+        acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i),
+                               _mm256_loadu_ps(b + i), acc0);
+        acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i + 8),
+                               _mm256_loadu_ps(b + i + 8), acc1);
+        acc2 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i + 16),
+                               _mm256_loadu_ps(b + i + 16), acc2);
+        acc3 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i + 24),
+                               _mm256_loadu_ps(b + i + 24), acc3);
+    }
+    for (; i + 8 <= d; i += 8) {
+        acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i),
+                               _mm256_loadu_ps(b + i), acc0);
+    }
+    float acc = hsum256(_mm256_add_ps(_mm256_add_ps(acc0, acc1),
+                                      _mm256_add_ps(acc2, acc3)));
+    for (; i < d; ++i)
+        acc += a[i] * b[i];
+    return acc;
+}
+
+/**
+ * Four-row blocked L2 scan: one pass over the query scores four rows,
+ * so each 8-lane query load is amortized across four FMAs and the row
+ * streams hit distinct load ports.
+ */
+void
+avx2L2SqBatch(const float *query, const float *base, std::size_t n,
+              std::size_t d, float *out)
+{
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const float *r0 = base + i * d;
+        const float *r1 = r0 + d;
+        const float *r2 = r1 + d;
+        const float *r3 = r2 + d;
+        _mm_prefetch(reinterpret_cast<const char *>(r3 + d), _MM_HINT_T0);
+        _mm_prefetch(reinterpret_cast<const char *>(r3 + 2 * d),
+                     _MM_HINT_T0);
+        __m256 a0 = _mm256_setzero_ps();
+        __m256 a1 = _mm256_setzero_ps();
+        __m256 a2 = _mm256_setzero_ps();
+        __m256 a3 = _mm256_setzero_ps();
+        std::size_t j = 0;
+        for (; j + 8 <= d; j += 8) {
+            __m256 q = _mm256_loadu_ps(query + j);
+            __m256 d0 = _mm256_sub_ps(q, _mm256_loadu_ps(r0 + j));
+            __m256 d1 = _mm256_sub_ps(q, _mm256_loadu_ps(r1 + j));
+            __m256 d2 = _mm256_sub_ps(q, _mm256_loadu_ps(r2 + j));
+            __m256 d3 = _mm256_sub_ps(q, _mm256_loadu_ps(r3 + j));
+            a0 = _mm256_fmadd_ps(d0, d0, a0);
+            a1 = _mm256_fmadd_ps(d1, d1, a1);
+            a2 = _mm256_fmadd_ps(d2, d2, a2);
+            a3 = _mm256_fmadd_ps(d3, d3, a3);
+        }
+        float s0 = hsum256(a0);
+        float s1 = hsum256(a1);
+        float s2 = hsum256(a2);
+        float s3 = hsum256(a3);
+        for (; j < d; ++j) {
+            float q = query[j];
+            float e0 = q - r0[j];
+            float e1 = q - r1[j];
+            float e2 = q - r2[j];
+            float e3 = q - r3[j];
+            s0 += e0 * e0;
+            s1 += e1 * e1;
+            s2 += e2 * e2;
+            s3 += e3 * e3;
+        }
+        out[i] = s0;
+        out[i + 1] = s1;
+        out[i + 2] = s2;
+        out[i + 3] = s3;
+    }
+    for (; i < n; ++i)
+        out[i] = avx2L2Sq(query, base + i * d, d);
+}
+
+void
+avx2DotBatch(const float *query, const float *base, std::size_t n,
+             std::size_t d, float *out)
+{
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const float *r0 = base + i * d;
+        const float *r1 = r0 + d;
+        const float *r2 = r1 + d;
+        const float *r3 = r2 + d;
+        _mm_prefetch(reinterpret_cast<const char *>(r3 + d), _MM_HINT_T0);
+        _mm_prefetch(reinterpret_cast<const char *>(r3 + 2 * d),
+                     _MM_HINT_T0);
+        __m256 a0 = _mm256_setzero_ps();
+        __m256 a1 = _mm256_setzero_ps();
+        __m256 a2 = _mm256_setzero_ps();
+        __m256 a3 = _mm256_setzero_ps();
+        std::size_t j = 0;
+        for (; j + 8 <= d; j += 8) {
+            __m256 q = _mm256_loadu_ps(query + j);
+            a0 = _mm256_fmadd_ps(q, _mm256_loadu_ps(r0 + j), a0);
+            a1 = _mm256_fmadd_ps(q, _mm256_loadu_ps(r1 + j), a1);
+            a2 = _mm256_fmadd_ps(q, _mm256_loadu_ps(r2 + j), a2);
+            a3 = _mm256_fmadd_ps(q, _mm256_loadu_ps(r3 + j), a3);
+        }
+        float s0 = hsum256(a0);
+        float s1 = hsum256(a1);
+        float s2 = hsum256(a2);
+        float s3 = hsum256(a3);
+        for (; j < d; ++j) {
+            float q = query[j];
+            s0 += q * r0[j];
+            s1 += q * r1[j];
+            s2 += q * r2[j];
+            s3 += q * r3[j];
+        }
+        out[i] = s0;
+        out[i + 1] = s1;
+        out[i + 2] = s2;
+        out[i + 3] = s3;
+    }
+    for (; i < n; ++i)
+        out[i] = avx2Dot(query, base + i * d, d);
+}
+
+/** Widen 8 code bytes to 8 float lanes. */
+inline __m256
+loadCodes8(const std::uint8_t *code)
+{
+    __m128i bytes =
+        _mm_loadl_epi64(reinterpret_cast<const __m128i *>(code));
+    return _mm256_cvtepi32_ps(_mm256_cvtepu8_epi32(bytes));
+}
+
+/**
+ * Fused SQ8 dequant + L2: out[i] = sum_j (a[j] - b[j]*code[j])^2. The
+ * inner loop dequantizes 32 code bytes per iteration (4 x 8 lanes).
+ */
+void
+avx2Sq8ScanL2(const float *a, const float *b, const std::uint8_t *codes,
+              std::size_t n, std::size_t d, float *out)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint8_t *code = codes + i * d;
+        _mm_prefetch(reinterpret_cast<const char *>(code + 2 * d),
+                     _MM_HINT_T0);
+        __m256 acc0 = _mm256_setzero_ps();
+        __m256 acc1 = _mm256_setzero_ps();
+        __m256 acc2 = _mm256_setzero_ps();
+        __m256 acc3 = _mm256_setzero_ps();
+        std::size_t j = 0;
+        for (; j + 32 <= d; j += 32) {
+            __m256 d0 = _mm256_fnmadd_ps(_mm256_loadu_ps(b + j),
+                                         loadCodes8(code + j),
+                                         _mm256_loadu_ps(a + j));
+            __m256 d1 = _mm256_fnmadd_ps(_mm256_loadu_ps(b + j + 8),
+                                         loadCodes8(code + j + 8),
+                                         _mm256_loadu_ps(a + j + 8));
+            __m256 d2 = _mm256_fnmadd_ps(_mm256_loadu_ps(b + j + 16),
+                                         loadCodes8(code + j + 16),
+                                         _mm256_loadu_ps(a + j + 16));
+            __m256 d3 = _mm256_fnmadd_ps(_mm256_loadu_ps(b + j + 24),
+                                         loadCodes8(code + j + 24),
+                                         _mm256_loadu_ps(a + j + 24));
+            acc0 = _mm256_fmadd_ps(d0, d0, acc0);
+            acc1 = _mm256_fmadd_ps(d1, d1, acc1);
+            acc2 = _mm256_fmadd_ps(d2, d2, acc2);
+            acc3 = _mm256_fmadd_ps(d3, d3, acc3);
+        }
+        for (; j + 8 <= d; j += 8) {
+            __m256 d0 = _mm256_fnmadd_ps(_mm256_loadu_ps(b + j),
+                                         loadCodes8(code + j),
+                                         _mm256_loadu_ps(a + j));
+            acc0 = _mm256_fmadd_ps(d0, d0, acc0);
+        }
+        float acc = hsum256(_mm256_add_ps(_mm256_add_ps(acc0, acc1),
+                                          _mm256_add_ps(acc2, acc3)));
+        for (; j < d; ++j) {
+            float diff = a[j] - b[j] * static_cast<float>(code[j]);
+            acc += diff * diff;
+        }
+        out[i] = acc;
+    }
+}
+
+/** Fused SQ8 dequant + IP: out[i] = -(bias + sum_j a[j]*code[j]). */
+void
+avx2Sq8ScanIp(const float *a, float bias, const std::uint8_t *codes,
+              std::size_t n, std::size_t d, float *out)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint8_t *code = codes + i * d;
+        _mm_prefetch(reinterpret_cast<const char *>(code + 2 * d),
+                     _MM_HINT_T0);
+        __m256 acc0 = _mm256_setzero_ps();
+        __m256 acc1 = _mm256_setzero_ps();
+        __m256 acc2 = _mm256_setzero_ps();
+        __m256 acc3 = _mm256_setzero_ps();
+        std::size_t j = 0;
+        for (; j + 32 <= d; j += 32) {
+            acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + j),
+                                   loadCodes8(code + j), acc0);
+            acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(a + j + 8),
+                                   loadCodes8(code + j + 8), acc1);
+            acc2 = _mm256_fmadd_ps(_mm256_loadu_ps(a + j + 16),
+                                   loadCodes8(code + j + 16), acc2);
+            acc3 = _mm256_fmadd_ps(_mm256_loadu_ps(a + j + 24),
+                                   loadCodes8(code + j + 24), acc3);
+        }
+        for (; j + 8 <= d; j += 8) {
+            acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + j),
+                                   loadCodes8(code + j), acc0);
+        }
+        float acc = hsum256(_mm256_add_ps(_mm256_add_ps(acc0, acc1),
+                                          _mm256_add_ps(acc2, acc3)));
+        for (; j < d; ++j)
+            acc += a[j] * static_cast<float>(code[j]);
+        out[i] = -(bias + acc);
+    }
+}
+
+const KernelTable kAvx2Table = {
+    "avx2",       avx2L2Sq,      avx2Dot,      avx2L2SqBatch,
+    avx2DotBatch, avx2Sq8ScanL2, avx2Sq8ScanIp,
+};
+
+} // namespace
+
+namespace detail {
+
+const KernelTable &
+avx2TableImpl()
+{
+    return kAvx2Table;
+}
+
+} // namespace detail
+
+} // namespace simd
+} // namespace vecstore
+} // namespace hermes

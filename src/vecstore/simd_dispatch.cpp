@@ -1,0 +1,227 @@
+#include "vecstore/simd_dispatch.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/logging.hpp"
+
+namespace hermes {
+namespace vecstore {
+namespace simd {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scalar arm. Four accumulators keep each loop free of a serial dependency
+// chain so the autovectorizer can do what it wants; the per-row results are
+// bitwise identical to the seed implementation, which the parity tests rely
+// on when comparing dispatch arms.
+// ---------------------------------------------------------------------------
+
+float
+scalarL2Sq(const float *a, const float *b, std::size_t d)
+{
+    float acc0 = 0.f, acc1 = 0.f, acc2 = 0.f, acc3 = 0.f;
+    std::size_t i = 0;
+    for (; i + 4 <= d; i += 4) {
+        float d0 = a[i] - b[i];
+        float d1 = a[i + 1] - b[i + 1];
+        float d2 = a[i + 2] - b[i + 2];
+        float d3 = a[i + 3] - b[i + 3];
+        acc0 += d0 * d0;
+        acc1 += d1 * d1;
+        acc2 += d2 * d2;
+        acc3 += d3 * d3;
+    }
+    for (; i < d; ++i) {
+        float diff = a[i] - b[i];
+        acc0 += diff * diff;
+    }
+    return acc0 + acc1 + acc2 + acc3;
+}
+
+float
+scalarDot(const float *a, const float *b, std::size_t d)
+{
+    float acc0 = 0.f, acc1 = 0.f, acc2 = 0.f, acc3 = 0.f;
+    std::size_t i = 0;
+    for (; i + 4 <= d; i += 4) {
+        acc0 += a[i] * b[i];
+        acc1 += a[i + 1] * b[i + 1];
+        acc2 += a[i + 2] * b[i + 2];
+        acc3 += a[i + 3] * b[i + 3];
+    }
+    for (; i < d; ++i)
+        acc0 += a[i] * b[i];
+    return acc0 + acc1 + acc2 + acc3;
+}
+
+// Blocked scans: 4 rows in flight hides load latency even without SIMD,
+// and the software prefetch pulls the next row group while the current
+// one is being reduced.
+
+void
+scalarL2SqBatch(const float *query, const float *base, std::size_t n,
+                std::size_t d, float *out)
+{
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const float *r0 = base + i * d;
+        __builtin_prefetch(r0 + 4 * d, 0, 3);
+        out[i] = scalarL2Sq(query, r0, d);
+        out[i + 1] = scalarL2Sq(query, r0 + d, d);
+        out[i + 2] = scalarL2Sq(query, r0 + 2 * d, d);
+        out[i + 3] = scalarL2Sq(query, r0 + 3 * d, d);
+    }
+    for (; i < n; ++i)
+        out[i] = scalarL2Sq(query, base + i * d, d);
+}
+
+void
+scalarDotBatch(const float *query, const float *base, std::size_t n,
+               std::size_t d, float *out)
+{
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const float *r0 = base + i * d;
+        __builtin_prefetch(r0 + 4 * d, 0, 3);
+        out[i] = scalarDot(query, r0, d);
+        out[i + 1] = scalarDot(query, r0 + d, d);
+        out[i + 2] = scalarDot(query, r0 + 2 * d, d);
+        out[i + 3] = scalarDot(query, r0 + 3 * d, d);
+    }
+    for (; i < n; ++i)
+        out[i] = scalarDot(query, base + i * d, d);
+}
+
+void
+scalarSq8ScanL2(const float *a, const float *b, const std::uint8_t *codes,
+                std::size_t n, std::size_t d, float *out)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint8_t *code = codes + i * d;
+        __builtin_prefetch(code + 2 * d, 0, 3);
+        float acc = 0.f;
+        for (std::size_t j = 0; j < d; ++j) {
+            float diff = a[j] - b[j] * static_cast<float>(code[j]);
+            acc += diff * diff;
+        }
+        out[i] = acc;
+    }
+}
+
+void
+scalarSq8ScanIp(const float *a, float bias, const std::uint8_t *codes,
+                std::size_t n, std::size_t d, float *out)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint8_t *code = codes + i * d;
+        __builtin_prefetch(code + 2 * d, 0, 3);
+        float acc = 0.f;
+        for (std::size_t j = 0; j < d; ++j)
+            acc += a[j] * static_cast<float>(code[j]);
+        out[i] = -(bias + acc);
+    }
+}
+
+const KernelTable kScalarTable = {
+    "scalar",        scalarL2Sq,      scalarDot,      scalarL2SqBatch,
+    scalarDotBatch,  scalarSq8ScanL2, scalarSq8ScanIp,
+};
+
+// ---------------------------------------------------------------------------
+// Arm selection.
+// ---------------------------------------------------------------------------
+
+[[maybe_unused]] bool
+cpuHasAvx2Fma()
+{
+#if (defined(__x86_64__) || defined(__i386__)) &&                             \
+    (defined(__GNUC__) || defined(__clang__))
+    return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+    return false;
+#endif
+}
+
+const KernelTable *
+chooseTable()
+{
+    const KernelTable *avx2 = avx2Kernels();
+    const char *env = std::getenv("HERMES_SIMD");
+    if (env != nullptr && *env != '\0') {
+        if (std::strcmp(env, "scalar") == 0)
+            return &kScalarTable;
+        if (std::strcmp(env, "avx2") == 0) {
+            if (avx2 != nullptr)
+                return avx2;
+            HERMES_WARN("HERMES_SIMD=avx2 requested but the AVX2 arm is "
+                        "unavailable (not built or CPU lacks AVX2/FMA); "
+                        "falling back to scalar kernels");
+            return &kScalarTable;
+        }
+        HERMES_WARN("unknown HERMES_SIMD value '", env,
+                    "' (expected scalar|avx2); using automatic dispatch");
+    }
+    return avx2 != nullptr ? avx2 : &kScalarTable;
+}
+
+std::atomic<const KernelTable *> g_active{nullptr};
+
+} // namespace
+
+const KernelTable &
+scalarKernels()
+{
+    return kScalarTable;
+}
+
+const KernelTable *
+avx2Kernels()
+{
+#ifdef HERMES_HAVE_AVX2_TU
+    if (cpuHasAvx2Fma())
+        return &detail::avx2TableImpl();
+#endif
+    return nullptr;
+}
+
+const KernelTable &
+active()
+{
+    const KernelTable *table = g_active.load(std::memory_order_acquire);
+    if (table == nullptr) {
+        // Benign race: concurrent first callers compute the same choice.
+        table = chooseTable();
+        g_active.store(table, std::memory_order_release);
+    }
+    return *table;
+}
+
+const char *
+activeIsa()
+{
+    return active().name;
+}
+
+bool
+forceIsaForTesting(const char *name)
+{
+    if (std::strcmp(name, "scalar") == 0) {
+        g_active.store(&kScalarTable, std::memory_order_release);
+        return true;
+    }
+    if (std::strcmp(name, "avx2") == 0) {
+        const KernelTable *avx2 = avx2Kernels();
+        if (avx2 == nullptr)
+            return false;
+        g_active.store(avx2, std::memory_order_release);
+        return true;
+    }
+    return false;
+}
+
+} // namespace simd
+} // namespace vecstore
+} // namespace hermes

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Runtime-dispatched SIMD kernel table.
+ *
+ * The scan path (IVF list scans, flat search, K-means assignment, ADC
+ * table construction) funnels through a small set of dense kernels. Each
+ * kernel exists in a portable scalar form and, when the build and the CPU
+ * allow it, an AVX2/FMA form compiled in its own translation unit with
+ * -mavx2 -mfma. A table of function pointers is selected once at startup:
+ *
+ *   - compile gate: the AVX2 TU is built only when CMake detects an x86-64
+ *     target and a compiler accepting -mavx2 -mfma (HERMES_ENABLE_AVX2);
+ *   - runtime gate: the AVX2 table is offered only when cpuid reports both
+ *     AVX2 and FMA, so a generic build still runs on any x86-64 machine;
+ *   - override: HERMES_SIMD=scalar|avx2 forces an arm (scalar always
+ *     works; an unavailable forced arm warns and falls back to scalar).
+ *
+ * Everything else in the repo calls the wrappers in vecstore/distance.hpp
+ * or the batched codec scans; only kernels and tests should need this
+ * header directly.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hermes {
+namespace vecstore {
+namespace simd {
+
+/**
+ * One dispatch arm: every hot dense kernel as a free function pointer.
+ *
+ * Batched kernels score one query against n contiguous row-major rows.
+ * The SQ8 kernels fuse dequantization into the distance loop; see
+ * scalar_codec.cpp for the per-query precomputation that produces their
+ * operands:
+ *
+ *   sq8_scan_l2: out[i] = sum_j (a[j] - b[j] * codes[i*d + j])^2
+ *   sq8_scan_ip: out[i] = -(bias + sum_j a[j] * codes[i*d + j])
+ */
+struct KernelTable
+{
+    /** Arm name: "scalar" or "avx2". */
+    const char *name;
+
+    float (*l2_sq)(const float *a, const float *b, std::size_t d);
+    float (*dot)(const float *a, const float *b, std::size_t d);
+
+    /** out[i] = l2Sq(query, base + i*d) for i in [0, n). */
+    void (*l2_sq_batch)(const float *query, const float *base, std::size_t n,
+                        std::size_t d, float *out);
+
+    /** out[i] = dot(query, base + i*d) for i in [0, n). */
+    void (*dot_batch)(const float *query, const float *base, std::size_t n,
+                      std::size_t d, float *out);
+
+    void (*sq8_scan_l2)(const float *a, const float *b,
+                        const std::uint8_t *codes, std::size_t n,
+                        std::size_t d, float *out);
+
+    void (*sq8_scan_ip)(const float *a, float bias,
+                        const std::uint8_t *codes, std::size_t n,
+                        std::size_t d, float *out);
+};
+
+/** Portable scalar arm (always available; identical math to the seed). */
+const KernelTable &scalarKernels();
+
+/**
+ * AVX2/FMA arm, or nullptr when the TU was not built or the running CPU
+ * lacks AVX2/FMA.
+ */
+const KernelTable *avx2Kernels();
+
+/**
+ * The arm selected at startup (cpuid + HERMES_SIMD override). The first
+ * call freezes the choice; subsequent calls are one relaxed atomic load.
+ */
+const KernelTable &active();
+
+/** Name of the active arm ("scalar" or "avx2"), for banners and logs. */
+const char *activeIsa();
+
+/**
+ * Test hook: swap the active arm by name ("scalar" | "avx2").
+ * Not thread-safe with respect to in-flight kernels — call only from
+ * single-threaded test code. @return false (no change) if the requested
+ * arm is unavailable.
+ */
+bool forceIsaForTesting(const char *name);
+
+namespace detail {
+
+/**
+ * Defined in distance_avx2.cpp when the AVX2 TU is compiled in; returns
+ * the AVX2 table unconditionally (callers must check cpuid first).
+ */
+const KernelTable &avx2TableImpl();
+
+} // namespace detail
+
+} // namespace simd
+} // namespace vecstore
+} // namespace hermes

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <limits>
-#include <unordered_map>
 
 #include "util/logging.hpp"
 
@@ -43,6 +42,29 @@ TopK::push(VecId id, float score)
     std::push_heap(heap_.begin(), heap_.end(), heapLess);
 }
 
+void
+TopK::pushBatch(const VecId *ids, const float *scores, std::size_t n)
+{
+    std::size_t i = 0;
+    // Fill phase: accept until the heap holds k candidates.
+    for (; i < n && heap_.size() < k_; ++i)
+        push(ids[i], scores[i]);
+    if (heap_.size() < k_)
+        return;
+    // Steady state: reject against a register-cached bound; the bound
+    // only tightens on an accepted candidate.
+    float bound = heap_.front().score;
+    for (; i < n; ++i) {
+        float score = scores[i];
+        if (score >= bound)
+            continue;
+        std::pop_heap(heap_.begin(), heap_.end(), heapLess);
+        heap_.back() = {ids[i], score};
+        std::push_heap(heap_.begin(), heap_.end(), heapLess);
+        bound = heap_.front().score;
+    }
+}
+
 float
 TopK::worst() const
 {
@@ -63,21 +85,40 @@ TopK::take()
 HitList
 mergeHitLists(const std::vector<HitList> &lists, std::size_t k)
 {
-    std::unordered_map<VecId, float> best;
-    for (const auto &list : lists) {
-        for (const auto &hit : list) {
-            auto [it, inserted] = best.emplace(hit.id, hit.score);
-            if (!inserted && hit.score < it->second)
-                it->second = hit.score;
-        }
+    std::size_t total = 0;
+    for (const auto &list : lists)
+        total += list.size();
+
+    // Flatten, then sort by (id, score) so a linear pass keeps the best
+    // score per id. Deterministic (no hash order) and allocation-light
+    // (one flat vector) compared to an unordered_map + re-heap — this
+    // runs once per query in the broker merge phase.
+    HitList all;
+    all.reserve(total);
+    for (const auto &list : lists)
+        all.insert(all.end(), list.begin(), list.end());
+
+    std::sort(all.begin(), all.end(), [](const Hit &a, const Hit &b) {
+        if (a.id != b.id)
+            return a.id < b.id;
+        return a.score < b.score;
+    });
+    std::size_t write = 0;
+    for (std::size_t read = 0; read < all.size(); ++read) {
+        if (write > 0 && all[read].id == all[write - 1].id)
+            continue;
+        all[write++] = all[read];
     }
-    TopK selector(std::max<std::size_t>(k, 1));
-    for (const auto &[id, score] : best)
-        selector.push(id, score);
-    HitList merged = selector.take();
-    if (merged.size() > k)
-        merged.resize(k);
-    return merged;
+    all.resize(write);
+
+    std::sort(all.begin(), all.end(), [](const Hit &a, const Hit &b) {
+        if (a.score != b.score)
+            return a.score < b.score;
+        return a.id < b.id;
+    });
+    if (all.size() > k)
+        all.resize(k);
+    return all;
 }
 
 } // namespace vecstore

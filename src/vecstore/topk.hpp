@@ -27,6 +27,15 @@ class TopK
     /** Offer one candidate. */
     void push(VecId id, float score);
 
+    /**
+     * Offer @p n candidates from parallel arrays. Equivalent to calling
+     * push() in order, but candidates no better than the current worst
+     * are rejected against a cached bound, so a mostly-losing batch (the
+     * common case for a threshold-filtered list scan) costs one compare
+     * per element instead of a heap probe.
+     */
+    void pushBatch(const VecId *ids, const float *scores, std::size_t n);
+
     /** Current worst retained score (+inf until k hits are held). */
     float worst() const;
 
