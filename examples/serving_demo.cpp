@@ -6,8 +6,18 @@
  *
  * Usage: serving_demo [num_docs] [clients] [queries_per_client]
  *                     [fail_prob] [drop_prob] [delay_ms]
- *                     [--metrics-json=PATH] [--trace-out=PATH]
- *                     [--trace-sample=N]
+ *                     [--metrics-json=PATH] [--metrics-prom=PATH]
+ *                     [--metrics-interval=SECONDS]
+ *                     [--trace-out=PATH] [--trace-sample=N]
+ *                     [--http-port=PORT] [--duration=SECONDS]
+ *
+ * --http-port starts the embedded metrics endpoint (0 = ephemeral; the
+ * bound port is printed) serving /metrics, /metrics.json and the
+ * broker's /load while the demo runs. --duration switches the clients
+ * from a fixed query count to a wall-clock run (queries are reused
+ * round-robin), which keeps the endpoint alive long enough to watch
+ * with hermes_monitor or scrape from CI. --metrics-interval re-writes
+ * the --metrics-json/--metrics-prom files periodically during the run.
  *
  * The optional fault arguments inject per-request failures, drops (dead
  * node: the broker's deadline fires) and delays into every node, showing
@@ -19,6 +29,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -49,16 +60,28 @@ main(int argc, char **argv)
     util::setQuiet(true);
 
     std::string metrics_json;
+    std::string metrics_prom;
+    double metrics_interval = 0.0;
     std::string trace_out;
     std::size_t trace_sample = 1;
+    int http_port = -1;
+    double duration = 0.0;
     std::vector<char *> positional;
     for (int i = 0; i < argc; ++i) {
         if (const char *v = matchOption(argv[i], "--metrics-json"))
             metrics_json = v;
+        else if (const char *v = matchOption(argv[i], "--metrics-prom"))
+            metrics_prom = v;
+        else if (const char *v = matchOption(argv[i], "--metrics-interval"))
+            metrics_interval = std::strtod(v, nullptr);
         else if (const char *v = matchOption(argv[i], "--trace-out"))
             trace_out = v;
         else if (const char *v = matchOption(argv[i], "--trace-sample"))
             trace_sample = std::strtoul(v, nullptr, 10);
+        else if (const char *v = matchOption(argv[i], "--http-port"))
+            http_port = std::atoi(v);
+        else if (const char *v = matchOption(argv[i], "--duration"))
+            duration = std::strtod(v, nullptr);
         else
             positional.push_back(argv[i]);
     }
@@ -106,9 +129,42 @@ main(int argc, char **argv)
     if (drop_prob > 0.0)
         broker_config.node_deadline_ms = 250.0; // make dead nodes cheap
     serve::HermesBroker broker(store, broker_config);
-    std::printf("serving %zu vectors over %zu node workers; %zu clients x "
-                "%zu queries\n", store.totalVectors(), broker.numNodes(),
-                clients, per_client);
+    if (duration > 0.0) {
+        std::printf("serving %zu vectors over %zu node workers; %zu "
+                    "clients for %.1f s\n", store.totalVectors(),
+                    broker.numNodes(), clients, duration);
+    } else {
+        std::printf("serving %zu vectors over %zu node workers; %zu "
+                    "clients x %zu queries\n", store.totalVectors(),
+                    broker.numNodes(), clients, per_client);
+    }
+
+    // Embedded observability: HTTP endpoint + periodic file flushes,
+    // both alive for the whole serving run. Declared after the broker
+    // so they stop before it (the /load handler dereferences it).
+    std::unique_ptr<obs::Exporter> exporter;
+    if (http_port >= 0) {
+        obs::Exporter::Options options;
+        options.port = static_cast<std::uint16_t>(http_port);
+        exporter = std::make_unique<obs::Exporter>(options);
+        exporter->setHandler("/load", [&broker] {
+            return broker.loadReport().toJson();
+        });
+        if (exporter->start()) {
+            std::printf("metrics endpoint: http://127.0.0.1:%u  "
+                        "(/metrics, /metrics.json, /load)\n",
+                        exporter->port());
+            // Pollers wait on this line; with stdout redirected to a
+            // file it would otherwise sit in the stdio buffer until exit.
+            std::fflush(stdout);
+        }
+    }
+    std::unique_ptr<obs::PeriodicFlusher> flusher;
+    if (metrics_interval > 0.0 &&
+        (!metrics_json.empty() || !metrics_prom.empty())) {
+        flusher = std::make_unique<obs::PeriodicFlusher>(
+            metrics_json, metrics_prom, metrics_interval);
+    }
 
     util::Timer wall;
     std::vector<std::thread> threads;
@@ -116,9 +172,21 @@ main(int argc, char **argv)
     for (std::size_t t = 0; t < clients; ++t) {
         threads.emplace_back([&, t] {
             util::Timer timer;
-            for (std::size_t i = 0; i < per_client; ++i) {
-                std::size_t q = t * per_client + i;
-                broker.search(queries.embeddings.row(q), 5);
+            if (duration > 0.0) {
+                // Wall-clock mode: reuse the query set round-robin so
+                // the Zipfian skew persists for the whole window.
+                std::size_t sent = 0;
+                while (timer.elapsedSeconds() < duration) {
+                    std::size_t q = (t * per_client + sent) %
+                        queries.embeddings.rows();
+                    broker.search(queries.embeddings.row(q), 5);
+                    ++sent;
+                }
+            } else {
+                for (std::size_t i = 0; i < per_client; ++i) {
+                    std::size_t q = t * per_client + i;
+                    broker.search(queries.embeddings.row(q), 5);
+                }
             }
             client_seconds[t] = timer.elapsedSeconds();
         });
@@ -176,9 +244,25 @@ main(int argc, char **argv)
                 "nodes: sampling adds a uniform floor of one\nrequest per "
                 "query per node; the surplus is deep-search skew.\n");
 
+    // Fleet summary from the same LoadReport the /load endpoint serves.
+    auto load = broker.loadReport();
+    std::printf("\nload report: max/mean deep load %.2f, fitted zipf "
+                "~%.2f, modeled energy %.1f J (%.2f J/query)\n",
+                load.max_mean_ratio, load.zipf_exponent,
+                load.total_energy_joules,
+                load.queries ? load.total_energy_joules /
+                        static_cast<double>(load.queries)
+                             : 0.0);
+
+    flusher.reset(); // final flush before the one-shot writes below
     if (!metrics_json.empty()) {
         obs::Registry::instance().writeJson(metrics_json);
         std::printf("\nmetrics written to %s\n", metrics_json.c_str());
+    }
+    if (!metrics_prom.empty()) {
+        obs::Registry::instance().writePrometheus(metrics_prom);
+        std::printf("prometheus metrics written to %s\n",
+                    metrics_prom.c_str());
     }
     if (!trace_out.empty()) {
         auto &recorder = obs::TraceRecorder::instance();

@@ -198,11 +198,11 @@ QueryResult
 HermesSearch::search(vecstore::VecView query, std::size_t k) const
 {
     static obs::Histogram &h_query = obs::Registry::instance().histogram(
-        "core.query_latency_us");
+        obs::names::kCoreQueryLatencyUs);
     static obs::Histogram &h_sample = obs::Registry::instance().histogram(
-        "core.sample_phase_us");
+        obs::names::kCoreSamplePhaseUs);
     static obs::Histogram &h_deep = obs::Registry::instance().histogram(
-        "core.deep_phase_us");
+        obs::names::kCoreDeepPhaseUs);
 
     QueryResult result;
     result.deep_stats.resize(store_.numClusters());

@@ -23,6 +23,7 @@
 #include "eval/ground_truth.hpp"
 #include "eval/metrics.hpp"
 #include "index/ann_index.hpp"
+#include "obs/exporter.hpp"
 #include "obs/obs.hpp"
 #include "index/flat_index.hpp"
 #include "index/hnsw_index.hpp"

@@ -130,9 +130,9 @@ IvfIndex::search(vecstore::VecView query, std::size_t k,
     HERMES_ASSERT(query.size() == dim_, "search: dim mismatch");
 
     static obs::Histogram &h_coarse =
-        obs::Registry::instance().histogram("ivf.coarse_us");
+        obs::Registry::instance().histogram(obs::names::kIvfCoarseUs);
     static obs::Histogram &h_scan =
-        obs::Registry::instance().histogram("ivf.scan_us");
+        obs::Registry::instance().histogram(obs::names::kIvfScanUs);
     obs::ScopedSpan span("ivf.search");
     util::Timer timer;
 

@@ -1,0 +1,326 @@
+#include "obs/exporter.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "obs/metrics.hpp"
+#include "obs/process_stats.hpp"
+
+namespace hermes {
+namespace obs {
+
+namespace {
+
+/** Receive timeout for request/response reads (a scraper, not a DoS). */
+constexpr int kSocketTimeoutMs = 2000;
+
+void
+setSocketTimeout(int fd)
+{
+    timeval tv{};
+    tv.tv_sec = kSocketTimeoutMs / 1000;
+    tv.tv_usec = (kSocketTimeoutMs % 1000) * 1000;
+    setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+/** Write the whole buffer, tolerating short writes. */
+bool
+writeAll(int fd, const char *data, std::size_t size)
+{
+    std::size_t off = 0;
+    while (off < size) {
+        ssize_t n = ::send(fd, data + off, size - off, MSG_NOSIGNAL);
+        if (n <= 0)
+            return false;
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+std::string
+httpResponse(int code, const std::string &reason,
+             const std::string &content_type, const std::string &body)
+{
+    std::string out = "HTTP/1.0 " + std::to_string(code) + " " + reason +
+        "\r\n";
+    out += "Content-Type: " + content_type + "\r\n";
+    out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+    out += "Connection: close\r\n\r\n";
+    out += body;
+    return out;
+}
+
+/** Read until the end of the request head (or a small cap). */
+std::string
+readRequestHead(int fd)
+{
+    std::string head;
+    char buf[1024];
+    while (head.size() < 8192) {
+        ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n <= 0)
+            break;
+        head.append(buf, static_cast<std::size_t>(n));
+        if (head.find("\r\n\r\n") != std::string::npos ||
+            head.find("\n\n") != std::string::npos)
+            break;
+    }
+    return head;
+}
+
+/** Parse "GET /path?query HTTP/1.x" into method and bare path. */
+bool
+parseRequestLine(const std::string &head, std::string &method,
+                 std::string &path)
+{
+    std::size_t eol = head.find_first_of("\r\n");
+    std::string line =
+        eol == std::string::npos ? head : head.substr(0, eol);
+    std::size_t sp1 = line.find(' ');
+    if (sp1 == std::string::npos)
+        return false;
+    std::size_t sp2 = line.find(' ', sp1 + 1);
+    method = line.substr(0, sp1);
+    path = sp2 == std::string::npos ? line.substr(sp1 + 1)
+                                    : line.substr(sp1 + 1, sp2 - sp1 - 1);
+    std::size_t query = path.find('?');
+    if (query != std::string::npos)
+        path.resize(query);
+    return !method.empty() && !path.empty();
+}
+
+} // namespace
+
+Exporter::~Exporter()
+{
+    stop();
+}
+
+bool
+Exporter::start()
+{
+    if (running_.load())
+        return true;
+
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        std::fprintf(stderr, "[warn] obs: exporter socket() failed\n");
+        return false;
+    }
+    int one = 1;
+    setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(options_.port);
+    if (inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+        1) {
+        std::fprintf(stderr, "[warn] obs: exporter bad bind address %s\n",
+                     options_.bind_address.c_str());
+        ::close(fd);
+        return false;
+    }
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr), sizeof(addr)) != 0 ||
+        ::listen(fd, 16) != 0) {
+        std::fprintf(stderr,
+                     "[warn] obs: exporter cannot listen on %s:%u\n",
+                     options_.bind_address.c_str(),
+                     static_cast<unsigned>(options_.port));
+        ::close(fd);
+        return false;
+    }
+
+    socklen_t len = sizeof(addr);
+    if (::getsockname(fd, reinterpret_cast<sockaddr *>(&addr), &len) == 0)
+        bound_port_ = ntohs(addr.sin_port);
+    else
+        bound_port_ = options_.port;
+
+    listen_fd_ = fd;
+    stopping_.store(false);
+    running_.store(true);
+    thread_ = std::thread([this] { serveLoop(); });
+    return true;
+}
+
+void
+Exporter::stop()
+{
+    if (!running_.exchange(false))
+        return;
+    stopping_.store(true);
+    if (thread_.joinable())
+        thread_.join();
+    if (listen_fd_ >= 0) {
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+    }
+}
+
+void
+Exporter::setHandler(const std::string &path, Handler handler)
+{
+    std::unique_lock<std::mutex> lock(handlers_mutex_);
+    handlers_[path] = std::move(handler);
+}
+
+void
+Exporter::serveLoop()
+{
+    while (!stopping_.load()) {
+        pollfd pfd{};
+        pfd.fd = listen_fd_;
+        pfd.events = POLLIN;
+        int ready = ::poll(&pfd, 1, 200);
+        if (ready <= 0)
+            continue; // timeout (checks stopping_) or EINTR
+        int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0)
+            continue;
+        setSocketTimeout(fd);
+        handleConnection(fd);
+        ::close(fd);
+    }
+}
+
+bool
+Exporter::route(const std::string &path, std::string &body,
+                std::string &content_type)
+{
+    // Every scrape refreshes the process self-stat gauges first, so the
+    // snapshot the caller gets carries current host context.
+    if (path == "/metrics") {
+        updateProcessGauges();
+        body = Registry::instance().toPrometheus();
+        content_type = "text/plain; version=0.0.4";
+        return true;
+    }
+    if (path == "/metrics.json") {
+        updateProcessGauges();
+        body = Registry::instance().toJson();
+        content_type = "application/json";
+        return true;
+    }
+    if (path == "/healthz") {
+        body = "ok\n";
+        content_type = "text/plain";
+        return true;
+    }
+    Handler handler;
+    {
+        std::unique_lock<std::mutex> lock(handlers_mutex_);
+        auto it = handlers_.find(path);
+        if (it != handlers_.end())
+            handler = it->second;
+    }
+    if (handler) {
+        body = handler();
+        content_type = "application/json";
+        return true;
+    }
+    return false;
+}
+
+void
+Exporter::handleConnection(int fd)
+{
+    std::string head = readRequestHead(fd);
+    std::string method;
+    std::string path;
+    std::string response;
+    if (!parseRequestLine(head, method, path)) {
+        response = httpResponse(400, "Bad Request", "text/plain",
+                                "bad request\n");
+    } else if (method != "GET") {
+        response = httpResponse(405, "Method Not Allowed", "text/plain",
+                                "only GET is supported\n");
+    } else {
+        std::string body;
+        std::string content_type;
+        if (route(path, body, content_type))
+            response = httpResponse(200, "OK", content_type, body);
+        else
+            response = httpResponse(404, "Not Found", "text/plain",
+                                    "unknown path\n");
+    }
+    writeAll(fd, response.data(), response.size());
+}
+
+bool
+httpGet(const std::string &host, std::uint16_t port,
+        const std::string &path, std::string *body,
+        std::string *status_line)
+{
+    if (status_line)
+        status_line->clear();
+    if (body)
+        body->clear();
+
+    addrinfo hints{};
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo *result = nullptr;
+    std::string port_str = std::to_string(port);
+    if (::getaddrinfo(host.c_str(), port_str.c_str(), &hints, &result) !=
+            0 ||
+        result == nullptr)
+        return false;
+
+    int fd = ::socket(result->ai_family, result->ai_socktype,
+                      result->ai_protocol);
+    bool ok = fd >= 0;
+    if (ok) {
+        setSocketTimeout(fd);
+        ok = ::connect(fd, result->ai_addr, result->ai_addrlen) == 0;
+    }
+    ::freeaddrinfo(result);
+    if (!ok) {
+        if (fd >= 0)
+            ::close(fd);
+        return false;
+    }
+
+    std::string request = "GET " + path + " HTTP/1.0\r\nHost: " + host +
+        "\r\nConnection: close\r\n\r\n";
+    ok = writeAll(fd, request.data(), request.size());
+
+    std::string response;
+    char buf[4096];
+    while (ok) {
+        ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n < 0)
+            ok = false;
+        if (n <= 0)
+            break;
+        response.append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    if (!ok || response.empty())
+        return false;
+
+    std::size_t eol = response.find("\r\n");
+    std::string first =
+        eol == std::string::npos ? response : response.substr(0, eol);
+    if (status_line)
+        *status_line = first;
+
+    std::size_t header_end = response.find("\r\n\r\n");
+    std::string payload = header_end == std::string::npos
+        ? std::string()
+        : response.substr(header_end + 4);
+    if (body)
+        *body = payload;
+    return first.find(" 200 ") != std::string::npos;
+}
+
+} // namespace obs
+} // namespace hermes

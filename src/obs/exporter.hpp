@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Embedded metrics endpoint: a minimal blocking-TCP HTTP/1.0 server
+ * (no dependencies) that makes a running binary observable:
+ *
+ *   GET /metrics       Prometheus text exposition of the registry
+ *   GET /metrics.json  Registry::toJson()
+ *   GET /load          custom handler (the broker's LoadReport)
+ *   GET /healthz       "ok" — liveness probe / readiness poll
+ *
+ * process.* self-stat gauges are refreshed on every scrape, so each
+ * snapshot carries host context (RSS, CPU seconds, thread count).
+ *
+ * Scope: one accept thread handling one request per connection,
+ * loopback-binding by default. This is an operator endpoint for
+ * dashboards, `curl` and CI smoke tests — not a general web server;
+ * anything beyond GET + a known path gets a 4xx and the socket closed.
+ */
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace hermes {
+namespace obs {
+
+/** Embedded HTTP exporter for the metrics registry. */
+class Exporter
+{
+  public:
+    struct Options
+    {
+        /** Bind address; default loopback only. */
+        std::string bind_address = "127.0.0.1";
+
+        /** TCP port; 0 picks an ephemeral port (see port()). */
+        std::uint16_t port = 0;
+    };
+
+    /** A route handler: returns the response body (JSON). */
+    using Handler = std::function<std::string()>;
+
+    Exporter() = default;
+    explicit Exporter(Options options) : options_(std::move(options)) {}
+
+    /** Stops the server if still running. */
+    ~Exporter();
+
+    Exporter(const Exporter &) = delete;
+    Exporter &operator=(const Exporter &) = delete;
+
+    /**
+     * Bind, listen and start the accept thread. Returns false (with a
+     * warning on stderr) when the socket cannot be bound; the process
+     * keeps running unobservable rather than dying.
+     */
+    bool start();
+
+    /** Stop the accept thread and close the socket. Idempotent. */
+    void stop();
+
+    bool running() const { return running_.load(); }
+
+    /** Actual bound port (resolves port 0 after start()). */
+    std::uint16_t port() const { return bound_port_; }
+
+    /**
+     * Register a dynamic JSON route, e.g. "/load". The handler runs on
+     * the server thread on every hit; it must be thread-safe and should
+     * be cheap. Registering an existing path replaces the handler.
+     */
+    void setHandler(const std::string &path, Handler handler);
+
+  private:
+    void serveLoop();
+    void handleConnection(int fd);
+
+    /** Dispatch a request to a body + content type; false = 404. */
+    bool route(const std::string &path, std::string &body,
+               std::string &content_type);
+
+    Options options_;
+    int listen_fd_ = -1;
+    std::uint16_t bound_port_ = 0;
+    std::atomic<bool> running_{false};
+    std::atomic<bool> stopping_{false};
+    std::thread thread_;
+
+    std::mutex handlers_mutex_;
+    std::map<std::string, Handler> handlers_;
+};
+
+/**
+ * Minimal blocking HTTP GET against @p host:@p port (the client half
+ * used by hermes_monitor and the tests). On success fills @p body and
+ * returns true; @p status_line (optional) receives the first response
+ * line either way. Applies a short socket timeout so a wedged server
+ * cannot hang the caller.
+ */
+bool httpGet(const std::string &host, std::uint16_t port,
+             const std::string &path, std::string *body,
+             std::string *status_line = nullptr);
+
+} // namespace obs
+} // namespace hermes

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Canonical metric-name catalog.
+ *
+ * Every instrumentation site references these constants instead of
+ * spelling the string inline, so the full metric surface is greppable
+ * in one place and a typo becomes a compile error instead of a silently
+ * forked time series. docs/MONITORING.md documents the semantics of
+ * each name.
+ *
+ * Per-cluster series are parameterized: nodeMetric(c, kNodeEnergyJoules)
+ * yields "node.<c>.energy_j". Callers on hot paths must resolve the
+ * name once (constructor / first loop iteration) and cache the metric
+ * reference — Registry lookups take a lock.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace hermes {
+namespace obs {
+namespace names {
+
+// --- broker (serve/broker.cpp) -------------------------------------------
+inline constexpr const char *kBrokerQueries = "broker.queries";
+inline constexpr const char *kBrokerDeepRequests = "broker.deep_requests";
+inline constexpr const char *kBrokerTimeouts = "broker.timeouts";
+inline constexpr const char *kBrokerFailures = "broker.failures";
+inline constexpr const char *kBrokerDegradedQueries =
+    "broker.degraded_queries";
+inline constexpr const char *kBrokerQueryLatencyUs =
+    "broker.query_latency_us";
+inline constexpr const char *kBrokerSamplePhaseUs = "broker.sample_phase_us";
+inline constexpr const char *kBrokerDeepPhaseUs = "broker.deep_phase_us";
+inline constexpr const char *kBrokerMergePhaseUs = "broker.merge_phase_us";
+
+// --- node, process-wide (serve/node.cpp) ---------------------------------
+inline constexpr const char *kNodeQueueWaitUs = "node.queue_wait_us";
+inline constexpr const char *kNodeBatchExecUs = "node.batch_exec_us";
+
+// --- node, per-cluster suffixes (use nodeMetric()) -----------------------
+inline constexpr const char *kNodeSampleRequests = "sample_requests";
+inline constexpr const char *kNodeDeepRequests = "deep_requests";
+inline constexpr const char *kNodeHitsReturned = "hits_returned";
+inline constexpr const char *kNodeQueueDepth = "queue_depth";
+inline constexpr const char *kNodeBusySeconds = "busy_seconds";
+inline constexpr const char *kNodeEnergyJoules = "energy_j";
+
+/** "node.<cluster>.<suffix>" — the per-cluster series family. */
+inline std::string
+nodeMetric(std::size_t cluster, const char *suffix)
+{
+    return "node." + std::to_string(cluster) + "." + suffix;
+}
+
+// --- index (index/ivf_index.cpp) -----------------------------------------
+inline constexpr const char *kIvfCoarseUs = "ivf.coarse_us";
+inline constexpr const char *kIvfScanUs = "ivf.scan_us";
+
+// --- thread pool (util/threadpool.cpp) -----------------------------------
+inline constexpr const char *kPoolParallelForUs = "pool.parallel_for_us";
+inline constexpr const char *kPoolParallelForItems =
+    "pool.parallel_for_items";
+
+// --- core strategies (core/search_strategy.cpp) --------------------------
+inline constexpr const char *kCoreQueryLatencyUs = "core.query_latency_us";
+inline constexpr const char *kCoreSamplePhaseUs = "core.sample_phase_us";
+inline constexpr const char *kCoreDeepPhaseUs = "core.deep_phase_us";
+
+// --- RAG pipeline (rag/rag_system.cpp) -----------------------------------
+inline constexpr const char *kRagStrideTotalUs = "rag.stride_total_us";
+inline constexpr const char *kRagStrideRetrievalUs =
+    "rag.stride_retrieval_us";
+inline constexpr const char *kRagStrides = "rag.strides";
+
+// --- process self-stats (obs/process_stats.cpp) --------------------------
+inline constexpr const char *kProcessRssBytes = "process.rss_bytes";
+inline constexpr const char *kProcessVmBytes = "process.vm_bytes";
+inline constexpr const char *kProcessCpuUserSeconds =
+    "process.cpu_user_seconds";
+inline constexpr const char *kProcessCpuSystemSeconds =
+    "process.cpu_system_seconds";
+inline constexpr const char *kProcessThreads = "process.threads";
+inline constexpr const char *kProcessUptimeSeconds =
+    "process.uptime_seconds";
+
+} // namespace names
+} // namespace obs
+} // namespace hermes

@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <limits>
 
+#include "obs/window.hpp"
+
 namespace hermes {
 namespace obs {
 
@@ -157,13 +159,50 @@ Registry::instance()
     return *registry;
 }
 
+Registry::~Registry() = default;
+
+Counter &
+Registry::counterLocked(const std::string &name)
+{
+    auto &slot = counters_[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Histogram &
+Registry::histogramLocked(const std::string &name)
+{
+    auto &slot = histograms_[name];
+    if (!slot)
+        slot = std::make_unique<Histogram>();
+    return *slot;
+}
+
 Counter &
 Registry::counter(const std::string &name)
 {
     std::unique_lock<std::mutex> lock(mutex_);
-    auto &slot = counters_[name];
+    return counterLocked(name);
+}
+
+WindowedCounter &
+Registry::windowedCounter(const std::string &name)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    auto &slot = windowed_counters_[name];
     if (!slot)
-        slot = std::make_unique<Counter>();
+        slot = std::make_unique<WindowedCounter>(counterLocked(name));
+    return *slot;
+}
+
+WindowedHistogram &
+Registry::windowedHistogram(const std::string &name)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    auto &slot = windowed_histograms_[name];
+    if (!slot)
+        slot = std::make_unique<WindowedHistogram>(histogramLocked(name));
     return *slot;
 }
 
@@ -181,10 +220,7 @@ Histogram &
 Registry::histogram(const std::string &name)
 {
     std::unique_lock<std::mutex> lock(mutex_);
-    auto &slot = histograms_[name];
-    if (!slot)
-        slot = std::make_unique<Histogram>();
-    return *slot;
+    return histogramLocked(name);
 }
 
 bool
@@ -274,6 +310,38 @@ Registry::toJson() const
         out += ", \"p99\": " + detail::jsonNumber(snap.percentile(99.0));
         out += "}";
     }
+    out += first ? "},\n" : "\n  },\n";
+
+    // Rolling-window views (obs/window.hpp): deltas/rates over the last
+    // kDefaultWindowSeconds, alongside — never instead of — the
+    // cumulative series above.
+    const std::int64_t now_s = monotonicSeconds();
+    const std::size_t w = kDefaultWindowSeconds;
+    out += "  \"windows\": {";
+    first = true;
+    for (const auto &[name, wc] : windowed_counters_) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += "    \"" + detail::jsonEscape(name) + "\": {";
+        out += "\"window_s\": " + std::to_string(w);
+        out += ", \"delta\": " + std::to_string(wc->deltaInWindow(w, now_s));
+        out += ", \"rate_per_s\": " +
+            detail::jsonNumber(wc->ratePerSecond(w, now_s));
+        out += "}";
+    }
+    for (const auto &[name, wh] : windowed_histograms_) {
+        auto snap = wh->windowSnapshot(w, now_s);
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += "    \"" + detail::jsonEscape(name) + "\": {";
+        out += "\"window_s\": " + std::to_string(w);
+        out += ", \"count\": " + std::to_string(snap.count);
+        out += ", \"mean\": " + detail::jsonNumber(snap.mean());
+        out += ", \"p50\": " + detail::jsonNumber(snap.percentile(50.0));
+        out += ", \"p95\": " + detail::jsonNumber(snap.percentile(95.0));
+        out += ", \"p99\": " + detail::jsonNumber(snap.percentile(99.0));
+        out += "}";
+    }
     out += first ? "}\n" : "\n  }\n";
     out += "}\n";
     return out;
@@ -328,25 +396,61 @@ Registry::toPrometheus() const
         out += p + "_sum " + detail::jsonNumber(snap.sum) + "\n";
         out += p + "_count " + std::to_string(snap.count) + "\n";
     }
+
+    // Windowed views export as gauges: a scraper that wants rates over
+    // the cumulative series can still rate() those; these are for
+    // humans and dashboards polling /metrics directly.
+    const std::int64_t now_s = monotonicSeconds();
+    const std::size_t w = kDefaultWindowSeconds;
+    const std::string suffix = "_" + std::to_string(w) + "s";
+    for (const auto &[name, wc] : windowed_counters_) {
+        std::string p = promName(name) + "_rate" + suffix;
+        out += "# TYPE " + p + " gauge\n";
+        out += p + " " + detail::jsonNumber(wc->ratePerSecond(w, now_s)) +
+            "\n";
+    }
+    for (const auto &[name, wh] : windowed_histograms_) {
+        auto snap = wh->windowSnapshot(w, now_s);
+        for (double pct : {50.0, 95.0, 99.0}) {
+            std::string p = promName(name) + "_p" +
+                std::to_string(static_cast<int>(pct)) + suffix;
+            out += "# TYPE " + p + " gauge\n";
+            out += p + " " + detail::jsonNumber(snap.percentile(pct)) +
+                "\n";
+        }
+        std::string p = promName(name) + "_count" + suffix;
+        out += "# TYPE " + p + " gauge\n";
+        out += p + " " + std::to_string(snap.count) + "\n";
+    }
     return out;
 }
 
 namespace {
 
+/**
+ * Atomic text-file replacement: write to a sibling temp file, then
+ * rename over the destination. A concurrent reader (the CI poller, a
+ * node_exporter textfile collector) sees either the old or the new
+ * content, never a torn prefix.
+ */
 bool
 writeTextFile(const std::string &path, const std::string &text)
 {
-    std::FILE *f = std::fopen(path.c_str(), "w");
+    std::string tmp = path + ".tmp";
+    std::FILE *f = std::fopen(tmp.c_str(), "w");
     if (!f) {
         std::fprintf(stderr, "[warn] obs: cannot open %s for writing\n",
-                     path.c_str());
+                     tmp.c_str());
         return false;
     }
     bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
     ok = std::fclose(f) == 0 && ok;
+    if (ok)
+        ok = std::rename(tmp.c_str(), path.c_str()) == 0;
     if (!ok) {
-        std::fprintf(stderr, "[warn] obs: short write to %s\n",
+        std::fprintf(stderr, "[warn] obs: failed writing %s\n",
                      path.c_str());
+        std::remove(tmp.c_str());
     }
     return ok;
 }
@@ -375,6 +479,10 @@ Registry::reset()
         g->reset();
     for (auto &[name, h] : histograms_)
         h->reset();
+    for (auto &[name, wc] : windowed_counters_)
+        wc->resetWindow();
+    for (auto &[name, wh] : windowed_histograms_)
+        wh->resetWindow();
 }
 
 } // namespace obs

@@ -161,6 +161,9 @@ struct LatencySummary
     static LatencySummary from(const HistogramSnapshot &snap);
 };
 
+class WindowedCounter;
+class WindowedHistogram;
+
 /**
  * Process-wide registry of named metrics.
  *
@@ -171,7 +174,8 @@ struct LatencySummary
  * references (tests rely on this).
  *
  * Naming convention: `<layer>.<operation>[_us]`, e.g.
- * `broker.query_latency_us`, `node.queue_wait_us`, `ivf.scan_us`.
+ * `broker.query_latency_us`, `node.queue_wait_us`, `ivf.scan_us`
+ * (obs/metric_names.hpp catalogs the canonical names).
  */
 class Registry
 {
@@ -182,6 +186,21 @@ class Registry
     Counter &counter(const std::string &name);
     Gauge &gauge(const std::string &name);
     Histogram &histogram(const std::string &name);
+
+    /**
+     * Counter with a rolling per-second window (obs/window.hpp). The
+     * cumulative total is the plain counter of the same name, so the
+     * counters section of every export is unchanged; exports grow a
+     * windowed rate for the name.
+     */
+    WindowedCounter &windowedCounter(const std::string &name);
+
+    /**
+     * Histogram with a rolling per-second window. The cumulative part
+     * is the plain histogram of the same name (hasHistogram() sees it);
+     * exports grow windowed count/percentiles for the name.
+     */
+    WindowedHistogram &windowedHistogram(const std::string &name);
 
     /** True when a histogram of that name has been created. */
     bool hasHistogram(const std::string &name) const;
@@ -199,22 +218,36 @@ class Registry
      */
     std::string toPrometheus() const;
 
-    /** Write toJson() to @p path; returns false (and warns) on error. */
+    /**
+     * Write toJson() to @p path atomically (temp file in the same
+     * directory + rename), so an external poller never reads a torn
+     * file. Returns false (and warns) on error.
+     */
     bool writeJson(const std::string &path) const;
 
-    /** Write toPrometheus() to @p path; false on error. */
+    /** Write toPrometheus() to @p path atomically; false on error. */
     bool writePrometheus(const std::string &path) const;
 
-    /** Zero every metric in place (references stay valid). */
+    /** Zero every metric in place (references stay valid); windowed
+     *  rings are cleared too. */
     void reset();
 
   private:
     Registry() = default;
+    ~Registry(); // defined in metrics.cpp where window types are complete
+
+    /** Lookup helpers that assume mutex_ is already held. */
+    Counter &counterLocked(const std::string &name);
+    Histogram &histogramLocked(const std::string &name);
 
     mutable std::mutex mutex_;
     std::map<std::string, std::unique_ptr<Counter>> counters_;
     std::map<std::string, std::unique_ptr<Gauge>> gauges_;
     std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+    std::map<std::string, std::unique_ptr<WindowedCounter>>
+        windowed_counters_;
+    std::map<std::string, std::unique_ptr<WindowedHistogram>>
+        windowed_histograms_;
 };
 
 namespace detail {

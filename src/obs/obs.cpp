@@ -1,8 +1,12 @@
 #include "obs/obs.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <mutex>
 #include <string>
+
+#include "obs/process_stats.hpp"
 
 namespace hermes {
 namespace obs {
@@ -58,6 +62,63 @@ autoDumpFromEnv()
             trace_sample = static_cast<std::size_t>(n);
     }
     scheduleDump(metrics ? metrics : "", trace ? trace : "", trace_sample);
+}
+
+// ---------------------------------------------------------------------------
+// PeriodicFlusher
+// ---------------------------------------------------------------------------
+
+PeriodicFlusher::PeriodicFlusher(std::string json_path,
+                                 std::string prom_path,
+                                 double interval_sec)
+    : json_path_(std::move(json_path)), prom_path_(std::move(prom_path)),
+      interval_sec_(std::max(interval_sec, 0.1))
+{
+    if (!json_path_.empty() || !prom_path_.empty())
+        thread_ = std::thread([this] { loop(); });
+}
+
+PeriodicFlusher::~PeriodicFlusher()
+{
+    stop();
+}
+
+void
+PeriodicFlusher::stop()
+{
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (stopping_)
+            return;
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable())
+        thread_.join();
+}
+
+void
+PeriodicFlusher::flush() const
+{
+    updateProcessGauges();
+    if (!json_path_.empty())
+        Registry::instance().writeJson(json_path_);
+    if (!prom_path_.empty())
+        Registry::instance().writePrometheus(prom_path_);
+}
+
+void
+PeriodicFlusher::loop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        bool stopped = cv_.wait_for(
+            lock, std::chrono::duration<double>(interval_sec_),
+            [this] { return stopping_; });
+        flush();
+        if (stopped)
+            return;
+    }
 }
 
 } // namespace obs

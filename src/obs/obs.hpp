@@ -14,8 +14,15 @@
 
 #pragma once
 
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/metric_names.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "obs/window.hpp"
 
 namespace hermes {
 namespace obs {
@@ -37,6 +44,47 @@ void scheduleDump(const std::string &metrics_path,
  * variable is set. Idempotent.
  */
 void autoDumpFromEnv();
+
+/**
+ * Background thread that re-writes metrics files every N seconds, so
+ * long runs are observable from outside without an HTTP round trip
+ * (tail the file, or point a node_exporter textfile collector at it).
+ * Writes are atomic (temp + rename); process.* gauges are refreshed
+ * before each flush. Tools wire this to --metrics-interval.
+ */
+class PeriodicFlusher
+{
+  public:
+    /**
+     * @param json_path     Registry JSON destination ("" = skip).
+     * @param prom_path     Prometheus text destination ("" = skip).
+     * @param interval_sec  Flush period; clamped to >= 0.1 s.
+     */
+    PeriodicFlusher(std::string json_path, std::string prom_path,
+                    double interval_sec);
+
+    /** Final flush, then stop. */
+    ~PeriodicFlusher();
+
+    PeriodicFlusher(const PeriodicFlusher &) = delete;
+    PeriodicFlusher &operator=(const PeriodicFlusher &) = delete;
+
+    /** Stop the flusher after one last flush. Idempotent. */
+    void stop();
+
+  private:
+    void loop();
+    void flush() const;
+
+    std::string json_path_;
+    std::string prom_path_;
+    double interval_sec_;
+
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stopping_ = false;
+    std::thread thread_;
+};
 
 } // namespace obs
 } // namespace hermes

@@ -1,0 +1,117 @@
+#include "obs/process_stats.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include "obs/metric_names.hpp"
+#include "obs/metrics.hpp"
+
+namespace hermes {
+namespace obs {
+
+namespace {
+
+double
+timevalSeconds(const timeval &tv)
+{
+    return static_cast<double>(tv.tv_sec) +
+           static_cast<double>(tv.tv_usec) * 1e-6;
+}
+
+#ifdef __linux__
+
+/** Fill rss/vm from /proc/self/statm (fields are in pages). */
+void
+readStatm(ProcessStats &stats)
+{
+    std::FILE *f = std::fopen("/proc/self/statm", "r");
+    if (!f)
+        return;
+    long vm_pages = 0;
+    long rss_pages = 0;
+    if (std::fscanf(f, "%ld %ld", &vm_pages, &rss_pages) == 2) {
+        double page = static_cast<double>(sysconf(_SC_PAGESIZE));
+        stats.vm_bytes = static_cast<double>(vm_pages) * page;
+        stats.rss_bytes = static_cast<double>(rss_pages) * page;
+    }
+    std::fclose(f);
+}
+
+/** Fill the thread count from /proc/self/status. */
+void
+readThreadCount(ProcessStats &stats)
+{
+    std::FILE *f = std::fopen("/proc/self/status", "r");
+    if (!f)
+        return;
+    char line[256];
+    while (std::fgets(line, sizeof(line), f)) {
+        if (std::strncmp(line, "Threads:", 8) == 0) {
+            stats.threads = std::strtol(line + 8, nullptr, 10);
+            break;
+        }
+    }
+    std::fclose(f);
+}
+
+#endif // __linux__
+
+} // namespace
+
+ProcessStats
+readProcessStats()
+{
+    static const auto start = std::chrono::steady_clock::now();
+
+    ProcessStats stats;
+    rusage usage{};
+    if (getrusage(RUSAGE_SELF, &usage) == 0) {
+        stats.cpu_user_seconds = timevalSeconds(usage.ru_utime);
+        stats.cpu_system_seconds = timevalSeconds(usage.ru_stime);
+        stats.valid = true;
+    }
+#ifdef __linux__
+    readStatm(stats);
+    readThreadCount(stats);
+    if (stats.rss_bytes == 0.0) {
+        // /proc unavailable (e.g. tight sandbox): fall back to the
+        // getrusage peak-RSS, reported in kilobytes on Linux.
+        stats.rss_bytes = static_cast<double>(usage.ru_maxrss) * 1024.0;
+    }
+#endif
+    stats.uptime_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    return stats;
+}
+
+void
+updateProcessGauges(Registry &registry)
+{
+    auto stats = readProcessStats();
+    if (!stats.valid)
+        return;
+    registry.gauge(names::kProcessRssBytes).set(stats.rss_bytes);
+    registry.gauge(names::kProcessVmBytes).set(stats.vm_bytes);
+    registry.gauge(names::kProcessCpuUserSeconds)
+        .set(stats.cpu_user_seconds);
+    registry.gauge(names::kProcessCpuSystemSeconds)
+        .set(stats.cpu_system_seconds);
+    registry.gauge(names::kProcessThreads)
+        .set(static_cast<double>(stats.threads));
+    registry.gauge(names::kProcessUptimeSeconds).set(stats.uptime_seconds);
+}
+
+void
+updateProcessGauges()
+{
+    updateProcessGauges(Registry::instance());
+}
+
+} // namespace obs
+} // namespace hermes

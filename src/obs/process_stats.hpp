@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Process self-statistics for exported snapshots: RSS, user/system CPU
+ * seconds, thread count and uptime, read from /proc/self and
+ * getrusage(2). The exporter refreshes the process.* gauges on every
+ * scrape so each snapshot carries its host context.
+ *
+ * Non-Linux platforms keep the getrusage-backed fields and report 0 for
+ * the /proc-backed ones (valid stays true — partial context beats
+ * none).
+ */
+
+#pragma once
+
+namespace hermes {
+namespace obs {
+
+class Registry;
+
+/** One reading of the process's own resource usage. */
+struct ProcessStats
+{
+    /** Resident set size in bytes (Linux: /proc/self/statm). */
+    double rss_bytes = 0.0;
+
+    /** Virtual memory size in bytes (Linux: /proc/self/statm). */
+    double vm_bytes = 0.0;
+
+    /** User-mode CPU seconds consumed (getrusage). */
+    double cpu_user_seconds = 0.0;
+
+    /** Kernel-mode CPU seconds consumed (getrusage). */
+    double cpu_system_seconds = 0.0;
+
+    /** Live threads (Linux: /proc/self/status "Threads:"). */
+    long threads = 0;
+
+    /** Seconds since the first process-stats reading. */
+    double uptime_seconds = 0.0;
+
+    /** False when even getrusage failed. */
+    bool valid = false;
+};
+
+/** Take one reading. Cheap (two small /proc reads + one syscall). */
+ProcessStats readProcessStats();
+
+/** Refresh the process.* gauges in @p registry from a fresh reading. */
+void updateProcessGauges(Registry &registry);
+
+/** Refresh the process.* gauges in the process-wide registry. */
+void updateProcessGauges();
+
+} // namespace obs
+} // namespace hermes

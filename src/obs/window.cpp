@@ -1,0 +1,195 @@
+#include "obs/window.hpp"
+
+#include <chrono>
+#include <cmath>
+
+namespace hermes {
+namespace obs {
+
+std::int64_t
+monotonicSeconds()
+{
+    static const auto start = std::chrono::steady_clock::now();
+    return std::chrono::duration_cast<std::chrono::seconds>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+namespace {
+
+std::int64_t
+resolveNow(std::int64_t now_s)
+{
+    return now_s >= 0 ? now_s : monotonicSeconds();
+}
+
+std::size_t
+clampWindow(std::size_t window_s, std::size_t slots)
+{
+    if (window_s == 0)
+        window_s = 1;
+    return std::min(window_s, slots - 1);
+}
+
+/** True when @p epoch falls inside the last @p window_s seconds. */
+bool
+inWindow(std::int64_t epoch, std::int64_t now_s, std::size_t window_s)
+{
+    return epoch >= 0 && epoch <= now_s &&
+           epoch > now_s - static_cast<std::int64_t>(window_s);
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// WindowedCounter
+// ---------------------------------------------------------------------------
+
+WindowedCounter::Slot &
+WindowedCounter::rotate(std::int64_t now_s)
+{
+    Slot &slot = slots_[static_cast<std::size_t>(now_s) % kSlots];
+    if (slot.epoch.load(std::memory_order_acquire) != now_s) {
+        std::unique_lock<std::mutex> lock(rotate_mutex_);
+        if (slot.epoch.load(std::memory_order_acquire) != now_s) {
+            slot.count.store(0, std::memory_order_relaxed);
+            slot.epoch.store(now_s, std::memory_order_release);
+        }
+    }
+    return slot;
+}
+
+void
+WindowedCounter::add(std::uint64_t n, std::int64_t now_s)
+{
+    total_.add(n);
+    Slot &slot = rotate(resolveNow(now_s));
+    slot.count.fetch_add(n, std::memory_order_relaxed);
+}
+
+std::uint64_t
+WindowedCounter::deltaInWindow(std::size_t window_s,
+                               std::int64_t now_s) const
+{
+    now_s = resolveNow(now_s);
+    window_s = clampWindow(window_s, kSlots);
+    std::uint64_t delta = 0;
+    for (const Slot &slot : slots_) {
+        if (inWindow(slot.epoch.load(std::memory_order_acquire), now_s,
+                     window_s))
+            delta += slot.count.load(std::memory_order_relaxed);
+    }
+    return delta;
+}
+
+double
+WindowedCounter::ratePerSecond(std::size_t window_s,
+                               std::int64_t now_s) const
+{
+    window_s = clampWindow(window_s, kSlots);
+    return static_cast<double>(deltaInWindow(window_s, now_s)) /
+           static_cast<double>(window_s);
+}
+
+void
+WindowedCounter::resetWindow()
+{
+    std::unique_lock<std::mutex> lock(rotate_mutex_);
+    for (Slot &slot : slots_) {
+        slot.count.store(0, std::memory_order_relaxed);
+        slot.epoch.store(-1, std::memory_order_release);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// WindowedHistogram
+// ---------------------------------------------------------------------------
+
+WindowedHistogram::Slot &
+WindowedHistogram::rotate(std::int64_t now_s)
+{
+    Slot &slot = slots_[static_cast<std::size_t>(now_s) % kSlots];
+    if (slot.epoch.load(std::memory_order_acquire) != now_s) {
+        std::unique_lock<std::mutex> lock(rotate_mutex_);
+        if (slot.epoch.load(std::memory_order_acquire) != now_s) {
+            slot.count.store(0, std::memory_order_relaxed);
+            slot.sum.store(0.0, std::memory_order_relaxed);
+            for (auto &bucket : slot.buckets)
+                bucket.store(0, std::memory_order_relaxed);
+            slot.epoch.store(now_s, std::memory_order_release);
+        }
+    }
+    return slot;
+}
+
+void
+WindowedHistogram::observe(double v, std::int64_t now_s)
+{
+    cumulative_.observe(v);
+    Slot &slot = rotate(resolveNow(now_s));
+    slot.buckets[Histogram::bucketIndex(v)].fetch_add(
+        1, std::memory_order_relaxed);
+    double cur = slot.sum.load(std::memory_order_relaxed);
+    while (!slot.sum.compare_exchange_weak(cur, cur + v,
+                                           std::memory_order_relaxed)) {
+    }
+    slot.count.fetch_add(1, std::memory_order_relaxed);
+}
+
+HistogramSnapshot
+WindowedHistogram::windowSnapshot(std::size_t window_s,
+                                  std::int64_t now_s) const
+{
+    now_s = resolveNow(now_s);
+    window_s = clampWindow(window_s, kSlots);
+
+    HistogramSnapshot snap;
+    snap.buckets.assign(Histogram::kNumBuckets, 0);
+    for (const Slot &slot : slots_) {
+        if (!inWindow(slot.epoch.load(std::memory_order_acquire), now_s,
+                      window_s))
+            continue;
+        snap.count += slot.count.load(std::memory_order_relaxed);
+        snap.sum += slot.sum.load(std::memory_order_relaxed);
+        for (std::size_t i = 0; i < Histogram::kNumBuckets; ++i)
+            snap.buckets[i] +=
+                slot.buckets[i].load(std::memory_order_relaxed);
+    }
+    if (snap.count == 0)
+        return snap;
+
+    // The ring keeps bucket counts only; reconstruct min/max from the
+    // populated bucket bounds, capped by the cumulative extremes so the
+    // estimates never leave the observed value range.
+    auto cum = cumulative_.snapshot();
+    std::size_t lo = 0;
+    while (lo < snap.buckets.size() && snap.buckets[lo] == 0)
+        ++lo;
+    std::size_t hi = snap.buckets.size();
+    while (hi > 0 && snap.buckets[hi - 1] == 0)
+        --hi;
+    snap.min = lo == 0 ? cum.min : Histogram::bucketUpperBound(lo - 1);
+    double upper = Histogram::bucketUpperBound(hi - 1);
+    snap.max = std::isfinite(upper) ? upper : cum.max;
+    if (cum.count > 0) {
+        snap.min = std::max(snap.min, cum.min);
+        snap.max = std::min(std::max(snap.max, snap.min), cum.max);
+    }
+    return snap;
+}
+
+void
+WindowedHistogram::resetWindow()
+{
+    std::unique_lock<std::mutex> lock(rotate_mutex_);
+    for (Slot &slot : slots_) {
+        slot.count.store(0, std::memory_order_relaxed);
+        slot.sum.store(0.0, std::memory_order_relaxed);
+        for (auto &bucket : slot.buckets)
+            bucket.store(0, std::memory_order_relaxed);
+        slot.epoch.store(-1, std::memory_order_release);
+    }
+}
+
+} // namespace obs
+} // namespace hermes

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Rolling time-window aggregation on top of the cumulative metrics.
+ *
+ * A windowed metric is a ring of per-second slots layered over a
+ * cumulative Counter/Histogram from the registry: every update feeds
+ * both, so the cumulative series stays monotone (Prometheus scrapers
+ * rely on that) while the ring answers "what happened in the last W
+ * seconds" — QPS, error rate, windowed p50/p95/p99 — without ever
+ * resetting anything.
+ *
+ * Concurrency: slot payloads are relaxed atomics like the cumulative
+ * metrics; slot *rotation* (re-labelling a ring slot with a new second)
+ * takes a per-metric mutex, which is contended at most once per second
+ * per slot. A writer stalled across a full ring revolution (64 s) can
+ * attribute a sample to the wrong second; windowed values are
+ * best-effort observability, not accounting.
+ *
+ * Time base: seconds since process start on the steady clock
+ * (monotonicSeconds()). Every method takes an optional explicit
+ * timestamp so tests can drive the clock deterministically.
+ */
+
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+#include "obs/metrics.hpp"
+
+namespace hermes {
+namespace obs {
+
+/** Seconds since process start (steady clock, truncated). */
+std::int64_t monotonicSeconds();
+
+/** Default look-back horizon for exported windowed values. */
+inline constexpr std::size_t kDefaultWindowSeconds = 10;
+
+/**
+ * Counter with a rolling per-second ring next to its cumulative total.
+ *
+ * The wrapped Counter is owned by the Registry (same lifetime and name
+ * as a plain counter), so migrating an instrumentation site from
+ * Registry::counter(name) to Registry::windowedCounter(name) changes
+ * nothing about the cumulative export.
+ */
+class WindowedCounter
+{
+  public:
+    static constexpr std::size_t kSlots = 64;
+
+    explicit WindowedCounter(Counter &total) : total_(total) {}
+
+    /** Bump the cumulative total and the ring slot for @p now_s. */
+    void add(std::uint64_t n = 1, std::int64_t now_s = -1);
+
+    /** Cumulative total (monotone). */
+    std::uint64_t value() const { return total_.value(); }
+
+    const Counter &total() const { return total_; }
+
+    /** Events recorded in the last @p window_s seconds (inclusive of
+     *  the current partial second). Window is clamped to kSlots - 1. */
+    std::uint64_t deltaInWindow(std::size_t window_s,
+                                std::int64_t now_s = -1) const;
+
+    /** deltaInWindow / window_s — e.g. QPS over the last 10 s. */
+    double ratePerSecond(std::size_t window_s,
+                         std::int64_t now_s = -1) const;
+
+    /** Clear the ring (the cumulative total is reset by the registry). */
+    void resetWindow();
+
+  private:
+    struct Slot
+    {
+        std::atomic<std::int64_t> epoch{-1};
+        std::atomic<std::uint64_t> count{0};
+    };
+
+    Slot &rotate(std::int64_t now_s);
+
+    Counter &total_;
+    mutable std::mutex rotate_mutex_;
+    mutable std::array<Slot, kSlots> slots_;
+};
+
+/**
+ * Histogram with a rolling per-second ring of bucket deltas next to its
+ * cumulative histogram, giving windowed percentiles. The wrapped
+ * Histogram is owned by the Registry under the same name.
+ */
+class WindowedHistogram
+{
+  public:
+    static constexpr std::size_t kSlots = 64;
+
+    explicit WindowedHistogram(Histogram &cumulative)
+        : cumulative_(cumulative)
+    {
+    }
+
+    /** Record into the cumulative histogram and the ring. */
+    void observe(double v, std::int64_t now_s = -1);
+
+    Histogram &cumulative() { return cumulative_; }
+    const Histogram &cumulative() const { return cumulative_; }
+
+    /**
+     * Aggregate the last @p window_s seconds into a HistogramSnapshot
+     * (window clamped to kSlots - 1). min/max are approximated from the
+     * populated bucket bounds (capped by the cumulative min/max), so
+     * percentile() interpolates sensibly.
+     */
+    HistogramSnapshot windowSnapshot(std::size_t window_s,
+                                     std::int64_t now_s = -1) const;
+
+    /** Clear the ring (the cumulative part is reset by the registry). */
+    void resetWindow();
+
+  private:
+    struct Slot
+    {
+        std::atomic<std::int64_t> epoch{-1};
+        std::atomic<std::uint64_t> count{0};
+        std::atomic<double> sum{0.0};
+        std::array<std::atomic<std::uint64_t>, Histogram::kNumBuckets>
+            buckets{};
+    };
+
+    Slot &rotate(std::int64_t now_s);
+
+    Histogram &cumulative_;
+    mutable std::mutex rotate_mutex_;
+    mutable std::array<Slot, kSlots> slots_;
+};
+
+} // namespace obs
+} // namespace hermes

@@ -83,11 +83,11 @@ RagSystem::generate(const std::string &question,
     std::size_t k = config_.hermes.docs_to_retrieve;
 
     static obs::Histogram &h_stride = obs::Registry::instance().histogram(
-        "rag.stride_total_us");
-    static obs::Histogram &h_retrieval =
-        obs::Registry::instance().histogram("rag.stride_retrieval_us");
+        obs::names::kRagStrideTotalUs);
+    static obs::Histogram &h_retrieval = obs::Registry::instance().histogram(
+        obs::names::kRagStrideRetrievalUs);
     static obs::Counter &c_strides =
-        obs::Registry::instance().counter("rag.strides");
+        obs::Registry::instance().counter(obs::names::kRagStrides);
 
     obs::TraceContext trace_context(
         obs::TraceRecorder::instance().sampleQuery());

@@ -5,7 +5,9 @@
 #include <limits>
 #include <optional>
 
+#include "cluster/imbalance.hpp"
 #include "core/search_strategy.hpp"
+#include "sim/hardware.hpp"
 #include "util/logging.hpp"
 #include "util/timer.hpp"
 #include "vecstore/topk.hpp"
@@ -16,16 +18,21 @@ namespace serve {
 HermesBroker::HermesBroker(const core::DistributedStore &store,
                            const BrokerConfig &config)
     : store_(store), config_(config),
-      h_query_latency_(obs::Registry::instance().histogram(
-          "broker.query_latency_us")),
+      h_query_latency_(obs::Registry::instance().windowedHistogram(
+          obs::names::kBrokerQueryLatencyUs)),
       h_sample_phase_(obs::Registry::instance().histogram(
-          "broker.sample_phase_us")),
+          obs::names::kBrokerSamplePhaseUs)),
       h_deep_phase_(obs::Registry::instance().histogram(
-          "broker.deep_phase_us")),
+          obs::names::kBrokerDeepPhaseUs)),
       h_merge_phase_(obs::Registry::instance().histogram(
-          "broker.merge_phase_us"))
+          obs::names::kBrokerMergePhaseUs)),
+      c_queries_(obs::Registry::instance().windowedCounter(
+          obs::names::kBrokerQueries)),
+      start_time_(std::chrono::steady_clock::now())
 {
+    auto &registry = obs::Registry::instance();
     nodes_.reserve(store_.numClusters());
+    cluster_counters_.reserve(store_.numClusters());
     for (std::size_t c = 0; c < store_.numClusters(); ++c) {
         NodeConfig node_config = config_.node;
         if (c < config_.node_faults.size())
@@ -33,6 +40,14 @@ HermesBroker::HermesBroker(const core::DistributedStore &store,
         node_config.node_id = c;
         nodes_.push_back(std::make_unique<RetrievalNode>(
             store_.clusterIndex(c), node_config));
+        cluster_counters_.push_back(ClusterCounters{
+            registry.counter(obs::names::nodeMetric(
+                c, obs::names::kNodeSampleRequests)),
+            registry.counter(obs::names::nodeMetric(
+                c, obs::names::kNodeDeepRequests)),
+            registry.counter(obs::names::nodeMetric(
+                c, obs::names::kNodeHitsReturned)),
+        });
     }
 }
 
@@ -126,9 +141,10 @@ HermesBroker::search(vecstore::VecView query, std::size_t k,
     sample_params.nprobe = config.sample_nprobe;
     std::vector<std::future<NodeResponse>> sample_futures;
     sample_futures.reserve(n);
-    for (auto &node : nodes_) {
+    for (std::size_t c = 0; c < n; ++c) {
+        cluster_counters_[c].sample_requests.add(1);
         sample_futures.push_back(
-            node->submit(query, config.sample_k, sample_params));
+            nodes_[c]->submit(query, config.sample_k, sample_params));
     }
 
     // Rank clusters by best sampled document distance. A cluster whose
@@ -144,6 +160,8 @@ HermesBroker::search(vecstore::VecView query, std::size_t k,
                     config.sample_k, sample_params, timeouts, failures);
         if (!outcome.ok)
             continue;
+        cluster_counters_[c].hits_returned.add(
+            outcome.response.hits.size());
         float best = outcome.response.hits.empty()
             ? std::numeric_limits<float>::max()
             : outcome.response.hits.front().score;
@@ -190,6 +208,7 @@ HermesBroker::search(vecstore::VecView query, std::size_t k,
     for (std::size_t i = 0; i < deep; ++i) {
         std::uint32_t c = ranked[i].second;
         deep_clusters.push_back(c);
+        cluster_counters_[c].deep_requests.add(1);
         deep_futures.push_back(nodes_[c]->submit(query, k, deep_params));
     }
 
@@ -201,6 +220,8 @@ HermesBroker::search(vecstore::VecView query, std::size_t k,
                                *nodes_[deep_clusters[i]], query, k,
                                deep_params, timeouts, failures);
         if (outcome.ok) {
+            cluster_counters_[deep_clusters[i]].hits_returned.add(
+                outcome.response.hits.size());
             partials.push_back(std::move(outcome.response.hits));
             ++deep_ok;
         }
@@ -235,19 +256,18 @@ HermesBroker::search(vecstore::VecView query, std::size_t k,
             ++degraded_queries_;
     }
 
-    // Mirror the lifetime counters into the exportable registry.
+    // Mirror the lifetime counters into the exportable registry. The
+    // query counter is windowed so /load can report a rolling QPS.
     {
-        static obs::Counter &c_queries =
-            obs::Registry::instance().counter("broker.queries");
-        static obs::Counter &c_deep =
-            obs::Registry::instance().counter("broker.deep_requests");
-        static obs::Counter &c_timeouts =
-            obs::Registry::instance().counter("broker.timeouts");
-        static obs::Counter &c_failures =
-            obs::Registry::instance().counter("broker.failures");
-        static obs::Counter &c_degraded =
-            obs::Registry::instance().counter("broker.degraded_queries");
-        c_queries.add(1);
+        static obs::Counter &c_deep = obs::Registry::instance().counter(
+            obs::names::kBrokerDeepRequests);
+        static obs::Counter &c_timeouts = obs::Registry::instance().counter(
+            obs::names::kBrokerTimeouts);
+        static obs::Counter &c_failures = obs::Registry::instance().counter(
+            obs::names::kBrokerFailures);
+        static obs::Counter &c_degraded = obs::Registry::instance().counter(
+            obs::names::kBrokerDegradedQueries);
+        c_queries_.add(1);
         c_deep.add(deep);
         if (timeouts)
             c_timeouts.add(timeouts);
@@ -286,7 +306,7 @@ HermesBroker::stats() const
         stats.degraded_queries = degraded_queries_;
     }
     stats.query_latency =
-        obs::LatencySummary::from(h_query_latency_.snapshot());
+        obs::LatencySummary::from(h_query_latency_.cumulative().snapshot());
     stats.sample_phase =
         obs::LatencySummary::from(h_sample_phase_.snapshot());
     stats.deep_phase =
@@ -297,6 +317,82 @@ HermesBroker::stats() const
     for (const auto &node : nodes_)
         stats.nodes.push_back(node->stats());
     return stats;
+}
+
+LoadReport
+HermesBroker::loadReport(std::size_t window_s) const
+{
+    LoadReport report;
+    report.uptime_seconds = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - start_time_).count();
+    {
+        std::unique_lock<std::mutex> lock(stats_mutex_);
+        report.queries = queries_;
+        report.timeouts = timeouts_;
+        report.failures = failures_;
+        report.degraded_queries = degraded_queries_;
+    }
+
+    report.window_seconds = static_cast<double>(window_s);
+    report.window_qps = c_queries_.ratePerSecond(window_s);
+    auto window = h_query_latency_.windowSnapshot(window_s);
+    report.window_p50_us = window.percentile(50.0);
+    report.window_p99_us = window.percentile(99.0);
+    auto cumulative = h_query_latency_.cumulative().snapshot();
+    report.cumulative_p50_us = cumulative.percentile(50.0);
+    report.cumulative_p99_us = cumulative.percentile(99.0);
+
+    // Idle power runs whether or not requests arrive; attribute each
+    // node's static share here from wall time, on top of the dynamic
+    // energy the worker accrued per busy interval (Fig 18 shape: joules
+    // per query fall as load rises because the idle floor amortizes).
+    const sim::CpuProfile &cpu = sim::cpuProfile(config_.node.cpu_model);
+    const double idle_joules = config_.node.model_energy
+        ? report.uptime_seconds * cpu.idle_watts /
+            static_cast<double>(cpu.cores)
+        : 0.0;
+
+    report.clusters.reserve(nodes_.size());
+    std::vector<std::size_t> deep_counts;
+    deep_counts.reserve(nodes_.size());
+    for (std::size_t c = 0; c < nodes_.size(); ++c) {
+        ClusterLoad load;
+        load.cluster = static_cast<std::uint32_t>(c);
+        load.shard_vectors = store_.clusterSize(c);
+        load.sample_requests = cluster_counters_[c].sample_requests.value();
+        load.deep_requests = cluster_counters_[c].deep_requests.value();
+        load.hits_returned = cluster_counters_[c].hits_returned.value();
+        NodeStats node_stats = nodes_[c]->stats();
+        load.requests = node_stats.requests;
+        load.batches = node_stats.batches;
+        load.queue_depth = nodes_[c]->queueDepth();
+        load.busy_seconds = node_stats.busy_seconds;
+        load.utilization = report.uptime_seconds > 0.0
+            ? node_stats.busy_seconds / report.uptime_seconds
+            : 0.0;
+        load.energy_joules = node_stats.energy_joules + idle_joules;
+        report.total_energy_joules += load.energy_joules;
+        deep_counts.push_back(
+            static_cast<std::size_t>(load.deep_requests));
+        report.clusters.push_back(load);
+    }
+
+    if (!deep_counts.empty()) {
+        report.deep_imbalance = cluster::imbalance(deep_counts);
+        double sum = 0.0;
+        std::size_t max_count = 0;
+        for (std::size_t n : deep_counts) {
+            sum += static_cast<double>(n);
+            max_count = std::max(max_count, n);
+        }
+        double mean = sum / static_cast<double>(deep_counts.size());
+        report.max_mean_ratio =
+            mean > 0.0 ? static_cast<double>(max_count) / mean : 0.0;
+        std::vector<double> as_double(deep_counts.begin(),
+                                      deep_counts.end());
+        report.zipf_exponent = fitZipfExponent(std::move(as_double));
+    }
+    return report;
 }
 
 } // namespace serve

@@ -24,11 +24,13 @@
 
 #pragma once
 
+#include <chrono>
 #include <memory>
 #include <vector>
 
 #include "core/distributed_store.hpp"
 #include "obs/obs.hpp"
+#include "serve/load_report.hpp"
 #include "serve/node.hpp"
 
 namespace hermes {
@@ -128,6 +130,15 @@ class HermesBroker
     /** Snapshot of serving statistics. */
     BrokerStats stats() const;
 
+    /**
+     * Fleet-level load snapshot: per-cluster traffic/queue/energy plus
+     * skew diagnostics over the deep-request distribution. @p window_s
+     * bounds the windowed QPS/latency figures (clamped to the ring).
+     * Safe to call concurrently with search().
+     */
+    LoadReport loadReport(
+        std::size_t window_s = obs::kDefaultWindowSeconds) const;
+
     /** Number of serving nodes. */
     std::size_t numNodes() const { return nodes_.size(); }
 
@@ -155,11 +166,26 @@ class HermesBroker
     BrokerConfig config_;
     std::vector<std::unique_ptr<RetrievalNode>> nodes_;
 
-    /** Cached refs into the process-wide metrics registry (stable). */
-    obs::Histogram &h_query_latency_;
+    /** Cached refs into the process-wide metrics registry (stable).
+     *  Query latency and query count carry rolling windows so the live
+     *  endpoints can report last-N-seconds QPS/percentiles. */
+    obs::WindowedHistogram &h_query_latency_;
     obs::Histogram &h_sample_phase_;
     obs::Histogram &h_deep_phase_;
     obs::Histogram &h_merge_phase_;
+    obs::WindowedCounter &c_queries_;
+
+    /** Per-cluster request accounting (index = cluster id). */
+    struct ClusterCounters
+    {
+        obs::Counter &sample_requests;
+        obs::Counter &deep_requests;
+        obs::Counter &hits_returned;
+    };
+    std::vector<ClusterCounters> cluster_counters_;
+
+    /** Construction time, for uptime/utilization in loadReport(). */
+    std::chrono::steady_clock::time_point start_time_;
 
     mutable std::mutex stats_mutex_;
     mutable std::uint64_t queries_ = 0;

@@ -1,0 +1,92 @@
+#include "serve/load_report.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/metrics.hpp"
+
+namespace hermes {
+namespace serve {
+
+double
+fitZipfExponent(std::vector<double> counts)
+{
+    std::sort(counts.begin(), counts.end(), std::greater<double>());
+    while (!counts.empty() && counts.back() <= 0.0)
+        counts.pop_back();
+    if (counts.size() < 2)
+        return 0.0;
+
+    // Linear regression of ln(count) on ln(rank): slope = -s.
+    double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+    const double n = static_cast<double>(counts.size());
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        double x = std::log(static_cast<double>(i + 1));
+        double y = std::log(counts[i]);
+        sx += x;
+        sy += y;
+        sxx += x * x;
+        sxy += x * y;
+    }
+    double denom = n * sxx - sx * sx;
+    if (denom <= 0.0)
+        return 0.0;
+    double slope = (n * sxy - sx * sy) / denom;
+    return -slope;
+}
+
+std::string
+LoadReport::toJson() const
+{
+    using obs::detail::jsonNumber;
+    std::string out = "{\n";
+    out += "  \"uptime_seconds\": " + jsonNumber(uptime_seconds) + ",\n";
+    out += "  \"queries\": " + std::to_string(queries) + ",\n";
+    out += "  \"timeouts\": " + std::to_string(timeouts) + ",\n";
+    out += "  \"failures\": " + std::to_string(failures) + ",\n";
+    out += "  \"degraded_queries\": " + std::to_string(degraded_queries) +
+        ",\n";
+    out += "  \"window_seconds\": " + jsonNumber(window_seconds) + ",\n";
+    out += "  \"window_qps\": " + jsonNumber(window_qps) + ",\n";
+    out += "  \"window_p50_us\": " + jsonNumber(window_p50_us) + ",\n";
+    out += "  \"window_p99_us\": " + jsonNumber(window_p99_us) + ",\n";
+    out += "  \"cumulative_p50_us\": " + jsonNumber(cumulative_p50_us) +
+        ",\n";
+    out += "  \"cumulative_p99_us\": " + jsonNumber(cumulative_p99_us) +
+        ",\n";
+    out += "  \"max_mean_ratio\": " + jsonNumber(max_mean_ratio) + ",\n";
+    out += "  \"zipf_exponent\": " + jsonNumber(zipf_exponent) + ",\n";
+    out += "  \"deep_imbalance\": {";
+    out += "\"max_min_ratio\": " + jsonNumber(deep_imbalance.max_min_ratio);
+    out += ", \"variance\": " + jsonNumber(deep_imbalance.variance);
+    out += ", \"entropy_bits\": " + jsonNumber(deep_imbalance.entropy_bits);
+    out += ", \"normalized_entropy\": " +
+        jsonNumber(deep_imbalance.normalized_entropy);
+    out += "},\n";
+    out += "  \"total_energy_joules\": " +
+        jsonNumber(total_energy_joules) + ",\n";
+    out += "  \"clusters\": [";
+    for (std::size_t i = 0; i < clusters.size(); ++i) {
+        const ClusterLoad &c = clusters[i];
+        out += i == 0 ? "\n" : ",\n";
+        out += "    {\"cluster\": " + std::to_string(c.cluster);
+        out += ", \"shard_vectors\": " + std::to_string(c.shard_vectors);
+        out += ", \"sample_requests\": " +
+            std::to_string(c.sample_requests);
+        out += ", \"deep_requests\": " + std::to_string(c.deep_requests);
+        out += ", \"hits_returned\": " + std::to_string(c.hits_returned);
+        out += ", \"requests\": " + std::to_string(c.requests);
+        out += ", \"batches\": " + std::to_string(c.batches);
+        out += ", \"queue_depth\": " + std::to_string(c.queue_depth);
+        out += ", \"busy_seconds\": " + jsonNumber(c.busy_seconds);
+        out += ", \"utilization\": " + jsonNumber(c.utilization);
+        out += ", \"energy_joules\": " + jsonNumber(c.energy_joules);
+        out += "}";
+    }
+    out += clusters.empty() ? "]\n" : "\n  ]\n";
+    out += "}\n";
+    return out;
+}
+
+} // namespace serve
+} // namespace hermes

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Fleet-level load report: per-cluster traffic, queue and energy
+ * accounting for a running broker, plus skew diagnostics.
+ *
+ * This is the live counterpart of the paper's offline fleet analysis:
+ * per-cluster access counts under Zipfian traffic (Fig 13) and modeled
+ * energy per node (Fig 18), computed from the serving path's own
+ * counters instead of a simulation. The broker materializes one on
+ * demand (HermesBroker::loadReport()); the HTTP exporter serves it at
+ * GET /load; hermes_monitor renders it live. Any future load-aware
+ * placement/replication policy reads this structure.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/imbalance.hpp"
+
+namespace hermes {
+namespace serve {
+
+/** Load attributed to one cluster node. */
+struct ClusterLoad
+{
+    /** Cluster / node id. */
+    std::uint32_t cluster = 0;
+
+    /** Vectors stored on this node's shard. */
+    std::size_t shard_vectors = 0;
+
+    /** Sampling requests routed here (uniform: one per query). */
+    std::uint64_t sample_requests = 0;
+
+    /** Deep-search requests routed here — the skewed load signal. */
+    std::uint64_t deep_requests = 0;
+
+    /** Hits this node returned across all completed requests. */
+    std::uint64_t hits_returned = 0;
+
+    /** Requests completed by the node worker (sample + deep). */
+    std::uint64_t requests = 0;
+
+    /** Processing rounds the worker executed. */
+    std::uint64_t batches = 0;
+
+    /** Requests waiting in the node queue right now. */
+    std::size_t queue_depth = 0;
+
+    /** Seconds the worker spent executing batches. */
+    double busy_seconds = 0.0;
+
+    /** busy_seconds / broker uptime. */
+    double utilization = 0.0;
+
+    /**
+     * Modeled energy in joules: the worker's accrued dynamic energy
+     * plus this node's static (idle) share of the uptime, i.e. the
+     * paper's per-node energy accounting applied to live traffic.
+     */
+    double energy_joules = 0.0;
+};
+
+/** Point-in-time fleet load snapshot. */
+struct LoadReport
+{
+    /** Seconds since the broker was constructed. */
+    double uptime_seconds = 0.0;
+
+    /** Cumulative query/fault counters (monotone across polls). */
+    std::uint64_t queries = 0;
+    std::uint64_t timeouts = 0;
+    std::uint64_t failures = 0;
+    std::uint64_t degraded_queries = 0;
+
+    /** Look-back horizon of the windowed figures below. */
+    double window_seconds = 0.0;
+
+    /** Queries per second over the window. */
+    double window_qps = 0.0;
+
+    /** End-to-end latency percentiles over the window (us). */
+    double window_p50_us = 0.0;
+    double window_p99_us = 0.0;
+
+    /** Since-boot latency percentiles (us), for contrast. */
+    double cumulative_p50_us = 0.0;
+    double cumulative_p99_us = 0.0;
+
+    /** Per-cluster accounting, in cluster-id order. */
+    std::vector<ClusterLoad> clusters;
+
+    /**
+     * Imbalance statistics over per-cluster deep-request counts (the
+     * same metrics cluster/imbalance computes over cluster sizes at
+     * build time — here applied to live access counts, Fig 13).
+     */
+    cluster::ImbalanceStats deep_imbalance;
+
+    /** Max per-cluster deep load over the mean (1.0 = flat; always
+     *  finite, unlike max/min with cold clusters). */
+    double max_mean_ratio = 0.0;
+
+    /** Zipf exponent fitted to the ranked deep-request counts
+     *  (0 = flat; ~1 reproduces a topic_zipf=1 workload). */
+    double zipf_exponent = 0.0;
+
+    /** Sum of per-cluster modeled energy. */
+    double total_energy_joules = 0.0;
+
+    /** Serialize for the /load endpoint (stable field names). */
+    std::string toJson() const;
+};
+
+/**
+ * Least-squares fit of s in count(rank) ~ rank^-s over the non-zero
+ * @p counts (sorted descending internally; rank is 1-based). Returns 0
+ * when fewer than two non-zero counts exist.
+ */
+double fitZipfExponent(std::vector<double> counts);
+
+} // namespace serve
+} // namespace hermes

@@ -59,9 +59,23 @@ RetrievalNode::workerLoop()
     const FaultInjector &faults = config_.faults;
     auto &registry = obs::Registry::instance();
     obs::Histogram &queue_wait =
-        registry.histogram("node.queue_wait_us");
+        registry.histogram(obs::names::kNodeQueueWaitUs);
     obs::Histogram &batch_exec =
-        registry.histogram("node.batch_exec_us");
+        registry.histogram(obs::names::kNodeBatchExecUs);
+    obs::Gauge &queue_depth_gauge = registry.gauge(obs::names::nodeMetric(
+        config_.node_id, obs::names::kNodeQueueDepth));
+    obs::Gauge &energy_gauge = registry.gauge(obs::names::nodeMetric(
+        config_.node_id, obs::names::kNodeEnergyJoules));
+
+    // Per-core dynamic power of the modeled CPU: what one busy worker
+    // core adds on top of the package idle floor. Idle/static energy is
+    // attributed from wall time at LoadReport level, not here.
+    const sim::CpuProfile &cpu = sim::cpuProfile(config_.cpu_model);
+    const double dynamic_watts_per_core = config_.model_energy
+        ? (cpu.tdp_watts - cpu.idle_watts) /
+            static_cast<double>(cpu.cores)
+        : 0.0;
+
     for (;;) {
         std::vector<Request> batch;
         {
@@ -73,6 +87,7 @@ RetrievalNode::workerLoop()
                 batch.push_back(std::move(queue_.front()));
                 queue_.pop_front();
             }
+            queue_depth_gauge.set(static_cast<double>(queue_.size()));
         }
         HERMES_DEBUG("node ", config_.node_id, ": drained batch of ",
                      batch.size());
@@ -95,6 +110,7 @@ RetrievalNode::workerLoop()
         enum class Outcome { Ok, Failed, Dropped };
         util::Timer timer;
         std::uint64_t scanned = 0;
+        std::uint64_t hits = 0;
         std::uint64_t failures = 0;
         std::uint64_t dropped = 0;
         std::vector<NodeResponse> responses(batch.size());
@@ -137,6 +153,7 @@ RetrievalNode::workerLoop()
                                       request.query.size()),
                     request.k, request.params, &responses[i].stats);
                 scanned += responses[i].stats.vectors_scanned;
+                hits += responses[i].hits.size();
                 span.arg("vectors_scanned",
                          responses[i].stats.vectors_scanned);
             } catch (...) {
@@ -149,6 +166,9 @@ RetrievalNode::workerLoop()
         }
         double elapsed = timer.elapsedSeconds();
         batch_exec.observe(elapsed * 1e6);
+        double joules = elapsed * dynamic_watts_per_core;
+        if (joules > 0.0)
+            energy_gauge.add(joules);
 
         // Record statistics before fulfilling promises so a caller that
         // observes its response also observes the stats that produced it.
@@ -160,6 +180,8 @@ RetrievalNode::workerLoop()
             stats_.vectors_scanned += scanned;
             stats_.failures += failures;
             stats_.dropped += dropped;
+            stats_.hits_returned += hits;
+            stats_.energy_joules += joules;
         }
         for (std::size_t i = 0; i < batch.size(); ++i) {
             switch (outcomes[i]) {
@@ -182,6 +204,13 @@ RetrievalNode::stats() const
 {
     std::unique_lock<std::mutex> lock(mutex_);
     return stats_;
+}
+
+std::size_t
+RetrievalNode::queueDepth() const
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    return queue_.size();
 }
 
 } // namespace serve

@@ -25,6 +25,7 @@
 #include <thread>
 
 #include "index/ann_index.hpp"
+#include "sim/hardware.hpp"
 #include "util/rng.hpp"
 
 namespace hermes {
@@ -89,6 +90,17 @@ struct NodeConfig
      * and debug logs (the broker sets it; standalone nodes default to 0).
      */
     std::size_t node_id = 0;
+
+    /**
+     * Modeled CPU for energy attribution (sim::cpuProfile). The worker
+     * accrues busy-interval dynamic energy for its one core into
+     * NodeStats::energy_joules and the `node.<c>.energy_j` gauge,
+     * reproducing the paper's per-node energy accounting (Fig 18) on
+     * live traffic; the idle/static share is added by the broker's
+     * LoadReport from wall time. Set model_energy=false to skip.
+     */
+    sim::CpuModel cpu_model = sim::CpuModel::XeonGold6448Y;
+    bool model_energy = true;
 };
 
 /** Runtime statistics of a node. */
@@ -111,6 +123,15 @@ struct NodeStats
 
     /** Requests dropped by fault injection (never fulfilled). */
     std::uint64_t dropped = 0;
+
+    /** Hits returned across all completed requests. */
+    std::uint64_t hits_returned = 0;
+
+    /**
+     * Modeled dynamic energy (joules) of this node's busy intervals
+     * under NodeConfig::cpu_model (0 when model_energy is off).
+     */
+    double energy_joules = 0.0;
 };
 
 /**
@@ -146,6 +167,9 @@ class RetrievalNode
 
     /** Snapshot of runtime statistics. */
     NodeStats stats() const;
+
+    /** Requests currently waiting in the queue. */
+    std::size_t queueDepth() const;
 
     /** Vectors stored on this node. */
     std::size_t shardSize() const { return shard_.size(); }

@@ -1,0 +1,293 @@
+#include "util/minijson.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace hermes {
+namespace util {
+namespace json {
+
+namespace {
+
+/** Deep-enough bound for this repo's documents; rejects stack abuse. */
+constexpr std::size_t kMaxDepth = 64;
+
+} // namespace
+
+const Value *
+Value::find(const std::string &key) const
+{
+    if (type_ != Type::Object)
+        return nullptr;
+    for (std::size_t i = 0; i < keys_.size(); ++i) {
+        if (keys_[i] == key)
+            return &items_[i];
+    }
+    return nullptr;
+}
+
+const Value *
+Value::at(const std::vector<std::string> &path) const
+{
+    const Value *v = this;
+    for (const auto &key : path) {
+        v = v->find(key);
+        if (!v)
+            return nullptr;
+    }
+    return v;
+}
+
+const Value *
+Value::index(std::size_t i) const
+{
+    if (type_ != Type::Array || i >= items_.size())
+        return nullptr;
+    return &items_[i];
+}
+
+/** Single-pass recursive-descent parser over the input buffer. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    ParseResult run()
+    {
+        ParseResult result;
+        skipWhitespace();
+        if (!parseValue(result.value, 0)) {
+            result.error = error_;
+            result.position = pos_;
+            return result;
+        }
+        skipWhitespace();
+        if (pos_ != text_.size()) {
+            result.error = "trailing characters after document";
+            result.position = pos_;
+            return result;
+        }
+        result.ok = true;
+        return result;
+    }
+
+  private:
+    bool fail(const char *message)
+    {
+        if (error_.empty())
+            error_ = message;
+        return false;
+    }
+
+    void skipWhitespace()
+    {
+        while (pos_ < text_.size()) {
+            char c = text_[pos_];
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r')
+                break;
+            ++pos_;
+        }
+    }
+
+    bool literal(const char *word, std::size_t len)
+    {
+        if (text_.compare(pos_, len, word) != 0)
+            return fail("invalid literal");
+        pos_ += len;
+        return true;
+    }
+
+    bool parseValue(Value &out, std::size_t depth)
+    {
+        if (depth > kMaxDepth)
+            return fail("nesting too deep");
+        if (pos_ >= text_.size())
+            return fail("unexpected end of input");
+        switch (text_[pos_]) {
+          case '{':
+            return parseObject(out, depth);
+          case '[':
+            return parseArray(out, depth);
+          case '"':
+            out.type_ = Value::Type::String;
+            return parseString(out.string_);
+          case 't':
+            out.type_ = Value::Type::Bool;
+            out.bool_ = true;
+            return literal("true", 4);
+          case 'f':
+            out.type_ = Value::Type::Bool;
+            out.bool_ = false;
+            return literal("false", 5);
+          case 'n':
+            out.type_ = Value::Type::Null;
+            return literal("null", 4);
+          default:
+            return parseNumber(out);
+        }
+    }
+
+    bool parseObject(Value &out, std::size_t depth)
+    {
+        out.type_ = Value::Type::Object;
+        ++pos_; // '{'
+        skipWhitespace();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            skipWhitespace();
+            if (pos_ >= text_.size() || text_[pos_] != '"')
+                return fail("expected object key");
+            std::string key;
+            if (!parseString(key))
+                return false;
+            skipWhitespace();
+            if (pos_ >= text_.size() || text_[pos_] != ':')
+                return fail("expected ':' after key");
+            ++pos_;
+            skipWhitespace();
+            Value member;
+            if (!parseValue(member, depth + 1))
+                return false;
+            out.keys_.push_back(std::move(key));
+            out.items_.push_back(std::move(member));
+            skipWhitespace();
+            if (pos_ >= text_.size())
+                return fail("unterminated object");
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or '}' in object");
+        }
+    }
+
+    bool parseArray(Value &out, std::size_t depth)
+    {
+        out.type_ = Value::Type::Array;
+        ++pos_; // '['
+        skipWhitespace();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            skipWhitespace();
+            Value element;
+            if (!parseValue(element, depth + 1))
+                return false;
+            out.items_.push_back(std::move(element));
+            skipWhitespace();
+            if (pos_ >= text_.size())
+                return fail("unterminated array");
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or ']' in array");
+        }
+    }
+
+    bool parseString(std::string &out)
+    {
+        ++pos_; // '"'
+        while (pos_ < text_.size()) {
+            char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (pos_ >= text_.size())
+                break;
+            char esc = text_[pos_++];
+            switch (esc) {
+              case '"': out.push_back('"'); break;
+              case '\\': out.push_back('\\'); break;
+              case '/': out.push_back('/'); break;
+              case 'b': out.push_back('\b'); break;
+              case 'f': out.push_back('\f'); break;
+              case 'n': out.push_back('\n'); break;
+              case 'r': out.push_back('\r'); break;
+              case 't': out.push_back('\t'); break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    return fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        return fail("bad \\u escape digit");
+                }
+                // UTF-8 encode the BMP code point (surrogate pairs are
+                // emitted as two 3-byte sequences — fine for our ASCII
+                // payloads, lossy for astral-plane text).
+                if (code < 0x80) {
+                    out.push_back(static_cast<char>(code));
+                } else if (code < 0x800) {
+                    out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+                    out.push_back(
+                        static_cast<char>(0x80 | (code & 0x3F)));
+                } else {
+                    out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+                    out.push_back(
+                        static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+                    out.push_back(
+                        static_cast<char>(0x80 | (code & 0x3F)));
+                }
+                break;
+              }
+              default:
+                return fail("unknown escape");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool parseNumber(Value &out)
+    {
+        const char *start = text_.c_str() + pos_;
+        char *end = nullptr;
+        double v = std::strtod(start, &end);
+        if (end == start)
+            return fail("invalid value");
+        if (!std::isfinite(v))
+            return fail("number out of range");
+        pos_ += static_cast<std::size_t>(end - start);
+        out.type_ = Value::Type::Number;
+        out.number_ = v;
+        return true;
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+    std::string error_;
+};
+
+ParseResult
+parse(const std::string &text)
+{
+    return Parser(text).run();
+}
+
+} // namespace json
+} // namespace util
+} // namespace hermes

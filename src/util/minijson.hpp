@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Tiny recursive-descent JSON reader for the repo's own outputs.
+ *
+ * The observability endpoints (/metrics.json, /load) and the metrics
+ * files are produced by this codebase, so the consumer side —
+ * hermes_monitor's dashboard, tests asserting on exported payloads —
+ * only needs a small, dependency-free parser, not a general JSON
+ * library. Full JSON syntax is accepted (objects, arrays, strings with
+ * escapes, numbers, booleans, null); numbers are held as double, which
+ * is exact for the counters this repo emits well past 2^50.
+ *
+ * Not a validator of interchange data from untrusted peers: nesting
+ * depth is bounded (kMaxDepth) and \u escapes outside the BMP are
+ * passed through unpaired, which is fine for ASCII metric names.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hermes {
+namespace util {
+namespace json {
+
+/** One parsed JSON value (a tree; children owned by value). */
+class Value
+{
+  public:
+    enum class Type { Null, Bool, Number, String, Array, Object };
+
+    Value() = default;
+
+    Type type() const { return type_; }
+    bool isNull() const { return type_ == Type::Null; }
+    bool isBool() const { return type_ == Type::Bool; }
+    bool isNumber() const { return type_ == Type::Number; }
+    bool isString() const { return type_ == Type::String; }
+    bool isArray() const { return type_ == Type::Array; }
+    bool isObject() const { return type_ == Type::Object; }
+
+    /** Typed reads with fallback — the ergonomic accessors. */
+    double numberOr(double fallback) const
+    {
+        return isNumber() ? number_ : fallback;
+    }
+    bool boolOr(bool fallback) const { return isBool() ? bool_ : fallback; }
+    const std::string &stringOr(const std::string &fallback) const
+    {
+        return isString() ? string_ : fallback;
+    }
+
+    /** Array elements / object members (empty for other types). */
+    const std::vector<Value> &items() const { return items_; }
+
+    /** Object keys, parallel to items() (empty for non-objects). */
+    const std::vector<std::string> &keys() const { return keys_; }
+
+    std::size_t size() const { return items_.size(); }
+
+    /** Object member by key; nullptr when absent or not an object. */
+    const Value *find(const std::string &key) const;
+
+    /**
+     * Path lookup through nested objects, e.g.
+     * `root.at({"counters", "broker.queries"})`. nullptr on any miss.
+     */
+    const Value *at(const std::vector<std::string> &path) const;
+
+    /** Array element by index; nullptr out of range. */
+    const Value *index(std::size_t i) const;
+
+  private:
+    friend class Parser;
+
+    Type type_ = Type::Null;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::string string_;
+    std::vector<std::string> keys_;  ///< object member names, in order
+    std::vector<Value> items_;       ///< array elements / member values
+};
+
+/** Result of a parse: value plus error diagnostics. */
+struct ParseResult
+{
+    bool ok = false;
+    Value value;
+    std::string error;       ///< human-readable message when !ok
+    std::size_t position = 0; ///< byte offset of the error
+};
+
+/**
+ * Parse @p text as one JSON document (trailing whitespace allowed,
+ * trailing garbage is an error). Never throws.
+ */
+ParseResult parse(const std::string &text);
+
+} // namespace json
+} // namespace util
+} // namespace hermes

@@ -142,9 +142,9 @@ ThreadPool::parallelFor(std::size_t n,
     if (n == 0)
         return;
     static obs::Histogram &latency =
-        obs::Registry::instance().histogram("pool.parallel_for_us");
+        obs::Registry::instance().histogram(obs::names::kPoolParallelForUs);
     static obs::Counter &items =
-        obs::Registry::instance().counter("pool.parallel_for_items");
+        obs::Registry::instance().counter(obs::names::kPoolParallelForItems);
     struct Observe
     {
         std::chrono::steady_clock::time_point start =

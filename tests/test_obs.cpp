@@ -1,15 +1,18 @@
 /**
  * @file
  * Tests for the observability subsystem: metrics registry (counters,
- * gauges, log-spaced histograms, JSON/Prometheus export), per-query
- * trace spans (structural nesting across broker/node/index layers), and
- * the bit-parity guarantee that instrumentation never changes results.
+ * gauges, log-spaced histograms, JSON/Prometheus export), rolling
+ * windowed metrics, the embedded HTTP exporter, process self-stats,
+ * per-query trace spans (structural nesting across broker/node/index
+ * layers), the broker's fleet LoadReport, and the bit-parity guarantee
+ * that instrumentation never changes results.
  */
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -18,8 +21,11 @@
 
 #include "core/distributed_store.hpp"
 #include "core/search_strategy.hpp"
+#include "obs/exporter.hpp"
 #include "obs/obs.hpp"
+#include "obs/process_stats.hpp"
 #include "serve/broker.hpp"
+#include "util/minijson.hpp"
 #include "workload/corpus.hpp"
 
 namespace {
@@ -234,6 +240,317 @@ TEST(ObsRegistry, JsonAndPrometheusExport)
     EXPECT_NE(prom.find("hermes_test_export_us_bucket"), std::string::npos);
     EXPECT_NE(prom.find("le=\"+Inf\""), std::string::npos);
     EXPECT_NE(prom.find("hermes_test_export_us_count 1"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Windowed metrics (deterministic via injected epochs)
+// ---------------------------------------------------------------------------
+
+TEST(ObsWindow, WindowedCounterTracksRecentSeconds)
+{
+    obs::Counter total;
+    obs::WindowedCounter wc(total);
+    wc.add(5, 100);
+    wc.add(3, 101);
+    wc.add(2, 105);
+
+    EXPECT_EQ(wc.value(), 10u); // cumulative sees every add
+    EXPECT_EQ(wc.deltaInWindow(10, 105), 10u);
+    EXPECT_EQ(wc.deltaInWindow(3, 105), 2u); // only epochs 103..105
+    EXPECT_EQ(wc.deltaInWindow(10, 200), 0u); // window moved past all
+    EXPECT_DOUBLE_EQ(wc.ratePerSecond(10, 105), 1.0);
+
+    wc.resetWindow();
+    EXPECT_EQ(wc.deltaInWindow(10, 105), 0u);
+    EXPECT_EQ(wc.value(), 10u); // cumulative untouched by window reset
+}
+
+TEST(ObsWindow, WindowedCounterSlotRelabelsAfterFullRevolution)
+{
+    obs::Counter total;
+    obs::WindowedCounter wc(total);
+    wc.add(7, 5);
+    // One full ring revolution later the same slot is re-labelled; the
+    // old second's events must not leak into the new window.
+    const auto next =
+        static_cast<std::int64_t>(5 + obs::WindowedCounter::kSlots);
+    wc.add(9, next);
+    EXPECT_EQ(wc.deltaInWindow(obs::WindowedCounter::kSlots, next), 9u);
+    EXPECT_EQ(wc.value(), 16u);
+}
+
+TEST(ObsWindow, WindowedHistogramPercentilesOverWindow)
+{
+    obs::Histogram cumulative;
+    obs::WindowedHistogram wh(cumulative);
+    for (int i = 0; i < 100; ++i)
+        wh.observe(10.0, 50);
+    for (int i = 0; i < 100; ++i)
+        wh.observe(1000.0, 55);
+
+    EXPECT_EQ(cumulative.count(), 200u);
+
+    // A 3 s window at t=56 sees only the 1000 us batch.
+    auto recent = wh.windowSnapshot(3, 56);
+    EXPECT_EQ(recent.count, 100u);
+    EXPECT_GT(recent.percentile(50), 500.0);
+    EXPECT_GE(recent.min, 10.0);
+    EXPECT_LE(recent.max, cumulative.snapshot().max);
+
+    // A wide window sees both; an expired window sees nothing.
+    EXPECT_EQ(wh.windowSnapshot(60, 56).count, 200u);
+    EXPECT_EQ(wh.windowSnapshot(10, 300).count, 0u);
+
+    wh.resetWindow();
+    EXPECT_EQ(wh.windowSnapshot(60, 56).count, 0u);
+    EXPECT_EQ(cumulative.count(), 200u);
+}
+
+TEST(ObsWindow, RegistryWindowedMetricsWrapSameCumulative)
+{
+    auto &reg = obs::Registry::instance();
+    auto &wc = reg.windowedCounter("test.windowed_wrap");
+    auto &wc2 = reg.windowedCounter("test.windowed_wrap");
+    EXPECT_EQ(&wc, &wc2); // stable reference, like plain metrics
+
+    wc.add(4);
+    // The plain counter of the same name IS the cumulative side, so
+    // existing lookups and exports keep working unchanged.
+    EXPECT_EQ(reg.counter("test.windowed_wrap").value(), 4u);
+
+    auto &wh = reg.windowedHistogram("test.windowed_wrap_us");
+    wh.observe(5.0);
+    EXPECT_TRUE(reg.hasHistogram("test.windowed_wrap_us"));
+    EXPECT_EQ(reg.histogram("test.windowed_wrap_us").count(), 1u);
+    EXPECT_EQ(&wh.cumulative(), &reg.histogram("test.windowed_wrap_us"));
+}
+
+TEST(ObsWindow, ConcurrentWritersWindowedMatchesCumulative)
+{
+    obs::Counter total;
+    obs::WindowedCounter wc(total);
+    obs::Histogram cumulative;
+    obs::WindowedHistogram wh(cumulative);
+
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 5000;
+    constexpr std::int64_t kEpoch = 42; // fixed: no rotation races
+    std::atomic<bool> go{false};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&] {
+            while (!go.load(std::memory_order_acquire)) {
+            }
+            for (int i = 0; i < kPerThread; ++i) {
+                wc.add(1, kEpoch);
+                wh.observe(static_cast<double>(i % 997) + 1.0, kEpoch);
+            }
+        });
+    }
+    go.store(true, std::memory_order_release);
+    for (auto &thread : threads)
+        thread.join();
+
+    const auto expected =
+        static_cast<std::uint64_t>(kThreads * kPerThread);
+    EXPECT_EQ(wc.value(), expected);
+    EXPECT_EQ(wc.deltaInWindow(10, kEpoch), expected);
+    EXPECT_EQ(cumulative.count(), expected);
+    auto window = wh.windowSnapshot(10, kEpoch);
+    EXPECT_EQ(window.count, expected);
+    EXPECT_DOUBLE_EQ(window.sum, cumulative.snapshot().sum);
+}
+
+TEST(ObsWindow, ExportsCarryWindowedSeries)
+{
+    auto &reg = obs::Registry::instance();
+    reg.windowedCounter("test.win_export").add(2);
+    reg.windowedHistogram("test.win_export_us").observe(10.0);
+
+    auto json = reg.toJson();
+    EXPECT_NE(json.find("\"windows\""), std::string::npos);
+    EXPECT_NE(json.find("rate_per_s"), std::string::npos);
+    auto parsed = util::json::parse(json);
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    ASSERT_NE(parsed.value.at({"windows", "test.win_export"}), nullptr);
+    ASSERT_NE(parsed.value.at({"windows", "test.win_export_us"}), nullptr);
+    // The cumulative sections still carry the same names.
+    ASSERT_NE(parsed.value.at({"counters", "test.win_export"}), nullptr);
+    ASSERT_NE(parsed.value.at({"histograms", "test.win_export_us"}),
+              nullptr);
+
+    auto prom = reg.toPrometheus();
+    EXPECT_NE(prom.find("hermes_test_win_export_rate_10s"),
+              std::string::npos);
+    EXPECT_NE(prom.find("hermes_test_win_export_us_p50_10s"),
+              std::string::npos);
+    EXPECT_NE(prom.find("hermes_test_win_export_us_count_10s"),
+              std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus exposition correctness
+// ---------------------------------------------------------------------------
+
+TEST(ObsPrometheus, BucketSeriesIsCumulativeAndEndsAtCount)
+{
+    auto &reg = obs::Registry::instance();
+    auto &h = reg.histogram("test.prom_buckets_us");
+    h.reset();
+    for (double v : {0.5, 3.0, 3.0, 120.0, 8000.0, 1e12})
+        h.observe(v); // spread across buckets incl. the overflow
+
+    auto prom = reg.toPrometheus();
+    const std::string bucket_prefix = "hermes_test_prom_buckets_us_bucket";
+    std::istringstream lines(prom);
+    std::string line;
+    std::vector<std::uint64_t> cumulative;
+    bool saw_inf = false;
+    while (std::getline(lines, line)) {
+        if (line.rfind(bucket_prefix, 0) != 0)
+            continue;
+        if (line.find("le=\"+Inf\"") != std::string::npos)
+            saw_inf = true;
+        std::size_t space = line.rfind(' ');
+        ASSERT_NE(space, std::string::npos);
+        cumulative.push_back(std::stoull(line.substr(space + 1)));
+    }
+    ASSERT_EQ(cumulative.size(), obs::Histogram::kNumBuckets);
+    EXPECT_TRUE(saw_inf);
+    for (std::size_t i = 1; i < cumulative.size(); ++i)
+        EXPECT_GE(cumulative[i], cumulative[i - 1]) << "bucket " << i;
+    // The +Inf bucket equals _count — the Prometheus histogram contract.
+    EXPECT_EQ(cumulative.back(), 6u);
+    EXPECT_NE(prom.find("hermes_test_prom_buckets_us_count 6"),
+              std::string::npos);
+}
+
+TEST(ObsPrometheus, MetricNamesAreSanitized)
+{
+    auto &reg = obs::Registry::instance();
+    reg.counter("test.weird-name:1 space").add(1);
+    auto prom = reg.toPrometheus();
+    EXPECT_NE(prom.find("hermes_test_weird_name_1_space 1"),
+              std::string::npos);
+    // No raw separator characters survive in any series name.
+    std::istringstream lines(prom);
+    std::string line;
+    while (std::getline(lines, line)) {
+        if (line.rfind("hermes_", 0) != 0)
+            continue;
+        std::string name = line.substr(0, line.find_first_of(" {"));
+        EXPECT_EQ(name.find_first_of(".:- "), std::string::npos)
+            << "unsanitized name: " << name;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Process self-stats and atomic file export
+// ---------------------------------------------------------------------------
+
+TEST(ObsProcessStats, SelfStatsArePlausible)
+{
+    auto stats = obs::readProcessStats();
+    ASSERT_TRUE(stats.valid);
+    EXPECT_GT(stats.rss_bytes, 0u);
+    EXPECT_GE(stats.cpu_user_seconds + stats.cpu_system_seconds, 0.0);
+    EXPECT_GE(stats.threads, 1u);
+    EXPECT_GT(stats.uptime_seconds, 0.0);
+
+    obs::updateProcessGauges();
+    auto &reg = obs::Registry::instance();
+    EXPECT_GT(reg.gauge(obs::names::kProcessRssBytes).value(), 0.0);
+    EXPECT_GE(reg.gauge(obs::names::kProcessThreads).value(), 1.0);
+}
+
+TEST(ObsRegistry, FileWritesAreAtomicAndParse)
+{
+    auto &reg = obs::Registry::instance();
+    reg.counter("test.atomic_write").add(1);
+
+    auto dir = std::filesystem::temp_directory_path();
+    auto json_path = (dir / "hermes_test_metrics.json").string();
+    auto prom_path = (dir / "hermes_test_metrics.prom").string();
+    ASSERT_TRUE(reg.writeJson(json_path));
+    ASSERT_TRUE(reg.writePrometheus(prom_path));
+
+    // Temp-and-rename: the final files exist, the temps do not.
+    EXPECT_TRUE(std::filesystem::exists(json_path));
+    EXPECT_TRUE(std::filesystem::exists(prom_path));
+    EXPECT_FALSE(std::filesystem::exists(json_path + ".tmp"));
+    EXPECT_FALSE(std::filesystem::exists(prom_path + ".tmp"));
+
+    std::ifstream in(json_path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    auto parsed = util::json::parse(buffer.str());
+    EXPECT_TRUE(parsed.ok) << parsed.error;
+    EXPECT_NE(parsed.value.at({"counters", "test.atomic_write"}), nullptr);
+
+    std::filesystem::remove(json_path);
+    std::filesystem::remove(prom_path);
+}
+
+TEST(ObsRegistry, WriteToBadPathFailsCleanly)
+{
+    auto &reg = obs::Registry::instance();
+    EXPECT_FALSE(reg.writeJson("/nonexistent-dir/metrics.json"));
+}
+
+// ---------------------------------------------------------------------------
+// Embedded HTTP exporter
+// ---------------------------------------------------------------------------
+
+TEST(ObsExporter, ServesMetricsLoadAndHealth)
+{
+    auto &reg = obs::Registry::instance();
+    reg.counter("test.exporter_counter").add(11);
+
+    obs::Exporter exporter; // port 0: ephemeral
+    exporter.setHandler("/load", [] {
+        return std::string("{\"fleet\": \"ok\"}\n");
+    });
+    ASSERT_TRUE(exporter.start());
+    ASSERT_NE(exporter.port(), 0);
+
+    std::string body;
+    std::string status;
+    ASSERT_TRUE(obs::httpGet("127.0.0.1", exporter.port(), "/healthz",
+                             &body, &status));
+    EXPECT_EQ(body, "ok\n");
+
+    ASSERT_TRUE(obs::httpGet("127.0.0.1", exporter.port(),
+                             "/metrics.json", &body));
+    auto parsed = util::json::parse(body);
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    ASSERT_NE(parsed.value.at({"counters", "test.exporter_counter"}),
+              nullptr);
+    EXPECT_DOUBLE_EQ(
+        parsed.value.at({"counters", "test.exporter_counter"})
+            ->numberOr(0.0), 11.0);
+    // Every scrape refreshes the process self-stats first.
+    const auto *rss = parsed.value.at({"gauges", "process.rss_bytes"});
+    ASSERT_NE(rss, nullptr);
+    EXPECT_GT(rss->numberOr(0.0), 0.0);
+
+    ASSERT_TRUE(obs::httpGet("127.0.0.1", exporter.port(), "/metrics",
+                             &body));
+    EXPECT_NE(body.find("hermes_test_exporter_counter"),
+              std::string::npos);
+
+    ASSERT_TRUE(obs::httpGet("127.0.0.1", exporter.port(), "/load",
+                             &body));
+    EXPECT_EQ(body, "{\"fleet\": \"ok\"}\n");
+
+    // Unknown paths 404 (httpGet reports non-200 as failure).
+    EXPECT_FALSE(obs::httpGet("127.0.0.1", exporter.port(), "/nope",
+                              &body, &status));
+    EXPECT_NE(status.find("404"), std::string::npos);
+
+    exporter.stop();
+    exporter.stop(); // idempotent
+    EXPECT_FALSE(obs::httpGet("127.0.0.1", exporter.port(), "/healthz",
+                              &body));
 }
 
 // ---------------------------------------------------------------------------
@@ -493,6 +810,103 @@ TEST(ObsEndToEnd, BrokerMatchesHermesSearchWithAndWithoutTracing)
         }
     }
     rec.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Fleet load report
+// ---------------------------------------------------------------------------
+
+TEST(ServeLoadReport, FitZipfExponentRecoversSlope)
+{
+    std::vector<double> zipfian;
+    for (int r = 1; r <= 30; ++r)
+        zipfian.push_back(1000.0 * std::pow(r, -1.2));
+    EXPECT_NEAR(serve::fitZipfExponent(zipfian), 1.2, 0.01);
+
+    std::vector<double> flat(10, 50.0);
+    EXPECT_NEAR(serve::fitZipfExponent(flat), 0.0, 1e-9);
+
+    // Degenerate inputs: fewer than two usable points.
+    EXPECT_EQ(serve::fitZipfExponent({}), 0.0);
+    EXPECT_EQ(serve::fitZipfExponent({5.0}), 0.0);
+    EXPECT_EQ(serve::fitZipfExponent({5.0, 0.0, -1.0}), 0.0);
+}
+
+TEST(ServeLoadReport, BrokerLoadReportAccountsTraffic)
+{
+    const auto &data = obsServeData();
+    serve::HermesBroker broker(*data.store);
+
+    // Repeat one query: its deep clusters take all the skewed load.
+    constexpr std::size_t kQueries = 12;
+    for (std::size_t i = 0; i < kQueries; ++i)
+        broker.search(data.queries.embeddings.row(0), 5);
+
+    auto report = broker.loadReport();
+    EXPECT_EQ(report.queries, kQueries);
+    EXPECT_GT(report.uptime_seconds, 0.0);
+    ASSERT_EQ(report.clusters.size(), data.store->numClusters());
+
+    // Per-cluster counters are process-wide (other tests also serve
+    // this 4-cluster store), so assert floors, not exact counts.
+    std::uint64_t sample_total = 0;
+    std::uint64_t deep_total = 0;
+    for (const auto &cluster : report.clusters) {
+        sample_total += cluster.sample_requests;
+        deep_total += cluster.deep_requests;
+        EXPECT_GT(cluster.shard_vectors, 0u);
+        EXPECT_GT(cluster.energy_joules, 0.0);
+        EXPECT_GE(cluster.utilization, 0.0);
+    }
+    EXPECT_GE(sample_total, kQueries * data.store->numClusters());
+    EXPECT_GE(deep_total, kQueries * data.config.clusters_to_search);
+    EXPECT_GT(report.total_energy_joules, 0.0);
+
+    // One repeated query concentrates deep load: max/mean must exceed
+    // flat, and the imbalance stats must agree.
+    EXPECT_GE(report.max_mean_ratio, 1.0);
+    EXPECT_GE(report.zipf_exponent, 0.0);
+    EXPECT_GE(report.deep_imbalance.variance, 0.0);
+
+    // Windowed figures see the queries just issued.
+    EXPECT_GT(report.window_qps, 0.0);
+    EXPECT_GT(report.window_p99_us, 0.0);
+    EXPECT_GT(report.cumulative_p99_us, 0.0);
+
+    // The /load payload is valid JSON with the stable field names.
+    auto parsed = util::json::parse(report.toJson());
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    EXPECT_DOUBLE_EQ(parsed.value.find("queries")->numberOr(0.0),
+                     static_cast<double>(kQueries));
+    const auto *clusters = parsed.value.find("clusters");
+    ASSERT_NE(clusters, nullptr);
+    ASSERT_EQ(clusters->size(), data.store->numClusters());
+    ASSERT_NE(clusters->index(0)->find("deep_requests"), nullptr);
+    ASSERT_NE(parsed.value.at({"deep_imbalance", "max_min_ratio"}),
+              nullptr);
+}
+
+TEST(ServeLoadReport, CumulativeCountersAreMonotoneAcrossReports)
+{
+    const auto &data = obsServeData();
+    serve::HermesBroker broker(*data.store);
+
+    broker.search(data.queries.embeddings.row(1), 5);
+    auto first = broker.loadReport();
+    broker.search(data.queries.embeddings.row(2), 5);
+    broker.search(data.queries.embeddings.row(3), 5);
+    auto second = broker.loadReport();
+
+    EXPECT_EQ(first.queries, 1u);
+    EXPECT_EQ(second.queries, 3u);
+    EXPECT_GE(second.uptime_seconds, first.uptime_seconds);
+    for (std::size_t c = 0; c < first.clusters.size(); ++c) {
+        EXPECT_GE(second.clusters[c].sample_requests,
+                  first.clusters[c].sample_requests);
+        EXPECT_GE(second.clusters[c].deep_requests,
+                  first.clusters[c].deep_requests);
+        EXPECT_GE(second.clusters[c].energy_joules, 0.0);
+    }
 }
 
 } // namespace

@@ -1,7 +1,7 @@
 /**
  * @file
  * Unit tests for the util substrate: RNG, statistics, CSV, serialization,
- * thread pool.
+ * thread pool, JSON reader.
  */
 
 #include <gtest/gtest.h>
@@ -14,6 +14,7 @@
 
 #include "util/csv.hpp"
 #include "util/logging.hpp"
+#include "util/minijson.hpp"
 #include "util/rng.hpp"
 #include "util/serialize.hpp"
 #include "util/stats.hpp"
@@ -359,5 +360,92 @@ TEST_P(PercentileSweep, WithinRange)
 INSTANTIATE_TEST_SUITE_P(Sweep, PercentileSweep,
                          ::testing::Values(0.0, 1.0, 10.0, 25.0, 50.0, 75.0,
                                            90.0, 99.0, 100.0));
+
+// ---------------------------------------------------------------------------
+// minijson
+// ---------------------------------------------------------------------------
+
+TEST(Minijson, ParsesScalars)
+{
+    auto r = json::parse("  42.5 ");
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_DOUBLE_EQ(r.value.numberOr(0.0), 42.5);
+
+    EXPECT_TRUE(json::parse("true").value.boolOr(false));
+    EXPECT_TRUE(json::parse("null").value.isNull());
+    EXPECT_EQ(json::parse("\"hi\\n\\t\\\"there\\\"\"").value.stringOr(""),
+              "hi\n\t\"there\"");
+    EXPECT_DOUBLE_EQ(json::parse("-1.5e3").value.numberOr(0.0), -1500.0);
+}
+
+TEST(Minijson, ParsesNestedStructure)
+{
+    auto r = json::parse(
+        "{\"a\": {\"b\": [1, 2, {\"c\": \"deep\"}]}, \"empty\": {},"
+        " \"list\": []}");
+    ASSERT_TRUE(r.ok) << r.error;
+    const auto &root = r.value;
+    ASSERT_TRUE(root.isObject());
+    EXPECT_EQ(root.size(), 3u);
+
+    const auto *b = root.at({"a", "b"});
+    ASSERT_NE(b, nullptr);
+    ASSERT_TRUE(b->isArray());
+    ASSERT_EQ(b->size(), 3u);
+    EXPECT_DOUBLE_EQ(b->index(0)->numberOr(0.0), 1.0);
+    const auto *c = b->index(2)->find("c");
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(c->stringOr(""), "deep");
+    EXPECT_EQ(b->index(3), nullptr);
+    EXPECT_EQ(root.at({"a", "missing"}), nullptr);
+    EXPECT_TRUE(root.find("empty")->isObject());
+    EXPECT_EQ(root.find("list")->size(), 0u);
+}
+
+TEST(Minijson, PreservesKeyOrder)
+{
+    auto r = json::parse("{\"z\": 1, \"a\": 2, \"m\": 3}");
+    ASSERT_TRUE(r.ok);
+    ASSERT_EQ(r.value.keys().size(), 3u);
+    EXPECT_EQ(r.value.keys()[0], "z");
+    EXPECT_EQ(r.value.keys()[1], "a");
+    EXPECT_EQ(r.value.keys()[2], "m");
+}
+
+TEST(Minijson, UnicodeEscapes)
+{
+    auto r = json::parse("\"\\u0041\\u00e9\"");
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.value.stringOr(""), "A\xc3\xa9"); // "Aé" in UTF-8
+}
+
+TEST(Minijson, RejectsMalformedInput)
+{
+    const char *bad[] = {
+        "",                    // empty
+        "{",                   // unterminated object
+        "[1, 2",               // unterminated array
+        "{\"a\" 1}",           // missing colon
+        "{\"a\": 1,}",         // trailing comma then '}'
+        "\"unterminated",      // unterminated string
+        "truth",               // bad literal
+        "1 2",                 // trailing garbage
+        "\"bad \\x escape\"",  // unknown escape
+    };
+    for (const char *text : bad) {
+        auto r = json::parse(text);
+        EXPECT_FALSE(r.ok) << "should reject: " << text;
+        EXPECT_FALSE(r.error.empty());
+    }
+}
+
+TEST(Minijson, RoundTripsRepoNumbers)
+{
+    // The exporters emit plain decimal/exponent forms; spot-check that
+    // large counters survive the double round-trip exactly.
+    auto r = json::parse("{\"n\": 1125899906842624}"); // 2^50
+    ASSERT_TRUE(r.ok);
+    EXPECT_DOUBLE_EQ(r.value.find("n")->numberOr(0.0), 1125899906842624.0);
+}
 
 } // namespace

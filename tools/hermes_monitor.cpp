@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Live fleet dashboard: polls a running Hermes binary's embedded
+ * metrics endpoint (serving_demo --http-port / hermes_profile_search
+ * --http-port) and renders per-cluster load, windowed QPS/latency and
+ * modeled energy in place — the operator's view of the paper's Fig 13
+ * access skew and Fig 18 energy accounting, live.
+ *
+ * Polls GET /load (broker LoadReport) and GET /metrics.json (for the
+ * process.* self-stats); optionally appends one CSV row per poll for
+ * offline plotting. Ctrl-C (or --count) ends the session cleanly.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <string>
+#include <thread>
+
+#include <unistd.h>
+
+#include "obs/exporter.hpp"
+#include "util/argparse.hpp"
+#include "util/minijson.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_interrupted = 0;
+
+void
+onSignal(int)
+{
+    g_interrupted = 1;
+}
+
+/** Sleep in short slices so Ctrl-C ends the wait promptly. */
+void
+interruptibleSleep(double seconds)
+{
+    const auto deadline = std::chrono::steady_clock::now() +
+        std::chrono::duration<double>(seconds);
+    while (!g_interrupted &&
+           std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+}
+
+double
+num(const hermes::util::json::Value &v, const char *key)
+{
+    const auto *m = v.find(key);
+    return m ? m->numberOr(0.0) : 0.0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace hermes;
+    using util::json::Value;
+
+    util::ArgParser args("hermes_monitor",
+                         "live dashboard over a Hermes metrics endpoint");
+    args.addFlag("host", "127.0.0.1", "endpoint host");
+    args.addFlag("port", "0", "endpoint port (required)");
+    args.addFlag("interval", "1.0", "seconds between polls");
+    args.addFlag("count", "0", "polls before exiting (0 = until Ctrl-C)");
+    args.addFlag("csv", "", "append one row per poll to this CSV file");
+    args.parse(argc, argv);
+
+    const std::string host = args.get("host");
+    const auto port = static_cast<std::uint16_t>(args.getInt("port"));
+    const double interval = std::max(args.getDouble("interval"), 0.05);
+    const long count = args.getInt("count");
+    const std::string csv_path = args.get("csv");
+    if (port == 0) {
+        std::fprintf(stderr, "hermes_monitor: --port is required "
+                     "(the serving binary prints it at startup)\n");
+        return 2;
+    }
+
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+
+    std::FILE *csv = nullptr;
+    if (!csv_path.empty()) {
+        bool fresh = true;
+        if (std::FILE *probe = std::fopen(csv_path.c_str(), "r")) {
+            fresh = std::fgetc(probe) == EOF;
+            std::fclose(probe);
+        }
+        csv = std::fopen(csv_path.c_str(), "a");
+        if (!csv) {
+            std::fprintf(stderr, "hermes_monitor: cannot open %s\n",
+                         csv_path.c_str());
+            return 2;
+        }
+        if (fresh) {
+            std::fprintf(csv, "poll,uptime_s,queries,window_qps,"
+                              "window_p50_us,window_p99_us,"
+                              "max_mean_ratio,zipf_exponent,"
+                              "total_energy_j,rss_bytes\n");
+        }
+    }
+
+    const bool tty = isatty(STDOUT_FILENO) != 0;
+    long polls = 0;
+    long failures = 0;
+    for (long i = 0; (count == 0 || i < count) && !g_interrupted; ++i) {
+        if (i > 0)
+            interruptibleSleep(interval);
+        if (g_interrupted)
+            break;
+
+        std::string load_body;
+        if (!obs::httpGet(host, port, "/load", &load_body)) {
+            ++failures;
+            std::fprintf(stderr, "hermes_monitor: poll of %s:%u/load "
+                         "failed (%ld so far)\n", host.c_str(), port,
+                         failures);
+            if (failures >= 5 && polls == 0) {
+                std::fprintf(stderr, "hermes_monitor: giving up — is the "
+                             "serving binary running with --http-port?\n");
+                break;
+            }
+            continue;
+        }
+        auto load = util::json::parse(load_body);
+        if (!load.ok) {
+            ++failures;
+            std::fprintf(stderr, "hermes_monitor: bad /load payload: %s "
+                         "(offset %zu)\n", load.error.c_str(),
+                         load.position);
+            continue;
+        }
+
+        // Self-stats piggyback on the same scrape (best-effort).
+        double rss_bytes = 0.0;
+        std::string metrics_body;
+        if (obs::httpGet(host, port, "/metrics.json", &metrics_body)) {
+            auto metrics = util::json::parse(metrics_body);
+            if (metrics.ok) {
+                if (const Value *rss = metrics.value.at(
+                        {"gauges", "process.rss_bytes"}))
+                    rss_bytes = rss->numberOr(0.0);
+            }
+        }
+
+        const Value &root = load.value;
+        ++polls;
+        if (tty)
+            std::printf("\x1b[H\x1b[J"); // home + clear: redraw in place
+
+        std::printf("hermes @ %s:%u   uptime %.1f s   poll %ld\n",
+                    host.c_str(), port, num(root, "uptime_seconds"),
+                    polls);
+        std::printf("queries %.0f (cumulative)   %.1f QPS over last "
+                    "%.0f s   degraded %.0f\n",
+                    num(root, "queries"), num(root, "window_qps"),
+                    num(root, "window_seconds"),
+                    num(root, "degraded_queries"));
+        std::printf("latency p50/p99: window %.0f/%.0f us   cumulative "
+                    "%.0f/%.0f us\n",
+                    num(root, "window_p50_us"), num(root, "window_p99_us"),
+                    num(root, "cumulative_p50_us"),
+                    num(root, "cumulative_p99_us"));
+        std::printf("deep-load skew: max/mean %.2f   zipf ~%.2f   "
+                    "energy %.1f J   rss %.1f MiB\n\n",
+                    num(root, "max_mean_ratio"),
+                    num(root, "zipf_exponent"),
+                    num(root, "total_energy_joules"),
+                    rss_bytes / (1024.0 * 1024.0));
+
+        const Value *clusters = root.find("clusters");
+        if (clusters && clusters->isArray() && clusters->size() > 0) {
+            double max_deep = 1.0;
+            for (const Value &c : clusters->items())
+                max_deep = std::max(max_deep, num(c, "deep_requests"));
+            std::printf("%-4s %-9s %-8s %-8s %-6s %-6s %-8s %-22s\n",
+                        "node", "shard", "sample", "deep", "queue",
+                        "util", "energy", "deep load");
+            for (const Value &c : clusters->items()) {
+                double deep = num(c, "deep_requests");
+                int bar = static_cast<int>(20.0 * deep / max_deep + 0.5);
+                std::printf("%-4.0f %-9.0f %-8.0f %-8.0f %-6.0f "
+                            "%5.1f%% %7.1fJ %.*s\n",
+                            num(c, "cluster"), num(c, "shard_vectors"),
+                            num(c, "sample_requests"), deep,
+                            num(c, "queue_depth"),
+                            num(c, "utilization") * 100.0,
+                            num(c, "energy_joules"), bar,
+                            "####################");
+            }
+        }
+        std::fflush(stdout);
+
+        if (csv) {
+            std::fprintf(csv,
+                         "%ld,%.3f,%.0f,%.3f,%.1f,%.1f,%.3f,%.3f,%.2f,"
+                         "%.0f\n",
+                         polls, num(root, "uptime_seconds"),
+                         num(root, "queries"), num(root, "window_qps"),
+                         num(root, "window_p50_us"),
+                         num(root, "window_p99_us"),
+                         num(root, "max_mean_ratio"),
+                         num(root, "zipf_exponent"),
+                         num(root, "total_energy_joules"), rss_bytes);
+            std::fflush(csv);
+        }
+    }
+
+    if (csv)
+        std::fclose(csv);
+    std::printf("%shermes_monitor: %ld polls, %ld failed%s\n",
+                tty ? "\n" : "", polls, failures,
+                g_interrupted ? " (interrupted)" : "");
+    return polls > 0 ? 0 : 1;
+}

@@ -12,6 +12,7 @@
 #include "tool_common.hpp"
 
 #include "core/search_strategy.hpp"
+#include "obs/exporter.hpp"
 #include "obs/obs.hpp"
 #include "serve/broker.hpp"
 #include "util/argparse.hpp"
@@ -64,6 +65,12 @@ main(int argc, char **argv)
                  "write the metrics registry as JSON to this path");
     args.addFlag("metrics-prom", "",
                  "write Prometheus-style metrics text to this path");
+    args.addFlag("metrics-interval", "0",
+                 "also re-write the metrics files every N seconds "
+                 "during the run");
+    args.addFlag("http-port", "",
+                 "serve /metrics, /metrics.json and (serve mode) /load "
+                 "on this port while profiling (0 = ephemeral)");
     args.addFlag("trace-out", "",
                  "write a Chrome trace-event JSON to this path "
                  "(open in chrome://tracing or ui.perfetto.dev)");
@@ -112,6 +119,36 @@ main(int argc, char **argv)
         broker = std::make_unique<serve::HermesBroker>(store);
     } else {
         HERMES_FATAL("unknown --mode '", mode, "'");
+    }
+
+    // Live observability while the profile runs (same hookup as
+    // serving_demo; hermes_monitor can watch a long profile).
+    std::unique_ptr<obs::Exporter> exporter;
+    if (args.given("http-port")) {
+        obs::Exporter::Options options;
+        options.port =
+            static_cast<std::uint16_t>(args.getInt("http-port"));
+        exporter = std::make_unique<obs::Exporter>(options);
+        if (broker) {
+            serve::HermesBroker *b = broker.get();
+            exporter->setHandler("/load", [b] {
+                return b->loadReport().toJson();
+            });
+        }
+        if (exporter->start()) {
+            std::printf("metrics endpoint: http://127.0.0.1:%u\n",
+                        exporter->port());
+            // Pollers wait on this line; with stdout redirected to a
+            // file it would otherwise sit in the stdio buffer until exit.
+            std::fflush(stdout);
+        }
+    }
+    std::unique_ptr<obs::PeriodicFlusher> flusher;
+    if (args.getDouble("metrics-interval") > 0.0 &&
+        (args.given("metrics-json") || args.given("metrics-prom"))) {
+        flusher = std::make_unique<obs::PeriodicFlusher>(
+            args.get("metrics-json"), args.get("metrics-prom"),
+            args.getDouble("metrics-interval"));
     }
 
     util::Distribution batch_latency;
@@ -178,6 +215,7 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(summary.count));
     }
 
+    flusher.reset(); // final periodic flush before the one-shot writes
     if (args.given("metrics-json")) {
         registry.writeJson(args.get("metrics-json"));
         std::printf("metrics written to %s\n",
