@@ -220,6 +220,190 @@ BENCHMARK_CAPTURE(BM_CodecScanBatch, PQ16, "PQ16")
     ->Args({96, 1024})->Args({96, 32768})
     ->Args({768, 1024})->Args({768, 32768});
 
+/*
+ * Multi-query (list-major) benches. The pair of benchmarks per kernel
+ * measures the same work two ways — per-query loop (each query streams
+ * the whole corpus again) vs one list-major pass (each row is streamed
+ * once per batch) — so items/s (queries x codes per second) is directly
+ * comparable. Corpora are sized past the LLC so the per-query loop pays
+ * DRAM bandwidth per query, which is exactly the cost the list-major
+ * path amortizes. bytes/s reports the memory traffic actually requested
+ * by each variant.
+ */
+
+void
+BM_L2BatchPerQuery(benchmark::State &state)
+{
+    const auto dim = static_cast<std::size_t>(state.range(0));
+    const auto n = static_cast<std::size_t>(state.range(1));
+    const auto q_count = static_cast<std::size_t>(state.range(2));
+    auto base = randomMatrix(n, dim, 21);
+    auto queries = randomMatrix(q_count, dim, 22);
+    std::vector<float> out(n);
+    for (auto _ : state) {
+        for (std::size_t q = 0; q < q_count; ++q) {
+            vecstore::l2SqBatch(queries.row(q).data(), base.data(), n, dim,
+                                out.data());
+        }
+        benchmark::DoNotOptimize(out.data());
+        benchmark::ClobberMemory();
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            q_count * n * dim * sizeof(float));
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            q_count * n);
+}
+BENCHMARK(BM_L2BatchPerQuery)
+    ->Args({768, 1024, 4}) // CI smoke shape
+    ->Args({768, 32768, 1})->Args({768, 32768, 4})
+    ->Args({768, 32768, 16})->Args({768, 32768, 32})
+    ->Args({768, 32768, 64});
+
+void
+BM_L2BatchListMajor(benchmark::State &state)
+{
+    const auto dim = static_cast<std::size_t>(state.range(0));
+    const auto n = static_cast<std::size_t>(state.range(1));
+    const auto q_count = static_cast<std::size_t>(state.range(2));
+    auto base = randomMatrix(n, dim, 21);
+    auto queries = randomMatrix(q_count, dim, 22);
+    std::vector<float> out(q_count * n);
+    std::vector<const float *> query_ptrs(q_count);
+    std::vector<float *> out_ptrs(q_count);
+    for (std::size_t q = 0; q < q_count; ++q) {
+        query_ptrs[q] = queries.row(q).data();
+        out_ptrs[q] = out.data() + q * n;
+    }
+    for (auto _ : state) {
+        vecstore::l2SqBatchMulti(query_ptrs.data(), q_count, base.data(),
+                                 n, dim, out_ptrs.data());
+        benchmark::DoNotOptimize(out.data());
+        benchmark::ClobberMemory();
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            n * dim * sizeof(float));
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            q_count * n);
+}
+BENCHMARK(BM_L2BatchListMajor)
+    ->Args({768, 1024, 4}) // CI smoke shape
+    ->Args({768, 32768, 1})->Args({768, 32768, 4})
+    ->Args({768, 32768, 16})->Args({768, 32768, 32})
+    ->Args({768, 32768, 64});
+
+/**
+ * Multi-query codec scans over an IVF-shaped corpus: total_codes codes
+ * split into 4096-entry lists. Codes are random bytes (content does not
+ * affect scan cost, and it skips minutes of encode at setup). The
+ * per-query variant scans every list for one query before moving to the
+ * next query — the seed node execution order; the list-major variant
+ * calls scanMulti once per list for all queries, with per-query LUTs
+ * (PQ) built once per batch.
+ */
+void
+BM_CodecScanPerQuery(benchmark::State &state, const std::string &spec)
+{
+    const auto total = static_cast<std::size_t>(state.range(0));
+    const auto q_count = static_cast<std::size_t>(state.range(1));
+    const std::size_t dim = 96;
+    const std::size_t list_len = std::min<std::size_t>(total, 4096);
+    auto codec = quant::makeCodec(spec, dim);
+    codec->train(randomMatrix(4096, dim, 23));
+
+    util::Rng rng(24);
+    std::vector<std::uint8_t> codes(total * codec->codeSize());
+    for (auto &byte : codes)
+        byte = static_cast<std::uint8_t>(rng.uniform() * 256.0);
+
+    auto queries = randomMatrix(q_count, dim, 25);
+    std::vector<std::unique_ptr<quant::DistanceComputer>> computers;
+    for (std::size_t q = 0; q < q_count; ++q) {
+        computers.push_back(
+            codec->distanceComputer(vecstore::Metric::L2, queries.row(q)));
+    }
+    std::vector<float> out(list_len);
+    const std::size_t code_size = codec->codeSize();
+    for (auto _ : state) {
+        for (std::size_t q = 0; q < q_count; ++q) {
+            for (std::size_t begin = 0; begin < total; begin += list_len) {
+                const std::size_t len =
+                    std::min(list_len, total - begin);
+                computers[q]->scan(codes.data() + begin * code_size, len,
+                                   std::numeric_limits<float>::max(),
+                                   out.data());
+            }
+        }
+        benchmark::DoNotOptimize(out.data());
+        benchmark::ClobberMemory();
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            q_count * total * code_size);
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            q_count * total);
+}
+BENCHMARK_CAPTURE(BM_CodecScanPerQuery, SQ8, "SQ8")
+    ->Args({8192, 4}) // CI smoke shape
+    ->Args({1 << 21, 1})->Args({1 << 21, 4})->Args({1 << 21, 16})
+    ->Args({1 << 21, 32})->Args({1 << 21, 64});
+BENCHMARK_CAPTURE(BM_CodecScanPerQuery, PQ16, "PQ16")
+    ->Args({8192, 4}) // CI smoke shape
+    ->Args({1 << 23, 1})->Args({1 << 23, 4})->Args({1 << 23, 16})
+    ->Args({1 << 23, 32})->Args({1 << 23, 64});
+
+void
+BM_CodecScanListMajor(benchmark::State &state, const std::string &spec)
+{
+    const auto total = static_cast<std::size_t>(state.range(0));
+    const auto q_count = static_cast<std::size_t>(state.range(1));
+    const std::size_t dim = 96;
+    const std::size_t list_len = std::min<std::size_t>(total, 4096);
+    auto codec = quant::makeCodec(spec, dim);
+    codec->train(randomMatrix(4096, dim, 23));
+
+    util::Rng rng(24);
+    std::vector<std::uint8_t> codes(total * codec->codeSize());
+    for (auto &byte : codes)
+        byte = static_cast<std::uint8_t>(rng.uniform() * 256.0);
+
+    auto queries = randomMatrix(q_count, dim, 25);
+    std::vector<std::unique_ptr<quant::DistanceComputer>> computers;
+    std::vector<const quant::DistanceComputer *> peers(q_count);
+    for (std::size_t q = 0; q < q_count; ++q) {
+        computers.push_back(
+            codec->distanceComputer(vecstore::Metric::L2, queries.row(q)));
+        peers[q] = computers.back().get();
+    }
+    std::vector<float> out(q_count * list_len);
+    std::vector<float *> out_ptrs(q_count);
+    for (std::size_t q = 0; q < q_count; ++q)
+        out_ptrs[q] = out.data() + q * list_len;
+    std::vector<float> thresholds(q_count,
+                                  std::numeric_limits<float>::max());
+    const std::size_t code_size = codec->codeSize();
+    for (auto _ : state) {
+        for (std::size_t begin = 0; begin < total; begin += list_len) {
+            const std::size_t len = std::min(list_len, total - begin);
+            peers[0]->scanMulti(peers.data(), q_count,
+                                codes.data() + begin * code_size, len,
+                                thresholds.data(), out_ptrs.data());
+        }
+        benchmark::DoNotOptimize(out.data());
+        benchmark::ClobberMemory();
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            total * code_size);
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            q_count * total);
+}
+BENCHMARK_CAPTURE(BM_CodecScanListMajor, SQ8, "SQ8")
+    ->Args({8192, 4}) // CI smoke shape
+    ->Args({1 << 21, 1})->Args({1 << 21, 4})->Args({1 << 21, 16})
+    ->Args({1 << 21, 32})->Args({1 << 21, 64});
+BENCHMARK_CAPTURE(BM_CodecScanListMajor, PQ16, "PQ16")
+    ->Args({8192, 4}) // CI smoke shape
+    ->Args({1 << 23, 1})->Args({1 << 23, 4})->Args({1 << 23, 16})
+    ->Args({1 << 23, 32})->Args({1 << 23, 64});
+
 void
 BM_KMeansAssign(benchmark::State &state)
 {

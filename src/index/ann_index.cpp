@@ -1,5 +1,7 @@
 #include "index/ann_index.hpp"
 
+#include <exception>
+
 #include "util/logging.hpp"
 
 namespace hermes {
@@ -19,11 +21,30 @@ std::vector<vecstore::HitList>
 AnnIndex::searchBatch(const vecstore::Matrix &queries, std::size_t k,
                       const SearchParams &params, SearchStats *stats) const
 {
+    std::vector<SearchStats> per_query;
+    auto results =
+        searchBatch(queries, k, params, stats ? &per_query : nullptr);
+    if (stats) {
+        for (const auto &s : per_query)
+            stats->merge(s);
+    }
+    return results;
+}
+
+std::vector<vecstore::HitList>
+AnnIndex::searchBatch(const vecstore::Matrix &queries, std::size_t k,
+                      const SearchParams &params,
+                      std::vector<SearchStats> *per_query) const
+{
     HERMES_ASSERT(queries.dim() == dim(), "query dim ", queries.dim(),
                   " does not match index dim ", dim());
     std::vector<vecstore::HitList> results(queries.rows());
-    for (std::size_t i = 0; i < queries.rows(); ++i)
-        results[i] = search(queries.row(i), k, params, stats);
+    if (per_query)
+        per_query->assign(queries.rows(), SearchStats{});
+    for (std::size_t i = 0; i < queries.rows(); ++i) {
+        results[i] = search(queries.row(i), k, params,
+                            per_query ? &(*per_query)[i] : nullptr);
+    }
     return results;
 }
 
@@ -37,14 +58,26 @@ AnnIndex::searchBatchParallel(const vecstore::Matrix &queries, std::size_t k,
                   " does not match index dim ", dim());
     std::vector<vecstore::HitList> results(queries.rows());
     std::vector<SearchStats> per_query(stats ? queries.rows() : 0);
-    pool.parallelFor(queries.rows(), [&](std::size_t i) {
-        results[i] = search(queries.row(i), k, params,
-                            stats ? &per_query[i] : nullptr);
-    });
+    // parallelFor rethrows the first per-query exception, but the other
+    // queries in the batch may have completed real work by then — merge
+    // whatever landed in per_query before propagating, so callers that
+    // account scanned bytes/vectors (the serving cost model) don't lose
+    // the batch's counters when one query faults.
+    std::exception_ptr error;
+    try {
+        pool.parallelFor(queries.rows(), [&](std::size_t i) {
+            results[i] = search(queries.row(i), k, params,
+                                stats ? &per_query[i] : nullptr);
+        });
+    } catch (...) {
+        error = std::current_exception();
+    }
     if (stats) {
         for (const auto &s : per_query)
             stats->merge(s);
     }
+    if (error)
+        std::rethrow_exception(error);
     return results;
 }
 

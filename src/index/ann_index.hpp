@@ -37,6 +37,22 @@ struct SearchParams
      * pruning. Typical values: 1.5 - 4.0 (L2 metric).
      */
     double prune_ratio = 0.0;
+
+    /**
+     * IVF searchBatch: minimum estimated per-query scan volume (scanned
+     * rows x dim, i.e. floats touched) for the list-major batched path
+     * to engage. List-major execution amortizes each list's streaming
+     * across the batch but pays for it in score buffering and multi-
+     * query tile bookkeeping, which only wins once each query scans
+     * enough data (low-dim or few-row scans such as sampled-index
+     * probes run faster through the plain per-query loop). Batches
+     * whose estimate (size() * nprobe / nlist * dim) falls below this
+     * floor take the per-query path instead; both paths return
+     * bit-identical results, so the cutover is a pure cost heuristic.
+     * Set to 0 to force list-major execution for any batch (the parity
+     * tests do this to pin the batched arm).
+     */
+    std::size_t batch_min_scan_floats = std::size_t(1) << 18;
 };
 
 /**
@@ -122,6 +138,20 @@ class AnnIndex
     searchBatch(const vecstore::Matrix &queries, std::size_t k,
                 const SearchParams &params = {},
                 SearchStats *stats = nullptr) const;
+
+    /**
+     * Batch search with per-query stats. The base implementation loops
+     * search(); indexes may override with a fused multi-query execution
+     * (IvfIndex's list-major path) but must return hit lists and stats
+     * bit-identical to the per-query loop.
+     *
+     * @param per_query When non-null, resized to queries.rows() with one
+     *                  SearchStats per query (overwritten, not merged).
+     */
+    virtual std::vector<vecstore::HitList>
+    searchBatch(const vecstore::Matrix &queries, std::size_t k,
+                const SearchParams &params,
+                std::vector<SearchStats> *per_query) const;
 
     /**
      * Batch search over a thread pool: one task per query with greedy

@@ -225,6 +225,269 @@ IvfIndex::search(vecstore::VecView query, std::size_t k,
     return hits;
 }
 
+std::vector<vecstore::HitList>
+IvfIndex::searchBatch(const vecstore::Matrix &queries, std::size_t k,
+                      const SearchParams &params,
+                      std::vector<SearchStats> *per_query) const
+{
+    HERMES_ASSERT(trained_, "IvfIndex::searchBatch before train");
+    HERMES_ASSERT(queries.dim() == dim_, "searchBatch: dim mismatch");
+
+    const std::size_t num_queries = queries.rows();
+    std::vector<vecstore::HitList> results(num_queries);
+    if (per_query)
+        per_query->assign(num_queries, SearchStats{});
+    if (num_queries == 0)
+        return results;
+    if (num_queries == 1) {
+        // No amortization to be had; the per-query path avoids the
+        // buffering overhead.
+        results[0] = search(queries.row(0), k, params,
+                            per_query ? &(*per_query)[0] : nullptr);
+        return results;
+    }
+    if (params.batch_min_scan_floats > 0 && config_.nlist > 0) {
+        // Cost cutover (see SearchParams::batch_min_scan_floats): the
+        // estimate assumes uniformly filled lists and ignores pruning,
+        // which is all it needs — it only has to separate trivial scans
+        // (sampled indexes, tiny dims) from ones worth amortizing.
+        const std::size_t probe_est =
+            std::min(std::max<std::size_t>(params.nprobe, 1),
+                     config_.nlist);
+        const std::size_t est_floats =
+            ntotal_ * probe_est / config_.nlist * dim_;
+        if (est_floats < params.batch_min_scan_floats) {
+            for (std::size_t qi = 0; qi < num_queries; ++qi) {
+                results[qi] =
+                    search(queries.row(qi), k, params,
+                           per_query ? &(*per_query)[qi] : nullptr);
+            }
+            return results;
+        }
+    }
+
+    static obs::Histogram &h_coarse =
+        obs::Registry::instance().histogram(obs::names::kIvfCoarseUs);
+    static obs::Histogram &h_scan =
+        obs::Registry::instance().histogram(obs::names::kIvfScanUs);
+    obs::ScopedSpan span("ivf.search_batch");
+    span.arg("queries", num_queries);
+    util::Timer timer;
+
+    std::size_t nprobe = std::max<std::size_t>(params.nprobe, 1);
+    nprobe = std::min(nprobe, config_.nlist);
+    const std::size_t code_size = codec_->codeSize();
+
+    // -------------------------------------------------------------------
+    // Coarse phase: rank centroids for every query. The linear scan goes
+    // through the multi-query kernel in blocks (each centroid row is
+    // streamed once per block, not once per query); per query the scores
+    // and the ascending push order match search() exactly.
+    // -------------------------------------------------------------------
+    struct ProbeEntry
+    {
+        std::uint32_t list;
+        std::size_t len;
+        std::size_t offset; // into the group score buffer (len > 0 only)
+    };
+    std::vector<std::vector<ProbeEntry>> probes(num_queries);
+    std::vector<std::uint64_t> coarse_evals(num_queries, config_.nlist);
+    std::vector<std::size_t> scan_bytes(num_queries, 0);
+
+    vecstore::HitList probe;
+    auto buildProbeSequence = [&](std::size_t qi) {
+        const float prune_bound =
+            params.prune_ratio > 0.0 && !probe.empty() &&
+                    probe.front().score >= 0.0f
+                ? static_cast<float>(params.prune_ratio) *
+                      probe.front().score
+                : std::numeric_limits<float>::max();
+        auto &seq = probes[qi];
+        seq.reserve(probe.size());
+        std::size_t bytes = 0;
+        for (const auto &candidate : probe) {
+            if (candidate.score > prune_bound)
+                break;
+            const std::size_t list = static_cast<std::size_t>(candidate.id);
+            const std::size_t len = lists_[list].ids.size();
+            seq.push_back({static_cast<std::uint32_t>(list), len, 0});
+            bytes += len * sizeof(float);
+        }
+        scan_bytes[qi] = bytes;
+    };
+
+    if (coarse_graph_) {
+        SearchParams coarse_params;
+        coarse_params.ef_search = nprobe + 16;
+        for (std::size_t qi = 0; qi < num_queries; ++qi) {
+            SearchStats coarse_stats;
+            probe = coarse_graph_->search(queries.row(qi), nprobe,
+                                          coarse_params, &coarse_stats);
+            coarse_evals[qi] = coarse_stats.distance_computations;
+            buildProbeSequence(qi);
+        }
+    } else {
+        // Block the batch so the Q x nlist score tile stays modest.
+        constexpr std::size_t kCoarseBlock = 64;
+        std::vector<float> coarse_scores;
+        std::vector<const float *> query_ptrs(kCoarseBlock);
+        std::vector<float *> score_ptrs(kCoarseBlock);
+        for (std::size_t base = 0; base < num_queries;
+             base += kCoarseBlock) {
+            const std::size_t block =
+                std::min(kCoarseBlock, num_queries - base);
+            coarse_scores.resize(block * config_.nlist);
+            for (std::size_t b = 0; b < block; ++b) {
+                query_ptrs[b] = queries.row(base + b).data();
+                score_ptrs[b] = coarse_scores.data() + b * config_.nlist;
+            }
+            vecstore::l2SqBatchMulti(query_ptrs.data(), block,
+                                     centroids_.data(), config_.nlist,
+                                     dim_, score_ptrs.data());
+            for (std::size_t b = 0; b < block; ++b) {
+                vecstore::TopK coarse(nprobe);
+                const float *scores = score_ptrs[b];
+                for (std::size_t c = 0; c < config_.nlist; ++c) {
+                    coarse.push(static_cast<vecstore::VecId>(c),
+                                scores[c]);
+                }
+                probe = coarse.take();
+                buildProbeSequence(base + b);
+            }
+        }
+    }
+    h_coarse.observe(timer.elapsedMicros());
+    timer.reset();
+
+    // -------------------------------------------------------------------
+    // Scan phase. Queries are partitioned into execution groups whose
+    // buffered scores fit kScoreBufferCap; within a group, (query, rank)
+    // subscriptions are sorted by list id and each list is scanned once
+    // via scanMulti with exact-score thresholds. Each query then replays
+    // its pushBatch calls in coarse-rank order, reproducing the
+    // per-query TopK feed (and its first-come tie behavior) bit for bit.
+    // -------------------------------------------------------------------
+    constexpr std::size_t kScoreBufferCap = std::size_t(32) << 20;
+    struct Subscription
+    {
+        std::uint32_t list;
+        std::uint32_t query; // batch-relative index
+        std::uint32_t rank;  // position in the query's probe sequence
+    };
+    std::uint64_t total_probed = 0;
+    std::uint64_t total_scanned = 0;
+    std::vector<float> buffer;
+    std::vector<Subscription> subs;
+    std::vector<std::unique_ptr<quant::DistanceComputer>> computers;
+    std::vector<const quant::DistanceComputer *> peer_ptrs;
+    std::vector<float *> out_ptrs;
+    std::vector<float> thresholds;
+
+    std::size_t group_begin = 0;
+    while (group_begin < num_queries) {
+        std::size_t group_end = group_begin;
+        std::size_t group_bytes = 0;
+        while (group_end < num_queries &&
+               (group_end == group_begin ||
+                group_bytes + scan_bytes[group_end] <= kScoreBufferCap)) {
+            group_bytes += scan_bytes[group_end];
+            ++group_end;
+        }
+
+        // Assign buffer segments and collect subscriptions.
+        subs.clear();
+        std::size_t offset = 0;
+        for (std::size_t qi = group_begin; qi < group_end; ++qi) {
+            auto &seq = probes[qi];
+            for (std::size_t r = 0; r < seq.size(); ++r) {
+                if (seq[r].len == 0)
+                    continue;
+                seq[r].offset = offset;
+                offset += seq[r].len;
+                subs.push_back({seq[r].list,
+                                static_cast<std::uint32_t>(qi - group_begin),
+                                static_cast<std::uint32_t>(r)});
+            }
+        }
+        buffer.resize(offset);
+        std::sort(subs.begin(), subs.end(),
+                  [](const Subscription &a, const Subscription &b) {
+                      if (a.list != b.list)
+                          return a.list < b.list;
+                      return a.query < b.query;
+                  });
+
+        computers.clear();
+        for (std::size_t qi = group_begin; qi < group_end; ++qi) {
+            computers.push_back(
+                codec_->distanceComputer(metric_, queries.row(qi)));
+        }
+
+        // One scanMulti per distinct probed list: the code stream and
+        // any shared dequant work are amortized over every subscriber.
+        std::size_t s = 0;
+        while (s < subs.size()) {
+            std::size_t e = s;
+            while (e < subs.size() && subs[e].list == subs[s].list)
+                ++e;
+            const auto &il = lists_[subs[s].list];
+            const std::size_t len = il.ids.size();
+            const std::size_t m = e - s;
+            peer_ptrs.resize(m);
+            out_ptrs.resize(m);
+            thresholds.assign(m, std::numeric_limits<float>::max());
+            for (std::size_t t = 0; t < m; ++t) {
+                const auto &sub = subs[s + t];
+                peer_ptrs[t] = computers[sub.query].get();
+                out_ptrs[t] =
+                    buffer.data() +
+                    probes[group_begin + sub.query][sub.rank].offset;
+            }
+            peer_ptrs[0]->scanMulti(peer_ptrs.data(), m, il.codes.data(),
+                                    len, thresholds.data(),
+                                    out_ptrs.data());
+            s = e;
+        }
+
+        // Per-query emit: replay the buffered segments in coarse-rank
+        // order into a fresh TopK — identical pushes, identical ties.
+        for (std::size_t qi = group_begin; qi < group_end; ++qi) {
+            vecstore::TopK selector(std::max<std::size_t>(k, 1));
+            std::uint64_t scanned = 0;
+            const auto &seq = probes[qi];
+            for (const auto &entry : seq) {
+                if (entry.len > 0) {
+                    const auto &il = lists_[entry.list];
+                    selector.pushBatch(il.ids.data(),
+                                       buffer.data() + entry.offset,
+                                       entry.len);
+                }
+                scanned += entry.len;
+            }
+            auto hits = selector.take();
+            if (hits.size() > k)
+                hits.resize(k);
+            results[qi] = std::move(hits);
+
+            total_probed += seq.size();
+            total_scanned += scanned;
+            if (per_query) {
+                auto &st = (*per_query)[qi];
+                st.lists_probed += seq.size();
+                st.vectors_scanned += scanned;
+                st.distance_computations += scanned + coarse_evals[qi];
+                st.bytes_scanned += scanned * code_size;
+            }
+        }
+        group_begin = group_end;
+    }
+
+    h_scan.observe(timer.elapsedMicros());
+    span.arg("lists_probed", total_probed);
+    span.arg("vectors_scanned", total_scanned);
+    return results;
+}
+
 std::size_t
 IvfIndex::memoryBytes() const
 {

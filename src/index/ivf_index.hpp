@@ -79,6 +79,26 @@ class IvfIndex : public AnnIndex
     vecstore::HitList search(vecstore::VecView query, std::size_t k,
                              const SearchParams &params = {},
                              SearchStats *stats = nullptr) const override;
+
+    // The 3-arg convenience overloads live in AnnIndex; re-expose them
+    // alongside the list-major override below.
+    using AnnIndex::searchBatch;
+
+    /**
+     * List-major batched search (paper §6 throughput mode): one blocked
+     * pass assigns coarse centroids for the whole batch, (query, list)
+     * pairs are grouped by list, and each probed list is scanned exactly
+     * once for all subscribed queries via the multi-query codec kernels.
+     * Hit lists and per-query stats are bit-identical to calling
+     * search() per query: coarse scores come from the same reduction
+     * orders, per-query prune bounds and probe order are unchanged, and
+     * each query's TopK is fed its lists in the same coarse-rank order.
+     */
+    std::vector<vecstore::HitList>
+    searchBatch(const vecstore::Matrix &queries, std::size_t k,
+                const SearchParams &params,
+                std::vector<SearchStats> *per_query) const override;
+
     std::size_t memoryBytes() const override;
     std::string name() const override;
 

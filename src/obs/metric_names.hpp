@@ -47,6 +47,7 @@ inline constexpr const char *kNodeHitsReturned = "hits_returned";
 inline constexpr const char *kNodeQueueDepth = "queue_depth";
 inline constexpr const char *kNodeBusySeconds = "busy_seconds";
 inline constexpr const char *kNodeEnergyJoules = "energy_j";
+inline constexpr const char *kNodeBatchOccupancy = "batch_occupancy";
 
 /** "node.<cluster>.<suffix>" — the per-cluster series family. */
 inline std::string

@@ -57,6 +57,24 @@ class DistanceComputer
     virtual void scan(const std::uint8_t *codes, std::size_t n,
                       float threshold, float *out) const;
 
+    /**
+     * Multi-query scan: evaluate @p q_count computers over the same code
+     * list in one pass, writing out[q][i] = peers[q]'s distance to code i.
+     *
+     * @p peers are computers produced by the *same* codec under the same
+     * metric (peers[q] == this for some q is allowed but not required);
+     * the call is made on peers[0]'s dynamic type. @p thresholds carries
+     * one pruning hint per query with the same contract as scan(). Scores
+     * per query are bitwise identical to peers[q]->scan(...): the default
+     * loops the single-query scans in query-major strips (the codes stay
+     * cache-resident between strips), and Flat/SQ8 override with fused
+     * multi-query kernels.
+     */
+    virtual void scanMulti(const DistanceComputer *const *peers,
+                           std::size_t q_count, const std::uint8_t *codes,
+                           std::size_t n, const float *thresholds,
+                           float *const *out) const;
+
     /** Bytes per encoded vector. */
     std::size_t codeSize() const { return code_size_; }
 

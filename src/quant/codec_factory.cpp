@@ -41,6 +41,21 @@ DistanceComputer::scan(const std::uint8_t *codes, std::size_t n,
         out[i] = (*this)(codes + i * code_size_);
 }
 
+void
+DistanceComputer::scanMulti(const DistanceComputer *const *peers,
+                            std::size_t q_count, const std::uint8_t *codes,
+                            std::size_t n, const float *thresholds,
+                            float *const *out) const
+{
+    // Query-major strips over the same code list: each strip re-reads
+    // codes that the previous query just touched, so for list-sized
+    // chunks the bytes come from cache rather than DRAM. This is the
+    // batched path for table-driven codecs (PQ/OPQ ADC), whose per-query
+    // state (the LUT) doesn't fuse across queries the way Flat/SQ8 do.
+    for (std::size_t q = 0; q < q_count; ++q)
+        peers[q]->scan(codes, n, thresholds[q], out[q]);
+}
+
 std::unique_ptr<Codec>
 makeCodec(const std::string &spec, std::size_t dim)
 {

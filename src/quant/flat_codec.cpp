@@ -1,6 +1,7 @@
 #include "quant/flat_codec.hpp"
 
 #include <cstring>
+#include <vector>
 
 #include "util/logging.hpp"
 #include "vecstore/distance.hpp"
@@ -37,6 +38,22 @@ class FlatDistance : public DistanceComputer
         vecstore::distanceBatch(metric_, query_.data(),
                                 reinterpret_cast<const float *>(codes), n,
                                 query_.size(), out);
+    }
+
+    void
+    scanMulti(const DistanceComputer *const *peers, std::size_t q_count,
+              const std::uint8_t *codes, std::size_t n,
+              const float * /*thresholds*/,
+              float *const *out) const override
+    {
+        std::vector<const float *> queries(q_count);
+        for (std::size_t q = 0; q < q_count; ++q) {
+            queries[q] =
+                static_cast<const FlatDistance *>(peers[q])->query_.data();
+        }
+        vecstore::distanceBatchMulti(
+            metric_, queries.data(), q_count,
+            reinterpret_cast<const float *>(codes), n, query_.size(), out);
     }
 
   private:

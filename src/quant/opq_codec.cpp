@@ -34,6 +34,23 @@ class RotatedDistance : public DistanceComputer
         inner_->scan(codes, n, threshold, out);
     }
 
+    void
+    scanMulti(const DistanceComputer *const *peers, std::size_t q_count,
+              const std::uint8_t *codes, std::size_t n,
+              const float *thresholds, float *const *out) const override
+    {
+        // Unwrap to the inner ADC computers so their scanMulti sweeps the
+        // code list in query-major strips (rotation already happened at
+        // construction; codes are plain PQ codes).
+        std::vector<const DistanceComputer *> inner(q_count);
+        for (std::size_t q = 0; q < q_count; ++q) {
+            inner[q] =
+                static_cast<const RotatedDistance *>(peers[q])->inner_.get();
+        }
+        inner[0]->scanMulti(inner.data(), q_count, codes, n, thresholds,
+                            out);
+    }
+
   private:
     std::vector<float> rotated_query_; // owns storage referenced by inner_
     std::unique_ptr<DistanceComputer> inner_;

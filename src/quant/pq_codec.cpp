@@ -1,11 +1,14 @@
 #include "quant/pq_codec.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdint>
 #include <limits>
 
 #include "cluster/kmeans.hpp"
 #include "util/logging.hpp"
 #include "vecstore/distance.hpp"
+#include "vecstore/simd_dispatch.hpp"
 
 namespace hermes {
 namespace quant {
@@ -67,10 +70,68 @@ class AdcDistance : public DistanceComputer
             out[i] = (*this)(codes + i * m);
     }
 
+    void
+    scanMulti(const DistanceComputer *const *peers, std::size_t q_count,
+              const std::uint8_t *codes, std::size_t n,
+              const float *thresholds, float *const *out) const override
+    {
+        // Short lists fall back to the query-major strip default: the
+        // transposed table below costs m*256*q_count writes to build,
+        // which only pays once the batch streams enough codes to
+        // amortize it. Both paths are bitwise identical to per-query
+        // scan(), so the cutover is a pure performance heuristic.
+        if (q_count < 2 || n < PqCodec::kSubCodebookSize) {
+            DistanceComputer::scanMulti(peers, q_count, codes, n,
+                                        thresholds, out);
+            return;
+        }
+        // Query-transposed tables in padded chunk-major layout (see the
+        // lut_accum_multi contract in simd_dispatch.hpp): queries are
+        // grouped in chunks of 8 lanes, so one code byte resolves to one
+        // contiguous 8-float row and each chunk's table is a compact
+        // cache-resident block — the per-query scan instead does m
+        // dependent scalar gathers per code. Per query the accumulation
+        // is still one chain in ascending sub order over copied table
+        // values, so scores are bitwise identical to peers[q]->scan().
+        //
+        // The batch executor calls scanMulti once per probed list with
+        // the same peer set, so the transpose is cached on this computer
+        // and keyed by the peers' unique ids (addresses can be reused
+        // across batches; ids cannot). Computers are per-query state
+        // already — the mutable cache keeps them single-thread objects,
+        // it does not make a previously shareable object unshareable.
+        const std::size_t m = m_;
+        std::vector<std::uint64_t> key(q_count);
+        for (std::size_t q = 0; q < q_count; ++q)
+            key[q] = static_cast<const AdcDistance *>(peers[q])->id_;
+        if (key != tkey_) {
+            const std::size_t table_len = m * PqCodec::kSubCodebookSize;
+            const std::size_t chunks = (q_count + 7) / 8;
+            tlut_.assign(chunks * table_len * 8, 0.f);
+            for (std::size_t q = 0; q < q_count; ++q) {
+                const float *src = static_cast<const AdcDistance *>(peers[q])
+                                       ->table_.data();
+                float *dst = tlut_.data() + (q / 8) * table_len * 8 + q % 8;
+                for (std::size_t idx = 0; idx < table_len; ++idx)
+                    dst[idx * 8] = src[idx];
+            }
+            tkey_ = std::move(key);
+        }
+        vecstore::simd::active().lut_accum_multi(
+            tlut_.data(), PqCodec::kSubCodebookSize, q_count, codes, n, m,
+            out);
+    }
+
   private:
     std::vector<float> table_;
     std::size_t m_;
+    std::uint64_t id_ = next_id_.fetch_add(1, std::memory_order_relaxed);
+    static std::atomic<std::uint64_t> next_id_;
+    mutable std::vector<std::uint64_t> tkey_; ///< peers of cached tlut_
+    mutable std::vector<float> tlut_;         ///< query-transposed table
 };
+
+std::atomic<std::uint64_t> AdcDistance::next_id_{1};
 
 } // namespace
 

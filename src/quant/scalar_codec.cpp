@@ -94,6 +94,36 @@ class ScalarDistance : public DistanceComputer
             kt.sq8_scan_ip(a_.data(), bias_, codes, n, d, out);
     }
 
+    void
+    scanMulti(const DistanceComputer *const *peers, std::size_t q_count,
+              const std::uint8_t *codes, std::size_t n,
+              const float *thresholds, float *const *out) const override
+    {
+        if (codec_.bits() != 8) {
+            DistanceComputer::scanMulti(peers, q_count, codes, n,
+                                        thresholds, out);
+            return;
+        }
+        const std::size_t d = codec_.dim();
+        const auto &kt = vecstore::simd::active();
+        std::vector<const float *> a(q_count);
+        for (std::size_t q = 0; q < q_count; ++q)
+            a[q] = static_cast<const ScalarDistance *>(peers[q])->a_.data();
+        if (metric_ == vecstore::Metric::L2) {
+            // b_ (the per-dimension scale) is query-independent.
+            kt.sq8_scan_l2_multi(a.data(), b_.data(), q_count, codes, n, d,
+                                 out);
+            return;
+        }
+        std::vector<float> biases(q_count);
+        for (std::size_t q = 0; q < q_count; ++q) {
+            biases[q] =
+                static_cast<const ScalarDistance *>(peers[q])->bias_;
+        }
+        kt.sq8_scan_ip_multi(a.data(), biases.data(), q_count, codes, n, d,
+                             out);
+    }
+
   private:
     const ScalarCodec &codec_;
     vecstore::Metric metric_;

@@ -365,6 +365,10 @@ HermesBroker::loadReport(std::size_t window_s) const
         NodeStats node_stats = nodes_[c]->stats();
         load.requests = node_stats.requests;
         load.batches = node_stats.batches;
+        load.batch_occupancy = node_stats.batches > 0
+            ? static_cast<double>(node_stats.requests) /
+                static_cast<double>(node_stats.batches)
+            : 0.0;
         load.queue_depth = nodes_[c]->queueDepth();
         load.busy_seconds = node_stats.busy_seconds;
         load.utilization = report.uptime_seconds > 0.0

@@ -39,7 +39,13 @@ namespace serve {
 /** Broker configuration. */
 struct BrokerConfig
 {
-    /** Per-node queue/batching parameters. */
+    /** Per-node queue/batching parameters. Opt into micro-batching by
+     *  setting node.batch_window_us > 0: concurrent search() callers
+     *  whose sample/deep requests land on the same node within the
+     *  window are coalesced into one list-major shard scan. The window
+     *  bounds the latency it can add per request, so PR 1 deadlines and
+     *  degradation semantics are unchanged (the deadline clock starts at
+     *  submit and already covers queue time). */
     NodeConfig node;
 
     /**

@@ -77,6 +77,7 @@ LoadReport::toJson() const
         out += ", \"hits_returned\": " + std::to_string(c.hits_returned);
         out += ", \"requests\": " + std::to_string(c.requests);
         out += ", \"batches\": " + std::to_string(c.batches);
+        out += ", \"batch_occupancy\": " + jsonNumber(c.batch_occupancy);
         out += ", \"queue_depth\": " + std::to_string(c.queue_depth);
         out += ", \"busy_seconds\": " + jsonNumber(c.busy_seconds);
         out += ", \"utilization\": " + jsonNumber(c.utilization);

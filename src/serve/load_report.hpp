@@ -47,6 +47,11 @@ struct ClusterLoad
     /** Processing rounds the worker executed. */
     std::uint64_t batches = 0;
 
+    /** Mean requests per processing round (requests / batches); > 1
+     *  means the worker is coalescing concurrent requests into shared
+     *  list-major scans (see NodeConfig::batch_window_us). */
+    double batch_occupancy = 0.0;
+
     /** Requests waiting in the node queue right now. */
     std::size_t queue_depth = 0;
 

@@ -66,6 +66,8 @@ RetrievalNode::workerLoop()
         config_.node_id, obs::names::kNodeQueueDepth));
     obs::Gauge &energy_gauge = registry.gauge(obs::names::nodeMetric(
         config_.node_id, obs::names::kNodeEnergyJoules));
+    obs::Histogram &occupancy = registry.histogram(obs::names::nodeMetric(
+        config_.node_id, obs::names::kNodeBatchOccupancy));
 
     // Per-core dynamic power of the modeled CPU: what one busy worker
     // core adds on top of the package idle floor. Idle/static energy is
@@ -83,12 +85,29 @@ RetrievalNode::workerLoop()
             cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
             if (queue_.empty() && stopping_)
                 return;
+            if (config_.batch_window_us > 0.0 && !stopping_ &&
+                queue_.size() < config_.max_batch) {
+                // Micro-batching: hold the drain open until max_batch
+                // requests are waiting or the oldest one has aged past
+                // the window, bounding its added latency to the window.
+                auto deadline =
+                    queue_.front().enqueued +
+                    std::chrono::duration_cast<
+                        std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double, std::micro>(
+                            config_.batch_window_us));
+                cv_.wait_until(lock, deadline, [this] {
+                    return stopping_ ||
+                           queue_.size() >= config_.max_batch;
+                });
+            }
             while (!queue_.empty() && batch.size() < config_.max_batch) {
                 batch.push_back(std::move(queue_.front()));
                 queue_.pop_front();
             }
             queue_depth_gauge.set(static_cast<double>(queue_.size()));
         }
+        occupancy.observe(static_cast<double>(batch.size()));
         HERMES_DEBUG("node ", config_.node_id, ": drained batch of ",
                      batch.size());
 
@@ -116,14 +135,13 @@ RetrievalNode::workerLoop()
         std::vector<NodeResponse> responses(batch.size());
         std::vector<std::exception_ptr> errors(batch.size());
         std::vector<Outcome> outcomes(batch.size(), Outcome::Ok);
-        for (std::size_t i = 0; i < batch.size(); ++i) {
-            auto &request = batch[i];
-            obs::TraceContext trace_context(request.traced);
-            obs::ScopedSpan span("node.search");
-            span.arg("cluster",
-                     static_cast<std::uint64_t>(config_.node_id));
-            span.arg("k", static_cast<std::uint64_t>(request.k));
-            if (faults.enabled()) {
+
+        // Fault pre-pass in drain order: the injected-fault stream must
+        // be consumed one roll per request in arrival order, so the same
+        // seed produces the same fail/drop/delay decisions regardless of
+        // how the surviving requests are grouped for execution below.
+        if (faults.enabled()) {
+            for (std::size_t i = 0; i < batch.size(); ++i) {
                 double roll = fault_rng_.uniform();
                 if (roll < faults.fail_probability) {
                     outcomes[i] = Outcome::Failed;
@@ -147,6 +165,18 @@ RetrievalNode::workerLoop()
                             faults.delay_ms));
                 }
             }
+        }
+
+        // Single-request execution (also the fallback if a batched group
+        // throws): identical spans and error handling to the pre-batched
+        // serving path.
+        auto runSingle = [&](std::size_t i) {
+            auto &request = batch[i];
+            obs::TraceContext trace_context(request.traced);
+            obs::ScopedSpan span("node.search");
+            span.arg("cluster",
+                     static_cast<std::uint64_t>(config_.node_id));
+            span.arg("k", static_cast<std::uint64_t>(request.k));
             try {
                 responses[i].hits = shard_.search(
                     vecstore::VecView(request.query.data(),
@@ -162,6 +192,104 @@ RetrievalNode::workerLoop()
                 outcomes[i] = Outcome::Failed;
                 errors[i] = std::current_exception();
                 ++failures;
+            }
+        };
+
+        // Group surviving requests by search parameters: requests that
+        // share (k, nprobe, ef_search, prune_ratio) can ride one
+        // list-major searchBatch call. First-occurrence order keeps the
+        // schedule deterministic.
+        struct Group
+        {
+            std::size_t k;
+            index::SearchParams params;
+            std::vector<std::size_t> members;
+        };
+        std::vector<Group> groups;
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+            if (outcomes[i] != Outcome::Ok)
+                continue;
+            const auto &request = batch[i];
+            Group *group = nullptr;
+            for (auto &g : groups) {
+                if (g.k == request.k &&
+                    g.params.nprobe == request.params.nprobe &&
+                    g.params.ef_search == request.params.ef_search &&
+                    g.params.prune_ratio == request.params.prune_ratio &&
+                    g.params.batch_min_scan_floats ==
+                        request.params.batch_min_scan_floats) {
+                    group = &g;
+                    break;
+                }
+            }
+            if (group == nullptr) {
+                groups.push_back({request.k, request.params, {}});
+                group = &groups.back();
+            }
+            group->members.push_back(i);
+        }
+
+        for (const auto &group : groups) {
+            if (group.members.size() == 1) {
+                runSingle(group.members[0]);
+                continue;
+            }
+            bool any_traced = false;
+            for (std::size_t i : group.members)
+                any_traced |= batch[i].traced;
+            vecstore::Matrix group_queries(shard_.dim());
+            group_queries.reserveRows(group.members.size());
+            for (std::size_t i : group.members) {
+                group_queries.append(vecstore::VecView(
+                    batch[i].query.data(), batch[i].query.size()));
+            }
+            std::vector<index::SearchStats> per_stats;
+            std::vector<vecstore::HitList> group_hits;
+            bool batched_ok = true;
+            auto exec_start = std::chrono::steady_clock::now();
+            {
+                // One batch-level span; per-request node.search child
+                // spans are back-filled below so traces keep one
+                // node.search per request either way.
+                obs::TraceContext trace_context(any_traced);
+                obs::ScopedSpan span("node.search_batch");
+                span.arg("cluster",
+                         static_cast<std::uint64_t>(config_.node_id));
+                span.arg("requests",
+                         static_cast<std::uint64_t>(group.members.size()));
+                try {
+                    group_hits = shard_.searchBatch(group_queries, group.k,
+                                                    group.params,
+                                                    &per_stats);
+                } catch (...) {
+                    batched_ok = false;
+                }
+            }
+            if (!batched_ok) {
+                // The batch faulted as a unit; retry requests one at a
+                // time so a single poisoned query only fails itself.
+                for (std::size_t i : group.members)
+                    runSingle(i);
+                continue;
+            }
+            auto exec_end = std::chrono::steady_clock::now();
+            for (std::size_t m = 0; m < group.members.size(); ++m) {
+                const std::size_t i = group.members[m];
+                responses[i].hits = std::move(group_hits[m]);
+                responses[i].stats = per_stats[m];
+                scanned += responses[i].stats.vectors_scanned;
+                hits += responses[i].hits.size();
+                if (batch[i].traced) {
+                    obs::TraceRecorder::instance().addSpan(
+                        "node.search", exec_start, exec_end,
+                        {{"cluster", std::to_string(config_.node_id),
+                          true},
+                         {"k", std::to_string(batch[i].k), true},
+                         {"vectors_scanned",
+                          std::to_string(
+                              responses[i].stats.vectors_scanned),
+                          true}});
+                }
             }
         }
         double elapsed = timer.elapsedSeconds();

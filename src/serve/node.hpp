@@ -82,6 +82,20 @@ struct NodeConfig
     /** Max requests drained per processing round. */
     std::size_t max_batch = 64;
 
+    /**
+     * Micro-batching window in microseconds (0 = off). After the first
+     * request of a round arrives, the worker keeps the drain open until
+     * either max_batch requests are queued or the *oldest* waiting
+     * request has been enqueued for this long — so the added latency per
+     * request is bounded by the window. Coalesced requests with equal
+     * (k, nprobe, ef_search, prune_ratio) are executed through the
+     * shard's list-major searchBatch, amortizing hot-list scans across
+     * the batch (paper §6 throughput mode). Grouped execution happens
+     * whenever a drain yields multiple compatible requests, window or
+     * not; the window only makes such drains likelier under load.
+     */
+    double batch_window_us = 0.0;
+
     /** Fault injection (tests/benches only; defaults to disabled). */
     FaultInjector faults;
 

@@ -88,6 +88,40 @@ distanceBatch(Metric metric, const float *query, const float *base,
 }
 
 void
+l2SqBatchMulti(const float *const *queries, std::size_t q_count,
+               const float *base, std::size_t n, std::size_t d,
+               float *const *out)
+{
+    simd::active().l2_sq_batch_multi(queries, q_count, base, n, d, out);
+}
+
+void
+dotBatchMulti(const float *const *queries, std::size_t q_count,
+              const float *base, std::size_t n, std::size_t d,
+              float *const *out)
+{
+    simd::active().dot_batch_multi(queries, q_count, base, n, d, out);
+}
+
+void
+distanceBatchMulti(Metric metric, const float *const *queries,
+                   std::size_t q_count, const float *base, std::size_t n,
+                   std::size_t d, float *const *out)
+{
+    const auto &kt = simd::active();
+    if (metric == Metric::L2) {
+        kt.l2_sq_batch_multi(queries, q_count, base, n, d, out);
+        return;
+    }
+    kt.dot_batch_multi(queries, q_count, base, n, d, out);
+    for (std::size_t q = 0; q < q_count; ++q) {
+        float *o = out[q];
+        for (std::size_t i = 0; i < n; ++i)
+            o[i] = -o[i];
+    }
+}
+
+void
 normalize(float *a, std::size_t d)
 {
     float n = normSq(a, d);

@@ -60,6 +60,28 @@ void dotBatch(const float *query, const float *base, std::size_t n,
 void distanceBatch(Metric metric, const float *query, const float *base,
                    std::size_t n, std::size_t d, float *out);
 
+/**
+ * Multi-query blocked kernel: out[q][i] = l2Sq(queries[q], base + i*d).
+ * One pass over the corpus scores every query (Q x N tile); per
+ * (query, row) the result is bitwise identical to l2SqBatch.
+ */
+void l2SqBatchMulti(const float *const *queries, std::size_t q_count,
+                    const float *base, std::size_t n, std::size_t d,
+                    float *const *out);
+
+/** Multi-query dotBatch: raw dot products (callers negate for IP). */
+void dotBatchMulti(const float *const *queries, std::size_t q_count,
+                   const float *base, std::size_t n, std::size_t d,
+                   float *const *out);
+
+/**
+ * Multi-query distanceBatch: one metric dispatch, one corpus pass for
+ * all q_count queries. Per query bitwise identical to distanceBatch.
+ */
+void distanceBatchMulti(Metric metric, const float *const *queries,
+                        std::size_t q_count, const float *base,
+                        std::size_t n, std::size_t d, float *const *out);
+
 /** Normalize a vector to unit L2 norm in place (no-op on zero vectors). */
 void normalize(float *a, std::size_t d);
 

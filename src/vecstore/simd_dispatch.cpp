@@ -125,9 +125,156 @@ scalarSq8ScanIp(const float *a, float bias, const std::uint8_t *codes,
     }
 }
 
+// Multi-query tiles: the row block (4 rows) stays hot in L1 while every
+// query visits it, so the corpus is streamed from DRAM once per batch.
+// Each (query, row) score is produced by the same scalarL2Sq/scalarDot
+// call the single-query kernels use — bitwise-identical by construction.
+
+void
+scalarL2SqBatchMulti(const float *const *queries, std::size_t q_count,
+                     const float *base, std::size_t n, std::size_t d,
+                     float *const *out)
+{
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const float *r0 = base + i * d;
+        __builtin_prefetch(r0 + 4 * d, 0, 3);
+        for (std::size_t q = 0; q < q_count; ++q) {
+            const float *query = queries[q];
+            float *o = out[q];
+            o[i] = scalarL2Sq(query, r0, d);
+            o[i + 1] = scalarL2Sq(query, r0 + d, d);
+            o[i + 2] = scalarL2Sq(query, r0 + 2 * d, d);
+            o[i + 3] = scalarL2Sq(query, r0 + 3 * d, d);
+        }
+    }
+    for (; i < n; ++i) {
+        const float *row = base + i * d;
+        for (std::size_t q = 0; q < q_count; ++q)
+            out[q][i] = scalarL2Sq(queries[q], row, d);
+    }
+}
+
+void
+scalarDotBatchMulti(const float *const *queries, std::size_t q_count,
+                    const float *base, std::size_t n, std::size_t d,
+                    float *const *out)
+{
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const float *r0 = base + i * d;
+        __builtin_prefetch(r0 + 4 * d, 0, 3);
+        for (std::size_t q = 0; q < q_count; ++q) {
+            const float *query = queries[q];
+            float *o = out[q];
+            o[i] = scalarDot(query, r0, d);
+            o[i + 1] = scalarDot(query, r0 + d, d);
+            o[i + 2] = scalarDot(query, r0 + 2 * d, d);
+            o[i + 3] = scalarDot(query, r0 + 3 * d, d);
+        }
+    }
+    for (; i < n; ++i) {
+        const float *row = base + i * d;
+        for (std::size_t q = 0; q < q_count; ++q)
+            out[q][i] = scalarDot(queries[q], row, d);
+    }
+}
+
+void
+scalarSq8ScanL2Multi(const float *const *a, const float *b,
+                     std::size_t q_count, const std::uint8_t *codes,
+                     std::size_t n, std::size_t d, float *const *out)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint8_t *code = codes + i * d;
+        __builtin_prefetch(code + 2 * d, 0, 3);
+        for (std::size_t q = 0; q < q_count; ++q) {
+            const float *aq = a[q];
+            float acc = 0.f;
+            for (std::size_t j = 0; j < d; ++j) {
+                float diff = aq[j] - b[j] * static_cast<float>(code[j]);
+                acc += diff * diff;
+            }
+            out[q][i] = acc;
+        }
+    }
+}
+
+void
+scalarSq8ScanIpMulti(const float *const *a, const float *biases,
+                     std::size_t q_count, const std::uint8_t *codes,
+                     std::size_t n, std::size_t d, float *const *out)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint8_t *code = codes + i * d;
+        __builtin_prefetch(code + 2 * d, 0, 3);
+        for (std::size_t q = 0; q < q_count; ++q) {
+            const float *aq = a[q];
+            float acc = 0.f;
+            for (std::size_t j = 0; j < d; ++j)
+                acc += aq[j] * static_cast<float>(code[j]);
+            out[q][i] = -(biases[q] + acc);
+        }
+    }
+}
+
+/*
+ * Transposed-LUT multi-query accumulation (PQ ADC batch scan). The code
+ * list is swept once per 8-query chunk so the chunk's compact table
+ * block (m*entries*8 floats) stays cache-resident; the eight lanes'
+ * accumulator chains live in registers across the sub loop (the
+ * fixed-width block autovectorizes). Each lane is one ascending-sub sum
+ * starting at zero, so lane results are bitwise identical to the AVX2
+ * arm.
+ */
+void
+scalarLutAccumMulti(const float *tlut, std::size_t entries,
+                    std::size_t q_count, const std::uint8_t *codes,
+                    std::size_t n, std::size_t m, float *const *out)
+{
+    const std::size_t chunks = (q_count + 7) / 8;
+    for (std::size_t chunk = 0; chunk < chunks; ++chunk) {
+        const float *table = tlut + chunk * m * entries * 8;
+        const std::size_t q0 = chunk * 8;
+        const std::size_t lanes =
+            q_count - q0 < 8 ? q_count - q0 : std::size_t{8};
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::uint8_t *code = codes + i * m;
+            __builtin_prefetch(code + m, 0, 3);
+            float a0 = 0.f, a1 = 0.f, a2 = 0.f, a3 = 0.f;
+            float a4 = 0.f, a5 = 0.f, a6 = 0.f, a7 = 0.f;
+            for (std::size_t sub = 0; sub < m; ++sub) {
+                const float *row =
+                    table + (sub * entries + code[sub]) * 8;
+                a0 += row[0];
+                a1 += row[1];
+                a2 += row[2];
+                a3 += row[3];
+                a4 += row[4];
+                a5 += row[5];
+                a6 += row[6];
+                a7 += row[7];
+            }
+            float acc[8] = {a0, a1, a2, a3, a4, a5, a6, a7};
+            for (std::size_t t = 0; t < lanes; ++t)
+                out[q0 + t][i] = acc[t];
+        }
+    }
+}
+
 const KernelTable kScalarTable = {
-    "scalar",        scalarL2Sq,      scalarDot,      scalarL2SqBatch,
-    scalarDotBatch,  scalarSq8ScanL2, scalarSq8ScanIp,
+    "scalar",
+    scalarL2Sq,
+    scalarDot,
+    scalarL2SqBatch,
+    scalarDotBatch,
+    scalarSq8ScanL2,
+    scalarSq8ScanIp,
+    scalarL2SqBatchMulti,
+    scalarDotBatchMulti,
+    scalarSq8ScanL2Multi,
+    scalarSq8ScanIpMulti,
+    scalarLutAccumMulti,
 };
 
 // ---------------------------------------------------------------------------

@@ -63,6 +63,64 @@ struct KernelTable
     void (*sq8_scan_ip)(const float *a, float bias,
                         const std::uint8_t *codes, std::size_t n,
                         std::size_t d, float *out);
+
+    /*
+     * Multi-query tiles: score q_count queries against the same n rows in
+     * one pass, so each row is streamed from memory once per *batch*
+     * instead of once per query. Per (query, row) pair the reduction
+     * order is identical to the single-query kernels above — the parity
+     * tests assert bitwise equality, which is what lets the list-major
+     * IVF path guarantee bit-identical results to the per-query path.
+     */
+
+    /** out[q][i] = l2Sq(queries[q], base + i*d) for q < q_count, i < n. */
+    void (*l2_sq_batch_multi)(const float *const *queries,
+                              std::size_t q_count, const float *base,
+                              std::size_t n, std::size_t d,
+                              float *const *out);
+
+    /** out[q][i] = dot(queries[q], base + i*d) for q < q_count, i < n. */
+    void (*dot_batch_multi)(const float *const *queries, std::size_t q_count,
+                            const float *base, std::size_t n, std::size_t d,
+                            float *const *out);
+
+    /** Multi-query fused SQ8 L2: per-query a[] operands, shared b[]. */
+    void (*sq8_scan_l2_multi)(const float *const *a, const float *b,
+                              std::size_t q_count, const std::uint8_t *codes,
+                              std::size_t n, std::size_t d,
+                              float *const *out);
+
+    /** Multi-query fused SQ8 IP: per-query a[] operands and biases. */
+    void (*sq8_scan_ip_multi)(const float *const *a, const float *biases,
+                              std::size_t q_count, const std::uint8_t *codes,
+                              std::size_t n, std::size_t d,
+                              float *const *out);
+
+    /**
+     * Multi-query transposed-LUT accumulation (the PQ/OPQ ADC batch
+     * scan). The caller lays the per-query lookup tables out in padded
+     * chunk-major transposed form: queries are grouped into chunks of 8
+     * lanes (ceil(q_count/8) chunks, trailing lanes zero-padded), and
+     *
+     *   tlut[(chunk*m + sub)*entries*8 + c*8 + t]
+     *
+     * holds query (chunk*8 + t)'s table entry for subquantizer sub, code
+     * byte c. One code byte then resolves to one contiguous 8-float row,
+     * and each chunk's table is a compact m*entries*8-float block that
+     * stays cache-resident while the kernel sweeps the code list once
+     * per chunk:
+     *
+     *   out[q][i] = sum_{sub<m} table of q's chunk at
+     *               (sub*entries + codes[i*m+sub])*8 + (q%8)
+     *
+     * Every lane is a single ascending-sub add chain (no products), so
+     * results are bitwise identical across arms and to the per-query
+     * gather loop in the codec's single-query scan.
+     */
+    void (*lut_accum_multi)(const float *tlut, std::size_t entries,
+                            std::size_t q_count, const std::uint8_t *codes,
+                            std::size_t n, std::size_t m,
+                            float *const *out);
 };
 
 /** Portable scalar arm (always available; identical math to the seed). */

@@ -5,15 +5,20 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <filesystem>
 #include <set>
+#include <stdexcept>
 
 #include "eval/ground_truth.hpp"
 #include "eval/metrics.hpp"
 #include "index/flat_index.hpp"
 #include "index/hnsw_index.hpp"
 #include "index/ivf_index.hpp"
+#include "serve/node.hpp"
 #include "util/rng.hpp"
+#include "util/threadpool.hpp"
+#include "vecstore/simd_dispatch.hpp"
 #include "workload/corpus.hpp"
 
 namespace {
@@ -452,6 +457,266 @@ TEST(IndexFactory, FactoryIndicesSearchable)
         auto hits = idx->search(data.queries.row(0), 5, params);
         EXPECT_EQ(hits.size(), 5u) << spec;
     }
+}
+
+vecstore::Matrix
+randomMatrix(std::size_t rows, std::size_t dim, std::uint64_t seed)
+{
+    util::Rng rng(seed);
+    Matrix m(rows, dim);
+    for (std::size_t i = 0; i < rows; ++i) {
+        auto row = m.row(i);
+        for (std::size_t j = 0; j < dim; ++j)
+            row[j] = static_cast<float>(rng.gaussian());
+    }
+    return m;
+}
+
+/** Restores the startup dispatch arm when a test returns. */
+class IsaGuard
+{
+  public:
+    IsaGuard() : name_(vecstore::simd::activeIsa()) {}
+    ~IsaGuard() { vecstore::simd::forceIsaForTesting(name_.c_str()); }
+
+  private:
+    std::string name_;
+};
+
+/**
+ * The list-major searchBatch contract: hit lists AND per-query stats are
+ * bit-identical to the seed per-query loop. Exercised across every
+ * codec, both metrics, pruning on/off and both dispatch arms.
+ */
+void
+expectBatchMatchesPerQuery(const IvfIndex &ivf, const Matrix &queries,
+                           std::size_t k, const SearchParams &params,
+                           const std::string &what)
+{
+    std::vector<SearchStats> batch_stats;
+    auto batch = ivf.searchBatch(queries, k, params, &batch_stats);
+    ASSERT_EQ(batch.size(), queries.rows()) << what;
+    ASSERT_EQ(batch_stats.size(), queries.rows()) << what;
+    for (std::size_t q = 0; q < queries.rows(); ++q) {
+        SearchStats ref_stats;
+        auto ref = ivf.search(queries.row(q), k, params, &ref_stats);
+        ASSERT_EQ(batch[q].size(), ref.size()) << what << " q=" << q;
+        for (std::size_t i = 0; i < ref.size(); ++i) {
+            EXPECT_EQ(batch[q][i].id, ref[i].id)
+                << what << " q=" << q << " rank=" << i;
+            EXPECT_EQ(batch[q][i].score, ref[i].score)
+                << what << " q=" << q << " rank=" << i;
+        }
+        EXPECT_EQ(batch_stats[q].lists_probed, ref_stats.lists_probed)
+            << what << " q=" << q;
+        EXPECT_EQ(batch_stats[q].vectors_scanned, ref_stats.vectors_scanned)
+            << what << " q=" << q;
+        EXPECT_EQ(batch_stats[q].distance_computations,
+                  ref_stats.distance_computations)
+            << what << " q=" << q;
+        EXPECT_EQ(batch_stats[q].bytes_scanned, ref_stats.bytes_scanned)
+            << what << " q=" << q;
+    }
+}
+
+TEST(IvfBatchParity, ListMajorMatchesPerQueryAllCodecs)
+{
+    const std::size_t d = 24;
+    auto base = randomMatrix(1200, d, 71);
+    auto queries = randomMatrix(10, d, 72);
+    IsaGuard guard;
+    for (const char *spec : {"Flat", "SQ8", "SQ4", "PQ8", "OPQ8"}) {
+        for (Metric metric : {Metric::L2, Metric::InnerProduct}) {
+            IvfConfig config;
+            config.nlist = 16;
+            config.codec = spec;
+            IvfIndex ivf(d, metric, config);
+            ivf.train(base);
+            ivf.addSequential(base);
+            for (const char *arm : {"scalar", "avx2"}) {
+                if (!vecstore::simd::forceIsaForTesting(arm))
+                    continue;
+                for (double prune : {0.0, 1.2}) {
+                    SearchParams params;
+                    params.nprobe = 5;
+                    params.prune_ratio = prune;
+                    // Pin the list-major arm: the test corpus is far
+                    // below the cost cutover's default floor.
+                    params.batch_min_scan_floats = 0;
+                    expectBatchMatchesPerQuery(
+                        ivf, queries, 10, params,
+                        std::string(spec) + "/" +
+                            vecstore::metricName(metric) + "/" + arm +
+                            "/prune=" + std::to_string(prune));
+                }
+            }
+        }
+    }
+}
+
+TEST(IvfBatchParity, OddDimAndEdgeShapes)
+{
+    // Codecs without divisibility constraints (SQ4 needs an even dim) at
+    // an odd dim, plus the degenerate shapes: k > list contents,
+    // nprobe > nlist, Q = 1 (delegates to the single-query path).
+    const std::size_t d = 25;
+    auto base = randomMatrix(400, d, 73);
+    auto queries = randomMatrix(6, d, 74);
+    for (const char *spec : {"Flat", "SQ8"}) {
+        IvfConfig config;
+        config.nlist = 8;
+        config.codec = spec;
+        IvfIndex ivf(d, Metric::L2, config);
+        ivf.train(base);
+        ivf.addSequential(base);
+        SearchParams params;
+        params.nprobe = 32; // clamped to nlist
+        params.batch_min_scan_floats = 0;
+        expectBatchMatchesPerQuery(ivf, queries, 500, params,
+                                   std::string(spec) + " odd-dim");
+        Matrix one(1, d);
+        std::copy(queries.row(0).data(), queries.row(0).data() + d,
+                  one.row(0).data());
+        expectBatchMatchesPerQuery(ivf, one, 5, params,
+                                   std::string(spec) + " single-query");
+    }
+}
+
+TEST(IvfBatchParity, CostCutoverPreservesResults)
+{
+    // A corpus far below the default batch_min_scan_floats floor takes
+    // the per-query fallback inside searchBatch; forcing the floor to 0
+    // pins the list-major arm. Both must agree bit for bit.
+    const std::size_t d = 24;
+    auto base = randomMatrix(900, d, 77);
+    auto queries = randomMatrix(7, d, 78);
+    IvfConfig config;
+    config.nlist = 12;
+    config.codec = "SQ8";
+    IvfIndex ivf(d, Metric::L2, config);
+    ivf.train(base);
+    ivf.addSequential(base);
+
+    SearchParams fallback; // default floor >> 900 * d
+    fallback.nprobe = 4;
+    SearchParams forced = fallback;
+    forced.batch_min_scan_floats = 0;
+
+    std::vector<SearchStats> sa, sb;
+    auto a = ivf.searchBatch(queries, 10, fallback, &sa);
+    auto b = ivf.searchBatch(queries, 10, forced, &sb);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t q = 0; q < a.size(); ++q) {
+        ASSERT_EQ(a[q].size(), b[q].size()) << "q=" << q;
+        for (std::size_t i = 0; i < a[q].size(); ++i) {
+            EXPECT_EQ(a[q][i].id, b[q][i].id) << "q=" << q;
+            EXPECT_EQ(a[q][i].score, b[q][i].score) << "q=" << q;
+        }
+    }
+}
+
+TEST(IvfBatchParity, HnswCoarseBatchMatchesPerQuery)
+{
+    const std::size_t d = 24;
+    auto base = randomMatrix(1500, d, 75);
+    auto queries = randomMatrix(8, d, 76);
+    IvfConfig config;
+    config.nlist = 64;
+    config.codec = "SQ8";
+    config.hnsw_coarse = true;
+    IvfIndex ivf(d, Metric::L2, config);
+    ivf.train(base);
+    ivf.addSequential(base);
+    for (double prune : {0.0, 1.5}) {
+        SearchParams params;
+        params.nprobe = 6;
+        params.prune_ratio = prune;
+        params.batch_min_scan_floats = 0;
+        expectBatchMatchesPerQuery(ivf, queries, 10, params,
+                                   "hnsw_coarse prune=" +
+                                       std::to_string(prune));
+    }
+}
+
+/**
+ * Wraps an exact index and injects a fault (serve::FaultInjector odds)
+ * on queries whose first component carries the poison marker — a
+ * deterministic stand-in for a query that faults mid-batch.
+ */
+class FaultyIndex : public AnnIndex
+{
+  public:
+    FaultyIndex(const FlatIndex &inner, const serve::FaultInjector &faults)
+        : inner_(inner), faults_(faults), rng_(faults.seed)
+    {
+    }
+
+    std::size_t dim() const override { return inner_.dim(); }
+    std::size_t size() const override { return inner_.size(); }
+    vecstore::Metric metric() const override { return inner_.metric(); }
+    bool isTrained() const override { return true; }
+    void train(const Matrix &) override {}
+    void
+    add(const Matrix &, const std::vector<vecstore::VecId> &) override
+    {
+        throw std::logic_error("read-only wrapper");
+    }
+    std::size_t memoryBytes() const override { return 0; }
+    std::string name() const override { return "Faulty"; }
+
+    vecstore::HitList
+    search(vecstore::VecView query, std::size_t k,
+           const SearchParams &params,
+           SearchStats *stats) const override
+    {
+        if (query.data()[0] > 1e29f &&
+            rng_.uniform() < faults_.fail_probability)
+            throw std::runtime_error("injected query fault");
+        return inner_.search(query, k, params, stats);
+    }
+
+  private:
+    const FlatIndex &inner_;
+    serve::FaultInjector faults_;
+    mutable util::Rng rng_;
+};
+
+TEST(AnnIndex, SearchBatchParallelKeepsStatsWhenQueryThrows)
+{
+    // Regression: searchBatchParallel used to drop the whole batch's
+    // merged stats when any query threw mid-parallelFor; completed
+    // queries' counters must survive the rethrow.
+    const std::size_t d = 16;
+    const std::size_t n = 300;
+    auto base = randomMatrix(n, d, 81);
+    FlatIndex flat(d, Metric::L2);
+    flat.addSequential(base);
+
+    serve::FaultInjector faults;
+    faults.fail_probability = 1.0;
+    FaultyIndex faulty(flat, faults);
+
+    auto queries = randomMatrix(8, d, 82);
+    queries.row(queries.rows() - 1)[0] = 1e30f; // poison last row
+
+    // One worker drains the greedy counter in order, so every query
+    // before the poisoned one completes before the throw.
+    util::ThreadPool pool(1);
+    SearchStats stats;
+    EXPECT_THROW(faulty.searchBatchParallel(queries, 5, pool, {}, &stats),
+                 std::runtime_error);
+    EXPECT_EQ(stats.vectors_scanned, (queries.rows() - 1) * n);
+    EXPECT_EQ(stats.bytes_scanned,
+              (queries.rows() - 1) * n * d * sizeof(float));
+
+    // Fault disabled: identical results to the serial batch, no throw.
+    serve::FaultInjector off;
+    FaultyIndex clean(flat, off);
+    SearchStats par_stats, seq_stats;
+    auto par = clean.searchBatchParallel(queries, 5, pool, {}, &par_stats);
+    auto seq = flat.searchBatch(queries, 5, {}, &seq_stats);
+    EXPECT_EQ(par, seq);
+    EXPECT_EQ(par_stats.vectors_scanned, seq_stats.vectors_scanned);
 }
 
 TEST(AnnIndex, InnerProductMetricRanksByDotProduct)

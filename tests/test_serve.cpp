@@ -196,6 +196,132 @@ TEST(HermesBroker, ConcurrentClientsGetConsistentResults)
     EXPECT_EQ(broker.stats().queries, 16u);
 }
 
+TEST(RetrievalNode, MicroBatchCoalescesAndMatchesDirectSearch)
+{
+    const auto &data = serveData();
+    const auto &shard = data.store->clusterIndex(0);
+    serve::NodeConfig config;
+    config.max_batch = 32;
+    config.batch_window_us = 20000.0; // 20 ms: plenty to co-batch
+    serve::RetrievalNode node(shard, config);
+
+    index::SearchParams params;
+    params.nprobe = 4;
+    // Mixed k values in the same drain: the node groups compatible
+    // requests and must still answer each with its own k.
+    std::vector<std::size_t> ks;
+    std::vector<std::future<serve::NodeResponse>> futures;
+    for (std::size_t q = 0; q < 24; ++q) {
+        std::size_t k = q % 3 == 0 ? 3 : 5;
+        ks.push_back(k);
+        futures.push_back(
+            node.submit(data.queries.embeddings.row(q), k, params));
+    }
+    for (std::size_t q = 0; q < futures.size(); ++q) {
+        auto response = futures[q].get();
+        auto direct =
+            shard.search(data.queries.embeddings.row(q), ks[q], params);
+        ASSERT_EQ(response.hits.size(), direct.size()) << "query " << q;
+        for (std::size_t i = 0; i < direct.size(); ++i) {
+            EXPECT_EQ(response.hits[i].id, direct[i].id)
+                << "query " << q << " rank " << i;
+            EXPECT_EQ(response.hits[i].score, direct[i].score)
+                << "query " << q << " rank " << i;
+        }
+    }
+    auto stats = node.stats();
+    EXPECT_EQ(stats.requests, 24u);
+    // The window must have coalesced the burst into far fewer drains.
+    EXPECT_LE(stats.batches, 12u);
+}
+
+TEST(HermesBroker, MicroBatchingMatchesWindowZeroResults)
+{
+    // Opt-in micro-batching is a scheduling change only: under
+    // concurrent clients the batched broker must return bit-identical
+    // results to the in-process reference (same contract the window=0
+    // broker is held to above).
+    const auto &data = serveData();
+    serve::BrokerConfig config;
+    config.node.batch_window_us = 500.0;
+    config.node.max_batch = 16;
+    serve::HermesBroker broker(*data.store, config);
+    core::HermesSearch reference(*data.store);
+
+    std::vector<vecstore::HitList> expected;
+    for (std::size_t q = 0; q < 16; ++q)
+        expected.push_back(
+            reference.search(data.queries.embeddings.row(q), 5).hits);
+
+    std::atomic<int> mismatches{0};
+    std::vector<std::thread> clients;
+    for (int t = 0; t < 4; ++t) {
+        clients.emplace_back([&, t] {
+            for (std::size_t q = t; q < 16; q += 4) {
+                auto hits =
+                    broker.search(data.queries.embeddings.row(q), 5);
+                if (hits.size() != expected[q].size()) {
+                    ++mismatches;
+                    continue;
+                }
+                for (std::size_t i = 0; i < hits.size(); ++i) {
+                    if (hits[i].id != expected[q][i].id ||
+                        hits[i].score != expected[q][i].score)
+                        ++mismatches;
+                }
+            }
+        });
+    }
+    for (auto &client : clients)
+        client.join();
+    EXPECT_EQ(mismatches.load(), 0);
+    auto stats = broker.stats();
+    EXPECT_EQ(stats.queries, 16u);
+    EXPECT_EQ(stats.timeouts, 0u);
+    EXPECT_EQ(stats.degraded_queries, 0u);
+}
+
+TEST(HermesBroker, PathologicalWindowStillHonorsDeadlines)
+{
+    // A window longer than the node deadline must not hang or throw:
+    // the deadline clock starts at submit and covers queue time, so the
+    // query times out, retries, and degrades exactly as a dead node
+    // would under PR 1 semantics.
+    const auto &data = serveData();
+    serve::BrokerConfig config;
+    config.node.batch_window_us = 400000.0; // 0.4 s hold
+    config.node_deadline_ms = 60.0;
+    config.max_retries = 0;
+    serve::HermesBroker broker(*data.store, config);
+
+    auto hits = broker.search(data.queries.embeddings.row(0), 5);
+    auto stats = broker.stats();
+    EXPECT_EQ(stats.queries, 1u);
+    EXPECT_GT(stats.timeouts, 0u);
+    EXPECT_EQ(stats.degraded_queries, 1u);
+    // Nothing arrived in time, so the degraded answer may be empty —
+    // but the call returned within deadlines instead of blocking on the
+    // window.
+    EXPECT_LE(hits.size(), 5u);
+}
+
+TEST(HermesBroker, LoadReportExposesBatchOccupancy)
+{
+    const auto &data = serveData();
+    serve::BrokerConfig config;
+    config.node.batch_window_us = 500.0;
+    serve::HermesBroker broker(*data.store, config);
+    for (std::size_t q = 0; q < 8; ++q)
+        broker.search(data.queries.embeddings.row(q), 5);
+
+    auto load = broker.loadReport();
+    ASSERT_EQ(load.clusters.size(), data.store->numClusters());
+    for (const auto &cluster : load.clusters)
+        EXPECT_GE(cluster.batch_occupancy, 1.0);
+    EXPECT_NE(load.toJson().find("\"batch_occupancy\""),
+              std::string::npos);
+}
+
 TEST(HermesBroker, AdaptiveConfigPrunesDeepRequests)
 {
     const auto &data = serveData();

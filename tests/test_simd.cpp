@@ -16,6 +16,7 @@
 #include <cmath>
 #include <cstring>
 #include <limits>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -256,6 +257,179 @@ TEST(CodecScan, OddDimFlatAndSq8)
                     (*computer)(codes.data() + i * codec->codeSize());
                 expectClose(one, batch[i],
                             std::string(spec) + " odd-dim scan");
+            }
+        }
+    }
+}
+
+TEST(SimdDispatch, MultiQueryKernelsMatchSingleQueryBatch)
+{
+    // The list-major contract is bit-parity, not ulp-parity: the multi
+    // kernels must replay each (query, row) reduction in exactly the
+    // single-query order, so the comparison is ==, both arms, including
+    // the 2-query pairing remainder (odd Q) and the row tail (n % 4).
+    std::vector<const KernelTable *> arms = {
+        &vecstore::simd::scalarKernels()};
+    if (vecstore::simd::avx2Kernels() != nullptr)
+        arms.push_back(vecstore::simd::avx2Kernels());
+    util::Rng rng(71);
+    const std::size_t n = 37;
+    for (const KernelTable *kt : arms) {
+        for (std::size_t d : kDims) {
+            for (std::size_t q_count : {1, 2, 3, 5, 8}) {
+                std::vector<std::vector<float>> queries;
+                std::vector<const float *> query_ptrs;
+                for (std::size_t q = 0; q < q_count; ++q) {
+                    queries.push_back(randomVec(rng, d));
+                    query_ptrs.push_back(queries.back().data());
+                }
+                auto buf = randomVec(rng, n * d + 1);
+                const float *base = buf.data() + 1; // unaligned rows
+                std::vector<std::vector<float>> multi(
+                    q_count, std::vector<float>(n));
+                std::vector<float *> out_ptrs;
+                for (auto &out : multi)
+                    out_ptrs.push_back(out.data());
+                std::vector<float> ref(n);
+
+                kt->l2_sq_batch_multi(query_ptrs.data(), q_count, base, n,
+                                      d, out_ptrs.data());
+                for (std::size_t q = 0; q < q_count; ++q) {
+                    kt->l2_sq_batch(query_ptrs[q], base, n, d, ref.data());
+                    for (std::size_t i = 0; i < n; ++i)
+                        EXPECT_EQ(ref[i], multi[q][i])
+                            << kt->name << " l2 multi d=" << d << " Q="
+                            << q_count << " q=" << q << " row=" << i;
+                }
+
+                kt->dot_batch_multi(query_ptrs.data(), q_count, base, n,
+                                    d, out_ptrs.data());
+                for (std::size_t q = 0; q < q_count; ++q) {
+                    kt->dot_batch(query_ptrs[q], base, n, d, ref.data());
+                    for (std::size_t i = 0; i < n; ++i)
+                        EXPECT_EQ(ref[i], multi[q][i])
+                            << kt->name << " dot multi d=" << d << " Q="
+                            << q_count << " q=" << q << " row=" << i;
+                }
+            }
+        }
+    }
+}
+
+TEST(SimdDispatch, Sq8MultiScanMatchesSingleScan)
+{
+    // Same ==-parity contract for the fused SQ8 scans: the multi kernel
+    // shares the dequant loads across query pairs but must keep each
+    // query's accumulation order identical to the single-query scan.
+    std::vector<const KernelTable *> arms = {
+        &vecstore::simd::scalarKernels()};
+    if (vecstore::simd::avx2Kernels() != nullptr)
+        arms.push_back(vecstore::simd::avx2Kernels());
+    util::Rng rng(72);
+    const std::size_t n = 33;
+    for (const KernelTable *kt : arms) {
+        for (std::size_t d : kDims) {
+            for (std::size_t q_count : {1, 3, 6}) {
+                auto b = randomVec(rng, d);
+                for (auto &x : b)
+                    x /= 255.f;
+                std::vector<std::vector<float>> as;
+                std::vector<const float *> a_ptrs;
+                std::vector<float> biases;
+                for (std::size_t q = 0; q < q_count; ++q) {
+                    as.push_back(randomVec(rng, d));
+                    for (auto &x : as.back())
+                        x /= 255.f;
+                    a_ptrs.push_back(as.back().data());
+                    biases.push_back(
+                        static_cast<float>(rng.gaussian()));
+                }
+                std::vector<std::uint8_t> codes(n * d);
+                for (auto &c : codes)
+                    c = static_cast<std::uint8_t>(rng.uniformInt(256));
+                std::vector<std::vector<float>> multi(
+                    q_count, std::vector<float>(n));
+                std::vector<float *> out_ptrs;
+                for (auto &out : multi)
+                    out_ptrs.push_back(out.data());
+                std::vector<float> ref(n);
+
+                kt->sq8_scan_l2_multi(a_ptrs.data(), b.data(), q_count,
+                                      codes.data(), n, d, out_ptrs.data());
+                for (std::size_t q = 0; q < q_count; ++q) {
+                    kt->sq8_scan_l2(a_ptrs[q], b.data(), codes.data(), n,
+                                    d, ref.data());
+                    for (std::size_t i = 0; i < n; ++i)
+                        EXPECT_EQ(ref[i], multi[q][i])
+                            << kt->name << " sq8 l2 multi d=" << d
+                            << " q=" << q << " row=" << i;
+                }
+
+                kt->sq8_scan_ip_multi(a_ptrs.data(), biases.data(),
+                                      q_count, codes.data(), n, d,
+                                      out_ptrs.data());
+                for (std::size_t q = 0; q < q_count; ++q) {
+                    kt->sq8_scan_ip(a_ptrs[q], biases[q], codes.data(), n,
+                                    d, ref.data());
+                    for (std::size_t i = 0; i < n; ++i)
+                        EXPECT_EQ(ref[i], multi[q][i])
+                            << kt->name << " sq8 ip multi d=" << d
+                            << " q=" << q << " row=" << i;
+                }
+            }
+        }
+    }
+}
+
+TEST(CodecScan, ScanMultiMatchesPerQueryScanAllCodecs)
+{
+    // scanMulti must be bit-identical to per-query scan for every codec
+    // and metric on whichever dispatch arms this machine has.
+    const std::size_t d = 96;
+    const std::size_t n = 300;
+    const std::size_t q_count = 5;
+    auto data = randomMatrix(512, d, 73);
+    auto queries = randomMatrix(q_count, d, 74);
+    IsaGuard guard;
+    for (const char *arm : {"scalar", "avx2"}) {
+        if (!vecstore::simd::forceIsaForTesting(arm))
+            continue;
+        for (const char *spec : {"Flat", "SQ8", "SQ4", "PQ16", "OPQ8"}) {
+            auto codec = quant::makeCodec(spec, d);
+            codec->train(data);
+            std::vector<std::uint8_t> codes(n * codec->codeSize());
+            for (std::size_t i = 0; i < n; ++i)
+                codec->encode(data.row(i % data.rows()),
+                              codes.data() + i * codec->codeSize());
+            for (Metric metric : {Metric::L2, Metric::InnerProduct}) {
+                std::vector<std::unique_ptr<quant::DistanceComputer>>
+                    computers;
+                std::vector<const quant::DistanceComputer *> peers;
+                for (std::size_t q = 0; q < q_count; ++q) {
+                    computers.push_back(
+                        codec->distanceComputer(metric, queries.row(q)));
+                    peers.push_back(computers.back().get());
+                }
+                std::vector<std::vector<float>> multi(
+                    q_count, std::vector<float>(n));
+                std::vector<float *> out_ptrs;
+                for (auto &out : multi)
+                    out_ptrs.push_back(out.data());
+                std::vector<float> thresholds(
+                    q_count, std::numeric_limits<float>::max());
+                peers[0]->scanMulti(peers.data(), q_count, codes.data(),
+                                    n, thresholds.data(), out_ptrs.data());
+                std::vector<float> ref(n);
+                for (std::size_t q = 0; q < q_count; ++q) {
+                    computers[q]->scan(
+                        codes.data(), n,
+                        std::numeric_limits<float>::max(), ref.data());
+                    for (std::size_t i = 0; i < n; ++i)
+                        EXPECT_EQ(ref[i], multi[q][i])
+                            << arm << "/" << spec << "/"
+                            << vecstore::metricName(metric) << " q=" << q
+                            << " row=" << i;
+                }
             }
         }
     }

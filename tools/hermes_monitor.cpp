@@ -178,17 +178,18 @@ main(int argc, char **argv)
             double max_deep = 1.0;
             for (const Value &c : clusters->items())
                 max_deep = std::max(max_deep, num(c, "deep_requests"));
-            std::printf("%-4s %-9s %-8s %-8s %-6s %-6s %-8s %-22s\n",
+            std::printf("%-4s %-9s %-8s %-8s %-6s %-5s %-6s %-8s %-22s\n",
                         "node", "shard", "sample", "deep", "queue",
-                        "util", "energy", "deep load");
+                        "occ", "util", "energy", "deep load");
             for (const Value &c : clusters->items()) {
                 double deep = num(c, "deep_requests");
                 int bar = static_cast<int>(20.0 * deep / max_deep + 0.5);
-                std::printf("%-4.0f %-9.0f %-8.0f %-8.0f %-6.0f "
+                std::printf("%-4.0f %-9.0f %-8.0f %-8.0f %-6.0f %-5.2f "
                             "%5.1f%% %7.1fJ %.*s\n",
                             num(c, "cluster"), num(c, "shard_vectors"),
                             num(c, "sample_requests"), deep,
                             num(c, "queue_depth"),
+                            num(c, "batch_occupancy"),
                             num(c, "utilization") * 100.0,
                             num(c, "energy_joules"), bar,
                             "####################");
