@@ -11,7 +11,17 @@
  *                     [--trace-out=PATH] [--trace-sample=N]
  *                     [--http-port=PORT] [--duration=SECONDS]
  *                     [--batch-window-us=N] [--max-batch=N] [--dim=N]
- *                     [--nlist=N]
+ *                     [--nlist=N] [--remote-nodes=host:port,host:port,...]
+ *
+ * --remote-nodes switches the broker to the out-of-process fleet: one
+ * RemoteNodeClient per listed hermes_shard endpoint (in cluster order)
+ * instead of in-process worker nodes. The demo then builds no store of
+ * its own — only the corpus for query synthesis — and num_clusters
+ * becomes the endpoint count, so launch the shards with a matching
+ * --clusters (and matching corpus flags). Fault-injection positionals
+ * are ignored in this mode; inject faults on the shard processes
+ * instead. On an identical fleet the merged results are bit-identical
+ * to the in-process run.
  *
  * --batch-window-us opts the nodes into micro-batching: concurrent
  * clients' requests landing on the same node within the window are
@@ -39,10 +49,12 @@
  * what was lost.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -64,6 +76,23 @@ matchOption(const char *arg, const char *name)
     return nullptr;
 }
 
+/** Split a comma-separated endpoint list, dropping empty entries. */
+std::vector<std::string>
+splitEndpoints(const std::string &spec)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= spec.size()) {
+        std::size_t comma = spec.find(',', start);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        if (comma > start)
+            out.push_back(spec.substr(start, comma - start));
+        start = comma + 1;
+    }
+    return out;
+}
+
 } // namespace
 
 int
@@ -83,6 +112,7 @@ main(int argc, char **argv)
     std::size_t max_batch = 0;
     std::size_t dim = 32;
     std::size_t nlist = 0;
+    std::string remote_nodes;
     std::vector<char *> positional;
     for (int i = 0; i < argc; ++i) {
         if (const char *v = matchOption(argv[i], "--metrics-json"))
@@ -107,6 +137,8 @@ main(int argc, char **argv)
             dim = std::strtoul(v, nullptr, 10);
         else if (const char *v = matchOption(argv[i], "--nlist"))
             nlist = std::strtoul(v, nullptr, 10);
+        else if (const char *v = matchOption(argv[i], "--remote-nodes"))
+            remote_nodes = v;
         else
             positional.push_back(argv[i]);
     }
@@ -125,21 +157,26 @@ main(int argc, char **argv)
     double drop_prob = argc > 5 ? std::strtod(argv[5], nullptr) : 0.0;
     double delay_ms = argc > 6 ? std::strtod(argv[6], nullptr) : 0.0;
 
-    // Build the distributed store.
+    // Build the corpus (and, when serving in-process, the store).
     workload::CorpusConfig cc;
     cc.num_docs = num_docs;
     cc.dim = dim;
     cc.num_topics = 30;
     auto corpus = workload::generateCorpus(cc);
 
+    std::vector<std::string> endpoints = splitEndpoints(remote_nodes);
+
     core::HermesConfig config;
-    config.num_clusters = 10;
-    config.clusters_to_search = 3;
+    config.num_clusters = endpoints.empty() ? 10 : endpoints.size();
+    config.clusters_to_search =
+        std::min<std::size_t>(3, config.num_clusters);
     config.sample_nprobe = 4;
     config.deep_nprobe = 32;
     config.partition.seeds_to_try = 3;
     config.nlist_per_cluster = nlist;
-    auto store = core::DistributedStore::build(corpus.embeddings, config);
+    std::optional<core::DistributedStore> store;
+    if (endpoints.empty())
+        store = core::DistributedStore::build(corpus.embeddings, config);
 
     workload::QueryConfig qc;
     qc.num_queries = clients * per_client;
@@ -157,15 +194,75 @@ main(int argc, char **argv)
     broker_config.node.faults.delay_ms = delay_ms;
     if (drop_prob > 0.0)
         broker_config.node_deadline_ms = 250.0; // make dead nodes cheap
-    serve::HermesBroker broker(store, broker_config);
-    if (duration > 0.0) {
-        std::printf("serving %zu vectors over %zu node workers; %zu "
-                    "clients for %.1f s\n", store.totalVectors(),
-                    broker.numNodes(), clients, duration);
+
+    // Per-node shard sizes for the load table: from the store when
+    // in-process, from each shard's Health RPC when remote.
+    std::vector<std::size_t> shard_sizes(config.num_clusters, 0);
+    std::unique_ptr<serve::HermesBroker> broker;
+    if (endpoints.empty()) {
+        for (std::size_t c = 0; c < config.num_clusters; ++c)
+            shard_sizes[c] = store->clusterSize(c);
+        broker = std::make_unique<serve::HermesBroker>(*store,
+                                                       broker_config);
     } else {
-        std::printf("serving %zu vectors over %zu node workers; %zu "
-                    "clients x %zu queries\n", store.totalVectors(),
-                    broker.numNodes(), clients, per_client);
+        std::vector<std::unique_ptr<serve::NodeClient>> nodes;
+        for (std::size_t c = 0; c < endpoints.size(); ++c) {
+            serve::RemoteNodeOptions ro;
+            if (!serve::parseEndpoint(endpoints[c], ro.host, ro.port)) {
+                std::fprintf(stderr, "bad endpoint: %s\n",
+                             endpoints[c].c_str());
+                return 2;
+            }
+            ro.request_deadline_ms = broker_config.node_deadline_ms;
+            auto client =
+                std::make_unique<serve::RemoteNodeClient>(std::move(ro));
+            // Wait briefly for the shard to answer health — fleets come
+            // up process by process — then fail loudly on a dim
+            // mismatch, which would otherwise surface as per-query
+            // BadRequest noise.
+            serve::rpc::HealthResponse health;
+            bool up = false;
+            for (int attempt = 0; attempt < 20 && !up; ++attempt) {
+                up = client->health(&health);
+                if (!up)
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(250));
+            }
+            if (!up) {
+                std::fprintf(stderr, "shard %s unreachable\n",
+                             endpoints[c].c_str());
+                return 1;
+            }
+            if (health.dim != dim) {
+                std::fprintf(stderr,
+                             "shard %s serves dim %llu, demo runs dim "
+                             "%zu — corpus flags must match\n",
+                             endpoints[c].c_str(),
+                             static_cast<unsigned long long>(health.dim),
+                             dim);
+                return 1;
+            }
+            shard_sizes[c] =
+                static_cast<std::size_t>(health.shard_vectors);
+            nodes.push_back(std::move(client));
+        }
+        broker = std::make_unique<serve::HermesBroker>(
+            config, std::move(nodes), broker_config);
+    }
+
+    std::size_t total_vectors = 0;
+    for (std::size_t n : shard_sizes)
+        total_vectors += n;
+    const char *node_kind = endpoints.empty() ? "node workers"
+                                              : "remote shards";
+    if (duration > 0.0) {
+        std::printf("serving %zu vectors over %zu %s; %zu "
+                    "clients for %.1f s\n", total_vectors,
+                    broker->numNodes(), node_kind, clients, duration);
+    } else {
+        std::printf("serving %zu vectors over %zu %s; %zu "
+                    "clients x %zu queries\n", total_vectors,
+                    broker->numNodes(), node_kind, clients, per_client);
     }
 
     // Embedded observability: HTTP endpoint + periodic file flushes,
@@ -177,7 +274,7 @@ main(int argc, char **argv)
         options.port = static_cast<std::uint16_t>(http_port);
         exporter = std::make_unique<obs::Exporter>(options);
         exporter->setHandler("/load", [&broker] {
-            return broker.loadReport().toJson();
+            return broker->loadReport().toJson();
         });
         if (exporter->start()) {
             std::printf("metrics endpoint: http://127.0.0.1:%u  "
@@ -208,13 +305,13 @@ main(int argc, char **argv)
                 while (timer.elapsedSeconds() < duration) {
                     std::size_t q = (t * per_client + sent) %
                         queries.embeddings.rows();
-                    broker.search(queries.embeddings.row(q), 5);
+                    broker->search(queries.embeddings.row(q), 5);
                     ++sent;
                 }
             } else {
                 for (std::size_t i = 0; i < per_client; ++i) {
                     std::size_t q = t * per_client + i;
-                    broker.search(queries.embeddings.row(q), 5);
+                    broker->search(queries.embeddings.row(q), 5);
                 }
             }
             client_seconds[t] = timer.elapsedSeconds();
@@ -224,7 +321,7 @@ main(int argc, char **argv)
         thread.join();
     double elapsed = wall.elapsedSeconds();
 
-    auto stats = broker.stats();
+    auto stats = broker->stats();
     std::printf("\nserved %llu queries in %.3f s => %.0f QPS aggregate\n",
                 static_cast<unsigned long long>(stats.queries), elapsed,
                 static_cast<double>(stats.queries) / elapsed);
@@ -267,7 +364,7 @@ main(int argc, char **argv)
                 static_cast<double>(node.batches)
             : 0.0;
         std::printf("%-6zu %-10zu %-10llu %-10llu %-6.2f %-12.1f\n", c,
-                    store.clusterSize(c),
+                    shard_sizes[c],
                     static_cast<unsigned long long>(node.requests),
                     static_cast<unsigned long long>(node.batches), occ,
                     node.busy_seconds * 1e3);
@@ -278,7 +375,7 @@ main(int argc, char **argv)
                 "query per node; the surplus is deep-search skew.\n");
 
     // Fleet summary from the same LoadReport the /load endpoint serves.
-    auto load = broker.loadReport();
+    auto load = broker->loadReport();
     std::printf("\nload report: max/mean deep load %.2f, fitted zipf "
                 "~%.2f, modeled energy %.1f J (%.2f J/query)\n",
                 load.max_mean_ratio, load.zipf_exponent,

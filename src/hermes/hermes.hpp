@@ -36,8 +36,15 @@
 #include "rag/rag_system.hpp"
 #include "rag/reranker.hpp"
 #include "rag/synth_text.hpp"
+#include "net/frame.hpp"
+#include "net/net.hpp"
+#include "net/wire.hpp"
 #include "serve/broker.hpp"
 #include "serve/node.hpp"
+#include "serve/node_client.hpp"
+#include "serve/remote_node.hpp"
+#include "serve/rpc.hpp"
+#include "serve/shard_server.hpp"
 #include "sim/cost_model.hpp"
 #include "sim/hardware.hpp"
 #include "sim/node_sim.hpp"

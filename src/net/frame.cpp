@@ -1,0 +1,80 @@
+#include "net/frame.hpp"
+
+#include <cstring>
+
+namespace hermes {
+namespace net {
+
+namespace {
+
+void
+putU32(char *dst, std::uint32_t v)
+{
+    std::memcpy(dst, &v, sizeof(v));
+}
+
+void
+putU64(char *dst, std::uint64_t v)
+{
+    std::memcpy(dst, &v, sizeof(v));
+}
+
+std::uint32_t
+getU32(const char *src)
+{
+    std::uint32_t v;
+    std::memcpy(&v, src, sizeof(v));
+    return v;
+}
+
+std::uint64_t
+getU64(const char *src)
+{
+    std::uint64_t v;
+    std::memcpy(&v, src, sizeof(v));
+    return v;
+}
+
+} // namespace
+
+IoStatus
+sendFrame(Socket &socket, std::uint32_t type, std::uint64_t id,
+          std::string_view payload, const Deadline &deadline)
+{
+    std::string buffer;
+    buffer.resize(kFrameHeaderBytes);
+    putU32(buffer.data() + 0, kFrameMagic);
+    putU32(buffer.data() + 4, type);
+    putU64(buffer.data() + 8, id);
+    putU64(buffer.data() + 16, payload.size());
+    buffer.append(payload.data(), payload.size());
+    return writeAll(socket, buffer.data(), buffer.size(), deadline).status;
+}
+
+IoStatus
+recvFrame(Socket &socket, Frame &frame, const Deadline &deadline,
+          std::size_t max_payload)
+{
+    char header[kFrameHeaderBytes];
+    IoResult got = readFully(socket, header, sizeof(header), deadline);
+    if (!got.ok())
+        return got.status;
+    if (getU32(header + 0) != kFrameMagic)
+        return IoStatus::Error; // not our protocol; drop the connection
+    frame.type = getU32(header + 4);
+    frame.id = getU64(header + 8);
+    std::uint64_t length = getU64(header + 16);
+    if (length > max_payload)
+        return IoStatus::Error;
+    frame.payload.resize(static_cast<std::size_t>(length));
+    if (length) {
+        got = readFully(socket, frame.payload.data(),
+                        frame.payload.size(), deadline);
+        if (!got.ok())
+            return got.status;
+    }
+    return IoStatus::Ok;
+}
+
+} // namespace net
+} // namespace hermes

@@ -1,0 +1,400 @@
+#include "net/net.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace hermes {
+namespace net {
+
+namespace {
+
+/** Cap used to report "infinite" remaining time in milliseconds. */
+constexpr double kInfiniteMs = 1e12;
+
+bool
+isWouldBlock(int err)
+{
+    return err == EAGAIN || err == EWOULDBLOCK;
+}
+
+bool
+isPeerGone(int err)
+{
+    return err == ECONNRESET || err == EPIPE || err == ENOTCONN;
+}
+
+IoStatus
+waitFor(int fd, short events, const Deadline &deadline, int slice_ms)
+{
+    for (;;) {
+        pollfd pfd{};
+        pfd.fd = fd;
+        pfd.events = events;
+        int budget = deadline.pollBudgetMs(slice_ms);
+        int ready = ::poll(&pfd, 1, budget);
+        if (ready > 0) {
+            // POLLERR/POLLHUP surface through the subsequent
+            // recv/send, which reports the precise errno.
+            return IoStatus::Ok;
+        }
+        if (ready == 0) {
+            if (deadline.expired())
+                return IoStatus::Timeout;
+            if (slice_ms >= 0)
+                return IoStatus::Timeout; // slice elapsed; caller re-arms
+            continue;
+        }
+        if (errno == EINTR)
+            continue; // a signal is not a timeout; re-arm with what's left
+        return IoStatus::Error;
+    }
+}
+
+} // namespace
+
+const char *
+ioStatusName(IoStatus status)
+{
+    switch (status) {
+      case IoStatus::Ok: return "ok";
+      case IoStatus::Timeout: return "timeout";
+      case IoStatus::Closed: return "closed";
+      case IoStatus::Error: return "error";
+    }
+    return "unknown";
+}
+
+Deadline
+Deadline::after(double budget_ms)
+{
+    Deadline d;
+    if (budget_ms > 0.0) {
+        d.infinite_ = false;
+        d.at_ = std::chrono::steady_clock::now() +
+            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                std::chrono::duration<double, std::milli>(budget_ms));
+    }
+    return d;
+}
+
+bool
+Deadline::expired() const
+{
+    return !infinite_ && std::chrono::steady_clock::now() >= at_;
+}
+
+double
+Deadline::remainingMs() const
+{
+    if (infinite_)
+        return kInfiniteMs;
+    double left = std::chrono::duration<double, std::milli>(
+                      at_ - std::chrono::steady_clock::now())
+                      .count();
+    return left > 0.0 ? left : 0.0;
+}
+
+int
+Deadline::pollBudgetMs(int slice_ms) const
+{
+    if (infinite_)
+        return slice_ms;
+    double left = remainingMs();
+    // Round up so a 0.4 ms remainder still waits rather than spinning.
+    int ms = left >= 2147483000.0 ? 2147483000
+                                  : static_cast<int>(left) + (left > 0 ? 1 : 0);
+    if (slice_ms >= 0 && slice_ms < ms)
+        ms = slice_ms;
+    return ms;
+}
+
+void
+Socket::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+void
+Socket::shutdownBoth()
+{
+    if (fd_ >= 0)
+        ::shutdown(fd_, SHUT_RDWR);
+}
+
+int
+Socket::release()
+{
+    int fd = fd_;
+    fd_ = -1;
+    return fd;
+}
+
+bool
+setNonBlocking(int fd)
+{
+    int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0)
+        return false;
+    return ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+void
+setTcpNoDelay(int fd)
+{
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+IoStatus
+waitReadable(int fd, const Deadline &deadline, int slice_ms)
+{
+    return waitFor(fd, POLLIN, deadline, slice_ms);
+}
+
+IoStatus
+waitWritable(int fd, const Deadline &deadline, int slice_ms)
+{
+    return waitFor(fd, POLLOUT, deadline, slice_ms);
+}
+
+IoResult
+writeAll(Socket &socket, const void *data, std::size_t size,
+         const Deadline &deadline)
+{
+    IoResult result;
+    const char *bytes = static_cast<const char *>(data);
+    std::size_t off = 0;
+    while (off < size) {
+        ssize_t n = ::send(socket.fd(), bytes + off, size - off,
+                           MSG_NOSIGNAL);
+        if (n > 0) {
+            off += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue; // a mid-write signal must not truncate the response
+        if (n < 0 && isWouldBlock(errno)) {
+            IoStatus wait = waitWritable(socket.fd(), deadline);
+            if (wait == IoStatus::Ok)
+                continue;
+            result.status = wait;
+            result.bytes = off;
+            return result;
+        }
+        result.status = (n < 0 && isPeerGone(errno)) ? IoStatus::Closed
+                                                     : IoStatus::Error;
+        result.error = n < 0 ? errno : 0;
+        result.bytes = off;
+        return result;
+    }
+    result.status = IoStatus::Ok;
+    result.bytes = off;
+    return result;
+}
+
+IoResult
+readFully(Socket &socket, void *data, std::size_t size,
+          const Deadline &deadline)
+{
+    IoResult result;
+    char *bytes = static_cast<char *>(data);
+    std::size_t off = 0;
+    while (off < size) {
+        ssize_t n = ::recv(socket.fd(), bytes + off, size - off, 0);
+        if (n > 0) {
+            off += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n == 0) {
+            result.status = IoStatus::Closed;
+            result.bytes = off;
+            return result;
+        }
+        if (errno == EINTR)
+            continue;
+        if (isWouldBlock(errno)) {
+            IoStatus wait = waitReadable(socket.fd(), deadline);
+            if (wait == IoStatus::Ok)
+                continue;
+            result.status = wait;
+            result.bytes = off;
+            return result;
+        }
+        result.status = isPeerGone(errno) ? IoStatus::Closed
+                                          : IoStatus::Error;
+        result.error = errno;
+        result.bytes = off;
+        return result;
+    }
+    result.status = IoStatus::Ok;
+    result.bytes = off;
+    return result;
+}
+
+IoResult
+readSome(Socket &socket, void *data, std::size_t size,
+         const Deadline &deadline)
+{
+    IoResult result;
+    for (;;) {
+        ssize_t n = ::recv(socket.fd(), data, size, 0);
+        if (n > 0) {
+            result.status = IoStatus::Ok;
+            result.bytes = static_cast<std::size_t>(n);
+            return result;
+        }
+        if (n == 0) {
+            result.status = IoStatus::Closed;
+            return result;
+        }
+        if (errno == EINTR)
+            continue;
+        if (isWouldBlock(errno)) {
+            IoStatus wait = waitReadable(socket.fd(), deadline);
+            if (wait == IoStatus::Ok)
+                continue;
+            result.status = wait;
+            return result;
+        }
+        result.status = isPeerGone(errno) ? IoStatus::Closed
+                                          : IoStatus::Error;
+        result.error = errno;
+        return result;
+    }
+}
+
+Socket
+connectTo(const std::string &host, std::uint16_t port, double timeout_ms,
+          std::string *error)
+{
+    if (error)
+        error->clear();
+
+    addrinfo hints{};
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo *result = nullptr;
+    std::string port_str = std::to_string(port);
+    int rc = ::getaddrinfo(host.c_str(), port_str.c_str(), &hints, &result);
+    if (rc != 0 || result == nullptr) {
+        if (error)
+            *error = "resolve " + host + ": " + ::gai_strerror(rc);
+        return Socket();
+    }
+
+    Socket socket(::socket(result->ai_family, result->ai_socktype,
+                           result->ai_protocol));
+    bool ok = socket.valid() && setNonBlocking(socket.fd());
+    if (ok) {
+        Deadline deadline = Deadline::after(timeout_ms);
+        int crc;
+        do {
+            crc = ::connect(socket.fd(), result->ai_addr,
+                            result->ai_addrlen);
+        } while (crc != 0 && errno == EINTR);
+        if (crc != 0 && errno == EINPROGRESS) {
+            ok = waitWritable(socket.fd(), deadline) == IoStatus::Ok;
+            if (ok) {
+                int so_error = 0;
+                socklen_t len = sizeof(so_error);
+                ::getsockopt(socket.fd(), SOL_SOCKET, SO_ERROR, &so_error,
+                             &len);
+                ok = so_error == 0;
+                if (!ok)
+                    errno = so_error;
+            }
+        } else {
+            ok = crc == 0;
+        }
+    }
+    ::freeaddrinfo(result);
+    if (!ok) {
+        if (error) {
+            *error = "connect " + host + ":" + port_str + ": " +
+                std::strerror(errno);
+        }
+        return Socket();
+    }
+    setTcpNoDelay(socket.fd());
+    return socket;
+}
+
+bool
+Listener::open(const std::string &bind_address, std::uint16_t port,
+               int backlog, std::string *error)
+{
+    if (error)
+        error->clear();
+    Socket socket(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!socket.valid()) {
+        if (error)
+            *error = std::string("socket: ") + std::strerror(errno);
+        return false;
+    }
+    int one = 1;
+    ::setsockopt(socket.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, bind_address.c_str(), &addr.sin_addr) != 1) {
+        if (error)
+            *error = "bad bind address " + bind_address;
+        return false;
+    }
+    if (::bind(socket.fd(), reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(socket.fd(), backlog) != 0) {
+        if (error) {
+            *error = "listen on " + bind_address + ":" +
+                std::to_string(port) + ": " + std::strerror(errno);
+        }
+        return false;
+    }
+    socklen_t len = sizeof(addr);
+    if (::getsockname(socket.fd(), reinterpret_cast<sockaddr *>(&addr),
+                      &len) == 0)
+        port_ = ntohs(addr.sin_port);
+    else
+        port_ = port;
+    setNonBlocking(socket.fd());
+    socket_ = std::move(socket);
+    return true;
+}
+
+Socket
+Listener::acceptFor(double timeout_ms)
+{
+    if (!socket_.valid())
+        return Socket();
+    Deadline deadline = Deadline::after(timeout_ms);
+    for (;;) {
+        if (waitReadable(socket_.fd(), deadline) != IoStatus::Ok)
+            return Socket();
+        int fd = ::accept(socket_.fd(), nullptr, nullptr);
+        if (fd >= 0) {
+            setNonBlocking(fd);
+            setTcpNoDelay(fd);
+            return Socket(fd);
+        }
+        if (errno == EINTR || errno == ECONNABORTED ||
+            isWouldBlock(errno))
+            continue; // transient; re-arm with the remaining budget
+        return Socket();
+    }
+}
+
+} // namespace net
+} // namespace hermes

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Dependency-free POSIX socket primitives shared by every networked
+ * component (the obs HTTP exporter, the shard RPC server, the broker's
+ * remote-node clients).
+ *
+ * Everything here is written against the failure modes that bit the
+ * first-generation exporter code:
+ *
+ *  - `EINTR` never aborts an I/O loop — a signal landing mid-read (a
+ *    profiler, a child reaper, a CI harness) restarts the call with the
+ *    remaining deadline.
+ *  - `EAGAIN`/`EWOULDBLOCK` means "wait for readiness", not "give up":
+ *    sockets are switched to non-blocking mode and every operation
+ *    polls with the time left on its deadline, so a send-timeout is
+ *    reported as IoStatus::Timeout — distinguishable from a peer reset
+ *    (IoStatus::Closed) and a genuine error (IoStatus::Error).
+ *  - Short writes are completed; short reads are either completed
+ *    (readFully) or reported with an honest byte count (readSome).
+ *
+ * The layer owns no threads and allocates nothing beyond the caller's
+ * buffers; deadline bookkeeping is steady-clock based and immune to
+ * wall-clock steps.
+ */
+
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace hermes {
+namespace net {
+
+/** Outcome class of one socket operation. */
+enum class IoStatus {
+    Ok,      ///< The full requested transfer completed.
+    Timeout, ///< The deadline expired first (partial bytes possible).
+    Closed,  ///< Orderly peer close / reset (ECONNRESET, EPIPE, EOF).
+    Error,   ///< Any other socket error; see IoResult::error.
+};
+
+/** Human-readable IoStatus name (for logs and test messages). */
+const char *ioStatusName(IoStatus status);
+
+/** Result of one (possibly partial) transfer. */
+struct IoResult
+{
+    IoStatus status = IoStatus::Error;
+
+    /** Bytes actually transferred before the status was reached. */
+    std::size_t bytes = 0;
+
+    /** errno captured when status == Error (0 otherwise). */
+    int error = 0;
+
+    bool ok() const { return status == IoStatus::Ok; }
+};
+
+/**
+ * An absolute steady-clock deadline. Constructed from a relative
+ * budget in milliseconds; a non-positive budget means "no deadline"
+ * (infinite), matching the serving layer's `deadline_ms = 0` contract.
+ */
+class Deadline
+{
+  public:
+    /** No deadline: remainingMs() is unbounded, expired() never true. */
+    Deadline() = default;
+
+    /** Deadline @p budget_ms from now; <= 0 means infinite. */
+    static Deadline after(double budget_ms);
+
+    /** Infinite deadline (alias of the default constructor). */
+    static Deadline infinite() { return Deadline(); }
+
+    bool isInfinite() const { return infinite_; }
+
+    /** True once the budget is exhausted (never for infinite). */
+    bool expired() const;
+
+    /**
+     * Milliseconds left, clamped to >= 0. For infinite deadlines
+     * returns a large positive value; use pollBudgetMs() to convert to
+     * a poll(2) timeout argument.
+     */
+    double remainingMs() const;
+
+    /**
+     * poll(2) timeout for this deadline, additionally capped at
+     * @p slice_ms when non-negative (lets callers wake periodically to
+     * check a stop flag). Infinite deadline + negative slice => -1.
+     */
+    int pollBudgetMs(int slice_ms = -1) const;
+
+  private:
+    bool infinite_ = true;
+    std::chrono::steady_clock::time_point at_{};
+};
+
+/**
+ * Owning RAII wrapper for a socket fd. Movable, non-copyable; closes
+ * on destruction. An invalid socket has fd() < 0.
+ */
+class Socket
+{
+  public:
+    Socket() = default;
+    explicit Socket(int fd) : fd_(fd) {}
+    ~Socket() { close(); }
+
+    Socket(Socket &&other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+    Socket &
+    operator=(Socket &&other) noexcept
+    {
+        if (this != &other) {
+            close();
+            fd_ = other.fd_;
+            other.fd_ = -1;
+        }
+        return *this;
+    }
+    Socket(const Socket &) = delete;
+    Socket &operator=(const Socket &) = delete;
+
+    int fd() const { return fd_; }
+    bool valid() const { return fd_ >= 0; }
+
+    /** Close now (idempotent). */
+    void close();
+
+    /** shutdown(2) both directions, waking any blocked peer loops. */
+    void shutdownBoth();
+
+    /** Release ownership of the fd without closing it. */
+    int release();
+
+  private:
+    int fd_ = -1;
+};
+
+/** Switch @p fd to non-blocking mode. Returns false on fcntl failure. */
+bool setNonBlocking(int fd);
+
+/** Disable Nagle for low-latency small RPCs (best-effort). */
+void setTcpNoDelay(int fd);
+
+/**
+ * Wait until @p fd is readable. EINTR restarts the wait with the
+ * remaining budget. Returns Ok (readable), Timeout, or Error.
+ */
+IoStatus waitReadable(int fd, const Deadline &deadline,
+                      int slice_ms = -1);
+
+/** Writable-direction twin of waitReadable(). */
+IoStatus waitWritable(int fd, const Deadline &deadline,
+                      int slice_ms = -1);
+
+/**
+ * Write the whole buffer, tolerating short writes, EINTR, and EAGAIN
+ * (polls for writability with the remaining deadline). MSG_NOSIGNAL is
+ * applied so a dead peer yields Closed, never SIGPIPE.
+ */
+IoResult writeAll(Socket &socket, const void *data, std::size_t size,
+                  const Deadline &deadline = Deadline());
+
+/**
+ * Read exactly @p size bytes. A peer close before @p size bytes is
+ * Closed with the partial count in IoResult::bytes (a torn transfer is
+ * never silently reported as success).
+ */
+IoResult readFully(Socket &socket, void *data, std::size_t size,
+                   const Deadline &deadline = Deadline());
+
+/**
+ * One recv of at most @p size bytes, waiting for readability under the
+ * deadline. Ok with bytes > 0 on data; Closed on EOF; Timeout/Error
+ * otherwise.
+ */
+IoResult readSome(Socket &socket, void *data, std::size_t size,
+                  const Deadline &deadline = Deadline());
+
+/**
+ * Blocking-with-deadline TCP connect to @p host:@p port (IPv4).
+ * Returns an invalid Socket on failure; @p error (optional) receives a
+ * printable reason. The returned socket is non-blocking with Nagle
+ * disabled.
+ */
+Socket connectTo(const std::string &host, std::uint16_t port,
+                 double timeout_ms, std::string *error = nullptr);
+
+/**
+ * A listening TCP socket with poll-driven, EINTR-safe accept.
+ * open() + acceptFor() replace the hand-rolled socket/bind/listen/poll
+ * block the obs exporter used to carry.
+ */
+class Listener
+{
+  public:
+    Listener() = default;
+    ~Listener() = default;
+
+    Listener(const Listener &) = delete;
+    Listener &operator=(const Listener &) = delete;
+
+    /**
+     * Bind @p bind_address:@p port (port 0 = ephemeral, see port())
+     * and listen. Returns false with @p error filled on failure.
+     */
+    bool open(const std::string &bind_address, std::uint16_t port,
+              int backlog = 64, std::string *error = nullptr);
+
+    /** Actual bound port (resolves an ephemeral request after open). */
+    std::uint16_t port() const { return port_; }
+
+    bool valid() const { return socket_.valid(); }
+
+    /**
+     * Accept one connection, waiting at most @p timeout_ms (<= 0 polls
+     * without blocking). Returns an invalid Socket on timeout; restarts
+     * on EINTR; tolerates transient accept errors (ECONNABORTED). The
+     * accepted socket is non-blocking with Nagle disabled.
+     */
+    Socket acceptFor(double timeout_ms);
+
+    /** Close the listening socket (wakes nothing; callers poll). */
+    void close() { socket_.close(); }
+
+  private:
+    Socket socket_;
+    std::uint16_t port_ = 0;
+};
+
+} // namespace net
+} // namespace hermes

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * In-memory binary wire codec for RPC payloads: little-endian,
+ * length-prefixed, bounds-checked.
+ *
+ * This is the buffer-backed sibling of util::BinaryWriter/BinaryReader
+ * (which stream files): the writer appends to a std::string that can be
+ * framed onto a socket, the reader walks a string_view and throws
+ * WireError on any underrun or over-long length prefix instead of
+ * trusting the peer. Decoding never reads past the payload it was
+ * given, so a malicious or torn frame fails loudly at decode, not as a
+ * wild allocation.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hermes {
+namespace net {
+
+/** Thrown by WireReader on malformed payloads. */
+class WireError : public std::runtime_error
+{
+  public:
+    explicit WireError(const std::string &what)
+        : std::runtime_error("wire: " + what)
+    {
+    }
+};
+
+/** Append-only buffer writer (little-endian). */
+class WireWriter
+{
+  public:
+    void u8(std::uint8_t v) { raw(&v, sizeof(v)); }
+    void u32(std::uint32_t v) { raw(&v, sizeof(v)); }
+    void u64(std::uint64_t v) { raw(&v, sizeof(v)); }
+    void i64(std::int64_t v) { raw(&v, sizeof(v)); }
+    void f32(float v) { raw(&v, sizeof(v)); }
+    void f64(double v) { raw(&v, sizeof(v)); }
+
+    /** Length-prefixed (u32) string. */
+    void
+    str(std::string_view s)
+    {
+        u32(static_cast<std::uint32_t>(s.size()));
+        raw(s.data(), s.size());
+    }
+
+    /** Length-prefixed (u64) float block. */
+    void
+    floats(const float *data, std::size_t n)
+    {
+        u64(n);
+        raw(data, n * sizeof(float));
+    }
+
+    const std::string &buffer() const { return buffer_; }
+    std::string take() { return std::move(buffer_); }
+
+  private:
+    void
+    raw(const void *data, std::size_t n)
+    {
+        buffer_.append(static_cast<const char *>(data), n);
+    }
+
+    std::string buffer_;
+};
+
+/** Bounds-checked reader over a received payload. */
+class WireReader
+{
+  public:
+    explicit WireReader(std::string_view data) : data_(data) {}
+
+    std::uint8_t u8() { return readPod<std::uint8_t>(); }
+    std::uint32_t u32() { return readPod<std::uint32_t>(); }
+    std::uint64_t u64() { return readPod<std::uint64_t>(); }
+    std::int64_t i64() { return readPod<std::int64_t>(); }
+    float f32() { return readPod<float>(); }
+    double f64() { return readPod<double>(); }
+
+    /** Length-prefixed (u32) string. */
+    std::string
+    str()
+    {
+        std::uint32_t n = u32();
+        need(n);
+        std::string out(data_.substr(pos_, n));
+        pos_ += n;
+        return out;
+    }
+
+    /** Length-prefixed (u64) float block. */
+    std::vector<float>
+    floats()
+    {
+        std::uint64_t n = u64();
+        need(n * sizeof(float));
+        std::vector<float> out(n);
+        if (n)
+            std::memcpy(out.data(), data_.data() + pos_,
+                        n * sizeof(float));
+        pos_ += n * sizeof(float);
+        return out;
+    }
+
+    /** Bytes not yet consumed. */
+    std::size_t remaining() const { return data_.size() - pos_; }
+
+    bool atEnd() const { return pos_ == data_.size(); }
+
+    /** Throws unless the payload was consumed exactly. */
+    void
+    expectEnd() const
+    {
+        if (!atEnd())
+            throw WireError(std::to_string(remaining()) +
+                            " trailing bytes in payload");
+    }
+
+  private:
+    void
+    need(std::uint64_t n) const
+    {
+        if (n > data_.size() - pos_)
+            throw WireError("payload truncated: need " + std::to_string(n) +
+                            " bytes, have " + std::to_string(remaining()));
+    }
+
+    template <typename T>
+    T
+    readPod()
+    {
+        need(sizeof(T));
+        T v;
+        std::memcpy(&v, data_.data() + pos_, sizeof(T));
+        pos_ += sizeof(T);
+        return v;
+    }
+
+    std::string_view data_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace net
+} // namespace hermes

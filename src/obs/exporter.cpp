@@ -1,15 +1,8 @@
 #include "obs/exporter.hpp"
 
+#include <cctype>
 #include <cstdio>
 #include <cstring>
-
-#include <arpa/inet.h>
-#include <netdb.h>
-#include <netinet/in.h>
-#include <netinet/tcp.h>
-#include <poll.h>
-#include <sys/socket.h>
-#include <unistd.h>
 
 #include "obs/metrics.hpp"
 #include "obs/process_stats.hpp"
@@ -19,31 +12,33 @@ namespace obs {
 
 namespace {
 
-/** Receive timeout for request/response reads (a scraper, not a DoS). */
-constexpr int kSocketTimeoutMs = 2000;
+/** Receive/send budget for request/response I/O (a scraper, not a DoS). */
+constexpr double kSocketTimeoutMs = 2000.0;
 
-void
-setSocketTimeout(int fd)
-{
-    timeval tv{};
-    tv.tv_sec = kSocketTimeoutMs / 1000;
-    tv.tv_usec = (kSocketTimeoutMs % 1000) * 1000;
-    setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-    setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
-}
+/** Accept-poll tick so stop() is observed promptly. */
+constexpr double kAcceptTickMs = 200.0;
 
-/** Write the whole buffer, tolerating short writes. */
-bool
-writeAll(int fd, const char *data, std::size_t size)
+/** Cap on a request head; beyond this the request is answered 400. */
+constexpr std::size_t kMaxHeadBytes = 8192;
+
+/**
+ * Find the end of an HTTP head in @p data, accepting both CRLFCRLF and
+ * the bare-LF form some minimal clients emit. Returns the offset one
+ * past the terminator (= body start), or npos when no terminator is
+ * present yet. Head detection and request-line splitting must agree on
+ * both forms — the original implementation found "\n\n" heads but then
+ * parsed offsets assuming CRLF.
+ */
+std::size_t
+findHeadEnd(const std::string &data)
 {
-    std::size_t off = 0;
-    while (off < size) {
-        ssize_t n = ::send(fd, data + off, size - off, MSG_NOSIGNAL);
-        if (n <= 0)
-            return false;
-        off += static_cast<std::size_t>(n);
-    }
-    return true;
+    std::size_t crlf = data.find("\r\n\r\n");
+    std::size_t lf = data.find("\n\n");
+    if (crlf == std::string::npos && lf == std::string::npos)
+        return std::string::npos;
+    if (crlf != std::string::npos && (lf == std::string::npos || crlf < lf))
+        return crlf + 4;
+    return lf + 2;
 }
 
 std::string
@@ -59,22 +54,33 @@ httpResponse(int code, const std::string &reason,
     return out;
 }
 
-/** Read until the end of the request head (or a small cap). */
-std::string
-readRequestHead(int fd)
+enum class HeadStatus {
+    Ok,         ///< Complete head in hand.
+    TooLarge,   ///< kMaxHeadBytes exceeded without a terminator.
+    Incomplete, ///< Peer closed / timed out before the terminator.
+};
+
+/**
+ * Read until the end of the request head. EINTR and EAGAIN are handled
+ * inside net::readSome, so a signal storm during a scrape no longer
+ * truncates the request (or the response built from it).
+ */
+HeadStatus
+readRequestHead(net::Socket &socket, std::string &head)
 {
-    std::string head;
+    head.clear();
     char buf[1024];
-    while (head.size() < 8192) {
-        ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-        if (n <= 0)
-            break;
-        head.append(buf, static_cast<std::size_t>(n));
-        if (head.find("\r\n\r\n") != std::string::npos ||
-            head.find("\n\n") != std::string::npos)
-            break;
+    net::Deadline deadline = net::Deadline::after(kSocketTimeoutMs);
+    while (head.size() < kMaxHeadBytes) {
+        net::IoResult got = net::readSome(socket, buf, sizeof(buf),
+                                          deadline);
+        if (!got.ok())
+            return HeadStatus::Incomplete;
+        head.append(buf, got.bytes);
+        if (findHeadEnd(head) != std::string::npos)
+            return HeadStatus::Ok;
     }
-    return head;
+    return HeadStatus::TooLarge;
 }
 
 /** Parse "GET /path?query HTTP/1.x" into method and bare path. */
@@ -82,9 +88,16 @@ bool
 parseRequestLine(const std::string &head, std::string &method,
                  std::string &path)
 {
+    // The request line ends at the first CR or LF, whichever comes
+    // first — consistent with findHeadEnd accepting bare-LF heads.
     std::size_t eol = head.find_first_of("\r\n");
     std::string line =
         eol == std::string::npos ? head : head.substr(0, eol);
+    // A binary or otherwise garbage first line is a 400, not a guess.
+    for (unsigned char c : line) {
+        if (c < 0x20 || c == 0x7f)
+            return false;
+    }
     std::size_t sp1 = line.find(' ');
     if (sp1 == std::string::npos)
         return false;
@@ -95,7 +108,45 @@ parseRequestLine(const std::string &head, std::string &method,
     std::size_t query = path.find('?');
     if (query != std::string::npos)
         path.resize(query);
-    return !method.empty() && !path.empty();
+    return !method.empty() && !path.empty() && path.front() == '/';
+}
+
+/**
+ * Case-insensitive Content-Length lookup in @p head. Returns true and
+ * fills @p length when a parseable header is present.
+ */
+bool
+findContentLength(const std::string &head, std::size_t &length)
+{
+    static const char kName[] = "content-length:";
+    constexpr std::size_t kNameLen = sizeof(kName) - 1;
+    std::size_t pos = 0;
+    while ((pos = head.find('\n', pos)) != std::string::npos) {
+        ++pos;
+        if (head.size() - pos < kNameLen)
+            break;
+        bool match = true;
+        for (std::size_t i = 0; i < kNameLen; ++i) {
+            if (std::tolower(static_cast<unsigned char>(head[pos + i])) !=
+                kName[i]) {
+                match = false;
+                break;
+            }
+        }
+        if (!match)
+            continue;
+        std::size_t value = pos + kNameLen;
+        while (value < head.size() && head[value] == ' ')
+            ++value;
+        char *end = nullptr;
+        unsigned long long parsed =
+            std::strtoull(head.c_str() + value, &end, 10);
+        if (end == head.c_str() + value)
+            return false;
+        length = static_cast<std::size_t>(parsed);
+        return true;
+    }
+    return false;
 }
 
 } // namespace
@@ -111,41 +162,12 @@ Exporter::start()
     if (running_.load())
         return true;
 
-    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (fd < 0) {
-        std::fprintf(stderr, "[warn] obs: exporter socket() failed\n");
+    std::string error;
+    if (!listener_.open(options_.bind_address, options_.port, 16, &error)) {
+        std::fprintf(stderr, "[warn] obs: exporter %s\n", error.c_str());
         return false;
     }
-    int one = 1;
-    setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_port = htons(options_.port);
-    if (inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
-        1) {
-        std::fprintf(stderr, "[warn] obs: exporter bad bind address %s\n",
-                     options_.bind_address.c_str());
-        ::close(fd);
-        return false;
-    }
-    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr), sizeof(addr)) != 0 ||
-        ::listen(fd, 16) != 0) {
-        std::fprintf(stderr,
-                     "[warn] obs: exporter cannot listen on %s:%u\n",
-                     options_.bind_address.c_str(),
-                     static_cast<unsigned>(options_.port));
-        ::close(fd);
-        return false;
-    }
-
-    socklen_t len = sizeof(addr);
-    if (::getsockname(fd, reinterpret_cast<sockaddr *>(&addr), &len) == 0)
-        bound_port_ = ntohs(addr.sin_port);
-    else
-        bound_port_ = options_.port;
-
-    listen_fd_ = fd;
+    bound_port_ = listener_.port();
     stopping_.store(false);
     running_.store(true);
     thread_ = std::thread([this] { serveLoop(); });
@@ -160,10 +182,7 @@ Exporter::stop()
     stopping_.store(true);
     if (thread_.joinable())
         thread_.join();
-    if (listen_fd_ >= 0) {
-        ::close(listen_fd_);
-        listen_fd_ = -1;
-    }
+    listener_.close();
 }
 
 void
@@ -177,18 +196,10 @@ void
 Exporter::serveLoop()
 {
     while (!stopping_.load()) {
-        pollfd pfd{};
-        pfd.fd = listen_fd_;
-        pfd.events = POLLIN;
-        int ready = ::poll(&pfd, 1, 200);
-        if (ready <= 0)
-            continue; // timeout (checks stopping_) or EINTR
-        int fd = ::accept(listen_fd_, nullptr, nullptr);
-        if (fd < 0)
-            continue;
-        setSocketTimeout(fd);
-        handleConnection(fd);
-        ::close(fd);
+        net::Socket socket = listener_.acceptFor(kAcceptTickMs);
+        if (!socket.valid())
+            continue; // tick (checks stopping_) or transient error
+        handleConnection(std::move(socket));
     }
 }
 
@@ -231,13 +242,19 @@ Exporter::route(const std::string &path, std::string &body,
 }
 
 void
-Exporter::handleConnection(int fd)
+Exporter::handleConnection(net::Socket socket)
 {
-    std::string head = readRequestHead(fd);
+    std::string head;
+    HeadStatus head_status = readRequestHead(socket, head);
     std::string method;
     std::string path;
     std::string response;
-    if (!parseRequestLine(head, method, path)) {
+    if (head_status == HeadStatus::Incomplete && head.empty())
+        return; // peer connected and went away; nothing to answer
+    if (head_status != HeadStatus::Ok ||
+        !parseRequestLine(head, method, path)) {
+        // Oversized, truncated or garbage heads get an explicit 400
+        // instead of a silent close, so a misbehaving scraper sees why.
         response = httpResponse(400, "Bad Request", "text/plain",
                                 "bad request\n");
     } else if (method != "GET") {
@@ -252,7 +269,8 @@ Exporter::handleConnection(int fd)
             response = httpResponse(404, "Not Found", "text/plain",
                                     "unknown path\n");
     }
-    writeAll(fd, response.data(), response.size());
+    net::writeAll(socket, response.data(), response.size(),
+                  net::Deadline::after(kSocketTimeoutMs));
 }
 
 bool
@@ -265,58 +283,56 @@ httpGet(const std::string &host, std::uint16_t port,
     if (body)
         body->clear();
 
-    addrinfo hints{};
-    hints.ai_family = AF_INET;
-    hints.ai_socktype = SOCK_STREAM;
-    addrinfo *result = nullptr;
-    std::string port_str = std::to_string(port);
-    if (::getaddrinfo(host.c_str(), port_str.c_str(), &hints, &result) !=
-            0 ||
-        result == nullptr)
+    net::Socket socket = net::connectTo(host, port, kSocketTimeoutMs);
+    if (!socket.valid())
         return false;
-
-    int fd = ::socket(result->ai_family, result->ai_socktype,
-                      result->ai_protocol);
-    bool ok = fd >= 0;
-    if (ok) {
-        setSocketTimeout(fd);
-        ok = ::connect(fd, result->ai_addr, result->ai_addrlen) == 0;
-    }
-    ::freeaddrinfo(result);
-    if (!ok) {
-        if (fd >= 0)
-            ::close(fd);
-        return false;
-    }
 
     std::string request = "GET " + path + " HTTP/1.0\r\nHost: " + host +
         "\r\nConnection: close\r\n\r\n";
-    ok = writeAll(fd, request.data(), request.size());
+    bool ok = net::writeAll(socket, request.data(), request.size(),
+                            net::Deadline::after(kSocketTimeoutMs))
+                  .ok();
 
+    // HTTP/1.0 + Connection: close — read to EOF, each read under its
+    // own deadline so a wedged server cannot hang the caller.
     std::string response;
     char buf[4096];
     while (ok) {
-        ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-        if (n < 0)
+        net::IoResult got = net::readSome(
+            socket, buf, sizeof(buf), net::Deadline::after(kSocketTimeoutMs));
+        if (got.status == net::IoStatus::Closed)
+            break; // orderly end of response
+        if (!got.ok()) {
             ok = false;
-        if (n <= 0)
             break;
-        response.append(buf, static_cast<std::size_t>(n));
+        }
+        response.append(buf, got.bytes);
     }
-    ::close(fd);
+    socket.close();
     if (!ok || response.empty())
         return false;
 
-    std::size_t eol = response.find("\r\n");
+    std::size_t eol = response.find_first_of("\r\n");
     std::string first =
         eol == std::string::npos ? response : response.substr(0, eol);
     if (status_line)
         *status_line = first;
 
-    std::size_t header_end = response.find("\r\n\r\n");
-    std::string payload = header_end == std::string::npos
-        ? std::string()
-        : response.substr(header_end + 4);
+    std::size_t body_start = findHeadEnd(response);
+    if (body_start == std::string::npos)
+        return false; // head never terminated: not a scrape we can trust
+    std::string head = response.substr(0, body_start);
+    std::string payload = response.substr(body_start);
+
+    // Honor Content-Length when the server sent one: a peer close
+    // mid-body used to look like a successful (short) scrape; now it
+    // fails loudly instead of handing back a truncated payload.
+    std::size_t content_length = 0;
+    if (findContentLength(head, content_length)) {
+        if (payload.size() < content_length)
+            return false;
+        payload.resize(content_length);
+    }
     if (body)
         *body = payload;
     return first.find(" 200 ") != std::string::npos;

@@ -27,6 +27,8 @@
 #include <string>
 #include <thread>
 
+#include "net/net.hpp"
+
 namespace hermes {
 namespace obs {
 
@@ -79,14 +81,14 @@ class Exporter
 
   private:
     void serveLoop();
-    void handleConnection(int fd);
+    void handleConnection(net::Socket socket);
 
     /** Dispatch a request to a body + content type; false = 404. */
     bool route(const std::string &path, std::string &body,
                std::string &content_type);
 
     Options options_;
-    int listen_fd_ = -1;
+    net::Listener listener_;
     std::uint16_t bound_port_ = 0;
     std::atomic<bool> running_{false};
     std::atomic<bool> stopping_{false};

@@ -17,7 +17,7 @@ namespace serve {
 
 HermesBroker::HermesBroker(const core::DistributedStore &store,
                            const BrokerConfig &config)
-    : store_(store), config_(config),
+    : hermes_config_(store.config()), config_(config),
       h_query_latency_(obs::Registry::instance().windowedHistogram(
           obs::names::kBrokerQueryLatencyUs)),
       h_sample_phase_(obs::Registry::instance().histogram(
@@ -30,16 +30,45 @@ HermesBroker::HermesBroker(const core::DistributedStore &store,
           obs::names::kBrokerQueries)),
       start_time_(std::chrono::steady_clock::now())
 {
-    auto &registry = obs::Registry::instance();
-    nodes_.reserve(store_.numClusters());
-    cluster_counters_.reserve(store_.numClusters());
-    for (std::size_t c = 0; c < store_.numClusters(); ++c) {
+    nodes_.reserve(store.numClusters());
+    for (std::size_t c = 0; c < store.numClusters(); ++c) {
         NodeConfig node_config = config_.node;
         if (c < config_.node_faults.size())
             node_config.faults = config_.node_faults[c];
         node_config.node_id = c;
-        nodes_.push_back(std::make_unique<RetrievalNode>(
-            store_.clusterIndex(c), node_config));
+        nodes_.push_back(std::make_unique<LocalNodeClient>(
+            store.clusterIndex(c), node_config));
+    }
+    initCounters();
+}
+
+HermesBroker::HermesBroker(const core::HermesConfig &hermes_config,
+                           std::vector<std::unique_ptr<NodeClient>> nodes,
+                           const BrokerConfig &config)
+    : hermes_config_(hermes_config), config_(config),
+      nodes_(std::move(nodes)),
+      h_query_latency_(obs::Registry::instance().windowedHistogram(
+          obs::names::kBrokerQueryLatencyUs)),
+      h_sample_phase_(obs::Registry::instance().histogram(
+          obs::names::kBrokerSamplePhaseUs)),
+      h_deep_phase_(obs::Registry::instance().histogram(
+          obs::names::kBrokerDeepPhaseUs)),
+      h_merge_phase_(obs::Registry::instance().histogram(
+          obs::names::kBrokerMergePhaseUs)),
+      c_queries_(obs::Registry::instance().windowedCounter(
+          obs::names::kBrokerQueries)),
+      start_time_(std::chrono::steady_clock::now())
+{
+    HERMES_ASSERT(!nodes_.empty(), "broker needs at least one node");
+    initCounters();
+}
+
+void
+HermesBroker::initCounters()
+{
+    auto &registry = obs::Registry::instance();
+    cluster_counters_.reserve(nodes_.size());
+    for (std::size_t c = 0; c < nodes_.size(); ++c) {
         cluster_counters_.push_back(ClusterCounters{
             registry.counter(obs::names::nodeMetric(
                 c, obs::names::kNodeSampleRequests)),
@@ -61,7 +90,7 @@ HermesBroker::search(vecstore::VecView query, std::size_t k) const
 }
 
 HermesBroker::NodeOutcome
-HermesBroker::collect(std::future<NodeResponse> future, RetrievalNode &node,
+HermesBroker::collect(std::future<NodeResponse> future, NodeClient &node,
                       vecstore::VecView query, std::size_t k,
                       const index::SearchParams &params,
                       std::uint64_t &timeouts,
@@ -119,7 +148,7 @@ vecstore::HitList
 HermesBroker::search(vecstore::VecView query, std::size_t k,
                      std::vector<std::uint32_t> &deep_clusters) const
 {
-    const auto &config = store_.config();
+    const auto &config = hermes_config_;
     const std::size_t n = nodes_.size();
     std::uint64_t timeouts = 0;
     std::uint64_t failures = 0;
@@ -358,7 +387,7 @@ HermesBroker::loadReport(std::size_t window_s) const
     for (std::size_t c = 0; c < nodes_.size(); ++c) {
         ClusterLoad load;
         load.cluster = static_cast<std::uint32_t>(c);
-        load.shard_vectors = store_.clusterSize(c);
+        load.shard_vectors = nodes_[c]->shardSize();
         load.sample_requests = cluster_counters_[c].sample_requests.value();
         load.deep_requests = cluster_counters_[c].deep_requests.value();
         load.hits_returned = cluster_counters_[c].hits_returned.value();

@@ -2,8 +2,9 @@
  * @file
  * The Hermes scheduler/broker (paper Fig 9: "Hermes Scheduler").
  *
- * Owns one RetrievalNode per cluster and executes the hierarchical search
- * protocol across them:
+ * Owns one NodeClient per cluster — an in-process RetrievalNode worker
+ * or a RemoteNodeClient speaking the framed protocol to a hermes_shard
+ * process — and executes the hierarchical search protocol across them:
  *   1. broadcast a cheap sampling request to every node (in parallel),
  *   2. rank clusters by their best sampled document,
  *   3. send deep-search requests to the top clusters (in parallel),
@@ -32,6 +33,7 @@
 #include "obs/obs.hpp"
 #include "serve/load_report.hpp"
 #include "serve/node.hpp"
+#include "serve/node_client.hpp"
 
 namespace hermes {
 namespace serve {
@@ -115,6 +117,22 @@ class HermesBroker
     explicit HermesBroker(const core::DistributedStore &store,
                           const BrokerConfig &config = {});
 
+    /**
+     * Placement-agnostic constructor: one NodeClient per cluster, in
+     * cluster-id order. This is how an out-of-process fleet is wired —
+     * RemoteNodeClients pointing at hermes_shard endpoints — but any
+     * mix of local and remote nodes works; scheduling, deadlines,
+     * retries and degradation are identical either way.
+     *
+     * @param hermes_config The store configuration (sampling / deep
+     *                      depths, clusters_to_search, ...). Must match
+     *                      what the shards were built with for results
+     *                      to mean anything.
+     */
+    HermesBroker(const core::HermesConfig &hermes_config,
+                 std::vector<std::unique_ptr<NodeClient>> nodes,
+                 const BrokerConfig &config = {});
+
     ~HermesBroker();
 
     HermesBroker(const HermesBroker &) = delete;
@@ -163,14 +181,17 @@ class HermesBroker
      * @p failures.
      */
     NodeOutcome collect(std::future<NodeResponse> future,
-                        RetrievalNode &node, vecstore::VecView query,
+                        NodeClient &node, vecstore::VecView query,
                         std::size_t k, const index::SearchParams &params,
                         std::uint64_t &timeouts,
                         std::uint64_t &failures) const;
 
-    const core::DistributedStore &store_;
+    /** Shared tail of both constructors (registry counters). */
+    void initCounters();
+
+    core::HermesConfig hermes_config_;
     BrokerConfig config_;
-    std::vector<std::unique_ptr<RetrievalNode>> nodes_;
+    std::vector<std::unique_ptr<NodeClient>> nodes_;
 
     /** Cached refs into the process-wide metrics registry (stable).
      *  Query latency and query count carry rolling windows so the live

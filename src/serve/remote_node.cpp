@@ -1,0 +1,444 @@
+#include "serve/remote_node.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include "util/logging.hpp"
+
+namespace hermes {
+namespace serve {
+
+namespace {
+
+/** Send budget for one request frame (the peer should always drain). */
+constexpr double kSendBudgetMs = 5000.0;
+
+/** Control-channel (stats/health) round-trip budget. */
+constexpr double kControlBudgetMs = 2000.0;
+
+std::runtime_error
+remoteError(const std::string &what)
+{
+    return std::runtime_error("remote node: " + what);
+}
+
+} // namespace
+
+bool
+parseEndpoint(const std::string &spec, std::string &host,
+              std::uint16_t &port)
+{
+    std::size_t colon = spec.rfind(':');
+    std::string port_str;
+    if (colon == std::string::npos) {
+        host = "127.0.0.1";
+        port_str = spec;
+    } else {
+        host = colon == 0 ? std::string("127.0.0.1") : spec.substr(0, colon);
+        port_str = spec.substr(colon + 1);
+    }
+    if (port_str.empty())
+        return false;
+    char *end = nullptr;
+    unsigned long value = std::strtoul(port_str.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || value == 0 || value > 65535)
+        return false;
+    port = static_cast<std::uint16_t>(value);
+    return true;
+}
+
+RemoteNodeClient::RemoteNodeClient(RemoteNodeOptions options)
+    : options_(std::move(options))
+{
+    HERMES_ASSERT(options_.connections >= 1,
+                  "remote node needs at least one connection");
+    workers_.reserve(options_.connections);
+    for (std::size_t i = 0; i < options_.connections; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+RemoteNodeClient::~RemoteNodeClient()
+{
+    std::deque<Pending> abandoned;
+    {
+        std::unique_lock<std::mutex> lock(queue_mutex_);
+        stopping_ = true;
+        abandoned.swap(queue_);
+    }
+    queue_cv_.notify_all();
+    for (auto &pending : abandoned) {
+        pending.promise.set_exception(
+            std::make_exception_ptr(remoteError("client shutting down")));
+    }
+    for (auto &worker : workers_)
+        worker.join();
+}
+
+std::future<NodeResponse>
+RemoteNodeClient::submit(vecstore::VecView query, std::size_t k,
+                         const index::SearchParams &params)
+{
+    Pending pending;
+    pending.query.assign(query.begin(), query.end());
+    pending.k = k;
+    pending.params = params;
+    auto future = pending.promise.get_future();
+    {
+        std::unique_lock<std::mutex> lock(queue_mutex_);
+        if (stopping_) {
+            pending.promise.set_exception(std::make_exception_ptr(
+                remoteError("client shutting down")));
+            return future;
+        }
+        queue_.push_back(std::move(pending));
+    }
+    queue_cv_.notify_one();
+    return future;
+}
+
+std::size_t
+RemoteNodeClient::queueDepth() const
+{
+    std::unique_lock<std::mutex> lock(queue_mutex_);
+    return queue_.size();
+}
+
+std::size_t
+RemoteNodeClient::shardSize() const
+{
+    std::size_t cached = shard_vectors_.load();
+    if (cached == 0) {
+        // First ask (or an unreachable shard): try a health probe.
+        health();
+        cached = shard_vectors_.load();
+    }
+    return cached;
+}
+
+NodeStats
+RemoteNodeClient::stats() const
+{
+    net::Frame reply;
+    if (!controlRoundTrip(rpc::Type::StatsRequest, {}, reply) ||
+        static_cast<rpc::Type>(reply.type) != rpc::Type::StatsResponse)
+        return NodeStats{};
+    try {
+        rpc::StatsResponse decoded =
+            rpc::decodeStatsResponse(reply.payload);
+        shard_vectors_.store(
+            static_cast<std::size_t>(decoded.shard_vectors));
+        return decoded.stats;
+    } catch (const net::WireError &) {
+        return NodeStats{};
+    }
+}
+
+bool
+RemoteNodeClient::health(rpc::HealthResponse *out) const
+{
+    net::Frame reply;
+    if (!controlRoundTrip(rpc::Type::HealthRequest, {}, reply) ||
+        static_cast<rpc::Type>(reply.type) != rpc::Type::HealthResponse)
+        return false;
+    try {
+        rpc::HealthResponse decoded =
+            rpc::decodeHealthResponse(reply.payload);
+        if (decoded.protocol_version != rpc::kProtocolVersion)
+            return false;
+        shard_vectors_.store(
+            static_cast<std::size_t>(decoded.shard_vectors));
+        if (out)
+            *out = decoded;
+        return true;
+    } catch (const net::WireError &) {
+        return false;
+    }
+}
+
+RemoteNodeClientStats
+RemoteNodeClient::clientStats() const
+{
+    std::unique_lock<std::mutex> lock(stats_mutex_);
+    return client_stats_;
+}
+
+bool
+RemoteNodeClient::compatible(const Pending &a, const Pending &b)
+{
+    return a.k == b.k && a.params.nprobe == b.params.nprobe &&
+        a.params.ef_search == b.params.ef_search &&
+        a.params.prune_ratio == b.params.prune_ratio &&
+        a.params.batch_min_scan_floats == b.params.batch_min_scan_floats &&
+        a.query.size() == b.query.size();
+}
+
+void
+RemoteNodeClient::workerLoop()
+{
+    net::Socket socket; // worker-owned connection, re-dialed on demand
+    for (;;) {
+        std::vector<Pending> group;
+        {
+            std::unique_lock<std::mutex> lock(queue_mutex_);
+            queue_cv_.wait(lock,
+                           [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty()) {
+                if (stopping_)
+                    return;
+                continue;
+            }
+            group.push_back(std::move(queue_.front()));
+            queue_.pop_front();
+            // Wire-level micro-batching: whatever compatible requests
+            // are already queued ride the same RPC (no added waiting —
+            // the shard's own batch window supplies the hold).
+            while (!queue_.empty() && group.size() < options_.max_batch &&
+                   compatible(queue_.front(), group.front())) {
+                group.push_back(std::move(queue_.front()));
+                queue_.pop_front();
+            }
+        }
+        runRpc(socket, group);
+    }
+}
+
+void
+RemoteNodeClient::failGroup(std::vector<Pending> &group,
+                            const std::string &reason)
+{
+    for (auto &pending : group) {
+        pending.promise.set_exception(
+            std::make_exception_ptr(remoteError(reason)));
+    }
+    group.clear();
+}
+
+bool
+RemoteNodeClient::ensureConnected(net::Socket &socket)
+{
+    if (socket.valid())
+        return true;
+    std::string error;
+    socket = net::connectTo(options_.host, options_.port,
+                            options_.connect_timeout_ms, &error);
+    if (!socket.valid()) {
+        HERMES_DEBUG("remote node dial failed: ", error);
+        return false;
+    }
+    std::unique_lock<std::mutex> lock(stats_mutex_);
+    ++client_stats_.reconnects;
+    return true;
+}
+
+bool
+RemoteNodeClient::roundTrip(net::Socket &socket, rpc::Type type,
+                            std::string_view payload, net::Frame &reply)
+{
+    std::uint64_t id = next_id_.fetch_add(1);
+    {
+        std::unique_lock<std::mutex> lock(stats_mutex_);
+        ++client_stats_.rpcs_sent;
+    }
+    net::IoStatus sent =
+        net::sendFrame(socket, static_cast<std::uint32_t>(type), id,
+                       payload, net::Deadline::after(kSendBudgetMs));
+    if (sent != net::IoStatus::Ok) {
+        socket.close();
+        std::unique_lock<std::mutex> lock(stats_mutex_);
+        ++client_stats_.transport_failures;
+        return false;
+    }
+    double budget = options_.request_deadline_ms > 0.0
+        ? options_.request_deadline_ms + options_.response_slack_ms
+        : options_.max_response_wait_ms;
+    net::IoStatus got = net::recvFrame(socket, reply,
+                                       net::Deadline::after(budget));
+    // One outstanding RPC per connection, so the reply id must match;
+    // anything else means the stream is desynced — poison the socket
+    // so the next request starts from a clean dial.
+    if (got != net::IoStatus::Ok || reply.id != id) {
+        socket.close();
+        std::unique_lock<std::mutex> lock(stats_mutex_);
+        ++client_stats_.transport_failures;
+        return false;
+    }
+    return true;
+}
+
+void
+RemoteNodeClient::retrySingles(net::Socket &socket,
+                               std::vector<Pending> &group)
+{
+    for (std::size_t i = 0; i < group.size(); ++i) {
+        auto &pending = group[i];
+        rpc::SearchRequest request;
+        request.k = pending.k;
+        request.params = pending.params;
+        request.deadline_ms = options_.request_deadline_ms;
+        request.query = pending.query;
+        net::Frame reply;
+        bool ok = ensureConnected(socket) &&
+            roundTrip(socket, rpc::Type::SearchRequest,
+                      rpc::encodeSearchRequest(request), reply);
+        if (!ok) {
+            pending.promise.set_exception(std::make_exception_ptr(
+                remoteError("transport failure to " + options_.host + ":" +
+                            std::to_string(options_.port))));
+            continue;
+        }
+        if (static_cast<rpc::Type>(reply.type) ==
+            rpc::Type::SearchResponse) {
+            try {
+                pending.promise.set_value(
+                    rpc::decodeSearchResponse(reply.payload));
+                continue;
+            } catch (const net::WireError &e) {
+                socket.close();
+                pending.promise.set_exception(
+                    std::make_exception_ptr(remoteError(e.what())));
+                continue;
+            }
+        }
+        std::string reason = "unexpected frame type " +
+            std::to_string(reply.type);
+        if (static_cast<rpc::Type>(reply.type) ==
+            rpc::Type::ErrorResponse) {
+            try {
+                rpc::ErrorBody body = rpc::decodeError(reply.payload);
+                reason = body.message;
+            } catch (const net::WireError &) {
+            }
+            std::unique_lock<std::mutex> lock(stats_mutex_);
+            ++client_stats_.remote_errors;
+        } else {
+            socket.close();
+        }
+        pending.promise.set_exception(
+            std::make_exception_ptr(remoteError(reason)));
+    }
+    group.clear();
+}
+
+void
+RemoteNodeClient::runRpc(net::Socket &socket, std::vector<Pending> &group)
+{
+    if (!ensureConnected(socket)) {
+        failGroup(group, "cannot reach " + options_.host + ":" +
+                             std::to_string(options_.port));
+        return;
+    }
+
+    if (group.size() == 1) {
+        retrySingles(socket, group); // the single path IS the retry path
+        return;
+    }
+
+    const auto &head = group.front();
+    rpc::SearchBatchRequest request;
+    request.k = head.k;
+    request.params = head.params;
+    request.deadline_ms = options_.request_deadline_ms;
+    request.dim = head.query.size();
+    request.queries.reserve(group.size() * request.dim);
+    for (const auto &pending : group) {
+        request.queries.insert(request.queries.end(),
+                               pending.query.begin(), pending.query.end());
+    }
+    {
+        std::unique_lock<std::mutex> lock(stats_mutex_);
+        ++client_stats_.batched_rpcs;
+        client_stats_.batched_requests += group.size();
+    }
+
+    net::Frame reply;
+    if (!roundTrip(socket, rpc::Type::SearchBatchRequest,
+                   rpc::encodeSearchBatchRequest(request), reply)) {
+        failGroup(group, "transport failure to " + options_.host + ":" +
+                             std::to_string(options_.port));
+        return;
+    }
+
+    switch (static_cast<rpc::Type>(reply.type)) {
+      case rpc::Type::SearchBatchResponse: {
+        std::vector<NodeResponse> responses;
+        try {
+            responses = rpc::decodeSearchBatchResponse(reply.payload);
+        } catch (const net::WireError &e) {
+            socket.close();
+            failGroup(group, e.what());
+            return;
+        }
+        if (responses.size() != group.size()) {
+            socket.close();
+            failGroup(group, "batch response cardinality mismatch");
+            return;
+        }
+        for (std::size_t i = 0; i < group.size(); ++i)
+            group[i].promise.set_value(std::move(responses[i]));
+        group.clear();
+        return;
+      }
+      case rpc::Type::ErrorResponse: {
+        {
+            std::unique_lock<std::mutex> lock(stats_mutex_);
+            ++client_stats_.remote_errors;
+        }
+        // A batch-level fault (one poisoned query, a shard-side
+        // timeout) must not fail its neighbours: retry each request
+        // as its own RPC so only the guilty one carries the error.
+        retrySingles(socket, group);
+        return;
+      }
+      default:
+        socket.close();
+        failGroup(group,
+                  "unexpected frame type " + std::to_string(reply.type));
+        return;
+    }
+}
+
+bool
+RemoteNodeClient::controlRoundTrip(rpc::Type type,
+                                   std::string_view payload,
+                                   net::Frame &reply) const
+{
+    std::unique_lock<std::mutex> lock(control_mutex_);
+    auto attempt = [&](bool &dialed) {
+        dialed = false;
+        if (!control_socket_.valid()) {
+            std::string error;
+            control_socket_ = net::connectTo(
+                options_.host, options_.port,
+                options_.connect_timeout_ms, &error);
+            if (!control_socket_.valid())
+                return false;
+            dialed = true;
+        }
+        std::uint64_t id = next_id_.fetch_add(1);
+        net::IoStatus sent = net::sendFrame(
+            control_socket_, static_cast<std::uint32_t>(type), id,
+            payload, net::Deadline::after(kControlBudgetMs));
+        if (sent != net::IoStatus::Ok) {
+            control_socket_.close();
+            return false;
+        }
+        net::IoStatus got = net::recvFrame(
+            control_socket_, reply,
+            net::Deadline::after(kControlBudgetMs));
+        if (got != net::IoStatus::Ok || reply.id != id) {
+            control_socket_.close();
+            return false;
+        }
+        return true;
+    };
+    bool dialed = false;
+    if (attempt(dialed))
+        return true;
+    // A failure over a pre-existing connection usually means the socket
+    // went stale behind our back (shard restarted since the last stats
+    // call); one fresh dial answers instead of reporting the shard down.
+    return !dialed && attempt(dialed);
+}
+
+} // namespace serve
+} // namespace hermes

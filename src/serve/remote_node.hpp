@@ -1,0 +1,193 @@
+/**
+ * @file
+ * The broker's client for a shard that lives in another process: a
+ * NodeClient backed by a pool of framed-RPC connections to a
+ * ShardServer / hermes_shard endpoint.
+ *
+ * submit() never blocks on the network — requests are queued and the
+ * pool's I/O workers carry them, fulfilling the returned futures, so
+ * the broker's scatter/gather, deadlines, retries and degradation run
+ * exactly as they do against in-process nodes.
+ *
+ * Wire-level micro-batching: a worker that finds several queued
+ * requests with identical (k, params) coalesces them into a single
+ * SearchBatch RPC, which the shard fans back into its node queue
+ * back-to-back — so PR 5's list-major batching engages across the
+ * wire with one round trip instead of Q.
+ *
+ * Failure model:
+ *  - Connect failure / peer reset / torn response: every request that
+ *    rode that RPC gets its future failed with an exception (the
+ *    broker counts a failure and retries), the connection is dropped
+ *    and re-dialed on the next request — which is what makes a shard
+ *    restart invisible beyond the degraded window.
+ *  - A typed ErrorResponse fails only the requests of that RPC;
+ *    batch-level errors are retried per-query over the wire first, so
+ *    one poisoned query cannot fail its neighbours.
+ *  - Responses are matched by frame id; a mismatched id (stale reply
+ *    after a local timeout) poisons the connection, never a future.
+ */
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/frame.hpp"
+#include "net/net.hpp"
+#include "serve/node_client.hpp"
+#include "serve/rpc.hpp"
+
+namespace hermes {
+namespace serve {
+
+/** Remote node endpoint + client tuning. */
+struct RemoteNodeOptions
+{
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;
+
+    /** Pool size = max in-flight RPCs to this shard. */
+    std::size_t connections = 2;
+
+    /** Dial budget per (re)connect attempt. */
+    double connect_timeout_ms = 500.0;
+
+    /**
+     * Deadline stamped on each request (the broker's node_deadline_ms;
+     * the shard bounds its own wait by it). <= 0 = none.
+     */
+    double request_deadline_ms = 0.0;
+
+    /** Extra wait for the response beyond request_deadline_ms. */
+    double response_slack_ms = 1000.0;
+
+    /** Response wait cap when request_deadline_ms <= 0. */
+    double max_response_wait_ms = 30000.0;
+
+    /** Client-side coalescing cap per SearchBatch RPC. */
+    std::size_t max_batch = 64;
+};
+
+/** Client-side counters (observability + tests). */
+struct RemoteNodeClientStats
+{
+    std::uint64_t rpcs_sent = 0;
+    std::uint64_t batched_rpcs = 0;      ///< SearchBatch frames sent
+    std::uint64_t batched_requests = 0;  ///< requests that rode them
+    std::uint64_t reconnects = 0;
+    std::uint64_t transport_failures = 0;
+    std::uint64_t remote_errors = 0;     ///< typed ErrorResponses
+};
+
+/** NodeClient over the framed shard protocol. */
+class RemoteNodeClient final : public NodeClient
+{
+  public:
+    explicit RemoteNodeClient(RemoteNodeOptions options);
+
+    /** Fails all pending requests and joins the pool. */
+    ~RemoteNodeClient() override;
+
+    RemoteNodeClient(const RemoteNodeClient &) = delete;
+    RemoteNodeClient &operator=(const RemoteNodeClient &) = delete;
+
+    std::future<NodeResponse>
+    submit(vecstore::VecView query, std::size_t k,
+           const index::SearchParams &params) override;
+
+    /** Stats RPC; zeros when the shard is unreachable. */
+    NodeStats stats() const override;
+
+    /** Client-side queue depth (requests not yet on the wire). */
+    std::size_t queueDepth() const override;
+
+    /** Shard size from the last successful Health/Stats RPC. */
+    std::size_t shardSize() const override;
+
+    /**
+     * Health RPC on the control channel. True when the shard answers
+     * with a compatible protocol version; fills @p out when given.
+     * Also refreshes the cached shard size.
+     */
+    bool health(rpc::HealthResponse *out = nullptr) const;
+
+    RemoteNodeClientStats clientStats() const;
+
+    const RemoteNodeOptions &options() const { return options_; }
+
+  private:
+    struct Pending
+    {
+        std::vector<float> query;
+        std::size_t k = 0;
+        index::SearchParams params;
+        std::promise<NodeResponse> promise;
+    };
+
+    void workerLoop();
+
+    /** True when two requests can share one SearchBatch RPC. */
+    static bool compatible(const Pending &a, const Pending &b);
+
+    /**
+     * Run one RPC for @p group on @p socket ((re)dialing as needed).
+     * Fulfils every promise in the group, one way or the other.
+     */
+    void runRpc(net::Socket &socket, std::vector<Pending> &group);
+
+    /** Per-query wire retry after a batch-level ErrorResponse. */
+    void retrySingles(net::Socket &socket, std::vector<Pending> &group);
+
+    bool ensureConnected(net::Socket &socket);
+
+    /**
+     * Send @p payload as @p type and wait for the matching response
+     * frame. Returns false on transport failure (socket poisoned and
+     * closed); true with @p reply filled otherwise.
+     */
+    bool roundTrip(net::Socket &socket, rpc::Type type,
+                   std::string_view payload, net::Frame &reply);
+
+    /** Control-channel round trip (stats/health), serialized. */
+    bool controlRoundTrip(rpc::Type type, std::string_view payload,
+                          net::Frame &reply) const;
+
+    static void failGroup(std::vector<Pending> &group,
+                          const std::string &reason);
+
+    RemoteNodeOptions options_;
+
+    mutable std::mutex queue_mutex_;
+    std::condition_variable queue_cv_;
+    std::deque<Pending> queue_;
+    bool stopping_ = false;
+
+    std::vector<std::thread> workers_;
+
+    /** Dedicated connection for stats/health so control traffic never
+     *  queues behind a large search batch. */
+    mutable std::mutex control_mutex_;
+    mutable net::Socket control_socket_;
+
+    mutable std::atomic<std::uint64_t> next_id_{1};
+    mutable std::atomic<std::size_t> shard_vectors_{0};
+
+    mutable std::mutex stats_mutex_;
+    mutable RemoteNodeClientStats client_stats_;
+};
+
+/** Parse "host:port" (or bare ":port"/"port" for loopback). */
+bool parseEndpoint(const std::string &spec, std::string &host,
+                   std::uint16_t &port);
+
+} // namespace serve
+} // namespace hermes

@@ -1,0 +1,262 @@
+#include "serve/rpc.hpp"
+
+namespace hermes {
+namespace serve {
+namespace rpc {
+
+namespace {
+
+void
+encodeParams(net::WireWriter &writer, std::size_t k,
+             const index::SearchParams &params, double deadline_ms)
+{
+    writer.u64(k);
+    writer.u64(params.nprobe);
+    writer.u64(params.ef_search);
+    writer.f64(params.prune_ratio);
+    writer.u64(params.batch_min_scan_floats);
+    writer.f64(deadline_ms);
+}
+
+void
+decodeParams(net::WireReader &reader, std::size_t &k,
+             index::SearchParams &params, double &deadline_ms)
+{
+    k = reader.u64();
+    params.nprobe = reader.u64();
+    params.ef_search = reader.u64();
+    params.prune_ratio = reader.f64();
+    params.batch_min_scan_floats = reader.u64();
+    deadline_ms = reader.f64();
+}
+
+void
+encodeStats(net::WireWriter &writer, const index::SearchStats &stats)
+{
+    writer.u64(stats.lists_probed);
+    writer.u64(stats.vectors_scanned);
+    writer.u64(stats.distance_computations);
+    writer.u64(stats.bytes_scanned);
+}
+
+index::SearchStats
+decodeStats(net::WireReader &reader)
+{
+    index::SearchStats stats;
+    stats.lists_probed = reader.u64();
+    stats.vectors_scanned = reader.u64();
+    stats.distance_computations = reader.u64();
+    stats.bytes_scanned = reader.u64();
+    return stats;
+}
+
+void
+encodeHits(net::WireWriter &writer, const vecstore::HitList &hits)
+{
+    writer.u32(static_cast<std::uint32_t>(hits.size()));
+    for (const auto &hit : hits) {
+        writer.i64(hit.id);
+        writer.f32(hit.score);
+    }
+}
+
+vecstore::HitList
+decodeHits(net::WireReader &reader)
+{
+    std::uint32_t n = reader.u32();
+    vecstore::HitList hits;
+    hits.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        vecstore::Hit hit;
+        hit.id = reader.i64();
+        hit.score = reader.f32();
+        hits.push_back(hit);
+    }
+    return hits;
+}
+
+void
+encodeOneResponse(net::WireWriter &writer, const NodeResponse &response)
+{
+    encodeHits(writer, response.hits);
+    encodeStats(writer, response.stats);
+}
+
+NodeResponse
+decodeOneResponse(net::WireReader &reader)
+{
+    NodeResponse response;
+    response.hits = decodeHits(reader);
+    response.stats = decodeStats(reader);
+    return response;
+}
+
+} // namespace
+
+std::string
+encodeSearchRequest(const SearchRequest &request)
+{
+    net::WireWriter writer;
+    encodeParams(writer, request.k, request.params, request.deadline_ms);
+    writer.floats(request.query.data(), request.query.size());
+    return writer.take();
+}
+
+SearchRequest
+decodeSearchRequest(std::string_view payload)
+{
+    net::WireReader reader(payload);
+    SearchRequest request;
+    decodeParams(reader, request.k, request.params, request.deadline_ms);
+    request.query = reader.floats();
+    reader.expectEnd();
+    return request;
+}
+
+std::string
+encodeSearchBatchRequest(const SearchBatchRequest &request)
+{
+    net::WireWriter writer;
+    encodeParams(writer, request.k, request.params, request.deadline_ms);
+    writer.u64(request.dim);
+    writer.floats(request.queries.data(), request.queries.size());
+    return writer.take();
+}
+
+SearchBatchRequest
+decodeSearchBatchRequest(std::string_view payload)
+{
+    net::WireReader reader(payload);
+    SearchBatchRequest request;
+    decodeParams(reader, request.k, request.params, request.deadline_ms);
+    request.dim = reader.u64();
+    request.queries = reader.floats();
+    reader.expectEnd();
+    if (request.dim == 0 || request.queries.size() % request.dim != 0)
+        throw net::WireError("batch query block not a multiple of dim");
+    return request;
+}
+
+std::string
+encodeSearchResponse(const NodeResponse &response)
+{
+    net::WireWriter writer;
+    encodeOneResponse(writer, response);
+    return writer.take();
+}
+
+NodeResponse
+decodeSearchResponse(std::string_view payload)
+{
+    net::WireReader reader(payload);
+    NodeResponse response = decodeOneResponse(reader);
+    reader.expectEnd();
+    return response;
+}
+
+std::string
+encodeSearchBatchResponse(const std::vector<NodeResponse> &responses)
+{
+    net::WireWriter writer;
+    writer.u32(static_cast<std::uint32_t>(responses.size()));
+    for (const auto &response : responses)
+        encodeOneResponse(writer, response);
+    return writer.take();
+}
+
+std::vector<NodeResponse>
+decodeSearchBatchResponse(std::string_view payload)
+{
+    net::WireReader reader(payload);
+    std::uint32_t n = reader.u32();
+    std::vector<NodeResponse> responses;
+    responses.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i)
+        responses.push_back(decodeOneResponse(reader));
+    reader.expectEnd();
+    return responses;
+}
+
+std::string
+encodeStatsResponse(const StatsResponse &response)
+{
+    net::WireWriter writer;
+    writer.u64(response.stats.requests);
+    writer.u64(response.stats.batches);
+    writer.f64(response.stats.busy_seconds);
+    writer.u64(response.stats.vectors_scanned);
+    writer.u64(response.stats.failures);
+    writer.u64(response.stats.dropped);
+    writer.u64(response.stats.hits_returned);
+    writer.f64(response.stats.energy_joules);
+    writer.u64(response.queue_depth);
+    writer.u64(response.shard_vectors);
+    return writer.take();
+}
+
+StatsResponse
+decodeStatsResponse(std::string_view payload)
+{
+    net::WireReader reader(payload);
+    StatsResponse response;
+    response.stats.requests = reader.u64();
+    response.stats.batches = reader.u64();
+    response.stats.busy_seconds = reader.f64();
+    response.stats.vectors_scanned = reader.u64();
+    response.stats.failures = reader.u64();
+    response.stats.dropped = reader.u64();
+    response.stats.hits_returned = reader.u64();
+    response.stats.energy_joules = reader.f64();
+    response.queue_depth = reader.u64();
+    response.shard_vectors = reader.u64();
+    reader.expectEnd();
+    return response;
+}
+
+std::string
+encodeHealthResponse(const HealthResponse &response)
+{
+    net::WireWriter writer;
+    writer.u32(response.protocol_version);
+    writer.u32(response.node_id);
+    writer.u32(response.dim);
+    writer.u64(response.shard_vectors);
+    return writer.take();
+}
+
+HealthResponse
+decodeHealthResponse(std::string_view payload)
+{
+    net::WireReader reader(payload);
+    HealthResponse response;
+    response.protocol_version = reader.u32();
+    response.node_id = reader.u32();
+    response.dim = reader.u32();
+    response.shard_vectors = reader.u64();
+    reader.expectEnd();
+    return response;
+}
+
+std::string
+encodeError(ErrorCode code, const std::string &message)
+{
+    net::WireWriter writer;
+    writer.u32(static_cast<std::uint32_t>(code));
+    writer.str(message);
+    return writer.take();
+}
+
+ErrorBody
+decodeError(std::string_view payload)
+{
+    net::WireReader reader(payload);
+    ErrorBody body;
+    body.code = static_cast<ErrorCode>(reader.u32());
+    body.message = reader.str();
+    reader.expectEnd();
+    return body;
+}
+
+} // namespace rpc
+} // namespace serve
+} // namespace hermes

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * The broker <-> shard RPC vocabulary: message types and their binary
+ * encodings over net::Frame payloads (net/wire.hpp codec).
+ *
+ * Four request/response pairs carry the whole serving protocol:
+ *
+ *   Search        one query       -> hits + SearchStats
+ *   SearchBatch   Q queries       -> Q x (hits + SearchStats), the wire
+ *                                    twin of RetrievalNode micro-batching
+ *   Stats         -               -> NodeStats + queue depth + shard size
+ *   Health        -               -> protocol version, dim, shard size
+ *
+ * plus a typed Error response (timeout / bad request / internal /
+ * shutting down). Request ids live in the frame header and are echoed
+ * verbatim, so a client can match late responses after it has already
+ * given up on them.
+ *
+ * Encoding invariants: decode functions throw net::WireError on any
+ * truncated, over-long or trailing-garbage payload — a torn frame can
+ * never silently decode into a shorter hit list.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "index/ann_index.hpp"
+#include "net/wire.hpp"
+#include "serve/node.hpp"
+
+namespace hermes {
+namespace serve {
+namespace rpc {
+
+/** Bump when the wire encoding changes; checked in the Health reply. */
+constexpr std::uint32_t kProtocolVersion = 1;
+
+/** Frame types (net::Frame::type). Responses = request | 0x100. */
+enum class Type : std::uint32_t {
+    SearchRequest = 1,
+    SearchBatchRequest = 2,
+    StatsRequest = 3,
+    HealthRequest = 4,
+
+    SearchResponse = 0x101,
+    SearchBatchResponse = 0x102,
+    StatsResponse = 0x103,
+    HealthResponse = 0x104,
+
+    ErrorResponse = 0x1FF,
+};
+
+/** Typed failure classes carried by an ErrorResponse. */
+enum class ErrorCode : std::uint32_t {
+    Timeout = 1,    ///< Shard-side wait on the node future expired.
+    BadRequest = 2, ///< Undecodable payload or dimension mismatch.
+    Internal = 3,   ///< Shard search threw (real or injected fault).
+    Shutdown = 4,   ///< Shard is stopping; retry elsewhere/later.
+};
+
+/** One search request (SearchRequest / per-query slice of a batch). */
+struct SearchRequest
+{
+    std::size_t k = 0;
+    index::SearchParams params;
+
+    /**
+     * Client-side deadline budget in ms; the shard bounds its wait on
+     * the node future by this (plus slack) so a dropped request cannot
+     * wedge the connection. <= 0 means no deadline (wait forever).
+     */
+    double deadline_ms = 0.0;
+
+    std::vector<float> query;
+};
+
+/** A batched search: Q queries sharing (k, params). */
+struct SearchBatchRequest
+{
+    std::size_t k = 0;
+    index::SearchParams params;
+    double deadline_ms = 0.0;
+    std::size_t dim = 0;
+
+    /** Row-major Q x dim query block. */
+    std::vector<float> queries;
+
+    std::size_t
+    numQueries() const
+    {
+        return dim ? queries.size() / dim : 0;
+    }
+};
+
+/** Stats reply: the node's counters plus instantaneous queue/shard. */
+struct StatsResponse
+{
+    NodeStats stats;
+    std::uint64_t queue_depth = 0;
+    std::uint64_t shard_vectors = 0;
+};
+
+/** Health reply: who am I, do we speak the same protocol. */
+struct HealthResponse
+{
+    std::uint32_t protocol_version = kProtocolVersion;
+    std::uint32_t node_id = 0;
+    std::uint32_t dim = 0;
+    std::uint64_t shard_vectors = 0;
+};
+
+/** Typed error body. */
+struct ErrorBody
+{
+    ErrorCode code = ErrorCode::Internal;
+    std::string message;
+};
+
+std::string encodeSearchRequest(const SearchRequest &request);
+SearchRequest decodeSearchRequest(std::string_view payload);
+
+std::string encodeSearchBatchRequest(const SearchBatchRequest &request);
+SearchBatchRequest decodeSearchBatchRequest(std::string_view payload);
+
+std::string encodeSearchResponse(const NodeResponse &response);
+NodeResponse decodeSearchResponse(std::string_view payload);
+
+std::string
+encodeSearchBatchResponse(const std::vector<NodeResponse> &responses);
+std::vector<NodeResponse>
+decodeSearchBatchResponse(std::string_view payload);
+
+std::string encodeStatsResponse(const StatsResponse &response);
+StatsResponse decodeStatsResponse(std::string_view payload);
+
+std::string encodeHealthResponse(const HealthResponse &response);
+HealthResponse decodeHealthResponse(std::string_view payload);
+
+std::string encodeError(ErrorCode code, const std::string &message);
+ErrorBody decodeError(std::string_view payload);
+
+} // namespace rpc
+} // namespace serve
+} // namespace hermes

@@ -1,0 +1,295 @@
+#include "serve/shard_server.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "util/logging.hpp"
+
+namespace hermes {
+namespace serve {
+
+namespace {
+
+/** Accept-poll tick: how often the accept loop re-checks stopping_. */
+constexpr double kAcceptTickMs = 100.0;
+
+/** Idle-poll tick for connection readers and node-future waits. */
+constexpr int kIdleTickMs = 100;
+
+/** I/O budget for one frame once bytes have started flowing. */
+constexpr double kFrameIoMs = 5000.0;
+
+} // namespace
+
+ShardServer::ShardServer(const index::AnnIndex &shard,
+                         ShardServerOptions options)
+    : shard_(shard), options_(std::move(options))
+{
+}
+
+ShardServer::~ShardServer()
+{
+    stop();
+}
+
+bool
+ShardServer::start()
+{
+    if (running_.load())
+        return true;
+    std::string error;
+    if (!listener_.open(options_.bind_address, options_.port, 64, &error)) {
+        std::fprintf(stderr, "[warn] shard: %s\n", error.c_str());
+        return false;
+    }
+    node_ = std::make_unique<RetrievalNode>(shard_, options_.node);
+    stopping_.store(false);
+    running_.store(true);
+    accept_thread_ = std::thread([this] { acceptLoop(); });
+    return true;
+}
+
+void
+ShardServer::stop()
+{
+    if (!running_.exchange(false))
+        return;
+    stopping_.store(true);
+    if (accept_thread_.joinable())
+        accept_thread_.join();
+    listener_.close();
+    std::vector<std::thread> threads;
+    {
+        std::unique_lock<std::mutex> lock(threads_mutex_);
+        threads.swap(connection_threads_);
+    }
+    for (auto &thread : threads) {
+        if (thread.joinable())
+            thread.join();
+    }
+    node_.reset();
+}
+
+ShardServerStats
+ShardServer::stats() const
+{
+    std::unique_lock<std::mutex> lock(stats_mutex_);
+    return stats_;
+}
+
+NodeStats
+ShardServer::nodeStats() const
+{
+    return node_ ? node_->stats() : NodeStats{};
+}
+
+void
+ShardServer::acceptLoop()
+{
+    while (!stopping_.load()) {
+        net::Socket socket = listener_.acceptFor(kAcceptTickMs);
+        if (!socket.valid())
+            continue;
+        {
+            std::unique_lock<std::mutex> lock(stats_mutex_);
+            ++stats_.connections_accepted;
+        }
+        std::unique_lock<std::mutex> lock(threads_mutex_);
+        connection_threads_.emplace_back(
+            [this, sock = std::move(socket)]() mutable {
+                handleConnection(std::move(sock));
+            });
+    }
+}
+
+void
+ShardServer::handleConnection(net::Socket socket)
+{
+    while (!stopping_.load()) {
+        // Idle wait in slices so stop() is never blocked on a silent
+        // client; once bytes arrive the frame gets a real I/O budget.
+        net::IoStatus readable = net::waitReadable(
+            socket.fd(), net::Deadline::infinite(), kIdleTickMs);
+        if (readable == net::IoStatus::Timeout)
+            continue;
+        if (readable != net::IoStatus::Ok)
+            return;
+        net::Frame frame;
+        net::IoStatus status =
+            net::recvFrame(socket, frame, net::Deadline::after(kFrameIoMs),
+                           options_.max_frame_payload);
+        if (status != net::IoStatus::Ok)
+            return; // closed, torn frame, bad magic or oversized: drop
+        if (!dispatch(socket, frame))
+            return;
+    }
+}
+
+bool
+ShardServer::sendReply(net::Socket &socket, rpc::Type type,
+                       std::uint64_t id, std::string_view payload)
+{
+    return net::sendFrame(socket, static_cast<std::uint32_t>(type), id,
+                          payload, net::Deadline::after(kFrameIoMs)) ==
+        net::IoStatus::Ok;
+}
+
+bool
+ShardServer::sendError(net::Socket &socket, std::uint64_t id,
+                       rpc::ErrorCode code, const std::string &message)
+{
+    {
+        std::unique_lock<std::mutex> lock(stats_mutex_);
+        ++stats_.errors_returned;
+    }
+    return sendReply(socket, rpc::Type::ErrorResponse, id,
+                     rpc::encodeError(code, message));
+}
+
+bool
+ShardServer::waitForNode(std::future<NodeResponse> &future,
+                         double deadline_ms, NodeResponse &response,
+                         rpc::ErrorCode &code, std::string &message)
+{
+    // Budget: the client's own deadline plus slack, capped so a
+    // deadline-less request against a fault-dropped promise still
+    // unblocks this thread eventually.
+    double budget = deadline_ms > 0.0
+        ? deadline_ms + options_.deadline_slack_ms
+        : options_.max_wait_ms;
+    net::Deadline deadline = net::Deadline::after(budget);
+    for (;;) {
+        if (stopping_.load()) {
+            code = rpc::ErrorCode::Shutdown;
+            message = "shard stopping";
+            return false;
+        }
+        double slice =
+            std::min(deadline.remainingMs(), double(kIdleTickMs));
+        auto status = future.wait_for(
+            std::chrono::duration<double, std::milli>(slice));
+        if (status == std::future_status::ready)
+            break;
+        if (deadline.expired()) {
+            code = rpc::ErrorCode::Timeout;
+            message = "node wait exceeded " + std::to_string(budget) +
+                " ms";
+            return false;
+        }
+    }
+    try {
+        response = future.get();
+        return true;
+    } catch (const std::exception &e) {
+        code = rpc::ErrorCode::Internal;
+        message = e.what();
+    } catch (...) {
+        code = rpc::ErrorCode::Internal;
+        message = "non-standard shard exception";
+    }
+    return false;
+}
+
+bool
+ShardServer::dispatch(net::Socket &socket, const net::Frame &frame)
+{
+    {
+        std::unique_lock<std::mutex> lock(stats_mutex_);
+        ++stats_.requests_served;
+    }
+    switch (static_cast<rpc::Type>(frame.type)) {
+      case rpc::Type::HealthRequest: {
+        rpc::HealthResponse health;
+        health.node_id = static_cast<std::uint32_t>(options_.node.node_id);
+        health.dim = static_cast<std::uint32_t>(shard_.dim());
+        health.shard_vectors = shard_.size();
+        return sendReply(socket, rpc::Type::HealthResponse, frame.id,
+                         rpc::encodeHealthResponse(health));
+      }
+      case rpc::Type::StatsRequest: {
+        rpc::StatsResponse stats;
+        stats.stats = node_->stats();
+        stats.queue_depth = node_->queueDepth();
+        stats.shard_vectors = shard_.size();
+        return sendReply(socket, rpc::Type::StatsResponse, frame.id,
+                         rpc::encodeStatsResponse(stats));
+      }
+      case rpc::Type::SearchRequest: {
+        rpc::SearchRequest request;
+        try {
+            request = rpc::decodeSearchRequest(frame.payload);
+        } catch (const net::WireError &e) {
+            return sendError(socket, frame.id, rpc::ErrorCode::BadRequest,
+                             e.what());
+        }
+        if (request.query.size() != shard_.dim()) {
+            return sendError(socket, frame.id, rpc::ErrorCode::BadRequest,
+                             "query dim " +
+                                 std::to_string(request.query.size()) +
+                                 " != shard dim " +
+                                 std::to_string(shard_.dim()));
+        }
+        auto future = node_->submit(
+            vecstore::VecView(request.query.data(), request.query.size()),
+            request.k, request.params);
+        NodeResponse response;
+        rpc::ErrorCode code;
+        std::string message;
+        if (!waitForNode(future, request.deadline_ms, response, code,
+                         message))
+            return sendError(socket, frame.id, code, message);
+        return sendReply(socket, rpc::Type::SearchResponse, frame.id,
+                         rpc::encodeSearchResponse(response));
+      }
+      case rpc::Type::SearchBatchRequest: {
+        rpc::SearchBatchRequest request;
+        try {
+            request = rpc::decodeSearchBatchRequest(frame.payload);
+        } catch (const net::WireError &e) {
+            return sendError(socket, frame.id, rpc::ErrorCode::BadRequest,
+                             e.what());
+        }
+        if (request.dim != shard_.dim()) {
+            return sendError(socket, frame.id, rpc::ErrorCode::BadRequest,
+                             "batch dim " + std::to_string(request.dim) +
+                                 " != shard dim " +
+                                 std::to_string(shard_.dim()));
+        }
+        // Back-to-back node submissions: the queue drain groups them
+        // into one list-major searchBatch (same k/params), so one
+        // batch RPC rides the same micro-batching as concurrent
+        // in-process callers.
+        const std::size_t q = request.numQueries();
+        std::vector<std::future<NodeResponse>> futures;
+        futures.reserve(q);
+        for (std::size_t i = 0; i < q; ++i) {
+            futures.push_back(node_->submit(
+                vecstore::VecView(request.queries.data() + i * request.dim,
+                                  request.dim),
+                request.k, request.params));
+        }
+        std::vector<NodeResponse> responses(q);
+        for (std::size_t i = 0; i < q; ++i) {
+            rpc::ErrorCode code;
+            std::string message;
+            if (!waitForNode(futures[i], request.deadline_ms, responses[i],
+                             code, message)) {
+                // One lost slice fails the whole batch; the client
+                // retries per-query so a poisoned query only fails
+                // itself (mirrors the node's batch-throw fallback).
+                return sendError(socket, frame.id, code, message);
+            }
+        }
+        return sendReply(socket, rpc::Type::SearchBatchResponse, frame.id,
+                         rpc::encodeSearchBatchResponse(responses));
+      }
+      default:
+        return sendError(socket, frame.id, rpc::ErrorCode::BadRequest,
+                         "unknown frame type " +
+                             std::to_string(frame.type));
+    }
+}
+
+} // namespace serve
+} // namespace hermes

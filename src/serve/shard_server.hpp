@@ -1,0 +1,158 @@
+/**
+ * @file
+ * The serving side of a shard-per-process fleet: one RetrievalNode
+ * behind the framed RPC protocol (serve/rpc.hpp) on a TCP listener.
+ *
+ * `hermes_shard` wraps this in a process; tests run it in-process over
+ * loopback. Each accepted connection gets a handler thread that decodes
+ * request frames, submits them to the node's queue, and writes framed
+ * responses — so concurrent connections' requests coalesce in the node
+ * exactly like concurrent broker threads do in-process, preserving
+ * PR 5 micro-batching behind the wire.
+ *
+ * Failure model:
+ *  - An undecodable payload or dimension mismatch answers
+ *    ErrorCode::BadRequest; the connection survives.
+ *  - A shard search that throws (real or injected fault) answers
+ *    ErrorCode::Internal; the connection survives.
+ *  - A node future that is not ready within the request's deadline
+ *    (plus slack) answers ErrorCode::Timeout — a dropped request can
+ *    wedge neither the connection nor shutdown.
+ *  - stop() answers in-flight waits with ErrorCode::Shutdown, joins
+ *    every handler, then tears down the node.
+ */
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "index/ann_index.hpp"
+#include "net/frame.hpp"
+#include "net/net.hpp"
+#include "serve/node.hpp"
+#include "serve/rpc.hpp"
+
+namespace hermes {
+namespace serve {
+
+/** Shard server configuration. */
+struct ShardServerOptions
+{
+    /** Bind address; default loopback (single-host fleets, CI). */
+    std::string bind_address = "127.0.0.1";
+
+    /** TCP port; 0 picks an ephemeral port (see port()). */
+    std::uint16_t port = 0;
+
+    /** Node queue/batching/fault parameters (node_id tags metrics). */
+    NodeConfig node;
+
+    /**
+     * Extra milliseconds past a request's own deadline_ms the server
+     * will wait on the node future before answering Timeout. Covers
+     * clock skew between client submit and server dispatch.
+     */
+    double deadline_slack_ms = 250.0;
+
+    /**
+     * Wait cap (ms) for requests that carry no deadline (deadline_ms
+     * <= 0): a fault-dropped request must not hold a connection thread
+     * hostage forever.
+     */
+    double max_wait_ms = 30000.0;
+
+    /** Per-frame payload cap forwarded to net::recvFrame. */
+    std::size_t max_frame_payload = net::kDefaultMaxFramePayload;
+};
+
+/** Serving statistics of one shard server. */
+struct ShardServerStats
+{
+    std::uint64_t connections_accepted = 0;
+    std::uint64_t requests_served = 0;
+    std::uint64_t errors_returned = 0;
+};
+
+/** One shard process's serving core. */
+class ShardServer
+{
+  public:
+    /**
+     * @param shard   Trained index this shard serves (must outlive the
+     *                server).
+     * @param options Listener + node parameters.
+     */
+    ShardServer(const index::AnnIndex &shard, ShardServerOptions options);
+
+    /** Stops the server if still running. */
+    ~ShardServer();
+
+    ShardServer(const ShardServer &) = delete;
+    ShardServer &operator=(const ShardServer &) = delete;
+
+    /**
+     * Bind, listen, start the node worker and the accept thread.
+     * Returns false with the reason on stderr when the port cannot be
+     * bound.
+     */
+    bool start();
+
+    /** Join every connection, stop accepting, tear down the node. */
+    void stop();
+
+    bool running() const { return running_.load(); }
+
+    /** Actual bound port (resolves port 0 after start()). */
+    std::uint16_t port() const { return listener_.port(); }
+
+    /** Counters (connections, requests, error replies). */
+    ShardServerStats stats() const;
+
+    /** The wrapped node's counters (also served via the Stats RPC). */
+    NodeStats nodeStats() const;
+
+  private:
+    void acceptLoop();
+    void handleConnection(net::Socket socket);
+
+    /** Handle one decoded request frame; false = drop the connection. */
+    bool dispatch(net::Socket &socket, const net::Frame &frame);
+
+    /**
+     * Wait for @p future under @p deadline_ms + slack, in slices that
+     * observe stopping_. Fills @p response / @p error; returns the
+     * error code to send, or nullopt on success.
+     */
+    bool waitForNode(std::future<NodeResponse> &future, double deadline_ms,
+                     NodeResponse &response, rpc::ErrorCode &code,
+                     std::string &message);
+
+    bool sendReply(net::Socket &socket, rpc::Type type, std::uint64_t id,
+                   std::string_view payload);
+    bool sendError(net::Socket &socket, std::uint64_t id,
+                   rpc::ErrorCode code, const std::string &message);
+
+    const index::AnnIndex &shard_;
+    ShardServerOptions options_;
+    std::unique_ptr<RetrievalNode> node_;
+    net::Listener listener_;
+
+    std::atomic<bool> running_{false};
+    std::atomic<bool> stopping_{false};
+    std::thread accept_thread_;
+
+    std::mutex threads_mutex_;
+    std::vector<std::thread> connection_threads_;
+
+    mutable std::mutex stats_mutex_;
+    ShardServerStats stats_;
+};
+
+} // namespace serve
+} // namespace hermes

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Shard-per-process serving: builds one cluster of the deterministic
+ * demo store and serves it over the framed RPC protocol (ShardServer).
+ *
+ * A fleet is N of these plus a broker wired with --remote-nodes (see
+ * serving_demo): every process regenerates the same corpus from the
+ * same seed and partitions it with the same config, then keeps only its
+ * --cluster slice — so the fleet's union is bit-identical to the
+ * in-process store without any index files changing hands. Corpus and
+ * partition flags must therefore match across the fleet and the broker.
+ *
+ * Usage: hermes_shard --cluster=N [--port=N] [--bind=ADDR]
+ *                     [--num-docs=N] [--dim=N] [--topics=N]
+ *                     [--clusters=N] [--nlist=N]
+ *                     [--batch-window-us=N] [--max-batch=N]
+ *                     [--fail-prob=P] [--drop-prob=P] [--delay-ms=MS]
+ *                     [--http-port=PORT]
+ *
+ * Prints one machine-parseable line once serving:
+ *   hermes_shard ready cluster=<c> vectors=<n> port=<p>
+ * then runs until SIGTERM/SIGINT. --http-port adds the obs exporter
+ * (/healthz for liveness probes, /metrics, plus /shard with the node's
+ * counters), so a supervisor can watch recovery after a restart.
+ */
+
+#include <algorithm>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "hermes/hermes.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void
+onSignal(int)
+{
+    g_stop = 1;
+}
+
+const char *
+matchOption(const char *arg, const char *name)
+{
+    std::size_t len = std::strlen(name);
+    if (std::strncmp(arg, name, len) == 0 && arg[len] == '=')
+        return arg + len + 1;
+    return nullptr;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace hermes;
+    util::setQuiet(true);
+
+    long cluster = -1;
+    int port = 0;
+    std::string bind_address = "127.0.0.1";
+    std::size_t num_docs = 20000;
+    std::size_t dim = 32;
+    std::size_t topics = 30;
+    std::size_t clusters = 10;
+    std::size_t nlist = 0;
+    double batch_window_us = 0.0;
+    std::size_t max_batch = 0;
+    double fail_prob = 0.0;
+    double drop_prob = 0.0;
+    double delay_ms = 0.0;
+    int http_port = -1;
+    for (int i = 1; i < argc; ++i) {
+        if (const char *v = matchOption(argv[i], "--cluster"))
+            cluster = std::strtol(v, nullptr, 10);
+        else if (const char *v = matchOption(argv[i], "--port"))
+            port = std::atoi(v);
+        else if (const char *v = matchOption(argv[i], "--bind"))
+            bind_address = v;
+        else if (const char *v = matchOption(argv[i], "--num-docs"))
+            num_docs = std::strtoul(v, nullptr, 10);
+        else if (const char *v = matchOption(argv[i], "--dim"))
+            dim = std::strtoul(v, nullptr, 10);
+        else if (const char *v = matchOption(argv[i], "--topics"))
+            topics = std::strtoul(v, nullptr, 10);
+        else if (const char *v = matchOption(argv[i], "--clusters"))
+            clusters = std::strtoul(v, nullptr, 10);
+        else if (const char *v = matchOption(argv[i], "--nlist"))
+            nlist = std::strtoul(v, nullptr, 10);
+        else if (const char *v = matchOption(argv[i], "--batch-window-us"))
+            batch_window_us = std::strtod(v, nullptr);
+        else if (const char *v = matchOption(argv[i], "--max-batch"))
+            max_batch = std::strtoul(v, nullptr, 10);
+        else if (const char *v = matchOption(argv[i], "--fail-prob"))
+            fail_prob = std::strtod(v, nullptr);
+        else if (const char *v = matchOption(argv[i], "--drop-prob"))
+            drop_prob = std::strtod(v, nullptr);
+        else if (const char *v = matchOption(argv[i], "--delay-ms"))
+            delay_ms = std::strtod(v, nullptr);
+        else if (const char *v = matchOption(argv[i], "--http-port"))
+            http_port = std::atoi(v);
+        else {
+            std::fprintf(stderr, "unknown option: %s\n", argv[i]);
+            return 2;
+        }
+    }
+    if (cluster < 0 || static_cast<std::size_t>(cluster) >= clusters) {
+        std::fprintf(stderr,
+                     "usage: hermes_shard --cluster=N (0..%zu) [options]\n",
+                     clusters - 1);
+        return 2;
+    }
+
+    // Same deterministic corpus + partition as serving_demo / the tests:
+    // matching flags on every process of the fleet reproduce the exact
+    // in-process store, which is what makes the out-of-process path
+    // bit-comparable.
+    workload::CorpusConfig cc;
+    cc.num_docs = num_docs;
+    cc.dim = dim;
+    cc.num_topics = topics;
+    auto corpus = workload::generateCorpus(cc);
+
+    core::HermesConfig config;
+    config.num_clusters = clusters;
+    config.clusters_to_search = std::min<std::size_t>(3, clusters);
+    config.sample_nprobe = 4;
+    config.deep_nprobe = 32;
+    config.partition.seeds_to_try = 3;
+    config.nlist_per_cluster = nlist;
+    auto store = core::DistributedStore::build(corpus.embeddings, config);
+    const auto &shard =
+        store.clusterIndex(static_cast<std::size_t>(cluster));
+
+    serve::ShardServerOptions options;
+    options.bind_address = bind_address;
+    options.port = static_cast<std::uint16_t>(port);
+    options.node.node_id = static_cast<std::size_t>(cluster);
+    options.node.batch_window_us = batch_window_us;
+    if (max_batch > 0)
+        options.node.max_batch = max_batch;
+    options.node.faults.fail_probability = fail_prob;
+    options.node.faults.drop_probability = drop_prob;
+    options.node.faults.delay_probability = delay_ms > 0.0 ? 0.2 : 0.0;
+    options.node.faults.delay_ms = delay_ms;
+
+    serve::ShardServer server(shard, options);
+    if (!server.start())
+        return 1;
+
+    std::unique_ptr<obs::Exporter> exporter;
+    if (http_port >= 0) {
+        obs::Exporter::Options eopts;
+        eopts.bind_address = bind_address;
+        eopts.port = static_cast<std::uint16_t>(http_port);
+        exporter = std::make_unique<obs::Exporter>(eopts);
+        exporter->setHandler("/shard", [&server, cluster] {
+            auto node = server.nodeStats();
+            auto srv = server.stats();
+            char buf[256];
+            std::snprintf(
+                buf, sizeof(buf),
+                "{\"cluster\": %ld, \"requests\": %llu, \"batches\": %llu, "
+                "\"connections\": %llu, \"errors\": %llu}",
+                cluster,
+                static_cast<unsigned long long>(node.requests),
+                static_cast<unsigned long long>(node.batches),
+                static_cast<unsigned long long>(srv.connections_accepted),
+                static_cast<unsigned long long>(srv.errors_returned));
+            return std::string(buf);
+        });
+        if (exporter->start())
+            std::printf("hermes_shard metrics http://%s:%u\n",
+                        bind_address.c_str(), exporter->port());
+    }
+
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+
+    // Launchers (CI fleet-smoke, tests) block on this line to learn the
+    // bound port, so it must escape the stdio buffer immediately.
+    std::printf("hermes_shard ready cluster=%ld vectors=%zu port=%u\n",
+                cluster, shard.size(), server.port());
+    std::fflush(stdout);
+
+    while (!g_stop)
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+    server.stop();
+    auto stats = server.stats();
+    std::printf("hermes_shard exit cluster=%ld requests=%llu "
+                "connections=%llu errors=%llu\n",
+                cluster,
+                static_cast<unsigned long long>(stats.requests_served),
+                static_cast<unsigned long long>(stats.connections_accepted),
+                static_cast<unsigned long long>(stats.errors_returned));
+    return 0;
+}
