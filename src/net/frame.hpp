@@ -4,8 +4,12 @@
  *
  * Every message on a Hermes RPC connection is one frame:
  *
+ * All integer fields are native-endian (see net/wire.hpp: both ends of
+ * a fleet must share an architecture; a big-endian peer fails the magic
+ * check instead of silently mis-decoding).
+ *
  *   offset  size  field
- *   0       4     magic   "HRMF" (0x464d5248 little-endian)
+ *   0       4     magic   "HRMF" (u32 0x464d5248 on little-endian hosts)
  *   4       4     type    message type (serve/rpc.hpp enumerates them)
  *   8       8     id      request id, echoed in the response frame
  *   16      8     length  payload bytes that follow
@@ -28,7 +32,7 @@
 namespace hermes {
 namespace net {
 
-/** Frame magic: "HRMF" read as a little-endian u32. */
+/** Frame magic: "HRMF" read as a u32 on a little-endian host. */
 constexpr std::uint32_t kFrameMagic = 0x464d5248u;
 
 /** Serialized frame header size in bytes. */

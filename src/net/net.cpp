@@ -379,9 +379,16 @@ Listener::acceptFor(double timeout_ms)
 {
     if (!socket_.valid())
         return Socket();
-    Deadline deadline = Deadline::after(timeout_ms);
+    // Deadline::after() reads <= 0 as infinite, which is the opposite
+    // of this API's "<= 0 polls without blocking" contract — so model
+    // a non-positive timeout as an infinite deadline capped to a
+    // zero-ms poll slice (one immediate readiness check, no re-arm).
+    const bool poll_only = timeout_ms <= 0.0;
+    Deadline deadline =
+        poll_only ? Deadline::infinite() : Deadline::after(timeout_ms);
+    const int slice_ms = poll_only ? 0 : -1;
     for (;;) {
-        if (waitReadable(socket_.fd(), deadline) != IoStatus::Ok)
+        if (waitReadable(socket_.fd(), deadline, slice_ms) != IoStatus::Ok)
             return Socket();
         int fd = ::accept(socket_.fd(), nullptr, nullptr);
         if (fd >= 0) {

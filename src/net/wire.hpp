@@ -1,15 +1,23 @@
 /**
  * @file
- * In-memory binary wire codec for RPC payloads: little-endian,
+ * In-memory binary wire codec for RPC payloads: native-endian,
  * length-prefixed, bounds-checked.
  *
  * This is the buffer-backed sibling of util::BinaryWriter/BinaryReader
  * (which stream files): the writer appends to a std::string that can be
  * framed onto a socket, the reader walks a string_view and throws
  * WireError on any underrun or over-long length prefix instead of
- * trusting the peer. Decoding never reads past the payload it was
- * given, so a malicious or torn frame fails loudly at decode, not as a
- * wild allocation.
+ * trusting the peer. Length prefixes are validated against the bytes
+ * actually present BEFORE any allocation is sized from them, so a
+ * malicious or torn frame fails loudly at decode, not as a wild
+ * allocation or an overflowed bounds check.
+ *
+ * Endianness: values are memcpy'd in host byte order, so the format is
+ * native-endian — broker and shards must share an architecture (all
+ * supported fleet targets are little-endian). A big-endian peer would
+ * mis-decode despite a matching protocol version; a handshake-level
+ * guard, not silent byte-swapping, is the intended extension point if
+ * that ever matters.
  */
 
 #pragma once
@@ -34,7 +42,7 @@ class WireError : public std::runtime_error
     }
 };
 
-/** Append-only buffer writer (little-endian). */
+/** Append-only buffer writer (native-endian). */
 class WireWriter
 {
   public:
@@ -103,17 +111,36 @@ class WireReader
     floats()
     {
         std::uint64_t n = u64();
-        need(n * sizeof(float));
-        std::vector<float> out(n);
+        // Divide, never multiply: n is attacker-controlled and
+        // n * sizeof(float) wraps mod 2^64 (n = 2^62 + 1 would pass a
+        // need(4) check and then attempt a wild allocation).
+        needCount(n, sizeof(float));
+        std::vector<float> out(static_cast<std::size_t>(n));
         if (n)
             std::memcpy(out.data(), data_.data() + pos_,
                         n * sizeof(float));
-        pos_ += n * sizeof(float);
+        pos_ += static_cast<std::size_t>(n) * sizeof(float);
         return out;
     }
 
     /** Bytes not yet consumed. */
     std::size_t remaining() const { return data_.size() - pos_; }
+
+    /**
+     * Throws unless @p n elements of @p elem_size bytes each could
+     * still be present in the payload. Overflow-safe (division, not
+     * multiplication), so call sites may size containers from @p n
+     * after it passes.
+     */
+    void
+    needCount(std::uint64_t n, std::size_t elem_size) const
+    {
+        if (n > remaining() / elem_size)
+            throw WireError("element count " + std::to_string(n) +
+                            " x " + std::to_string(elem_size) +
+                            " bytes exceeds payload: have " +
+                            std::to_string(remaining()) + " bytes");
+    }
 
     bool atEnd() const { return pos_ == data_.size(); }
 

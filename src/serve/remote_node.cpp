@@ -128,7 +128,9 @@ RemoteNodeClient::stats() const
         shard_vectors_.store(
             static_cast<std::size_t>(decoded.shard_vectors));
         return decoded.stats;
-    } catch (const net::WireError &) {
+    } catch (const std::exception &) {
+        // std::exception, not just WireError: a decode throw of any
+        // kind on a broker thread must degrade, never terminate.
         return NodeStats{};
     }
 }
@@ -150,7 +152,7 @@ RemoteNodeClient::health(rpc::HealthResponse *out) const
         if (out)
             *out = decoded;
         return true;
-    } catch (const net::WireError &) {
+    } catch (const std::exception &) {
         return false;
     }
 }
@@ -292,7 +294,7 @@ RemoteNodeClient::retrySingles(net::Socket &socket,
                 pending.promise.set_value(
                     rpc::decodeSearchResponse(reply.payload));
                 continue;
-            } catch (const net::WireError &e) {
+            } catch (const std::exception &e) {
                 socket.close();
                 pending.promise.set_exception(
                     std::make_exception_ptr(remoteError(e.what())));
@@ -306,7 +308,7 @@ RemoteNodeClient::retrySingles(net::Socket &socket,
             try {
                 rpc::ErrorBody body = rpc::decodeError(reply.payload);
                 reason = body.message;
-            } catch (const net::WireError &) {
+            } catch (const std::exception &) {
             }
             std::unique_lock<std::mutex> lock(stats_mutex_);
             ++client_stats_.remote_errors;
@@ -363,7 +365,7 @@ RemoteNodeClient::runRpc(net::Socket &socket, std::vector<Pending> &group)
         std::vector<NodeResponse> responses;
         try {
             responses = rpc::decodeSearchBatchResponse(reply.payload);
-        } catch (const net::WireError &e) {
+        } catch (const std::exception &e) {
             socket.close();
             failGroup(group, e.what());
             return;

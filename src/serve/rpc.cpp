@@ -6,6 +6,12 @@ namespace rpc {
 
 namespace {
 
+/** Encoded size of one Hit: i64 id + f32 score. */
+constexpr std::size_t kHitWireBytes = 12;
+
+/** Minimum encoded size of one NodeResponse: empty-hit u32 + 4 stats u64s. */
+constexpr std::size_t kMinResponseWireBytes = 36;
+
 void
 encodeParams(net::WireWriter &writer, std::size_t k,
              const index::SearchParams &params, double deadline_ms)
@@ -64,6 +70,10 @@ vecstore::HitList
 decodeHits(net::WireReader &reader)
 {
     std::uint32_t n = reader.u32();
+    // Bound the claimed count by the bytes actually present before
+    // reserving: a corrupt frame claiming ~4e9 hits must fail as a
+    // WireError, not as a multi-GB allocation attempt.
+    reader.needCount(n, kHitWireBytes);
     vecstore::HitList hits;
     hits.reserve(n);
     for (std::uint32_t i = 0; i < n; ++i) {
@@ -169,6 +179,7 @@ decodeSearchBatchResponse(std::string_view payload)
 {
     net::WireReader reader(payload);
     std::uint32_t n = reader.u32();
+    reader.needCount(n, kMinResponseWireBytes);
     std::vector<NodeResponse> responses;
     responses.reserve(n);
     for (std::uint32_t i = 0; i < n; ++i)

@@ -59,14 +59,14 @@ ShardServer::stop()
     if (accept_thread_.joinable())
         accept_thread_.join();
     listener_.close();
-    std::vector<std::thread> threads;
+    std::vector<ConnectionThread> threads;
     {
         std::unique_lock<std::mutex> lock(threads_mutex_);
         threads.swap(connection_threads_);
     }
-    for (auto &thread : threads) {
-        if (thread.joinable())
-            thread.join();
+    for (auto &entry : threads) {
+        if (entry.thread.joinable())
+            entry.thread.join();
     }
     node_.reset();
 }
@@ -88,6 +88,7 @@ void
 ShardServer::acceptLoop()
 {
     while (!stopping_.load()) {
+        reapFinishedConnections();
         net::Socket socket = listener_.acceptFor(kAcceptTickMs);
         if (!socket.valid())
             continue;
@@ -95,11 +96,58 @@ ShardServer::acceptLoop()
             std::unique_lock<std::mutex> lock(stats_mutex_);
             ++stats_.connections_accepted;
         }
-        std::unique_lock<std::mutex> lock(threads_mutex_);
-        connection_threads_.emplace_back(
-            [this, sock = std::move(socket)]() mutable {
-                handleConnection(std::move(sock));
+        ConnectionThread entry;
+        entry.done = std::make_shared<std::atomic<bool>>(false);
+        entry.thread = std::thread(
+            [this, sock = std::move(socket), done = entry.done]() mutable {
+                // Catch-all backstop: an exception escaping a handler
+                // thread is std::terminate for the whole shard process.
+                // dispatch() already answers decode/search failures
+                // in-protocol; anything that still escapes (bad_alloc
+                // while encoding a reply, a non-wire decode throw) must
+                // only cost this connection.
+                try {
+                    handleConnection(std::move(sock));
+                } catch (const std::exception &e) {
+                    std::fprintf(stderr,
+                                 "[warn] shard: connection dropped: %s\n",
+                                 e.what());
+                } catch (...) {
+                    std::fprintf(stderr, "[warn] shard: connection "
+                                         "dropped: unknown exception\n");
+                }
+                done->store(true);
             });
+        std::unique_lock<std::mutex> lock(threads_mutex_);
+        connection_threads_.push_back(std::move(entry));
+    }
+}
+
+void
+ShardServer::reapFinishedConnections()
+{
+    std::vector<ConnectionThread> finished;
+    {
+        std::unique_lock<std::mutex> lock(threads_mutex_);
+        auto it = connection_threads_.begin();
+        while (it != connection_threads_.end()) {
+            if (it->done->load()) {
+                finished.push_back(std::move(*it));
+                it = connection_threads_.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+    // Join outside the lock; these threads have already returned, so
+    // each join is immediate.
+    for (auto &entry : finished) {
+        if (entry.thread.joinable())
+            entry.thread.join();
+    }
+    if (!finished.empty()) {
+        std::unique_lock<std::mutex> lock(stats_mutex_);
+        stats_.connections_reaped += finished.size();
     }
 }
 
@@ -219,7 +267,10 @@ ShardServer::dispatch(net::Socket &socket, const net::Frame &frame)
         rpc::SearchRequest request;
         try {
             request = rpc::decodeSearchRequest(frame.payload);
-        } catch (const net::WireError &e) {
+        } catch (const std::exception &e) {
+            // std::exception, not just WireError: a hostile length
+            // prefix that slips past validation must surface as a
+            // BadRequest reply, never escape the connection thread.
             return sendError(socket, frame.id, rpc::ErrorCode::BadRequest,
                              e.what());
         }
@@ -246,7 +297,7 @@ ShardServer::dispatch(net::Socket &socket, const net::Frame &frame)
         rpc::SearchBatchRequest request;
         try {
             request = rpc::decodeSearchBatchRequest(frame.payload);
-        } catch (const net::WireError &e) {
+        } catch (const std::exception &e) {
             return sendError(socket, frame.id, rpc::ErrorCode::BadRequest,
                              e.what());
         }

@@ -75,6 +75,10 @@ struct ShardServerOptions
 struct ShardServerStats
 {
     std::uint64_t connections_accepted = 0;
+
+    /** Finished handler threads joined by the accept loop. */
+    std::uint64_t connections_reaped = 0;
+
     std::uint64_t requests_served = 0;
     std::uint64_t errors_returned = 0;
 };
@@ -119,6 +123,10 @@ class ShardServer
 
   private:
     void acceptLoop();
+
+    /** Join and drop every connection thread whose handler returned. */
+    void reapFinishedConnections();
+
     void handleConnection(net::Socket socket);
 
     /** Handle one decoded request frame; false = drop the connection. */
@@ -147,8 +155,21 @@ class ShardServer
     std::atomic<bool> stopping_{false};
     std::thread accept_thread_;
 
+    /**
+     * One handler thread per live connection. The done flag is set by
+     * the handler on exit so the accept loop can join and erase
+     * finished entries each tick — a long-lived shard serving many
+     * short connections must not accumulate exited-but-unjoined
+     * threads until stop().
+     */
+    struct ConnectionThread
+    {
+        std::thread thread;
+        std::shared_ptr<std::atomic<bool>> done;
+    };
+
     std::mutex threads_mutex_;
-    std::vector<std::thread> connection_threads_;
+    std::vector<ConnectionThread> connection_threads_;
 
     mutable std::mutex stats_mutex_;
     ShardServerStats stats_;

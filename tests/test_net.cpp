@@ -150,6 +150,26 @@ TEST(Wire, TruncationAndTrailingGarbageThrow)
     EXPECT_THROW(reader.expectEnd(), net::WireError);
 }
 
+TEST(Wire, FloatCountOverflowThrowsInsteadOfAllocating)
+{
+    // A count chosen so n * sizeof(float) wraps mod 2^64 to 4: the old
+    // need(n * 4) check passed, then std::vector<float>(n) threw
+    // length_error — which escaped WireError-only catches and
+    // std::terminate'd the connection thread. It must be a WireError
+    // raised before any allocation is sized from n.
+    net::WireWriter writer;
+    writer.u64((1ull << 62) + 1);
+    writer.f32(0.0f); // the 4 "available" bytes the wrapped check saw
+    net::WireReader reader(writer.buffer());
+    EXPECT_THROW(reader.floats(), net::WireError);
+
+    // A huge non-wrapping count must also be rejected pre-allocation.
+    net::WireWriter big;
+    big.u64(0xffffffffffffffffull);
+    net::WireReader big_reader(big.buffer());
+    EXPECT_THROW(big_reader.floats(), net::WireError);
+}
+
 // ---------------------------------------------------------------------------
 // Framing
 
@@ -353,6 +373,36 @@ TEST(Net, TransferSurvivesSignalStorm)
     EXPECT_EQ(received, payload);
 }
 
+TEST(Net, AcceptForNonPositiveTimeoutPollsWithoutBlocking)
+{
+    net::Listener listener;
+    std::string error;
+    ASSERT_TRUE(listener.open("127.0.0.1", 0, 16, &error)) << error;
+
+    // Contract: acceptFor(<= 0) is a non-blocking poll. It used to
+    // feed 0 into Deadline::after(), which reads <= 0 as infinite and
+    // blocked in poll() forever.
+    auto start = std::chrono::steady_clock::now();
+    net::Socket none = listener.acceptFor(0.0);
+    double elapsed_ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+    EXPECT_FALSE(none.valid());
+    EXPECT_LT(elapsed_ms, 1000.0);
+
+    // With a connection pending, the zero-timeout poll must accept it.
+    net::Socket client =
+        net::connectTo("127.0.0.1", listener.port(), 1000.0, &error);
+    ASSERT_TRUE(client.valid()) << error;
+    net::Socket accepted;
+    for (int i = 0; i < 200 && !accepted.valid(); ++i) {
+        accepted = listener.acceptFor(0.0);
+        if (!accepted.valid())
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    EXPECT_TRUE(accepted.valid());
+}
+
 // ---------------------------------------------------------------------------
 // RPC codec
 
@@ -419,6 +469,25 @@ TEST(Rpc, DecodeRejectsTruncatedAndTrailingBytes)
                      std::string_view(payload.data(), payload.size() - 1)),
                  net::WireError);
     EXPECT_THROW(serve::rpc::decodeSearchRequest(payload + 'x'),
+                 net::WireError);
+}
+
+TEST(Rpc, DecodeBoundsClaimedCountsByPayloadSize)
+{
+    // Hit/response counts are untrusted u32s off the wire; a claim of
+    // ~4e9 elements over a tiny payload must throw WireError before
+    // reserve() attempts a multi-GB allocation (bad_alloc previously
+    // escaped the WireError-only catches on broker worker threads).
+    net::WireWriter hits;
+    hits.u32(0xfffffffeu);
+    hits.i64(3);
+    hits.f32(1.0f);
+    EXPECT_THROW(serve::rpc::decodeSearchResponse(hits.buffer()),
+                 net::WireError);
+
+    net::WireWriter batch;
+    batch.u32(0xfffffffeu);
+    EXPECT_THROW(serve::rpc::decodeSearchBatchResponse(batch.buffer()),
                  net::WireError);
 }
 
@@ -583,6 +652,98 @@ TEST(ShardRpc, ClientReconnectsAfterShardRestart)
     }
     EXPECT_GT(client.clientStats().reconnects, 0u);
     server->stop();
+}
+
+TEST(ShardRpc, OverflowingLengthPrefixAnsweredAsBadRequest)
+{
+    // Regression for the wire-codec overflow: a crafted SearchRequest
+    // whose float-count prefix wraps n * sizeof(float) mod 2^64 used
+    // to throw std::length_error past the WireError-only catch in
+    // dispatch(), escaping the connection thread and std::terminate'ing
+    // the shard process. It must answer BadRequest and keep serving.
+    const auto &data = netServeData();
+    const auto &shard = data.store->clusterIndex(0);
+    serve::ShardServer server(shard, {});
+    ASSERT_TRUE(server.start());
+
+    std::string error;
+    net::Socket client =
+        net::connectTo("127.0.0.1", server.port(), 1000.0, &error);
+    ASSERT_TRUE(client.valid()) << error;
+
+    net::WireWriter evil;
+    evil.u64(1);                // k
+    evil.u64(1);                // nprobe
+    evil.u64(0);                // ef_search
+    evil.f64(0.0);              // prune_ratio
+    evil.u64(0);                // batch_min_scan_floats
+    evil.f64(0.0);              // deadline_ms
+    evil.u64((1ull << 62) + 1); // query float count: * 4 wraps to 4
+    evil.f32(0.0f);
+    ASSERT_EQ(net::sendFrame(
+                  client,
+                  static_cast<std::uint32_t>(
+                      serve::rpc::Type::SearchRequest),
+                  7, evil.buffer(), net::Deadline::after(1000.0)),
+              net::IoStatus::Ok);
+
+    net::Frame reply;
+    ASSERT_EQ(net::recvFrame(client, reply, net::Deadline::after(5000.0)),
+              net::IoStatus::Ok);
+    ASSERT_EQ(static_cast<serve::rpc::Type>(reply.type),
+              serve::rpc::Type::ErrorResponse);
+    EXPECT_EQ(serve::rpc::decodeError(reply.payload).code,
+              serve::rpc::ErrorCode::BadRequest);
+
+    // Same connection, well-formed request: the shard must still serve.
+    serve::rpc::SearchRequest request;
+    request.k = 3;
+    request.params.nprobe = 1;
+    request.query.assign(shard.dim(), 0.0f);
+    ASSERT_EQ(net::sendFrame(
+                  client,
+                  static_cast<std::uint32_t>(
+                      serve::rpc::Type::SearchRequest),
+                  8, serve::rpc::encodeSearchRequest(request),
+                  net::Deadline::after(1000.0)),
+              net::IoStatus::Ok);
+    ASSERT_EQ(net::recvFrame(client, reply, net::Deadline::after(5000.0)),
+              net::IoStatus::Ok);
+    EXPECT_EQ(static_cast<serve::rpc::Type>(reply.type),
+              serve::rpc::Type::SearchResponse);
+    EXPECT_EQ(reply.id, 8u);
+    server.stop();
+}
+
+TEST(ShardRpc, FinishedConnectionHandlersAreReaped)
+{
+    // A long-lived shard serving many short connections must join
+    // handler threads as they finish, not hoard them until stop().
+    const auto &data = netServeData();
+    const auto &shard = data.store->clusterIndex(0);
+    serve::ShardServer server(shard, {});
+    ASSERT_TRUE(server.start());
+
+    constexpr int kConnections = 4;
+    for (int i = 0; i < kConnections; ++i) {
+        std::string error;
+        net::Socket client =
+            net::connectTo("127.0.0.1", server.port(), 1000.0, &error);
+        ASSERT_TRUE(client.valid()) << error;
+        client.close();
+    }
+
+    // Handlers notice the close within an idle tick (~100 ms) and the
+    // accept loop reaps on its next tick.
+    bool reaped = false;
+    for (int i = 0; i < 100 && !reaped; ++i) {
+        reaped = server.stats().connections_reaped >= kConnections;
+        if (!reaped)
+            std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    EXPECT_TRUE(reaped) << "reaped " << server.stats().connections_reaped
+                        << " of " << kConnections;
+    server.stop();
 }
 
 TEST(ShardRpc, BrokerBitParityInProcessVsRemote)
