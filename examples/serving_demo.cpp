@@ -397,7 +397,10 @@ main(int argc, char **argv)
     if (!trace_out.empty()) {
         auto &recorder = obs::TraceRecorder::instance();
         recorder.stop();
-        recorder.writeChromeTrace(trace_out);
+        // The "process" tag labels this dump as the broker side for
+        // hermes_trace_merge (its rpc.clock_sync instants align the
+        // shard dumps onto this clock).
+        recorder.writeChromeTrace(trace_out, {{"process", "broker", false}});
         std::printf("trace (%zu spans) written to %s\n",
                     recorder.spanCount(), trace_out.c_str());
     }

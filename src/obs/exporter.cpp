@@ -6,6 +6,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/process_stats.hpp"
+#include "obs/trace.hpp"
 
 namespace hermes {
 namespace obs {
@@ -207,6 +208,21 @@ bool
 Exporter::route(const std::string &path, std::string &body,
                 std::string &content_type)
 {
+    // Custom handlers win over the builtins, so a process can replace
+    // e.g. /trace.json with a version that attaches its own metadata
+    // (hermes_shard tags dumps with its cluster id for the merge tool).
+    Handler handler;
+    {
+        std::unique_lock<std::mutex> lock(handlers_mutex_);
+        auto it = handlers_.find(path);
+        if (it != handlers_.end())
+            handler = it->second;
+    }
+    if (handler) {
+        body = handler();
+        content_type = "application/json";
+        return true;
+    }
     // Every scrape refreshes the process self-stat gauges first, so the
     // snapshot the caller gets carries current host context.
     if (path == "/metrics") {
@@ -221,21 +237,14 @@ Exporter::route(const std::string &path, std::string &body,
         content_type = "application/json";
         return true;
     }
+    if (path == "/trace.json") {
+        body = TraceRecorder::instance().toJson();
+        content_type = "application/json";
+        return true;
+    }
     if (path == "/healthz") {
         body = "ok\n";
         content_type = "text/plain";
-        return true;
-    }
-    Handler handler;
-    {
-        std::unique_lock<std::mutex> lock(handlers_mutex_);
-        auto it = handlers_.find(path);
-        if (it != handlers_.end())
-            handler = it->second;
-    }
-    if (handler) {
-        body = handler();
-        content_type = "application/json";
         return true;
     }
     return false;

@@ -5,8 +5,13 @@
  *
  *   GET /metrics       Prometheus text exposition of the registry
  *   GET /metrics.json  Registry::toJson()
+ *   GET /trace.json    TraceRecorder::toJson() — per-process span dump
+ *                      for tools/hermes_trace_merge
  *   GET /load          custom handler (the broker's LoadReport)
  *   GET /healthz       "ok" — liveness probe / readiness poll
+ *
+ * Custom handlers registered via setHandler() shadow the builtin
+ * routes, so a process can serve /trace.json with extra metadata.
  *
  * process.* self-stat gauges are refreshed on every scrape, so each
  * snapshot carries host context (RSS, CPU seconds, thread count).

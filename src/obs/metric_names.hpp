@@ -56,6 +56,45 @@ nodeMetric(std::size_t cluster, const char *suffix)
     return "node." + std::to_string(cluster) + "." + suffix;
 }
 
+// --- remote node client (serve/remote_node.cpp) --------------------------
+/** Request frames sent (header + payload), both singles and batches. */
+inline constexpr const char *kRpcRpcs = "rpc.rpcs";
+inline constexpr const char *kRpcRequestBytes = "rpc.request_bytes";
+inline constexpr const char *kRpcResponseBytes = "rpc.response_bytes";
+/** Wall time of one wire round trip (send -> matched reply). */
+inline constexpr const char *kRpcRoundTripUs = "rpc.round_trip_us";
+/** Requests coalesced per RPC (1 = uncoalesced single). */
+inline constexpr const char *kRpcBatchSize = "rpc.batch_size";
+/** Successful (re)dials of a pooled data connection. */
+inline constexpr const char *kRpcRedials = "rpc.redials";
+inline constexpr const char *kRpcTransportFailures =
+    "rpc.transport_failures";
+/** Typed ErrorResponse frames received (any code). */
+inline constexpr const char *kRpcRemoteErrors = "rpc.remote_errors";
+/** Estimated clock offset (us) of shard <c>'s trace epoch relative to
+ *  this process's, measured by the Health handshake (use rpcNodeMetric). */
+inline constexpr const char *kRpcClockOffsetUs = "clock_offset_us";
+
+/** "rpc.error.<code>" — per-error-code counter family. */
+inline std::string
+rpcErrorMetric(const char *code)
+{
+    return std::string("rpc.error.") + code;
+}
+
+/** "rpc.node.<cluster>.<suffix>" — per-remote-node series family. */
+inline std::string
+rpcNodeMetric(std::size_t cluster, const char *suffix)
+{
+    return "rpc.node." + std::to_string(cluster) + "." + suffix;
+}
+
+// --- trace recorder (obs/trace.cpp) --------------------------------------
+/** Spans currently buffered in the TraceRecorder. */
+inline constexpr const char *kTraceBufferSpans = "trace.buffer_spans";
+/** Spans discarded because the buffer cap was hit (truncation alarm). */
+inline constexpr const char *kTraceDroppedSpans = "trace.dropped_spans";
+
 // --- index (index/ivf_index.cpp) -----------------------------------------
 inline constexpr const char *kIvfCoarseUs = "ivf.coarse_us";
 inline constexpr const char *kIvfScanUs = "ivf.scan_us";

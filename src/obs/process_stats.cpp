@@ -15,6 +15,11 @@ namespace obs {
 
 namespace {
 
+/** Anchored at load time, NOT first call: a process whose stats are
+ *  first scraped minutes in must not report an uptime of zero. */
+const std::chrono::steady_clock::time_point g_process_start =
+    std::chrono::steady_clock::now();
+
 double
 timevalSeconds(const timeval &tv)
 {
@@ -65,8 +70,6 @@ readThreadCount(ProcessStats &stats)
 ProcessStats
 readProcessStats()
 {
-    static const auto start = std::chrono::steady_clock::now();
-
     ProcessStats stats;
     rusage usage{};
     if (getrusage(RUSAGE_SELF, &usage) == 0) {
@@ -85,7 +88,7 @@ readProcessStats()
 #endif
     stats.uptime_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      start)
+                                      g_process_start)
             .count();
     return stats;
 }

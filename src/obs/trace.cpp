@@ -2,6 +2,9 @@
 
 #include <cstdio>
 
+#include <unistd.h>
+
+#include "obs/metric_names.hpp"
 #include "obs/metrics.hpp"
 
 namespace hermes {
@@ -9,33 +12,105 @@ namespace obs {
 
 namespace {
 
-thread_local bool t_trace_active = false;
+thread_local TraceContextSnapshot t_context;
 
 std::atomic<std::uint32_t> next_thread_id{1};
 
+/** splitmix64 finalizer: cheap, well-mixed 64-bit ids. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/**
+ * Per-process id-stream seed: pid + boot-relative clock, mixed. Two
+ * shard processes started the same nanosecond still diverge on pid,
+ * so merged traces keep span ids distinct without coordination.
+ */
+std::uint64_t
+processSeed()
+{
+    static const std::uint64_t seed = mix64(
+        static_cast<std::uint64_t>(::getpid()) ^
+        (static_cast<std::uint64_t>(
+             std::chrono::steady_clock::now().time_since_epoch().count())
+         << 17));
+    return seed;
+}
+
+/** 16-hex-digit zero-padded id rendering for JSON args. */
+std::string
+hexId(std::uint64_t v)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
 } // namespace
+
+std::uint64_t
+newTraceId()
+{
+    static std::atomic<std::uint64_t> counter{1};
+    std::uint64_t id = mix64(
+        processSeed() + counter.fetch_add(1, std::memory_order_relaxed));
+    return id ? id : 1;
+}
 
 bool
 traceActive()
 {
-    return t_trace_active && TraceRecorder::instance().enabled();
+    return t_context.active && TraceRecorder::instance().enabled();
 }
 
-TraceContext::TraceContext(bool active) : prev_(t_trace_active)
+TraceContextSnapshot
+currentTraceContext()
 {
-    t_trace_active = prev_ || active;
+    TraceContextSnapshot out = t_context;
+    out.active = out.active && TraceRecorder::instance().enabled();
+    return out;
+}
+
+TraceContext::TraceContext(bool active) : prev_(t_context)
+{
+    if (!prev_.active && active)
+        t_context = TraceContextSnapshot{true, newTraceId(), 0};
+}
+
+TraceContext::TraceContext(const TraceContextSnapshot &snapshot)
+    : prev_(t_context)
+{
+    // Additive like the bool form: a thread already tracing keeps its
+    // own identity (nested entry points), otherwise adopt the
+    // propagated one — minting a trace id if the producer had none.
+    if (!prev_.active && snapshot.active) {
+        t_context = snapshot;
+        if (t_context.trace_id == 0)
+            t_context.trace_id = newTraceId();
+    }
 }
 
 TraceContext::~TraceContext()
 {
-    t_trace_active = prev_;
+    t_context = prev_;
 }
 
 // ---------------------------------------------------------------------------
 // TraceRecorder
 // ---------------------------------------------------------------------------
 
-TraceRecorder::TraceRecorder() : epoch_(Clock::now()) {}
+TraceRecorder::TraceRecorder()
+    : epoch_(Clock::now()),
+      buffer_gauge_(&Registry::instance().gauge(names::kTraceBufferSpans)),
+      dropped_gauge_(&Registry::instance().gauge(names::kTraceDroppedSpans))
+{
+}
 
 TraceRecorder &
 TraceRecorder::instance()
@@ -71,7 +146,7 @@ TraceRecorder::sampleQuery()
 {
     if (!enabled())
         return false;
-    if (t_trace_active)
+    if (t_context.active)
         return true;
     std::uint64_t n = sample_counter_.fetch_add(1,
                                                 std::memory_order_relaxed);
@@ -98,9 +173,12 @@ TraceRecorder::record(TraceSpan span)
     std::unique_lock<std::mutex> lock(mutex_);
     if (spans_.size() >= kMaxSpans) {
         dropped_.fetch_add(1, std::memory_order_relaxed);
+        dropped_gauge_->set(
+            static_cast<double>(dropped_.load(std::memory_order_relaxed)));
         return;
     }
     spans_.push_back(std::move(span));
+    buffer_gauge_->set(static_cast<double>(spans_.size()));
 }
 
 void
@@ -113,6 +191,31 @@ TraceRecorder::addSpan(std::string name, Clock::time_point start,
     span.ts_us = toMicros(start);
     span.dur_us =
         std::chrono::duration<double, std::micro>(end - start).count();
+    if (traceActive()) {
+        span.trace_id = t_context.trace_id;
+        span.parent_span_id = t_context.parent_span_id;
+        span.span_id = newTraceId();
+    }
+    span.args = std::move(args);
+    record(std::move(span));
+}
+
+void
+TraceRecorder::addSpan(std::string name, Clock::time_point start,
+                       Clock::time_point end, std::vector<TraceArg> args,
+                       const TraceContextSnapshot &ctx)
+{
+    if (!ctx.active)
+        return;
+    TraceSpan span;
+    span.name = std::move(name);
+    span.tid = currentThreadId();
+    span.ts_us = toMicros(start);
+    span.dur_us =
+        std::chrono::duration<double, std::micro>(end - start).count();
+    span.trace_id = ctx.trace_id;
+    span.parent_span_id = ctx.parent_span_id;
+    span.span_id = newTraceId();
     span.args = std::move(args);
     record(std::move(span));
 }
@@ -137,10 +240,12 @@ TraceRecorder::clear()
     std::unique_lock<std::mutex> lock(mutex_);
     spans_.clear();
     dropped_.store(0, std::memory_order_relaxed);
+    buffer_gauge_->set(0.0);
+    dropped_gauge_->set(0.0);
 }
 
 std::string
-TraceRecorder::toJson() const
+TraceRecorder::toJson(const std::vector<TraceArg> &metadata) const
 {
     auto spans = snapshot();
     std::string out = "{\"traceEvents\": [";
@@ -160,30 +265,60 @@ TraceRecorder::toJson() const
             std::snprintf(buf, sizeof(buf), "%.3f", s.dur_us);
             out += std::string(", \"dur\": ") + buf;
         }
-        if (!s.args.empty()) {
+        bool has_ids = s.trace_id != 0;
+        if (!s.args.empty() || has_ids) {
             out += ", \"args\": {";
-            for (std::size_t a = 0; a < s.args.size(); ++a) {
-                const auto &arg = s.args[a];
-                if (a)
+            bool first = true;
+            for (const auto &arg : s.args) {
+                if (!first)
                     out += ", ";
+                first = false;
                 out += "\"" + detail::jsonEscape(arg.key) + "\": ";
                 if (arg.numeric)
                     out += arg.value;
                 else
                     out += "\"" + detail::jsonEscape(arg.value) + "\"";
             }
+            if (has_ids) {
+                // Hex strings, not numbers: 64-bit ids do not survive
+                // consumers that parse JSON numbers as doubles.
+                if (!first)
+                    out += ", ";
+                out += "\"trace_id\": \"" + hexId(s.trace_id) + "\"";
+                if (s.span_id != 0)
+                    out += ", \"span_id\": \"" + hexId(s.span_id) + "\"";
+                if (s.parent_span_id != 0)
+                    out += ", \"parent_span_id\": \"" +
+                        hexId(s.parent_span_id) + "\"";
+            }
             out += "}";
         }
         out += "}";
     }
-    out += "\n], \"displayTimeUnit\": \"ms\"}\n";
+    out += "\n]";
+    if (!metadata.empty()) {
+        out += ", \"metadata\": {";
+        for (std::size_t m = 0; m < metadata.size(); ++m) {
+            const auto &arg = metadata[m];
+            if (m)
+                out += ", ";
+            out += "\"" + detail::jsonEscape(arg.key) + "\": ";
+            if (arg.numeric)
+                out += arg.value;
+            else
+                out += "\"" + detail::jsonEscape(arg.value) + "\"";
+        }
+        out += "}";
+    }
+    out += ", \"displayTimeUnit\": \"ms\"}\n";
     return out;
 }
 
 bool
-TraceRecorder::writeChromeTrace(const std::string &path) const
+TraceRecorder::writeChromeTrace(const std::string &path,
+                                const std::vector<TraceArg> &metadata) const
 {
-    std::string text = toJson();
+    std::string text = toJson(metadata);
     std::FILE *f = std::fopen(path.c_str(), "w");
     if (!f) {
         std::fprintf(stderr, "[warn] obs: cannot open %s for writing\n",
@@ -204,16 +339,35 @@ TraceRecorder::writeChromeTrace(const std::string &path) const
 ScopedSpan::ScopedSpan(const char *name)
     : active_(traceActive()), name_(name)
 {
-    if (active_)
+    if (active_) {
         start_ = TraceRecorder::Clock::now();
+        trace_id_ = t_context.trace_id;
+        parent_span_id_ = t_context.parent_span_id;
+        span_id_ = newTraceId();
+        // This span is the parent of anything opened on this thread
+        // until it closes (ScopedSpans nest LIFO by construction).
+        t_context.parent_span_id = span_id_;
+    }
 }
 
 ScopedSpan::~ScopedSpan()
 {
     if (!active_)
         return;
-    TraceRecorder::instance().addSpan(
-        name_, start_, TraceRecorder::Clock::now(), std::move(args_));
+    t_context.parent_span_id = parent_span_id_;
+    auto &recorder = TraceRecorder::instance();
+    TraceSpan span;
+    span.name = name_;
+    span.tid = TraceRecorder::currentThreadId();
+    span.ts_us = recorder.toMicros(start_);
+    span.dur_us = std::chrono::duration<double, std::micro>(
+                      TraceRecorder::Clock::now() - start_)
+                      .count();
+    span.trace_id = trace_id_;
+    span.span_id = span_id_;
+    span.parent_span_id = parent_span_id_;
+    span.args = std::move(args_);
+    recorder.record(std::move(span));
 }
 
 void
@@ -248,6 +402,8 @@ instantEvent(const char *name, std::vector<TraceArg> args)
     span.tid = TraceRecorder::currentThreadId();
     span.ts_us = recorder.toMicros(TraceRecorder::Clock::now());
     span.instant = true;
+    span.trace_id = t_context.trace_id;
+    span.parent_span_id = t_context.parent_span_id;
     span.args = std::move(args);
     recorder.record(std::move(span));
 }

@@ -158,7 +158,7 @@ HermesBroker::search(vecstore::VecView query, std::size_t k,
     // recording for the duration of this query.
     obs::TraceContext trace_context(
         obs::TraceRecorder::instance().sampleQuery());
-    obs::ScopedSpan query_span("broker.search");
+    obs::ScopedSpan query_span("broker.query");
     query_span.arg("k", static_cast<std::uint64_t>(k));
     util::Timer query_timer;
 

@@ -42,7 +42,7 @@ RetrievalNode::submit(vecstore::VecView query, std::size_t k,
     request.k = k;
     request.params = params;
     request.enqueued = std::chrono::steady_clock::now();
-    request.traced = obs::traceActive();
+    request.trace = obs::currentTraceContext();
     auto future = request.promise.get_future();
     {
         std::unique_lock<std::mutex> lock(mutex_);
@@ -118,11 +118,10 @@ RetrievalNode::workerLoop()
             queue_wait.observe(
                 std::chrono::duration<double, std::micro>(
                     drained - request.enqueued).count());
-            if (request.traced) {
-                obs::TraceRecorder::instance().addSpan(
-                    "node.queue_wait", request.enqueued, drained,
-                    {{"cluster", std::to_string(config_.node_id), true}});
-            }
+            obs::TraceRecorder::instance().addSpan(
+                "node.queue_wait", request.enqueued, drained,
+                {{"cluster", std::to_string(config_.node_id), true}},
+                request.trace);
         }
 
         // Per-request outcome, computed before any promise is fulfilled.
@@ -172,7 +171,7 @@ RetrievalNode::workerLoop()
         // serving path.
         auto runSingle = [&](std::size_t i) {
             auto &request = batch[i];
-            obs::TraceContext trace_context(request.traced);
+            obs::TraceContext trace_context(request.trace);
             obs::ScopedSpan span("node.search");
             span.arg("cluster",
                      static_cast<std::uint64_t>(config_.node_id));
@@ -234,9 +233,13 @@ RetrievalNode::workerLoop()
                 runSingle(group.members[0]);
                 continue;
             }
-            bool any_traced = false;
-            for (std::size_t i : group.members)
-                any_traced |= batch[i].traced;
+            obs::TraceContextSnapshot group_ctx; // first traced member
+            for (std::size_t i : group.members) {
+                if (batch[i].trace.active) {
+                    group_ctx = batch[i].trace;
+                    break;
+                }
+            }
             vecstore::Matrix group_queries(shard_.dim());
             group_queries.reserveRows(group.members.size());
             for (std::size_t i : group.members) {
@@ -251,7 +254,7 @@ RetrievalNode::workerLoop()
                 // One batch-level span; per-request node.search child
                 // spans are back-filled below so traces keep one
                 // node.search per request either way.
-                obs::TraceContext trace_context(any_traced);
+                obs::TraceContext trace_context(group_ctx);
                 obs::ScopedSpan span("node.search_batch");
                 span.arg("cluster",
                          static_cast<std::uint64_t>(config_.node_id));
@@ -279,17 +282,14 @@ RetrievalNode::workerLoop()
                 responses[i].stats = per_stats[m];
                 scanned += responses[i].stats.vectors_scanned;
                 hits += responses[i].hits.size();
-                if (batch[i].traced) {
-                    obs::TraceRecorder::instance().addSpan(
-                        "node.search", exec_start, exec_end,
-                        {{"cluster", std::to_string(config_.node_id),
-                          true},
-                         {"k", std::to_string(batch[i].k), true},
-                         {"vectors_scanned",
-                          std::to_string(
-                              responses[i].stats.vectors_scanned),
-                          true}});
-                }
+                obs::TraceRecorder::instance().addSpan(
+                    "node.search", exec_start, exec_end,
+                    {{"cluster", std::to_string(config_.node_id), true},
+                     {"k", std::to_string(batch[i].k), true},
+                     {"vectors_scanned",
+                      std::to_string(responses[i].stats.vectors_scanned),
+                      true}},
+                    batch[i].trace);
             }
         }
         double elapsed = timer.elapsedSeconds();

@@ -25,6 +25,7 @@
 #include <thread>
 
 #include "index/ann_index.hpp"
+#include "obs/trace.hpp"
 #include "sim/hardware.hpp"
 #include "util/rng.hpp"
 
@@ -199,9 +200,11 @@ class RetrievalNode
         /** Enqueue time, for the queue-wait histogram and trace span. */
         std::chrono::steady_clock::time_point enqueued;
 
-        /** Whether the submitting query is being traced (propagates the
-         *  broker thread's trace context onto the worker thread). */
-        bool traced = false;
+        /** Submitting thread's trace context (identity + parent span),
+         *  re-adopted on the worker thread so this request's spans stay
+         *  in the submitter's trace — which may have started in another
+         *  process when the submitter is a ShardServer handler. */
+        obs::TraceContextSnapshot trace;
     };
 
     void workerLoop();

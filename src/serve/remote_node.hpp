@@ -43,6 +43,8 @@
 
 #include "net/frame.hpp"
 #include "net/net.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/node_client.hpp"
 #include "serve/rpc.hpp"
 
@@ -88,6 +90,21 @@ struct RemoteNodeClientStats
     std::uint64_t remote_errors = 0;     ///< typed ErrorResponses
 };
 
+/**
+ * Clock alignment for one remote shard, measured by the Health
+ * handshake: a shard-clock timestamp T (microseconds since the shard's
+ * trace epoch) maps to T + offset_us on this process's trace clock.
+ * The alignment error is bounded by rtt_us / 2; the stored sample is
+ * the lowest-RTT handshake seen so far.
+ */
+struct RemoteClockSync
+{
+    bool valid = false;
+    std::uint32_t node_id = 0;
+    double offset_us = 0.0;
+    double rtt_us = 0.0;
+};
+
 /** NodeClient over the framed shard protocol. */
 class RemoteNodeClient final : public NodeClient
 {
@@ -115,10 +132,25 @@ class RemoteNodeClient final : public NodeClient
 
     /**
      * Health RPC on the control channel. True when the shard answers
-     * with a compatible protocol version; fills @p out when given.
-     * Also refreshes the cached shard size.
+     * with a compatible protocol version ([kMinProtocolVersion,
+     * kProtocolVersion]); fills @p out when given. Also refreshes the
+     * cached shard size, the negotiated peer version (which gates
+     * trace-context injection) and the clock-sync estimate.
      */
     bool health(rpc::HealthResponse *out = nullptr) const;
+
+    /**
+     * Last negotiated peer protocol version; 0 until a Health
+     * handshake succeeds. Trace context goes on the wire only when
+     * this is >= 2, so a v1 shard never sees v2 trailing bytes.
+     */
+    std::uint32_t peerVersion() const
+    {
+        return peer_version_.load(std::memory_order_relaxed);
+    }
+
+    /** Best (lowest-RTT) clock alignment measured so far. */
+    RemoteClockSync clockSync() const;
 
     RemoteNodeClientStats clientStats() const;
 
@@ -131,6 +163,11 @@ class RemoteNodeClient final : public NodeClient
         std::size_t k = 0;
         index::SearchParams params;
         std::promise<NodeResponse> promise;
+
+        /** Submitter's trace context, re-opened on the I/O worker so
+         *  the rpc.* span (and the wire-injected context) chain under
+         *  the broker-side phase span. */
+        obs::TraceContextSnapshot trace;
     };
 
     void workerLoop();
@@ -164,7 +201,31 @@ class RemoteNodeClient final : public NodeClient
     static void failGroup(std::vector<Pending> &group,
                           const std::string &reason);
 
+    /** Count a typed ErrorResponse in rpc.remote_errors + its
+     *  per-code rpc.error.<code> series. */
+    void countRemoteError(rpc::ErrorCode code) const;
+
     RemoteNodeOptions options_;
+
+    /** "host:port", resolved once for span args and error strings. */
+    std::string endpoint_;
+
+    /** Canonical rpc.* metric family (obs/metric_names.hpp), resolved
+     *  once — roundTrip() is on the per-RPC hot path. */
+    obs::Counter *m_rpcs_;
+    obs::Counter *m_request_bytes_;
+    obs::Counter *m_response_bytes_;
+    obs::Counter *m_redials_;
+    obs::Counter *m_transport_failures_;
+    obs::Counter *m_remote_errors_;
+    obs::Histogram *m_round_trip_us_;
+    obs::Histogram *m_batch_size_;
+
+    /** Negotiated peer protocol version (0 = no handshake yet).
+     *  ensureConnected re-runs the Health handshake after every
+     *  successful dial so plain submit() traffic negotiates this and
+     *  a restarted peer's clock epoch gets re-measured. */
+    mutable std::atomic<std::uint32_t> peer_version_{0};
 
     mutable std::mutex queue_mutex_;
     std::condition_variable queue_cv_;
@@ -183,6 +244,7 @@ class RemoteNodeClient final : public NodeClient
 
     mutable std::mutex stats_mutex_;
     mutable RemoteNodeClientStats client_stats_;
+    mutable RemoteClockSync clock_sync_;
 };
 
 /** Parse "host:port" (or bare ":port"/"port" for loopback). */

@@ -101,6 +101,9 @@ decodeOneResponse(net::WireReader &reader)
     return response;
 }
 
+/** Trailing trace-context block marker (SearchRequest v2). */
+constexpr std::uint8_t kTraceContextFlag = 1;
+
 } // namespace
 
 std::string
@@ -109,6 +112,13 @@ encodeSearchRequest(const SearchRequest &request)
     net::WireWriter writer;
     encodeParams(writer, request.k, request.params, request.deadline_ms);
     writer.floats(request.query.data(), request.query.size());
+    if (request.trace.active) {
+        // Optional trailing block: a v2 shard reads it, a v1 shard
+        // never receives it (Health-gated injection).
+        writer.u8(kTraceContextFlag);
+        writer.u64(request.trace.trace_id);
+        writer.u64(request.trace.parent_span_id);
+    }
     return writer.take();
 }
 
@@ -119,6 +129,13 @@ decodeSearchRequest(std::string_view payload)
     SearchRequest request;
     decodeParams(reader, request.k, request.params, request.deadline_ms);
     request.query = reader.floats();
+    if (!reader.atEnd()) {
+        if (reader.u8() != kTraceContextFlag)
+            throw net::WireError("bad trace-context flag");
+        request.trace.active = true;
+        request.trace.trace_id = reader.u64();
+        request.trace.parent_span_id = reader.u64();
+    }
     reader.expectEnd();
     return request;
 }
@@ -130,6 +147,20 @@ encodeSearchBatchRequest(const SearchBatchRequest &request)
     encodeParams(writer, request.k, request.params, request.deadline_ms);
     writer.u64(request.dim);
     writer.floats(request.queries.data(), request.queries.size());
+    std::uint32_t active = 0;
+    for (const auto &trace : request.traces)
+        active += trace.active ? 1 : 0;
+    if (active > 0) {
+        // Sparse trailing list: only traced slots go on the wire.
+        writer.u32(active);
+        for (std::size_t i = 0; i < request.traces.size(); ++i) {
+            if (!request.traces[i].active)
+                continue;
+            writer.u32(static_cast<std::uint32_t>(i));
+            writer.u64(request.traces[i].trace_id);
+            writer.u64(request.traces[i].parent_span_id);
+        }
+    }
     return writer.take();
 }
 
@@ -141,9 +172,28 @@ decodeSearchBatchRequest(std::string_view payload)
     decodeParams(reader, request.k, request.params, request.deadline_ms);
     request.dim = reader.u64();
     request.queries = reader.floats();
-    reader.expectEnd();
     if (request.dim == 0 || request.queries.size() % request.dim != 0)
         throw net::WireError("batch query block not a multiple of dim");
+    if (!reader.atEnd()) {
+        const std::size_t q = request.numQueries();
+        std::uint32_t n = reader.u32();
+        // 20 wire bytes per entry; bound the claimed count by both the
+        // remaining payload and the batch size before allocating.
+        reader.needCount(n, 20);
+        if (n > q)
+            throw net::WireError("more trace contexts than queries");
+        request.traces.assign(q, obs::TraceContextSnapshot{});
+        for (std::uint32_t e = 0; e < n; ++e) {
+            std::uint32_t slot = reader.u32();
+            if (slot >= q)
+                throw net::WireError("trace context slot out of range");
+            auto &trace = request.traces[slot];
+            trace.active = true;
+            trace.trace_id = reader.u64();
+            trace.parent_span_id = reader.u64();
+        }
+    }
+    reader.expectEnd();
     return request;
 }
 
@@ -225,6 +275,29 @@ decodeStatsResponse(std::string_view payload)
 }
 
 std::string
+encodeHealthRequest(std::uint32_t client_version)
+{
+    net::WireWriter writer;
+    writer.u32(client_version);
+    return writer.take();
+}
+
+std::uint32_t
+decodeHealthRequest(std::string_view payload)
+{
+    // v1 clients send an empty Health payload (and v1 shards ignore the
+    // payload entirely, which is what makes sending a version safe).
+    if (payload.empty())
+        return 1;
+    net::WireReader reader(payload);
+    std::uint32_t version = reader.u32();
+    reader.expectEnd();
+    if (version == 0)
+        throw net::WireError("health request version 0");
+    return version;
+}
+
+std::string
 encodeHealthResponse(const HealthResponse &response)
 {
     net::WireWriter writer;
@@ -232,6 +305,8 @@ encodeHealthResponse(const HealthResponse &response)
     writer.u32(response.node_id);
     writer.u32(response.dim);
     writer.u64(response.shard_vectors);
+    if (response.has_clock)
+        writer.f64(response.trace_now_us);
     return writer.take();
 }
 
@@ -244,6 +319,10 @@ decodeHealthResponse(std::string_view payload)
     response.node_id = reader.u32();
     response.dim = reader.u32();
     response.shard_vectors = reader.u64();
+    if (!reader.atEnd()) {
+        response.trace_now_us = reader.f64();
+        response.has_clock = true;
+    }
     reader.expectEnd();
     return response;
 }

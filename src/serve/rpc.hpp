@@ -19,6 +19,24 @@
  * Encoding invariants: decode functions throw net::WireError on any
  * truncated, over-long or trailing-garbage payload — a torn frame can
  * never silently decode into a shorter hit list.
+ *
+ * Protocol v2 (distributed tracing) extends v1 with *optional trailing*
+ * fields, so every v1 payload is also a valid v2 payload:
+ *
+ *   SearchRequest       ... v1 fields ... [u8 flag=1, u64 trace_id,
+ *                                          u64 parent_span_id]
+ *   SearchBatchRequest  ... v1 fields ... [u32 n, n x (u32 slot,
+ *                                          u64 trace_id, u64 parent)]
+ *   HealthRequest       v1: empty; v2: u32 client protocol version
+ *   HealthResponse      ... v1 fields ... [f64 trace_now_us]
+ *
+ * Compat rule (Health-gated): the shard answers a Health request with
+ * protocol_version = min(client_version, kProtocolVersion) and only
+ * appends v2 fields for v2+ clients; a client only injects trace
+ * context once a Health handshake has established the peer speaks v2.
+ * So v2 client + v1 shard degrades to untraced (the shard never sees
+ * trailing bytes it cannot parse), and v1 client + v2 shard sees an
+ * exact v1 conversation.
  */
 
 #pragma once
@@ -29,14 +47,18 @@
 
 #include "index/ann_index.hpp"
 #include "net/wire.hpp"
+#include "obs/trace.hpp"
 #include "serve/node.hpp"
 
 namespace hermes {
 namespace serve {
 namespace rpc {
 
-/** Bump when the wire encoding changes; checked in the Health reply. */
-constexpr std::uint32_t kProtocolVersion = 1;
+/** Bump when the wire encoding changes; negotiated via Health. */
+constexpr std::uint32_t kProtocolVersion = 2;
+
+/** Oldest peer protocol this build still interoperates with. */
+constexpr std::uint32_t kMinProtocolVersion = 1;
 
 /** Frame types (net::Frame::type). Responses = request | 0x100. */
 enum class Type : std::uint32_t {
@@ -75,6 +97,13 @@ struct SearchRequest
     double deadline_ms = 0.0;
 
     std::vector<float> query;
+
+    /**
+     * Propagated trace context (v2). Encoded as an optional trailing
+     * block only when trace.active; absent on the wire decodes as an
+     * inactive context, so v1 frames round-trip unchanged.
+     */
+    obs::TraceContextSnapshot trace;
 };
 
 /** A batched search: Q queries sharing (k, params). */
@@ -87,6 +116,14 @@ struct SearchBatchRequest
 
     /** Row-major Q x dim query block. */
     std::vector<float> queries;
+
+    /**
+     * Per-query trace contexts (v2): empty, or exactly numQueries()
+     * entries (inactive slots for untraced members). Encoded sparsely
+     * as a trailing (slot, trace_id, parent_span_id) list of the
+     * active entries only; an empty list is omitted entirely.
+     */
+    std::vector<obs::TraceContextSnapshot> traces;
 
     std::size_t
     numQueries() const
@@ -106,10 +143,21 @@ struct StatsResponse
 /** Health reply: who am I, do we speak the same protocol. */
 struct HealthResponse
 {
+    /** min(client version, shard version) — what this conversation
+     *  will speak. A v1 client therefore sees exactly "1". */
     std::uint32_t protocol_version = kProtocolVersion;
     std::uint32_t node_id = 0;
     std::uint32_t dim = 0;
     std::uint64_t shard_vectors = 0;
+
+    /**
+     * v2: the shard's TraceRecorder clock ("microseconds since its
+     * trace epoch") read while encoding this reply. The client brackets
+     * the RPC on its own trace clock and derives the epoch offset
+     * (error bounded by RTT/2) used to align merged traces.
+     */
+    double trace_now_us = 0.0;
+    bool has_clock = false;
 };
 
 /** Typed error body. */
@@ -135,6 +183,13 @@ decodeSearchBatchResponse(std::string_view payload);
 
 std::string encodeStatsResponse(const StatsResponse &response);
 StatsResponse decodeStatsResponse(std::string_view payload);
+
+/** v2 Health request body (client announces its protocol version).
+ *  v1 clients send an empty payload. */
+std::string encodeHealthRequest(std::uint32_t client_version);
+
+/** Empty payload (v1 client) decodes as version 1. */
+std::uint32_t decodeHealthRequest(std::string_view payload);
 
 std::string encodeHealthResponse(const HealthResponse &response);
 HealthResponse decodeHealthResponse(std::string_view payload);

@@ -3,13 +3,28 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <optional>
 
+#include "obs/trace.hpp"
 #include "util/logging.hpp"
 
 namespace hermes {
 namespace serve {
 
 namespace {
+
+/**
+ * Gate a propagated context on this process's recorder: adopting a
+ * remote context only records spans when the shard itself has tracing
+ * enabled (hermes_shard --trace-out / HERMES_TRACE_OUT).
+ */
+obs::TraceContextSnapshot
+gateRemoteContext(obs::TraceContextSnapshot ctx)
+{
+    ctx.active =
+        ctx.active && obs::TraceRecorder::instance().enabled();
+    return ctx;
+}
 
 /** Accept-poll tick: how often the accept loop re-checks stopping_. */
 constexpr double kAcceptTickMs = 100.0;
@@ -248,10 +263,26 @@ ShardServer::dispatch(net::Socket &socket, const net::Frame &frame)
     }
     switch (static_cast<rpc::Type>(frame.type)) {
       case rpc::Type::HealthRequest: {
+        std::uint32_t client_version = 1;
+        try {
+            client_version = rpc::decodeHealthRequest(frame.payload);
+        } catch (const std::exception &e) {
+            return sendError(socket, frame.id, rpc::ErrorCode::BadRequest,
+                             e.what());
+        }
         rpc::HealthResponse health;
+        // Negotiate down to the client: a v1 client sees an exact v1
+        // reply (version 1, no trailing clock field).
+        health.protocol_version =
+            std::min(client_version, rpc::kProtocolVersion);
         health.node_id = static_cast<std::uint32_t>(options_.node.node_id);
         health.dim = static_cast<std::uint32_t>(shard_.dim());
         health.shard_vectors = shard_.size();
+        if (health.protocol_version >= 2) {
+            health.has_clock = true;
+            health.trace_now_us = obs::TraceRecorder::instance().toMicros(
+                obs::TraceRecorder::Clock::now());
+        }
         return sendReply(socket, rpc::Type::HealthResponse, frame.id,
                          rpc::encodeHealthResponse(health));
       }
@@ -280,6 +311,16 @@ ShardServer::dispatch(net::Socket &socket, const net::Frame &frame)
                                  std::to_string(request.query.size()) +
                                  " != shard dim " +
                                  std::to_string(shard_.dim()));
+        }
+        // Adopt the propagated trace context for the whole shard-side
+        // handling, so node queue-wait/exec spans (and their ivf
+        // children) chain under the broker-side rpc.search span.
+        obs::TraceContext adopt(gateRemoteContext(request.trace));
+        std::optional<obs::ScopedSpan> span;
+        if (obs::traceActive()) {
+            span.emplace("shard.search");
+            span->arg("cluster",
+                      static_cast<std::uint64_t>(options_.node.node_id));
         }
         auto future = node_->submit(
             vecstore::VecView(request.query.data(), request.query.size()),
@@ -312,9 +353,19 @@ ShardServer::dispatch(net::Socket &socket, const net::Frame &frame)
         // batch RPC rides the same micro-batching as concurrent
         // in-process callers.
         const std::size_t q = request.numQueries();
+        auto batch_start = obs::TraceRecorder::Clock::now();
+        obs::TraceContextSnapshot batch_ctx; // first traced member
         std::vector<std::future<NodeResponse>> futures;
         futures.reserve(q);
         for (std::size_t i = 0; i < q; ++i) {
+            // Per-query adoption: each member keeps its own trace
+            // identity (a coalesced RPC can carry several traces).
+            obs::TraceContextSnapshot ctx = i < request.traces.size()
+                ? gateRemoteContext(request.traces[i])
+                : obs::TraceContextSnapshot{};
+            if (ctx.active && !batch_ctx.active)
+                batch_ctx = ctx;
+            obs::TraceContext adopt(ctx);
             futures.push_back(node_->submit(
                 vecstore::VecView(request.queries.data() + i * request.dim,
                                   request.dim),
@@ -331,6 +382,16 @@ ShardServer::dispatch(net::Socket &socket, const net::Frame &frame)
                 // itself (mirrors the node's batch-throw fallback).
                 return sendError(socket, frame.id, code, message);
             }
+        }
+        if (batch_ctx.active) {
+            // Retroactive batch-handling span under the first traced
+            // member (one span per RPC, not per member).
+            obs::TraceRecorder::instance().addSpan(
+                "shard.search_batch", batch_start,
+                obs::TraceRecorder::Clock::now(),
+                {{"cluster", std::to_string(options_.node.node_id), true},
+                 {"requests", std::to_string(q), true}},
+                batch_ctx);
         }
         return sendReply(socket, rpc::Type::SearchBatchResponse, frame.id,
                          rpc::encodeSearchBatchResponse(responses));

@@ -718,7 +718,7 @@ TEST(ObsEndToEnd, TracedBrokerQueryProducesNestedSpans)
     rec.stop();
 
     auto spans = rec.snapshot();
-    auto roots = spansNamed(spans, "broker.search");
+    auto roots = spansNamed(spans, "broker.query");
     ASSERT_EQ(roots.size(), 1u);
     const auto &root = roots.front();
 

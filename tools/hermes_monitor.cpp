@@ -1,22 +1,35 @@
 /**
  * @file
- * Live fleet dashboard: polls a running Hermes binary's embedded
- * metrics endpoint (serving_demo --http-port / hermes_profile_search
- * --http-port) and renders per-cluster load, windowed QPS/latency and
- * modeled energy in place — the operator's view of the paper's Fig 13
- * access skew and Fig 18 energy accounting, live.
+ * Live fleet dashboard: polls one or more Hermes metrics endpoints
+ * (serving_demo --http-port, hermes_shard --http-port,
+ * hermes_profile_search --http-port) and renders per-cluster load,
+ * windowed QPS/latency and modeled energy in place — the operator's
+ * view of the paper's Fig 13 access skew and Fig 18 energy accounting,
+ * live.
  *
- * Polls GET /load (broker LoadReport) and GET /metrics.json (for the
- * process.* self-stats); optionally appends one CSV row per poll for
- * offline plotting. Ctrl-C (or --count) ends the session cleanly.
+ * Single-process mode (--host/--port) polls GET /load (broker
+ * LoadReport) and GET /metrics.json. Fleet mode (--endpoints=
+ * host:port,host:port,...) polls every endpoint per tick and merges
+ * them into one view: the first endpoint serving /load (the broker)
+ * gets the full dashboard, and every endpoint — broker and shards —
+ * gets a row in the fleet table (uptime, served requests, rpc.*
+ * client counters, transport/remote errors, RSS). Shard rows read the
+ * hermes_shard /shard handler when present.
+ *
+ * --csv appends one row per endpoint per poll, with a leading quoted
+ * `source` column; the header is written only when the file starts
+ * empty, so appending across sessions never repeats it. Ctrl-C (or
+ * --count) ends the session cleanly.
  */
 
 #include <algorithm>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include <unistd.h>
 
@@ -53,6 +66,185 @@ num(const hermes::util::json::Value &v, const char *key)
     return m ? m->numberOr(0.0) : 0.0;
 }
 
+/** One endpoint to poll. */
+struct Endpoint
+{
+    std::string host;
+    std::uint16_t port = 0;
+    std::string label; ///< "host:port", the CSV source column
+};
+
+/** What one poll of one endpoint yielded. */
+struct Sample
+{
+    bool up = false;       ///< /metrics.json answered and parsed
+    bool has_load = false; ///< /load answered (it's a broker)
+    hermes::util::json::ParseResult load;
+
+    double uptime_s = 0.0;
+    double rss_bytes = 0.0;
+    double requests = 0.0; ///< broker.queries, or /shard requests
+    double rpc_rpcs = 0.0;
+    double rpc_redials = 0.0;
+    double rpc_errors = 0.0; ///< transport failures + remote errors
+};
+
+bool
+parseEndpoint(const std::string &spec, Endpoint &out)
+{
+    std::size_t colon = spec.rfind(':');
+    if (colon == std::string::npos || colon == 0)
+        return false;
+    int port = std::atoi(spec.c_str() + colon + 1);
+    if (port <= 0 || port > 65535)
+        return false;
+    out.host = spec.substr(0, colon);
+    out.port = static_cast<std::uint16_t>(port);
+    out.label = spec;
+    return true;
+}
+
+Sample
+pollEndpoint(const Endpoint &endpoint)
+{
+    using hermes::util::json::Value;
+    Sample sample;
+
+    std::string metrics_body;
+    if (!hermes::obs::httpGet(endpoint.host, endpoint.port,
+                              "/metrics.json", &metrics_body))
+        return sample;
+    auto metrics = hermes::util::json::parse(metrics_body);
+    if (!metrics.ok)
+        return sample;
+    sample.up = true;
+
+    const Value &root = metrics.value;
+    if (const Value *v = root.at({"gauges", "process.uptime_seconds"}))
+        sample.uptime_s = v->numberOr(0.0);
+    if (const Value *v = root.at({"gauges", "process.rss_bytes"}))
+        sample.rss_bytes = v->numberOr(0.0);
+    if (const Value *counters = root.find("counters")) {
+        if (const Value *v = counters->find("broker.queries"))
+            sample.requests = v->numberOr(0.0);
+        if (const Value *v = counters->find("rpc.rpcs"))
+            sample.rpc_rpcs = v->numberOr(0.0);
+        if (const Value *v = counters->find("rpc.redials"))
+            sample.rpc_redials = v->numberOr(0.0);
+        if (const Value *v = counters->find("rpc.transport_failures"))
+            sample.rpc_errors += v->numberOr(0.0);
+        if (const Value *v = counters->find("rpc.remote_errors"))
+            sample.rpc_errors += v->numberOr(0.0);
+    }
+
+    std::string load_body;
+    if (hermes::obs::httpGet(endpoint.host, endpoint.port, "/load",
+                             &load_body)) {
+        sample.load = hermes::util::json::parse(load_body);
+        sample.has_load = sample.load.ok;
+    }
+
+    // Shards don't serve /load; their request totals come from the
+    // hermes_shard /shard handler when one is registered.
+    if (!sample.has_load && sample.requests == 0.0) {
+        std::string shard_body;
+        if (hermes::obs::httpGet(endpoint.host, endpoint.port, "/shard",
+                                 &shard_body)) {
+            auto shard = hermes::util::json::parse(shard_body);
+            if (shard.ok)
+                sample.requests = num(shard.value, "requests");
+        }
+    }
+    return sample;
+}
+
+/** The full single-broker dashboard (the original monitor view). */
+void
+renderLoadDashboard(const hermes::util::json::Value &root,
+                    const std::string &label, double rss_bytes, long polls)
+{
+    using hermes::util::json::Value;
+    std::printf("hermes @ %s   uptime %.1f s   poll %ld\n", label.c_str(),
+                num(root, "uptime_seconds"), polls);
+    std::printf("queries %.0f (cumulative)   %.1f QPS over last "
+                "%.0f s   degraded %.0f\n",
+                num(root, "queries"), num(root, "window_qps"),
+                num(root, "window_seconds"),
+                num(root, "degraded_queries"));
+    std::printf("latency p50/p99: window %.0f/%.0f us   cumulative "
+                "%.0f/%.0f us\n",
+                num(root, "window_p50_us"), num(root, "window_p99_us"),
+                num(root, "cumulative_p50_us"),
+                num(root, "cumulative_p99_us"));
+    std::printf("deep-load skew: max/mean %.2f   zipf ~%.2f   "
+                "energy %.1f J   rss %.1f MiB\n\n",
+                num(root, "max_mean_ratio"), num(root, "zipf_exponent"),
+                num(root, "total_energy_joules"),
+                rss_bytes / (1024.0 * 1024.0));
+
+    const Value *clusters = root.find("clusters");
+    if (clusters && clusters->isArray() && clusters->size() > 0) {
+        double max_deep = 1.0;
+        for (const Value &c : clusters->items())
+            max_deep = std::max(max_deep, num(c, "deep_requests"));
+        std::printf("%-4s %-9s %-8s %-8s %-6s %-5s %-6s %-8s %-22s\n",
+                    "node", "shard", "sample", "deep", "queue", "occ",
+                    "util", "energy", "deep load");
+        for (const Value &c : clusters->items()) {
+            double deep = num(c, "deep_requests");
+            int bar = static_cast<int>(20.0 * deep / max_deep + 0.5);
+            std::printf("%-4.0f %-9.0f %-8.0f %-8.0f %-6.0f %-5.2f "
+                        "%5.1f%% %7.1fJ %.*s\n",
+                        num(c, "cluster"), num(c, "shard_vectors"),
+                        num(c, "sample_requests"), deep,
+                        num(c, "queue_depth"), num(c, "batch_occupancy"),
+                        num(c, "utilization") * 100.0,
+                        num(c, "energy_joules"), bar,
+                        "####################");
+        }
+        std::printf("\n");
+    }
+}
+
+/** One row per endpoint: the fleet-wide merged table. */
+void
+renderFleetTable(const std::vector<Endpoint> &endpoints,
+                 const std::vector<Sample> &samples)
+{
+    std::printf("%-22s %-4s %-9s %-9s %-8s %-8s %-8s %-9s\n", "source",
+                "up", "uptime_s", "requests", "rpcs", "redials",
+                "rpc_err", "rss_mib");
+    for (std::size_t i = 0; i < endpoints.size(); ++i) {
+        const Sample &s = samples[i];
+        if (!s.up) {
+            std::printf("%-22s %-4s %-9s %-9s %-8s %-8s %-8s %-9s\n",
+                        endpoints[i].label.c_str(), "no", "-", "-", "-",
+                        "-", "-", "-");
+            continue;
+        }
+        std::printf("%-22s %-4s %-9.1f %-9.0f %-8.0f %-8.0f %-8.0f "
+                    "%-9.1f\n",
+                    endpoints[i].label.c_str(),
+                    s.has_load ? "yes*" : "yes", s.uptime_s, s.requests,
+                    s.rpc_rpcs, s.rpc_redials, s.rpc_errors,
+                    s.rss_bytes / (1024.0 * 1024.0));
+    }
+}
+
+/** CSV-quote a string field (RFC 4180 double-quote escaping). */
+std::string
+csvQuote(const std::string &field)
+{
+    std::string out = "\"";
+    for (char c : field) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
 } // namespace
 
 int
@@ -62,23 +254,58 @@ main(int argc, char **argv)
     using util::json::Value;
 
     util::ArgParser args("hermes_monitor",
-                         "live dashboard over a Hermes metrics endpoint");
-    args.addFlag("host", "127.0.0.1", "endpoint host");
-    args.addFlag("port", "0", "endpoint port (required)");
+                         "live dashboard over Hermes metrics endpoints");
+    args.addFlag("host", "127.0.0.1", "endpoint host (single-process mode)");
+    args.addFlag("port", "0", "endpoint port (single-process mode)");
+    args.addFlag("endpoints", "",
+                 "comma-separated host:port list (fleet mode; overrides "
+                 "--host/--port)");
     args.addFlag("interval", "1.0", "seconds between polls");
     args.addFlag("count", "0", "polls before exiting (0 = until Ctrl-C)");
-    args.addFlag("csv", "", "append one row per poll to this CSV file");
+    args.addFlag("csv", "",
+                 "append one row per endpoint per poll to this CSV file");
     args.parse(argc, argv);
 
-    const std::string host = args.get("host");
-    const auto port = static_cast<std::uint16_t>(args.getInt("port"));
     const double interval = std::max(args.getDouble("interval"), 0.05);
     const long count = args.getInt("count");
     const std::string csv_path = args.get("csv");
-    if (port == 0) {
-        std::fprintf(stderr, "hermes_monitor: --port is required "
-                     "(the serving binary prints it at startup)\n");
-        return 2;
+
+    std::vector<Endpoint> endpoints;
+    const std::string endpoints_flag = args.get("endpoints");
+    if (!endpoints_flag.empty()) {
+        std::size_t start = 0;
+        while (start <= endpoints_flag.size()) {
+            std::size_t comma = endpoints_flag.find(',', start);
+            if (comma == std::string::npos)
+                comma = endpoints_flag.size();
+            if (comma > start) {
+                Endpoint endpoint;
+                std::string spec =
+                    endpoints_flag.substr(start, comma - start);
+                if (!parseEndpoint(spec, endpoint)) {
+                    std::fprintf(stderr,
+                                 "hermes_monitor: bad endpoint %s\n",
+                                 spec.c_str());
+                    return 2;
+                }
+                endpoints.push_back(std::move(endpoint));
+            }
+            start = comma + 1;
+        }
+    } else {
+        Endpoint endpoint;
+        endpoint.host = args.get("host");
+        endpoint.port = static_cast<std::uint16_t>(args.getInt("port"));
+        endpoint.label =
+            endpoint.host + ":" + std::to_string(endpoint.port);
+        if (endpoint.port == 0) {
+            std::fprintf(stderr,
+                         "hermes_monitor: --port or --endpoints is "
+                         "required (the serving binary prints its port "
+                         "at startup)\n");
+            return 2;
+        }
+        endpoints.push_back(std::move(endpoint));
     }
 
     std::signal(SIGINT, onSignal);
@@ -86,6 +313,8 @@ main(int argc, char **argv)
 
     std::FILE *csv = nullptr;
     if (!csv_path.empty()) {
+        // Header exactly once per file: only when it starts empty, so
+        // appending across monitor sessions never repeats it mid-data.
         bool fresh = true;
         if (std::FILE *probe = std::fopen(csv_path.c_str(), "r")) {
             fresh = std::fgetc(probe) == EOF;
@@ -98,116 +327,91 @@ main(int argc, char **argv)
             return 2;
         }
         if (fresh) {
-            std::fprintf(csv, "poll,uptime_s,queries,window_qps,"
+            std::fprintf(csv, "source,poll,uptime_s,requests,window_qps,"
                               "window_p50_us,window_p99_us,"
                               "max_mean_ratio,zipf_exponent,"
-                              "total_energy_j,rss_bytes\n");
+                              "total_energy_j,rpc_rpcs,rpc_errors,"
+                              "rss_bytes\n");
         }
     }
 
     const bool tty = isatty(STDOUT_FILENO) != 0;
     long polls = 0;
     long failures = 0;
+    std::vector<Sample> samples(endpoints.size());
     for (long i = 0; (count == 0 || i < count) && !g_interrupted; ++i) {
         if (i > 0)
             interruptibleSleep(interval);
         if (g_interrupted)
             break;
 
-        std::string load_body;
-        if (!obs::httpGet(host, port, "/load", &load_body)) {
+        std::size_t up = 0;
+        for (std::size_t e = 0; e < endpoints.size(); ++e) {
+            samples[e] = pollEndpoint(endpoints[e]);
+            if (samples[e].up)
+                ++up;
+        }
+        if (up == 0) {
             ++failures;
-            std::fprintf(stderr, "hermes_monitor: poll of %s:%u/load "
-                         "failed (%ld so far)\n", host.c_str(), port,
-                         failures);
+            std::fprintf(stderr,
+                         "hermes_monitor: poll %ld reached none of %zu "
+                         "endpoint(s) (%ld failures so far)\n", i + 1,
+                         endpoints.size(), failures);
             if (failures >= 5 && polls == 0) {
-                std::fprintf(stderr, "hermes_monitor: giving up — is the "
-                             "serving binary running with --http-port?\n");
+                std::fprintf(stderr,
+                             "hermes_monitor: giving up — are the "
+                             "serving binaries running with "
+                             "--http-port?\n");
                 break;
             }
             continue;
         }
-        auto load = util::json::parse(load_body);
-        if (!load.ok) {
-            ++failures;
-            std::fprintf(stderr, "hermes_monitor: bad /load payload: %s "
-                         "(offset %zu)\n", load.error.c_str(),
-                         load.position);
-            continue;
-        }
-
-        // Self-stats piggyback on the same scrape (best-effort).
-        double rss_bytes = 0.0;
-        std::string metrics_body;
-        if (obs::httpGet(host, port, "/metrics.json", &metrics_body)) {
-            auto metrics = util::json::parse(metrics_body);
-            if (metrics.ok) {
-                if (const Value *rss = metrics.value.at(
-                        {"gauges", "process.rss_bytes"}))
-                    rss_bytes = rss->numberOr(0.0);
-            }
-        }
-
-        const Value &root = load.value;
         ++polls;
+
         if (tty)
             std::printf("\x1b[H\x1b[J"); // home + clear: redraw in place
 
-        std::printf("hermes @ %s:%u   uptime %.1f s   poll %ld\n",
-                    host.c_str(), port, num(root, "uptime_seconds"),
-                    polls);
-        std::printf("queries %.0f (cumulative)   %.1f QPS over last "
-                    "%.0f s   degraded %.0f\n",
-                    num(root, "queries"), num(root, "window_qps"),
-                    num(root, "window_seconds"),
-                    num(root, "degraded_queries"));
-        std::printf("latency p50/p99: window %.0f/%.0f us   cumulative "
-                    "%.0f/%.0f us\n",
-                    num(root, "window_p50_us"), num(root, "window_p99_us"),
-                    num(root, "cumulative_p50_us"),
-                    num(root, "cumulative_p99_us"));
-        std::printf("deep-load skew: max/mean %.2f   zipf ~%.2f   "
-                    "energy %.1f J   rss %.1f MiB\n\n",
-                    num(root, "max_mean_ratio"),
-                    num(root, "zipf_exponent"),
-                    num(root, "total_energy_joules"),
-                    rss_bytes / (1024.0 * 1024.0));
-
-        const Value *clusters = root.find("clusters");
-        if (clusters && clusters->isArray() && clusters->size() > 0) {
-            double max_deep = 1.0;
-            for (const Value &c : clusters->items())
-                max_deep = std::max(max_deep, num(c, "deep_requests"));
-            std::printf("%-4s %-9s %-8s %-8s %-6s %-5s %-6s %-8s %-22s\n",
-                        "node", "shard", "sample", "deep", "queue",
-                        "occ", "util", "energy", "deep load");
-            for (const Value &c : clusters->items()) {
-                double deep = num(c, "deep_requests");
-                int bar = static_cast<int>(20.0 * deep / max_deep + 0.5);
-                std::printf("%-4.0f %-9.0f %-8.0f %-8.0f %-6.0f %-5.2f "
-                            "%5.1f%% %7.1fJ %.*s\n",
-                            num(c, "cluster"), num(c, "shard_vectors"),
-                            num(c, "sample_requests"), deep,
-                            num(c, "queue_depth"),
-                            num(c, "batch_occupancy"),
-                            num(c, "utilization") * 100.0,
-                            num(c, "energy_joules"), bar,
-                            "####################");
-            }
+        // The first /load-serving endpoint (the broker) gets the rich
+        // dashboard; everyone gets a fleet-table row.
+        bool rendered_load = false;
+        for (std::size_t e = 0; e < endpoints.size(); ++e) {
+            if (!samples[e].has_load)
+                continue;
+            renderLoadDashboard(samples[e].load.value,
+                                endpoints[e].label,
+                                samples[e].rss_bytes, polls);
+            rendered_load = true;
+            break;
         }
+        if (!rendered_load) {
+            std::printf("hermes fleet   poll %ld   %zu/%zu endpoints "
+                        "up\n\n", polls, up, endpoints.size());
+        }
+        if (endpoints.size() > 1 || !rendered_load)
+            renderFleetTable(endpoints, samples);
         std::fflush(stdout);
 
         if (csv) {
-            std::fprintf(csv,
-                         "%ld,%.3f,%.0f,%.3f,%.1f,%.1f,%.3f,%.3f,%.2f,"
-                         "%.0f\n",
-                         polls, num(root, "uptime_seconds"),
-                         num(root, "queries"), num(root, "window_qps"),
-                         num(root, "window_p50_us"),
-                         num(root, "window_p99_us"),
-                         num(root, "max_mean_ratio"),
-                         num(root, "zipf_exponent"),
-                         num(root, "total_energy_joules"), rss_bytes);
+            for (std::size_t e = 0; e < endpoints.size(); ++e) {
+                const Sample &s = samples[e];
+                if (!s.up)
+                    continue;
+                const Value *load =
+                    s.has_load ? &s.load.value : nullptr;
+                std::fprintf(
+                    csv,
+                    "%s,%ld,%.3f,%.0f,%.3f,%.1f,%.1f,%.3f,%.3f,%.2f,"
+                    "%.0f,%.0f,%.0f\n",
+                    csvQuote(endpoints[e].label).c_str(), polls,
+                    s.uptime_s, s.requests,
+                    load ? num(*load, "window_qps") : 0.0,
+                    load ? num(*load, "window_p50_us") : 0.0,
+                    load ? num(*load, "window_p99_us") : 0.0,
+                    load ? num(*load, "max_mean_ratio") : 0.0,
+                    load ? num(*load, "zipf_exponent") : 0.0,
+                    load ? num(*load, "total_energy_joules") : 0.0,
+                    s.rpc_rpcs, s.rpc_errors, s.rss_bytes);
+            }
             std::fflush(csv);
         }
     }

@@ -16,12 +16,23 @@
  *                     [--batch-window-us=N] [--max-batch=N]
  *                     [--fail-prob=P] [--drop-prob=P] [--delay-ms=MS]
  *                     [--http-port=PORT]
+ *                     [--trace-out=FILE] [--trace-sample=N]
+ *                     [--metrics-json=FILE]
  *
  * Prints one machine-parseable line once serving:
  *   hermes_shard ready cluster=<c> vectors=<n> port=<p>
  * then runs until SIGTERM/SIGINT. --http-port adds the obs exporter
- * (/healthz for liveness probes, /metrics, plus /shard with the node's
- * counters), so a supervisor can watch recovery after a restart.
+ * (/healthz for liveness probes, /metrics, /trace.json with the shard's
+ * span dump tagged by cluster, plus /shard with the node's counters),
+ * so a supervisor can watch recovery after a restart.
+ *
+ * Tracing: --trace-sample=N (or HERMES_TRACE_SAMPLE) enables the span
+ * recorder before the server starts, so remote trace contexts adopted
+ * from a v2 broker are recorded from the first request. --trace-out
+ * (or HERMES_TRACE_OUT) writes the dump — tagged with this shard's
+ * cluster id so hermes_trace_merge can clock-align it — on the
+ * SIGINT/SIGTERM drain path; --metrics-json (or HERMES_METRICS_JSON)
+ * does the same for the registry.
  */
 
 #include <algorithm>
@@ -32,6 +43,7 @@
 #include <memory>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "hermes/hermes.hpp"
 
@@ -76,6 +88,9 @@ main(int argc, char **argv)
     double drop_prob = 0.0;
     double delay_ms = 0.0;
     int http_port = -1;
+    std::string trace_out;
+    long trace_sample = 0;
+    std::string metrics_json;
     for (int i = 1; i < argc; ++i) {
         if (const char *v = matchOption(argv[i], "--cluster"))
             cluster = std::strtol(v, nullptr, 10);
@@ -105,6 +120,12 @@ main(int argc, char **argv)
             delay_ms = std::strtod(v, nullptr);
         else if (const char *v = matchOption(argv[i], "--http-port"))
             http_port = std::atoi(v);
+        else if (const char *v = matchOption(argv[i], "--trace-out"))
+            trace_out = v;
+        else if (const char *v = matchOption(argv[i], "--trace-sample"))
+            trace_sample = std::strtol(v, nullptr, 10);
+        else if (const char *v = matchOption(argv[i], "--metrics-json"))
+            metrics_json = v;
         else {
             std::fprintf(stderr, "unknown option: %s\n", argv[i]);
             return 2;
@@ -116,6 +137,36 @@ main(int argc, char **argv)
                      clusters - 1);
         return 2;
     }
+
+    // Flags win; env vars fill the gaps so a supervisor can arm capture
+    // fleet-wide without touching each shard's command line.
+    if (trace_out.empty()) {
+        if (const char *env = std::getenv("HERMES_TRACE_OUT"))
+            trace_out = env;
+    }
+    if (metrics_json.empty()) {
+        if (const char *env = std::getenv("HERMES_METRICS_JSON"))
+            metrics_json = env;
+    }
+    if (trace_sample <= 0) {
+        if (const char *env = std::getenv("HERMES_TRACE_SAMPLE"))
+            trace_sample = std::strtol(env, nullptr, 10);
+    }
+    // Start the recorder before the server: adopted remote contexts are
+    // gated on the shard's own recorder, so spans must be recordable by
+    // the time the first RPC lands. Shard-side "sampling" is decided by
+    // the broker (it only propagates contexts for queries it sampled);
+    // the local sample rate only affects locally-initiated traces.
+    if (!trace_out.empty() || trace_sample > 0) {
+        obs::TraceRecorder::instance().start(
+            trace_sample > 0 ? static_cast<std::size_t>(trace_sample) : 1);
+    }
+    // Dump metadata lets hermes_trace_merge label this process and match
+    // it to the broker's rpc.clock_sync record for its node id.
+    const std::vector<obs::TraceArg> trace_metadata = {
+        {"process", "hermes_shard", false},
+        {"cluster", std::to_string(cluster), true},
+    };
 
     // Same deterministic corpus + partition as serving_demo / the tests:
     // matching flags on every process of the fleet reproduce the exact
@@ -160,6 +211,11 @@ main(int argc, char **argv)
         eopts.bind_address = bind_address;
         eopts.port = static_cast<std::uint16_t>(http_port);
         exporter = std::make_unique<obs::Exporter>(eopts);
+        // Shadow the builtin /trace.json so fetched dumps carry the
+        // same process/cluster metadata as the drain-path file.
+        exporter->setHandler("/trace.json", [trace_metadata] {
+            return obs::TraceRecorder::instance().toJson(trace_metadata);
+        });
         exporter->setHandler("/shard", [&server, cluster] {
             auto node = server.nodeStats();
             auto srv = server.stats();
@@ -193,6 +249,13 @@ main(int argc, char **argv)
         std::this_thread::sleep_for(std::chrono::milliseconds(100));
 
     server.stop();
+    // Drain-path capture: a TERM'd shard still leaves its spans and
+    // counters behind for post-mortem merging.
+    if (!trace_out.empty())
+        obs::TraceRecorder::instance().writeChromeTrace(trace_out,
+                                                        trace_metadata);
+    if (!metrics_json.empty())
+        obs::Registry::instance().writeJson(metrics_json);
     auto stats = server.stats();
     std::printf("hermes_shard exit cluster=%ld requests=%llu "
                 "connections=%llu errors=%llu\n",
