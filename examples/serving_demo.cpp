@@ -12,6 +12,9 @@
  *                     [--http-port=PORT] [--duration=SECONDS]
  *                     [--batch-window-us=N] [--max-batch=N] [--dim=N]
  *                     [--nlist=N] [--remote-nodes=host:port,host:port,...]
+ *                     [--replicate=c:r,...] [--auto-replicate=N]
+ *                     [--auto-replicate-after=S] [--hedge=0|1]
+ *                     [--deadline-ms=MS]
  *
  * --remote-nodes switches the broker to the out-of-process fleet: one
  * RemoteNodeClient per listed hermes_shard endpoint (in cluster order)
@@ -22,6 +25,25 @@
  * are ignored in this mode; inject faults on the shard processes
  * instead. On an identical fleet the merged results are bit-identical
  * to the in-process run.
+ *
+ * Replication and skew-aware routing: each endpoint may carry an
+ * explicit cluster assignment, `host:port@cluster` (all endpoints or
+ * none) — listing two endpoints with the same cluster makes them
+ * replicas of that cluster, served by bit-identical hermes_shard
+ * processes (same corpus flags + --cluster, see hermes_shard
+ * --replica). In-process, --replicate=c:r,... spins up r worker nodes
+ * over cluster c's shard index, and --auto-replicate=N lets the broker
+ * add up to N replicas itself from its live load report
+ * (--auto-replicate-after delays the decision until the Zipf fit has
+ * data; default 2 s). Replicated clusters are routed by
+ * power-of-two-choices over live queue depth, and straggling sample
+ * probes are hedged to a second replica (--hedge=0 disables) — the
+ * run summary prints the hedge counters, and any query returning
+ * fewer than the requested top-k is counted as "short". Hedging (and
+ * the per-node retry ladder) needs a finite node deadline:
+ * --deadline-ms sets it explicitly (it is otherwise 0 = infinite
+ * unless drop_prob implies one), and for remote fleets it also
+ * becomes each RPC's request deadline.
  *
  * --batch-window-us opts the nodes into micro-batching: concurrent
  * clients' requests landing on the same node within the window are
@@ -50,6 +72,7 @@
  */
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -113,6 +136,11 @@ main(int argc, char **argv)
     std::size_t dim = 32;
     std::size_t nlist = 0;
     std::string remote_nodes;
+    std::string replicate;
+    std::size_t auto_replicate = 0;
+    double auto_replicate_after = 2.0;
+    bool hedge = true;
+    double deadline_ms = 0.0;
     std::vector<char *> positional;
     for (int i = 0; i < argc; ++i) {
         if (const char *v = matchOption(argv[i], "--metrics-json"))
@@ -139,6 +167,17 @@ main(int argc, char **argv)
             nlist = std::strtoul(v, nullptr, 10);
         else if (const char *v = matchOption(argv[i], "--remote-nodes"))
             remote_nodes = v;
+        else if (const char *v = matchOption(argv[i], "--replicate"))
+            replicate = v;
+        else if (const char *v = matchOption(argv[i], "--auto-replicate"))
+            auto_replicate = std::strtoul(v, nullptr, 10);
+        else if (const char *v =
+                     matchOption(argv[i], "--auto-replicate-after"))
+            auto_replicate_after = std::strtod(v, nullptr);
+        else if (const char *v = matchOption(argv[i], "--hedge"))
+            hedge = std::atoi(v) != 0;
+        else if (const char *v = matchOption(argv[i], "--deadline-ms"))
+            deadline_ms = std::strtod(v, nullptr);
         else
             positional.push_back(argv[i]);
     }
@@ -166,8 +205,34 @@ main(int argc, char **argv)
 
     std::vector<std::string> endpoints = splitEndpoints(remote_nodes);
 
+    // Optional per-endpoint cluster assignment, "host:port@cluster":
+    // listing several endpoints with the same cluster makes them
+    // replicas. All endpoints carry an assignment or none do (then
+    // endpoint i serves cluster i, the pre-replication shape).
+    std::vector<std::uint32_t> endpoint_clusters(endpoints.size(), 0);
+    std::size_t tagged = 0;
+    for (std::size_t i = 0; i < endpoints.size(); ++i) {
+        std::size_t at = endpoints[i].rfind('@');
+        if (at == std::string::npos) {
+            endpoint_clusters[i] = static_cast<std::uint32_t>(i);
+            continue;
+        }
+        endpoint_clusters[i] = static_cast<std::uint32_t>(
+            std::strtoul(endpoints[i].c_str() + at + 1, nullptr, 10));
+        endpoints[i].resize(at);
+        ++tagged;
+    }
+    if (tagged != 0 && tagged != endpoints.size()) {
+        std::fprintf(stderr, "either every --remote-nodes endpoint "
+                             "carries @cluster or none do\n");
+        return 2;
+    }
+    std::size_t remote_clusters = 0;
+    for (std::uint32_t c : endpoint_clusters)
+        remote_clusters = std::max<std::size_t>(remote_clusters, c + 1);
+
     core::HermesConfig config;
-    config.num_clusters = endpoints.empty() ? 10 : endpoints.size();
+    config.num_clusters = endpoints.empty() ? 10 : remote_clusters;
     config.clusters_to_search =
         std::min<std::size_t>(3, config.num_clusters);
     config.sample_nprobe = 4;
@@ -194,6 +259,29 @@ main(int argc, char **argv)
     broker_config.node.faults.delay_ms = delay_ms;
     if (drop_prob > 0.0)
         broker_config.node_deadline_ms = 250.0; // make dead nodes cheap
+    if (deadline_ms > 0.0)
+        broker_config.node_deadline_ms = deadline_ms;
+    broker_config.hedge.enabled = hedge;
+    if (!replicate.empty() &&
+        !serve::ReplicaMap::parseSpec(replicate,
+                                      broker_config.replicate)) {
+        std::fprintf(stderr, "bad --replicate spec (want c:r,c:r,...): "
+                             "%s\n", replicate.c_str());
+        return 2;
+    }
+    if (!endpoints.empty() && tagged > 0) {
+        serve::ReplicaMap map;
+        for (std::size_t i = 0; i < endpoints.size(); ++i)
+            map.assign(endpoint_clusters[i],
+                       static_cast<std::uint32_t>(i));
+        if (!map.complete()) {
+            std::fprintf(stderr, "endpoint cluster assignments must "
+                                 "cover every cluster 0..%zu\n",
+                         config.num_clusters - 1);
+            return 2;
+        }
+        broker_config.replica_map = std::move(map);
+    }
 
     // Per-node shard sizes for the load table: from the store when
     // in-process, from each shard's Health RPC when remote.
@@ -242,7 +330,7 @@ main(int argc, char **argv)
                              dim);
                 return 1;
             }
-            shard_sizes[c] =
+            shard_sizes[endpoint_clusters[c]] =
                 static_cast<std::size_t>(health.shard_vectors);
             nodes.push_back(std::move(client));
         }
@@ -292,6 +380,26 @@ main(int argc, char **argv)
             metrics_json, metrics_prom, metrics_interval);
     }
 
+    // Dynamic replication: let the broker act on its own load report
+    // once the Zipf fit has seen real traffic (in-process only; a
+    // node-list broker has no shard index to clone).
+    std::thread replicator;
+    if (auto_replicate > 0 && endpoints.empty()) {
+        replicator = std::thread(
+            [&broker, auto_replicate, auto_replicate_after] {
+                std::this_thread::sleep_for(
+                    std::chrono::duration<double>(auto_replicate_after));
+                serve::ReplicationPolicy policy;
+                policy.max_total_extras = auto_replicate;
+                std::size_t added = broker->autoReplicate(policy);
+                std::printf("auto-replicate: added %zu replicas\n",
+                            added);
+                std::fflush(stdout);
+            });
+    }
+
+    const std::size_t top_k = 5;
+    std::atomic<std::uint64_t> short_queries{0};
     util::Timer wall;
     std::vector<std::thread> threads;
     std::vector<double> client_seconds(clients, 0.0);
@@ -305,13 +413,19 @@ main(int argc, char **argv)
                 while (timer.elapsedSeconds() < duration) {
                     std::size_t q = (t * per_client + sent) %
                         queries.embeddings.rows();
-                    broker->search(queries.embeddings.row(q), 5);
+                    auto hits =
+                        broker->search(queries.embeddings.row(q), top_k);
+                    if (hits.size() < top_k)
+                        short_queries.fetch_add(1);
                     ++sent;
                 }
             } else {
                 for (std::size_t i = 0; i < per_client; ++i) {
                     std::size_t q = t * per_client + i;
-                    broker->search(queries.embeddings.row(q), 5);
+                    auto hits =
+                        broker->search(queries.embeddings.row(q), top_k);
+                    if (hits.size() < top_k)
+                        short_queries.fetch_add(1);
                 }
             }
             client_seconds[t] = timer.elapsedSeconds();
@@ -319,6 +433,8 @@ main(int argc, char **argv)
     }
     for (auto &thread : threads)
         thread.join();
+    if (replicator.joinable())
+        replicator.join();
     double elapsed = wall.elapsedSeconds();
 
     auto stats = broker->stats();
@@ -330,10 +446,16 @@ main(int argc, char **argv)
                 static_cast<double>(stats.deep_requests) /
                     static_cast<double>(stats.queries));
     std::printf("faults: %llu timeouts, %llu failures, %llu degraded "
-                "queries\n\n",
+                "queries\n",
                 static_cast<unsigned long long>(stats.timeouts),
                 static_cast<unsigned long long>(stats.failures),
                 static_cast<unsigned long long>(stats.degraded_queries));
+    std::printf("hedges: %llu issued, %llu won, %llu wasted\n",
+                static_cast<unsigned long long>(stats.hedges_issued),
+                static_cast<unsigned long long>(stats.hedges_won),
+                static_cast<unsigned long long>(stats.hedges_wasted));
+    std::printf("short queries: %llu\n\n",
+                static_cast<unsigned long long>(short_queries.load()));
 
     const struct {
         const char *label;
@@ -355,16 +477,20 @@ main(int argc, char **argv)
     }
     std::printf("\n");
 
-    std::printf("%-6s %-10s %-10s %-10s %-6s %-12s\n", "node", "shard",
-                "reqs", "batches", "occ", "busy (ms)");
-    for (std::size_t c = 0; c < stats.nodes.size(); ++c) {
-        const auto &node = stats.nodes[c];
+    std::printf("%-6s %-8s %-10s %-10s %-10s %-6s %-12s\n", "node",
+                "cluster", "shard", "reqs", "batches", "occ",
+                "busy (ms)");
+    for (std::size_t i = 0; i < stats.nodes.size(); ++i) {
+        const auto &node = stats.nodes[i];
+        std::uint32_t cluster = i < stats.node_clusters.size()
+            ? stats.node_clusters[i]
+            : static_cast<std::uint32_t>(i);
         double occ = node.batches > 0
             ? static_cast<double>(node.requests) /
                 static_cast<double>(node.batches)
             : 0.0;
-        std::printf("%-6zu %-10zu %-10llu %-10llu %-6.2f %-12.1f\n", c,
-                    shard_sizes[c],
+        std::printf("%-6zu %-8u %-10zu %-10llu %-10llu %-6.2f %-12.1f\n",
+                    i, cluster, shard_sizes[cluster],
                     static_cast<unsigned long long>(node.requests),
                     static_cast<unsigned long long>(node.batches), occ,
                     node.busy_seconds * 1e3);

@@ -35,6 +35,25 @@ inline constexpr const char *kBrokerQueryLatencyUs =
 inline constexpr const char *kBrokerSamplePhaseUs = "broker.sample_phase_us";
 inline constexpr const char *kBrokerDeepPhaseUs = "broker.deep_phase_us";
 inline constexpr const char *kBrokerMergePhaseUs = "broker.merge_phase_us";
+/** Per-probe sample-phase completion latency (windowed; feeds the
+ *  p95 hedge trigger). */
+inline constexpr const char *kBrokerSampleProbeUs =
+    "broker.sample_probe_us";
+/** Hedged sample probes: duplicates issued past the windowed p95... */
+inline constexpr const char *kBrokerHedgesIssued = "broker.hedges_issued";
+/** ...won by the duplicate (the hedge paid off)... */
+inline constexpr const char *kBrokerHedgesWon = "broker.hedges_won";
+/** ...or lost to the primary after all (duplicate work discarded). */
+inline constexpr const char *kBrokerHedgesWasted = "broker.hedges_wasted";
+
+/** "broker.route.<cluster>.<slot>" — requests routed to each replica
+ *  slot of a cluster by power-of-two-choices (slot 0 = primary). */
+inline std::string
+routeMetric(std::size_t cluster, std::size_t slot)
+{
+    return "broker.route." + std::to_string(cluster) + "." +
+        std::to_string(slot);
+}
 
 // --- node, process-wide (serve/node.cpp) ---------------------------------
 inline constexpr const char *kNodeQueueWaitUs = "node.queue_wait_us";

@@ -2,22 +2,38 @@
 
 #include <algorithm>
 #include <chrono>
+#include <functional>
 #include <limits>
 #include <optional>
+#include <thread>
 
 #include "cluster/imbalance.hpp"
 #include "core/search_strategy.hpp"
 #include "sim/hardware.hpp"
 #include "util/logging.hpp"
+#include "util/rng.hpp"
 #include "util/timer.hpp"
 #include "vecstore/topk.hpp"
 
 namespace hermes {
 namespace serve {
 
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::chrono::microseconds
+microsFromDouble(double us)
+{
+    return std::chrono::microseconds(
+        std::max<std::int64_t>(1, static_cast<std::int64_t>(us)));
+}
+
+} // namespace
+
 HermesBroker::HermesBroker(const core::DistributedStore &store,
                            const BrokerConfig &config)
-    : hermes_config_(store.config()), config_(config),
+    : hermes_config_(store.config()), config_(config), store_(&store),
       h_query_latency_(obs::Registry::instance().windowedHistogram(
           obs::names::kBrokerQueryLatencyUs)),
       h_sample_phase_(obs::Registry::instance().histogram(
@@ -28,7 +44,9 @@ HermesBroker::HermesBroker(const core::DistributedStore &store,
           obs::names::kBrokerMergePhaseUs)),
       c_queries_(obs::Registry::instance().windowedCounter(
           obs::names::kBrokerQueries)),
-      start_time_(std::chrono::steady_clock::now())
+      h_sample_probe_us_(obs::Registry::instance().windowedHistogram(
+          obs::names::kBrokerSampleProbeUs)),
+      start_time_(Clock::now())
 {
     nodes_.reserve(store.numClusters());
     for (std::size_t c = 0; c < store.numClusters(); ++c) {
@@ -39,7 +57,24 @@ HermesBroker::HermesBroker(const core::DistributedStore &store,
         nodes_.push_back(std::make_unique<LocalNodeClient>(
             store.clusterIndex(c), node_config));
     }
+    initTopology(ReplicaMap::identity(nodes_.size()));
     initCounters();
+
+    // Static replication: extra LocalNodeClients over the same immutable
+    // shard indices — bit-identical replicas by construction.
+    for (const auto &[cluster, total] : config_.replicate) {
+        HERMES_ASSERT(cluster < store.numClusters(),
+                      "replicate spec names a cluster the store lacks");
+        for (std::uint32_t r = 1; r < total; ++r) {
+            NodeConfig node_config = config_.node;
+            if (cluster < config_.node_faults.size())
+                node_config.faults = config_.node_faults[cluster];
+            node_config.node_id = nodes_.size();
+            addReplica(cluster, std::make_unique<LocalNodeClient>(
+                                    store.clusterIndex(cluster),
+                                    node_config));
+        }
+    }
 }
 
 HermesBroker::HermesBroker(const core::HermesConfig &hermes_config,
@@ -57,18 +92,50 @@ HermesBroker::HermesBroker(const core::HermesConfig &hermes_config,
           obs::names::kBrokerMergePhaseUs)),
       c_queries_(obs::Registry::instance().windowedCounter(
           obs::names::kBrokerQueries)),
-      start_time_(std::chrono::steady_clock::now())
+      h_sample_probe_us_(obs::Registry::instance().windowedHistogram(
+          obs::names::kBrokerSampleProbeUs)),
+      start_time_(Clock::now())
 {
     HERMES_ASSERT(!nodes_.empty(), "broker needs at least one node");
+    if (config_.replica_map.empty()) {
+        initTopology(ReplicaMap::identity(nodes_.size()));
+    } else {
+        HERMES_ASSERT(config_.replica_map.complete(),
+                      "replica map must cover every cluster with "
+                      "disjoint nodes");
+        HERMES_ASSERT(config_.replica_map.numNodes() == nodes_.size(),
+                      "replica map references a different node count "
+                      "than was passed in");
+        initTopology(config_.replica_map);
+    }
     initCounters();
+}
+
+void
+HermesBroker::initTopology(const ReplicaMap &map)
+{
+    auto &registry = obs::Registry::instance();
+    topology_.resize(map.numClusters());
+    node_clusters_.assign(nodes_.size(), 0);
+    for (std::size_t c = 0; c < map.numClusters(); ++c) {
+        const std::vector<std::uint32_t> &nodes = map.replicas(c);
+        topology_[c].reserve(nodes.size());
+        for (std::size_t slot = 0; slot < nodes.size(); ++slot) {
+            std::uint32_t node = nodes[slot];
+            topology_[c].push_back(ReplicaSlot{
+                nodes_[node].get(), node,
+                &registry.counter(obs::names::routeMetric(c, slot))});
+            node_clusters_[node] = static_cast<std::uint32_t>(c);
+        }
+    }
 }
 
 void
 HermesBroker::initCounters()
 {
     auto &registry = obs::Registry::instance();
-    cluster_counters_.reserve(nodes_.size());
-    for (std::size_t c = 0; c < nodes_.size(); ++c) {
+    cluster_counters_.reserve(topology_.size());
+    for (std::size_t c = 0; c < topology_.size(); ++c) {
         cluster_counters_.push_back(ClusterCounters{
             registry.counter(obs::names::nodeMetric(
                 c, obs::names::kNodeSampleRequests)),
@@ -82,6 +149,68 @@ HermesBroker::initCounters()
 
 HermesBroker::~HermesBroker() = default;
 
+void
+HermesBroker::addReplica(std::uint32_t cluster,
+                         std::unique_ptr<NodeClient> node)
+{
+    auto &registry = obs::Registry::instance();
+    std::unique_lock<std::shared_mutex> lock(topology_mutex_);
+    HERMES_ASSERT(cluster < topology_.size(),
+                  "addReplica: cluster out of range");
+    const std::uint32_t node_index =
+        static_cast<std::uint32_t>(nodes_.size());
+    const std::size_t slot = topology_[cluster].size();
+    nodes_.push_back(std::move(node));
+    node_clusters_.push_back(cluster);
+    topology_[cluster].push_back(ReplicaSlot{
+        nodes_.back().get(), node_index,
+        &registry.counter(obs::names::routeMetric(cluster, slot))});
+    HERMES_INFORM("cluster ", cluster, " now served by ",
+                topology_[cluster].size(), " replicas (node ", node_index,
+                " attached)");
+}
+
+std::size_t
+HermesBroker::autoReplicate(const ReplicationPolicy &policy)
+{
+    if (store_ == nullptr) {
+        HERMES_WARN("autoReplicate: no store to clone shards from "
+                    "(node-list broker); ignoring");
+        return 0;
+    }
+    const std::vector<ReplicaPlanEntry> plan =
+        ReplicaMap::planFromLoad(loadReport(), policy);
+    std::size_t added = 0;
+    for (const ReplicaPlanEntry &entry : plan) {
+        for (std::uint32_t r = 0; r < entry.extras; ++r) {
+            NodeConfig node_config = config_.node;
+            if (entry.cluster < config_.node_faults.size())
+                node_config.faults = config_.node_faults[entry.cluster];
+            node_config.node_id = numNodes();
+            addReplica(entry.cluster,
+                       std::make_unique<LocalNodeClient>(
+                           store_->clusterIndex(entry.cluster),
+                           node_config));
+            ++added;
+        }
+    }
+    return added;
+}
+
+std::size_t
+HermesBroker::replicaCount(std::uint32_t cluster) const
+{
+    std::shared_lock<std::shared_mutex> lock(topology_mutex_);
+    return cluster < topology_.size() ? topology_[cluster].size() : 0;
+}
+
+std::size_t
+HermesBroker::numNodes() const
+{
+    std::shared_lock<std::shared_mutex> lock(topology_mutex_);
+    return nodes_.size();
+}
+
 vecstore::HitList
 HermesBroker::search(vecstore::VecView query, std::size_t k) const
 {
@@ -89,10 +218,33 @@ HermesBroker::search(vecstore::VecView query, std::size_t k) const
     return search(query, k, unused);
 }
 
+std::size_t
+HermesBroker::pickSlot(const std::vector<ReplicaSlot> &slots) const
+{
+    const std::size_t n = slots.size();
+    if (n == 1)
+        return 0;
+    // Seeded per thread: routing never affects results (replicas are
+    // bit-identical), so cross-run determinism is not required here.
+    thread_local util::Rng rng(
+        0x0b5e55ed5eedULL ^
+        std::hash<std::thread::id>{}(std::this_thread::get_id()));
+    std::size_t i = static_cast<std::size_t>(rng.uniformInt(n));
+    std::size_t j = static_cast<std::size_t>(rng.uniformInt(n - 1));
+    if (j >= i)
+        ++j;
+    const std::size_t qi = slots[i].node->queueDepth();
+    const std::size_t qj = slots[j].node->queueDepth();
+    // Ties go to i: i is uniformly random, so an idle fleet spreads
+    // uniformly instead of pinning the lower-indexed replica.
+    return qj < qi ? j : i;
+}
+
 HermesBroker::NodeOutcome
-HermesBroker::collect(std::future<NodeResponse> future, NodeClient &node,
-                      vecstore::VecView query, std::size_t k,
-                      const index::SearchParams &params,
+HermesBroker::collect(std::future<NodeResponse> future,
+                      const std::vector<ReplicaSlot> &slots,
+                      std::size_t primary_slot, vecstore::VecView query,
+                      std::size_t k, const index::SearchParams &params,
                       std::uint64_t &timeouts,
                       std::uint64_t &failures) const
 {
@@ -112,7 +264,11 @@ HermesBroker::collect(std::future<NodeResponse> future, NodeClient &node,
                             "(attempt ", attempt + 1, ")");
                 if (attempt < config_.max_retries) {
                     obs::instantEvent("broker.retry");
-                    future = node.submit(query, k, params);
+                    const std::size_t next =
+                        (primary_slot + attempt + 1) % slots.size();
+                    if (next != primary_slot)
+                        slots[next].routed->add(1);
+                    future = slots[next].node->submit(query, k, params);
                     continue;
                 }
                 return out;
@@ -140,7 +296,163 @@ HermesBroker::collect(std::future<NodeResponse> future, NodeClient &node,
         if (attempt >= config_.max_retries)
             return out;
         obs::instantEvent("broker.retry");
-        future = node.submit(query, k, params);
+        // Retry on the next replica: with R = 1 this is the same node
+        // (the pre-replication behaviour); with R > 1 a dead replica's
+        // retries drain to its peers.
+        const std::size_t next =
+            (primary_slot + attempt + 1) % slots.size();
+        if (next != primary_slot)
+            slots[next].routed->add(1);
+        future = slots[next].node->submit(query, k, params);
+    }
+}
+
+HermesBroker::NodeOutcome
+HermesBroker::collectHedged(std::future<NodeResponse> future,
+                            const std::vector<ReplicaSlot> &slots,
+                            std::size_t primary_slot,
+                            Clock::time_point submitted, double trigger_us,
+                            vecstore::VecView query, std::size_t k,
+                            const index::SearchParams &params,
+                            std::uint64_t &timeouts,
+                            std::uint64_t &failures,
+                            std::uint64_t &hedges_issued,
+                            std::uint64_t &hedges_won,
+                            std::uint64_t &hedges_wasted) const
+{
+    struct Lane
+    {
+        std::future<NodeResponse> future;
+        std::size_t slot = 0;
+        bool hedge = false;
+        bool dead = false;
+    };
+
+    NodeOutcome out;
+    // Both the deadline and the hedge trigger are anchored at SUBMIT
+    // time, not collection time: probes are collected in cluster order,
+    // so by the time a later cluster is collected its probe has already
+    // aged — a trigger measured from now would systematically under-arm.
+    const auto deadline_tp =
+        submitted + std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double, std::milli>(
+                            config_.node_deadline_ms));
+    const auto hedge_at = submitted + microsFromDouble(trigger_us);
+    const auto poll = microsFromDouble(config_.hedge.poll_us);
+
+    std::vector<Lane> lanes;
+    lanes.reserve(2);
+    lanes.push_back(Lane{std::move(future), primary_slot, false, false});
+    std::vector<bool> used(slots.size(), false);
+    used[primary_slot] = true;
+
+    // Total submit budget: the primary, the hedge, and the same retry
+    // allowance the unhedged path gets.
+    std::size_t submits = 1;
+    const std::size_t max_submits = 2 + config_.max_retries;
+    bool hedge_armed = false;
+
+    for (;;) {
+        const auto now = Clock::now();
+
+        // Arm the hedge once the primary outlives the trigger: duplicate
+        // to the least-loaded unused replica and race the lanes.
+        if (!hedge_armed && now >= hedge_at) {
+            hedge_armed = true;
+            if (submits < max_submits) {
+                std::size_t best = slots.size();
+                for (std::size_t s = 0; s < slots.size(); ++s) {
+                    if (used[s])
+                        continue;
+                    if (best == slots.size() ||
+                        slots[s].node->queueDepth() <
+                            slots[best].node->queueDepth())
+                        best = s;
+                }
+                if (best != slots.size()) {
+                    slots[best].routed->add(1);
+                    lanes.push_back(Lane{
+                        slots[best].node->submit(query, k, params), best,
+                        true, false});
+                    used[best] = true;
+                    ++submits;
+                    ++hedges_issued;
+                    obs::instantEvent(
+                        "broker.hedge",
+                        {{"node",
+                          std::to_string(slots[best].node_index), true}});
+                }
+            }
+        }
+
+        bool any_live = false;
+        bool hedge_pending = std::any_of(
+            lanes.begin(), lanes.end(),
+            [](const Lane &l) { return l.hedge; });
+        for (Lane &lane : lanes) {
+            if (lane.dead)
+                continue;
+            any_live = true;
+            auto status = lane.future.wait_for(poll);
+            if (status != std::future_status::ready)
+                continue;
+            try {
+                out.response = lane.future.get();
+                out.ok = true;
+                if (lane.hedge)
+                    ++hedges_won;
+                else if (hedge_pending)
+                    ++hedges_wasted;
+                // The losing lane's future is abandoned here: both node
+                // client kinds back it with a std::promise, so the late
+                // response is dropped on the floor without blocking and
+                // any pooled connection it rode stays healthy.
+                return out;
+            } catch (const std::exception &e) {
+                ++failures;
+                lane.dead = true;
+                obs::instantEvent("broker.failure",
+                                  {{"hedged", "1", true}});
+                HERMES_WARN("probe lane failed: ", e.what());
+            } catch (...) {
+                ++failures;
+                lane.dead = true;
+                obs::instantEvent("broker.failure",
+                                  {{"hedged", "1", true}});
+                HERMES_WARN("probe lane failed with a non-standard "
+                            "exception");
+            }
+        }
+
+        // Every lane died (exceptions, not stragglers): open a fresh
+        // lane on the next replica while the budget lasts. This is
+        // failover, not a hedge — there is no race to win.
+        if (!any_live) {
+            if (submits >= max_submits)
+                return out;
+            const std::size_t next =
+                (primary_slot + submits) % slots.size();
+            obs::instantEvent("broker.retry");
+            if (next != primary_slot)
+                slots[next].routed->add(1);
+            lanes.push_back(Lane{slots[next].node->submit(query, k, params),
+                                 next, false, false});
+            used[next] = true;
+            ++submits;
+        }
+
+        // Deadline check LAST: a probe that completed before we got to
+        // collect it (the deadline is anchored at submit, and earlier
+        // clusters' collection may have consumed the budget) must still
+        // be returned, never discarded as a timeout.
+        if (Clock::now() >= deadline_tp) {
+            ++timeouts;
+            obs::instantEvent("broker.timeout",
+                              {{"hedged", "1", true}});
+            HERMES_WARN("hedged probe missed its ",
+                        config_.node_deadline_ms, " ms deadline");
+            return out;
+        }
     }
 }
 
@@ -149,9 +461,40 @@ HermesBroker::search(vecstore::VecView query, std::size_t k,
                      std::vector<std::uint32_t> &deep_clusters) const
 {
     const auto &config = hermes_config_;
-    const std::size_t n = nodes_.size();
     std::uint64_t timeouts = 0;
     std::uint64_t failures = 0;
+    std::uint64_t hedges_issued = 0;
+    std::uint64_t hedges_won = 0;
+    std::uint64_t hedges_wasted = 0;
+
+    // Routing works off a topology snapshot: addReplica() may grow the
+    // fleet mid-query, but this query sticks to the replicas it started
+    // with. Slots borrow NodeClient pointers that stay valid for the
+    // broker's lifetime, so the lock is released before any waiting.
+    Topology topology;
+    {
+        std::shared_lock<std::shared_mutex> lock(topology_mutex_);
+        topology = topology_;
+    }
+    const std::size_t n = topology.size();
+
+    // Hedge trigger for this query: the windowed p95 (configurable) of
+    // recent sample-probe latencies, once enough samples exist. The
+    // probe latency measured below includes the collect loop's queueing
+    // behind earlier probes, so the trigger is biased upward — a hedge
+    // fires only for genuine stragglers.
+    double hedge_trigger_us = -1.0;
+    if (config_.hedge.enabled && config_.node_deadline_ms > 0.0) {
+        auto probes =
+            h_sample_probe_us_.windowSnapshot(obs::kDefaultWindowSeconds);
+        if (probes.count >= config_.hedge.min_samples) {
+            hedge_trigger_us =
+                std::max(probes.percentile(config_.hedge.quantile),
+                         config_.hedge.min_trigger_us);
+            if (hedge_trigger_us >= config_.node_deadline_ms * 1000.0)
+                hedge_trigger_us = -1.0; // deadline fires first anyway
+        }
+    }
 
     // Per-query tracing: sample 1-in-N queries; the context marks this
     // thread (and, via the request's traced flag, the node workers) as
@@ -162,18 +505,25 @@ HermesBroker::search(vecstore::VecView query, std::size_t k,
     query_span.arg("k", static_cast<std::uint64_t>(k));
     util::Timer query_timer;
 
-    // Phase 1: broadcast the sampling request (paper §4.2 step 2).
+    // Phase 1: broadcast the sampling request (paper §4.2 step 2), each
+    // cluster's probe routed to one replica by power-of-two-choices.
     util::Timer phase_timer;
     std::optional<obs::ScopedSpan> sample_span;
     sample_span.emplace("broker.sample");
     index::SearchParams sample_params;
     sample_params.nprobe = config.sample_nprobe;
     std::vector<std::future<NodeResponse>> sample_futures;
+    std::vector<std::size_t> sample_slots(n, 0);
+    std::vector<Clock::time_point> sample_submitted(n);
     sample_futures.reserve(n);
     for (std::size_t c = 0; c < n; ++c) {
+        const std::size_t slot = pickSlot(topology[c]);
+        sample_slots[c] = slot;
+        topology[c][slot].routed->add(1);
         cluster_counters_[c].sample_requests.add(1);
-        sample_futures.push_back(
-            nodes_[c]->submit(query, config.sample_k, sample_params));
+        sample_submitted[c] = Clock::now();
+        sample_futures.push_back(topology[c][slot].node->submit(
+            query, config.sample_k, sample_params));
     }
 
     // Rank clusters by best sampled document distance. A cluster whose
@@ -184,11 +534,22 @@ HermesBroker::search(vecstore::VecView query, std::size_t k,
     ranked.reserve(n);
     sample_hits.reserve(n);
     for (std::size_t c = 0; c < n; ++c) {
-        auto outcome =
-            collect(std::move(sample_futures[c]), *nodes_[c], query,
-                    config.sample_k, sample_params, timeouts, failures);
+        const bool hedgeable =
+            hedge_trigger_us > 0.0 && topology[c].size() > 1;
+        auto outcome = hedgeable
+            ? collectHedged(std::move(sample_futures[c]), topology[c],
+                            sample_slots[c], sample_submitted[c],
+                            hedge_trigger_us, query, config.sample_k,
+                            sample_params, timeouts, failures,
+                            hedges_issued, hedges_won, hedges_wasted)
+            : collect(std::move(sample_futures[c]), topology[c],
+                      sample_slots[c], query, config.sample_k,
+                      sample_params, timeouts, failures);
         if (!outcome.ok)
             continue;
+        h_sample_probe_us_.observe(
+            std::chrono::duration<double, std::micro>(
+                Clock::now() - sample_submitted[c]).count());
         cluster_counters_[c].hits_returned.add(
             outcome.response.hits.size());
         float best = outcome.response.hits.empty()
@@ -233,21 +594,27 @@ HermesBroker::search(vecstore::VecView query, std::size_t k,
     index::SearchParams deep_params;
     deep_params.nprobe = config.deep_nprobe;
     std::vector<std::future<NodeResponse>> deep_futures;
+    std::vector<std::size_t> deep_slots;
     deep_clusters.clear();
     for (std::size_t i = 0; i < deep; ++i) {
         std::uint32_t c = ranked[i].second;
         deep_clusters.push_back(c);
+        const std::size_t slot = pickSlot(topology[c]);
+        deep_slots.push_back(slot);
+        topology[c][slot].routed->add(1);
         cluster_counters_[c].deep_requests.add(1);
-        deep_futures.push_back(nodes_[c]->submit(query, k, deep_params));
+        deep_futures.push_back(
+            topology[c][slot].node->submit(query, k, deep_params));
     }
 
     std::vector<vecstore::HitList> partials;
     partials.reserve(deep_futures.size());
     std::size_t deep_ok = 0;
     for (std::size_t i = 0; i < deep_futures.size(); ++i) {
-        auto outcome = collect(std::move(deep_futures[i]),
-                               *nodes_[deep_clusters[i]], query, k,
-                               deep_params, timeouts, failures);
+        auto outcome =
+            collect(std::move(deep_futures[i]),
+                    topology[deep_clusters[i]], deep_slots[i], query, k,
+                    deep_params, timeouts, failures);
         if (outcome.ok) {
             cluster_counters_[deep_clusters[i]].hits_returned.add(
                 outcome.response.hits.size());
@@ -283,6 +650,9 @@ HermesBroker::search(vecstore::VecView query, std::size_t k,
         failures_ += failures;
         if (degraded)
             ++degraded_queries_;
+        hedges_issued_ += hedges_issued;
+        hedges_won_ += hedges_won;
+        hedges_wasted_ += hedges_wasted;
     }
 
     // Mirror the lifetime counters into the exportable registry. The
@@ -296,6 +666,15 @@ HermesBroker::search(vecstore::VecView query, std::size_t k,
             obs::names::kBrokerFailures);
         static obs::Counter &c_degraded = obs::Registry::instance().counter(
             obs::names::kBrokerDegradedQueries);
+        static obs::Counter &c_hedges_issued =
+            obs::Registry::instance().counter(
+                obs::names::kBrokerHedgesIssued);
+        static obs::Counter &c_hedges_won =
+            obs::Registry::instance().counter(
+                obs::names::kBrokerHedgesWon);
+        static obs::Counter &c_hedges_wasted =
+            obs::Registry::instance().counter(
+                obs::names::kBrokerHedgesWasted);
         c_queries_.add(1);
         c_deep.add(deep);
         if (timeouts)
@@ -304,6 +683,12 @@ HermesBroker::search(vecstore::VecView query, std::size_t k,
             c_failures.add(failures);
         if (degraded)
             c_degraded.add(1);
+        if (hedges_issued)
+            c_hedges_issued.add(hedges_issued);
+        if (hedges_won)
+            c_hedges_won.add(hedges_won);
+        if (hedges_wasted)
+            c_hedges_wasted.add(hedges_wasted);
     }
 
     phase_timer.reset();
@@ -333,6 +718,9 @@ HermesBroker::stats() const
         stats.timeouts = timeouts_;
         stats.failures = failures_;
         stats.degraded_queries = degraded_queries_;
+        stats.hedges_issued = hedges_issued_;
+        stats.hedges_won = hedges_won_;
+        stats.hedges_wasted = hedges_wasted_;
     }
     stats.query_latency =
         obs::LatencySummary::from(h_query_latency_.cumulative().snapshot());
@@ -342,9 +730,13 @@ HermesBroker::stats() const
         obs::LatencySummary::from(h_deep_phase_.snapshot());
     stats.merge_phase =
         obs::LatencySummary::from(h_merge_phase_.snapshot());
-    stats.nodes.reserve(nodes_.size());
-    for (const auto &node : nodes_)
-        stats.nodes.push_back(node->stats());
+    {
+        std::shared_lock<std::shared_mutex> lock(topology_mutex_);
+        stats.nodes.reserve(nodes_.size());
+        for (const auto &node : nodes_)
+            stats.nodes.push_back(node->stats());
+        stats.node_clusters = node_clusters_;
+    }
     return stats;
 }
 
@@ -353,13 +745,16 @@ HermesBroker::loadReport(std::size_t window_s) const
 {
     LoadReport report;
     report.uptime_seconds = std::chrono::duration<double>(
-        std::chrono::steady_clock::now() - start_time_).count();
+        Clock::now() - start_time_).count();
     {
         std::unique_lock<std::mutex> lock(stats_mutex_);
         report.queries = queries_;
         report.timeouts = timeouts_;
         report.failures = failures_;
         report.degraded_queries = degraded_queries_;
+        report.hedges_issued = hedges_issued_;
+        report.hedges_won = hedges_won_;
+        report.hedges_wasted = hedges_wasted_;
     }
 
     report.window_seconds = static_cast<double>(window_s);
@@ -375,39 +770,55 @@ HermesBroker::loadReport(std::size_t window_s) const
     // node's static share here from wall time, on top of the dynamic
     // energy the worker accrued per busy interval (Fig 18 shape: joules
     // per query fall as load rises because the idle floor amortizes).
+    // A replicated cluster pays the idle floor once per replica.
     const sim::CpuProfile &cpu = sim::cpuProfile(config_.node.cpu_model);
     const double idle_joules = config_.node.model_energy
         ? report.uptime_seconds * cpu.idle_watts /
             static_cast<double>(cpu.cores)
         : 0.0;
 
-    report.clusters.reserve(nodes_.size());
+    Topology topology;
+    {
+        std::shared_lock<std::shared_mutex> lock(topology_mutex_);
+        topology = topology_;
+    }
+
+    report.clusters.reserve(topology.size());
     std::vector<std::size_t> deep_counts;
-    deep_counts.reserve(nodes_.size());
-    for (std::size_t c = 0; c < nodes_.size(); ++c) {
+    deep_counts.reserve(topology.size());
+    for (std::size_t c = 0; c < topology.size(); ++c) {
+        const std::vector<ReplicaSlot> &slots = topology[c];
         ClusterLoad load;
         load.cluster = static_cast<std::uint32_t>(c);
-        load.shard_vectors = nodes_[c]->shardSize();
+        load.shard_vectors = slots.front().node->shardSize();
         load.sample_requests = cluster_counters_[c].sample_requests.value();
         load.deep_requests = cluster_counters_[c].deep_requests.value();
         load.hits_returned = cluster_counters_[c].hits_returned.value();
-        NodeStats node_stats = nodes_[c]->stats();
-        load.requests = node_stats.requests;
-        load.batches = node_stats.batches;
-        load.batch_occupancy = node_stats.batches > 0
-            ? static_cast<double>(node_stats.requests) /
-                static_cast<double>(node_stats.batches)
+        load.replicas = static_cast<std::uint32_t>(slots.size());
+        load.replica_routes.reserve(slots.size());
+        for (const ReplicaSlot &slot : slots) {
+            NodeStats node_stats = slot.node->stats();
+            load.requests += node_stats.requests;
+            load.batches += node_stats.batches;
+            load.queue_depth += slot.node->queueDepth();
+            load.busy_seconds += node_stats.busy_seconds;
+            load.energy_joules += node_stats.energy_joules + idle_joules;
+            load.replica_routes.push_back(slot.routed->value());
+        }
+        load.batch_occupancy = load.batches > 0
+            ? static_cast<double>(load.requests) /
+                static_cast<double>(load.batches)
             : 0.0;
-        load.queue_depth = nodes_[c]->queueDepth();
-        load.busy_seconds = node_stats.busy_seconds;
+        // Utilization of the cluster's replica set: busy time over the
+        // replicas' combined capacity, so 1.0 still means saturated.
         load.utilization = report.uptime_seconds > 0.0
-            ? node_stats.busy_seconds / report.uptime_seconds
+            ? load.busy_seconds /
+                (report.uptime_seconds * static_cast<double>(slots.size()))
             : 0.0;
-        load.energy_joules = node_stats.energy_joules + idle_joules;
         report.total_energy_joules += load.energy_joules;
         deep_counts.push_back(
             static_cast<std::size_t>(load.deep_requests));
-        report.clusters.push_back(load);
+        report.clusters.push_back(std::move(load));
     }
 
     if (!deep_counts.empty()) {

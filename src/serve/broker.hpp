@@ -2,10 +2,11 @@
  * @file
  * The Hermes scheduler/broker (paper Fig 9: "Hermes Scheduler").
  *
- * Owns one NodeClient per cluster — an in-process RetrievalNode worker
- * or a RemoteNodeClient speaking the framed protocol to a hermes_shard
- * process — and executes the hierarchical search protocol across them:
- *   1. broadcast a cheap sampling request to every node (in parallel),
+ * Owns a fleet of NodeClients — in-process RetrievalNode workers or
+ * RemoteNodeClients speaking the framed protocol to hermes_shard
+ * processes — and executes the hierarchical search protocol across
+ * them:
+ *   1. broadcast a cheap sampling request to every cluster (in parallel),
  *   2. rank clusters by their best sampled document,
  *   3. send deep-search requests to the top clusters (in parallel),
  *   4. merge, dedupe and truncate to the final top-k.
@@ -14,19 +15,35 @@
  * the same store; the broker adds the concurrency and queueing of a real
  * deployment.
  *
+ * Skew mitigation (paper §6 turned from observation into action): a
+ * cluster may be served by R > 1 bit-identical replicas (ReplicaMap).
+ * Each probe for a replicated cluster is routed by power-of-two-choices
+ * over live queue depth — sample two replicas, pick the shallower queue
+ * — which bounds the hot cluster's queueing tail at a fraction of the
+ * cost of tracking global state. Straggling sample-phase probes are
+ * hedged: once a probe outlives the windowed p95 of recent probe
+ * latencies, a duplicate is sent to a second replica and the first
+ * response wins; the loser's future is simply abandoned (futures are
+ * promise-backed on both node client kinds, so discarding a late
+ * response never blocks or leaks). Replicas hold copies of the same
+ * immutable index, so routing and hedging cannot change results —
+ * unreplicated brokers take the exact pre-replication code path.
+ *
  * Fault model: every node request carries a deadline and one bounded
- * retry. A node that times out or throws is logged and counted
- * (BrokerStats::timeouts / failures); the query degrades gracefully by
- * merging whatever partial results arrived — padded with the sampling
- * hits when a deep node was lost — and only returns fewer than k hits
- * when every deep node failed (BrokerStats::degraded_queries observes
- * all such queries).
+ * retry; with replicas, retries rotate to the next replica so a dead
+ * node's traffic drains to its peers. A node that times out or throws
+ * is logged and counted (BrokerStats::timeouts / failures); the query
+ * degrades gracefully by merging whatever partial results arrived —
+ * padded with the sampling hits when a deep node was lost — and only
+ * returns fewer than k hits when every deep node failed
+ * (BrokerStats::degraded_queries observes all such queries).
  */
 
 #pragma once
 
 #include <chrono>
 #include <memory>
+#include <shared_mutex>
 #include <vector>
 
 #include "core/distributed_store.hpp"
@@ -34,9 +51,32 @@
 #include "serve/load_report.hpp"
 #include "serve/node.hpp"
 #include "serve/node_client.hpp"
+#include "serve/replica_map.hpp"
 
 namespace hermes {
 namespace serve {
+
+/** Hedged-request tuning for straggling sample-phase probes. */
+struct HedgeConfig
+{
+    /** Master switch; off = exactly the pre-hedging wait loop. */
+    bool enabled = true;
+
+    /** Probe-latency percentile that arms the hedge (p95: a probe
+     *  slower than 95% of its recent peers is a straggler). */
+    double quantile = 95.0;
+
+    /** Probe latencies that must be in the window before the trigger
+     *  is trusted (cold brokers never hedge). */
+    std::size_t min_samples = 32;
+
+    /** Floor on the trigger so microsecond-fast fleets don't hedge
+     *  every probe on scheduling jitter. */
+    double min_trigger_us = 200.0;
+
+    /** Poll granularity of the first-response-wins race. */
+    double poll_us = 100.0;
+};
 
 /** Broker configuration. */
 struct BrokerConfig
@@ -54,7 +94,8 @@ struct BrokerConfig
      * Per-node fault-injection overrides (tests/benches): when
      * non-empty, node c uses node_faults[c] instead of node.faults,
      * letting a single cluster of many be failed. Shorter-than-numNodes
-     * vectors leave the remaining nodes on node.faults.
+     * vectors leave the remaining nodes on node.faults. Replicas built
+     * by `replicate` inherit their cluster's override.
      */
     std::vector<FaultInjector> node_faults;
 
@@ -62,12 +103,35 @@ struct BrokerConfig
      * Deadline in milliseconds for each node request (sampling and deep
      * search alike). A request that is not ready by then counts as a
      * timeout and is retried/abandoned. 0 waits forever (pre-fault-
-     * tolerance behaviour; a dead node then hangs the query).
+     * tolerance behaviour; a dead node then hangs the query) and
+     * disables hedging.
      */
     double node_deadline_ms = 2000.0;
 
     /** Bounded resubmits after a timeout or failure (per request). */
     std::size_t max_retries = 1;
+
+    /**
+     * Static replication for the store-backed constructor: (cluster,
+     * total replicas) pairs; each listed cluster is served by that many
+     * LocalNodeClients over the same immutable shard index. Counts of
+     * 0/1 are no-ops. Ignored by the node-list constructor (use
+     * replica_map there).
+     */
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> replicate;
+
+    /**
+     * Cluster->node assignment for the node-list constructor. Empty =
+     * identity (node i serves cluster i, the pre-replication shape).
+     * When set it must be complete() and reference exactly the nodes
+     * passed in.
+     */
+    ReplicaMap replica_map;
+
+    /** Hedged-request policy for sample-phase probes. Only engages for
+     *  clusters with >= 2 replicas, so unreplicated brokers are
+     *  bit-for-bit on the pre-hedging path. */
+    HedgeConfig hedge;
 };
 
 /** Aggregate serving statistics. */
@@ -90,6 +154,12 @@ struct BrokerStats
      *  were answered from partial results. */
     std::uint64_t degraded_queries = 0;
 
+    /** Hedged sample probes issued / won by the duplicate / issued but
+     *  the primary still won (duplicate work discarded). */
+    std::uint64_t hedges_issued = 0;
+    std::uint64_t hedges_won = 0;
+    std::uint64_t hedges_wasted = 0;
+
     /**
      * Latency digests sourced from the process-wide obs histograms
      * (`broker.query_latency_us` and friends). Note these aggregate
@@ -101,8 +171,12 @@ struct BrokerStats
     obs::LatencySummary deep_phase;      ///< deep fan-out + collect
     obs::LatencySummary merge_phase;     ///< final merge/dedupe/truncate
 
-    /** Per-node runtime statistics. */
+    /** Per-node runtime statistics, in node order (replicas included). */
     std::vector<NodeStats> nodes;
+
+    /** Cluster served by each node in `nodes` (node_clusters[i] is the
+     *  cluster of nodes[i]; identity when unreplicated). */
+    std::vector<std::uint32_t> node_clusters;
 };
 
 /** Distributed hierarchical-search front end. */
@@ -112,14 +186,16 @@ class HermesBroker
     /**
      * @param store  Distributed store whose cluster indices the nodes
      *               serve (must outlive the broker).
-     * @param config Broker parameters.
+     * @param config Broker parameters; config.replicate adds extra
+     *               in-process replicas over the same shard indices.
      */
     explicit HermesBroker(const core::DistributedStore &store,
                           const BrokerConfig &config = {});
 
     /**
-     * Placement-agnostic constructor: one NodeClient per cluster, in
-     * cluster-id order. This is how an out-of-process fleet is wired —
+     * Placement-agnostic constructor: NodeClients assigned to clusters
+     * by config.replica_map (empty = one node per cluster, in
+     * cluster-id order). This is how an out-of-process fleet is wired —
      * RemoteNodeClients pointing at hermes_shard endpoints — but any
      * mix of local and remote nodes works; scheduling, deadlines,
      * retries and degradation are identical either way.
@@ -151,6 +227,27 @@ class HermesBroker
                              std::vector<std::uint32_t>
                                  &deep_clusters) const;
 
+    /**
+     * Attach another replica of @p cluster at runtime (any NodeClient;
+     * its shard must be a bit-identical copy of the cluster's index).
+     * In-flight queries keep the topology snapshot they started with
+     * and see the new replica on their next search.
+     */
+    void addReplica(std::uint32_t cluster,
+                    std::unique_ptr<NodeClient> node);
+
+    /**
+     * Act on the live load report: plan extra replicas for hot clusters
+     * (ReplicaMap::planFromLoad) and spin up LocalNodeClients over the
+     * store's shard indices. Only available on store-backed brokers
+     * (the node-list constructor has no shard to clone; returns 0).
+     * Returns the number of replicas added.
+     */
+    std::size_t autoReplicate(const ReplicationPolicy &policy = {});
+
+    /** Replicas currently serving @p cluster. */
+    std::size_t replicaCount(std::uint32_t cluster) const;
+
     /** Snapshot of serving statistics. */
     BrokerStats stats() const;
 
@@ -163,10 +260,31 @@ class HermesBroker
     LoadReport loadReport(
         std::size_t window_s = obs::kDefaultWindowSeconds) const;
 
-    /** Number of serving nodes. */
-    std::size_t numNodes() const { return nodes_.size(); }
+    /** Number of serving nodes (replicas included). */
+    std::size_t numNodes() const;
+
+    /** Number of clusters (fixed at construction). */
+    std::size_t numClusters() const { return cluster_counters_.size(); }
 
   private:
+    /** One replica of one cluster, as seen by the router. */
+    struct ReplicaSlot
+    {
+        /** Borrowed from nodes_; valid for the broker's lifetime
+         *  (nodes are never removed, only added). */
+        NodeClient *node = nullptr;
+
+        /** Index into nodes_ / BrokerStats::nodes. */
+        std::uint32_t node_index = 0;
+
+        /** Canonical broker.route.<cluster>.<slot> counter. */
+        obs::Counter *routed = nullptr;
+    };
+
+    /** Per-cluster replica slots; copied per query under a shared lock
+     *  so addReplica() can grow it concurrently. */
+    using Topology = std::vector<std::vector<ReplicaSlot>>;
+
     /** Outcome of one node request after deadline/retry handling. */
     struct NodeOutcome
     {
@@ -175,32 +293,84 @@ class HermesBroker
     };
 
     /**
+     * Power-of-two-choices: with one slot return it outright (no RNG —
+     * the unreplicated path stays byte-for-byte deterministic);
+     * otherwise sample two distinct slots uniformly and take the
+     * shallower queue, ties to the first (itself uniformly random, so
+     * idle fleets spread uniformly instead of pinning slot 0).
+     */
+    std::size_t pickSlot(const std::vector<ReplicaSlot> &slots) const;
+
+    /**
      * Wait for @p future under the configured deadline, retrying via a
-     * fresh submit() to @p node up to max_retries times on timeout or
-     * exception. Folds timeout/failure counts into @p timeouts /
-     * @p failures.
+     * fresh submit() up to max_retries times on timeout or exception.
+     * Retries rotate over @p slots starting after @p primary_slot (a
+     * single replica degenerates to resubmitting to the same node).
+     * Folds timeout/failure counts into @p timeouts / @p failures.
      */
     NodeOutcome collect(std::future<NodeResponse> future,
-                        NodeClient &node, vecstore::VecView query,
+                        const std::vector<ReplicaSlot> &slots,
+                        std::size_t primary_slot, vecstore::VecView query,
                         std::size_t k, const index::SearchParams &params,
                         std::uint64_t &timeouts,
                         std::uint64_t &failures) const;
+
+    /**
+     * First-response-wins wait for a sample probe with a hedge: if the
+     * primary is still pending @p trigger_us after submit, duplicate
+     * the probe to the least-loaded other replica and race the two;
+     * the losing future is abandoned (safe: promise-backed). A lane
+     * that fails is retired; when all lanes are dead and the resubmit
+     * budget allows, a fresh lane is opened on the next replica
+     * (failover, not counted as a hedge). Returns !ok only after the
+     * deadline expires or the budget is exhausted.
+     */
+    NodeOutcome collectHedged(std::future<NodeResponse> future,
+                              const std::vector<ReplicaSlot> &slots,
+                              std::size_t primary_slot,
+                              std::chrono::steady_clock::time_point submitted,
+                              double trigger_us,
+                              vecstore::VecView query, std::size_t k,
+                              const index::SearchParams &params,
+                              std::uint64_t &timeouts,
+                              std::uint64_t &failures,
+                              std::uint64_t &hedges_issued,
+                              std::uint64_t &hedges_won,
+                              std::uint64_t &hedges_wasted) const;
+
+    /** Build topology_/node_clusters_ from @p map (constructors). */
+    void initTopology(const ReplicaMap &map);
 
     /** Shared tail of both constructors (registry counters). */
     void initCounters();
 
     core::HermesConfig hermes_config_;
     BrokerConfig config_;
+
+    /** Shard source for autoReplicate(); null for node-list brokers. */
+    const core::DistributedStore *store_ = nullptr;
+
+    /** All node clients, primaries first (node index = position).
+     *  Append-only: replicas are pushed, never removed, so borrowed
+     *  NodeClient pointers in topology snapshots stay valid. */
     std::vector<std::unique_ptr<NodeClient>> nodes_;
+
+    /** Cluster -> replica slots; guarded by topology_mutex_ together
+     *  with nodes_ and node_clusters_. */
+    Topology topology_;
+    std::vector<std::uint32_t> node_clusters_;
+    mutable std::shared_mutex topology_mutex_;
 
     /** Cached refs into the process-wide metrics registry (stable).
      *  Query latency and query count carry rolling windows so the live
-     *  endpoints can report last-N-seconds QPS/percentiles. */
+     *  endpoints can report last-N-seconds QPS/percentiles; the
+     *  per-probe histogram feeds the hedge trigger. */
     obs::WindowedHistogram &h_query_latency_;
     obs::Histogram &h_sample_phase_;
     obs::Histogram &h_deep_phase_;
     obs::Histogram &h_merge_phase_;
     obs::WindowedCounter &c_queries_;
+    obs::WindowedHistogram &h_sample_probe_us_;
 
     /** Per-cluster request accounting (index = cluster id). */
     struct ClusterCounters
@@ -220,6 +390,9 @@ class HermesBroker
     mutable std::uint64_t timeouts_ = 0;
     mutable std::uint64_t failures_ = 0;
     mutable std::uint64_t degraded_queries_ = 0;
+    mutable std::uint64_t hedges_issued_ = 0;
+    mutable std::uint64_t hedges_won_ = 0;
+    mutable std::uint64_t hedges_wasted_ = 0;
 };
 
 } // namespace serve

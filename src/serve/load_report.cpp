@@ -46,6 +46,9 @@ LoadReport::toJson() const
     out += "  \"failures\": " + std::to_string(failures) + ",\n";
     out += "  \"degraded_queries\": " + std::to_string(degraded_queries) +
         ",\n";
+    out += "  \"hedges_issued\": " + std::to_string(hedges_issued) + ",\n";
+    out += "  \"hedges_won\": " + std::to_string(hedges_won) + ",\n";
+    out += "  \"hedges_wasted\": " + std::to_string(hedges_wasted) + ",\n";
     out += "  \"window_seconds\": " + jsonNumber(window_seconds) + ",\n";
     out += "  \"window_qps\": " + jsonNumber(window_qps) + ",\n";
     out += "  \"window_p50_us\": " + jsonNumber(window_p50_us) + ",\n";
@@ -82,7 +85,14 @@ LoadReport::toJson() const
         out += ", \"busy_seconds\": " + jsonNumber(c.busy_seconds);
         out += ", \"utilization\": " + jsonNumber(c.utilization);
         out += ", \"energy_joules\": " + jsonNumber(c.energy_joules);
-        out += "}";
+        out += ", \"replicas\": " + std::to_string(c.replicas);
+        out += ", \"replica_routes\": [";
+        for (std::size_t r = 0; r < c.replica_routes.size(); ++r) {
+            if (r != 0)
+                out += ", ";
+            out += std::to_string(c.replica_routes[r]);
+        }
+        out += "]}";
     }
     out += clusters.empty() ? "]\n" : "\n  ]\n";
     out += "}\n";

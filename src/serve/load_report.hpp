@@ -67,6 +67,13 @@ struct ClusterLoad
      * paper's per-node energy accounting applied to live traffic.
      */
     double energy_joules = 0.0;
+
+    /** Nodes serving a copy of this cluster (1 = unreplicated). */
+    std::uint32_t replicas = 1;
+
+    /** Requests routed to each replica slot (primary first); the
+     *  spread shows power-of-two-choices balancing the copies. */
+    std::vector<std::uint64_t> replica_routes;
 };
 
 /** Point-in-time fleet load snapshot. */
@@ -80,6 +87,13 @@ struct LoadReport
     std::uint64_t timeouts = 0;
     std::uint64_t failures = 0;
     std::uint64_t degraded_queries = 0;
+
+    /** Hedged sample probes: duplicates issued past the windowed p95,
+     *  how many the duplicate won the race, and how many the primary
+     *  still won (the duplicate's work was wasted and discarded). */
+    std::uint64_t hedges_issued = 0;
+    std::uint64_t hedges_won = 0;
+    std::uint64_t hedges_wasted = 0;
 
     /** Look-back horizon of the windowed figures below. */
     double window_seconds = 0.0;

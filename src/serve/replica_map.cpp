@@ -1,0 +1,146 @@
+#include "serve/replica_map.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "serve/load_report.hpp"
+
+namespace hermes {
+namespace serve {
+
+ReplicaMap
+ReplicaMap::identity(std::size_t num_clusters)
+{
+    ReplicaMap map;
+    map.replicas_.resize(num_clusters);
+    for (std::size_t c = 0; c < num_clusters; ++c)
+        map.replicas_[c].push_back(static_cast<std::uint32_t>(c));
+    map.num_nodes_ = num_clusters;
+    return map;
+}
+
+const std::vector<std::uint32_t> &
+ReplicaMap::replicas(std::size_t cluster) const
+{
+    if (cluster >= replicas_.size())
+        throw std::out_of_range("ReplicaMap: cluster out of range");
+    return replicas_[cluster];
+}
+
+void
+ReplicaMap::assign(std::size_t cluster, std::uint32_t node)
+{
+    if (cluster >= replicas_.size())
+        replicas_.resize(cluster + 1);
+    std::vector<std::uint32_t> &slots = replicas_[cluster];
+    if (std::find(slots.begin(), slots.end(), node) != slots.end())
+        throw std::invalid_argument(
+            "ReplicaMap: node assigned twice to one cluster");
+    slots.push_back(node);
+    num_nodes_ = std::max<std::size_t>(num_nodes_, node + 1);
+}
+
+bool
+ReplicaMap::complete() const
+{
+    if (replicas_.empty())
+        return false;
+    std::vector<bool> seen(num_nodes_, false);
+    for (const std::vector<std::uint32_t> &slots : replicas_) {
+        if (slots.empty())
+            return false;
+        for (std::uint32_t node : slots) {
+            if (node >= num_nodes_ || seen[node])
+                return false;
+            seen[node] = true;
+        }
+    }
+    for (bool used : seen)
+        if (!used)
+            return false;
+    return true;
+}
+
+bool
+ReplicaMap::parseSpec(
+    const std::string &spec,
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> &out)
+{
+    out.clear();
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+        std::size_t comma = spec.find(',', pos);
+        std::size_t end = comma == std::string::npos ? spec.size() : comma;
+        std::size_t colon = spec.find(':', pos);
+        if (colon == std::string::npos || colon >= end || colon == pos ||
+            colon + 1 >= end)
+            return false;
+        char *stop = nullptr;
+        const std::string cluster_str = spec.substr(pos, colon - pos);
+        const std::string count_str =
+            spec.substr(colon + 1, end - colon - 1);
+        long cluster = std::strtol(cluster_str.c_str(), &stop, 10);
+        if (stop == nullptr || *stop != '\0' || cluster < 0)
+            return false;
+        long count = std::strtol(count_str.c_str(), &stop, 10);
+        if (stop == nullptr || *stop != '\0' || count < 0)
+            return false;
+        out.emplace_back(static_cast<std::uint32_t>(cluster),
+                         static_cast<std::uint32_t>(count));
+        pos = end + (comma == std::string::npos ? 0 : 1);
+        if (comma != std::string::npos && pos == spec.size())
+            return false; // trailing comma
+    }
+    return !out.empty();
+}
+
+std::vector<ReplicaPlanEntry>
+ReplicaMap::planFromLoad(const LoadReport &report,
+                         const ReplicationPolicy &policy)
+{
+    std::vector<ReplicaPlanEntry> plan;
+    if (report.clusters.empty() ||
+        report.zipf_exponent < policy.min_zipf_exponent)
+        return plan;
+
+    std::uint64_t total_deep = 0;
+    for (const ClusterLoad &c : report.clusters)
+        total_deep += c.deep_requests;
+    if (total_deep < policy.min_deep_requests)
+        return plan;
+
+    const double mean =
+        static_cast<double>(total_deep) /
+        static_cast<double>(report.clusters.size());
+
+    // Hot clusters, hottest first: deep share above ratio x mean.
+    std::vector<const ClusterLoad *> hot;
+    for (const ClusterLoad &c : report.clusters)
+        if (static_cast<double>(c.deep_requests) >
+            policy.hot_share_ratio * mean)
+            hot.push_back(&c);
+    std::sort(hot.begin(), hot.end(),
+              [](const ClusterLoad *a, const ClusterLoad *b) {
+                  if (a->deep_requests != b->deep_requests)
+                      return a->deep_requests > b->deep_requests;
+                  return a->cluster < b->cluster;
+              });
+
+    std::size_t budget = policy.max_total_extras;
+    for (const ClusterLoad *c : hot) {
+        if (budget == 0)
+            break;
+        const std::size_t have = c->replicas > 0 ? c->replicas : 1;
+        if (have >= policy.max_replicas_per_cluster)
+            continue;
+        const std::size_t want = std::min(
+            policy.max_replicas_per_cluster - have, budget);
+        plan.push_back({c->cluster, static_cast<std::uint32_t>(want)});
+        budget -= want;
+    }
+    return plan;
+}
+
+} // namespace serve
+} // namespace hermes

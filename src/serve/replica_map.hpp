@@ -1,0 +1,138 @@
+/**
+ * @file
+ * The replica map: which serving nodes hold a copy of which cluster.
+ *
+ * The paper's §6 load analysis (Fig 13/18) shows Zipfian traffic
+ * concentrating deep-search load on a few hot clusters; the broker's
+ * loadReport() reproduces that skew live. A ReplicaMap is the mitigation
+ * side: it records, per cluster, the ordered list of node slots that
+ * serve a bit-identical copy of that cluster's index, so the broker can
+ * spread a hot cluster's probes over R nodes (power-of-two-choices on
+ * live queue depth) and hedge stragglers to a second replica.
+ *
+ * Replicas are bit-identical by construction — in-process replicas share
+ * the same immutable IvfIndex, and hermes_shard replicas rebuild the
+ * same cluster from the same deterministic seed flags — so routing and
+ * hedging are pure scheduling choices: any replica answers any probe
+ * with exactly the same hits.
+ *
+ * The map is produced three ways:
+ *   - identity(n): cluster c on node c, the unreplicated default;
+ *   - parseSpec("c:r,..."): static --replicate flags;
+ *   - planFromLoad(report, policy): dynamic replication driven by the
+ *     live Zipf fit and per-cluster deep-request counts.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hermes {
+namespace serve {
+
+struct LoadReport;
+
+/** Knobs for dynamic (load-driven) replication decisions. */
+struct ReplicationPolicy
+{
+    /** Budget of extra replicas a single plan may add. */
+    std::size_t max_total_extras = 2;
+
+    /** Cap on replicas per cluster (existing + planned). */
+    std::size_t max_replicas_per_cluster = 2;
+
+    /**
+     * A cluster is hot when its deep-request share exceeds this multiple
+     * of the mean share (1.0 replicates anything above average).
+     */
+    double hot_share_ratio = 1.5;
+
+    /** Ignore reports with fewer total deep requests than this (noise). */
+    std::uint64_t min_deep_requests = 64;
+
+    /**
+     * Only replicate when the fitted Zipf exponent shows real skew; a
+     * flat fleet (exponent ~0) gains nothing from extra copies.
+     */
+    double min_zipf_exponent = 0.2;
+};
+
+/** One planned replication step: give @p cluster @p extras more copies. */
+struct ReplicaPlanEntry
+{
+    std::uint32_t cluster = 0;
+    std::uint32_t extras = 0;
+};
+
+/** Cluster -> ordered node slots serving a copy of that cluster. */
+class ReplicaMap
+{
+  public:
+    ReplicaMap() = default;
+
+    /** The unreplicated default: cluster c served by node c alone. */
+    static ReplicaMap identity(std::size_t num_clusters);
+
+    /** True when no cluster has been assigned any node. */
+    bool empty() const { return replicas_.empty(); }
+
+    /** Number of clusters in the map. */
+    std::size_t numClusters() const { return replicas_.size(); }
+
+    /** One past the highest node index referenced by any cluster. */
+    std::size_t numNodes() const { return num_nodes_; }
+
+    /** Node slots serving @p cluster (primary first). */
+    const std::vector<std::uint32_t> &replicas(std::size_t cluster) const;
+
+    /** Replica count of @p cluster (0 when unknown). */
+    std::size_t
+    replicaCount(std::size_t cluster) const
+    {
+        return cluster < replicas_.size() ? replicas_[cluster].size() : 0;
+    }
+
+    /**
+     * Append @p node to @p cluster's replica list, growing the cluster
+     * dimension as needed. The same node must not be assigned twice
+     * (replicas are distinct serving queues); violations are fatal.
+     */
+    void assign(std::size_t cluster, std::uint32_t node);
+
+    /**
+     * True when every cluster has at least one replica and the node
+     * indices are a permutation of [0, numNodes()) — i.e. the map can
+     * drive a broker whose node list has numNodes() entries.
+     */
+    bool complete() const;
+
+    /**
+     * Parse a static replication spec "cluster:replicas[,...]", e.g.
+     * "0:2,3:3" (cluster 0 on two nodes, cluster 3 on three). Replica
+     * counts of 0 or 1 are legal no-ops. Returns false on malformed
+     * input; @p out holds (cluster, total replicas) pairs.
+     */
+    static bool
+    parseSpec(const std::string &spec,
+              std::vector<std::pair<std::uint32_t, std::uint32_t>> &out);
+
+    /**
+     * Decide which clusters deserve extra replicas from a live load
+     * report: clusters whose deep-request share exceeds
+     * policy.hot_share_ratio x mean, hottest first, bounded by the
+     * policy budget and per-cluster cap, gated on the fitted Zipf
+     * exponent showing real skew. Returns an empty plan when the fleet
+     * is flat or the report is too small to trust.
+     */
+    static std::vector<ReplicaPlanEntry>
+    planFromLoad(const LoadReport &report, const ReplicationPolicy &policy);
+
+  private:
+    std::vector<std::vector<std::uint32_t>> replicas_;
+    std::size_t num_nodes_ = 0;
+};
+
+} // namespace serve
+} // namespace hermes

@@ -25,6 +25,7 @@
 #include "obs/exporter.hpp"
 #include "serve/broker.hpp"
 #include "serve/remote_node.hpp"
+#include "serve/replica_map.hpp"
 #include "serve/rpc.hpp"
 #include "serve/shard_server.hpp"
 #include "workload/corpus.hpp"
@@ -787,6 +788,73 @@ TEST(ShardRpc, BrokerBitParityInProcessVsRemote)
     EXPECT_EQ(stats.queries, 16u);
     EXPECT_EQ(stats.failures, 0u);
     EXPECT_EQ(stats.timeouts, 0u);
+    for (auto &server : servers)
+        server->stop();
+}
+
+TEST(ShardRpc, ReplicatedRemoteBrokerParityAndFailover)
+{
+    const auto &data = netServeData();
+
+    // Fleet: one ShardServer per cluster plus a second, bit-identical
+    // copy of cluster 1 (same immutable shard, node index 6). The
+    // broker's replica map routes cluster 1 over both copies via p2c.
+    std::vector<std::unique_ptr<serve::ShardServer>> servers;
+    std::vector<std::unique_ptr<serve::NodeClient>> remotes;
+    auto addServer = [&](std::size_t cluster) {
+        serve::ShardServerOptions options;
+        options.node.node_id = cluster;
+        servers.push_back(std::make_unique<serve::ShardServer>(
+            data.store->clusterIndex(cluster), options));
+        ASSERT_TRUE(servers.back()->start());
+        serve::RemoteNodeOptions ro;
+        ro.port = servers.back()->port();
+        ro.request_deadline_ms = 1000.0;
+        remotes.push_back(std::make_unique<serve::RemoteNodeClient>(ro));
+    };
+    for (std::size_t c = 0; c < data.store->numClusters(); ++c)
+        addServer(c);
+    addServer(1); // replica of cluster 1
+
+    serve::BrokerConfig bc;
+    bc.replica_map = serve::ReplicaMap::identity(data.store->numClusters());
+    bc.replica_map.assign(1, 6);
+    bc.node_deadline_ms = 1500.0;
+    bc.max_retries = 1;
+    bc.hedge.min_samples = 4;
+    serve::HermesBroker local(*data.store, {});
+    serve::HermesBroker remote(data.config, std::move(remotes), bc);
+
+    auto expectParity = [&](std::size_t q) {
+        auto query = data.queries.embeddings.row(q);
+        auto expect = local.search(query, 10);
+        auto got = remote.search(query, 10);
+        ASSERT_EQ(got.size(), expect.size()) << "query " << q;
+        for (std::size_t i = 0; i < expect.size(); ++i) {
+            EXPECT_EQ(got[i].id, expect[i].id) << "query " << q;
+            EXPECT_EQ(got[i].score, expect[i].score) << "query " << q;
+        }
+    };
+
+    for (std::size_t q = 0; q < 12; ++q)
+        expectParity(q);
+
+    // Kill the replica mid-run (SIGKILL equivalent: server torn down,
+    // connections die). Every later query must still return the full,
+    // bit-identical top-k off the surviving copy — routed-to-dead
+    // probes fail fast or time out and fail over.
+    servers.back()->stop();
+    for (std::size_t q = 12; q < 24; ++q)
+        expectParity(q);
+
+    // Queries that hit the dead copy count failures/timeouts (and are
+    // flagged degraded — that flag means "saw a fault", not "lost
+    // hits"), but every one of them recovered to the full top-k above.
+    auto stats = remote.stats();
+    EXPECT_EQ(stats.queries, 24u);
+    EXPECT_GT(stats.failures + stats.timeouts, 0u);
+    ASSERT_EQ(stats.node_clusters.size(), 7u);
+    EXPECT_EQ(stats.node_clusters[6], 1u);
     for (auto &server : servers)
         server->stop();
 }

@@ -8,13 +8,18 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <stdexcept>
 #include <thread>
+#include <utility>
 
 #include "core/distributed_store.hpp"
 #include "core/search_strategy.hpp"
 #include "index/flat_index.hpp"
 #include "serve/broker.hpp"
+#include "serve/load_report.hpp"
 #include "serve/node.hpp"
+#include "serve/node_client.hpp"
+#include "serve/replica_map.hpp"
 #include "workload/corpus.hpp"
 
 namespace {
@@ -320,6 +325,278 @@ TEST(HermesBroker, LoadReportExposesBatchOccupancy)
         EXPECT_GE(cluster.batch_occupancy, 1.0);
     EXPECT_NE(load.toJson().find("\"batch_occupancy\""),
               std::string::npos);
+}
+
+TEST(ReplicaMap, IdentityAssignAndComplete)
+{
+    auto map = serve::ReplicaMap::identity(4);
+    EXPECT_EQ(map.numClusters(), 4u);
+    EXPECT_EQ(map.numNodes(), 4u);
+    EXPECT_TRUE(map.complete());
+    for (std::size_t c = 0; c < 4; ++c) {
+        ASSERT_EQ(map.replicaCount(c), 1u);
+        EXPECT_EQ(map.replicas(c)[0], static_cast<std::uint32_t>(c));
+    }
+
+    // Cluster 1 gains a replica on node 4: still complete (nodes are a
+    // permutation of 0..4), replica order preserved.
+    map.assign(1, 4);
+    EXPECT_EQ(map.numNodes(), 5u);
+    EXPECT_TRUE(map.complete());
+    ASSERT_EQ(map.replicaCount(1), 2u);
+    EXPECT_EQ(map.replicas(1)[1], 4u);
+    EXPECT_THROW(map.assign(1, 4), std::invalid_argument);
+
+    // A gap (node 6 without node 5) breaks completeness.
+    serve::ReplicaMap sparse;
+    sparse.assign(0, 0);
+    sparse.assign(1, 6);
+    EXPECT_FALSE(sparse.complete());
+}
+
+TEST(ReplicaMap, ParseSpec)
+{
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> out;
+    ASSERT_TRUE(serve::ReplicaMap::parseSpec("0:2,3:3", out));
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0], (std::pair<std::uint32_t, std::uint32_t>{0, 2}));
+    EXPECT_EQ(out[1], (std::pair<std::uint32_t, std::uint32_t>{3, 3}));
+    ASSERT_TRUE(serve::ReplicaMap::parseSpec("5:1", out));
+    EXPECT_FALSE(serve::ReplicaMap::parseSpec("", out));
+    EXPECT_FALSE(serve::ReplicaMap::parseSpec("1", out));
+    EXPECT_FALSE(serve::ReplicaMap::parseSpec("1:", out));
+    EXPECT_FALSE(serve::ReplicaMap::parseSpec(":2", out));
+    EXPECT_FALSE(serve::ReplicaMap::parseSpec("1:2,", out));
+    EXPECT_FALSE(serve::ReplicaMap::parseSpec("a:2", out));
+    EXPECT_FALSE(serve::ReplicaMap::parseSpec("1:b", out));
+    EXPECT_FALSE(serve::ReplicaMap::parseSpec("-1:2", out));
+}
+
+TEST(ReplicaMap, PlanFromLoadPicksHotClusters)
+{
+    serve::LoadReport report;
+    report.zipf_exponent = 1.0;
+    for (std::uint32_t c = 0; c < 4; ++c) {
+        serve::ClusterLoad load;
+        load.cluster = c;
+        load.deep_requests = c == 0 ? 100 : 10;
+        report.clusters.push_back(load);
+    }
+    serve::ReplicationPolicy policy;
+    policy.min_deep_requests = 1;
+    auto plan = serve::ReplicaMap::planFromLoad(report, policy);
+    ASSERT_EQ(plan.size(), 1u);
+    EXPECT_EQ(plan[0].cluster, 0u);
+    EXPECT_EQ(plan[0].extras, 1u); // cap 2 replicas: 1 extra
+
+    // A flat fleet (no Zipf skew) never replicates.
+    report.zipf_exponent = 0.0;
+    EXPECT_TRUE(serve::ReplicaMap::planFromLoad(report, policy).empty());
+
+    // An already-replicated hot cluster is not replicated past the cap.
+    report.zipf_exponent = 1.0;
+    report.clusters[0].replicas = 2;
+    EXPECT_TRUE(serve::ReplicaMap::planFromLoad(report, policy).empty());
+}
+
+TEST(HermesBroker, ReplicatedMatchesReference)
+{
+    // Replication + p2c routing + (windowed) hedging are scheduling
+    // changes only: replicas serve the same immutable shard, so results
+    // under concurrent load stay bit-identical to the reference.
+    const auto &data = serveData();
+    serve::BrokerConfig config;
+    config.replicate = {{0, 2}, {1, 2}};
+    serve::HermesBroker broker(*data.store, config);
+    EXPECT_EQ(broker.numNodes(), data.store->numClusters() + 2);
+    EXPECT_EQ(broker.numClusters(), data.store->numClusters());
+    EXPECT_EQ(broker.replicaCount(0), 2u);
+    EXPECT_EQ(broker.replicaCount(2), 1u);
+    core::HermesSearch reference(*data.store);
+
+    std::vector<vecstore::HitList> expected;
+    for (std::size_t q = 0; q < 32; ++q)
+        expected.push_back(
+            reference.search(data.queries.embeddings.row(q), 5).hits);
+
+    std::atomic<int> mismatches{0};
+    std::vector<std::thread> clients;
+    for (int t = 0; t < 4; ++t) {
+        clients.emplace_back([&, t] {
+            for (std::size_t q = t; q < 32; q += 4) {
+                auto hits =
+                    broker.search(data.queries.embeddings.row(q), 5);
+                if (hits.size() != expected[q].size()) {
+                    ++mismatches;
+                    continue;
+                }
+                for (std::size_t i = 0; i < hits.size(); ++i) {
+                    if (hits[i].id != expected[q][i].id ||
+                        hits[i].score != expected[q][i].score)
+                        ++mismatches;
+                }
+            }
+        });
+    }
+    for (auto &client : clients)
+        client.join();
+    EXPECT_EQ(mismatches.load(), 0);
+
+    // p2c actually spreads the replicated clusters' probes: both copies
+    // of cluster 0 saw traffic (the replica is node 6, appended after
+    // the six primaries). 32 queries route 32 sample probes over two
+    // idle replicas chosen uniformly — a starved copy is a router bug.
+    auto stats = broker.stats();
+    ASSERT_EQ(stats.nodes.size(), 8u);
+    ASSERT_EQ(stats.node_clusters.size(), 8u);
+    EXPECT_EQ(stats.node_clusters[6], 0u);
+    EXPECT_EQ(stats.node_clusters[7], 1u);
+    EXPECT_GT(stats.nodes[0].requests, 0u);
+    EXPECT_GT(stats.nodes[6].requests, 0u);
+    EXPECT_GT(stats.nodes[7].requests, 0u);
+}
+
+TEST(HermesBroker, HedgeFiresAndMatchesUnhedged)
+{
+    // Cluster 0's primary is slow (every request +30 ms); its replica is
+    // clean. Probes routed to the slow copy outlive the trigger, hedge
+    // to the clean copy, and the hedge wins — while every answer stays
+    // bit-identical to the unhedged reference (first-response-wins over
+    // bit-identical replicas cannot change results).
+    const auto &data = serveData();
+    serve::BrokerConfig config;
+    config.node_faults.resize(1);
+    config.node_faults[0].delay_probability = 1.0;
+    config.node_faults[0].delay_ms = 30.0;
+    config.hedge.min_samples = 4;
+    config.hedge.quantile = 50.0;
+    config.hedge.min_trigger_us = 1000.0;
+    serve::HermesBroker broker(*data.store, config);
+    // The replica must not inherit the delay: attach a clean node.
+    serve::NodeConfig clean;
+    clean.node_id = broker.numNodes();
+    broker.addReplica(0, std::make_unique<serve::LocalNodeClient>(
+                             data.store->clusterIndex(0), clean));
+    ASSERT_EQ(broker.replicaCount(0), 2u);
+    core::HermesSearch reference(*data.store);
+
+    for (std::size_t q = 0; q < 40; ++q) {
+        auto hits = broker.search(data.queries.embeddings.row(q % 32), 5);
+        auto expected =
+            reference.search(data.queries.embeddings.row(q % 32), 5);
+        ASSERT_EQ(hits.size(), expected.hits.size()) << "query " << q;
+        for (std::size_t i = 0; i < hits.size(); ++i) {
+            EXPECT_EQ(hits[i].id, expected.hits[i].id) << "query " << q;
+            EXPECT_EQ(hits[i].score, expected.hits[i].score)
+                << "query " << q;
+        }
+    }
+
+    // ~half the probes to cluster 0 land on the slow primary and must
+    // have hedged to (and been won by) the clean replica.
+    auto stats = broker.stats();
+    EXPECT_GT(stats.hedges_issued, 0u);
+    EXPECT_GT(stats.hedges_won, 0u);
+    EXPECT_GE(stats.hedges_issued, stats.hedges_won + stats.hedges_wasted);
+    EXPECT_EQ(stats.failures, 0u);
+}
+
+TEST(HermesBroker, DeadReplicaFailsOverToSurvivor)
+{
+    // Cluster 0's primary drops every request (a dead process): sample
+    // probes hedge over to the surviving replica, deep requests time out
+    // and rotate their retry to it — queries keep returning the full,
+    // bit-identical top-k with no degradation in the answer.
+    const auto &data = serveData();
+    serve::BrokerConfig config;
+    config.node_faults.resize(1);
+    config.node_faults[0].drop_probability = 1.0;
+    config.node_deadline_ms = 150.0;
+    config.max_retries = 1;
+    config.hedge.min_samples = 4;
+    config.hedge.min_trigger_us = 500.0;
+    serve::HermesBroker broker(*data.store, config);
+    serve::NodeConfig clean;
+    clean.node_id = broker.numNodes();
+    broker.addReplica(0, std::make_unique<serve::LocalNodeClient>(
+                             data.store->clusterIndex(0), clean));
+    core::HermesSearch reference(*data.store);
+
+    for (std::size_t q = 0; q < 12; ++q) {
+        auto hits = broker.search(data.queries.embeddings.row(q), 5);
+        auto expected =
+            reference.search(data.queries.embeddings.row(q), 5);
+        ASSERT_EQ(hits.size(), expected.hits.size()) << "query " << q;
+        for (std::size_t i = 0; i < hits.size(); ++i) {
+            EXPECT_EQ(hits[i].id, expected.hits[i].id) << "query " << q;
+            EXPECT_EQ(hits[i].score, expected.hits[i].score)
+                << "query " << q;
+        }
+    }
+    // The dead primary cost timeouts or hedges, never answers.
+    auto stats = broker.stats();
+    EXPECT_EQ(stats.queries, 12u);
+    EXPECT_GT(stats.hedges_issued + stats.timeouts, 0u);
+}
+
+TEST(HermesBroker, LoadReportExposesReplicasAndHedges)
+{
+    const auto &data = serveData();
+    serve::BrokerConfig config;
+    config.replicate = {{0, 2}};
+    serve::HermesBroker broker(*data.store, config);
+    for (std::size_t q = 0; q < 8; ++q)
+        broker.search(data.queries.embeddings.row(q), 5);
+
+    auto load = broker.loadReport();
+    ASSERT_EQ(load.clusters.size(), data.store->numClusters());
+    EXPECT_EQ(load.clusters[0].replicas, 2u);
+    ASSERT_EQ(load.clusters[0].replica_routes.size(), 2u);
+    EXPECT_EQ(load.clusters[1].replicas, 1u);
+    // Both copies of cluster 0 were routed probes (8 queries, uniform
+    // p2c over idle queues).
+    EXPECT_GT(load.clusters[0].replica_routes[0] +
+                  load.clusters[0].replica_routes[1],
+              0u);
+    auto json = load.toJson();
+    EXPECT_NE(json.find("\"replicas\""), std::string::npos);
+    EXPECT_NE(json.find("\"replica_routes\""), std::string::npos);
+    EXPECT_NE(json.find("\"hedges_issued\""), std::string::npos);
+    EXPECT_NE(json.find("\"hedges_won\""), std::string::npos);
+    EXPECT_NE(json.find("\"hedges_wasted\""), std::string::npos);
+}
+
+TEST(HermesBroker, AutoReplicateAddsReplicasForHotCluster)
+{
+    const auto &data = serveData();
+    serve::HermesBroker broker(*data.store);
+    core::HermesSearch reference(*data.store);
+    for (std::size_t q = 0; q < 32; ++q)
+        broker.search(data.queries.embeddings.row(q), 5);
+
+    // Permissive policy: any above-average cluster counts as hot, no
+    // traffic or skew floor — 64 deep requests over 6 clusters cannot
+    // be exactly flat, so the plan adds at least one replica.
+    serve::ReplicationPolicy policy;
+    policy.hot_share_ratio = 1.0;
+    policy.min_deep_requests = 1;
+    policy.min_zipf_exponent = 0.0;
+    std::size_t added = broker.autoReplicate(policy);
+    EXPECT_GE(added, 1u);
+    EXPECT_GT(broker.numNodes(), data.store->numClusters());
+
+    // The grown fleet still answers bit-identically.
+    for (std::size_t q = 0; q < 32; ++q) {
+        auto hits = broker.search(data.queries.embeddings.row(q), 5);
+        auto expected =
+            reference.search(data.queries.embeddings.row(q), 5);
+        ASSERT_EQ(hits.size(), expected.hits.size()) << "query " << q;
+        for (std::size_t i = 0; i < hits.size(); ++i) {
+            EXPECT_EQ(hits[i].id, expected.hits[i].id) << "query " << q;
+            EXPECT_EQ(hits[i].score, expected.hits[i].score)
+                << "query " << q;
+        }
+    }
 }
 
 TEST(HermesBroker, AdaptiveConfigPrunesDeepRequests)

@@ -177,30 +177,60 @@ renderLoadDashboard(const hermes::util::json::Value &root,
                 num(root, "cumulative_p50_us"),
                 num(root, "cumulative_p99_us"));
     std::printf("deep-load skew: max/mean %.2f   zipf ~%.2f   "
-                "energy %.1f J   rss %.1f MiB\n\n",
+                "energy %.1f J   rss %.1f MiB\n",
                 num(root, "max_mean_ratio"), num(root, "zipf_exponent"),
                 num(root, "total_energy_joules"),
                 rss_bytes / (1024.0 * 1024.0));
+    const double hedges = num(root, "hedges_issued");
+    std::printf("hedges: %.0f issued, %.0f won (%.0f%% win rate), "
+                "%.0f wasted\n\n",
+                hedges, num(root, "hedges_won"),
+                hedges > 0.0 ? 100.0 * num(root, "hedges_won") / hedges
+                             : 0.0,
+                num(root, "hedges_wasted"));
 
     const Value *clusters = root.find("clusters");
     if (clusters && clusters->isArray() && clusters->size() > 0) {
         double max_deep = 1.0;
         for (const Value &c : clusters->items())
             max_deep = std::max(max_deep, num(c, "deep_requests"));
-        std::printf("%-4s %-9s %-8s %-8s %-6s %-5s %-6s %-8s %-22s\n",
+        std::printf("%-4s %-9s %-8s %-8s %-6s %-5s %-6s %-8s %-4s "
+                    "%-12s %-22s\n",
                     "node", "shard", "sample", "deep", "queue", "occ",
-                    "util", "energy", "deep load");
+                    "util", "energy", "repl", "route share", "deep load");
         for (const Value &c : clusters->items()) {
             double deep = num(c, "deep_requests");
             int bar = static_cast<int>(20.0 * deep / max_deep + 0.5);
+            // Replica route share, e.g. "54/46": how p2c split the
+            // cluster's probes across its copies.
+            std::string routes = "-";
+            const Value *route_counts = c.find("replica_routes");
+            if (route_counts && route_counts->isArray() &&
+                route_counts->size() > 1) {
+                double total = 0.0;
+                for (const Value &r : route_counts->items())
+                    total += r.numberOr(0.0);
+                routes.clear();
+                for (const Value &r : route_counts->items()) {
+                    if (!routes.empty())
+                        routes += "/";
+                    char pct[16];
+                    std::snprintf(pct, sizeof(pct), "%.0f",
+                                  total > 0.0
+                                      ? 100.0 * r.numberOr(0.0) / total
+                                      : 0.0);
+                    routes += pct;
+                }
+            }
             std::printf("%-4.0f %-9.0f %-8.0f %-8.0f %-6.0f %-5.2f "
-                        "%5.1f%% %7.1fJ %.*s\n",
+                        "%5.1f%% %7.1fJ %-4.0f %-12s %.*s\n",
                         num(c, "cluster"), num(c, "shard_vectors"),
                         num(c, "sample_requests"), deep,
                         num(c, "queue_depth"), num(c, "batch_occupancy"),
                         num(c, "utilization") * 100.0,
-                        num(c, "energy_joules"), bar,
-                        "####################");
+                        num(c, "energy_joules"),
+                        std::max(num(c, "replicas"), 1.0), routes.c_str(),
+                        bar, "####################");
         }
         std::printf("\n");
     }
@@ -331,7 +361,7 @@ main(int argc, char **argv)
                               "window_p50_us,window_p99_us,"
                               "max_mean_ratio,zipf_exponent,"
                               "total_energy_j,rpc_rpcs,rpc_errors,"
-                              "rss_bytes\n");
+                              "rss_bytes,hedges_issued,hedge_win_rate\n");
         }
     }
 
@@ -398,10 +428,15 @@ main(int argc, char **argv)
                     continue;
                 const Value *load =
                     s.has_load ? &s.load.value : nullptr;
+                const double hedges_issued =
+                    load ? num(*load, "hedges_issued") : 0.0;
+                const double hedge_win_rate = hedges_issued > 0.0
+                    ? num(*load, "hedges_won") / hedges_issued
+                    : 0.0;
                 std::fprintf(
                     csv,
                     "%s,%ld,%.3f,%.0f,%.3f,%.1f,%.1f,%.3f,%.3f,%.2f,"
-                    "%.0f,%.0f,%.0f\n",
+                    "%.0f,%.0f,%.0f,%.0f,%.3f\n",
                     csvQuote(endpoints[e].label).c_str(), polls,
                     s.uptime_s, s.requests,
                     load ? num(*load, "window_qps") : 0.0,
@@ -410,7 +445,8 @@ main(int argc, char **argv)
                     load ? num(*load, "max_mean_ratio") : 0.0,
                     load ? num(*load, "zipf_exponent") : 0.0,
                     load ? num(*load, "total_energy_joules") : 0.0,
-                    s.rpc_rpcs, s.rpc_errors, s.rss_bytes);
+                    s.rpc_rpcs, s.rpc_errors, s.rss_bytes,
+                    hedges_issued, hedge_win_rate);
             }
             std::fflush(csv);
         }

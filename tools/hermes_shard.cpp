@@ -10,7 +10,15 @@
  * in-process store without any index files changing hands. Corpus and
  * partition flags must therefore match across the fleet and the broker.
  *
- * Usage: hermes_shard --cluster=N [--port=N] [--bind=ADDR]
+ * The same determinism makes replication free: two hermes_shard
+ * processes with identical corpus flags and the same --cluster serve
+ * bit-identical shards, so a broker may list both as replicas of that
+ * cluster (serving_demo --remote-nodes=...@cluster) and route/hedge
+ * between them without any result drift. --replica=N is a purely
+ * cosmetic ordinal that distinguishes the copies in logs, the ready
+ * line and /shard.
+ *
+ * Usage: hermes_shard --cluster=N [--replica=N] [--port=N] [--bind=ADDR]
  *                     [--num-docs=N] [--dim=N] [--topics=N]
  *                     [--clusters=N] [--nlist=N]
  *                     [--batch-window-us=N] [--max-batch=N]
@@ -21,7 +29,9 @@
  *
  * Prints one machine-parseable line once serving:
  *   hermes_shard ready cluster=<c> vectors=<n> port=<p>
- * then runs until SIGTERM/SIGINT. --http-port adds the obs exporter
+ * (with " replica=<r>" appended when --replica is nonzero — new fields
+ * only ever append so existing launchers keep matching), then runs
+ * until SIGTERM/SIGINT. --http-port adds the obs exporter
  * (/healthz for liveness probes, /metrics, /trace.json with the shard's
  * span dump tagged by cluster, plus /shard with the node's counters),
  * so a supervisor can watch recovery after a restart.
@@ -75,6 +85,7 @@ main(int argc, char **argv)
     util::setQuiet(true);
 
     long cluster = -1;
+    long replica = 0;
     int port = 0;
     std::string bind_address = "127.0.0.1";
     std::size_t num_docs = 20000;
@@ -94,6 +105,8 @@ main(int argc, char **argv)
     for (int i = 1; i < argc; ++i) {
         if (const char *v = matchOption(argv[i], "--cluster"))
             cluster = std::strtol(v, nullptr, 10);
+        else if (const char *v = matchOption(argv[i], "--replica"))
+            replica = std::strtol(v, nullptr, 10);
         else if (const char *v = matchOption(argv[i], "--port"))
             port = std::atoi(v);
         else if (const char *v = matchOption(argv[i], "--bind"))
@@ -216,15 +229,16 @@ main(int argc, char **argv)
         exporter->setHandler("/trace.json", [trace_metadata] {
             return obs::TraceRecorder::instance().toJson(trace_metadata);
         });
-        exporter->setHandler("/shard", [&server, cluster] {
+        exporter->setHandler("/shard", [&server, cluster, replica] {
             auto node = server.nodeStats();
             auto srv = server.stats();
             char buf[256];
             std::snprintf(
                 buf, sizeof(buf),
-                "{\"cluster\": %ld, \"requests\": %llu, \"batches\": %llu, "
+                "{\"cluster\": %ld, \"replica\": %ld, \"requests\": %llu, "
+                "\"batches\": %llu, "
                 "\"connections\": %llu, \"errors\": %llu}",
-                cluster,
+                cluster, replica,
                 static_cast<unsigned long long>(node.requests),
                 static_cast<unsigned long long>(node.batches),
                 static_cast<unsigned long long>(srv.connections_accepted),
@@ -240,9 +254,15 @@ main(int argc, char **argv)
     std::signal(SIGTERM, onSignal);
 
     // Launchers (CI fleet-smoke, tests) block on this line to learn the
-    // bound port, so it must escape the stdio buffer immediately.
-    std::printf("hermes_shard ready cluster=%ld vectors=%zu port=%u\n",
-                cluster, shard.size(), server.port());
+    // bound port, so it must escape the stdio buffer immediately. New
+    // fields (replica=) only ever append, keeping old launchers happy.
+    if (replica > 0)
+        std::printf("hermes_shard ready cluster=%ld vectors=%zu port=%u "
+                    "replica=%ld\n",
+                    cluster, shard.size(), server.port(), replica);
+    else
+        std::printf("hermes_shard ready cluster=%ld vectors=%zu port=%u\n",
+                    cluster, shard.size(), server.port());
     std::fflush(stdout);
 
     while (!g_stop)
