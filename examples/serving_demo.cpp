@@ -14,7 +14,7 @@
  *                     [--nlist=N] [--remote-nodes=host:port,host:port,...]
  *                     [--replicate=c:r,...] [--auto-replicate=N]
  *                     [--auto-replicate-after=S] [--hedge=0|1]
- *                     [--deadline-ms=MS]
+ *                     [--deadline-ms=MS] [--perf=0|1]
  *
  * --remote-nodes switches the broker to the out-of-process fleet: one
  * RemoteNodeClient per listed hermes_shard endpoint (in cluster order)
@@ -55,6 +55,13 @@
  * outweighs the shared list streaming). --nlist overrides the per-node
  * IVF list count (0 = sqrt heuristic); fewer, larger lists give each
  * batched list visit more rows to amortize over.
+ *
+ * --perf=1 turns on hardware-grounded observability: per-phase
+ * perf_event counter groups (IPC, cache miss rates) and RAPL energy
+ * sampling, surfaced through the /perf endpoint and the perf.* metric
+ * family. When the kernel denies access (perf_event_paranoid,
+ * missing powercap) the run degrades gracefully — counters report
+ * unavailable and the output is bit-identical to a --perf=0 run.
  *
  * --http-port starts the embedded metrics endpoint (0 = ephemeral; the
  * bound port is printed) serving /metrics, /metrics.json and the
@@ -141,6 +148,7 @@ main(int argc, char **argv)
     double auto_replicate_after = 2.0;
     bool hedge = true;
     double deadline_ms = 0.0;
+    bool perf_flag = false;
     std::vector<char *> positional;
     for (int i = 0; i < argc; ++i) {
         if (const char *v = matchOption(argv[i], "--metrics-json"))
@@ -178,11 +186,16 @@ main(int argc, char **argv)
             hedge = std::atoi(v) != 0;
         else if (const char *v = matchOption(argv[i], "--deadline-ms"))
             deadline_ms = std::strtod(v, nullptr);
+        else if (const char *v = matchOption(argv[i], "--perf"))
+            perf_flag = std::atoi(v) != 0;
         else
             positional.push_back(argv[i]);
     }
     argc = static_cast<int>(positional.size());
     argv = positional.data();
+
+    if (perf_flag)
+        obs::setPerfEnabled(true);
 
     if (!trace_out.empty())
         obs::TraceRecorder::instance().start(trace_sample);
@@ -509,6 +522,20 @@ main(int argc, char **argv)
                 load.queries ? load.total_energy_joules /
                         static_cast<double>(load.queries)
                              : 0.0);
+    // Hardware-grounded lines print only when the measurement actually
+    // succeeded, so a --perf=1 run with counters/powercap denied stays
+    // bit-identical to --perf=0.
+    if (load.measured_energy_valid) {
+        std::printf("measured energy: %.1f J package, %.1f J dram "
+                    "(measured/modeled %.2f)\n",
+                    load.measured_package_joules,
+                    load.measured_dram_joules,
+                    load.energy_model_error_ratio);
+    }
+    if (obs::perfCountersAvailable()) {
+        std::printf("perf counters: per-phase IPC and miss rates live "
+                    "in perf.* metrics and at /perf\n");
+    }
 
     flusher.reset(); // final flush before the one-shot writes below
     if (!metrics_json.empty()) {

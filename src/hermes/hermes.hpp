@@ -25,6 +25,7 @@
 #include "index/ann_index.hpp"
 #include "obs/exporter.hpp"
 #include "obs/obs.hpp"
+#include "obs/perf.hpp"
 #include "index/flat_index.hpp"
 #include "index/hnsw_index.hpp"
 #include "index/ivf_index.hpp"

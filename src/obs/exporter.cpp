@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "obs/metrics.hpp"
+#include "obs/perf.hpp"
 #include "obs/process_stats.hpp"
 #include "obs/trace.hpp"
 
@@ -242,6 +243,13 @@ Exporter::route(const std::string &path, std::string &body,
         content_type = "application/json";
         return true;
     }
+    if (path == "/perf") {
+        // Hardware-counter / RAPL status; reports unavailable rather
+        // than fabricating zeros when the kernel denies access.
+        body = perfStatusJson();
+        content_type = "application/json";
+        return true;
+    }
     if (path == "/healthz") {
         body = "ok\n";
         content_type = "text/plain";
@@ -275,8 +283,13 @@ Exporter::handleConnection(net::Socket socket)
         if (route(path, body, content_type))
             response = httpResponse(200, "OK", content_type, body);
         else
-            response = httpResponse(404, "Not Found", "text/plain",
-                                    "unknown path\n");
+            // A structured body (still text/plain so a terminal curl
+            // prints it verbatim) — scripts can parse the path back out
+            // instead of scraping a bare status line.
+            response = httpResponse(
+                404, "Not Found", "text/plain",
+                "{\"error\": \"unknown path\", \"path\": \"" +
+                    detail::jsonEscape(path) + "\"}\n");
     }
     net::writeAll(socket, response.data(), response.size(),
                   net::Deadline::after(kSocketTimeoutMs));

@@ -8,6 +8,8 @@
  *   GET /trace.json    TraceRecorder::toJson() — per-process span dump
  *                      for tools/hermes_trace_merge
  *   GET /load          custom handler (the broker's LoadReport)
+ *   GET /perf          hardware counter / RAPL status (obs/perf.hpp);
+ *                      reports unavailable when the kernel denies access
  *   GET /healthz       "ok" — liveness probe / readiness poll
  *
  * Custom handlers registered via setHandler() shadow the builtin

@@ -134,6 +134,41 @@ inline constexpr const char *kRagStrideRetrievalUs =
     "rag.stride_retrieval_us";
 inline constexpr const char *kRagStrides = "rag.strides";
 
+// --- hardware counters (obs/perf.cpp), per-phase suffixes ----------------
+// Families are "perf.<phase>.<suffix>" where <phase> is one of
+// sample / deep / merge / scan (obs::perfPhaseName). Created only when
+// a measurement actually succeeds — an unavailable run never emits
+// them (see obs/perf.hpp).
+inline constexpr const char *kPerfCycles = "cycles";
+inline constexpr const char *kPerfInstructions = "instructions";
+inline constexpr const char *kPerfCacheMisses = "cache_misses";
+inline constexpr const char *kPerfLlcLoadMisses = "llc_load_misses";
+inline constexpr const char *kPerfBranchMisses = "branch_misses";
+inline constexpr const char *kPerfTaskClockUs = "task_clock_us";
+inline constexpr const char *kPerfIpc = "ipc";
+inline constexpr const char *kPerfCacheMpki = "cache_mpki";
+inline constexpr const char *kPerfLlcMpki = "llc_mpki";
+inline constexpr const char *kPerfBranchMpki = "branch_mpki";
+
+/** "perf.<phase>.<suffix>" — the per-phase hardware-counter family. */
+inline std::string
+perfMetric(const char *phase, const char *suffix)
+{
+    return std::string("perf.") + phase + "." + suffix;
+}
+
+// --- measured energy (obs/perf.cpp RAPL, serve/broker.cpp) ---------------
+/** Wraparound-corrected package joules since the sampler started. */
+inline constexpr const char *kEnergyPackageJoulesMeasured =
+    "energy.package_joules_measured";
+/** Same, for the dram powercap domains. */
+inline constexpr const char *kEnergyDramJoulesMeasured =
+    "energy.dram_joules_measured";
+/** measured package joules / modeled joules of the same report — the
+ *  live falsifiability signal for the Fig 18 energy model. */
+inline constexpr const char *kEnergyModelErrorRatio =
+    "energy.model_error_ratio";
+
 // --- process self-stats (obs/process_stats.cpp) --------------------------
 inline constexpr const char *kProcessRssBytes = "process.rss_bytes";
 inline constexpr const char *kProcessVmBytes = "process.vm_bytes";

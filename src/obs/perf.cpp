@@ -1,0 +1,714 @@
+/**
+ * @file
+ * perf_event counter groups, the RAPL powercap sampler and the /perf
+ * status document. See perf.hpp for the design contract; the key
+ * invariant implemented here is that *no* registry metric is created
+ * until a measurement actually succeeds, so unavailable or disabled
+ * runs leave the metric surface bit-identical to a build without the
+ * feature.
+ */
+
+#include "obs/perf.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+#include "obs/metric_names.hpp"
+#include "obs/metrics.hpp"
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace hermes {
+namespace obs {
+
+namespace {
+
+// --- switches -------------------------------------------------------------
+
+/** -1 = unread (consult the environment once), else 0/1. */
+std::atomic<int> g_enabled{-1};
+std::atomic<int> g_force_unavailable{-1};
+
+/** 0 = no probe yet, 1 = a thread opened its group, -1 = probe failed. */
+std::atomic<int> g_counters_state{0};
+
+bool
+envFlag(const char *name)
+{
+    const char *v = std::getenv(name);
+    return v != nullptr && v[0] == '1';
+}
+
+int
+readSwitch(std::atomic<int> &flag, const char *env_name)
+{
+    int v = flag.load(std::memory_order_relaxed);
+    if (v < 0) {
+        v = envFlag(env_name) ? 1 : 0;
+        flag.store(v, std::memory_order_relaxed);
+    }
+    return v;
+}
+
+bool
+forceUnavailable()
+{
+    return readSwitch(g_force_unavailable, "HERMES_PERF_FORCE_UNAVAILABLE") ==
+        1;
+}
+
+// --- per-phase metric cache -----------------------------------------------
+
+/** Registry references for one phase, created on the first successful
+ *  scope of that phase (never earlier — see file comment). */
+struct PhaseMetrics
+{
+    Counter &cycles;
+    Counter &instructions;
+    Counter &cache_misses;
+    Counter &llc_load_misses;
+    Counter &branch_misses;
+    Counter &task_clock_us;
+    Histogram &ipc;
+    Histogram &cache_mpki;
+    Histogram &llc_mpki;
+    Histogram &branch_mpki;
+
+    explicit PhaseMetrics(const char *phase)
+        : cycles(Registry::instance().counter(
+              names::perfMetric(phase, names::kPerfCycles))),
+          instructions(Registry::instance().counter(
+              names::perfMetric(phase, names::kPerfInstructions))),
+          cache_misses(Registry::instance().counter(
+              names::perfMetric(phase, names::kPerfCacheMisses))),
+          llc_load_misses(Registry::instance().counter(
+              names::perfMetric(phase, names::kPerfLlcLoadMisses))),
+          branch_misses(Registry::instance().counter(
+              names::perfMetric(phase, names::kPerfBranchMisses))),
+          task_clock_us(Registry::instance().counter(
+              names::perfMetric(phase, names::kPerfTaskClockUs))),
+          ipc(Registry::instance().histogram(
+              names::perfMetric(phase, names::kPerfIpc))),
+          cache_mpki(Registry::instance().histogram(
+              names::perfMetric(phase, names::kPerfCacheMpki))),
+          llc_mpki(Registry::instance().histogram(
+              names::perfMetric(phase, names::kPerfLlcMpki))),
+          branch_mpki(Registry::instance().histogram(
+              names::perfMetric(phase, names::kPerfBranchMpki)))
+    {
+    }
+};
+
+constexpr int kNumPhases = 4;
+
+std::atomic<PhaseMetrics *> g_phase_metrics[kNumPhases] = {};
+std::mutex g_phase_metrics_mutex;
+
+PhaseMetrics &
+phaseMetrics(PerfPhase phase)
+{
+    int idx = static_cast<int>(phase);
+    PhaseMetrics *pm = g_phase_metrics[idx].load(std::memory_order_acquire);
+    if (pm == nullptr) {
+        std::lock_guard<std::mutex> lock(g_phase_metrics_mutex);
+        pm = g_phase_metrics[idx].load(std::memory_order_acquire);
+        if (pm == nullptr) {
+            pm = new PhaseMetrics(perfPhaseName(phase)); // leaked like the
+                                                         // registry entries
+            g_phase_metrics[idx].store(pm, std::memory_order_release);
+        }
+    }
+    return *pm;
+}
+
+// --- per-thread counter groups --------------------------------------------
+
+/** Indices into the reading array handed to PerfScope. */
+enum CounterSlot : int {
+    kSlotCycles = 0,
+    kSlotInstructions = 1,
+    kSlotCacheMisses = 2,
+    kSlotLlcLoadMisses = 3,
+    kSlotBranchMisses = 4,
+    kSlotTaskClockNs = 5,
+    kNumSlots = 6,
+};
+
+struct ThreadPerf
+{
+    bool tried = false;
+    bool ok = false;
+    int group_fd = -1;                     ///< leader (cycles)
+    int fds[5] = {-1, -1, -1, -1, -1};     ///< slot -> fd (leader at 0)
+    int group_pos[5] = {-1, -1, -1, -1, -1}; ///< slot -> index in group read
+    int group_members = 0;
+    int task_fd = -1;
+
+    ~ThreadPerf()
+    {
+#if defined(__linux__)
+        for (int fd : fds) {
+            if (fd >= 0) {
+                ::close(fd);
+            }
+        }
+        if (task_fd >= 0) {
+            ::close(task_fd);
+        }
+#endif
+    }
+};
+
+#if defined(__linux__)
+
+int
+perfEventOpen(struct perf_event_attr *attr, int group_fd)
+{
+    return static_cast<int>(
+        ::syscall(SYS_perf_event_open, attr, 0, -1, group_fd, 0));
+}
+
+bool
+openThreadCounters(ThreadPerf &tp)
+{
+    if (forceUnavailable()) {
+        return false;
+    }
+
+    struct perf_event_attr attr;
+    std::memset(&attr, 0, sizeof(attr));
+    attr.size = sizeof(attr);
+    attr.type = PERF_TYPE_HARDWARE;
+    attr.config = PERF_COUNT_HW_CPU_CYCLES;
+    attr.disabled = 1; // enabled for the whole group once members exist
+    attr.exclude_kernel = 1; // permitted at perf_event_paranoid <= 2
+    attr.exclude_hv = 1;
+    attr.read_format = PERF_FORMAT_GROUP | PERF_FORMAT_TOTAL_TIME_ENABLED |
+        PERF_FORMAT_TOTAL_TIME_RUNNING;
+
+    int leader = perfEventOpen(&attr, -1);
+    if (leader < 0) {
+        return false;
+    }
+    tp.group_fd = leader;
+    tp.fds[kSlotCycles] = leader;
+    tp.group_pos[kSlotCycles] = 0;
+    tp.group_members = 1;
+
+    struct MemberSpec
+    {
+        int slot;
+        std::uint32_t type;
+        std::uint64_t config;
+    };
+    const MemberSpec members[] = {
+        {kSlotInstructions, PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS},
+        {kSlotCacheMisses, PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES},
+        {kSlotLlcLoadMisses, PERF_TYPE_HW_CACHE,
+         PERF_COUNT_HW_CACHE_LL | (PERF_COUNT_HW_CACHE_OP_READ << 8) |
+             (PERF_COUNT_HW_CACHE_RESULT_MISS << 16)},
+        {kSlotBranchMisses, PERF_TYPE_HARDWARE,
+         PERF_COUNT_HW_BRANCH_MISSES},
+    };
+    for (const MemberSpec &m : members) {
+        struct perf_event_attr mattr;
+        std::memset(&mattr, 0, sizeof(mattr));
+        mattr.size = sizeof(mattr);
+        mattr.type = m.type;
+        mattr.config = m.config;
+        mattr.exclude_kernel = 1;
+        mattr.exclude_hv = 1;
+        int fd = perfEventOpen(&mattr, leader);
+        if (fd < 0) {
+            continue; // optional counter missing on this PMU; keep going
+        }
+        tp.fds[m.slot] = fd;
+        tp.group_pos[m.slot] = tp.group_members++;
+    }
+
+    // Instructions are required for IPC; a PMU that cannot even count
+    // them is treated as unavailable.
+    if (tp.group_pos[kSlotInstructions] < 0) {
+        return false;
+    }
+
+    struct perf_event_attr tattr;
+    std::memset(&tattr, 0, sizeof(tattr));
+    tattr.size = sizeof(tattr);
+    tattr.type = PERF_TYPE_SOFTWARE;
+    tattr.config = PERF_COUNT_SW_TASK_CLOCK;
+    tattr.exclude_kernel = 1;
+    tattr.exclude_hv = 1;
+    tp.task_fd = perfEventOpen(&tattr, -1); // optional; -1 tolerated
+
+    if (::ioctl(leader, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP) != 0 ||
+        ::ioctl(leader, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP) != 0) {
+        return false;
+    }
+    return true;
+}
+
+/** One group read, multiplex-scaled; missing counters read as 0. */
+bool
+readThreadCounters(const ThreadPerf &tp, std::uint64_t out[kNumSlots])
+{
+    struct
+    {
+        std::uint64_t nr;
+        std::uint64_t time_enabled;
+        std::uint64_t time_running;
+        std::uint64_t values[8];
+    } buf;
+    std::memset(&buf, 0, sizeof(buf));
+
+    ssize_t n = ::read(tp.group_fd, &buf, sizeof(buf));
+    if (n < static_cast<ssize_t>(3 * sizeof(std::uint64_t))) {
+        return false;
+    }
+    double scale = 1.0;
+    if (buf.time_running > 0 && buf.time_enabled > buf.time_running) {
+        scale = static_cast<double>(buf.time_enabled) /
+            static_cast<double>(buf.time_running);
+    }
+    for (int slot = 0; slot < 5; ++slot) {
+        int pos = tp.group_pos[slot];
+        std::uint64_t raw =
+            (pos >= 0 && static_cast<std::uint64_t>(pos) < buf.nr)
+            ? buf.values[pos]
+            : 0;
+        out[slot] =
+            static_cast<std::uint64_t>(static_cast<double>(raw) * scale);
+    }
+    out[kSlotTaskClockNs] = 0;
+    if (tp.task_fd >= 0) {
+        std::uint64_t ns = 0;
+        if (::read(tp.task_fd, &ns, sizeof(ns)) ==
+            static_cast<ssize_t>(sizeof(ns))) {
+            out[kSlotTaskClockNs] = ns;
+        }
+    }
+    return true;
+}
+
+#else // !__linux__
+
+bool
+openThreadCounters(ThreadPerf &)
+{
+    return false;
+}
+
+bool
+readThreadCounters(const ThreadPerf &, std::uint64_t[kNumSlots])
+{
+    return false;
+}
+
+#endif
+
+ThreadPerf &
+threadPerf()
+{
+    static thread_local ThreadPerf tp;
+    return tp;
+}
+
+std::int64_t
+steadyNowNs()
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+bool
+readU64File(const std::string &path, std::uint64_t &out)
+{
+    std::ifstream in(path);
+    if (!in.is_open()) {
+        return false;
+    }
+    unsigned long long v = 0;
+    in >> v;
+    if (in.fail()) {
+        return false;
+    }
+    out = static_cast<std::uint64_t>(v);
+    return true;
+}
+
+bool
+readLineFile(const std::string &path, std::string &out)
+{
+    std::ifstream in(path);
+    if (!in.is_open()) {
+        return false;
+    }
+    std::getline(in, out);
+    while (!out.empty() && (out.back() == '\r' || out.back() == '\n' ||
+                            out.back() == ' ')) {
+        out.pop_back();
+    }
+    return !out.empty();
+}
+
+// --- process-wide RAPL sampler --------------------------------------------
+
+std::mutex g_rapl_mutex;
+std::unique_ptr<RaplReader> g_rapl; // under g_rapl_mutex
+bool g_rapl_tried = false;          // under g_rapl_mutex
+
+} // namespace
+
+// --- switches (public) ----------------------------------------------------
+
+void
+setPerfEnabled(bool enabled)
+{
+    g_enabled.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+bool
+perfEnabled()
+{
+    return readSwitch(g_enabled, "HERMES_PERF") == 1;
+}
+
+void
+setPerfForceUnavailable(bool force)
+{
+    g_force_unavailable.store(force ? 1 : 0, std::memory_order_relaxed);
+}
+
+bool
+perfCountersAvailable()
+{
+    return g_counters_state.load(std::memory_order_relaxed) == 1;
+}
+
+bool
+raplAvailable()
+{
+    std::lock_guard<std::mutex> lock(g_rapl_mutex);
+    return g_rapl != nullptr && g_rapl->available();
+}
+
+// --- PerfScope ------------------------------------------------------------
+
+const char *
+perfPhaseName(PerfPhase phase)
+{
+    switch (phase) {
+    case PerfPhase::Sample:
+        return "sample";
+    case PerfPhase::Deep:
+        return "deep";
+    case PerfPhase::Merge:
+        return "merge";
+    case PerfPhase::Scan:
+        return "scan";
+    }
+    return "unknown";
+}
+
+PerfScope::PerfScope(PerfPhase phase) : phase_(phase)
+{
+    if (!perfEnabled()) {
+        return;
+    }
+    ThreadPerf &tp = threadPerf();
+    if (!tp.tried) {
+        tp.tried = true;
+        tp.ok = openThreadCounters(tp);
+        if (tp.ok) {
+            g_counters_state.store(1, std::memory_order_relaxed);
+        } else {
+            int expected = 0;
+            g_counters_state.compare_exchange_strong(
+                expected, -1, std::memory_order_relaxed);
+        }
+    }
+    if (!tp.ok) {
+        return;
+    }
+    if (readThreadCounters(tp, start_)) {
+        active_ = true;
+    }
+}
+
+PerfScope::~PerfScope()
+{
+    if (!active_) {
+        return;
+    }
+    const ThreadPerf &tp = threadPerf();
+    std::uint64_t end[kNumSlots];
+    if (!readThreadCounters(tp, end)) {
+        return;
+    }
+    std::uint64_t d[kNumSlots];
+    for (int i = 0; i < kNumSlots; ++i) {
+        d[i] = end[i] >= start_[i] ? end[i] - start_[i] : 0;
+    }
+
+    PhaseMetrics &pm = phaseMetrics(phase_);
+    pm.cycles.add(d[kSlotCycles]);
+    pm.instructions.add(d[kSlotInstructions]);
+    pm.cache_misses.add(d[kSlotCacheMisses]);
+    pm.llc_load_misses.add(d[kSlotLlcLoadMisses]);
+    pm.branch_misses.add(d[kSlotBranchMisses]);
+    pm.task_clock_us.add(d[kSlotTaskClockNs] / 1000);
+
+    double cycles = static_cast<double>(d[kSlotCycles]);
+    double instructions = static_cast<double>(d[kSlotInstructions]);
+    if (cycles > 0.0 && instructions > 0.0) {
+        pm.ipc.observe(instructions / cycles);
+    }
+    if (instructions > 0.0) {
+        if (tp.fds[kSlotCacheMisses] >= 0) {
+            pm.cache_mpki.observe(
+                1000.0 * static_cast<double>(d[kSlotCacheMisses]) /
+                instructions);
+        }
+        if (tp.fds[kSlotLlcLoadMisses] >= 0) {
+            pm.llc_mpki.observe(
+                1000.0 * static_cast<double>(d[kSlotLlcLoadMisses]) /
+                instructions);
+        }
+        if (tp.fds[kSlotBranchMisses] >= 0) {
+            pm.branch_mpki.observe(
+                1000.0 * static_cast<double>(d[kSlotBranchMisses]) /
+                instructions);
+        }
+    }
+}
+
+// --- RaplReader -----------------------------------------------------------
+
+RaplReader::RaplReader(const std::string &sysfs_root)
+{
+    std::string root = sysfs_root;
+    if (root.empty()) {
+        const char *env = std::getenv("HERMES_RAPL_ROOT");
+        root = (env != nullptr && env[0] != '\0') ? env
+                                                  : "/sys/class/powercap";
+    }
+
+    std::error_code ec;
+    std::filesystem::directory_iterator it(root, ec);
+    if (ec) {
+        return;
+    }
+    for (const auto &entry : std::filesystem::directory_iterator(root, ec)) {
+        const std::string dir_name = entry.path().filename().string();
+        // Domains look like intel-rapl:0 / intel-rapl:0:0; the bare
+        // intel-rapl control node has no energy counter.
+        if (dir_name.rfind("intel-rapl", 0) != 0 ||
+            dir_name.find(':') == std::string::npos) {
+            continue;
+        }
+        const std::string dir = entry.path().string();
+
+        RaplDomain dom;
+        dom.path = dir;
+        if (!readLineFile(dir + "/name", dom.label)) {
+            continue;
+        }
+        dom.is_package = dom.label.rfind("package", 0) == 0;
+        dom.is_dram = dom.label == "dram";
+        if (!dom.is_package && !dom.is_dram) {
+            continue; // core / uncore / psys are out of scope
+        }
+        if (!readU64File(dir + "/energy_uj", dom.last_uj)) {
+            continue; // typically EACCES for non-root readers
+        }
+        std::uint64_t range = 0;
+        if (readU64File(dir + "/max_energy_range_uj", range)) {
+            dom.max_range_uj = range;
+        }
+        domains_.push_back(std::move(dom));
+    }
+    std::sort(domains_.begin(), domains_.end(),
+              [](const RaplDomain &a, const RaplDomain &b) {
+                  return a.path < b.path;
+              });
+    start_ns_ = last_ns_ = steadyNowNs();
+}
+
+RaplSample
+RaplReader::sample()
+{
+    RaplSample s;
+    if (domains_.empty()) {
+        return s;
+    }
+    bool any_ok = false;
+    for (RaplDomain &dom : domains_) {
+        std::uint64_t cur = 0;
+        if (!readU64File(dom.path + "/energy_uj", cur)) {
+            continue; // domain vanished or lost permission mid-run
+        }
+        double delta_uj = 0.0;
+        if (cur >= dom.last_uj) {
+            delta_uj = static_cast<double>(cur - dom.last_uj);
+        } else if (dom.max_range_uj > 0) {
+            // Counter wrapped: remaining headroom + the new value.
+            delta_uj =
+                static_cast<double>(dom.max_range_uj - dom.last_uj) +
+                static_cast<double>(cur);
+        }
+        // else: wrap with unknown range — drop the delta rather than
+        // fabricate energy; the counter re-anchors at `cur`.
+        dom.last_uj = cur;
+        dom.accumulated_uj += delta_uj;
+        any_ok = true;
+    }
+    if (!any_ok) {
+        return s;
+    }
+    s.valid = true;
+    for (const RaplDomain &dom : domains_) {
+        if (dom.is_package) {
+            s.package_joules += dom.accumulated_uj * 1e-6;
+        } else if (dom.is_dram) {
+            s.dram_joules += dom.accumulated_uj * 1e-6;
+        }
+    }
+    std::int64_t now_ns = steadyNowNs();
+    s.elapsed_seconds = static_cast<double>(now_ns - start_ns_) * 1e-9;
+    double dt = static_cast<double>(now_ns - last_ns_) * 1e-9;
+    if (dt > 0.0) {
+        s.package_watts = (s.package_joules - last_package_joules_) / dt;
+    }
+    last_ns_ = now_ns;
+    last_package_joules_ = s.package_joules;
+    return s;
+}
+
+RaplSample
+raplSample()
+{
+    if (!perfEnabled() || forceUnavailable()) {
+        return RaplSample{};
+    }
+    std::lock_guard<std::mutex> lock(g_rapl_mutex);
+    if (!g_rapl_tried) {
+        g_rapl_tried = true;
+        g_rapl = std::make_unique<RaplReader>("");
+    }
+    if (g_rapl == nullptr || !g_rapl->available()) {
+        return RaplSample{};
+    }
+    RaplSample s = g_rapl->sample();
+    if (s.valid) {
+        Registry &reg = Registry::instance();
+        reg.gauge(names::kEnergyPackageJoulesMeasured).set(s.package_joules);
+        reg.gauge(names::kEnergyDramJoulesMeasured).set(s.dram_joules);
+    }
+    return s;
+}
+
+// --- /perf status document ------------------------------------------------
+
+std::string
+perfStatusJson()
+{
+    const bool enabled = perfEnabled();
+    RaplSample rs = raplSample(); // invalid when disabled / unavailable
+    const bool counters = perfCountersAvailable();
+    const bool rapl = rs.valid;
+    const bool unavailable = !enabled || (!counters && !rapl);
+
+    using detail::jsonNumber;
+    std::ostringstream out;
+    out << "{\n";
+    out << "  \"enabled\": " << (enabled ? "true" : "false") << ",\n";
+    out << "  \"unavailable\": " << (unavailable ? "true" : "false")
+        << ",\n";
+    out << "  \"counters_available\": " << (counters ? "true" : "false")
+        << ",\n";
+    out << "  \"rapl_available\": " << (rapl ? "true" : "false") << ",\n";
+    out << "  \"package_joules\": " << jsonNumber(rs.package_joules)
+        << ",\n";
+    out << "  \"dram_joules\": " << jsonNumber(rs.dram_joules) << ",\n";
+    out << "  \"package_watts\": " << jsonNumber(rs.package_watts) << ",\n";
+    out << "  \"elapsed_seconds\": " << jsonNumber(rs.elapsed_seconds)
+        << ",\n";
+
+    double total_cycles = 0.0;
+    double total_instructions = 0.0;
+    double total_cache_misses = 0.0;
+    for (int i = 0; i < kNumPhases; ++i) {
+        PhaseMetrics *pm = g_phase_metrics[i].load(std::memory_order_acquire);
+        if (pm == nullptr) {
+            continue;
+        }
+        total_cycles += static_cast<double>(pm->cycles.value());
+        total_instructions +=
+            static_cast<double>(pm->instructions.value());
+        total_cache_misses +=
+            static_cast<double>(pm->cache_misses.value());
+    }
+    double ipc =
+        total_cycles > 0.0 ? total_instructions / total_cycles : 0.0;
+    double cache_miss_pct = total_instructions > 0.0
+        ? 100.0 * total_cache_misses / total_instructions
+        : 0.0;
+    out << "  \"ipc\": " << jsonNumber(ipc) << ",\n";
+    out << "  \"cache_miss_pct\": " << jsonNumber(cache_miss_pct) << ",\n";
+
+    out << "  \"phases\": {";
+    bool first = true;
+    for (int i = 0; i < kNumPhases; ++i) {
+        PhaseMetrics *pm = g_phase_metrics[i].load(std::memory_order_acquire);
+        if (pm == nullptr) {
+            continue;
+        }
+        if (!first) {
+            out << ",";
+        }
+        first = false;
+        double cycles = static_cast<double>(pm->cycles.value());
+        double instructions = static_cast<double>(pm->instructions.value());
+        out << "\n    \"" << perfPhaseName(static_cast<PerfPhase>(i))
+            << "\": {";
+        out << "\"scopes\": " << pm->ipc.count() << ", ";
+        out << "\"cycles\": " << pm->cycles.value() << ", ";
+        out << "\"instructions\": " << pm->instructions.value() << ", ";
+        out << "\"cache_misses\": " << pm->cache_misses.value() << ", ";
+        out << "\"llc_load_misses\": " << pm->llc_load_misses.value()
+            << ", ";
+        out << "\"branch_misses\": " << pm->branch_misses.value() << ", ";
+        out << "\"task_clock_us\": " << pm->task_clock_us.value() << ", ";
+        out << "\"ipc\": "
+            << jsonNumber(cycles > 0.0 ? instructions / cycles : 0.0)
+            << ", ";
+        out << "\"cache_mpki\": "
+            << jsonNumber(instructions > 0.0
+                              ? 1000.0 *
+                                  static_cast<double>(
+                                      pm->cache_misses.value()) /
+                                  instructions
+                              : 0.0)
+            << "}";
+    }
+    out << (first ? "}" : "\n  }") << "\n";
+    out << "}\n";
+    return out.str();
+}
+
+} // namespace obs
+} // namespace hermes

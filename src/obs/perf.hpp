@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Hardware-grounded performance and energy observability: perf_event
+ * counter groups with per-phase attribution, and an Intel RAPL energy
+ * sampler over the powercap sysfs tree.
+ *
+ * Two measurement planes, both strictly opt-in (setPerfEnabled) and
+ * both degrading gracefully to "unavailable":
+ *
+ *  - PerfScope opens a per-thread perf_event group (cycles,
+ *    instructions, cache-misses, LLC-load-misses, branch-misses plus a
+ *    task-clock software counter) and attributes the deltas of a
+ *    serving phase — sample / deep / merge on the broker, scan on the
+ *    node worker — to per-phase IPC and miss-rate histograms in the
+ *    obs::Registry. When perf_event_open is denied
+ *    (perf_event_paranoid, seccomp, no PMU) the scope is a no-op and
+ *    *no* perf metric is ever created, so an unprivileged run's
+ *    registry and serving output are bit-identical to a run without
+ *    the feature.
+ *
+ *  - RaplReader accumulates package + dram joules from
+ *    /sys/class/powercap/intel-rapl* energy_uj files,
+ *    wraparound-corrected via max_energy_range_uj. The sysfs root is
+ *    injectable (constructor argument or HERMES_RAPL_ROOT) so tests
+ *    drive it from a synthetic fixture. Readings land beside the
+ *    modeled joules in serve::LoadReport and as
+ *    energy.*_joules_measured gauges.
+ *
+ * perfStatusJson() is the /perf endpoint body: availability flags,
+ * cumulative energy/watts and the per-phase counter aggregates.
+ *
+ * Layering: obs sits below util; this header uses only the standard
+ * library and Linux syscalls (non-Linux builds compile to the
+ * unavailable path).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hermes {
+namespace obs {
+
+// --- process-wide switches ------------------------------------------------
+
+/**
+ * Master switch for hardware measurement; off by default so default
+ * runs carry zero overhead and zero new metrics. Tools expose it as
+ * --perf=1; HERMES_PERF=1 in the environment enables it at first use.
+ */
+void setPerfEnabled(bool enabled);
+
+/** Current master-switch state (env-var applied on first query). */
+bool perfEnabled();
+
+/**
+ * Force every probe (perf_event_open and RAPL discovery) to report
+ * unavailable, as if the kernel had denied access — the CI
+ * counters-unavailable leg and tests use this to pin the degraded
+ * path on privileged hosts. Honoured both as a call and as
+ * HERMES_PERF_FORCE_UNAVAILABLE=1 in the environment.
+ */
+void setPerfForceUnavailable(bool force);
+
+/** True when counter groups opened successfully on at least one
+ *  thread; false when a probe failed or none has run yet. */
+bool perfCountersAvailable();
+
+/** True when at least one powercap energy domain is readable. */
+bool raplAvailable();
+
+// --- scoped per-phase counter attribution ---------------------------------
+
+/** Serving phases that receive hardware-counter attribution. */
+enum class PerfPhase : int {
+    Sample = 0, ///< broker sample-probe fan-out + collect
+    Deep = 1,   ///< broker deep-search fan-out + collect
+    Merge = 2,  ///< broker result merge
+    Scan = 3,   ///< node worker batch execution (shard scan)
+};
+
+/** Registry/JSON name of a phase ("sample", "deep", "merge", "scan"). */
+const char *perfPhaseName(PerfPhase phase);
+
+/**
+ * RAII reader: snapshots the calling thread's counter group at
+ * construction and attributes the delta to @p phase at destruction
+ * (counters perf.<phase>.cycles/instructions/..., histograms
+ * perf.<phase>.ipc/cache_mpki/llc_mpki/branch_mpki).
+ *
+ * Cost when disabled or unavailable: one relaxed atomic load. Cost
+ * when armed: two read(2) calls on the group fd. The group is opened
+ * lazily once per thread and counts this thread only (no inherit), so
+ * concurrent scopes on different threads never share counters; nested
+ * scopes on one thread double-attribute the inner window by design
+ * (phases in the serving path do not nest).
+ */
+class PerfScope
+{
+  public:
+    explicit PerfScope(PerfPhase phase);
+    ~PerfScope();
+
+    PerfScope(const PerfScope &) = delete;
+    PerfScope &operator=(const PerfScope &) = delete;
+
+  private:
+    PerfPhase phase_;
+    bool active_ = false;
+    std::uint64_t start_[8] = {}; ///< scaled counter values at entry
+};
+
+// --- RAPL energy sampling -------------------------------------------------
+
+/** One powercap domain the reader tracks. */
+struct RaplDomain
+{
+    std::string path;  ///< sysfs directory of the domain
+    std::string label; ///< contents of its `name` file ("package-0", "dram")
+    bool is_package = false;
+    bool is_dram = false;
+
+    /** Counter range for wraparound correction; 0 when the domain has
+     *  no readable max_energy_range_uj (negative deltas are then
+     *  dropped instead of corrected). */
+    std::uint64_t max_range_uj = 0;
+
+    std::uint64_t last_uj = 0;     ///< raw counter at the previous read
+    double accumulated_uj = 0.0;   ///< wraparound-corrected total since ctor
+};
+
+/** Point-in-time energy totals since the reader was constructed. */
+struct RaplSample
+{
+    bool valid = false; ///< at least one domain read successfully
+    double package_joules = 0.0;
+    double dram_joules = 0.0;
+    double elapsed_seconds = 0.0; ///< since reader construction
+    double package_watts = 0.0;   ///< mean power since the previous sample
+};
+
+/**
+ * Accumulating reader over a powercap sysfs tree. Discovery happens
+ * once at construction: every `<root>/intel-rapl*` directory whose
+ * `name` file reads as `package-*` or `dram` and whose `energy_uj`
+ * is readable becomes a tracked domain (multi-package topologies sum
+ * across sockets). sample() re-reads every domain and folds the
+ * wraparound-corrected deltas into the running totals.
+ *
+ * Not thread-safe; the process-wide instance behind raplSample() is
+ * internally serialized.
+ */
+class RaplReader
+{
+  public:
+    /** @param sysfs_root  powercap root; "" means /sys/class/powercap
+     *  (or HERMES_RAPL_ROOT when set). */
+    explicit RaplReader(const std::string &sysfs_root = "");
+
+    /** True when at least one domain was discovered and readable. */
+    bool available() const { return !domains_.empty(); }
+
+    /** Accumulate since-construction totals (see RaplSample). */
+    RaplSample sample();
+
+    /** The discovered domains (test introspection). */
+    const std::vector<RaplDomain> &domains() const { return domains_; }
+
+  private:
+    std::vector<RaplDomain> domains_;
+    std::int64_t start_ns_ = 0;
+    std::int64_t last_ns_ = 0;
+    double last_package_joules_ = 0.0;
+};
+
+/**
+ * Sample the process-wide RAPL reader (lazily constructed from
+ * HERMES_RAPL_ROOT / the default root on first call, honouring the
+ * force-unavailable override). Returns an invalid sample when perf is
+ * disabled or no domain is readable. Also refreshes the
+ * energy.package_joules_measured / energy.dram_joules_measured gauges
+ * when valid.
+ */
+RaplSample raplSample();
+
+// --- export ---------------------------------------------------------------
+
+/**
+ * JSON body of the /perf endpoint: { enabled, unavailable,
+ * counters_available, rapl_available, elapsed_seconds, package_joules,
+ * dram_joules, package_watts, ipc, cache_miss_pct, phases: {...} }.
+ * `unavailable` is true unless at least one measurement plane is
+ * delivering data; the phases section lists only phases that have
+ * recorded at least one scope.
+ */
+std::string perfStatusJson();
+
+} // namespace obs
+} // namespace hermes

@@ -9,6 +9,7 @@
 
 #include "cluster/imbalance.hpp"
 #include "core/search_strategy.hpp"
+#include "obs/perf.hpp"
 #include "sim/hardware.hpp"
 #include "util/logging.hpp"
 #include "util/rng.hpp"
@@ -510,6 +511,9 @@ HermesBroker::search(vecstore::VecView query, std::size_t k,
     util::Timer phase_timer;
     std::optional<obs::ScopedSpan> sample_span;
     sample_span.emplace("broker.sample");
+    // Hardware-counter attribution for the phase (no-op unless --perf).
+    std::optional<obs::PerfScope> sample_perf;
+    sample_perf.emplace(obs::PerfPhase::Sample);
     index::SearchParams sample_params;
     sample_params.nprobe = config.sample_nprobe;
     std::vector<std::future<NodeResponse>> sample_futures;
@@ -561,6 +565,7 @@ HermesBroker::search(vecstore::VecView query, std::size_t k,
     std::sort(ranked.begin(), ranked.end());
     sample_span->arg("clusters_sampled",
                      static_cast<std::uint64_t>(ranked.size()));
+    sample_perf.reset();
     sample_span.reset();
     h_sample_phase_.observe(phase_timer.elapsedMicros());
 
@@ -590,6 +595,8 @@ HermesBroker::search(vecstore::VecView query, std::size_t k,
     phase_timer.reset();
     std::optional<obs::ScopedSpan> deep_span;
     deep_span.emplace("broker.deep");
+    std::optional<obs::PerfScope> deep_perf;
+    deep_perf.emplace(obs::PerfPhase::Deep);
     deep_span->arg("clusters", static_cast<std::uint64_t>(deep));
     index::SearchParams deep_params;
     deep_params.nprobe = config.deep_nprobe;
@@ -622,6 +629,7 @@ HermesBroker::search(vecstore::VecView query, std::size_t k,
             ++deep_ok;
         }
     }
+    deep_perf.reset();
     deep_span.reset();
     h_deep_phase_.observe(phase_timer.elapsedMicros());
 
@@ -695,6 +703,7 @@ HermesBroker::search(vecstore::VecView query, std::size_t k,
     vecstore::HitList merged;
     {
         obs::ScopedSpan merge_span("broker.merge");
+        obs::PerfScope merge_perf(obs::PerfPhase::Merge);
         merge_span.arg("partials",
                        static_cast<std::uint64_t>(partials.size()));
         merged = vecstore::mergeHitLists(partials, k);
@@ -835,6 +844,26 @@ HermesBroker::loadReport(std::size_t window_s) const
         std::vector<double> as_double(deep_counts.begin(),
                                       deep_counts.end());
         report.zipf_exponent = fitZipfExponent(std::move(as_double));
+    }
+
+    // Measured energy beside the model: whole-package RAPL joules since
+    // the sampler started (invalid — and every field zero — unless
+    // --perf is on and powercap is readable). The ratio is the live
+    // falsifiability check on the Fig 18 model; on shared hardware it
+    // includes co-tenant work, so treat it as an upper bound.
+    obs::RaplSample rapl = obs::raplSample();
+    if (rapl.valid) {
+        report.measured_energy_valid = true;
+        report.measured_package_joules = rapl.package_joules;
+        report.measured_dram_joules = rapl.dram_joules;
+        if (report.total_energy_joules > 0.0 &&
+            rapl.package_joules > 0.0) {
+            report.energy_model_error_ratio =
+                rapl.package_joules / report.total_energy_joules;
+            obs::Registry::instance()
+                .gauge(obs::names::kEnergyModelErrorRatio)
+                .set(report.energy_model_error_ratio);
+        }
     }
     return report;
 }

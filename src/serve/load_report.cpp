@@ -68,6 +68,15 @@ LoadReport::toJson() const
     out += "},\n";
     out += "  \"total_energy_joules\": " +
         jsonNumber(total_energy_joules) + ",\n";
+    out += "  \"measured_energy_valid\": ";
+    out += measured_energy_valid ? "true" : "false";
+    out += ",\n";
+    out += "  \"measured_package_joules\": " +
+        jsonNumber(measured_package_joules) + ",\n";
+    out += "  \"measured_dram_joules\": " +
+        jsonNumber(measured_dram_joules) + ",\n";
+    out += "  \"energy_model_error_ratio\": " +
+        jsonNumber(energy_model_error_ratio) + ",\n";
     out += "  \"clusters\": [";
     for (std::size_t i = 0; i < clusters.size(); ++i) {
         const ClusterLoad &c = clusters[i];

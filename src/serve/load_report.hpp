@@ -130,6 +130,21 @@ struct LoadReport
     /** Sum of per-cluster modeled energy. */
     double total_energy_joules = 0.0;
 
+    /**
+     * Measured energy beside the model (obs/perf.hpp RAPL sampler):
+     * wraparound-corrected whole-package joules since the sampler
+     * started. Valid only when --perf is on and powercap is readable;
+     * otherwise false and every measured field stays 0 — the modeled
+     * path above is untouched either way.
+     */
+    bool measured_energy_valid = false;
+    double measured_package_joules = 0.0;
+    double measured_dram_joules = 0.0;
+
+    /** measured_package_joules / total_energy_joules when both are
+     *  positive (the live Fig 18 falsifiability check), else 0. */
+    double energy_model_error_ratio = 0.0;
+
     /** Serialize for the /load endpoint (stable field names). */
     std::string toJson() const;
 };

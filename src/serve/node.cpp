@@ -1,9 +1,11 @@
 #include "serve/node.hpp"
 
 #include <chrono>
+#include <optional>
 #include <stdexcept>
 
 #include "obs/obs.hpp"
+#include "obs/perf.hpp"
 #include "util/logging.hpp"
 #include "util/timer.hpp"
 
@@ -228,6 +230,10 @@ RetrievalNode::workerLoop()
             group->members.push_back(i);
         }
 
+        // Hardware-counter attribution for the shard scan phase — the
+        // whole execution sweep over this batch (no-op unless --perf).
+        std::optional<obs::PerfScope> scan_perf;
+        scan_perf.emplace(obs::PerfPhase::Scan);
         for (const auto &group : groups) {
             if (group.members.size() == 1) {
                 runSingle(group.members[0]);
@@ -292,6 +298,7 @@ RetrievalNode::workerLoop()
                     batch[i].trace);
             }
         }
+        scan_perf.reset();
         double elapsed = timer.elapsedSeconds();
         batch_exec.observe(elapsed * 1e6);
         double joules = elapsed * dynamic_watts_per_core;

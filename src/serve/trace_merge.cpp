@@ -1,6 +1,10 @@
 #include "serve/trace_merge.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <map>
+#include <unordered_map>
 
 #include "obs/metrics.hpp"
 #include "util/minijson.hpp"
@@ -279,6 +283,135 @@ mergeTraces(const TraceDumpInput &broker,
 
     out += "\n], \"displayTimeUnit\": \"ms\"}\n";
     result.json = std::move(out);
+    result.ok = true;
+    return result;
+}
+
+namespace {
+
+/** Hex span id out of an event's args ("00c0ffee…"); 0 when absent. */
+std::uint64_t
+argHexId(const Value &event, const char *key)
+{
+    const Value *args = event.find("args");
+    if (!args)
+        return 0;
+    const Value *id = args->find(key);
+    if (!id || !id->isString())
+        return 0;
+    return std::strtoull(id->stringOr("").c_str(), nullptr, 16);
+}
+
+/** One duration span lifted out of a dump for folding. */
+struct FoldSpan
+{
+    std::string name;
+    double dur_us = 0.0;
+    double child_us = 0.0; ///< sum of direct children's durations
+    std::uint64_t span_id = 0;
+    std::uint64_t parent_span_id = 0;
+};
+
+} // namespace
+
+FlameFoldResult
+foldStacks(const std::vector<TraceDumpInput> &dumps)
+{
+    FlameFoldResult result;
+
+    std::vector<FoldSpan> spans;
+    std::size_t parsed_dumps = 0;
+    for (const auto &dump : dumps) {
+        auto parsed = util::json::parse(dump.json);
+        if (!parsed.ok) {
+            result.warnings.push_back("dump (" + dump.source +
+                                      ") unparseable: " + parsed.error +
+                                      "; skipped");
+            continue;
+        }
+        const Value *events = traceEvents(parsed.value);
+        if (!events) {
+            result.warnings.push_back("dump (" + dump.source +
+                                      ") has no traceEvents; skipped");
+            continue;
+        }
+        ++parsed_dumps;
+        for (const auto &event : events->items()) {
+            const Value *ph = event.find("ph");
+            if (!ph || ph->stringOr("") != "X")
+                continue; // instants and metadata carry no duration
+            const Value *name = event.find("name");
+            const Value *dur = event.find("dur");
+            if (!name || !dur || !dur->isNumber())
+                continue;
+            FoldSpan span;
+            span.name = name->stringOr("");
+            // The folded format reserves ';' (frame separator) and
+            // ' ' (weight separator).
+            std::replace(span.name.begin(), span.name.end(), ';', '_');
+            std::replace(span.name.begin(), span.name.end(), ' ', '_');
+            if (span.name.empty())
+                continue;
+            span.dur_us = std::max(0.0, dur->numberOr(0.0));
+            span.span_id = argHexId(event, "span_id");
+            span.parent_span_id = argHexId(event, "parent_span_id");
+            spans.push_back(std::move(span));
+        }
+    }
+    if (parsed_dumps == 0) {
+        result.error = "no dump parsed";
+        return result;
+    }
+
+    std::unordered_map<std::uint64_t, std::size_t> by_id;
+    by_id.reserve(spans.size());
+    for (std::size_t i = 0; i < spans.size(); ++i) {
+        if (spans[i].span_id != 0)
+            by_id.emplace(spans[i].span_id, i);
+    }
+    for (const FoldSpan &span : spans) {
+        if (span.parent_span_id == 0)
+            continue;
+        auto it = by_id.find(span.parent_span_id);
+        if (it != by_id.end())
+            spans[it->second].child_us += span.dur_us;
+    }
+
+    // Each span contributes its *self* time under its full ancestor
+    // chain. Parallel children (a fan-out's node spans overlap in wall
+    // time) can sum past the parent's duration; clamping at zero keeps
+    // the parent from going negative rather than inventing time.
+    constexpr std::size_t kMaxDepth = 128;
+    std::map<std::string, double> folded; // ordered => deterministic output
+    for (const FoldSpan &span : spans) {
+        double self_us = std::max(0.0, span.dur_us - span.child_us);
+        std::vector<const std::string *> chain;
+        chain.push_back(&span.name);
+        std::uint64_t parent = span.parent_span_id;
+        while (parent != 0 && chain.size() < kMaxDepth) {
+            auto it = by_id.find(parent);
+            if (it == by_id.end())
+                break; // parent sampled out or from an absent dump
+            chain.push_back(&spans[it->second].name);
+            parent = spans[it->second].parent_span_id;
+        }
+        std::string stack;
+        for (std::size_t i = chain.size(); i-- > 0;) {
+            if (!stack.empty())
+                stack += ';';
+            stack += *chain[i];
+        }
+        folded[stack] += self_us;
+        ++result.spans;
+    }
+
+    for (const auto &[stack, weight_us] : folded) {
+        long long weight = std::llround(weight_us);
+        if (weight <= 0)
+            continue; // sub-microsecond leftovers are noise, drop them
+        result.folded += stack + " " + std::to_string(weight) + "\n";
+        ++result.stacks;
+    }
     result.ok = true;
     return result;
 }

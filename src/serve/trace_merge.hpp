@@ -91,5 +91,40 @@ std::vector<TraceClockSync> extractClockSyncs(const std::string &broker_json);
 TraceMergeResult mergeTraces(const TraceDumpInput &broker,
                              const std::vector<TraceDumpInput> &shards);
 
+/** Outcome of folding trace dumps into flame-graph stacks. */
+struct FlameFoldResult
+{
+    bool ok = false;
+    std::string error; ///< set when !ok (no dump parsed)
+
+    /**
+     * Folded-stack lines, "root;child;leaf <self_us>\n", sorted by
+     * stack for determinism — the input format of flamegraph.pl and of
+     * speedscope's "folded stacks" importer. Weights are self
+     * microseconds (span duration minus direct children), so a stack's
+     * total equals its spans' wall time without double counting.
+     */
+    std::string folded;
+
+    std::size_t spans = 0;  ///< duration spans folded
+    std::size_t stacks = 0; ///< distinct stacks emitted
+
+    /** Non-fatal problems (an unparseable dump is skipped). */
+    std::vector<std::string> warnings;
+};
+
+/**
+ * Aggregate Chrome trace dumps (TraceRecorder::toJson() or
+ * mergeTraces() output — any mix) into folded stacks. Ancestry comes
+ * from the span identity each event carries in its args
+ * (span_id/parent_span_id hex strings), not from timestamp nesting, so
+ * stacks follow a query across threads and processes: a shard's
+ * node.search folds under the broker's rpc.search even when the dumps
+ * were recorded on different machines. Spans without identity (and
+ * spans whose parent was sampled out) become roots; instants and
+ * metadata rows are ignored.
+ */
+FlameFoldResult foldStacks(const std::vector<TraceDumpInput> &dumps);
+
 } // namespace serve
 } // namespace hermes

@@ -28,6 +28,7 @@
 #include "serve/replica_map.hpp"
 #include "serve/rpc.hpp"
 #include "serve/shard_server.hpp"
+#include "util/minijson.hpp"
 #include "workload/corpus.hpp"
 
 namespace {
@@ -916,6 +917,27 @@ TEST(HttpExporter, GarbageHeadGets400)
     std::string response = rawHttpExchange(
         exporter.port(), std::string("\x01\x02\x03 binary\r\n\r\n"));
     EXPECT_NE(response.find(" 400 "), std::string::npos) << response;
+    exporter.stop();
+}
+
+TEST(HttpExporter, NotFoundHeadIsPlainTextWithJsonBody)
+{
+    // The 404 contract: a text/plain head (curl prints it as-is) whose
+    // body is still machine-parseable JSON naming the bad path.
+    obs::Exporter exporter;
+    ASSERT_TRUE(exporter.start());
+    std::string response = rawHttpExchange(
+        exporter.port(), "GET /no-such-route HTTP/1.0\r\nHost: x\r\n\r\n");
+    EXPECT_NE(response.find(" 404 "), std::string::npos) << response;
+    EXPECT_NE(response.find("Content-Type: text/plain"),
+              std::string::npos)
+        << response;
+    std::size_t body_at = response.find("\r\n\r\n");
+    ASSERT_NE(body_at, std::string::npos);
+    auto parsed = util::json::parse(response.substr(body_at + 4));
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    EXPECT_EQ(parsed.value.find("error")->stringOr(""), "unknown path");
+    EXPECT_EQ(parsed.value.find("path")->stringOr(""), "/no-such-route");
     exporter.stop();
 }
 

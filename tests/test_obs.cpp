@@ -12,17 +12,22 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cctype>
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <thread>
+#include <unistd.h>
 
 #include "core/distributed_store.hpp"
 #include "core/search_strategy.hpp"
 #include "obs/exporter.hpp"
+#include "obs/metric_names.hpp"
 #include "obs/obs.hpp"
+#include "obs/perf.hpp"
 #include "obs/process_stats.hpp"
 #include "serve/broker.hpp"
 #include "util/minijson.hpp"
@@ -907,6 +912,374 @@ TEST(ServeLoadReport, CumulativeCountersAreMonotoneAcrossReports)
                   first.clusters[c].deep_requests);
         EXPECT_GE(second.clusters[c].energy_joules, 0.0);
     }
+}
+
+// ---------------------------------------------------------------------------
+// Metric-name catalog drift
+// ---------------------------------------------------------------------------
+
+bool
+isUint(const std::string &s)
+{
+    if (s.empty())
+        return false;
+    for (char c : s)
+        if (!std::isdigit(static_cast<unsigned char>(c)))
+            return false;
+    return true;
+}
+
+std::vector<std::string>
+splitDots(const std::string &name)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= name.size()) {
+        std::size_t dot = name.find('.', start);
+        if (dot == std::string::npos)
+            dot = name.size();
+        out.push_back(name.substr(start, dot - start));
+        start = dot + 1;
+    }
+    return out;
+}
+
+/**
+ * True when @p name resolves through obs/metric_names.hpp: either one
+ * of the flat constants, or an instance of a parameterized family.
+ * Built from the catalog constants themselves so adding a name there is
+ * all it takes to admit a new instrumentation site.
+ */
+bool
+catalogMatches(const std::string &name)
+{
+    namespace n = obs::names;
+    static const std::set<std::string> exact = {
+        n::kBrokerQueries, n::kBrokerDeepRequests, n::kBrokerTimeouts,
+        n::kBrokerFailures, n::kBrokerDegradedQueries,
+        n::kBrokerQueryLatencyUs, n::kBrokerSamplePhaseUs,
+        n::kBrokerDeepPhaseUs, n::kBrokerMergePhaseUs,
+        n::kBrokerSampleProbeUs, n::kBrokerHedgesIssued,
+        n::kBrokerHedgesWon, n::kBrokerHedgesWasted, n::kNodeQueueWaitUs,
+        n::kNodeBatchExecUs, n::kRpcRpcs, n::kRpcRequestBytes,
+        n::kRpcResponseBytes, n::kRpcRoundTripUs, n::kRpcBatchSize,
+        n::kRpcRedials, n::kRpcTransportFailures, n::kRpcRemoteErrors,
+        n::kTraceBufferSpans, n::kTraceDroppedSpans, n::kIvfCoarseUs,
+        n::kIvfScanUs, n::kPoolParallelForUs, n::kPoolParallelForItems,
+        n::kCoreQueryLatencyUs, n::kCoreSamplePhaseUs, n::kCoreDeepPhaseUs,
+        n::kRagStrideTotalUs, n::kRagStrideRetrievalUs, n::kRagStrides,
+        n::kEnergyPackageJoulesMeasured, n::kEnergyDramJoulesMeasured,
+        n::kEnergyModelErrorRatio, n::kProcessRssBytes, n::kProcessVmBytes,
+        n::kProcessCpuUserSeconds, n::kProcessCpuSystemSeconds,
+        n::kProcessThreads, n::kProcessUptimeSeconds,
+    };
+    if (exact.count(name))
+        return true;
+
+    const auto parts = splitDots(name);
+    // broker.route.<cluster>.<slot>
+    if (parts.size() == 4 && parts[0] == "broker" && parts[1] == "route")
+        return isUint(parts[2]) && isUint(parts[3]);
+    // node.<cluster>.<suffix>
+    if (parts.size() == 3 && parts[0] == "node" && isUint(parts[1])) {
+        for (const char *suffix :
+             {n::kNodeSampleRequests, n::kNodeDeepRequests,
+              n::kNodeHitsReturned, n::kNodeQueueDepth, n::kNodeBusySeconds,
+              n::kNodeEnergyJoules, n::kNodeBatchOccupancy}) {
+            if (name == n::nodeMetric(std::stoul(parts[1]), suffix))
+                return true;
+        }
+        return false;
+    }
+    // rpc.error.<code>
+    if (parts.size() == 3 && parts[0] == "rpc" && parts[1] == "error")
+        return !parts[2].empty();
+    // rpc.node.<cluster>.<suffix>
+    if (parts.size() == 4 && parts[0] == "rpc" && parts[1] == "node" &&
+        isUint(parts[2]))
+        return parts[3] == n::kRpcClockOffsetUs;
+    // perf.<phase>.<suffix>
+    if (parts.size() == 3 && parts[0] == "perf") {
+        bool phase_ok = false;
+        for (auto phase : {obs::PerfPhase::Sample, obs::PerfPhase::Deep,
+                           obs::PerfPhase::Merge, obs::PerfPhase::Scan})
+            phase_ok = phase_ok || parts[1] == obs::perfPhaseName(phase);
+        if (!phase_ok)
+            return false;
+        for (const char *suffix :
+             {n::kPerfCycles, n::kPerfInstructions, n::kPerfCacheMisses,
+              n::kPerfLlcLoadMisses, n::kPerfBranchMisses,
+              n::kPerfTaskClockUs, n::kPerfIpc, n::kPerfCacheMpki,
+              n::kPerfLlcMpki, n::kPerfBranchMpki}) {
+            if (parts[2] == suffix)
+                return true;
+        }
+        return false;
+    }
+    return false;
+}
+
+TEST(ObsCatalog, RuntimeMetricNamesResolveThroughCatalog)
+{
+    // Emit real serving metrics, then walk every name the registry
+    // exports. A new instrumentation site whose name is not in
+    // obs/metric_names.hpp (exact or family) fails here — the catalog
+    // and the runtime cannot drift apart silently.
+    const auto &data = obsServeData();
+    serve::HermesBroker broker(*data.store);
+    for (std::size_t q = 0; q < 8; ++q)
+        broker.search(data.queries.embeddings.row(q), 5);
+    obs::updateProcessGauges(obs::Registry::instance());
+
+    auto parsed = util::json::parse(obs::Registry::instance().toJson());
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    std::size_t checked = 0;
+    for (const char *section :
+         {"counters", "gauges", "histograms", "windows"}) {
+        const auto *obj = parsed.value.find(section);
+        ASSERT_NE(obj, nullptr) << section;
+        for (const auto &name : obj->keys()) {
+            if (name.rfind("test.", 0) == 0)
+                continue; // this suite's own fixtures
+            EXPECT_TRUE(catalogMatches(name))
+                << "metric \"" << name << "\" (in " << section
+                << ") is not in obs/metric_names.hpp";
+            ++checked;
+        }
+    }
+    EXPECT_GT(checked, 10u); // the walk saw real serving metrics
+}
+
+// ---------------------------------------------------------------------------
+// RAPL sampler over a synthetic powercap sysfs tree
+// ---------------------------------------------------------------------------
+
+class RaplFixture
+{
+  public:
+    RaplFixture()
+    {
+        root_ = std::filesystem::temp_directory_path() /
+            ("hermes_rapl_test_" +
+             std::to_string(
+                 reinterpret_cast<std::uintptr_t>(this) ^
+                 static_cast<std::uintptr_t>(::getpid())));
+        std::filesystem::create_directories(root_);
+    }
+
+    ~RaplFixture()
+    {
+        std::error_code ec;
+        std::filesystem::remove_all(root_, ec);
+    }
+
+    const std::string root() const { return root_.string(); }
+
+    /** Create `<root>/<dir>` with a `name` file and an energy counter;
+     *  max_range 0 writes no max_energy_range_uj file. */
+    void addDomain(const std::string &dir, const std::string &label,
+                   std::uint64_t energy_uj, std::uint64_t max_range_uj = 0)
+    {
+        auto path = root_ / dir;
+        std::filesystem::create_directories(path);
+        write(path / "name", label + "\n");
+        write(path / "energy_uj", std::to_string(energy_uj) + "\n");
+        if (max_range_uj > 0)
+            write(path / "max_energy_range_uj",
+                  std::to_string(max_range_uj) + "\n");
+    }
+
+    void setEnergy(const std::string &dir, std::uint64_t energy_uj)
+    {
+        write(root_ / dir / "energy_uj", std::to_string(energy_uj) + "\n");
+    }
+
+  private:
+    static void write(const std::filesystem::path &path,
+                      const std::string &contents)
+    {
+        std::ofstream out(path, std::ios::trunc);
+        out << contents;
+    }
+
+    std::filesystem::path root_;
+};
+
+TEST(ObsRapl, DiscoversPackageAndDramAcrossSockets)
+{
+    RaplFixture fx;
+    fx.addDomain("intel-rapl:0", "package-0", 1'000'000, 1'000'000'000);
+    fx.addDomain("intel-rapl:0:0", "dram", 500'000, 1'000'000'000);
+    fx.addDomain("intel-rapl:1", "package-1", 2'000'000, 1'000'000'000);
+    fx.addDomain("intel-rapl:1:0", "core", 100'000); // out of scope
+    std::filesystem::create_directories(
+        std::filesystem::path(fx.root()) / "intel-rapl"); // control node
+
+    obs::RaplReader reader(fx.root());
+    ASSERT_TRUE(reader.available());
+    ASSERT_EQ(reader.domains().size(), 3u);
+    EXPECT_TRUE(reader.domains()[0].is_package);  // intel-rapl:0
+    EXPECT_TRUE(reader.domains()[1].is_dram);     // intel-rapl:0:0
+    EXPECT_TRUE(reader.domains()[2].is_package);  // intel-rapl:1
+
+    // +0.3 J on socket 0, +0.1 J dram, +0.2 J on socket 1.
+    fx.setEnergy("intel-rapl:0", 1'300'000);
+    fx.setEnergy("intel-rapl:0:0", 600'000);
+    fx.setEnergy("intel-rapl:1", 2'200'000);
+    auto s = reader.sample();
+    ASSERT_TRUE(s.valid);
+    EXPECT_NEAR(s.package_joules, 0.5, 1e-9); // sums across sockets
+    EXPECT_NEAR(s.dram_joules, 0.1, 1e-9);
+    EXPECT_GE(s.elapsed_seconds, 0.0);
+}
+
+TEST(ObsRapl, WraparoundCorrectedWithKnownRange)
+{
+    RaplFixture fx;
+    fx.addDomain("intel-rapl:0", "package-0", 900'000, 1'000'000);
+
+    obs::RaplReader reader(fx.root());
+    ASSERT_TRUE(reader.available());
+    fx.setEnergy("intel-rapl:0", 100'000); // counter wrapped at 1 J
+    auto s = reader.sample();
+    ASSERT_TRUE(s.valid);
+    // (range - last) + cur = 100'000 + 100'000 uj = 0.2 J.
+    EXPECT_NEAR(s.package_joules, 0.2, 1e-9);
+}
+
+TEST(ObsRapl, WrapWithoutRangeDropsDeltaAndReanchors)
+{
+    RaplFixture fx;
+    fx.addDomain("intel-rapl:0", "package-0", 900'000); // no range file
+
+    obs::RaplReader reader(fx.root());
+    ASSERT_TRUE(reader.available());
+    EXPECT_EQ(reader.domains()[0].max_range_uj, 0u);
+
+    fx.setEnergy("intel-rapl:0", 100'000); // apparent negative delta
+    auto s = reader.sample();
+    ASSERT_TRUE(s.valid); // the read worked; the delta is just unusable
+    EXPECT_NEAR(s.package_joules, 0.0, 1e-9);
+
+    // Re-anchored at 100'000: the next delta counts normally again.
+    fx.setEnergy("intel-rapl:0", 150'000);
+    s = reader.sample();
+    ASSERT_TRUE(s.valid);
+    EXPECT_NEAR(s.package_joules, 0.05, 1e-9);
+}
+
+TEST(ObsRapl, MissingRootReportsUnavailable)
+{
+    obs::RaplReader reader("/nonexistent/hermes-powercap");
+    EXPECT_FALSE(reader.available());
+    EXPECT_FALSE(reader.sample().valid);
+}
+
+TEST(ObsRapl, UnreadableEnergyCounterSkipsDomain)
+{
+    // energy_uj exists but cannot be read as a number (a directory —
+    // the root-proof stand-in for EACCES): discovery must skip the
+    // domain, leaving the reader unavailable rather than half-broken.
+    RaplFixture fx;
+    auto dir = std::filesystem::path(fx.root()) / "intel-rapl:0";
+    std::filesystem::create_directories(dir);
+    {
+        std::ofstream out(dir / "name");
+        out << "package-0\n";
+    }
+    std::filesystem::create_directories(dir / "energy_uj");
+
+    obs::RaplReader reader(fx.root());
+    EXPECT_FALSE(reader.available());
+    EXPECT_FALSE(reader.sample().valid);
+}
+
+TEST(ObsRapl, EnvRootIsHonored)
+{
+    RaplFixture fx;
+    fx.addDomain("intel-rapl:0", "package-0", 42'000'000, 1'000'000'000);
+    ::setenv("HERMES_RAPL_ROOT", fx.root().c_str(), 1);
+    obs::RaplReader reader(""); // "" = env root when set
+    ::unsetenv("HERMES_RAPL_ROOT");
+    ASSERT_TRUE(reader.available());
+    EXPECT_EQ(reader.domains()[0].label, "package-0");
+}
+
+// ---------------------------------------------------------------------------
+// /perf endpoint, 404 error body, and the unavailable-parity guarantee
+// ---------------------------------------------------------------------------
+
+TEST(ObsPerf, PerfRouteServesStatusJson)
+{
+    obs::Exporter exporter;
+    ASSERT_TRUE(exporter.start());
+
+    std::string body;
+    ASSERT_TRUE(obs::httpGet("127.0.0.1", exporter.port(), "/perf", &body));
+    auto parsed = util::json::parse(body);
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    for (const char *key : {"enabled", "unavailable", "counters_available",
+                            "rapl_available"}) {
+        const auto *v = parsed.value.find(key);
+        ASSERT_NE(v, nullptr) << key;
+        EXPECT_TRUE(v->isBool()) << key;
+    }
+    ASSERT_NE(parsed.value.find("package_joules"), nullptr);
+    ASSERT_NE(parsed.value.find("phases"), nullptr);
+    exporter.stop();
+}
+
+TEST(ObsExporter, UnknownPathServesJsonErrorBody)
+{
+    obs::Exporter exporter;
+    ASSERT_TRUE(exporter.start());
+
+    std::string body;
+    std::string status;
+    EXPECT_FALSE(obs::httpGet("127.0.0.1", exporter.port(),
+                              "/definitely-missing", &body, &status));
+    EXPECT_NE(status.find("404"), std::string::npos);
+    auto parsed = util::json::parse(body);
+    ASSERT_TRUE(parsed.ok) << "404 body is not JSON: " << body;
+    EXPECT_EQ(parsed.value.find("error")->stringOr(""), "unknown path");
+    EXPECT_EQ(parsed.value.find("path")->stringOr(""),
+              "/definitely-missing");
+    exporter.stop();
+}
+
+TEST(ObsPerf, ForcedUnavailableRunIsBitIdenticalToDisabled)
+{
+    const auto &data = obsServeData();
+    serve::HermesBroker broker(*data.store);
+
+    // Baseline: perf off entirely.
+    obs::setPerfEnabled(false);
+    obs::setPerfForceUnavailable(false);
+    std::vector<vecstore::HitList> baseline;
+    for (std::size_t q = 0; q < 8; ++q)
+        baseline.push_back(broker.search(data.queries.embeddings.row(q), 5));
+
+    // Enabled but every probe denied — the CI unavailable leg's shape.
+    obs::setPerfEnabled(true);
+    obs::setPerfForceUnavailable(true);
+    for (std::size_t q = 0; q < 8; ++q) {
+        auto hits = broker.search(data.queries.embeddings.row(q), 5);
+        ASSERT_EQ(hits.size(), baseline[q].size()) << q;
+        for (std::size_t i = 0; i < hits.size(); ++i) {
+            EXPECT_EQ(hits[i].id, baseline[q][i].id);
+            EXPECT_FLOAT_EQ(hits[i].score, baseline[q][i].score);
+        }
+    }
+    EXPECT_FALSE(obs::perfCountersAvailable());
+    EXPECT_FALSE(obs::raplSample().valid);
+
+    // The probe denial must not have minted a single perf metric: the
+    // registry surface is what makes the runs bit-identical.
+    EXPECT_EQ(obs::Registry::instance().toJson().find("\"perf."),
+              std::string::npos);
+
+    obs::setPerfEnabled(false);
+    obs::setPerfForceUnavailable(false);
 }
 
 } // namespace

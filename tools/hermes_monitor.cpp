@@ -87,6 +87,16 @@ struct Sample
     double rpc_rpcs = 0.0;
     double rpc_redials = 0.0;
     double rpc_errors = 0.0; ///< transport failures + remote errors
+
+    /** Hardware measurement (/perf): present only when the endpoint
+     *  runs with --perf AND the kernel granted counters or RAPL —
+     *  otherwise the columns render as "-" / empty CSV cells, never
+     *  as fabricated zeros. */
+    bool has_perf = false;
+    double ipc = 0.0;
+    double cache_miss_pct = 0.0;
+    double measured_package_j = 0.0;
+    double measured_watts = 0.0;
 };
 
 bool
@@ -144,6 +154,23 @@ pollEndpoint(const Endpoint &endpoint)
         sample.has_load = sample.load.ok;
     }
 
+    std::string perf_body;
+    if (hermes::obs::httpGet(endpoint.host, endpoint.port, "/perf",
+                             &perf_body)) {
+        auto perf = hermes::util::json::parse(perf_body);
+        if (perf.ok) {
+            const Value *unavailable = perf.value.find("unavailable");
+            if (unavailable && !unavailable->boolOr(true)) {
+                sample.has_perf = true;
+                sample.ipc = num(perf.value, "ipc");
+                sample.cache_miss_pct = num(perf.value, "cache_miss_pct");
+                sample.measured_package_j =
+                    num(perf.value, "package_joules");
+                sample.measured_watts = num(perf.value, "package_watts");
+            }
+        }
+    }
+
     // Shards don't serve /load; their request totals come from the
     // hermes_shard /shard handler when one is registered.
     if (!sample.has_load && sample.requests == 0.0) {
@@ -183,11 +210,22 @@ renderLoadDashboard(const hermes::util::json::Value &root,
                 rss_bytes / (1024.0 * 1024.0));
     const double hedges = num(root, "hedges_issued");
     std::printf("hedges: %.0f issued, %.0f won (%.0f%% win rate), "
-                "%.0f wasted\n\n",
+                "%.0f wasted\n",
                 hedges, num(root, "hedges_won"),
                 hedges > 0.0 ? 100.0 * num(root, "hedges_won") / hedges
                              : 0.0,
                 num(root, "hedges_wasted"));
+    // Measured (RAPL) energy beside the model, when the broker runs
+    // with --perf on readable powercap hardware.
+    const Value *measured = root.find("measured_energy_valid");
+    if (measured && measured->boolOr(false)) {
+        std::printf("measured energy: %.1f J package, %.1f J dram   "
+                    "measured/modeled %.2f\n",
+                    num(root, "measured_package_joules"),
+                    num(root, "measured_dram_joules"),
+                    num(root, "energy_model_error_ratio"));
+    }
+    std::printf("\n");
 
     const Value *clusters = root.find("clusters");
     if (clusters && clusters->isArray() && clusters->size() > 0) {
@@ -236,28 +274,48 @@ renderLoadDashboard(const hermes::util::json::Value &root,
     }
 }
 
-/** One row per endpoint: the fleet-wide merged table. */
+/** One row per endpoint: the fleet-wide merged table. The four
+ *  hardware columns (ipc, cache-miss %, measured watts, measured
+ *  J/query) render as "-" unless the endpoint's /perf is live. */
 void
 renderFleetTable(const std::vector<Endpoint> &endpoints,
                  const std::vector<Sample> &samples)
 {
-    std::printf("%-22s %-4s %-9s %-9s %-8s %-8s %-8s %-9s\n", "source",
-                "up", "uptime_s", "requests", "rpcs", "redials",
-                "rpc_err", "rss_mib");
+    std::printf("%-22s %-4s %-9s %-9s %-8s %-8s %-8s %-9s %-6s %-7s "
+                "%-7s %-8s\n",
+                "source", "up", "uptime_s", "requests", "rpcs",
+                "redials", "rpc_err", "rss_mib", "ipc", "cmiss%",
+                "watts", "j/q_meas");
     for (std::size_t i = 0; i < endpoints.size(); ++i) {
         const Sample &s = samples[i];
         if (!s.up) {
-            std::printf("%-22s %-4s %-9s %-9s %-8s %-8s %-8s %-9s\n",
+            std::printf("%-22s %-4s %-9s %-9s %-8s %-8s %-8s %-9s "
+                        "%-6s %-7s %-7s %-8s\n",
                         endpoints[i].label.c_str(), "no", "-", "-", "-",
-                        "-", "-", "-");
+                        "-", "-", "-", "-", "-", "-", "-");
             continue;
         }
+        char ipc[16] = "-";
+        char cmiss[16] = "-";
+        char watts[16] = "-";
+        char jpq[16] = "-";
+        if (s.has_perf) {
+            std::snprintf(ipc, sizeof(ipc), "%.2f", s.ipc);
+            std::snprintf(cmiss, sizeof(cmiss), "%.2f",
+                          s.cache_miss_pct);
+            std::snprintf(watts, sizeof(watts), "%.1f",
+                          s.measured_watts);
+            if (s.requests > 0.0 && s.measured_package_j > 0.0)
+                std::snprintf(jpq, sizeof(jpq), "%.2f",
+                              s.measured_package_j / s.requests);
+        }
         std::printf("%-22s %-4s %-9.1f %-9.0f %-8.0f %-8.0f %-8.0f "
-                    "%-9.1f\n",
+                    "%-9.1f %-6s %-7s %-7s %-8s\n",
                     endpoints[i].label.c_str(),
                     s.has_load ? "yes*" : "yes", s.uptime_s, s.requests,
                     s.rpc_rpcs, s.rpc_redials, s.rpc_errors,
-                    s.rss_bytes / (1024.0 * 1024.0));
+                    s.rss_bytes / (1024.0 * 1024.0), ipc, cmiss, watts,
+                    jpq);
     }
 }
 
@@ -361,7 +419,9 @@ main(int argc, char **argv)
                               "window_p50_us,window_p99_us,"
                               "max_mean_ratio,zipf_exponent,"
                               "total_energy_j,rpc_rpcs,rpc_errors,"
-                              "rss_bytes,hedges_issued,hedge_win_rate\n");
+                              "rss_bytes,hedges_issued,hedge_win_rate,"
+                              "measured_j,measured_w,ipc,"
+                              "cache_miss_pct\n");
         }
     }
 
@@ -424,8 +484,16 @@ main(int argc, char **argv)
         if (csv) {
             for (std::size_t e = 0; e < endpoints.size(); ++e) {
                 const Sample &s = samples[e];
-                if (!s.up)
+                if (!s.up) {
+                    // A down endpoint still gets its row — source and
+                    // poll index with every metric cell empty — so the
+                    // column grid stays aligned across the file and a
+                    // mid-run outage reads as a gap, not a shifted row.
+                    std::fprintf(csv, "%s,%ld,,,,,,,,,,,,,,,,,\n",
+                                 csvQuote(endpoints[e].label).c_str(),
+                                 polls);
                     continue;
+                }
                 const Value *load =
                     s.has_load ? &s.load.value : nullptr;
                 const double hedges_issued =
@@ -433,10 +501,19 @@ main(int argc, char **argv)
                 const double hedge_win_rate = hedges_issued > 0.0
                     ? num(*load, "hedges_won") / hedges_issued
                     : 0.0;
+                // Hardware columns stay empty (not 0) when /perf has no
+                // data — absence of measurement, not a measured zero.
+                char perf_cells[80] = ",,,";
+                if (s.has_perf) {
+                    std::snprintf(perf_cells, sizeof(perf_cells),
+                                  "%.3f,%.3f,%.3f,%.4f",
+                                  s.measured_package_j, s.measured_watts,
+                                  s.ipc, s.cache_miss_pct);
+                }
                 std::fprintf(
                     csv,
                     "%s,%ld,%.3f,%.0f,%.3f,%.1f,%.1f,%.3f,%.3f,%.2f,"
-                    "%.0f,%.0f,%.0f,%.0f,%.3f\n",
+                    "%.0f,%.0f,%.0f,%.0f,%.3f,%s\n",
                     csvQuote(endpoints[e].label).c_str(), polls,
                     s.uptime_s, s.requests,
                     load ? num(*load, "window_qps") : 0.0,
@@ -446,7 +523,7 @@ main(int argc, char **argv)
                     load ? num(*load, "zipf_exponent") : 0.0,
                     load ? num(*load, "total_energy_joules") : 0.0,
                     s.rpc_rpcs, s.rpc_errors, s.rss_bytes,
-                    hedges_issued, hedge_win_rate);
+                    hedges_issued, hedge_win_rate, perf_cells);
             }
             std::fflush(csv);
         }

@@ -25,7 +25,7 @@
  *                     [--fail-prob=P] [--drop-prob=P] [--delay-ms=MS]
  *                     [--http-port=PORT]
  *                     [--trace-out=FILE] [--trace-sample=N]
- *                     [--metrics-json=FILE]
+ *                     [--metrics-json=FILE] [--perf=0|1]
  *
  * Prints one machine-parseable line once serving:
  *   hermes_shard ready cluster=<c> vectors=<n> port=<p>
@@ -34,7 +34,9 @@
  * until SIGTERM/SIGINT. --http-port adds the obs exporter
  * (/healthz for liveness probes, /metrics, /trace.json with the shard's
  * span dump tagged by cluster, plus /shard with the node's counters),
- * so a supervisor can watch recovery after a restart.
+ * so a supervisor can watch recovery after a restart. --perf=1 (or
+ * HERMES_PERF=1) arms the perf_event/RAPL samplers; the exporter's
+ * /perf route reports per-phase scan counters and measured energy.
  *
  * Tracing: --trace-sample=N (or HERMES_TRACE_SAMPLE) enables the span
  * recorder before the server starts, so remote trace contexts adopted
@@ -102,6 +104,7 @@ main(int argc, char **argv)
     std::string trace_out;
     long trace_sample = 0;
     std::string metrics_json;
+    bool perf_flag = false;
     for (int i = 1; i < argc; ++i) {
         if (const char *v = matchOption(argv[i], "--cluster"))
             cluster = std::strtol(v, nullptr, 10);
@@ -139,6 +142,8 @@ main(int argc, char **argv)
             trace_sample = std::strtol(v, nullptr, 10);
         else if (const char *v = matchOption(argv[i], "--metrics-json"))
             metrics_json = v;
+        else if (const char *v = matchOption(argv[i], "--perf"))
+            perf_flag = std::atoi(v) != 0;
         else {
             std::fprintf(stderr, "unknown option: %s\n", argv[i]);
             return 2;
@@ -165,6 +170,8 @@ main(int argc, char **argv)
         if (const char *env = std::getenv("HERMES_TRACE_SAMPLE"))
             trace_sample = std::strtol(env, nullptr, 10);
     }
+    if (perf_flag)
+        obs::setPerfEnabled(true); // HERMES_PERF=1 works without the flag
     // Start the recorder before the server: adopted remote contexts are
     // gated on the shard's own recorder, so spans must be recordable by
     // the time the first RPC lands. Shard-side "sampling" is decided by
