@@ -15,6 +15,17 @@
  *                     [--replicate=c:r,...] [--auto-replicate=N]
  *                     [--auto-replicate-after=S] [--hedge=0|1]
  *                     [--deadline-ms=MS] [--perf=0|1]
+ *                     [--index-dir=DIR] [--index-heap=0|1]
+ *
+ * --index-dir=DIR loads the store from a hermes_build_index deployment
+ * manifest instead of partitioning and training at startup — the
+ * "build once, serve many" path. Cluster indices are opened as
+ * zero-copy mmap views (--index-heap=1 copies them to heap instead),
+ * so a restart is ready in milliseconds regardless of store size. The
+ * embedding dim and cluster count come from the manifest; the corpus
+ * is still synthesized (with the manifest's dim) for query synthesis,
+ * so build the deployment from the same corpus flags for meaningful
+ * recall. Incompatible with --remote-nodes, which builds no store.
  *
  * --remote-nodes switches the broker to the out-of-process fleet: one
  * RemoteNodeClient per listed hermes_shard endpoint (in cluster order)
@@ -149,6 +160,8 @@ main(int argc, char **argv)
     bool hedge = true;
     double deadline_ms = 0.0;
     bool perf_flag = false;
+    std::string index_dir;
+    bool index_heap = false;
     std::vector<char *> positional;
     for (int i = 0; i < argc; ++i) {
         if (const char *v = matchOption(argv[i], "--metrics-json"))
@@ -188,6 +201,10 @@ main(int argc, char **argv)
             deadline_ms = std::strtod(v, nullptr);
         else if (const char *v = matchOption(argv[i], "--perf"))
             perf_flag = std::atoi(v) != 0;
+        else if (const char *v = matchOption(argv[i], "--index-dir"))
+            index_dir = v;
+        else if (const char *v = matchOption(argv[i], "--index-heap"))
+            index_heap = std::atoi(v) != 0;
         else
             positional.push_back(argv[i]);
     }
@@ -208,6 +225,22 @@ main(int argc, char **argv)
     double fail_prob = argc > 4 ? std::strtod(argv[4], nullptr) : 0.0;
     double drop_prob = argc > 5 ? std::strtod(argv[5], nullptr) : 0.0;
     double delay_ms = argc > 6 ? std::strtod(argv[6], nullptr) : 0.0;
+
+    if (!index_dir.empty() && !remote_nodes.empty()) {
+        std::fprintf(stderr, "--index-dir and --remote-nodes are "
+                             "mutually exclusive (remote fleets load "
+                             "their own index files)\n");
+        return 2;
+    }
+
+    // A deployment manifest pins the store geometry; the corpus below
+    // is then only synthesized for query generation and must match the
+    // manifest's embedding dim.
+    std::optional<core::Manifest> manifest;
+    if (!index_dir.empty()) {
+        manifest = core::Manifest::load(index_dir);
+        dim = manifest->dim;
+    }
 
     // Build the corpus (and, when serving in-process, the store).
     workload::CorpusConfig cc;
@@ -245,7 +278,9 @@ main(int argc, char **argv)
         remote_clusters = std::max<std::size_t>(remote_clusters, c + 1);
 
     core::HermesConfig config;
-    config.num_clusters = endpoints.empty() ? 10 : remote_clusters;
+    config.num_clusters = manifest ? manifest->num_clusters
+                                   : (endpoints.empty() ? 10
+                                                        : remote_clusters);
     config.clusters_to_search =
         std::min<std::size_t>(3, config.num_clusters);
     config.sample_nprobe = 4;
@@ -253,8 +288,23 @@ main(int argc, char **argv)
     config.partition.seeds_to_try = 3;
     config.nlist_per_cluster = nlist;
     std::optional<core::DistributedStore> store;
-    if (endpoints.empty())
+    util::Timer store_timer;
+    if (manifest) {
+        store = core::loadOrFatal([&] {
+            return core::loadStore(index_dir, *manifest, config,
+                                   index_heap
+                                       ? core::StoreLoadMode::kHeap
+                                       : core::StoreLoadMode::kMapped);
+        });
+        config = store->config();
+        std::printf("loaded %zu %s indices from %s in %.1f ms (%s)\n",
+                    store->numClusters(), store->config().codec.c_str(),
+                    index_dir.c_str(),
+                    store_timer.elapsedSeconds() * 1e3,
+                    index_heap ? "heap copies" : "zero-copy mmap");
+    } else if (endpoints.empty()) {
         store = core::DistributedStore::build(corpus.embeddings, config);
+    }
 
     workload::QueryConfig qc;
     qc.num_queries = clients * per_client;

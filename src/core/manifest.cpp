@@ -1,0 +1,83 @@
+#include "core/manifest.hpp"
+
+#include <fstream>
+#include <map>
+
+#include "util/logging.hpp"
+
+namespace hermes {
+namespace core {
+
+void
+Manifest::save(const std::filesystem::path &dir) const
+{
+    std::ofstream out(dir / "manifest.txt");
+    if (!out)
+        HERMES_FATAL("cannot write manifest in ", dir.string());
+    out << "type=" << type << '\n';
+    out << "num_clusters=" << num_clusters << '\n';
+    out << "dim=" << dim << '\n';
+    out << "codec=" << codec << '\n';
+    out << "corpus=" << corpus_file << '\n';
+    out << "centroids=" << centroids_file << '\n';
+    for (std::size_t c = 0; c < cluster_files.size(); ++c)
+        out << "cluster_" << c << '=' << cluster_files[c] << '\n';
+}
+
+Manifest
+Manifest::load(const std::filesystem::path &dir)
+{
+    std::ifstream in(dir / "manifest.txt");
+    if (!in)
+        HERMES_FATAL("no manifest.txt in ", dir.string(),
+                     " (run hermes_build_index first)");
+    std::map<std::string, std::string> kv;
+    std::string line;
+    while (std::getline(in, line)) {
+        auto eq = line.find('=');
+        if (eq == std::string::npos)
+            continue;
+        kv[line.substr(0, eq)] = line.substr(eq + 1);
+    }
+    Manifest manifest;
+    manifest.type = kv.at("type");
+    manifest.num_clusters = std::stoul(kv.at("num_clusters"));
+    manifest.dim = std::stoul(kv.at("dim"));
+    manifest.codec = kv.at("codec");
+    manifest.corpus_file = kv.at("corpus");
+    manifest.centroids_file = kv.at("centroids");
+    for (std::size_t c = 0; c < manifest.num_clusters; ++c)
+        manifest.cluster_files.push_back(
+            kv.at("cluster_" + std::to_string(c)));
+    return manifest;
+}
+
+DistributedStore
+loadStore(const std::filesystem::path &dir, const Manifest &manifest,
+          HermesConfig config, StoreLoadMode mode)
+{
+    config.num_clusters = manifest.num_clusters;
+    config.codec = manifest.codec;
+    std::vector<std::unique_ptr<index::IvfIndex>> indices;
+    for (const auto &file : manifest.cluster_files) {
+        const std::string path = (dir / file).string();
+        indices.push_back(mode == StoreLoadMode::kMapped
+                              ? index::IvfIndex::openMapped(path)
+                              : index::IvfIndex::load(path));
+    }
+    auto centroids =
+        vecstore::Matrix::load((dir / manifest.centroids_file).string());
+    return DistributedStore::assemble(config, std::move(indices),
+                                      std::move(centroids));
+}
+
+DistributedStore
+loadStore(const std::filesystem::path &dir, const Manifest &manifest,
+          HermesConfig config)
+{
+    return loadStore(dir, manifest, std::move(config),
+                     StoreLoadMode::kHeap);
+}
+
+} // namespace core
+} // namespace hermes

@@ -18,6 +18,7 @@
 #include "cluster/partitioner.hpp"
 #include "core/config.hpp"
 #include "core/distributed_store.hpp"
+#include "core/manifest.hpp"
 #include "core/rerank.hpp"
 #include "core/search_strategy.hpp"
 #include "eval/ground_truth.hpp"

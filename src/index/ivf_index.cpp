@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <sstream>
+#include <stdexcept>
 #include <unordered_set>
 
 #include "cluster/kmeans.hpp"
@@ -17,7 +19,20 @@ namespace hermes {
 namespace index {
 
 namespace {
-constexpr std::uint32_t kIvfVersion = 2;
+
+/** Deterministic reconstruction of the coarse HNSW graph (cheap
+ *  relative to its serialized size, so it is never persisted). */
+void
+rebuildCoarseGraph(std::size_t dim, const vecstore::Matrix &centroids,
+                   std::unique_ptr<HnswIndex> &slot)
+{
+    HnswConfig hc;
+    hc.m = 16;
+    hc.ef_construction = 80;
+    slot = std::make_unique<HnswIndex>(dim, vecstore::Metric::L2, hc);
+    slot->addSequential(centroids);
+}
+
 } // namespace
 
 IvfIndex::IvfIndex(std::size_t dim, vecstore::Metric metric,
@@ -41,6 +56,7 @@ IvfIndex::suggestedNlist(std::size_t n)
 void
 IvfIndex::train(const vecstore::Matrix &data)
 {
+    assertMutable("train");
     HERMES_ASSERT(data.dim() == dim_, "train dim mismatch");
     HERMES_ASSERT(data.rows() >= config_.nlist,
                   "IVF training needs >= nlist points (", config_.nlist,
@@ -54,15 +70,8 @@ IvfIndex::train(const vecstore::Matrix &data)
     auto run = cluster::kmeans(data, km);
     centroids_ = std::move(run.centroids);
 
-    if (config_.hnsw_coarse) {
-        HnswConfig hc;
-        hc.m = 16;
-        hc.ef_construction = 80;
-        coarse_graph_ = std::make_unique<HnswIndex>(dim_,
-                                                    vecstore::Metric::L2,
-                                                    hc);
-        coarse_graph_->addSequential(centroids_);
-    }
+    if (config_.hnsw_coarse)
+        rebuildCoarseGraph(dim_, centroids_, coarse_graph_);
 
     codec_->train(data);
     trained_ = true;
@@ -88,6 +97,7 @@ IvfIndex::addImpl(const vecstore::Matrix &data,
                   const std::vector<vecstore::VecId> &ids,
                   util::ThreadPool *pool)
 {
+    assertMutable("add");
     HERMES_ASSERT(trained_, "IvfIndex::add before train");
     HERMES_ASSERT(data.rows() == ids.size(), "add: row/id count mismatch");
     HERMES_ASSERT(data.dim() == dim_, "add: dim mismatch");
@@ -195,14 +205,14 @@ IvfIndex::search(vecstore::VecView query, std::size_t k,
     for (const auto &candidate : probe) {
         if (candidate.score > prune_bound)
             break;
-        const auto &il = lists_[static_cast<std::size_t>(candidate.id)];
-        const std::size_t len = il.ids.size();
+        const ListRef il = listRef(static_cast<std::size_t>(candidate.id));
+        const std::size_t len = il.size;
         if (len > 0) {
             if (scan_scores.size() < len)
                 scan_scores.resize(len);
-            computer->scan(il.codes.data(), len, selector.worst(),
+            computer->scan(il.codes, len, selector.worst(),
                            scan_scores.data());
-            selector.pushBatch(il.ids.data(), scan_scores.data(), len);
+            selector.pushBatch(il.ids, scan_scores.data(), len);
         }
         scanned += len;
         ++probed;
@@ -309,7 +319,7 @@ IvfIndex::searchBatch(const vecstore::Matrix &queries, std::size_t k,
             if (candidate.score > prune_bound)
                 break;
             const std::size_t list = static_cast<std::size_t>(candidate.id);
-            const std::size_t len = lists_[list].ids.size();
+            const std::size_t len = listRef(list).size;
             seq.push_back({static_cast<std::uint32_t>(list), len, 0});
             bytes += len * sizeof(float);
         }
@@ -430,8 +440,8 @@ IvfIndex::searchBatch(const vecstore::Matrix &queries, std::size_t k,
             std::size_t e = s;
             while (e < subs.size() && subs[e].list == subs[s].list)
                 ++e;
-            const auto &il = lists_[subs[s].list];
-            const std::size_t len = il.ids.size();
+            const ListRef il = listRef(subs[s].list);
+            const std::size_t len = il.size;
             const std::size_t m = e - s;
             peer_ptrs.resize(m);
             out_ptrs.resize(m);
@@ -443,9 +453,8 @@ IvfIndex::searchBatch(const vecstore::Matrix &queries, std::size_t k,
                     buffer.data() +
                     probes[group_begin + sub.query][sub.rank].offset;
             }
-            peer_ptrs[0]->scanMulti(peer_ptrs.data(), m, il.codes.data(),
-                                    len, thresholds.data(),
-                                    out_ptrs.data());
+            peer_ptrs[0]->scanMulti(peer_ptrs.data(), m, il.codes, len,
+                                    thresholds.data(), out_ptrs.data());
             s = e;
         }
 
@@ -457,8 +466,7 @@ IvfIndex::searchBatch(const vecstore::Matrix &queries, std::size_t k,
             const auto &seq = probes[qi];
             for (const auto &entry : seq) {
                 if (entry.len > 0) {
-                    const auto &il = lists_[entry.list];
-                    selector.pushBatch(il.ids.data(),
+                    selector.pushBatch(listRef(entry.list).ids,
                                        buffer.data() + entry.offset,
                                        entry.len);
                 }
@@ -491,12 +499,52 @@ IvfIndex::searchBatch(const vecstore::Matrix &queries, std::size_t k,
 std::size_t
 IvfIndex::memoryBytes() const
 {
+    // Heap footprint only: a mapped index reports just its centroid
+    // copy here — the file-backed bytes show up in mappedBytes() /
+    // mappedResidentBytes() instead, because the page cache owns them
+    // and can drop them under pressure.
     std::size_t bytes = centroids_.memoryBytes();
     for (const auto &il : lists_) {
         bytes += il.ids.size() * sizeof(vecstore::VecId);
         bytes += il.codes.size();
     }
     return bytes;
+}
+
+std::size_t
+IvfIndex::mappedBytes() const
+{
+    return mapped_ ? mapped_->file.size() : 0;
+}
+
+std::size_t
+IvfIndex::mappedResidentBytes() const
+{
+    return mapped_ ? mapped_->file.residentBytes() : 0;
+}
+
+IvfIndex::ListRef
+IvfIndex::listRef(std::size_t list) const
+{
+    if (mapped_) {
+        const ivff::ListEntry &e = mapped_->table[list];
+        return {mapped_->ids + e.offset,
+                mapped_->codes + e.offset * mapped_->code_size,
+                static_cast<std::size_t>(e.count)};
+    }
+    const InvertedList &il = lists_[list];
+    return {il.ids.data(), il.codes.data(), il.ids.size()};
+}
+
+void
+IvfIndex::assertMutable(const char *op) const
+{
+    if (mapped_) {
+        throw std::logic_error(
+            std::string("IvfIndex::") + op +
+            ": index is a read-only mmap view (reopen with load() to "
+            "mutate)");
+    }
 }
 
 std::string
@@ -508,6 +556,7 @@ IvfIndex::name() const
 std::size_t
 IvfIndex::removeIds(const std::vector<vecstore::VecId> &ids)
 {
+    assertMutable("removeIds");
     std::unordered_set<vecstore::VecId> doomed(ids.begin(), ids.end());
     const std::size_t code_size = codec_->codeSize();
     std::size_t removed = 0;
@@ -541,74 +590,158 @@ IvfIndex::removeIds(const std::vector<vecstore::VecId> &ids)
 std::size_t
 IvfIndex::listSize(std::size_t list) const
 {
-    HERMES_ASSERT(list < lists_.size(), "listSize: bad list ", list);
-    return lists_[list].ids.size();
+    HERMES_ASSERT(list < config_.nlist, "listSize: bad list ", list);
+    return listRef(list).size;
 }
 
 void
 IvfIndex::save(const std::string &path) const
 {
-    util::BinaryWriter w(path, "HIVF", kIvfVersion);
-    w.write<std::uint64_t>(dim_);
-    w.write<std::uint8_t>(metric_ == vecstore::Metric::L2 ? 0 : 1);
-    w.write<std::uint64_t>(config_.nlist);
-    w.writeString(config_.codec);
-    w.write<std::uint8_t>(config_.hnsw_coarse ? 1 : 0);
-    w.write<std::uint8_t>(trained_ ? 1 : 0);
-    w.write<std::uint64_t>(ntotal_);
-    w.write<std::uint64_t>(centroids_.rows());
-    for (std::size_t i = 0; i < centroids_.rows(); ++i) {
-        auto row = centroids_.row(i);
-        std::vector<float> tmp(row.begin(), row.end());
-        w.writeVector(tmp);
+    // Codec parameters first: the blob's size is part of the layout.
+    std::ostringstream blob_stream;
+    {
+        util::BinaryWriter bw(blob_stream);
+        codec_->save(bw);
     }
-    codec_->save(w);
-    for (const auto &il : lists_) {
-        w.writeVector(il.ids);
-        w.writeVector(il.codes);
+    const std::string blob = blob_stream.str();
+
+    ivff::IndexMeta meta;
+    meta.metric = metric_;
+    meta.dim = dim_;
+    meta.nlist = config_.nlist;
+    meta.ntotal = ntotal_;
+    meta.code_size = codec_->codeSize();
+    meta.n_centroids = centroids_.rows();
+    meta.trained = trained_;
+    meta.hnsw_coarse = config_.hnsw_coarse;
+    meta.codec_spec = config_.codec;
+
+    std::vector<std::uint64_t> counts(config_.nlist);
+    for (std::size_t l = 0; l < config_.nlist; ++l)
+        counts[l] = listRef(l).size;
+
+    ivff::IndexFileWriter w(path, meta, counts, blob.size());
+    if (centroids_.rows() > 0) {
+        w.write(w.sectionOffset(ivff::kCentroids), centroids_.data(),
+                centroids_.rows() * dim_ * sizeof(float));
     }
-    HERMES_ASSERT(w.good(), "IVF save failed: ", path);
+    const std::uint64_t ids_base = w.sectionOffset(ivff::kIds);
+    const std::uint64_t codes_base = w.sectionOffset(ivff::kCodes);
+    const std::size_t code_size = codec_->codeSize();
+    const auto &table = w.table();
+    for (std::size_t l = 0; l < config_.nlist; ++l) {
+        const ListRef il = listRef(l);
+        if (il.size == 0)
+            continue;
+        w.write(ids_base + table[l].offset * sizeof(vecstore::VecId),
+                il.ids, il.size * sizeof(vecstore::VecId));
+        w.write(codes_base + table[l].offset * code_size, il.codes,
+                il.size * code_size);
+    }
+    if (!blob.empty())
+        w.write(w.sectionOffset(ivff::kCodecParams), blob.data(),
+                blob.size());
+    w.finish();
+}
+
+std::unique_ptr<IvfIndex>
+IvfIndex::fromParsed(const ivff::ParsedIndex &parsed,
+                     const std::string &path)
+{
+    const ivff::IndexMeta &meta = parsed.meta;
+    IvfConfig config;
+    config.nlist = static_cast<std::size_t>(meta.nlist);
+    config.codec = meta.codec_spec;
+    config.hnsw_coarse = meta.hnsw_coarse;
+
+    // makeCodec treats a bad spec as fatal; for bytes that came off
+    // disk it must be a typed rejection instead (a hostile file can
+    // carry any spec with recomputed checksums).
+    if (!quant::codecSpecValid(config.codec,
+                               static_cast<std::size_t>(meta.dim))) {
+        throw util::FormatError(util::FormatErrorCode::Corrupt,
+                                path + ": invalid codec spec '" +
+                                    config.codec + "'");
+    }
+    auto idx = std::make_unique<IvfIndex>(
+        static_cast<std::size_t>(meta.dim), meta.metric, config);
+    idx->trained_ = meta.trained;
+    idx->ntotal_ = static_cast<std::size_t>(meta.ntotal);
+
+    idx->centroids_ = vecstore::Matrix(idx->dim_);
+    if (meta.n_centroids > 0) {
+        // The only copied payload: nlist x dim floats, a rounding error
+        // next to the code sections, and centroids() must expose a
+        // Matrix anyway.
+        idx->centroids_.reserveRows(meta.n_centroids);
+        for (std::uint64_t i = 0; i < meta.n_centroids; ++i) {
+            idx->centroids_.append(vecstore::VecView(
+                parsed.centroids + i * meta.dim,
+                static_cast<std::size_t>(meta.dim)));
+        }
+    }
+
+    if (parsed.codec_blob == nullptr) {
+        throw util::FormatError(util::FormatErrorCode::Corrupt,
+                                path + ": missing codec parameters");
+    }
+    {
+        util::BinaryReader br(parsed.codec_blob, parsed.codec_blob_bytes,
+                              path + " (codec parameters)");
+        idx->codec_->load(br);
+    }
+    if (idx->codec_->codeSize() != meta.code_size) {
+        throw util::FormatError(
+            util::FormatErrorCode::Corrupt,
+            path + ": codec code size disagrees with header");
+    }
+    return idx;
 }
 
 std::unique_ptr<IvfIndex>
 IvfIndex::load(const std::string &path)
 {
-    util::BinaryReader r(path, "HIVF", kIvfVersion);
-    auto dim = r.read<std::uint64_t>();
-    auto metric = r.read<std::uint8_t>() == 0 ? vecstore::Metric::L2
-                                              : vecstore::Metric::InnerProduct;
-    IvfConfig config;
-    config.nlist = r.read<std::uint64_t>();
-    config.codec = r.readString();
-    config.hnsw_coarse = r.read<std::uint8_t>() != 0;
+    // One parser for both paths: load() maps the file just long enough
+    // to validate and copy it into heap-owned lists.
+    util::MmapFile file(path);
+    auto parsed = ivff::parseIndexFile(file);
+    auto idx = fromParsed(parsed, path);
+    const std::size_t code_size = idx->codec_->codeSize();
+    for (std::size_t l = 0; l < idx->config_.nlist; ++l) {
+        const ivff::ListEntry &e = parsed.list_table[l];
+        auto &il = idx->lists_[l];
+        il.ids.assign(parsed.ids + e.offset, parsed.ids + e.offset + e.count);
+        il.codes.assign(parsed.codes + e.offset * code_size,
+                        parsed.codes + (e.offset + e.count) * code_size);
+    }
+    if (idx->config_.hnsw_coarse && idx->trained_)
+        rebuildCoarseGraph(idx->dim_, idx->centroids_, idx->coarse_graph_);
+    return idx;
+}
 
-    auto idx = std::make_unique<IvfIndex>(static_cast<std::size_t>(dim),
-                                          metric, config);
-    idx->trained_ = r.read<std::uint8_t>() != 0;
-    idx->ntotal_ = r.read<std::uint64_t>();
-    auto n_centroids = r.read<std::uint64_t>();
-    idx->centroids_ = vecstore::Matrix(idx->dim_);
-    idx->centroids_.reserveRows(n_centroids);
-    for (std::uint64_t i = 0; i < n_centroids; ++i) {
-        auto row = r.readVector<float>();
-        idx->centroids_.append(
-            vecstore::VecView(row.data(), row.size()));
-    }
-    idx->codec_->load(r);
-    for (auto &il : idx->lists_) {
-        il.ids = r.readVector<vecstore::VecId>();
-        il.codes = r.readVector<std::uint8_t>();
-    }
-    if (config.hnsw_coarse && idx->trained_) {
-        // The centroid graph is cheap to rebuild relative to its
-        // serialized size; reconstruct it deterministically on load.
-        HnswConfig hc;
-        hc.m = 16;
-        hc.ef_construction = 80;
-        idx->coarse_graph_ = std::make_unique<HnswIndex>(
-            idx->dim_, vecstore::Metric::L2, hc);
-        idx->coarse_graph_->addSequential(idx->centroids_);
-    }
+std::unique_ptr<IvfIndex>
+IvfIndex::openMapped(const std::string &path)
+{
+    return openMapped(path, MmapOptions());
+}
+
+std::unique_ptr<IvfIndex>
+IvfIndex::openMapped(const std::string &path, const MmapOptions &options)
+{
+    util::MmapFile file(path);
+    auto parsed = ivff::parseIndexFile(file, options.verify_checksums);
+    auto idx = fromParsed(parsed, path);
+    // The parsed pointers target the mapping itself; moving the
+    // MmapFile moves ownership, not the mapped address, so they stay
+    // valid for the life of mapped_.
+    idx->mapped_ = std::make_unique<MappedState>(
+        MappedState{std::move(file), parsed.list_table, parsed.ids,
+                    parsed.codes,
+                    static_cast<std::size_t>(parsed.meta.code_size)});
+    if (options.prefault)
+        idx->mapped_->file.advise(util::MapAdvice::WillNeed);
+    if (idx->config_.hnsw_coarse && idx->trained_)
+        rebuildCoarseGraph(idx->dim_, idx->centroids_, idx->coarse_graph_);
     return idx;
 }
 

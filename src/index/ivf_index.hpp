@@ -15,7 +15,9 @@
 
 #include "index/ann_index.hpp"
 #include "index/hnsw_index.hpp"
+#include "index/ivf_format.hpp"
 #include "quant/codec.hpp"
+#include "util/mmap_file.hpp"
 
 namespace hermes {
 namespace index {
@@ -117,11 +119,69 @@ class IvfIndex : public AnnIndex
      */
     std::size_t removeIds(const std::vector<vecstore::VecId> &ids);
 
-    /** Persist the full index (codec parameters + lists) to @p path. */
+    /**
+     * Persist the full index in the v3 on-disk format (ivf_format.hpp):
+     * fixed header + 64-byte-aligned flat sections, checksummed, laid
+     * out so openMapped() can search it in place.
+     * @throws util::FormatError on IO failure.
+     */
     void save(const std::string &path) const;
 
-    /** Load an index previously written by save(). */
+    /**
+     * Load an index previously written by save() into heap-owned lists
+     * (the mutable path: the result accepts add/removeIds).
+     * @throws util::FormatError on a corrupt, truncated or alien file.
+     */
     static std::unique_ptr<IvfIndex> load(const std::string &path);
+
+    /** Options for openMapped(). */
+    struct MmapOptions
+    {
+        /**
+         * CRC every section before serving (one sequential pass over
+         * the file). Off, only the structural validation runs — the
+         * mode for >RAM datastores where eagerly faulting every page
+         * defeats the point of mapping.
+         */
+        bool verify_checksums = true;
+
+        /** madvise(WILLNEED) the mapping up front (warm restarts). */
+        bool prefault = false;
+    };
+
+    /**
+     * Open a saved index as a read-only view over an mmap of the file:
+     * inverted-list ids and codes are served straight from the mapped
+     * bytes (zero copies — only the small centroid block is
+     * materialized, and the HNSW coarse graph rebuilt when configured).
+     * Search results are bit-identical to load(); mutation entry points
+     * (train/add/removeIds) throw std::logic_error.
+     *
+     * Cold-start cost is O(validation), not O(data): pages fault in
+     * lazily as lists are scanned, and concurrent searchers may share
+     * one page cache across processes.
+     * @throws util::FormatError on a corrupt, truncated or alien file.
+     */
+    static std::unique_ptr<IvfIndex> openMapped(const std::string &path,
+                                                const MmapOptions &options);
+
+    /** openMapped() with default options (checksums verified). */
+    static std::unique_ptr<IvfIndex> openMapped(const std::string &path);
+
+    /** True when this index serves from a mapped file (openMapped). */
+    bool isMapped() const { return mapped_ != nullptr; }
+
+    /** Bytes of the backing mapping (0 when not mapped). */
+    std::size_t mappedBytes() const;
+
+    /** Memory-resident bytes of the backing mapping (mincore). */
+    std::size_t mappedResidentBytes() const;
+
+    /** The vector codec (read-only; used by the streaming builder). */
+    const quant::Codec &codec() const { return *codec_; }
+
+    /** Construction parameters. */
+    const IvfConfig &config() const { return config_; }
 
     /**
      * Suggested nlist for a datastore of @p n vectors: the paper uses
@@ -140,6 +200,36 @@ class IvfIndex : public AnnIndex
         std::vector<std::uint8_t> codes; // ids.size() * codeSize bytes
     };
 
+    /**
+     * Borrowed view of one inverted list — points into either the
+     * heap-owned lists_ or the mapped file. Every reader goes through
+     * this so the scan kernels are storage-agnostic.
+     */
+    struct ListRef
+    {
+        const vecstore::VecId *ids;
+        const std::uint8_t *codes;
+        std::size_t size;
+    };
+    ListRef listRef(std::size_t list) const;
+
+    /** Mapped-mode state: the mapping plus typed views into it. */
+    struct MappedState
+    {
+        util::MmapFile file;
+        const ivff::ListEntry *table;
+        const vecstore::VecId *ids;
+        const std::uint8_t *codes;
+        std::size_t code_size;
+    };
+
+    /** Throws std::logic_error when this index is a mapped view. */
+    void assertMutable(const char *op) const;
+
+    /** Shared header->index construction for load()/openMapped(). */
+    static std::unique_ptr<IvfIndex>
+    fromParsed(const ivff::ParsedIndex &parsed, const std::string &path);
+
     std::size_t dim_;
     vecstore::Metric metric_;
     IvfConfig config_;
@@ -149,6 +239,7 @@ class IvfIndex : public AnnIndex
     std::unique_ptr<quant::Codec> codec_;
     std::unique_ptr<HnswIndex> coarse_graph_; ///< set when hnsw_coarse
     std::vector<InvertedList> lists_;
+    std::unique_ptr<MappedState> mapped_; ///< set by openMapped()
 };
 
 } // namespace index

@@ -179,6 +179,19 @@ inline constexpr const char *kProcessCpuSystemSeconds =
 inline constexpr const char *kProcessThreads = "process.threads";
 inline constexpr const char *kProcessUptimeSeconds =
     "process.uptime_seconds";
+/** Cumulative page faults serviced without IO (getrusage ru_minflt). */
+inline constexpr const char *kProcessMinorFaults = "process.minor_faults";
+/** Cumulative page faults that required IO (getrusage ru_majflt) — the
+ *  cost signal of scanning an mmap-backed datastore beyond RAM. */
+inline constexpr const char *kProcessMajorFaults = "process.major_faults";
+
+// --- mmap-backed datastore (util/mmap_file.cpp) --------------------------
+// Minted lazily on the first successful mapping; a process that never
+// maps an index exports neither series.
+/** Total bytes of live read-only index mappings. */
+inline constexpr const char *kMmapMappedBytes = "mmap.mapped_bytes";
+/** Bytes of those mappings currently memory-resident (mincore). */
+inline constexpr const char *kMmapResidentBytes = "mmap.resident_bytes";
 
 } // namespace names
 } // namespace obs

@@ -3,6 +3,8 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <mutex>
+#include <vector>
 
 #include <sys/resource.h>
 #include <unistd.h>
@@ -65,6 +67,33 @@ readThreadCount(ProcessStats &stats)
 
 #endif // __linux__
 
+/** Scrape hooks: registered once, run on every gauge refresh. */
+std::mutex &
+hookMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+std::vector<std::function<void()>> &
+hookList()
+{
+    static std::vector<std::function<void()>> hooks;
+    return hooks;
+}
+
+void
+runScrapeHooks()
+{
+    std::vector<std::function<void()>> hooks;
+    {
+        std::lock_guard<std::mutex> lock(hookMutex());
+        hooks = hookList();
+    }
+    for (const auto &hook : hooks)
+        hook();
+}
+
 } // namespace
 
 ProcessStats
@@ -75,6 +104,8 @@ readProcessStats()
     if (getrusage(RUSAGE_SELF, &usage) == 0) {
         stats.cpu_user_seconds = timevalSeconds(usage.ru_utime);
         stats.cpu_system_seconds = timevalSeconds(usage.ru_stime);
+        stats.minor_faults = static_cast<double>(usage.ru_minflt);
+        stats.major_faults = static_cast<double>(usage.ru_majflt);
         stats.valid = true;
     }
 #ifdef __linux__
@@ -108,12 +139,22 @@ updateProcessGauges(Registry &registry)
     registry.gauge(names::kProcessThreads)
         .set(static_cast<double>(stats.threads));
     registry.gauge(names::kProcessUptimeSeconds).set(stats.uptime_seconds);
+    registry.gauge(names::kProcessMinorFaults).set(stats.minor_faults);
+    registry.gauge(names::kProcessMajorFaults).set(stats.major_faults);
+    runScrapeHooks();
 }
 
 void
 updateProcessGauges()
 {
     updateProcessGauges(Registry::instance());
+}
+
+void
+addScrapeHook(std::function<void()> hook)
+{
+    std::lock_guard<std::mutex> lock(hookMutex());
+    hookList().push_back(std::move(hook));
 }
 
 } // namespace obs

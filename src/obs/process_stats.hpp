@@ -12,6 +12,8 @@
 
 #pragma once
 
+#include <functional>
+
 namespace hermes {
 namespace obs {
 
@@ -38,6 +40,13 @@ struct ProcessStats
     /** Seconds since the first process-stats reading. */
     double uptime_seconds = 0.0;
 
+    /** Minor page faults — serviced from the page cache (getrusage). */
+    double minor_faults = 0.0;
+
+    /** Major page faults — required real IO (getrusage); the signal
+     *  that an mmap-scanned datastore has outgrown memory. */
+    double major_faults = 0.0;
+
     /** False when even getrusage failed. */
     bool valid = false;
 };
@@ -50,6 +59,15 @@ void updateProcessGauges(Registry &registry);
 
 /** Refresh the process.* gauges in the process-wide registry. */
 void updateProcessGauges();
+
+/**
+ * Register a callback run by every updateProcessGauges() call (i.e. on
+ * every exporter scrape), so lower layers can refresh their own gauges
+ * without the obs layer depending on them. util/mmap_file.cpp uses
+ * this for the mapping-residency gauges. Hooks must be cheap and
+ * thread-safe; they are never unregistered.
+ */
+void addScrapeHook(std::function<void()> hook);
 
 } // namespace obs
 } // namespace hermes

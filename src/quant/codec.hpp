@@ -134,5 +134,13 @@ class Codec
  */
 std::unique_ptr<Codec> makeCodec(const std::string &spec, std::size_t dim);
 
+/**
+ * True when makeCodec(spec, dim) would succeed. makeCodec treats a bad
+ * spec as a fatal programming error; callers deserializing untrusted
+ * bytes (index/ivf_format) must gate on this first so a hostile file
+ * produces a typed format error instead of process death.
+ */
+bool codecSpecValid(const std::string &spec, std::size_t dim);
+
 } // namespace quant
 } // namespace hermes

@@ -56,6 +56,30 @@ DistanceComputer::scanMulti(const DistanceComputer *const *peers,
         peers[q]->scan(codes, n, thresholds[q], out[q]);
 }
 
+bool
+codecSpecValid(const std::string &spec, std::size_t dim)
+{
+    if (dim == 0)
+        return false;
+    if (spec == "Flat" || spec == "SQ8" || spec == "SQ4")
+        return true;
+    std::size_t prefix_len = 0;
+    if (spec.rfind("OPQ", 0) == 0)
+        prefix_len = 3;
+    else if (spec.rfind("PQ", 0) == 0)
+        prefix_len = 2;
+    else
+        return false;
+    if (spec.size() <= prefix_len)
+        return false;
+    char *end = nullptr;
+    long m = std::strtol(spec.c_str() + prefix_len, &end, 10);
+    if (end == nullptr || *end != '\0' || m <= 0)
+        return false;
+    // Mirrors the PqCodec/OpqCodec constructor contract.
+    return dim % static_cast<std::size_t>(m) == 0;
+}
+
 std::unique_ptr<Codec>
 makeCodec(const std::string &spec, std::size_t dim)
 {

@@ -104,7 +104,9 @@ void
 FlatCodec::load(util::BinaryReader &r)
 {
     auto dim = r.read<std::uint64_t>();
-    HERMES_ASSERT(dim == dim_, "FlatCodec dim mismatch on load");
+    if (dim != dim_)
+        r.fail(util::FormatErrorCode::Corrupt,
+               "FlatCodec dim mismatch on load");
 }
 
 } // namespace quant

@@ -167,9 +167,14 @@ void
 OpqCodec::load(util::BinaryReader &r)
 {
     auto dim = r.read<std::uint64_t>();
-    HERMES_ASSERT(dim == dim_, "OpqCodec dim mismatch on load");
+    if (dim != dim_)
+        r.fail(util::FormatErrorCode::Corrupt,
+               "OpqCodec dim mismatch on load");
     trained_ = r.read<std::uint8_t>() != 0;
     rotation_ = r.readVector<float>();
+    if (trained_ && rotation_.size() != dim_ * dim_)
+        r.fail(util::FormatErrorCode::Corrupt,
+               "OpqCodec rotation matrix has the wrong size");
     pq_.load(r);
 }
 

@@ -254,9 +254,15 @@ PqCodec::load(util::BinaryReader &r)
 {
     auto dim = r.read<std::uint64_t>();
     auto m = r.read<std::uint64_t>();
-    HERMES_ASSERT(dim == dim_ && m == m_, "PqCodec shape mismatch on load");
+    if (dim != dim_ || m != m_)
+        r.fail(util::FormatErrorCode::Corrupt,
+               "PqCodec shape mismatch on load");
     trained_ = r.read<std::uint8_t>() != 0;
     codebooks_ = r.readVector<float>();
+    // m_ sub-codebooks of kSubCodebookSize centroids of dim_/m_ floats.
+    if (trained_ && codebooks_.size() != kSubCodebookSize * dim_)
+        r.fail(util::FormatErrorCode::Corrupt,
+               "PqCodec codebooks have the wrong size");
 }
 
 } // namespace quant

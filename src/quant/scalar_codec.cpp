@@ -255,11 +255,15 @@ ScalarCodec::load(util::BinaryReader &r)
 {
     auto dim = r.read<std::uint64_t>();
     auto bits = r.read<std::int32_t>();
-    HERMES_ASSERT(dim == dim_ && bits == bits_,
-                  "ScalarCodec shape mismatch on load");
+    if (dim != dim_ || bits != bits_)
+        r.fail(util::FormatErrorCode::Corrupt,
+               "ScalarCodec shape mismatch on load");
     trained_ = r.read<std::uint8_t>() != 0;
     vmin_ = r.readVector<float>();
     vdiff_ = r.readVector<float>();
+    if (trained_ && (vmin_.size() != dim_ || vdiff_.size() != dim_))
+        r.fail(util::FormatErrorCode::Corrupt,
+               "ScalarCodec range tables have the wrong size");
 }
 
 } // namespace quant

@@ -1,0 +1,221 @@
+#include "util/mmap_file.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "obs/metric_names.hpp"
+#include "obs/metrics.hpp"
+#include "obs/process_stats.hpp"
+#include "util/serialize.hpp"
+
+namespace hermes {
+namespace util {
+
+namespace {
+
+/** Process-wide table of live mappings, for the obs residency gauges. */
+std::mutex g_map_mutex;
+std::set<const MmapFile *> g_mappings;
+
+/** Refresh the mmap.* gauges; runs on every exporter scrape. */
+void
+updateMmapGauges()
+{
+    auto &registry = obs::Registry::instance();
+    registry.gauge(obs::names::kMmapMappedBytes)
+        .set(static_cast<double>(MmapFile::totalMappedBytes()));
+    registry.gauge(obs::names::kMmapResidentBytes)
+        .set(static_cast<double>(MmapFile::totalResidentBytes()));
+}
+
+/**
+ * The gauges are minted lazily, on the first successful map: a process
+ * that never maps an index exports no mmap.* series and stays
+ * bit-identical to pre-mmap builds.
+ */
+void
+armScrapeHook()
+{
+    static std::once_flag once;
+    std::call_once(once, [] {
+        obs::addScrapeHook(&updateMmapGauges);
+        updateMmapGauges();
+    });
+}
+
+} // namespace
+
+MmapFile::MmapFile(const std::string &path) : path_(path)
+{
+    int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) {
+        throw FormatError(FormatErrorCode::Io,
+                          "cannot open for mapping: " + path);
+    }
+    struct stat st{};
+    if (::fstat(fd, &st) != 0) {
+        ::close(fd);
+        throw FormatError(FormatErrorCode::Io, "cannot stat: " + path);
+    }
+    size_ = static_cast<std::size_t>(st.st_size);
+    if (size_ > 0) {
+        void *p = ::mmap(nullptr, size_, PROT_READ, MAP_SHARED, fd, 0);
+        if (p == MAP_FAILED) {
+            ::close(fd);
+            size_ = 0;
+            throw FormatError(FormatErrorCode::Io, "mmap failed: " + path);
+        }
+        data_ = static_cast<const std::uint8_t *>(p);
+    }
+    // The fd is not needed once mapped; the mapping keeps the file alive.
+    ::close(fd);
+    registerSelf();
+    armScrapeHook();
+}
+
+MmapFile::~MmapFile() { reset(); }
+
+MmapFile::MmapFile(MmapFile &&other) noexcept
+    : data_(other.data_), size_(other.size_), path_(std::move(other.path_))
+{
+    if (other.data_ != nullptr || other.size_ == 0) {
+        std::lock_guard<std::mutex> lock(g_map_mutex);
+        g_mappings.erase(&other);
+        if (data_ != nullptr)
+            g_mappings.insert(this);
+    }
+    other.data_ = nullptr;
+    other.size_ = 0;
+}
+
+MmapFile &
+MmapFile::operator=(MmapFile &&other) noexcept
+{
+    if (this != &other) {
+        reset();
+        data_ = other.data_;
+        size_ = other.size_;
+        path_ = std::move(other.path_);
+        {
+            std::lock_guard<std::mutex> lock(g_map_mutex);
+            g_mappings.erase(&other);
+            if (data_ != nullptr)
+                g_mappings.insert(this);
+        }
+        other.data_ = nullptr;
+        other.size_ = 0;
+    }
+    return *this;
+}
+
+void
+MmapFile::reset()
+{
+    if (data_ != nullptr) {
+        unregisterSelf();
+        ::munmap(const_cast<std::uint8_t *>(data_), size_);
+        data_ = nullptr;
+    }
+    size_ = 0;
+}
+
+void
+MmapFile::advise(MapAdvice advice) const
+{
+    if (data_ == nullptr)
+        return;
+    int flag = MADV_NORMAL;
+    switch (advice) {
+    case MapAdvice::Normal:
+        flag = MADV_NORMAL;
+        break;
+    case MapAdvice::Sequential:
+        flag = MADV_SEQUENTIAL;
+        break;
+    case MapAdvice::Random:
+        flag = MADV_RANDOM;
+        break;
+    case MapAdvice::WillNeed:
+        flag = MADV_WILLNEED;
+        break;
+    case MapAdvice::DontNeed:
+        flag = MADV_DONTNEED;
+        break;
+    }
+    // Best effort: a kernel that refuses the hint changes nothing
+    // about correctness.
+    (void)::madvise(const_cast<std::uint8_t *>(data_), size_, flag);
+}
+
+std::size_t
+MmapFile::residentBytes() const
+{
+    if (data_ == nullptr || size_ == 0)
+        return 0;
+    const std::size_t page =
+        static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+    const std::size_t npages = (size_ + page - 1) / page;
+    // Walk in bounded chunks so a terabyte mapping does not need a
+    // terabyte/page vector.
+    constexpr std::size_t kChunkPages = std::size_t(1) << 20;
+    std::vector<unsigned char> vec(std::min(npages, kChunkPages));
+    std::size_t resident_pages = 0;
+    for (std::size_t base = 0; base < npages; base += kChunkPages) {
+        const std::size_t chunk = std::min(kChunkPages, npages - base);
+        const std::size_t len =
+            std::min(chunk * page, size_ - base * page);
+        void *addr = const_cast<std::uint8_t *>(data_) + base * page;
+        if (::mincore(addr, len, vec.data()) != 0) {
+            return size_; // kernel cannot answer: assume resident
+        }
+        for (std::size_t i = 0; i < chunk; ++i)
+            resident_pages += vec[i] & 1;
+    }
+    return std::min(resident_pages * page, size_);
+}
+
+void
+MmapFile::registerSelf()
+{
+    if (data_ == nullptr)
+        return;
+    std::lock_guard<std::mutex> lock(g_map_mutex);
+    g_mappings.insert(this);
+}
+
+void
+MmapFile::unregisterSelf()
+{
+    std::lock_guard<std::mutex> lock(g_map_mutex);
+    g_mappings.erase(this);
+}
+
+std::uint64_t
+MmapFile::totalMappedBytes()
+{
+    std::lock_guard<std::mutex> lock(g_map_mutex);
+    std::uint64_t total = 0;
+    for (const auto *m : g_mappings)
+        total += m->size();
+    return total;
+}
+
+std::uint64_t
+MmapFile::totalResidentBytes()
+{
+    std::lock_guard<std::mutex> lock(g_map_mutex);
+    std::uint64_t total = 0;
+    for (const auto *m : g_mappings)
+        total += m->residentBytes();
+    return total;
+}
+
+} // namespace util
+} // namespace hermes

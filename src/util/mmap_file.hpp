@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Read-only memory-mapped file with process-wide accounting.
+ *
+ * The v3 index format is opened through this wrapper: the searcher's
+ * inverted lists become offset+length views into the mapping, so scan
+ * kernels stream codes straight off the page cache with zero copies and
+ * a shard cold start is one open+mmap instead of minutes of re-training.
+ *
+ * Every live mapping is registered in a process-wide table so the
+ * observability layer can export how much of the datastore is actually
+ * memory-resident (mincore) next to the page-fault counters — the
+ * signals that make the >RAM serving regime visible.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace hermes {
+namespace util {
+
+/** Access-pattern hints forwarded to madvise(2). */
+enum class MapAdvice {
+    Normal,
+    Sequential, ///< prefetch aggressively, drop behind
+    Random,     ///< disable readahead
+    WillNeed,   ///< asynchronously page the whole mapping in
+    DontNeed,   ///< drop resident pages (cold-start benchmarking)
+};
+
+/**
+ * Move-only RAII mapping of a whole file, opened read-only + MAP_SHARED
+ * so mapped bytes are backed by the page cache, never private copies.
+ */
+class MmapFile
+{
+  public:
+    /** Empty (invalid) mapping. */
+    MmapFile() = default;
+
+    /**
+     * Map @p path read-only.
+     * @throws FormatError (code Io) when open/stat/mmap fails.
+     * A zero-length file maps successfully with size() == 0.
+     */
+    explicit MmapFile(const std::string &path);
+
+    ~MmapFile();
+
+    MmapFile(MmapFile &&other) noexcept;
+    MmapFile &operator=(MmapFile &&other) noexcept;
+    MmapFile(const MmapFile &) = delete;
+    MmapFile &operator=(const MmapFile &) = delete;
+
+    /** True when a file is mapped. */
+    bool valid() const { return data_ != nullptr; }
+
+    /** First mapped byte (nullptr when invalid or empty). */
+    const std::uint8_t *data() const { return data_; }
+
+    /** Mapped length in bytes. */
+    std::size_t size() const { return size_; }
+
+    /** Path the mapping was opened from. */
+    const std::string &path() const { return path_; }
+
+    /** Forward an access-pattern hint to the kernel (best effort). */
+    void advise(MapAdvice advice) const;
+
+    /**
+     * Bytes of this mapping currently resident in memory, via
+     * mincore(2) in bounded chunks. Returns size() when the kernel
+     * cannot answer (best effort, never fails).
+     */
+    std::size_t residentBytes() const;
+
+    /** Unmap now (idempotent; the destructor calls it). */
+    void reset();
+
+    /** Sum of size() over every live MmapFile in the process. */
+    static std::uint64_t totalMappedBytes();
+
+    /** Sum of residentBytes() over every live MmapFile. */
+    static std::uint64_t totalResidentBytes();
+
+  private:
+    void registerSelf();
+    void unregisterSelf();
+
+    const std::uint8_t *data_ = nullptr;
+    std::size_t size_ = 0;
+    std::string path_;
+};
+
+} // namespace util
+} // namespace hermes

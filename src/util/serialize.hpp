@@ -4,12 +4,22 @@
  *
  * Format: little-endian, length-prefixed, with a per-archive magic + version
  * header so stale files fail loudly instead of deserializing garbage.
+ *
+ * Two failure disciplines coexist:
+ *  - File-backed readers opened with the (path, magic, version) ctor keep
+ *    the historical fatal-on-corruption behavior (a CLI tool pointed at a
+ *    bad file should exit with a clean message).
+ *  - Memory-backed readers (used to parse untrusted sections of the v3
+ *    mmap index format) throw a typed FormatError instead, so a serving
+ *    process can reject a corrupt file and keep running.
  */
 
 #pragma once
 
 #include <cstdint>
 #include <fstream>
+#include <sstream>
+#include <stdexcept>
 #include <string>
 #include <type_traits>
 #include <vector>
@@ -18,6 +28,45 @@
 
 namespace hermes {
 namespace util {
+
+/** What exactly a reader rejected about a malformed artifact. */
+enum class FormatErrorCode {
+    Io,        ///< open / stat / map failed
+    BadMagic,  ///< wrong magic tag
+    BadVersion,///< unsupported format version
+    Truncated, ///< file ends before the structure it promises
+    Corrupt,   ///< internal inconsistency (bounds, counts, padding)
+    Checksum,  ///< stored checksum does not match the bytes
+};
+
+/** Human-readable name of a FormatErrorCode. */
+const char *formatErrorCodeName(FormatErrorCode code);
+
+/**
+ * Typed rejection of a malformed on-disk artifact. Thrown (never fatal)
+ * by the memory-backed reader and the v3 index parser, so callers can
+ * refuse one bad file without taking the process down.
+ */
+class FormatError : public std::runtime_error
+{
+  public:
+    FormatError(FormatErrorCode code, const std::string &what)
+        : std::runtime_error(what), code_(code)
+    {
+    }
+
+    FormatErrorCode code() const { return code_; }
+
+  private:
+    FormatErrorCode code_;
+};
+
+/**
+ * CRC-32 (IEEE 802.3 polynomial, the zlib crc32) of @p n bytes.
+ * Feed the previous return value as @p seed to checksum in chunks.
+ */
+std::uint32_t crc32(const void *data, std::size_t n,
+                    std::uint32_t seed = 0);
 
 /** Streaming binary writer. */
 class BinaryWriter
@@ -31,13 +80,20 @@ class BinaryWriter
     BinaryWriter(const std::string &path, const std::string &magic,
                  std::uint32_t version);
 
+    /**
+     * Write to an externally-owned stream with no archive header —
+     * used to serialize sub-structures (codec parameter blobs) into a
+     * section of a containing format. @p out must outlive the writer.
+     */
+    explicit BinaryWriter(std::ostream &out);
+
     /** Write one trivially-copyable value. */
     template <typename T>
     void
     write(const T &value)
     {
         static_assert(std::is_trivially_copyable_v<T>);
-        out_.write(reinterpret_cast<const char *>(&value), sizeof(T));
+        out_->write(reinterpret_cast<const char *>(&value), sizeof(T));
     }
 
     /** Write a length-prefixed vector of trivially-copyable elements. */
@@ -48,8 +104,8 @@ class BinaryWriter
         static_assert(std::is_trivially_copyable_v<T>);
         write<std::uint64_t>(v.size());
         if (!v.empty()) {
-            out_.write(reinterpret_cast<const char *>(v.data()),
-                       static_cast<std::streamsize>(v.size() * sizeof(T)));
+            out_->write(reinterpret_cast<const char *>(v.data()),
+                        static_cast<std::streamsize>(v.size() * sizeof(T)));
         }
     }
 
@@ -57,10 +113,11 @@ class BinaryWriter
     void writeString(const std::string &s);
 
     /** True if all writes so far succeeded. */
-    bool good() const { return out_.good(); }
+    bool good() const { return out_->good(); }
 
   private:
-    std::ofstream out_;
+    std::ofstream file_;
+    std::ostream *out_;
 };
 
 /** Streaming binary reader that validates the archive header. */
@@ -73,6 +130,13 @@ class BinaryReader
     BinaryReader(const std::string &path, const std::string &magic,
                  std::uint32_t expected_version);
 
+    /**
+     * Read from an in-memory buffer with no archive header (the
+     * counterpart of BinaryWriter(std::ostream&)). Corruption throws
+     * FormatError instead of terminating. @p name labels errors.
+     */
+    BinaryReader(const void *data, std::size_t size, std::string name);
+
     /** Read one trivially-copyable value. */
     template <typename T>
     T
@@ -80,8 +144,9 @@ class BinaryReader
     {
         static_assert(std::is_trivially_copyable_v<T>);
         T value{};
-        in_.read(reinterpret_cast<char *>(&value), sizeof(T));
-        HERMES_ASSERT(in_.good(), "truncated archive");
+        in_->read(reinterpret_cast<char *>(&value), sizeof(T));
+        if (!in_->good())
+            fail(FormatErrorCode::Truncated, "truncated archive");
         return value;
     }
 
@@ -100,16 +165,19 @@ class BinaryReader
         // Divide rather than multiply so a hostile prefix cannot
         // overflow the byte count.
         if (n > remainingBytes() / sizeof(T)) {
-            HERMES_FATAL("corrupt archive ", path_, ": vector length ", n,
-                         " (", sizeof(T), "-byte elements) exceeds the ",
-                         remainingBytes(), " bytes left in the file");
+            fail(FormatErrorCode::Corrupt,
+                 detail::concat("vector length ", n, " (", sizeof(T),
+                                "-byte elements) exceeds the ",
+                                remainingBytes(),
+                                " bytes left in the file"));
         }
         std::vector<T> v(n);
         if (n) {
-            in_.read(reinterpret_cast<char *>(v.data()),
-                     static_cast<std::streamsize>(n * sizeof(T)));
-            HERMES_ASSERT(in_.good(), "truncated archive vector in ",
-                          path_);
+            in_->read(reinterpret_cast<char *>(v.data()),
+                      static_cast<std::streamsize>(n * sizeof(T)));
+            if (!in_->good())
+                fail(FormatErrorCode::Truncated,
+                     "truncated archive vector");
         }
         return v;
     }
@@ -120,10 +188,19 @@ class BinaryReader
     /** Bytes between the current read position and end of file. */
     std::uint64_t remainingBytes();
 
+    /**
+     * Reject the archive: throws FormatError in memory mode, fatals
+     * with the historical message in file mode. [[noreturn]].
+     */
+    [[noreturn]] void fail(FormatErrorCode code, const std::string &msg);
+
   private:
-    std::ifstream in_;
+    std::ifstream file_;
+    std::istringstream mem_;
+    std::istream *in_;
     std::string path_;
     std::uint64_t file_size_ = 0;
+    bool throw_on_error_ = false;
 };
 
 } // namespace util

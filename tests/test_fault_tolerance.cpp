@@ -521,9 +521,13 @@ TEST(CorruptArchive, TruncatedIndexFileIsRejectedOnLoad)
     auto full = std::filesystem::file_size(path);
     std::filesystem::resize_file(path, full / 2);
 
-    // Dies cleanly (fatal "corrupt archive" or panic "truncated
-    // archive") instead of a huge allocation or garbage index.
-    EXPECT_DEATH((void)index::IvfIndex::load(path.string()), "archive");
+    // Typed rejection (v3 format): a serving process refuses the bad
+    // file and keeps running — no huge allocation, no garbage index,
+    // no process death.
+    EXPECT_THROW((void)index::IvfIndex::load(path.string()),
+                 util::FormatError);
+    EXPECT_THROW((void)index::IvfIndex::openMapped(path.string()),
+                 util::FormatError);
     std::filesystem::remove(path);
 }
 

@@ -1,0 +1,431 @@
+/**
+ * @file
+ * Zero-copy mmap datastore tests: bit-parity between in-memory, heap
+ * reloaded and mmap-opened indices across every codec and both SIMD
+ * arms; adversarial rejection of every truncation prefix and every
+ * single-bit flip; read-only semantics; concurrent readers over one
+ * shared mapping; and byte-identity of the bounded-memory stream
+ * writer against save().
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "index/ivf_index.hpp"
+#include "index/ivf_stream_writer.hpp"
+#include "util/serialize.hpp"
+#include "util/threadpool.hpp"
+#include "vecstore/simd_dispatch.hpp"
+#include "workload/corpus.hpp"
+
+namespace {
+
+using namespace hermes;
+using namespace hermes::index;
+using hermes::vecstore::Matrix;
+using hermes::vecstore::Metric;
+
+struct TestData
+{
+    Matrix base{0};
+    Matrix queries{0};
+};
+
+const TestData &
+sharedData()
+{
+    static TestData data = [] {
+        workload::CorpusConfig cc;
+        cc.num_docs = 3000;
+        cc.dim = 24; // divisible by 4 so PQ4/OPQ4 are legal
+        cc.num_topics = 12;
+        cc.seed = 17;
+        auto corpus = workload::generateCorpus(cc);
+
+        workload::QueryConfig qc;
+        qc.num_queries = 32;
+        qc.seed = 18;
+        auto queries = workload::generateQueries(corpus, qc);
+
+        TestData out;
+        out.base = std::move(corpus.embeddings);
+        out.queries = std::move(queries.embeddings);
+        return out;
+    }();
+    return data;
+}
+
+std::filesystem::path
+tempIndexPath(const std::string &tag)
+{
+    return std::filesystem::temp_directory_path() /
+           ("hermes_mmap_" + tag + ".hivf");
+}
+
+/** Restores the startup dispatch arm when a test returns. */
+class IsaGuard
+{
+  public:
+    IsaGuard() : name_(vecstore::simd::activeIsa()) {}
+    ~IsaGuard() { vecstore::simd::forceIsaForTesting(name_.c_str()); }
+
+  private:
+    std::string name_;
+};
+
+std::vector<std::uint8_t>
+readFile(const std::filesystem::path &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good());
+    return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in),
+                                     std::istreambuf_iterator<char>());
+}
+
+void
+writeFile(const std::filesystem::path &path,
+          const std::vector<std::uint8_t> &bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char *>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    ASSERT_TRUE(out.good());
+}
+
+/** Build a trained, populated index over the shared corpus. */
+IvfIndex
+buildIndex(const std::string &codec, Metric metric,
+           bool hnsw_coarse = false)
+{
+    const auto &data = sharedData();
+    IvfConfig config;
+    config.nlist = 16;
+    config.codec = codec;
+    config.hnsw_coarse = hnsw_coarse;
+    IvfIndex ivf(data.base.dim(), metric, config);
+    ivf.train(data.base);
+    ivf.addSequential(data.base);
+    return ivf;
+}
+
+/**
+ * The tentpole invariant: searches through the mmap view are
+ * bit-identical (ids AND float scores, exact ==) to the in-memory
+ * index, for per-query search and the forced list-major batch path.
+ */
+void
+expectSearchParity(const IvfIndex &expect, const IvfIndex &got)
+{
+    const auto &data = sharedData();
+    const std::size_t k = 10;
+
+    SearchParams params;
+    params.nprobe = 8;
+    for (std::size_t q = 0; q < data.queries.rows(); ++q) {
+        auto a = expect.search(data.queries.row(q), k, params);
+        auto b = got.search(data.queries.row(q), k, params);
+        ASSERT_EQ(a, b) << "per-query drift at query " << q;
+    }
+
+    // Force the list-major multi-query kernel so the mapped bytes run
+    // through scanMulti as well as scan.
+    params.batch_min_scan_floats = 0;
+    std::vector<SearchStats> stats_a;
+    std::vector<SearchStats> stats_b;
+    auto batch_a = expect.searchBatch(data.queries, k, params, &stats_a);
+    auto batch_b = got.searchBatch(data.queries, k, params, &stats_b);
+    ASSERT_EQ(batch_a, batch_b);
+    ASSERT_EQ(stats_a.size(), stats_b.size());
+    for (std::size_t q = 0; q < stats_a.size(); ++q) {
+        EXPECT_EQ(stats_a[q].vectors_scanned, stats_b[q].vectors_scanned);
+        EXPECT_EQ(stats_a[q].bytes_scanned, stats_b[q].bytes_scanned);
+    }
+}
+
+void
+runParity(const std::string &codec, Metric metric, const char *isa)
+{
+    IsaGuard guard;
+    if (!vecstore::simd::forceIsaForTesting(isa))
+        GTEST_SKIP() << isa << " arm unavailable";
+
+    auto built = buildIndex(codec, metric);
+    auto path = tempIndexPath(codec + (metric == Metric::L2 ? "_l2" : "_ip") +
+                              "_" + isa);
+    built.save(path.string());
+
+    auto heap = IvfIndex::load(path.string());
+    auto mapped = IvfIndex::openMapped(path.string());
+    ASSERT_FALSE(heap->isMapped());
+    ASSERT_TRUE(mapped->isMapped());
+    EXPECT_EQ(mapped->size(), built.size());
+
+    expectSearchParity(built, *heap);
+    expectSearchParity(built, *mapped);
+    std::filesystem::remove(path);
+}
+
+TEST(MmapParity, FlatScalar) { runParity("Flat", Metric::L2, "scalar"); }
+TEST(MmapParity, FlatAvx2) { runParity("Flat", Metric::L2, "avx2"); }
+TEST(MmapParity, Sq8Scalar) { runParity("SQ8", Metric::L2, "scalar"); }
+TEST(MmapParity, Sq8Avx2) { runParity("SQ8", Metric::L2, "avx2"); }
+TEST(MmapParity, Sq4Scalar) { runParity("SQ4", Metric::L2, "scalar"); }
+TEST(MmapParity, Sq4Avx2) { runParity("SQ4", Metric::L2, "avx2"); }
+TEST(MmapParity, Pq4Scalar) { runParity("PQ4", Metric::L2, "scalar"); }
+TEST(MmapParity, Pq4Avx2) { runParity("PQ4", Metric::L2, "avx2"); }
+TEST(MmapParity, Opq4Scalar) { runParity("OPQ4", Metric::L2, "scalar"); }
+TEST(MmapParity, Opq4Avx2) { runParity("OPQ4", Metric::L2, "avx2"); }
+TEST(MmapParity, Sq8InnerProductScalar)
+{
+    runParity("SQ8", Metric::InnerProduct, "scalar");
+}
+TEST(MmapParity, Sq8InnerProductAvx2)
+{
+    runParity("SQ8", Metric::InnerProduct, "avx2");
+}
+
+TEST(MmapParity, HnswCoarseRebuiltOnMappedOpen)
+{
+    auto built = buildIndex("SQ8", Metric::L2, /*hnsw_coarse=*/true);
+    auto path = tempIndexPath("hnsw_coarse");
+    built.save(path.string());
+    auto mapped = IvfIndex::openMapped(path.string());
+    ASSERT_TRUE(mapped->isMapped());
+    expectSearchParity(built, *mapped);
+    std::filesystem::remove(path);
+}
+
+TEST(MmapParity, PrefaultOptionSearchesIdentically)
+{
+    auto built = buildIndex("SQ8", Metric::L2);
+    auto path = tempIndexPath("prefault");
+    built.save(path.string());
+    IvfIndex::MmapOptions options;
+    options.prefault = true;
+    auto mapped = IvfIndex::openMapped(path.string(), options);
+    expectSearchParity(built, *mapped);
+    std::filesystem::remove(path);
+}
+
+TEST(MmapView, IsReadOnly)
+{
+    const auto &data = sharedData();
+    auto built = buildIndex("SQ8", Metric::L2);
+    auto path = tempIndexPath("readonly");
+    built.save(path.string());
+    auto mapped = IvfIndex::openMapped(path.string());
+
+    std::vector<vecstore::VecId> ids(data.base.rows());
+    for (std::size_t i = 0; i < ids.size(); ++i)
+        ids[i] = static_cast<vecstore::VecId>(i);
+    EXPECT_THROW(mapped->train(data.base), std::logic_error);
+    EXPECT_THROW(mapped->add(data.base, ids), std::logic_error);
+    EXPECT_THROW((void)mapped->removeIds({0, 1}), std::logic_error);
+    // The view itself stays consistent after the refusals.
+    EXPECT_EQ(mapped->size(), built.size());
+    std::filesystem::remove(path);
+}
+
+TEST(MmapView, ReportsMappingFootprint)
+{
+    auto built = buildIndex("SQ8", Metric::L2);
+    auto path = tempIndexPath("footprint");
+    built.save(path.string());
+    auto mapped = IvfIndex::openMapped(path.string());
+
+    EXPECT_EQ(mapped->mappedBytes(),
+              std::filesystem::file_size(path));
+    EXPECT_LE(mapped->mappedResidentBytes(), mapped->mappedBytes());
+    // The heap footprint of a view is just centroids + codec tables —
+    // far below the full index payload.
+    EXPECT_LT(mapped->memoryBytes(), built.memoryBytes());
+    EXPECT_EQ(built.mappedBytes(), 0u);
+    std::filesystem::remove(path);
+}
+
+/**
+ * Every proper prefix of a valid index file must be rejected with a
+ * typed error — no crashes, no std::terminate, no partial loads.
+ */
+TEST(MmapCorruption, EveryTruncationPrefixIsRejected)
+{
+    const auto &data = sharedData();
+    IvfConfig config;
+    config.nlist = 4;
+    config.codec = "Flat";
+    Matrix small(8);
+    for (std::size_t i = 0; i < 64; ++i)
+        small.append(data.base.row(i).first(8));
+    IvfIndex ivf(8, Metric::L2, config);
+    ivf.train(small);
+    ivf.addSequential(small);
+
+    auto path = tempIndexPath("truncate");
+    ivf.save(path.string());
+    const auto bytes = readFile(path);
+    ASSERT_GT(bytes.size(), 256u);
+
+    auto prefix_path = tempIndexPath("truncate_prefix");
+    for (std::size_t len = 0; len < bytes.size(); ++len) {
+        writeFile(prefix_path, std::vector<std::uint8_t>(
+                                   bytes.begin(),
+                                   bytes.begin() +
+                                       static_cast<std::ptrdiff_t>(len)));
+        EXPECT_THROW((void)IvfIndex::openMapped(prefix_path.string()),
+                     util::FormatError)
+            << "prefix of " << len << " bytes was accepted";
+    }
+    std::filesystem::remove(path);
+    std::filesystem::remove(prefix_path);
+}
+
+/**
+ * Single-bit corruption anywhere in the file must be caught: every
+ * byte is covered by a section CRC, the header CRC, or a must-be-zero
+ * padding rule.
+ */
+TEST(MmapCorruption, EveryBitFlipIsRejected)
+{
+    const auto &data = sharedData();
+    IvfConfig config;
+    config.nlist = 4;
+    config.codec = "SQ8";
+    Matrix small(8);
+    for (std::size_t i = 0; i < 48; ++i)
+        small.append(data.base.row(i).first(8));
+    IvfIndex ivf(8, Metric::L2, config);
+    ivf.train(small);
+    ivf.addSequential(small);
+
+    auto path = tempIndexPath("bitflip");
+    ivf.save(path.string());
+    auto bytes = readFile(path);
+
+    auto flipped_path = tempIndexPath("bitflip_mut");
+    for (std::size_t i = 0; i < bytes.size(); ++i) {
+        const std::uint8_t mask =
+            static_cast<std::uint8_t>(1u << (i % 8));
+        bytes[i] ^= mask;
+        writeFile(flipped_path, bytes);
+        EXPECT_THROW((void)IvfIndex::openMapped(flipped_path.string()),
+                     util::FormatError)
+            << "bit flip at byte " << i << " was accepted";
+        bytes[i] ^= mask;
+    }
+    std::filesystem::remove(path);
+    std::filesystem::remove(flipped_path);
+}
+
+/** Growing the file must be rejected too (trailing garbage). */
+TEST(MmapCorruption, TrailingBytesAreRejected)
+{
+    auto built = buildIndex("SQ8", Metric::L2);
+    auto path = tempIndexPath("trailing");
+    built.save(path.string());
+    auto bytes = readFile(path);
+    bytes.push_back(0);
+    writeFile(path, bytes);
+    EXPECT_THROW((void)IvfIndex::openMapped(path.string()),
+                 util::FormatError);
+    EXPECT_THROW((void)IvfIndex::load(path.string()), util::FormatError);
+    std::filesystem::remove(path);
+}
+
+/**
+ * Many threads searching one shared mapping concurrently: results must
+ * match the single-threaded baseline exactly. Run under TSan, this
+ * also pins the read-only-ness of the hot path (no hidden caches or
+ * lazily-built state behind the mapped view).
+ */
+TEST(MmapConcurrency, ConcurrentReadersShareOneMapping)
+{
+    const auto &data = sharedData();
+    auto built = buildIndex("SQ8", Metric::L2);
+    auto path = tempIndexPath("concurrent");
+    built.save(path.string());
+    auto mapped = IvfIndex::openMapped(path.string());
+
+    SearchParams params;
+    params.nprobe = 8;
+    const std::size_t k = 10;
+    auto baseline = mapped->searchBatch(data.queries, k, params);
+
+    constexpr std::size_t kThreads = 4;
+    constexpr int kRounds = 8;
+    std::vector<std::thread> threads;
+    std::vector<int> mismatches(kThreads, 0);
+    for (std::size_t t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            for (int round = 0; round < kRounds; ++round) {
+                for (std::size_t q = 0; q < data.queries.rows(); ++q) {
+                    auto hits =
+                        mapped->search(data.queries.row(q), k, params);
+                    if (hits != baseline[q])
+                        ++mismatches[t];
+                }
+            }
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+    for (std::size_t t = 0; t < kThreads; ++t)
+        EXPECT_EQ(mismatches[t], 0) << "reader " << t << " drifted";
+    std::filesystem::remove(path);
+}
+
+/**
+ * The bounded-memory stream writer must produce the same bytes as
+ * add() + save(), for any batch split, with or without a thread pool,
+ * even with a budget small enough to force mid-scatter flushes.
+ */
+TEST(StreamWriter, ByteIdenticalToSave)
+{
+    const auto &data = sharedData();
+    IvfConfig config;
+    config.nlist = 16;
+    config.codec = "SQ8";
+
+    IvfIndex reference(data.base.dim(), Metric::L2, config);
+    reference.train(data.base);
+    reference.addSequential(data.base);
+    auto ref_path = tempIndexPath("stream_ref");
+    reference.save(ref_path.string());
+
+    IvfIndex prototype(data.base.dim(), Metric::L2, config);
+    prototype.train(data.base);
+
+    auto stream_path = tempIndexPath("stream_out");
+    IvfStreamWriter::Options options;
+    options.buffer_budget_bytes = 1024; // force repeated flushes
+    util::ThreadPool pool;
+    IvfStreamWriter writer(prototype, stream_path.string(), options);
+    const std::size_t batch = 257; // deliberately odd split
+    for (std::size_t at = 0; at < data.base.rows(); at += batch) {
+        const std::size_t n = std::min(batch, data.base.rows() - at);
+        Matrix rows(data.base.dim());
+        std::vector<vecstore::VecId> ids;
+        for (std::size_t i = 0; i < n; ++i) {
+            rows.append(data.base.row(at + i));
+            ids.push_back(static_cast<vecstore::VecId>(at + i));
+        }
+        writer.add(rows, ids, &pool);
+    }
+    EXPECT_EQ(writer.finish(), data.base.rows());
+
+    EXPECT_EQ(readFile(ref_path), readFile(stream_path));
+
+    // And the streamed file round-trips through the mmap searcher.
+    auto mapped = IvfIndex::openMapped(stream_path.string());
+    expectSearchParity(reference, *mapped);
+    std::filesystem::remove(ref_path);
+    std::filesystem::remove(stream_path);
+}
+
+} // namespace

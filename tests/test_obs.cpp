@@ -972,6 +972,8 @@ catalogMatches(const std::string &name)
         n::kEnergyModelErrorRatio, n::kProcessRssBytes, n::kProcessVmBytes,
         n::kProcessCpuUserSeconds, n::kProcessCpuSystemSeconds,
         n::kProcessThreads, n::kProcessUptimeSeconds,
+        n::kProcessMinorFaults, n::kProcessMajorFaults,
+        n::kMmapMappedBytes, n::kMmapResidentBytes,
     };
     if (exact.count(name))
         return true;

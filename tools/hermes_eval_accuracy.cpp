@@ -66,7 +66,8 @@ main(int argc, char **argv)
     config.deep_nprobe =
         static_cast<std::size_t>(args.getInt("deep-nprobe"));
     config.clusters_to_search = 1;
-    auto store = tools::loadStore(dir, manifest, config);
+    auto store = tools::loadOrFatal(
+        [&] { return tools::loadStore(dir, manifest, config); });
 
     auto data =
         vecstore::Matrix::load((dir / manifest.corpus_file).string());

@@ -94,7 +94,8 @@ main(int argc, char **argv)
     config.clusters_to_search = std::min<std::size_t>(
         static_cast<std::size_t>(args.getInt("clusters-to-search")),
         manifest.num_clusters);
-    auto store = tools::loadStore(dir, manifest, config);
+    auto store = tools::loadOrFatal(
+        [&] { return tools::loadStore(dir, manifest, config); });
 
     auto data =
         vecstore::Matrix::load((dir / manifest.corpus_file).string());

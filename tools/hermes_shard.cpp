@@ -19,6 +19,8 @@
  * line and /shard.
  *
  * Usage: hermes_shard --cluster=N [--replica=N] [--port=N] [--bind=ADDR]
+ *                     [--index-file=PATH] [--index-heap=0|1]
+ *                     [--prefault=0|1]
  *                     [--num-docs=N] [--dim=N] [--topics=N]
  *                     [--clusters=N] [--nlist=N]
  *                     [--batch-window-us=N] [--max-batch=N]
@@ -26,6 +28,15 @@
  *                     [--http-port=PORT]
  *                     [--trace-out=FILE] [--trace-sample=N]
  *                     [--metrics-json=FILE] [--perf=0|1]
+ *
+ * --index-file=PATH skips the in-process corpus + partition build and
+ * serves a pre-built v3 index file instead: the file is opened as a
+ * zero-copy mmap view (millisecond cold starts — the "build once,
+ * serve many" path; see hermes_build_index). --index-heap=1 copies the
+ * file into heap storage instead, --prefault=1 touches every mapped
+ * page up front so first-query latency never pays demand faults. The
+ * corpus/partition flags are ignored in this mode; --cluster only
+ * labels the ready line, /shard and traces.
  *
  * Prints one machine-parseable line once serving:
  *   hermes_shard ready cluster=<c> vectors=<n> port=<p>
@@ -53,6 +64,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -90,6 +102,9 @@ main(int argc, char **argv)
     long replica = 0;
     int port = 0;
     std::string bind_address = "127.0.0.1";
+    std::string index_file;
+    bool index_heap = false;
+    bool prefault = false;
     std::size_t num_docs = 20000;
     std::size_t dim = 32;
     std::size_t topics = 30;
@@ -114,6 +129,12 @@ main(int argc, char **argv)
             port = std::atoi(v);
         else if (const char *v = matchOption(argv[i], "--bind"))
             bind_address = v;
+        else if (const char *v = matchOption(argv[i], "--index-file"))
+            index_file = v;
+        else if (const char *v = matchOption(argv[i], "--index-heap"))
+            index_heap = std::atoi(v) != 0;
+        else if (const char *v = matchOption(argv[i], "--prefault"))
+            prefault = std::atoi(v) != 0;
         else if (const char *v = matchOption(argv[i], "--num-docs"))
             num_docs = std::strtoul(v, nullptr, 10);
         else if (const char *v = matchOption(argv[i], "--dim"))
@@ -149,7 +170,9 @@ main(int argc, char **argv)
             return 2;
         }
     }
-    if (cluster < 0 || static_cast<std::size_t>(cluster) >= clusters) {
+    if (cluster < 0 ||
+        (index_file.empty() &&
+         static_cast<std::size_t>(cluster) >= clusters)) {
         std::fprintf(stderr,
                      "usage: hermes_shard --cluster=N (0..%zu) [options]\n",
                      clusters - 1);
@@ -188,26 +211,44 @@ main(int argc, char **argv)
         {"cluster", std::to_string(cluster), true},
     };
 
-    // Same deterministic corpus + partition as serving_demo / the tests:
-    // matching flags on every process of the fleet reproduce the exact
-    // in-process store, which is what makes the out-of-process path
-    // bit-comparable.
-    workload::CorpusConfig cc;
-    cc.num_docs = num_docs;
-    cc.dim = dim;
-    cc.num_topics = topics;
-    auto corpus = workload::generateCorpus(cc);
+    std::optional<core::DistributedStore> store;
+    std::unique_ptr<index::IvfIndex> loaded;
+    const index::AnnIndex *shard = nullptr;
+    if (!index_file.empty()) {
+        // Cold-start path: serve a pre-built v3 index file. The mmap
+        // open touches only the 256-byte header plus the tiny centroid
+        // section, so restart-to-ready is milliseconds regardless of
+        // shard size; scan kernels then run directly on mapped bytes.
+        index::IvfIndex::MmapOptions mopts;
+        mopts.prefault = prefault;
+        loaded = core::loadOrFatal([&] {
+            return index_heap
+                       ? index::IvfIndex::load(index_file)
+                       : index::IvfIndex::openMapped(index_file, mopts);
+        });
+        shard = loaded.get();
+    } else {
+        // Same deterministic corpus + partition as serving_demo / the
+        // tests: matching flags on every process of the fleet reproduce
+        // the exact in-process store, which is what makes the
+        // out-of-process path bit-comparable.
+        workload::CorpusConfig cc;
+        cc.num_docs = num_docs;
+        cc.dim = dim;
+        cc.num_topics = topics;
+        auto corpus = workload::generateCorpus(cc);
 
-    core::HermesConfig config;
-    config.num_clusters = clusters;
-    config.clusters_to_search = std::min<std::size_t>(3, clusters);
-    config.sample_nprobe = 4;
-    config.deep_nprobe = 32;
-    config.partition.seeds_to_try = 3;
-    config.nlist_per_cluster = nlist;
-    auto store = core::DistributedStore::build(corpus.embeddings, config);
-    const auto &shard =
-        store.clusterIndex(static_cast<std::size_t>(cluster));
+        core::HermesConfig config;
+        config.num_clusters = clusters;
+        config.clusters_to_search = std::min<std::size_t>(3, clusters);
+        config.sample_nprobe = 4;
+        config.deep_nprobe = 32;
+        config.partition.seeds_to_try = 3;
+        config.nlist_per_cluster = nlist;
+        store.emplace(
+            core::DistributedStore::build(corpus.embeddings, config));
+        shard = &store->clusterIndex(static_cast<std::size_t>(cluster));
+    }
 
     serve::ShardServerOptions options;
     options.bind_address = bind_address;
@@ -221,7 +262,7 @@ main(int argc, char **argv)
     options.node.faults.delay_probability = delay_ms > 0.0 ? 0.2 : 0.0;
     options.node.faults.delay_ms = delay_ms;
 
-    serve::ShardServer server(shard, options);
+    serve::ShardServer server(*shard, options);
     if (!server.start())
         return 1;
 
@@ -266,10 +307,10 @@ main(int argc, char **argv)
     if (replica > 0)
         std::printf("hermes_shard ready cluster=%ld vectors=%zu port=%u "
                     "replica=%ld\n",
-                    cluster, shard.size(), server.port(), replica);
+                    cluster, shard->size(), server.port(), replica);
     else
         std::printf("hermes_shard ready cluster=%ld vectors=%zu port=%u\n",
-                    cluster, shard.size(), server.port());
+                    cluster, shard->size(), server.port());
     std::fflush(stdout);
 
     while (!g_stop)

@@ -1,107 +1,21 @@
 /**
  * @file
- * Shared plumbing for the command-line tools: the on-disk deployment
- * manifest tying together the corpus matrix, cluster centroids and the
- * serialized per-cluster indices (artifact appendix A.5 steps 7-12).
+ * Shared plumbing for the command-line tools. The deployment manifest
+ * moved to core/manifest.hpp so the serving layer can load it too; this
+ * header keeps the historical tools:: spellings working.
  */
 
 #pragma once
 
-#include <filesystem>
-#include <fstream>
-#include <map>
-#include <string>
-#include <vector>
-
-#include "core/distributed_store.hpp"
-#include "util/logging.hpp"
-#include "vecstore/matrix.hpp"
+#include "core/manifest.hpp"
 
 namespace hermes {
 namespace tools {
 
-/** Deployment manifest: everything needed to reload a built index set. */
-struct Manifest
-{
-    /** "monolithic", "split" (round-robin) or "clustered" (Hermes). */
-    std::string type = "clustered";
-
-    /** Number of cluster index files. */
-    std::size_t num_clusters = 0;
-
-    /** Embedding dimensionality. */
-    std::size_t dim = 0;
-
-    /** Codec spec the indices were built with. */
-    std::string codec = "SQ8";
-
-    /** File names, relative to the manifest directory. */
-    std::string corpus_file = "corpus.hmat";
-    std::string centroids_file = "centroids.hmat";
-    std::vector<std::string> cluster_files;
-
-    /** Write to @p dir/manifest.txt. */
-    void
-    save(const std::filesystem::path &dir) const
-    {
-        std::ofstream out(dir / "manifest.txt");
-        if (!out)
-            HERMES_FATAL("cannot write manifest in ", dir.string());
-        out << "type=" << type << '\n';
-        out << "num_clusters=" << num_clusters << '\n';
-        out << "dim=" << dim << '\n';
-        out << "codec=" << codec << '\n';
-        out << "corpus=" << corpus_file << '\n';
-        out << "centroids=" << centroids_file << '\n';
-        for (std::size_t c = 0; c < cluster_files.size(); ++c)
-            out << "cluster_" << c << '=' << cluster_files[c] << '\n';
-    }
-
-    /** Load from @p dir/manifest.txt. */
-    static Manifest
-    load(const std::filesystem::path &dir)
-    {
-        std::ifstream in(dir / "manifest.txt");
-        if (!in)
-            HERMES_FATAL("no manifest.txt in ", dir.string(),
-                         " (run hermes_build_index first)");
-        std::map<std::string, std::string> kv;
-        std::string line;
-        while (std::getline(in, line)) {
-            auto eq = line.find('=');
-            if (eq == std::string::npos)
-                continue;
-            kv[line.substr(0, eq)] = line.substr(eq + 1);
-        }
-        Manifest manifest;
-        manifest.type = kv.at("type");
-        manifest.num_clusters = std::stoul(kv.at("num_clusters"));
-        manifest.dim = std::stoul(kv.at("dim"));
-        manifest.codec = kv.at("codec");
-        manifest.corpus_file = kv.at("corpus");
-        manifest.centroids_file = kv.at("centroids");
-        for (std::size_t c = 0; c < manifest.num_clusters; ++c)
-            manifest.cluster_files.push_back(
-                kv.at("cluster_" + std::to_string(c)));
-        return manifest;
-    }
-};
-
-/** Reload a DistributedStore from a manifest directory. */
-inline core::DistributedStore
-loadStore(const std::filesystem::path &dir, const Manifest &manifest,
-          core::HermesConfig config)
-{
-    config.num_clusters = manifest.num_clusters;
-    config.codec = manifest.codec;
-    std::vector<std::unique_ptr<index::IvfIndex>> indices;
-    for (const auto &file : manifest.cluster_files)
-        indices.push_back(index::IvfIndex::load((dir / file).string()));
-    auto centroids =
-        vecstore::Matrix::load((dir / manifest.centroids_file).string());
-    return core::DistributedStore::assemble(config, std::move(indices),
-                                            std::move(centroids));
-}
+using Manifest = core::Manifest;
+using core::loadOrFatal;
+using core::loadStore;
+using core::StoreLoadMode;
 
 } // namespace tools
 } // namespace hermes
